@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+
+	"ilpec/internal/core"
+)
+
+func TestParseChanges(t *testing.T) {
+	chs, err := parseChanges("-1 2 0; 3 -4", "5,6", "0,2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grows, drops, elims, adds int
+	for _, c := range chs {
+		switch c.Kind {
+		case core.AddVariable:
+			grows++
+		case core.RemoveClause:
+			drops++
+		case core.RemoveVariable:
+			elims++
+		case core.AddClause:
+			adds++
+		}
+	}
+	if grows != 2 || drops != 2 || elims != 2 || adds != 2 {
+		t.Fatalf("parsed %d/%d/%d/%d", grows, drops, elims, adds)
+	}
+	// Ordering: grows, drops, elims, adds.
+	if chs[0].Kind != core.AddVariable || chs[len(chs)-1].Kind != core.AddClause {
+		t.Fatal("change ordering wrong")
+	}
+	// Clause literals parsed with the DIMACS terminator honored.
+	first := chs[len(chs)-2]
+	if len(first.Clause) != 2 || first.Clause[0] != -1 || first.Clause[1] != 2 {
+		t.Fatalf("clause = %v", first.Clause)
+	}
+}
+
+func TestParseChangesErrors(t *testing.T) {
+	if _, err := parseChanges("x 0", "", "", 0); err == nil {
+		t.Fatal("bad literal accepted")
+	}
+	if _, err := parseChanges("", "a", "", 0); err == nil {
+		t.Fatal("bad variable accepted")
+	}
+	if _, err := parseChanges("", "", "b", 0); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestParseChangesEmpty(t *testing.T) {
+	chs, err := parseChanges("", "", "", 0)
+	if err != nil || len(chs) != 0 {
+		t.Fatalf("empty parse: %v %v", chs, err)
+	}
+	// Blank clause segments are skipped.
+	chs, err = parseChanges(" ; ;1 0", "", "", 0)
+	if err != nil || len(chs) != 1 {
+		t.Fatalf("blank segments: %v %v", chs, err)
+	}
+}

@@ -1,0 +1,84 @@
+// Command ectables regenerates the paper's experimental tables and figure
+// measurements on the synthetic benchmark families.
+//
+// Usage:
+//
+//	ectables -table 1 -profile ci
+//	ectables -table all -profile quick
+//	ectables -figure 2 -profile ci
+//	ectables -figure 1 -instance ii8a1
+//
+// Profiles: quick (seconds), ci (minutes, default), paper (original
+// dimensions; the exact solves can take hours, as CPLEX did in 2002).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ilpec/internal/exp"
+	"ilpec/internal/gen"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: 1, 2, 3, or all")
+	figure := flag.String("figure", "", "figure to regenerate: 1 or 2")
+	colSweep := flag.Bool("coloring", false, "run the graph-coloring EC sweep")
+	profile := flag.String("profile", "ci", "experiment profile: quick, ci, or paper")
+	instance := flag.String("instance", "ii8a1", "instance for -figure 1")
+	flag.Parse()
+
+	p, err := exp.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if *table == "" && *figure == "" && !*colSweep {
+		*table = "all"
+	}
+
+	switch *table {
+	case "":
+	case "1":
+		fmt.Print(exp.RunTable1(p).Render())
+	case "2":
+		fmt.Print(exp.RunTable2(p).Render())
+	case "3":
+		fmt.Print(exp.RunTable3(p).Render())
+	case "all":
+		fmt.Print(exp.RunTable1(p).Render())
+		fmt.Println()
+		fmt.Print(exp.RunTable2(p).Render())
+		fmt.Println()
+		fmt.Print(exp.RunTable3(p).Render())
+	default:
+		fatal(fmt.Errorf("unknown -table %q", *table))
+	}
+
+	switch *figure {
+	case "":
+	case "1":
+		spec, ok := gen.ByName(*instance)
+		if !ok {
+			fatal(fmt.Errorf("unknown instance %q", *instance))
+		}
+		steps, err := exp.Figure1Trace(gen.Scaled(spec, p.Scale), p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exp.RenderFlowSteps(steps))
+	case "2":
+		fmt.Print(exp.RenderFigure2(exp.RunFigure2(p)))
+	default:
+		fatal(fmt.Errorf("unknown -figure %q", *figure))
+	}
+
+	if *colSweep {
+		fmt.Print(exp.RenderColoring(exp.RunColoring(p)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ectables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command ilprun solves a 0-1 ILP written in the text format of
+// internal/ilp (see ParseText), using the exact branch-and-bound solver or
+// the heuristic iterative-improvement solver.
+//
+// Usage:
+//
+//	ilprun model.ilp
+//	ilprun -solver heur -seed 7 model.ilp
+//	ilprun -bounding lp -branching lpfrac model.ilp
+//	echo 'max x + y
+//	st
+//	c: x + y <= 1' | ilprun -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ilpec/internal/heurilp"
+	"ilpec/internal/ilp"
+)
+
+func main() {
+	solver := flag.String("solver", "exact", "exact or heur")
+	bounding := flag.String("bounding", "comb", "exact bounding: comb or lp")
+	branching := flag.String("branching", "auto", "exact branching: auto, maxobj, constrained, lpfrac, cover")
+	seed := flag.Int64("seed", 1, "heuristic seed")
+	flips := flag.Int64("flips", 0, "heuristic flip budget (0 = default)")
+	timeout := flag.Duration("timeout", 0, "exact time limit (0 = none)")
+	quiet := flag.Bool("quiet", false, "print only status and objective")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		fh, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		r = fh
+	}
+	m, err := ilp.ParseText(r)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		fatal(err)
+	}
+
+	switch *solver {
+	case "exact":
+		opts := ilp.Options{TimeLimit: *timeout}
+		switch *bounding {
+		case "comb":
+			opts.Bounding = ilp.CombBound
+		case "lp":
+			opts.Bounding = ilp.LPBound
+		default:
+			fatal(fmt.Errorf("unknown -bounding %q", *bounding))
+		}
+		switch *branching {
+		case "auto", "maxobj":
+			opts.Branching = ilp.BranchMaxObj
+		case "constrained":
+			opts.Branching = ilp.BranchMostConstrained
+		case "lpfrac":
+			opts.Branching = ilp.BranchLPFractional
+		case "cover":
+			opts.Branching = ilp.BranchCoverGreedy
+		default:
+			fatal(fmt.Errorf("unknown -branching %q", *branching))
+		}
+		start := time.Now()
+		res := ilp.Solve(m, opts)
+		fmt.Printf("status: %s\n", res.Status)
+		if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
+			fmt.Printf("objective: %g\n", res.Objective)
+			if !*quiet {
+				printSolution(m, res.Solution)
+			}
+		}
+		if !*quiet {
+			fmt.Printf("nodes: %d  propagations: %d  lp-solves: %d  runtime: %v\n",
+				res.Nodes, res.Propagations, res.LPSolves, time.Since(start))
+		}
+	case "heur":
+		res := heurilp.Solve(m, heurilp.Options{Seed: *seed, MaxFlips: *flips})
+		if !res.Feasible {
+			fmt.Println("status: NO-SOLUTION")
+			os.Exit(1)
+		}
+		fmt.Println("status: FEASIBLE")
+		fmt.Printf("objective: %g\n", res.Objective)
+		if !*quiet {
+			printSolution(m, res.Solution)
+			fmt.Printf("flips: %d  runtime: %v\n", res.Flips, res.Runtime)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -solver %q", *solver))
+	}
+}
+
+func printSolution(m *ilp.Model, sol ilp.Solution) {
+	for j := 0; j < m.NumVars(); j++ {
+		if sol[j] == 1 {
+			fmt.Printf("%s = 1\n", m.VarName(j))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ilprun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// coloring: engineering change on graph k-coloring — the second EC domain
+// (the paper's §8 points to comprehensive coloring experiments; its
+// predecessor work [5] was restricted to coloring/scheduling).
+//
+// The demo colors a planted-colorable graph, adds conflicting edges (an
+// engineering change), and contrasts three reactions: full replan, fast EC
+// (local recolor), and preserving EC (maximize kept colors).
+//
+// Run with: go run ./examples/coloring
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ilpec"
+	"ilpec/internal/coloring"
+)
+
+func main() {
+	const n, k = 40, 5
+	g, planted := coloring.PlantedColorable(n, k, 0.35, 7)
+	fmt.Printf("graph: %d vertices, %d edges, planted %d-coloring\n", g.N, g.NumEdges(), k)
+
+	opts := ilpec.SolveOptions{TimeLimit: 30 * time.Second}
+
+	// Baseline coloring: exact, warm-started from the plant.
+	col, res, err := ilpec.ColorExact(g, k, ilpec.GraphColoring(planted), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact coloring uses %d colors (%d nodes, %v)\n",
+		col.NumColors(), res.Nodes, res.Runtime.Round(time.Millisecond))
+
+	greedy := ilpec.ColorGreedy(g)
+	fmt.Printf("DSATUR greedy baseline uses %d colors\n", greedy.NumColors())
+
+	// Engineering change: add edges between same-colored vertices.
+	changed := g.Clone()
+	added := 0
+	for u := 1; u <= g.N && added < 3; u++ {
+		for v := u + 1; v <= g.N && added < 3; v++ {
+			if col[u] == col[v] && !changed.HasEdge(u, v) {
+				changed.AddEdge(u, v)
+				added++
+			}
+		}
+	}
+	fmt.Printf("\nengineering change: %d conflicting edges added\n", added)
+
+	// Reaction 1: full replan.
+	start := time.Now()
+	replan, _, err := ilpec.ColorExact(changed, k, nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replan:      agreement %.1f%%  (%v)\n",
+		100*replan.Agreement(col), time.Since(start).Round(time.Millisecond))
+
+	// Reaction 2: fast EC — recolor only the conflicted region.
+	start = time.Now()
+	fast, err := ilpec.FastRecolor(changed, col, k, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fast EC:     agreement %.1f%%  (%d vertices recolored, %v)\n",
+		100*fast.Coloring.Agreement(col), fast.SubVertices, time.Since(start).Round(time.Millisecond))
+
+	// Reaction 3: preserving EC — maximize kept colors globally.
+	start = time.Now()
+	pres, _, err := ilpec.PreserveRecolor(changed, col, k, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preserving:  agreement %.1f%%  (%v)\n",
+		100*pres.Agreement(col), time.Since(start).Round(time.Millisecond))
+
+	// Enabling EC: spare colors per vertex before the change arrives.
+	enabled, _, err := ilpec.EnableColoring(g, k, false, 2, col, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repBefore := coloring.VerifyFlexibility(g, col, k)
+	repEnabled := coloring.VerifyFlexibility(g, enabled, k)
+	fmt.Printf("\nenabling EC: vertices with a spare color %d/%d → %d/%d\n",
+		repBefore.WithSpare, g.N, repEnabled.WithSpare, g.N)
+}

@@ -1,0 +1,378 @@
+// Package ilpec is the public API of the ILP-based engineering-change
+// library — a from-scratch reproduction of "ILP-Based Engineering Change"
+// (Koushanfar, Wong, Feng, Potkonjak; DAC 2002).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - CNF formulas, assignments, and DIMACS I/O (internal/cnf);
+//   - the specification-change model and the three EC components —
+//     enabling, fast, and preserving EC (internal/core);
+//   - the generic Figure-1 flow orchestrator;
+//   - 0-1 ILP modeling and the exact and heuristic solvers
+//     (internal/ilp, internal/heurilp);
+//   - the SAT↔set-cover encoding (internal/encode);
+//   - the graph-coloring application (internal/coloring);
+//   - the synthetic DIMACS benchmark families (internal/gen).
+//
+// See examples/quickstart for a guided tour.
+package ilpec
+
+import (
+	"io"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/coloring"
+	"ilpec/internal/core"
+	"ilpec/internal/encode"
+	"ilpec/internal/gen"
+	"ilpec/internal/heurilp"
+	"ilpec/internal/ilp"
+	"ilpec/internal/sched"
+)
+
+// ---- CNF substrate -------------------------------------------------------
+
+// Lit is a DIMACS-style literal: +v or -v for variable v ≥ 1.
+type Lit = cnf.Lit
+
+// Clause is a disjunction of literals.
+type Clause = cnf.Clause
+
+// Formula is a CNF formula.
+type Formula = cnf.Formula
+
+// Assignment is a tri-state (true/false/don't-care) assignment.
+type Assignment = cnf.Assignment
+
+// Value is the tri-state value of a variable.
+type Value = cnf.Value
+
+// Truth values of Value.
+const (
+	True       = cnf.True
+	False      = cnf.False
+	Unassigned = cnf.Unassigned
+)
+
+// NewFormula builds a formula from literal slices (see cnf.FromClauses).
+func NewFormula(clauses ...[]int) *Formula { return cnf.FromClauses(clauses...) }
+
+// ParseDIMACS reads a DIMACS CNF formula.
+func ParseDIMACS(r io.Reader) (*Formula, error) { return cnf.ParseDIMACS(r) }
+
+// ParseDIMACSFile reads a DIMACS CNF file.
+func ParseDIMACSFile(path string) (*Formula, error) { return cnf.ParseDIMACSFile(path) }
+
+// WriteDIMACS writes a formula in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula, comments ...string) error {
+	return cnf.WriteDIMACS(w, f, comments...)
+}
+
+// ---- changes (the EC specification model) --------------------------------
+
+// Change is one specification change (add/remove clause, add/eliminate
+// variable).
+type Change = core.Change
+
+// ChangeKind enumerates change kinds.
+type ChangeKind = core.ChangeKind
+
+// Change kinds.
+const (
+	AddClause      = core.AddClause
+	RemoveClause   = core.RemoveClause
+	AddVariable    = core.AddVariable
+	RemoveVariable = core.RemoveVariable
+)
+
+// NewClause returns an add-clause change.
+func NewClause(lits ...int) Change { return core.NewClause(lits...) }
+
+// DropClause returns a remove-clause change.
+func DropClause(i int) Change { return core.DropClause(i) }
+
+// GrowVariable returns an add-variable change.
+func GrowVariable() Change { return core.GrowVariable() }
+
+// EliminateVariable returns a remove-variable change.
+func EliminateVariable(v int) Change { return core.EliminateVariable(v) }
+
+// ApplyChanges produces the changed formula.
+func ApplyChanges(f *Formula, changes []Change) (*Formula, error) {
+	return core.Apply(f, changes)
+}
+
+// ---- solving -------------------------------------------------------------
+
+// SolveOptions configures the exact 0-1 ILP solver.
+type SolveOptions = ilp.Options
+
+// Solve finds a satisfying assignment for f through the §3 set-cover ILP,
+// maximizing don't-cares. It returns an error when f is unsatisfiable.
+func Solve(f *Formula, opts ...SolveOptions) (Assignment, error) {
+	var o SolveOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	a, _, err := core.PlainResolve(f, o)
+	return a, err
+}
+
+// ---- enabling EC (§5) ------------------------------------------------------
+
+// EnableOptions configures enabling EC.
+type EnableOptions = core.EnableOptions
+
+// EnableMode selects constraints vs objective flavor.
+type EnableMode = core.EnableMode
+
+// Enabling modes.
+const (
+	EnableConstraints = core.EnableConstraints
+	EnableObjective   = core.EnableObjective
+)
+
+// EnableResult is the outcome of Enable.
+type EnableResult = core.EnableResult
+
+// Enable solves f under the §5 flexibility requirements.
+func Enable(f *Formula, opts EnableOptions, solve ...SolveOptions) (*EnableResult, error) {
+	var o SolveOptions
+	if len(solve) > 0 {
+		o = solve[0]
+	}
+	return core.SolveEnable(f, opts, o)
+}
+
+// FlexReport audits a solution's flexibility.
+type FlexReport = core.FlexReport
+
+// VerifyFlexibility audits an assignment against the enabling goal.
+func VerifyFlexibility(f *Formula, a Assignment, k int) FlexReport {
+	return core.VerifyFlexibility(f, a, k)
+}
+
+// RepairResult is the outcome of SimulateElimination.
+type RepairResult = core.RepairResult
+
+// SimulateElimination eliminates variable v and locally repairs a.
+func SimulateElimination(f *Formula, a Assignment, v int) RepairResult {
+	return core.SimulateElimination(f, a, v)
+}
+
+// EliminationSurvival sweeps every variable elimination under a.
+func EliminationSurvival(f *Formula, a Assignment) (survived, total int) {
+	return core.EliminationSurvival(f, a)
+}
+
+// ---- fast EC (§6) ----------------------------------------------------------
+
+// FastOptions configures fast EC.
+type FastOptions = core.FastOptions
+
+// FastResult is the outcome of FastResolve.
+type FastResult = core.FastResult
+
+// SimplifyResult is the Figure-2 closure output.
+type SimplifyResult = core.SimplifyResult
+
+// Simplify extracts the minimal affected sub-instance (Figure 2).
+func Simplify(fPrime *Formula, p Assignment) SimplifyResult {
+	return core.Simplify(fPrime, p)
+}
+
+// FastResolve re-solves only the affected sub-instance and merges.
+func FastResolve(fPrime *Formula, p Assignment, opts FastOptions) (*FastResult, error) {
+	return core.FastResolve(fPrime, p, opts)
+}
+
+// ---- preserving EC (§7) -----------------------------------------------------
+
+// PreserveOptions configures preserving EC.
+type PreserveOptions = core.PreserveOptions
+
+// PreserveMode selects the preservation flavor.
+type PreserveMode = core.PreserveMode
+
+// Preservation modes.
+const (
+	PreserveMaximize = core.PreserveMaximize
+	PreserveHard     = core.PreserveHard
+	PreserveWeighted = core.PreserveWeighted
+)
+
+// PreserveResult is the outcome of PreserveResolve.
+type PreserveResult = core.PreserveResult
+
+// PreserveResolve re-solves the changed instance, maximizing agreement
+// with the original solution (or hard-preserving a protected set).
+func PreserveResolve(fPrime *Formula, p Assignment, opts PreserveOptions) (*PreserveResult, error) {
+	return core.PreserveResolve(fPrime, p, opts)
+}
+
+// ---- the Figure-1 flow -----------------------------------------------------
+
+// Flow drives the generic EC flow of Figure 1.
+type Flow = core.Flow
+
+// FlowOptions configures a Flow.
+type FlowOptions = core.FlowOptions
+
+// Strategy selects the re-solve strategy of a flow step.
+type Strategy = core.Strategy
+
+// Flow strategies.
+const (
+	FastEC       = core.FastEC
+	PreservingEC = core.PreservingEC
+	Replan       = core.Replan
+)
+
+// SolverKind selects exact vs heuristic initial solving.
+type SolverKind = core.SolverKind
+
+// Solver kinds.
+const (
+	ExactILP     = core.ExactILP
+	HeuristicILP = core.HeuristicILP
+)
+
+// Step records one flow action.
+type Step = core.Step
+
+// NewFlow creates a Figure-1 flow for the original specification f.
+func NewFlow(f *Formula, opts FlowOptions) *Flow { return core.NewFlow(f, opts) }
+
+// ---- ILP layer -------------------------------------------------------------
+
+// Model is a 0-1 integer linear program.
+type Model = ilp.Model
+
+// ModelCoef is a sparse row coefficient of a Model.
+type ModelCoef = ilp.Coef
+
+// RowSense is a row comparison sense.
+type RowSense = ilp.Sense
+
+// Row senses.
+const (
+	RowLE = ilp.LE
+	RowGE = ilp.GE
+	RowEQ = ilp.EQ
+)
+
+// ILPResult is the outcome of an exact solve.
+type ILPResult = ilp.Result
+
+// NewModel creates an empty 0-1 ILP.
+func NewModel(maximize bool) *Model { return ilp.NewModel(maximize) }
+
+// SolveILP runs exact branch and bound.
+func SolveILP(m *Model, opts SolveOptions) ILPResult { return ilp.Solve(m, opts) }
+
+// HeuristicOptions configures the heuristic ILP solver (ref [6] stand-in).
+type HeuristicOptions = heurilp.Options
+
+// HeuristicResult is the outcome of the heuristic solver.
+type HeuristicResult = heurilp.Result
+
+// SolveILPHeuristic runs the iterative-improvement local search.
+func SolveILPHeuristic(m *Model, opts HeuristicOptions) HeuristicResult {
+	return heurilp.Solve(m, opts)
+}
+
+// Encoding is the §3 SAT↔set-cover ILP encoding.
+type Encoding = encode.Encoding
+
+// EncodeSAT builds the set-cover ILP of a formula.
+func EncodeSAT(f *Formula) *Encoding { return encode.New(f) }
+
+// ---- graph coloring application ---------------------------------------------
+
+// Graph is a simple undirected graph (coloring application).
+type Graph = coloring.Graph
+
+// GraphColoring is a color-per-vertex assignment.
+type GraphColoring = coloring.Coloring
+
+// NewGraph creates an empty graph with n vertices.
+func NewGraph(n int) *Graph { return coloring.NewGraph(n) }
+
+// ColorExact colors g with at most k colors via the exact ILP solver.
+func ColorExact(g *Graph, k int, warm GraphColoring, opts SolveOptions) (GraphColoring, ILPResult, error) {
+	return coloring.SolveExact(g, k, warm, opts)
+}
+
+// ColorGreedy colors g with the DSATUR heuristic.
+func ColorGreedy(g *Graph) GraphColoring { return coloring.Greedy(g) }
+
+// FastRecolor absorbs graph changes by recoloring only the conflicted
+// region (fast EC on coloring).
+func FastRecolor(g *Graph, prev GraphColoring, k int, opts SolveOptions) (*coloring.FastRecolorResult, error) {
+	return coloring.FastRecolor(g, prev, k, opts)
+}
+
+// PreserveRecolor re-colors maximizing agreement with prev (preserving EC
+// on coloring).
+func PreserveRecolor(g *Graph, prev GraphColoring, k int, opts SolveOptions) (GraphColoring, ILPResult, error) {
+	return coloring.PreserveRecolor(g, prev, k, opts)
+}
+
+// EnableColoring colors g so vertices keep spare colors (enabling EC on
+// coloring). hard requires a spare at every vertex; warm (optional) guides
+// branching.
+func EnableColoring(g *Graph, k int, hard bool, weight float64, warm GraphColoring, opts SolveOptions) (GraphColoring, ILPResult, error) {
+	return coloring.SolveEnable(g, k, hard, weight, warm, opts)
+}
+
+// ---- scheduling application ---------------------------------------------------
+
+// SchedProblem is a resource-constrained scheduling instance (behavioral-
+// synthesis EC domain; see internal/sched).
+type SchedProblem = sched.Problem
+
+// SchedSchedule assigns operations to control steps.
+type SchedSchedule = sched.Schedule
+
+// NewSchedProblem creates a scheduling problem with the given per-type
+// capacities and horizon.
+func NewSchedProblem(capacity []int, steps int) *SchedProblem {
+	return sched.NewProblem(capacity, steps)
+}
+
+// SolveSchedule schedules exactly (warm optional).
+func SolveSchedule(p *SchedProblem, warm SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
+	return sched.Solve(p, warm, opts)
+}
+
+// ListSchedule is the greedy ASAP baseline scheduler.
+func ListSchedule(p *SchedProblem) (SchedSchedule, error) { return sched.ListSchedule(p) }
+
+// FastReschedule re-places only the disturbed operations after a change
+// (fast EC on scheduling); it returns the schedule and the region size.
+func FastReschedule(p *SchedProblem, prev SchedSchedule, opts SolveOptions) (SchedSchedule, int, error) {
+	return sched.FastReschedule(p, prev, opts)
+}
+
+// PreserveReschedule re-solves maximizing kept control steps (preserving
+// EC on scheduling).
+func PreserveReschedule(p *SchedProblem, prev SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
+	return sched.PreserveReschedule(p, prev, opts)
+}
+
+// EnableSchedule schedules with spare-slot rewards (enabling EC on
+// scheduling).
+func EnableSchedule(p *SchedProblem, weight float64, warm SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
+	return sched.SolveEnabled(p, weight, warm, opts)
+}
+
+// ---- benchmark families -------------------------------------------------------
+
+// BenchmarkSpec identifies a synthetic benchmark instance.
+type BenchmarkSpec = gen.Spec
+
+// Benchmarks returns the full registry of paper instances.
+func Benchmarks() []BenchmarkSpec { return gen.All() }
+
+// BenchmarkByName looks an instance up by its paper name.
+func BenchmarkByName(name string) (BenchmarkSpec, bool) { return gen.ByName(name) }

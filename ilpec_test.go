@@ -1,0 +1,213 @@
+package ilpec_test
+
+// Facade tests: every public entry point of package ilpec is exercised at
+// least once against the paper's worked examples.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ilpec"
+)
+
+func introFormula() *ilpec.Formula {
+	return ilpec.NewFormula(
+		[]int{1, -3, -5},
+		[]int{2, -3, -5},
+		[]int{2, 4, 5},
+		[]int{-3, -4},
+	)
+}
+
+func TestPublicSolve(t *testing.T) {
+	f := introFormula()
+	a, err := ilpec.Solve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(f) {
+		t.Fatal("solution unsatisfying")
+	}
+	if _, err := ilpec.Solve(ilpec.NewFormula([]int{1}, []int{-1})); err == nil {
+		t.Fatal("UNSAT formula should error")
+	}
+}
+
+func TestPublicDIMACSRoundTrip(t *testing.T) {
+	f := introFormula()
+	var buf bytes.Buffer
+	if err := ilpec.WriteDIMACS(&buf, f, "public api"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ilpec.ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || g.NumClauses() != f.NumClauses() {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestPublicEnableAndVerify(t *testing.T) {
+	f := introFormula()
+	res, err := ilpec.Enable(f, ilpec.EnableOptions{Mode: ilpec.EnableConstraints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ilpec.VerifyFlexibility(f, res.Assignment, 2)
+	if len(rep.Unsupported) != 0 {
+		t.Fatalf("unsupported clauses %v", rep.Unsupported)
+	}
+	s, total := ilpec.EliminationSurvival(f, res.Assignment)
+	if s != total {
+		t.Fatalf("survival %d/%d", s, total)
+	}
+	one := ilpec.SimulateElimination(f, res.Assignment, 3)
+	if !one.OK {
+		t.Fatal("elimination of v3 not absorbed")
+	}
+}
+
+func TestPublicChangesAndFast(t *testing.T) {
+	f := introFormula()
+	p, err := ilpec.Solve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := []ilpec.Change{
+		ilpec.GrowVariable(),
+		ilpec.NewClause(-2, 6),
+	}
+	fPrime, err := ilpec.ApplyChanges(f, changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp := ilpec.Simplify(fPrime, p)
+	_ = simp
+	res, err := ilpec.FastResolve(fPrime, p, ilpec.FastOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Satisfies(fPrime) {
+		t.Fatal("fast result unsatisfying")
+	}
+	if ilpec.DropClause(0).Tightening() || !ilpec.EliminateVariable(1).Tightening() {
+		t.Fatal("change classification wrong")
+	}
+}
+
+func TestPublicPreserve(t *testing.T) {
+	f := ilpec.NewFormula(
+		[]int{1, 2, 4}, []int{1, 4, -5}, []int{-1, -3, 4},
+		[]int{2, 3, 5}, []int{-2, 4, 5}, []int{3, -4, 5},
+	)
+	p := ilpec.Assignment{ilpec.Unassigned, ilpec.True, ilpec.True, ilpec.False, ilpec.False, ilpec.True}
+	fPrime, err := ilpec.ApplyChanges(f, []ilpec.Change{
+		ilpec.NewClause(-2, 3, 4), ilpec.NewClause(1, -2, -5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ilpec.PreserveResolve(fPrime, p, ilpec.PreserveOptions{Mode: ilpec.PreserveMaximize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preserved < 0.8-1e-9 {
+		t.Fatalf("preserved %.2f < 0.8", res.Preserved)
+	}
+}
+
+func TestPublicFlow(t *testing.T) {
+	fl := ilpec.NewFlow(introFormula(), ilpec.FlowOptions{})
+	if _, err := fl.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.ApplyChange([]ilpec.Change{ilpec.NewClause(-2, 1)}, ilpec.FastEC); err != nil {
+		t.Fatal(err)
+	}
+	if len(fl.History()) != 2 {
+		t.Fatalf("history %d", len(fl.History()))
+	}
+	_ = ilpec.PreservingEC
+	_ = ilpec.Replan
+	_ = ilpec.ExactILP
+	_ = ilpec.HeuristicILP
+}
+
+func TestPublicILPLayer(t *testing.T) {
+	m2 := ilpec.NewModel(true)
+	a := m2.AddVar("a", 2)
+	b := m2.AddVar("b", 1)
+	m2.AddRow("cap", []ilpec.ModelCoef{{Var: a, Val: 1}, {Var: b, Val: 1}}, ilpec.RowLE, 1)
+	res := ilpec.SolveILP(m2, ilpec.SolveOptions{})
+	if res.Objective != 2 {
+		t.Fatalf("objective %v", res.Objective)
+	}
+	h := ilpec.SolveILPHeuristic(m2, ilpec.HeuristicOptions{Seed: 1})
+	if !h.Feasible {
+		t.Fatal("heuristic found nothing")
+	}
+	e := ilpec.EncodeSAT(introFormula())
+	if e.Model.NumVars() != 10 {
+		t.Fatalf("encoding vars %d", e.Model.NumVars())
+	}
+}
+
+func TestPublicColoring(t *testing.T) {
+	g := ilpec.NewGraph(4)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	col, _, err := ilpec.ColorExact(g, 2, nil, ilpec.SolveOptions{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col.Valid(g, 2) {
+		t.Fatal("invalid coloring")
+	}
+	if gg := ilpec.ColorGreedy(g); !gg.Valid(g, 0) {
+		t.Fatal("greedy invalid")
+	}
+	g.AddEdge(1, 3)
+	fast, err := ilpec.FastRecolor(g, col, 3, ilpec.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Coloring.Valid(g, 3) {
+		t.Fatal("fast recolor invalid")
+	}
+	pres, _, err := ilpec.PreserveRecolor(g, col, 3, ilpec.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Valid(g, 3) {
+		t.Fatal("preserve recolor invalid")
+	}
+	en, _, err := ilpec.EnableColoring(g, 4, false, 1, col, ilpec.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !en.Valid(g, 4) {
+		t.Fatal("enabled coloring invalid")
+	}
+}
+
+func TestPublicBenchmarks(t *testing.T) {
+	all := ilpec.Benchmarks()
+	if len(all) != 13 {
+		t.Fatalf("registry %d entries", len(all))
+	}
+	s, ok := ilpec.BenchmarkByName("ii8a1")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	f, plant := s.Generate()
+	if !plant.Satisfies(f) {
+		t.Fatal("plant unsatisfying")
+	}
+	if !strings.Contains(s.Name, "ii8a1") {
+		t.Fatal("name mismatch")
+	}
+}

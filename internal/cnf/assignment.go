@@ -1,0 +1,272 @@
+package cnf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is the tri-state value of a variable in an assignment. The zero
+// value is Unassigned, so a fresh Assignment is all don't-cares.
+type Value int8
+
+const (
+	// Unassigned marks a don't-care (DC) variable: no clause relies on it.
+	Unassigned Value = 0
+	// True assigns the variable the value 1.
+	True Value = 1
+	// False assigns the variable the value 0.
+	False Value = -1
+)
+
+// String renders the value as "1", "0", or "-".
+func (v Value) String() string {
+	switch v {
+	case True:
+		return "1"
+	case False:
+		return "0"
+	default:
+		return "-"
+	}
+}
+
+// Assignment maps variables 1..n to tri-state values. Index 0 is unused.
+// The don't-care state is first-class because the paper's set-cover
+// objective (§3) minimizes the number of committed literals, i.e. maximizes
+// don't-cares, and fast EC (§6) "recovers as many DC variables from the
+// initial solution as possible".
+type Assignment []Value
+
+// NewAssignment returns an all-unassigned assignment over n variables.
+func NewAssignment(n int) Assignment {
+	return make(Assignment, n+1)
+}
+
+// AssignmentFromBools builds an assignment from 1-based boolean values
+// (vals[0] corresponds to variable 1).
+func AssignmentFromBools(vals ...bool) Assignment {
+	a := NewAssignment(len(vals))
+	for i, b := range vals {
+		if b {
+			a[i+1] = True
+		} else {
+			a[i+1] = False
+		}
+	}
+	return a
+}
+
+// NumVars returns the number of variables the assignment covers.
+func (a Assignment) NumVars() int { return len(a) - 1 }
+
+// Get returns the value of variable v, or Unassigned if v is out of range.
+func (a Assignment) Get(v int) Value {
+	if v < 1 || v >= len(a) {
+		return Unassigned
+	}
+	return a[v]
+}
+
+// Set assigns variable v. It panics if v is out of range.
+func (a Assignment) Set(v int, val Value) {
+	if v < 1 || v >= len(a) {
+		panic(fmt.Sprintf("cnf: Set variable %d out of range [1,%d]", v, len(a)-1))
+	}
+	a[v] = val
+}
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}
+
+// Grow returns an assignment extended (with don't-cares) to cover n
+// variables; if a already covers n it is returned unchanged.
+func (a Assignment) Grow(n int) Assignment {
+	if len(a) >= n+1 {
+		return a
+	}
+	out := make(Assignment, n+1)
+	copy(out, a)
+	return out
+}
+
+// LitTrue reports whether literal l evaluates to true under a.
+func (a Assignment) LitTrue(l Lit) bool {
+	v := a.Get(l.Var())
+	if l.Pos() {
+		return v == True
+	}
+	return v == False
+}
+
+// LitFalse reports whether literal l evaluates to false under a (an
+// unassigned variable makes the literal neither true nor false).
+func (a Assignment) LitFalse(l Lit) bool {
+	v := a.Get(l.Var())
+	if l.Pos() {
+		return v == False
+	}
+	return v == True
+}
+
+// ClauseSatisfied reports whether at least one literal of c is true under a.
+func (a Assignment) ClauseSatisfied(c Clause) bool {
+	for _, l := range c {
+		if a.LitTrue(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// SatLevel returns the number of true literals in c under a — the paper's
+// "k-satisfied" level (§5).
+func (a Assignment) SatLevel(c Clause) int {
+	k := 0
+	for _, l := range c {
+		if a.LitTrue(l) {
+			k++
+		}
+	}
+	return k
+}
+
+// Satisfies reports whether a satisfies every clause of f.
+func (a Assignment) Satisfies(f *Formula) bool {
+	for _, c := range f.Clauses {
+		if !a.ClauseSatisfied(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnsatisfiedClauses returns the indices of the clauses of f not satisfied
+// by a, in increasing order.
+func (a Assignment) UnsatisfiedClauses(f *Formula) []int {
+	var out []int
+	for i, c := range f.Clauses {
+		if !a.ClauseSatisfied(c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumSatisfied returns how many clauses of f are satisfied by a.
+func (a Assignment) NumSatisfied(f *Formula) int {
+	n := 0
+	for _, c := range f.Clauses {
+		if a.ClauseSatisfied(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// KSatisfiedCount returns how many clauses of f have at least k true
+// literals under a — the enabling-EC quality metric of §5.
+func (a Assignment) KSatisfiedCount(f *Formula, k int) int {
+	n := 0
+	for _, c := range f.Clauses {
+		if a.SatLevel(c) >= k {
+			n++
+		}
+	}
+	return n
+}
+
+// DontCareCount returns the number of unassigned variables in 1..n.
+func (a Assignment) DontCareCount() int {
+	n := 0
+	for _, v := range a[1:] {
+		if v == Unassigned {
+			n++
+		}
+	}
+	return n
+}
+
+// AssignedCount returns the number of variables with a committed value.
+func (a Assignment) AssignedCount() int {
+	return a.NumVars() - a.DontCareCount()
+}
+
+// Agreement returns the number of variables in 1..n on which a and b hold
+// the same committed value, and the number of variables on which both are
+// committed. Variables beyond either assignment's range count as
+// unassigned. This is the "percentage of preserved variable assignments"
+// measure of Table 3.
+func (a Assignment) Agreement(b Assignment) (same, both int) {
+	n := a.NumVars()
+	if bn := b.NumVars(); bn > n {
+		n = bn
+	}
+	for v := 1; v <= n; v++ {
+		av, bv := a.Get(v), b.Get(v)
+		if av == Unassigned || bv == Unassigned {
+			continue
+		}
+		both++
+		if av == bv {
+			same++
+		}
+	}
+	return same, both
+}
+
+// PreservedFraction returns the fraction of variables of the original
+// assignment orig whose committed values are preserved in a. Variables that
+// were don't-care in orig do not count against preservation. Returns 1 for
+// an original with no committed variables.
+func (a Assignment) PreservedFraction(orig Assignment) float64 {
+	committed := 0
+	kept := 0
+	for v := 1; v <= orig.NumVars(); v++ {
+		ov := orig.Get(v)
+		if ov == Unassigned {
+			continue
+		}
+		committed++
+		if a.Get(v) == ov {
+			kept++
+		}
+	}
+	if committed == 0 {
+		return 1
+	}
+	return float64(kept) / float64(committed)
+}
+
+// Complete returns a copy of the assignment with every don't-care variable
+// committed to def. It is used when a downstream consumer requires a total
+// assignment.
+func (a Assignment) Complete(def Value) Assignment {
+	if def == Unassigned {
+		panic("cnf: Complete requires a committed default value")
+	}
+	out := a.Clone()
+	for v := 1; v < len(out); v++ {
+		if out[v] == Unassigned {
+			out[v] = def
+		}
+	}
+	return out
+}
+
+// String renders the assignment as e.g. "{v1=1, v2=0, v3=-}".
+func (a Assignment) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for v := 1; v < len(a); v++ {
+		if v > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "v%d=%s", v, a[v])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package cnf
+
+import "testing"
+
+// paperFastF is the 10-clause fast-EC example formula from §1 of the paper,
+// with the one correction documented in DESIGN.md §3: f5 = (v1+v3+v4)
+// instead of the printed (v1'+v3+v4), which no stated assignment satisfies.
+func paperFastF() *Formula {
+	return FromClauses(
+		[]int{1, 2, 3},      // f1
+		[]int{1, -2, -3, 4}, // f2
+		[]int{1, 3, 6},      // f3
+		[]int{1, 4, 5},      // f4
+		[]int{1, 3, 4},      // f5 (corrected polarity of v1)
+		[]int{2, -3, 5},     // f6
+		[]int{2, -6},        // f7
+		[]int{-2, 5},        // f8
+		[]int{3, -4, 5},     // f9
+		[]int{-3, 5},        // f10
+	)
+}
+
+// paperFastS is the corrected satisfying assignment for paperFastF: v2 = 0
+// (the printed v2 = 1 contradicts the paper's own closure walkthrough,
+// which requires f7 and f8 to have no support outside {v2, v5, v6}).
+func paperFastS() Assignment {
+	return AssignmentFromBools(true, false, false, false, true, false)
+}
+
+func TestPaperFastECExampleSetup(t *testing.T) {
+	f, s := paperFastF(), paperFastS()
+	if !s.Satisfies(f) {
+		t.Fatal("corrected assignment S does not satisfy F — transcription error")
+	}
+	// Adding f11 = (v5' + v6) breaks S; f12 = (v1 + v3' + v4) stays satisfied.
+	f11 := Clause{-5, 6}
+	f12 := Clause{1, -3, 4}
+	if s.ClauseSatisfied(f11) {
+		t.Fatal("f11 should be unsatisfied under S")
+	}
+	if !s.ClauseSatisfied(f12) {
+		t.Fatal("f12 should be satisfied under S")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if True.String() != "1" || False.String() != "0" || Unassigned.String() != "-" {
+		t.Fatal("Value.String mismatch")
+	}
+}
+
+func TestAssignmentGetSet(t *testing.T) {
+	a := NewAssignment(3)
+	if a.Get(2) != Unassigned {
+		t.Fatal("fresh assignment not unassigned")
+	}
+	a.Set(2, True)
+	if a.Get(2) != True {
+		t.Fatal("Set/Get mismatch")
+	}
+	if a.Get(0) != Unassigned || a.Get(99) != Unassigned {
+		t.Fatal("out-of-range Get should be Unassigned")
+	}
+	if a.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", a.NumVars())
+	}
+}
+
+func TestLitTrueFalse(t *testing.T) {
+	a := NewAssignment(2)
+	a.Set(1, True)
+	if !a.LitTrue(1) || a.LitFalse(1) || a.LitTrue(-1) || !a.LitFalse(-1) {
+		t.Fatal("literal evaluation wrong for assigned var")
+	}
+	if a.LitTrue(2) || a.LitFalse(2) {
+		t.Fatal("unassigned variable should make literals neither true nor false")
+	}
+}
+
+func TestSatLevelAndKSatisfied(t *testing.T) {
+	f := FromClauses([]int{1, 2, 3}, []int{-1, 2}, []int{-2, -3})
+	a := AssignmentFromBools(true, true, false)
+	if got := a.SatLevel(f.Clauses[0]); got != 2 {
+		t.Fatalf("SatLevel = %d, want 2", got)
+	}
+	if got := a.KSatisfiedCount(f, 2); got != 1 {
+		t.Fatalf("KSatisfiedCount(2) = %d, want 1", got)
+	}
+	if got := a.KSatisfiedCount(f, 1); got != 3 {
+		t.Fatalf("KSatisfiedCount(1) = %d, want 3", got)
+	}
+}
+
+func TestUnsatisfiedClauses(t *testing.T) {
+	f := FromClauses([]int{1}, []int{-1}, []int{2, -1})
+	a := AssignmentFromBools(true, false)
+	got := a.UnsatisfiedClauses(f)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("UnsatisfiedClauses = %v, want [1 2]", got)
+	}
+	if a.NumSatisfied(f) != 1 {
+		t.Fatalf("NumSatisfied = %d", a.NumSatisfied(f))
+	}
+}
+
+func TestDontCareAndComplete(t *testing.T) {
+	a := NewAssignment(4)
+	a.Set(1, True)
+	a.Set(3, False)
+	if a.DontCareCount() != 2 || a.AssignedCount() != 2 {
+		t.Fatalf("DC=%d assigned=%d", a.DontCareCount(), a.AssignedCount())
+	}
+	c := a.Complete(False)
+	if c.DontCareCount() != 0 || c.Get(2) != False || c.Get(1) != True {
+		t.Fatal("Complete wrong")
+	}
+	if a.Get(2) != Unassigned {
+		t.Fatal("Complete mutated the receiver")
+	}
+}
+
+func TestAgreementAndPreservedFraction(t *testing.T) {
+	orig := AssignmentFromBools(true, true, false, false, true)
+	now := AssignmentFromBools(true, false, false, false, true)
+	same, both := now.Agreement(orig)
+	if same != 4 || both != 5 {
+		t.Fatalf("Agreement = (%d,%d), want (4,5)", same, both)
+	}
+	if got := now.PreservedFraction(orig); got != 0.8 {
+		t.Fatalf("PreservedFraction = %v, want 0.8", got)
+	}
+	// DC variables in the original don't count.
+	origDC := NewAssignment(3)
+	origDC.Set(1, True)
+	nowB := AssignmentFromBools(true, false, false)
+	if got := nowB.PreservedFraction(origDC); got != 1.0 {
+		t.Fatalf("PreservedFraction with DC original = %v, want 1", got)
+	}
+	empty := NewAssignment(2)
+	if got := nowB.PreservedFraction(empty); got != 1.0 {
+		t.Fatalf("PreservedFraction(all-DC) = %v, want 1", got)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	a := AssignmentFromBools(true)
+	b := a.Grow(3)
+	if b.NumVars() != 3 || b.Get(1) != True || b.Get(3) != Unassigned {
+		t.Fatalf("Grow wrong: %v", b)
+	}
+	if got := a.Grow(1).NumVars(); got != 1 {
+		t.Fatalf("Grow(no-op) = %d vars", got)
+	}
+}
+
+func TestPreservingExampleFromPaper(t *testing.T) {
+	// §1 preserving-EC example: F with 6 clauses, S = {1,1,0,0,1};
+	// adding (v2'+v3+v4)(v1+v2'+v5') makes S invalid; S2 preserves 4/5.
+	f := FromClauses(
+		[]int{1, 2, 4}, []int{1, 4, -5}, []int{-1, -3, 4},
+		[]int{2, 3, 5}, []int{-2, 4, 5}, []int{3, -4, 5},
+	)
+	s := AssignmentFromBools(true, true, false, false, true)
+	if !s.Satisfies(f) {
+		t.Fatal("S does not satisfy the base preserving example")
+	}
+	f.AddClause(Clause{-2, 3, 4})
+	f.AddClause(Clause{1, -2, -5})
+	if s.Satisfies(f) {
+		t.Fatal("S should be invalidated by the added clauses")
+	}
+	s1 := AssignmentFromBools(false, true, true, true, false)
+	s2 := AssignmentFromBools(true, false, false, false, true)
+	if !s1.Satisfies(f) || !s2.Satisfies(f) {
+		t.Fatal("paper's S1/S2 do not satisfy the changed formula")
+	}
+	if got := s2.PreservedFraction(s); got != 0.8 {
+		t.Fatalf("S2 preserves %v, want 0.8 (4 of 5)", got)
+	}
+	if got := s1.PreservedFraction(s); got != 0.2 {
+		t.Fatalf("S1 preserves %v, want 0.2 (1 of 5)", got)
+	}
+}

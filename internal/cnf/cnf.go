@@ -1,0 +1,336 @@
+// Package cnf provides the Boolean-formula substrate for the EC engine:
+// literals, clauses, formulas in conjunctive normal form, tri-state
+// assignments, DIMACS I/O, and the structural operations (variable
+// elimination, clause addition/removal) that the engineering-change model
+// of the paper is built on.
+//
+// Variables are numbered 1..n as in the DIMACS convention. A literal is a
+// non-zero integer: +v for the positive literal of variable v, -v for the
+// negative literal.
+package cnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lit is a DIMACS-style literal: +v or -v for variable v >= 1.
+// The zero value is not a valid literal.
+type Lit int
+
+// Var returns the variable of the literal (always positive).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Pos reports whether the literal is the positive polarity of its variable.
+func (l Lit) Pos() bool { return l > 0 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// String renders the literal in DIMACS form ("3" or "-3").
+func (l Lit) String() string { return fmt.Sprintf("%d", int(l)) }
+
+// Clause is a disjunction of literals. Clauses are value-like: operations
+// on formulas copy clauses rather than aliasing them unless documented.
+type Clause []Lit
+
+// Has reports whether the clause contains the exact literal l.
+func (c Clause) Has(l Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// HasVar reports whether the clause mentions variable v in either polarity.
+func (c Clause) HasVar(v int) bool {
+	for _, x := range c {
+		if x.Var() == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the clause.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// Normalize sorts the literals by variable (positive before negative within
+// a variable) and removes duplicate literals. It reports whether the clause
+// is a tautology (contains both polarities of some variable). Tautological
+// clauses are left unmodified apart from sorting.
+func (c *Clause) Normalize() (tautology bool) {
+	cl := *c
+	sort.Slice(cl, func(i, j int) bool {
+		vi, vj := cl[i].Var(), cl[j].Var()
+		if vi != vj {
+			return vi < vj
+		}
+		return cl[i] > cl[j] // positive literal first
+	})
+	w := 0
+	for i := 0; i < len(cl); i++ {
+		if i > 0 && cl[i] == cl[i-1] {
+			continue
+		}
+		if i > 0 && cl[i].Var() == cl[i-1].Var() && cl[i] != cl[i-1] {
+			tautology = true
+		}
+		cl[w] = cl[i]
+		w++
+	}
+	*c = cl[:w]
+	return tautology
+}
+
+// String renders the clause as "(v1 + v3' + v5)" in the paper's notation.
+func (c Clause) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, l := range c {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "v%d", l.Var())
+		if !l.Pos() {
+			b.WriteByte('\'')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars. NumVars may exceed the largest variable actually mentioned
+// (DIMACS headers allow this, and the EC variable-addition operation
+// relies on it).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// New returns an empty formula over n variables.
+func New(n int) *Formula {
+	if n < 0 {
+		n = 0
+	}
+	return &Formula{NumVars: n}
+}
+
+// FromClauses builds a formula from literal slices, growing NumVars to the
+// largest mentioned variable.
+func FromClauses(clauses ...[]int) *Formula {
+	f := New(0)
+	for _, raw := range clauses {
+		cl := make(Clause, len(raw))
+		for i, l := range raw {
+			cl[i] = Lit(l)
+		}
+		f.AddClause(cl)
+	}
+	return f
+}
+
+// AddClause appends a copy of cl to the formula, growing NumVars as needed.
+// It returns the index of the added clause.
+func (f *Formula) AddClause(cl Clause) int {
+	cp := cl.Clone()
+	for _, l := range cp {
+		if l == 0 {
+			panic("cnf: zero literal in clause")
+		}
+		if v := l.Var(); v > f.NumVars {
+			f.NumVars = v
+		}
+	}
+	f.Clauses = append(f.Clauses, cp)
+	return len(f.Clauses) - 1
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Clone returns a deep copy of the formula.
+func (f *Formula) Clone() *Formula {
+	out := New(f.NumVars)
+	out.Clauses = make([]Clause, len(f.Clauses))
+	for i, c := range f.Clauses {
+		out.Clauses[i] = c.Clone()
+	}
+	return out
+}
+
+// RemoveClause deletes the clause at index i, preserving the order of the
+// remaining clauses.
+func (f *Formula) RemoveClause(i int) {
+	if i < 0 || i >= len(f.Clauses) {
+		panic(fmt.Sprintf("cnf: RemoveClause index %d out of range [0,%d)", i, len(f.Clauses)))
+	}
+	f.Clauses = append(f.Clauses[:i], f.Clauses[i+1:]...)
+}
+
+// AddVariable grows the variable universe by one and returns the new
+// variable's index. Per §6 of the paper, adding a variable is a relaxing
+// change: any prior satisfying assignment extends with a don't-care value.
+func (f *Formula) AddVariable() int {
+	f.NumVars++
+	return f.NumVars
+}
+
+// EliminateVariable removes variable v from the formula in the paper's §1
+// sense: every literal of v is deleted from every clause. Clauses that
+// become empty are kept as empty clauses (an empty clause is unsatisfiable,
+// and callers detect this through Assignment.Satisfies or HasEmptyClause).
+// The variable index itself remains in the universe so that clause/variable
+// indices of unrelated parts of the instance are stable across the change —
+// this mirrors how an engineering change alters a specification without
+// renumbering the rest of the design.
+func (f *Formula) EliminateVariable(v int) {
+	if v < 1 || v > f.NumVars {
+		panic(fmt.Sprintf("cnf: EliminateVariable %d out of range [1,%d]", v, f.NumVars))
+	}
+	for i, c := range f.Clauses {
+		w := 0
+		for _, l := range c {
+			if l.Var() != v {
+				c[w] = l
+				w++
+			}
+		}
+		f.Clauses[i] = c[:w]
+	}
+}
+
+// HasEmptyClause reports whether any clause is empty (trivially
+// unsatisfiable).
+func (f *Formula) HasEmptyClause() bool {
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxVar returns the largest variable index actually mentioned in a clause
+// (0 for a formula with no literals).
+func (f *Formula) MaxVar() int {
+	max := 0
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if v := l.Var(); v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// Vars returns the sorted set of variables that occur in at least one
+// clause.
+func (f *Formula) Vars() []int {
+	seen := make(map[int]bool)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			seen[l.Var()] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Occurrences returns, for each variable 1..NumVars, the clause indices in
+// which the variable occurs (either polarity). Index 0 of the returned
+// slice is unused so that occ[v] addresses variable v directly.
+func (f *Formula) Occurrences() [][]int {
+	occ := make([][]int, f.NumVars+1)
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			v := l.Var()
+			n := len(occ[v])
+			if n == 0 || occ[v][n-1] != i {
+				occ[v] = append(occ[v], i)
+			}
+		}
+	}
+	return occ
+}
+
+// LitOccurrences returns, for each literal, the clause indices containing
+// exactly that literal. The first return value indexes positive literals
+// (pos[v]), the second negative literals (neg[v]); index 0 is unused.
+func (f *Formula) LitOccurrences() (pos, neg [][]int) {
+	pos = make([][]int, f.NumVars+1)
+	neg = make([][]int, f.NumVars+1)
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			if l.Pos() {
+				pos[l.Var()] = append(pos[l.Var()], i)
+			} else {
+				neg[l.Var()] = append(neg[l.Var()], i)
+			}
+		}
+	}
+	return pos, neg
+}
+
+// Validate checks structural invariants: no zero literals and no literal
+// referencing a variable beyond NumVars.
+func (f *Formula) Validate() error {
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("cnf: clause %d contains zero literal", i)
+			}
+			if v := l.Var(); v > f.NumVars {
+				return fmt.Errorf("cnf: clause %d mentions variable %d > NumVars %d", i, v, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the formula in the paper's product-of-sums notation.
+func (f *Formula) String() string {
+	var b strings.Builder
+	for _, c := range f.Clauses {
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// Equal reports whether two formulas have identical clause lists (same
+// order, same literal order) and the same variable universe. It is intended
+// for tests.
+func (f *Formula) Equal(g *Formula) bool {
+	if f.NumVars != g.NumVars || len(f.Clauses) != len(g.Clauses) {
+		return false
+	}
+	for i := range f.Clauses {
+		if len(f.Clauses[i]) != len(g.Clauses[i]) {
+			return false
+		}
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != g.Clauses[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package cnf
+
+import (
+	"testing"
+)
+
+func TestLitBasics(t *testing.T) {
+	cases := []struct {
+		l    Lit
+		v    int
+		pos  bool
+		comp Lit
+	}{
+		{Lit(3), 3, true, Lit(-3)},
+		{Lit(-7), 7, false, Lit(7)},
+		{Lit(1), 1, true, Lit(-1)},
+	}
+	for _, c := range cases {
+		if c.l.Var() != c.v {
+			t.Errorf("Lit(%d).Var() = %d, want %d", c.l, c.l.Var(), c.v)
+		}
+		if c.l.Pos() != c.pos {
+			t.Errorf("Lit(%d).Pos() = %v, want %v", c.l, c.l.Pos(), c.pos)
+		}
+		if c.l.Neg() != c.comp {
+			t.Errorf("Lit(%d).Neg() = %d, want %d", c.l, c.l.Neg(), c.comp)
+		}
+	}
+}
+
+func TestClauseHasAndClone(t *testing.T) {
+	c := Clause{1, -3, 5}
+	if !c.Has(-3) || c.Has(3) || !c.HasVar(3) || c.HasVar(2) {
+		t.Fatalf("Has/HasVar wrong on %v", c)
+	}
+	cp := c.Clone()
+	cp[0] = 9
+	if c[0] != 1 {
+		t.Fatal("Clone aliases the original clause")
+	}
+}
+
+func TestClauseNormalize(t *testing.T) {
+	c := Clause{5, -3, 5, 1}
+	taut := c.Normalize()
+	if taut {
+		t.Fatal("non-tautology reported as tautology")
+	}
+	want := Clause{1, -3, 5}
+	if len(c) != len(want) {
+		t.Fatalf("Normalize = %v, want %v", c, want)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", c, want)
+		}
+	}
+
+	c2 := Clause{2, -2, 1}
+	if !c2.Normalize() {
+		t.Fatal("tautology not detected")
+	}
+}
+
+func TestFormulaAddRemoveClause(t *testing.T) {
+	f := New(3)
+	i := f.AddClause(Clause{1, -2})
+	if i != 0 || f.NumClauses() != 1 {
+		t.Fatalf("AddClause index=%d clauses=%d", i, f.NumClauses())
+	}
+	f.AddClause(Clause{3})
+	f.AddClause(Clause{-1, 2, 3})
+	f.RemoveClause(1)
+	if f.NumClauses() != 2 {
+		t.Fatalf("RemoveClause left %d clauses", f.NumClauses())
+	}
+	if !f.Clauses[1].Has(-1) {
+		t.Fatal("RemoveClause did not preserve order")
+	}
+}
+
+func TestFormulaGrowsNumVars(t *testing.T) {
+	f := New(0)
+	f.AddClause(Clause{4, -9})
+	if f.NumVars != 9 {
+		t.Fatalf("NumVars = %d, want 9", f.NumVars)
+	}
+}
+
+func TestAddClauseCopies(t *testing.T) {
+	f := New(2)
+	cl := Clause{1, 2}
+	f.AddClause(cl)
+	cl[0] = -1
+	if f.Clauses[0][0] != 1 {
+		t.Fatal("AddClause aliases caller storage")
+	}
+}
+
+func TestEliminateVariable(t *testing.T) {
+	// Intro example of the paper (§1): F = (v1+v3'+v5')(v2+v3'+v5')(v2+v4+v5)(v3'+v4').
+	f := FromClauses(
+		[]int{1, -3, -5},
+		[]int{2, -3, -5},
+		[]int{2, 4, 5},
+		[]int{-3, -4},
+	)
+	f.EliminateVariable(3)
+	if f.Clauses[0].HasVar(3) || f.Clauses[3].HasVar(3) {
+		t.Fatal("variable 3 still present after elimination")
+	}
+	if len(f.Clauses[3]) != 1 || f.Clauses[3][0] != Lit(-4) {
+		t.Fatalf("clause 4 after elimination = %v, want (v4')", f.Clauses[3])
+	}
+	// Solution E = {1,1,0,1,0}: after eliminating v3, clause f4 = (v4') is
+	// unsatisfied (v4=1), and flipping v4 to 0 repairs it — the paper's
+	// enabling-EC narrative.
+	e := AssignmentFromBools(true, true, false, true, false)
+	if e.ClauseSatisfied(f.Clauses[3]) {
+		t.Fatal("expected clause 4 unsatisfied under E after eliminating v3")
+	}
+	e.Set(4, False)
+	if !e.Satisfies(f) {
+		t.Fatal("flipping v4 should repair the formula, per the paper's example")
+	}
+}
+
+func TestEliminateVariableCanEmptyClause(t *testing.T) {
+	f := FromClauses([]int{2}, []int{1, 2})
+	f.EliminateVariable(2)
+	if !f.HasEmptyClause() {
+		t.Fatal("expected an empty clause after eliminating the only literal")
+	}
+}
+
+func TestAddVariable(t *testing.T) {
+	f := New(3)
+	v := f.AddVariable()
+	if v != 4 || f.NumVars != 4 {
+		t.Fatalf("AddVariable = %d (NumVars %d), want 4", v, f.NumVars)
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	f := FromClauses([]int{1, -2}, []int{2, 3}, []int{-1, -2, 3})
+	occ := f.Occurrences()
+	if len(occ[1]) != 2 || occ[1][0] != 0 || occ[1][1] != 2 {
+		t.Fatalf("occ[1] = %v", occ[1])
+	}
+	if len(occ[2]) != 3 {
+		t.Fatalf("occ[2] = %v", occ[2])
+	}
+	pos, neg := f.LitOccurrences()
+	if len(pos[2]) != 1 || pos[2][0] != 1 {
+		t.Fatalf("pos[2] = %v", pos[2])
+	}
+	if len(neg[2]) != 2 {
+		t.Fatalf("neg[2] = %v", neg[2])
+	}
+}
+
+func TestVarsAndMaxVar(t *testing.T) {
+	f := New(10)
+	f.AddClause(Clause{2, -5})
+	vars := f.Vars()
+	if len(vars) != 2 || vars[0] != 2 || vars[1] != 5 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if f.MaxVar() != 5 {
+		t.Fatalf("MaxVar = %d", f.MaxVar())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := New(2)
+	f.Clauses = append(f.Clauses, Clause{1, 3}) // bypass AddClause growth
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range variable")
+	}
+	f2 := New(2)
+	f2.Clauses = append(f2.Clauses, Clause{0})
+	if err := f2.Validate(); err == nil {
+		t.Fatal("Validate accepted zero literal")
+	}
+	f3 := FromClauses([]int{1, -2})
+	if err := f3.Validate(); err != nil {
+		t.Fatalf("Validate rejected valid formula: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := FromClauses([]int{1, 2}, []int{-1, 3})
+	g := f.Clone()
+	g.Clauses[0][0] = -9
+	g.AddClause(Clause{2})
+	if f.Clauses[0][0] != 1 || f.NumClauses() != 2 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !f.Equal(f.Clone()) {
+		t.Fatal("Equal(Clone) = false")
+	}
+	if f.Equal(g) {
+		t.Fatal("Equal = true for distinct formulas")
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := FromClauses([]int{1, -3, -5})
+	if got, want := f.String(), "(v1 + v3' + v5')"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

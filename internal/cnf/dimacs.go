@@ -1,0 +1,140 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a formula in DIMACS CNF format. It accepts the common
+// dialect: 'c' comment lines, a single 'p cnf <vars> <clauses>' header, and
+// whitespace-separated literals terminated by 0 (clauses may span lines).
+// A '%' line (used by some benchmark sets as a trailer) ends the input.
+// The declared clause count is checked against the actual count.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	var f *Formula
+	declaredClauses := -1
+	declaredVars := -1
+	var cur Clause
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if text == "%" {
+			break
+		}
+		if strings.HasPrefix(text, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("cnf: line %d: duplicate problem line", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", line, text)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count %q", line, fields[2])
+			}
+			nc, err := strconv.Atoi(fields[3])
+			if err != nil || nc < 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count %q", line, fields[3])
+			}
+			f = New(nv)
+			declaredClauses = nc
+			declaredVars = nv
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("cnf: line %d: clause data before problem line", line)
+		}
+		for _, tok := range strings.Fields(text) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", line, tok)
+			}
+			if n == 0 {
+				f.AddClause(cur)
+				cur = cur[:0]
+				continue
+			}
+			if v := n; v < 0 {
+				v = -v
+			}
+			cur = append(cur, Lit(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read: %w", err)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("cnf: missing problem line")
+	}
+	if len(cur) > 0 {
+		// Tolerate a final clause without its terminating 0.
+		f.AddClause(cur)
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("cnf: header declares %d clauses, found %d", declaredClauses, len(f.Clauses))
+	}
+	if mv := f.MaxVar(); mv > declaredVars {
+		return nil, fmt.Errorf("cnf: header declares %d variables, literal mentions %d", declaredVars, mv)
+	}
+	return f, nil
+}
+
+// ParseDIMACSFile reads a DIMACS CNF file from disk.
+func ParseDIMACSFile(path string) (*Formula, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ParseDIMACS(fh)
+}
+
+// WriteDIMACS writes the formula in DIMACS CNF format with an optional
+// comment block (one comment per line, without the leading "c ").
+func WriteDIMACS(w io.Writer, f *Formula, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDIMACSFile writes the formula to a file in DIMACS CNF format.
+func WriteDIMACSFile(path string, f *Formula, comments ...string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDIMACS(fh, f, comments...); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

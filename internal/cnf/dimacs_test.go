@@ -1,0 +1,130 @@
+package cnf
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+c another
+p cnf 5 3
+1 -3 -5 0
+2 -3 -5 0
+2 4 5 0
+`
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 5 || f.NumClauses() != 3 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+	if !f.Clauses[0].Has(-5) || !f.Clauses[2].Has(4) {
+		t.Fatal("clause content wrong")
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 4 1\n1 2\n3 -4 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 4 {
+		t.Fatalf("multiline clause parsed wrong: %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSPercentTrailer(t *testing.T) {
+	in := "p cnf 2 1\n1 2 0\n%\n0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 {
+		t.Fatalf("trailer handling wrong: %d clauses", f.NumClauses())
+	}
+}
+
+func TestParseDIMACSMissingFinalZero(t *testing.T) {
+	in := "p cnf 2 2\n1 2 0\n-1 -2"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 {
+		t.Fatalf("expected tolerant parse of trailing clause, got %d clauses", f.NumClauses())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no header", "1 2 0\n"},
+		{"bad header", "p cnf x 3\n"},
+		{"bad sense", "p sat 2 1\n1 0\n"},
+		{"duplicate header", "p cnf 2 1\np cnf 2 1\n1 0\n"},
+		{"bad literal", "p cnf 2 1\n1 two 0\n"},
+		{"clause count mismatch", "p cnf 2 5\n1 0\n"},
+		{"var overflow", "p cnf 2 1\n7 0\n"},
+		{"empty input", ""},
+	}
+	for _, c := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := FromClauses([]int{1, -3, -5}, []int{2, -3, -5}, []int{2, 4, 5}, []int{-3, -4})
+	f.NumVars = 7 // header may exceed max mentioned var
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, f, "round trip", "test"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", f, g)
+	}
+}
+
+func TestDIMACSFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.cnf")
+	f := FromClauses([]int{1, 2}, []int{-1, -2})
+	if err := WriteDIMACSFile(path, f, "file round trip"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := ParseDIMACSFile(filepath.Join(dir, "missing.cnf")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestParseDIMACSEmptyClause(t *testing.T) {
+	in := "p cnf 2 2\n0\n1 2 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses[0]) != 0 {
+		t.Fatal("empty clause not preserved")
+	}
+	if !f.HasEmptyClause() {
+		t.Fatal("HasEmptyClause = false")
+	}
+}

@@ -1,0 +1,131 @@
+package cnf
+
+// UnitPropagate applies unit-clause propagation to f under the partial
+// assignment a, committing forced values into a copy of a. It returns the
+// extended assignment and false if propagation derives a conflict (an
+// unsatisfied clause with no unassigned literal).
+//
+// The formula is not modified. Propagation is run to fixpoint.
+func UnitPropagate(f *Formula, a Assignment) (Assignment, bool) {
+	out := a.Grow(f.NumVars).Clone()
+	for {
+		changed := false
+		for _, c := range f.Clauses {
+			sat := false
+			var unassigned []Lit
+			for _, l := range c {
+				if out.LitTrue(l) {
+					sat = true
+					break
+				}
+				if !out.LitFalse(l) {
+					unassigned = append(unassigned, l)
+				}
+			}
+			if sat {
+				continue
+			}
+			switch len(unassigned) {
+			case 0:
+				return out, false
+			case 1:
+				l := unassigned[0]
+				if l.Pos() {
+					out.Set(l.Var(), True)
+				} else {
+					out.Set(l.Var(), False)
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return out, true
+		}
+	}
+}
+
+// PureLiterals returns the literals whose complements never occur in f
+// (restricted to variables that occur at all). Assigning a pure literal
+// true never unsatisfies a clause.
+func PureLiterals(f *Formula) []Lit {
+	pos, neg := f.LitOccurrences()
+	var out []Lit
+	for v := 1; v <= f.NumVars; v++ {
+		switch {
+		case len(pos[v]) > 0 && len(neg[v]) == 0:
+			out = append(out, Lit(v))
+		case len(neg[v]) > 0 && len(pos[v]) == 0:
+			out = append(out, Lit(-v))
+		}
+	}
+	return out
+}
+
+// RemoveTautologies deletes tautological clauses (containing a variable in
+// both polarities) and returns the number removed.
+func RemoveTautologies(f *Formula) int {
+	removed := 0
+	w := 0
+	for _, c := range f.Clauses {
+		taut := false
+		for i := 0; i < len(c) && !taut; i++ {
+			for j := i + 1; j < len(c); j++ {
+				if c[i] == c[j].Neg() {
+					taut = true
+					break
+				}
+			}
+		}
+		if taut {
+			removed++
+			continue
+		}
+		f.Clauses[w] = c
+		w++
+	}
+	f.Clauses = f.Clauses[:w]
+	return removed
+}
+
+// RemoveDuplicateLiterals removes repeated literals within each clause and
+// returns the number of literals dropped.
+func RemoveDuplicateLiterals(f *Formula) int {
+	dropped := 0
+	for i, c := range f.Clauses {
+		seen := make(map[Lit]bool, len(c))
+		w := 0
+		for _, l := range c {
+			if seen[l] {
+				dropped++
+				continue
+			}
+			seen[l] = true
+			c[w] = l
+			w++
+		}
+		f.Clauses[i] = c[:w]
+	}
+	return dropped
+}
+
+// Reduce returns the residual formula of f under partial assignment a:
+// satisfied clauses are dropped, false literals are removed from the
+// remaining clauses. The result shares no storage with f. Variables keep
+// their original indices (NumVars is unchanged) so solutions of the
+// residual compose with a directly.
+func Reduce(f *Formula, a Assignment) *Formula {
+	out := New(f.NumVars)
+	for _, c := range f.Clauses {
+		if a.ClauseSatisfied(c) {
+			continue
+		}
+		red := make(Clause, 0, len(c))
+		for _, l := range c {
+			if !a.LitFalse(l) {
+				red = append(red, l)
+			}
+		}
+		out.Clauses = append(out.Clauses, red)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitPropagateChain(t *testing.T) {
+	// (v1)(v1' + v2)(v2' + v3) forces v1=v2=v3=1.
+	f := FromClauses([]int{1}, []int{-1, 2}, []int{-2, 3})
+	a, ok := UnitPropagate(f, NewAssignment(3))
+	if !ok {
+		t.Fatal("propagation reported conflict on satisfiable chain")
+	}
+	for v := 1; v <= 3; v++ {
+		if a.Get(v) != True {
+			t.Fatalf("v%d = %v, want True", v, a.Get(v))
+		}
+	}
+}
+
+func TestUnitPropagateConflict(t *testing.T) {
+	f := FromClauses([]int{1}, []int{-1})
+	_, ok := UnitPropagate(f, NewAssignment(1))
+	if ok {
+		t.Fatal("conflict not detected")
+	}
+}
+
+func TestUnitPropagateRespectsSeed(t *testing.T) {
+	f := FromClauses([]int{1, 2}, []int{-2, 3})
+	seed := NewAssignment(3)
+	seed.Set(2, True)
+	a, ok := UnitPropagate(f, seed)
+	if !ok || a.Get(3) != True {
+		t.Fatalf("propagation from seed wrong: ok=%v v3=%v", ok, a.Get(3))
+	}
+	if a.Get(1) != Unassigned {
+		t.Fatal("v1 should stay unassigned (clause already satisfied)")
+	}
+	if seed.Get(3) != Unassigned {
+		t.Fatal("UnitPropagate mutated its input assignment")
+	}
+}
+
+func TestPureLiterals(t *testing.T) {
+	f := FromClauses([]int{1, 2}, []int{1, -2}, []int{-3, 2})
+	pure := PureLiterals(f)
+	want := map[Lit]bool{Lit(1): true, Lit(-3): true}
+	if len(pure) != 2 {
+		t.Fatalf("PureLiterals = %v", pure)
+	}
+	for _, l := range pure {
+		if !want[l] {
+			t.Fatalf("unexpected pure literal %v", l)
+		}
+	}
+}
+
+func TestRemoveTautologies(t *testing.T) {
+	f := FromClauses([]int{1, -1, 2}, []int{1, 2}, []int{3, -3})
+	n := RemoveTautologies(f)
+	if n != 2 || f.NumClauses() != 1 {
+		t.Fatalf("removed %d, left %d clauses", n, f.NumClauses())
+	}
+}
+
+func TestRemoveDuplicateLiterals(t *testing.T) {
+	f := FromClauses([]int{1, 1, 2}, []int{2, 2, 2})
+	n := RemoveDuplicateLiterals(f)
+	if n != 3 {
+		t.Fatalf("dropped %d literals, want 3", n)
+	}
+	if len(f.Clauses[0]) != 2 || len(f.Clauses[1]) != 1 {
+		t.Fatalf("clauses after dedup: %v", f.Clauses)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	f := FromClauses([]int{1, 2}, []int{-1, 3}, []int{-1, -2})
+	a := NewAssignment(3)
+	a.Set(1, True)
+	r := Reduce(f, a)
+	// clause 0 satisfied; clause 1 loses -1 → (3); clause 2 loses -1 → (-2).
+	if r.NumClauses() != 2 {
+		t.Fatalf("Reduce left %d clauses", r.NumClauses())
+	}
+	if len(r.Clauses[0]) != 1 || r.Clauses[0][0] != Lit(3) {
+		t.Fatalf("reduced clause 0 = %v", r.Clauses[0])
+	}
+	if len(r.Clauses[1]) != 1 || r.Clauses[1][0] != Lit(-2) {
+		t.Fatalf("reduced clause 1 = %v", r.Clauses[1])
+	}
+}
+
+// randomFormula builds a random k-SAT-ish formula for property tests.
+func randomFormula(rng *rand.Rand, nVars, nClauses, maxLen int) *Formula {
+	f := New(nVars)
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(maxLen)
+		cl := make(Clause, 0, k)
+		for j := 0; j < k; j++ {
+			v := 1 + rng.Intn(nVars)
+			l := Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			cl = append(cl, l)
+		}
+		f.AddClause(cl)
+	}
+	return f
+}
+
+func randomAssignment(rng *rand.Rand, n int) Assignment {
+	a := NewAssignment(n)
+	for v := 1; v <= n; v++ {
+		switch rng.Intn(3) {
+		case 0:
+			a.Set(v, True)
+		case 1:
+			a.Set(v, False)
+		}
+	}
+	return a
+}
+
+// Property: UnitPropagate never unassigns variables and preserves assigned
+// values, and on success the residual has no unit or empty unsatisfied
+// clauses.
+func TestUnitPropagateProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 8, 12, 3)
+		a := randomAssignment(r, 8)
+		out, ok := UnitPropagate(f, a)
+		for v := 1; v <= 8; v++ {
+			if a.Get(v) != Unassigned && out.Get(v) != a.Get(v) {
+				return false
+			}
+		}
+		if !ok {
+			return true
+		}
+		for _, c := range f.Clauses {
+			if out.ClauseSatisfied(c) {
+				continue
+			}
+			un := 0
+			for _, l := range c {
+				if !out.LitFalse(l) {
+					un++
+				}
+			}
+			if un <= 1 {
+				return false // fixpoint not reached
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reduce residual solutions compose with the partial assignment.
+func TestReduceCompositionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r, 6, 10, 3)
+		partial := randomAssignment(r, 6)
+		res := Reduce(f, partial)
+		// Any completion of the residual that satisfies it, merged over the
+		// partial assignment, must satisfy the original formula.
+		full := partial.Clone()
+		for v := 1; v <= 6; v++ {
+			if full.Get(v) == Unassigned {
+				if r.Intn(2) == 0 {
+					full.Set(v, True)
+				} else {
+					full.Set(v, False)
+				}
+			}
+		}
+		if !full.Satisfies(res) {
+			return true // completion does not solve residual; nothing to check
+		}
+		return full.Satisfies(f)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := FromClauses([]int{1, 2, 3}, []int{-1, 2}, []int{-2, -3})
+	s := ComputeStats(f)
+	if s.NumVars != 3 || s.NumClauses != 3 || s.NumLiterals != 7 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.MinClauseLen != 2 || s.MaxClauseLen != 3 || s.ActiveVars != 3 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.LenHistogram[2] != 2 || s.LenHistogram[3] != 1 {
+		t.Fatalf("histogram = %v", s.LenHistogram)
+	}
+	if s.Ratio() != 1.0 {
+		t.Fatalf("Ratio = %v", s.Ratio())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+	empty := ComputeStats(New(0))
+	if empty.NumClauses != 0 || empty.Ratio() != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}

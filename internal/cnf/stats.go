@@ -1,0 +1,68 @@
+package cnf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes the structure of a formula; the experiment harness uses
+// it to verify that generated benchmark families match the paper's
+// instances in size and clause-width profile.
+type Stats struct {
+	NumVars      int
+	NumClauses   int
+	NumLiterals  int
+	MinClauseLen int
+	MaxClauseLen int
+	MeanLen      float64
+	LenHistogram map[int]int
+	// ActiveVars counts variables that occur in at least one clause.
+	ActiveVars int
+}
+
+// ComputeStats gathers structural statistics for f.
+func ComputeStats(f *Formula) Stats {
+	s := Stats{
+		NumVars:      f.NumVars,
+		NumClauses:   len(f.Clauses),
+		LenHistogram: make(map[int]int),
+	}
+	if len(f.Clauses) == 0 {
+		return s
+	}
+	s.MinClauseLen = len(f.Clauses[0])
+	seen := make(map[int]bool)
+	for _, c := range f.Clauses {
+		n := len(c)
+		s.NumLiterals += n
+		s.LenHistogram[n]++
+		if n < s.MinClauseLen {
+			s.MinClauseLen = n
+		}
+		if n > s.MaxClauseLen {
+			s.MaxClauseLen = n
+		}
+		for _, l := range c {
+			seen[l.Var()] = true
+		}
+	}
+	s.ActiveVars = len(seen)
+	s.MeanLen = float64(s.NumLiterals) / float64(s.NumClauses)
+	return s
+}
+
+// Ratio returns the clause/variable ratio (0 when there are no variables).
+func (s Stats) Ratio() float64 {
+	if s.NumVars == 0 {
+		return 0
+	}
+	return float64(s.NumClauses) / float64(s.NumVars)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vars=%d clauses=%d lits=%d len=[%d..%d] mean=%.2f ratio=%.2f",
+		s.NumVars, s.NumClauses, s.NumLiterals, s.MinClauseLen, s.MaxClauseLen, s.MeanLen, s.Ratio())
+	return b.String()
+}

@@ -1,0 +1,332 @@
+// Package coloring applies the EC methodology to graph k-coloring, the
+// second domain the paper points to ("comprehensive experimentation on the
+// graph coloring problem", §8; the Kirovski–Potkonjak predecessor [5] was
+// restricted to coloring and scheduling). It provides a graph substrate
+// with DIMACS .col I/O, a coloring→ILP encoding, greedy baselines, and the
+// enabling/fast/preserving EC adaptations.
+package coloring
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is a simple undirected graph over vertices 1..N (DIMACS .col
+// convention). Self-loops and duplicate edges are rejected at AddEdge.
+type Graph struct {
+	N   int
+	adj []map[int]bool // adj[v]: neighbor set; index 0 unused
+}
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{N: n, adj: make([]map[int]bool, n+1)}
+	for v := 1; v <= n; v++ {
+		g.adj[v] = make(map[int]bool)
+	}
+	return g
+}
+
+// AddVertex grows the graph by one vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.N++
+	g.adj = append(g.adj, make(map[int]bool))
+	return g.N
+}
+
+// HasEdge reports whether edge {u,v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 1 || u > g.N || v < 1 || v > g.N {
+		return false
+	}
+	return g.adj[u][v]
+}
+
+// AddEdge inserts edge {u,v}. It reports whether the edge was new.
+// Self-loops panic (they make coloring infeasible by definition).
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		panic("coloring: self-loop")
+	}
+	if u < 1 || u > g.N || v < 1 || v > g.N {
+		panic(fmt.Sprintf("coloring: edge (%d,%d) out of range [1,%d]", u, v, g.N))
+	}
+	if g.adj[u][v] {
+		return false
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	return true
+}
+
+// RemoveEdge deletes edge {u,v}; it reports whether the edge existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	return true
+}
+
+// RemoveVertex isolates vertex v (removes all its edges). The vertex index
+// remains valid, mirroring cnf.EliminateVariable's index-stability.
+func (g *Graph) RemoveVertex(v int) {
+	if v < 1 || v > g.N {
+		panic(fmt.Sprintf("coloring: vertex %d out of range", v))
+	}
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+	}
+	g.adj[v] = make(map[int]bool)
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for v := 1; v <= g.N; v++ {
+		total += len(g.adj[v])
+	}
+	return total / 2
+}
+
+// Edges returns all edges as ordered pairs (u < v), sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for v := 1; v <= g.N; v++ {
+		for u := range g.adj[v] {
+			if v < u {
+				out = append(out, [2]int{v, u})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph(g.N)
+	for v := 1; v <= g.N; v++ {
+		for u := range g.adj[v] {
+			out.adj[v][u] = true
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 1; v <= g.N; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// RandomGraph generates G(n, p) with a deterministic seed.
+func RandomGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// PlantedColorable generates a random graph that is k-colorable by
+// construction: vertices are partitioned into k classes and only
+// cross-class edges are added (with probability p). It returns the graph
+// and the planted coloring (1-based colors).
+func PlantedColorable(n, k int, p float64, seed int64) (*Graph, []int) {
+	if k < 1 {
+		panic("coloring: k must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	colors := make([]int, n+1)
+	for v := 1; v <= n; v++ {
+		colors[v] = 1 + rng.Intn(k)
+	}
+	g := NewGraph(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if colors[u] != colors[v] && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g, colors
+}
+
+// ParseCol reads a DIMACS .col graph ("c" comments, "p edge N M", "e u v").
+func ParseCol(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	declared := -1
+	edges := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("coloring: line %d: duplicate problem line", line)
+			}
+			if len(fields) != 4 || (fields[1] != "edge" && fields[1] != "edges") {
+				return nil, fmt.Errorf("coloring: line %d: malformed problem line", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("coloring: line %d: bad vertex count", line)
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("coloring: line %d: bad edge count", line)
+			}
+			g = NewGraph(n)
+			declared = m
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("coloring: line %d: edge before problem line", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("coloring: line %d: malformed edge", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || u < 1 || v < 1 || u > g.N || v > g.N || u == v {
+				return nil, fmt.Errorf("coloring: line %d: bad edge %q", line, text)
+			}
+			if g.AddEdge(u, v) {
+				edges++
+			}
+		default:
+			return nil, fmt.Errorf("coloring: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("coloring: missing problem line")
+	}
+	if declared >= 0 && edges != declared {
+		// Benchmarks sometimes list both directions; tolerate exact double.
+		if edges*2 != declared {
+			return nil, fmt.Errorf("coloring: declared %d edges, found %d", declared, edges)
+		}
+	}
+	return g, nil
+}
+
+// WriteCol writes the graph in DIMACS .col format.
+func WriteCol(w io.Writer, g *Graph, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	edges := g.Edges()
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N, len(edges)); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Coloring is a color per vertex (1-based colors; 0 = uncolored). Index 0
+// is unused.
+type Coloring []int
+
+// Valid reports whether no edge is monochromatic and every vertex has a
+// color in 1..k (k ≤ 0 skips the palette check).
+func (c Coloring) Valid(g *Graph, k int) bool {
+	for v := 1; v <= g.N; v++ {
+		if v >= len(c) || c[v] < 1 || (k > 0 && c[v] > k) {
+			return false
+		}
+	}
+	for _, e := range g.Edges() {
+		if c[e[0]] == c[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumColors returns the number of distinct colors used.
+func (c Coloring) NumColors() int {
+	seen := map[int]bool{}
+	for _, col := range c[1:] {
+		if col > 0 {
+			seen[col] = true
+		}
+	}
+	return len(seen)
+}
+
+// Agreement returns the fraction of vertices on which c and other agree
+// (1 for empty graphs) — the coloring analogue of assignment preservation.
+func (c Coloring) Agreement(other Coloring) float64 {
+	n := len(c) - 1
+	if len(other)-1 < n {
+		n = len(other) - 1
+	}
+	if n <= 0 {
+		return 1
+	}
+	same := 0
+	for v := 1; v <= n; v++ {
+		if c[v] == other[v] {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}
+
+// Clone returns an independent copy.
+func (c Coloring) Clone() Coloring {
+	out := make(Coloring, len(c))
+	copy(out, c)
+	return out
+}

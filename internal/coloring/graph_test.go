@@ -1,0 +1,193 @@
+package coloring
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func triangle() *Graph {
+	g := NewGraph(3)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	if !g.AddEdge(1, 2) || g.AddEdge(1, 2) || g.AddEdge(2, 1) {
+		t.Fatal("duplicate edge handling wrong")
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) || g.HasEdge(1, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.NumEdges() != 1 || g.Degree(1) != 1 || g.Degree(3) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if !g.RemoveEdge(1, 2) || g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge wrong")
+	}
+	v := g.AddVertex()
+	if v != 5 || g.N != 5 {
+		t.Fatal("AddVertex wrong")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 99) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(1, 1) },
+		func() { g.AddEdge(0, 1) },
+		func() { g.RemoveVertex(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	g := triangle()
+	g.RemoveVertex(2)
+	if g.Degree(2) != 0 || g.HasEdge(1, 2) || !g.HasEdge(1, 3) {
+		t.Fatal("RemoveVertex wrong")
+	}
+	if g.N != 3 {
+		t.Fatal("vertex index should remain valid")
+	}
+}
+
+func TestEdgesSortedAndClone(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(3, 4)
+	g.AddEdge(1, 2)
+	es := g.Edges()
+	if len(es) != 2 || es[0] != [2]int{1, 2} || es[1] != [2]int{3, 4} {
+		t.Fatalf("Edges = %v", es)
+	}
+	c := g.Clone()
+	c.AddEdge(1, 3)
+	if g.HasEdge(1, 3) {
+		t.Fatal("Clone shares storage")
+	}
+	if g.MaxDegree() != 1 || c.MaxDegree() != 2 {
+		t.Fatal("MaxDegree wrong")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(3, 5)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 4)
+	n := g.Neighbors(3)
+	if len(n) != 3 || n[0] != 1 || n[1] != 4 || n[2] != 5 {
+		t.Fatalf("Neighbors = %v", n)
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := RandomGraph(20, 0.3, 7)
+	b := RandomGraph(20, 0.3, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("RandomGraph not deterministic")
+	}
+	if a.NumEdges() == 0 || a.NumEdges() == 20*19/2 {
+		t.Fatalf("suspicious edge count %d", a.NumEdges())
+	}
+}
+
+func TestPlantedColorable(t *testing.T) {
+	g, colors := PlantedColorable(30, 4, 0.4, 11)
+	col := Coloring(colors)
+	if !col.Valid(g, 4) {
+		t.Fatal("planted coloring invalid")
+	}
+}
+
+func TestColoringValid(t *testing.T) {
+	g := triangle()
+	good := Coloring{0, 1, 2, 3}
+	bad := Coloring{0, 1, 1, 2}
+	if !good.Valid(g, 3) || bad.Valid(g, 3) {
+		t.Fatal("Valid wrong")
+	}
+	if good.Valid(g, 2) {
+		t.Fatal("palette check missed color 3")
+	}
+	if (Coloring{0, 1, 2}).Valid(g, 3) {
+		t.Fatal("short coloring accepted")
+	}
+	if good.NumColors() != 3 {
+		t.Fatal("NumColors wrong")
+	}
+}
+
+func TestColoringAgreement(t *testing.T) {
+	a := Coloring{0, 1, 2, 3, 1}
+	b := Coloring{0, 1, 2, 1, 1}
+	if got := a.Agreement(b); got != 0.75 {
+		t.Fatalf("Agreement = %v", got)
+	}
+	if got := (Coloring{0}).Agreement(Coloring{0}); got != 1 {
+		t.Fatalf("empty Agreement = %v", got)
+	}
+	c := a.Clone()
+	c[1] = 9
+	if a[1] != 1 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestColRoundTrip(t *testing.T) {
+	g := triangle()
+	var buf bytes.Buffer
+	if err := WriteCol(&buf, g, "triangle"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseCol(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 3 || h.NumEdges() != 3 {
+		t.Fatalf("round trip: %d vertices %d edges", h.N, h.NumEdges())
+	}
+}
+
+func TestParseColErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no header", "e 1 2\n"},
+		{"bad header", "p edge x 1\n"},
+		{"self loop", "p edge 2 1\ne 1 1\n"},
+		{"vertex range", "p edge 2 1\ne 1 5\n"},
+		{"edge count", "p edge 2 3\ne 1 2\n"},
+		{"unknown record", "p edge 2 0\nq 1 2\n"},
+		{"duplicate header", "p edge 2 0\np edge 2 0\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ParseCol(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseColToleratesDirectedDoubleCount(t *testing.T) {
+	in := "p edge 2 2\ne 1 2\n"
+	g, err := ParseCol(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("double-counted header not tolerated")
+	}
+}

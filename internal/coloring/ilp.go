@@ -1,0 +1,162 @@
+package coloring
+
+import (
+	"fmt"
+
+	"ilpec/internal/ilp"
+)
+
+// Encoding is the k-coloring 0-1 ILP: x_{v,c} = 1 iff vertex v gets color
+// c, with one-color-per-vertex equality rows and per-edge conflict rows.
+// The objective minimizes the number of colors actually used (via y_c
+// indicator variables), so EC re-solves do not drift to wasteful palettes.
+type Encoding struct {
+	Model *ilp.Model
+	Graph *Graph
+	K     int
+	// xCol[v][c] (1-based v, 0-based c) is the column of x_{v,c}.
+	xCol [][]int
+	// yCol[c] is the used-color indicator column.
+	yCol []int
+}
+
+// XCol returns the column index of x_{v,c} for vertex v and color c
+// (1-based color).
+func (e *Encoding) XCol(v, c int) int { return e.xCol[v][c-1] }
+
+// YCol returns the column of the color-used indicator for color c.
+func (e *Encoding) YCol(c int) int { return e.yCol[c-1] }
+
+// NewEncoding builds the k-coloring ILP for g.
+func NewEncoding(g *Graph, k int) *Encoding {
+	if k < 1 {
+		panic("coloring: k must be positive")
+	}
+	m := ilp.NewModel(false) // minimize colors used
+	e := &Encoding{Model: m, Graph: g, K: k,
+		xCol: make([][]int, g.N+1), yCol: make([]int, k)}
+	for c := 0; c < k; c++ {
+		e.yCol[c] = m.AddVar(fmt.Sprintf("y%d", c+1), 1)
+	}
+	for v := 1; v <= g.N; v++ {
+		e.xCol[v] = make([]int, k)
+		for c := 0; c < k; c++ {
+			e.xCol[v][c] = m.AddVar(fmt.Sprintf("x%d_%d", v, c+1), 0)
+		}
+	}
+	// Exactly one color per vertex.
+	for v := 1; v <= g.N; v++ {
+		coefs := make([]ilp.Coef, k)
+		for c := 0; c < k; c++ {
+			coefs[c] = ilp.Coef{Var: e.xCol[v][c], Val: 1}
+		}
+		m.AddRow(fmt.Sprintf("one_%d", v), coefs, ilp.EQ, 1)
+	}
+	// Conflicting endpoints differ.
+	for _, ed := range g.Edges() {
+		for c := 0; c < k; c++ {
+			m.AddRow(fmt.Sprintf("e%d_%d_c%d", ed[0], ed[1], c+1),
+				[]ilp.Coef{{Var: e.xCol[ed[0]][c], Val: 1}, {Var: e.xCol[ed[1]][c], Val: 1}},
+				ilp.LE, 1)
+		}
+	}
+	// Link x to the used-color indicators and break color symmetry.
+	for v := 1; v <= g.N; v++ {
+		for c := 0; c < k; c++ {
+			m.AddRow("", []ilp.Coef{{Var: e.yCol[c], Val: 1}, {Var: e.xCol[v][c], Val: -1}}, ilp.GE, 0)
+		}
+	}
+	for c := 1; c < k; c++ {
+		m.AddRow(fmt.Sprintf("sym%d", c),
+			[]ilp.Coef{{Var: e.yCol[c-1], Val: 1}, {Var: e.yCol[c], Val: -1}}, ilp.GE, 0)
+	}
+	return e
+}
+
+// Decode converts an ILP solution into a Coloring.
+func (e *Encoding) Decode(sol ilp.Solution) Coloring {
+	col := make(Coloring, e.Graph.N+1)
+	for v := 1; v <= e.Graph.N; v++ {
+		for c := 1; c <= e.K; c++ {
+			if sol[e.XCol(v, c)] == 1 {
+				col[v] = c
+				break
+			}
+		}
+	}
+	return col
+}
+
+// EncodeColoring converts a coloring into an ILP solution vector (colors
+// above K or missing are left unassigned — such vectors are infeasible and
+// serve only as branching guides).
+func (e *Encoding) EncodeColoring(col Coloring) ilp.Solution {
+	sol := make(ilp.Solution, e.Model.NumVars())
+	used := make([]bool, e.K)
+	for v := 1; v <= e.Graph.N && v < len(col); v++ {
+		if c := col[v]; c >= 1 && c <= e.K {
+			sol[e.XCol(v, c)] = 1
+			used[c-1] = true
+		}
+	}
+	for c := 0; c < e.K; c++ {
+		if used[c] {
+			sol[e.yCol[c]] = 1
+		}
+	}
+	return sol
+}
+
+// SolveExact colors g with at most k colors using the exact ILP solver.
+// warm, when non-nil, guides branching (and is adopted when feasible).
+func SolveExact(g *Graph, k int, warm Coloring, opts ilp.Options) (Coloring, ilp.Result, error) {
+	e := NewEncoding(g, k)
+	if warm != nil {
+		opts.WarmStart = e.EncodeColoring(warm)
+	}
+	res := ilp.Solve(e.Model, opts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		col := e.Decode(res.Solution)
+		if !col.Valid(g, k) {
+			return nil, res, fmt.Errorf("coloring: decoded coloring invalid (internal error)")
+		}
+		return col, res, nil
+	case ilp.Infeasible:
+		return nil, res, fmt.Errorf("coloring: graph is not %d-colorable", k)
+	default:
+		return nil, res, fmt.Errorf("coloring: solve hit limits (%s)", res.Status)
+	}
+}
+
+// Greedy colors g with the DSATUR heuristic and returns the coloring (an
+// upper bound on the chromatic number). It never fails.
+func Greedy(g *Graph) Coloring {
+	col := make(Coloring, g.N+1)
+	satDeg := make([]map[int]bool, g.N+1)
+	for v := 1; v <= g.N; v++ {
+		satDeg[v] = make(map[int]bool)
+	}
+	for colored := 0; colored < g.N; colored++ {
+		// Pick the uncolored vertex with max saturation, tie on degree.
+		best, bestSat, bestDeg := -1, -1, -1
+		for v := 1; v <= g.N; v++ {
+			if col[v] != 0 {
+				continue
+			}
+			s, d := len(satDeg[v]), g.Degree(v)
+			if s > bestSat || (s == bestSat && d > bestDeg) {
+				best, bestSat, bestDeg = v, s, d
+			}
+		}
+		c := 1
+		for satDeg[best][c] {
+			c++
+		}
+		col[best] = c
+		for _, u := range g.Neighbors(best) {
+			satDeg[u][c] = true
+		}
+	}
+	return col
+}

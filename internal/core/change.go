@@ -1,0 +1,137 @@
+// Package core implements the paper's primary contribution: the generic
+// ILP-based engineering-change methodology with its three components —
+// enabling EC (§5), fast EC (§6), and preserving EC (§7) — together with
+// the specification-change model and the generic EC flow of Figure 1.
+//
+// All formulations target the SAT instantiation the paper uses, built on
+// the set-cover encoding of internal/encode and solved with internal/ilp
+// (exact) or internal/heurilp (heuristic).
+package core
+
+import (
+	"fmt"
+
+	"ilpec/internal/cnf"
+)
+
+// ChangeKind enumerates the specification changes of §5–§7.
+type ChangeKind int
+
+const (
+	// AddClause adds a clause — a tightening change.
+	AddClause ChangeKind = iota
+	// RemoveClause deletes a clause by index — a relaxing change.
+	RemoveClause
+	// AddVariable grows the variable universe — a relaxing change (the new
+	// variable is a don't-care for any existing solution).
+	AddVariable
+	// RemoveVariable eliminates a variable in the §1 sense: all its
+	// literals disappear from every clause — a tightening change.
+	RemoveVariable
+)
+
+// String renders the kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case AddClause:
+		return "add-clause"
+	case RemoveClause:
+		return "remove-clause"
+	case AddVariable:
+		return "add-variable"
+	default:
+		return "remove-variable"
+	}
+}
+
+// Change is one specification change. Exactly the fields relevant to Kind
+// are read: Clause for AddClause, Index for RemoveClause, Var for
+// RemoveVariable.
+type Change struct {
+	Kind   ChangeKind
+	Clause cnf.Clause
+	Index  int
+	Var    int
+}
+
+// Tightening reports whether the change can invalidate existing solutions
+// (§6: "if we add clauses or delete variables, modifications must be made";
+// the other two kinds are trivial).
+func (c Change) Tightening() bool {
+	return c.Kind == AddClause || c.Kind == RemoveVariable
+}
+
+// String renders the change.
+func (c Change) String() string {
+	switch c.Kind {
+	case AddClause:
+		return "add-clause " + c.Clause.String()
+	case RemoveClause:
+		return fmt.Sprintf("remove-clause #%d", c.Index)
+	case AddVariable:
+		return "add-variable"
+	default:
+		return fmt.Sprintf("remove-variable v%d", c.Var)
+	}
+}
+
+// NewClause returns an AddClause change.
+func NewClause(lits ...int) Change {
+	cl := make(cnf.Clause, len(lits))
+	for i, l := range lits {
+		cl[i] = cnf.Lit(l)
+	}
+	return Change{Kind: AddClause, Clause: cl}
+}
+
+// DropClause returns a RemoveClause change for index i (interpreted against
+// the formula state at the time the change is applied).
+func DropClause(i int) Change { return Change{Kind: RemoveClause, Index: i} }
+
+// GrowVariable returns an AddVariable change.
+func GrowVariable() Change { return Change{Kind: AddVariable} }
+
+// EliminateVariable returns a RemoveVariable change for variable v.
+func EliminateVariable(v int) Change { return Change{Kind: RemoveVariable, Var: v} }
+
+// AnyTightening reports whether any change in the list is tightening.
+func AnyTightening(changes []Change) bool {
+	for _, c := range changes {
+		if c.Tightening() {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply produces the changed formula. The input is not modified. Changes
+// are applied in order; RemoveClause indices refer to the formula state at
+// the moment the change is applied. An error is reported for out-of-range
+// indices or variables.
+func Apply(f *cnf.Formula, changes []Change) (*cnf.Formula, error) {
+	out := f.Clone()
+	for i, c := range changes {
+		switch c.Kind {
+		case AddClause:
+			if len(c.Clause) == 0 {
+				return nil, fmt.Errorf("core: change %d adds an empty clause", i)
+			}
+			out.AddClause(c.Clause)
+		case RemoveClause:
+			if c.Index < 0 || c.Index >= out.NumClauses() {
+				return nil, fmt.Errorf("core: change %d removes clause %d of %d", i, c.Index, out.NumClauses())
+			}
+			out.RemoveClause(c.Index)
+		case AddVariable:
+			out.AddVariable()
+		case RemoveVariable:
+			if c.Var < 1 || c.Var > out.NumVars {
+				return nil, fmt.Errorf("core: change %d removes variable %d of %d", i, c.Var, out.NumVars)
+			}
+			out.EliminateVariable(c.Var)
+		default:
+			return nil, fmt.Errorf("core: change %d has unknown kind %d", i, c.Kind)
+		}
+	}
+	return out, nil
+}

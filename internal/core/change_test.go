@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ilpec/internal/cnf"
+)
+
+func TestChangeClassification(t *testing.T) {
+	cases := []struct {
+		c    Change
+		want bool
+	}{
+		{NewClause(1, -2), true},
+		{EliminateVariable(3), true},
+		{DropClause(0), false},
+		{GrowVariable(), false},
+	}
+	for _, c := range cases {
+		if c.c.Tightening() != c.want {
+			t.Errorf("%v Tightening = %v, want %v", c.c, c.c.Tightening(), c.want)
+		}
+	}
+	if !AnyTightening([]Change{GrowVariable(), NewClause(1)}) {
+		t.Fatal("AnyTightening missed the added clause")
+	}
+	if AnyTightening([]Change{GrowVariable(), DropClause(0)}) {
+		t.Fatal("AnyTightening false positive")
+	}
+}
+
+func TestChangeStrings(t *testing.T) {
+	if s := NewClause(1, -2).String(); !strings.Contains(s, "add-clause") {
+		t.Fatalf("String = %q", s)
+	}
+	if s := EliminateVariable(7).String(); !strings.Contains(s, "v7") {
+		t.Fatalf("String = %q", s)
+	}
+	if s := DropClause(3).String(); !strings.Contains(s, "#3") {
+		t.Fatalf("String = %q", s)
+	}
+	if s := GrowVariable().String(); s != "add-variable" {
+		t.Fatalf("String = %q", s)
+	}
+	for _, k := range []ChangeKind{AddClause, RemoveClause, AddVariable, RemoveVariable} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+func TestApplySequence(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2}, []int{-1, 3})
+	out, err := Apply(f, []Change{
+		NewClause(2, -3),
+		DropClause(0), // removes (v1+v2)
+		GrowVariable(),
+		EliminateVariable(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 || f.NumVars != 3 {
+		t.Fatal("Apply mutated its input")
+	}
+	if out.NumVars != 4 {
+		t.Fatalf("NumVars = %d, want 4", out.NumVars)
+	}
+	if out.NumClauses() != 2 {
+		t.Fatalf("NumClauses = %d, want 2", out.NumClauses())
+	}
+	// Clause 0 is now (-1,3) with v3 eliminated → (-1).
+	if len(out.Clauses[0]) != 1 || out.Clauses[0][0] != cnf.Lit(-1) {
+		t.Fatalf("clause 0 = %v", out.Clauses[0])
+	}
+	// Clause 1 is (2,-3) with v3 eliminated → (2).
+	if len(out.Clauses[1]) != 1 || out.Clauses[1][0] != cnf.Lit(2) {
+		t.Fatalf("clause 1 = %v", out.Clauses[1])
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	f := cnf.FromClauses([]int{1})
+	cases := [][]Change{
+		{DropClause(5)},
+		{DropClause(-1)},
+		{EliminateVariable(0)},
+		{EliminateVariable(9)},
+		{{Kind: AddClause}},            // empty clause
+		{{Kind: ChangeKind(99)}},       // unknown kind
+		{DropClause(0), DropClause(0)}, // second drop out of range
+	}
+	for i, chs := range cases {
+		if _, err := Apply(f, chs); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestApplyIndicesTrackState(t *testing.T) {
+	f := cnf.FromClauses([]int{1}, []int{2}, []int{3})
+	// Dropping index 0 twice removes the first two original clauses.
+	out, err := Apply(f, []Change{DropClause(0), DropClause(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumClauses() != 1 || out.Clauses[0][0] != cnf.Lit(3) {
+		t.Fatalf("remaining = %v", out.Clauses)
+	}
+}

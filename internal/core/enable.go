@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/encode"
+	"ilpec/internal/ilp"
+)
+
+// EnableMode selects how the flexibility requirement of §5 enters the ILP.
+type EnableMode int
+
+const (
+	// EnableConstraints imposes constraint (7) as a hard row per clause
+	// (the paper's "specified constraints", Table 1 column EC (SC)).
+	EnableConstraints EnableMode = iota
+	// EnableObjective adds a 0-1 flexibility indicator per clause and a
+	// weighted objective component that maximizes the number of flexible
+	// clauses (Table 1 column EC (OF)).
+	EnableObjective
+)
+
+// String renders the mode.
+func (m EnableMode) String() string {
+	if m == EnableObjective {
+		return "objective"
+	}
+	return "constraints"
+}
+
+// EnableOptions configures the enabling-EC formulation.
+type EnableOptions struct {
+	// Mode selects hard constraints vs objective component.
+	Mode EnableMode
+	// K is the satisfaction level every clause should reach (default 2 —
+	// the value used throughout the paper's experiments). Clauses shorter
+	// than K use their length as the target.
+	K int
+	// Weight is the objective reward per flexible clause in
+	// EnableObjective mode (default 1).
+	Weight float64
+	// MaxComplementOccurrences skips support variables for literals whose
+	// complement occurs in more than this many clauses (0 = no cap). This
+	// soundly restricts flexibility options while keeping the model small
+	// on literals with huge occurrence lists.
+	MaxComplementOccurrences int
+}
+
+func (o EnableOptions) k() int {
+	if o.K <= 0 {
+		return 2
+	}
+	return o.K
+}
+
+func (o EnableOptions) weight() float64 {
+	if o.Weight <= 0 {
+		return 1
+	}
+	return o.Weight
+}
+
+// EnableModel is the enabling-EC ILP for a formula.
+type EnableModel struct {
+	// Encoding is the underlying set-cover encoding (the model inside has
+	// been extended with support variables and flexibility rows).
+	Encoding *encode.Encoding
+	// Options echoes the build options (with defaults resolved).
+	Options EnableOptions
+	// SupportCol[j] maps, for clause j, each in-clause literal to its
+	// support-variable column (S_jℓ of DESIGN.md §3); literals skipped by
+	// the occurrence cap are absent.
+	SupportCol []map[cnf.Lit]int
+	// FlexCol[j] is the flexibility indicator column of clause j in
+	// EnableObjective mode (-1 in constraint mode).
+	FlexCol []int
+}
+
+// BuildEnable constructs the enabling-EC ILP of §5 for f.
+//
+// Per clause c_j and literal ℓ ∈ c_j a support variable S_jℓ is created
+// with rows
+//
+//	S_jℓ + x_ℓ ≤ 1                                  (support only while ℓ is false)
+//	S_jℓ ≤ Σ_{ℓ''∈c_k, ℓ''≠comp(ℓ)} x_ℓ''           for every clause c_k ∋ comp(ℓ), k ≠ j
+//
+// and the per-clause flexibility requirement
+//
+//	Σ_{ℓ∈c_j} x_ℓ + Σ_{ℓ∈c_j} S_jℓ ≥ min(K, |c_j|)   (constraint mode)
+//	Σ_{ℓ∈c_j} x_ℓ + Σ_{ℓ∈c_j} S_jℓ ≥ min(K,|c_j|)·flex_j, max Σ flex_j (objective mode)
+func BuildEnable(f *cnf.Formula, opts EnableOptions) *EnableModel {
+	opts.K = opts.k()
+	opts.Weight = opts.weight()
+	e := encode.New(f)
+	m := e.Model
+	em := &EnableModel{
+		Encoding:   e,
+		Options:    opts,
+		SupportCol: make([]map[cnf.Lit]int, len(f.Clauses)),
+		FlexCol:    make([]int, len(f.Clauses)),
+	}
+
+	pos, neg := f.LitOccurrences()
+	occOf := func(l cnf.Lit) []int {
+		if l.Pos() {
+			return pos[l.Var()]
+		}
+		return neg[l.Var()]
+	}
+
+	for j, cl := range f.Clauses {
+		em.FlexCol[j] = -1
+		em.SupportCol[j] = make(map[cnf.Lit]int, len(cl))
+		var flexTerms []ilp.Coef
+		for _, l := range cl {
+			flexTerms = append(flexTerms, ilp.Coef{Var: e.LitCol(l), Val: 1})
+		}
+		for _, l := range cl {
+			comp := l.Neg()
+			compOcc := occOf(comp)
+			if opts.MaxComplementOccurrences > 0 && len(compOcc) > opts.MaxComplementOccurrences {
+				continue
+			}
+			sCol := m.AddVar(fmt.Sprintf("s_%d_%s", j, l), 0)
+			em.SupportCol[j][l] = sCol
+			// Support counts only while ℓ itself is unselected.
+			m.AddRow(fmt.Sprintf("sup_off_%d_%s", j, l),
+				[]ilp.Coef{{Var: sCol, Val: 1}, {Var: e.LitCol(l), Val: 1}}, ilp.LE, 1)
+			// Every clause relying on comp(ℓ) must have alternate cover.
+			for _, k := range compOcc {
+				if k == j {
+					continue
+				}
+				coefs := []ilp.Coef{{Var: sCol, Val: -1}}
+				seen := map[int]bool{}
+				for _, l2 := range f.Clauses[k] {
+					if l2 == comp {
+						continue
+					}
+					col := e.LitCol(l2)
+					if !seen[col] {
+						seen[col] = true
+						coefs = append(coefs, ilp.Coef{Var: col, Val: 1})
+					}
+				}
+				m.AddRow(fmt.Sprintf("sup_alt_%d_%s_%d", j, l, k), coefs, ilp.GE, 0)
+			}
+			flexTerms = append(flexTerms, ilp.Coef{Var: sCol, Val: 1})
+		}
+		target := opts.K
+		if len(cl) < target {
+			target = len(cl)
+		}
+		switch opts.Mode {
+		case EnableConstraints:
+			m.AddRow(fmt.Sprintf("flex_%d", j), flexTerms, ilp.GE, float64(target))
+		case EnableObjective:
+			fCol := m.AddVar(fmt.Sprintf("flex_%d", j), -opts.Weight) // model minimizes
+			em.FlexCol[j] = fCol
+			terms := append(append([]ilp.Coef(nil), flexTerms...), ilp.Coef{Var: fCol, Val: -float64(target)})
+			m.AddRow(fmt.Sprintf("flexdef_%d", j), terms, ilp.GE, 0)
+		}
+	}
+	return em
+}
+
+// Decode extracts the truth assignment from a solution of the enabling
+// model (support and flexibility columns are ignored).
+func (em *EnableModel) Decode(sol ilp.Solution) cnf.Assignment {
+	return em.Encoding.Decode(sol)
+}
+
+// FlexibleClauses counts clauses whose flexibility indicator is set
+// (objective mode) or, in constraint mode, returns the number of clauses
+// (all are flexible by construction when the model is feasible).
+func (em *EnableModel) FlexibleClauses(sol ilp.Solution) int {
+	if em.Options.Mode == EnableConstraints {
+		return len(em.FlexCol)
+	}
+	n := 0
+	for _, col := range em.FlexCol {
+		if col >= 0 && sol[col] == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// EnableResult bundles the outcome of SolveEnable.
+type EnableResult struct {
+	Model      *EnableModel
+	ILP        ilp.Result
+	Assignment cnf.Assignment
+	// Flexible is the number of clauses made flexible.
+	Flexible int
+}
+
+// SolveEnable builds and exactly solves the enabling-EC model, returning
+// the enabled solution. In constraint mode an infeasible model is reported
+// as an error (the instance cannot reach flexibility level K everywhere —
+// the paper's remedy is the objective mode).
+func SolveEnable(f *cnf.Formula, opts EnableOptions, solveOpts ilp.Options) (*EnableResult, error) {
+	em := BuildEnable(f, opts)
+	res := ilp.Solve(em.Encoding.Model, solveOpts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		a := em.Decode(res.Solution)
+		if !a.Satisfies(f) {
+			return nil, fmt.Errorf("core: enabling solution does not satisfy the formula (internal error)")
+		}
+		return &EnableResult{Model: em, ILP: res, Assignment: a, Flexible: em.FlexibleClauses(res.Solution)}, nil
+	case ilp.Infeasible:
+		return nil, fmt.Errorf("core: enabling EC infeasible at k=%d in %s mode", opts.k(), opts.Mode)
+	default:
+		return nil, fmt.Errorf("core: enabling EC solve hit limits (%s)", res.Status)
+	}
+}

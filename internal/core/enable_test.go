@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/ilp"
+)
+
+// plant2SAT generates a formula in which assignment `plant` satisfies every
+// clause at level ≥ 2 — guaranteeing the constraint-mode enabling model is
+// feasible (see DESIGN.md §4 on the benchmark substitution).
+func plant2SAT(rng *rand.Rand, nVars, nClauses int) (*cnf.Formula, cnf.Assignment) {
+	plant := cnf.NewAssignment(nVars)
+	for v := 1; v <= nVars; v++ {
+		if rng.Intn(2) == 0 {
+			plant.Set(v, cnf.True)
+		} else {
+			plant.Set(v, cnf.False)
+		}
+	}
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		vs := rng.Perm(nVars)[:3]
+		cl := make(cnf.Clause, 3)
+		for j, vi := range vs {
+			v := vi + 1
+			l := cnf.Lit(v)
+			if plant.Get(v) == cnf.False {
+				l = -l
+			}
+			// Two literals agree with the plant; the third is random.
+			if j == 2 && rng.Intn(2) == 0 {
+				l = -l
+			}
+			cl[j] = l
+		}
+		f.AddClause(cl)
+	}
+	return f, plant
+}
+
+func TestEnableModeString(t *testing.T) {
+	if EnableConstraints.String() != "constraints" || EnableObjective.String() != "objective" {
+		t.Fatal("EnableMode.String mismatch")
+	}
+}
+
+func TestBuildEnableShape(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2}, []int{-1, 3})
+	em := BuildEnable(f, EnableOptions{Mode: EnableConstraints})
+	m := em.Encoding.Model
+	// Base: 6 columns. Supports: one per (clause, literal) = 4.
+	if m.NumVars() != 6+4 {
+		t.Fatalf("vars = %d, want 10", m.NumVars())
+	}
+	if em.Options.K != 2 || em.Options.Weight != 1 {
+		t.Fatalf("defaults not resolved: %+v", em.Options)
+	}
+	if len(em.SupportCol[0]) != 2 || len(em.SupportCol[1]) != 2 {
+		t.Fatalf("support cols: %v", em.SupportCol)
+	}
+	if em.FlexCol[0] != -1 {
+		t.Fatal("constraint mode should not create flex columns")
+	}
+	// Objective mode adds one flex var per clause.
+	em2 := BuildEnable(f, EnableOptions{Mode: EnableObjective, Weight: 3})
+	if em2.Encoding.Model.NumVars() != 6+4+2 {
+		t.Fatalf("objective-mode vars = %d", em2.Encoding.Model.NumVars())
+	}
+	for j := range em2.FlexCol {
+		if em2.FlexCol[j] < 0 {
+			t.Fatalf("flex col missing for clause %d", j)
+		}
+		if em2.Encoding.Model.Obj(em2.FlexCol[j]) != -3 {
+			t.Fatal("flex weight not applied to objective")
+		}
+	}
+}
+
+func TestEnableConstraintsVerified(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 12; trial++ {
+		f, _ := plant2SAT(rng, 8, 14)
+		res, err := SolveEnable(f, EnableOptions{Mode: EnableConstraints}, ilp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Assignment.Satisfies(f) {
+			t.Fatalf("trial %d: enabled assignment unsatisfying", trial)
+		}
+		rep := VerifyFlexibility(f, res.Assignment, 2)
+		if len(rep.Unsupported) != 0 {
+			t.Fatalf("trial %d: unsupported clauses %v", trial, rep.Unsupported)
+		}
+		if res.Flexible != f.NumClauses() {
+			t.Fatalf("trial %d: Flexible = %d, want all %d", trial, res.Flexible, f.NumClauses())
+		}
+	}
+}
+
+func TestEnableObjectiveMaximizesFlexibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f, _ := plant2SAT(rng, 8, 12)
+	res, err := SolveEnable(f, EnableOptions{Mode: EnableObjective, Weight: 10}, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 2-satisfiable plant and a large weight, every clause should
+	// come out flexible.
+	if res.Flexible != f.NumClauses() {
+		t.Fatalf("flexible = %d / %d", res.Flexible, f.NumClauses())
+	}
+	rep := VerifyFlexibility(f, res.Assignment, 2)
+	if rep.Flexible() != f.NumClauses() {
+		t.Fatalf("verification found %d flexible, model claimed %d", rep.Flexible(), res.Flexible)
+	}
+}
+
+func TestEnableObjectiveFlexMatchesAudit(t *testing.T) {
+	// The model's flex indicators must never overclaim against the
+	// simulation audit.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		f, _ := plant2SAT(rng, 7, 10)
+		em := BuildEnable(f, EnableOptions{Mode: EnableObjective, Weight: 5})
+		res := ilp.Solve(em.Encoding.Model, ilp.Options{})
+		if res.Status != ilp.Optimal {
+			t.Fatalf("trial %d: %v", trial, res.Status)
+		}
+		a := em.Decode(res.Solution)
+		rep := VerifyFlexibility(f, a, 2)
+		if em.FlexibleClauses(res.Solution) > rep.Flexible() {
+			t.Fatalf("trial %d: model claims %d flexible, audit confirms only %d",
+				trial, em.FlexibleClauses(res.Solution), rep.Flexible())
+		}
+	}
+}
+
+func TestEnableInfeasibleConstraintMode(t *testing.T) {
+	// Force v1 true and false via units: (v1)(v1') is unsatisfiable, and
+	// even satisfiable-but-rigid formulas can refuse k=2. Use the rigid
+	// (v1)(v1'+v2)(v2'): satisfiable only by v1=1,v2=... v2 must be 0 and 1
+	// — actually unsatisfiable; pick the rigid-satisfiable (v1)(v2)(v1'+v2'):
+	// UNSAT too. Use (v1)(v1'+v2): the single solution chain v1=1,v2=1;
+	// clause (v1) has one literal (target lowered to 1) but (v1'+v2) is
+	// 1-satisfied and v1 cannot flip (clause (v1) would break) while v2 is
+	// already true — still flexible? v2 true means 1-sat; support needs v1'
+	// flip which breaks (v1). So constraint mode must be infeasible.
+	f := cnf.FromClauses([]int{1}, []int{-1, 2})
+	_, err := SolveEnable(f, EnableOptions{Mode: EnableConstraints}, ilp.Options{})
+	if err == nil {
+		t.Fatal("expected infeasibility for the rigid chain")
+	}
+	if !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Objective mode must still produce a valid solution.
+	res, err := SolveEnable(f, EnableOptions{Mode: EnableObjective}, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Satisfies(f) {
+		t.Fatal("objective-mode solution unsatisfying")
+	}
+	if res.Flexible >= f.NumClauses() {
+		t.Fatalf("objective mode overclaims flexibility: %d", res.Flexible)
+	}
+}
+
+func TestEnableKParameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	// Plant a fully-true assignment and all-positive 4-literal clauses so
+	// k=3 is achievable.
+	f := cnf.New(8)
+	for i := 0; i < 10; i++ {
+		vs := rng.Perm(8)[:4]
+		cl := make(cnf.Clause, 4)
+		for j, v := range vs {
+			cl[j] = cnf.Lit(v + 1)
+		}
+		f.AddClause(cl)
+	}
+	res, err := SolveEnable(f, EnableOptions{Mode: EnableConstraints, K: 3}, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := VerifyFlexibility(f, res.Assignment, 3)
+	if len(rep.Unsupported) != 0 {
+		t.Fatalf("k=3 enabling left unsupported clauses %v", rep.Unsupported)
+	}
+}
+
+func TestEnableShortClauseTargets(t *testing.T) {
+	// A unit clause can never be 2-satisfied; the target must drop to its
+	// length, keeping the model feasible.
+	f := cnf.FromClauses([]int{1}, []int{2, 3})
+	res, err := SolveEnable(f, EnableOptions{Mode: EnableConstraints}, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Get(1) != cnf.True {
+		t.Fatal("unit clause not honored")
+	}
+}
+
+func TestEnableOccurrenceCap(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2}, []int{-1, 3}, []int{-1, 4}, []int{-1, 5})
+	capped := BuildEnable(f, EnableOptions{Mode: EnableObjective, MaxComplementOccurrences: 1})
+	uncapped := BuildEnable(f, EnableOptions{Mode: EnableObjective})
+	if capped.Encoding.Model.NumRows() >= uncapped.Encoding.Model.NumRows() {
+		t.Fatal("occurrence cap did not shrink the model")
+	}
+	// Literal v1 in clause 0 has comp occurring 3 times > cap 1 → skipped.
+	if _, ok := capped.SupportCol[0][cnf.Lit(1)]; ok {
+		t.Fatal("support for high-occurrence literal not skipped")
+	}
+}
+
+func TestEnableModelGrowth(t *testing.T) {
+	// Table-1 context: the enabling model is strictly larger than the base
+	// encoding — that is the "overhead" the paper measures.
+	rng := rand.New(rand.NewSource(31))
+	f, _ := plant2SAT(rng, 10, 20)
+	base := BuildEnable(f, EnableOptions{Mode: EnableConstraints})
+	if base.Encoding.Model.NumVars() <= 2*f.NumVars {
+		t.Fatal("no support variables created")
+	}
+	if base.Encoding.Model.NumRows() <= f.NumClauses()+f.NumVars {
+		t.Fatal("no support rows created")
+	}
+}

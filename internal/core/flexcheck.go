@@ -1,0 +1,184 @@
+package core
+
+import (
+	"ilpec/internal/cnf"
+)
+
+// FlexReport summarizes the verified flexibility of a solution (§5): for
+// every clause, whether it is k-satisfied outright or covered by a safe
+// flip of a currently-false literal.
+type FlexReport struct {
+	// K is the target satisfaction level.
+	K int
+	// Total is the number of clauses.
+	Total int
+	// KSatisfied counts clauses with at least K true literals.
+	KSatisfied int
+	// Supported counts clauses below K that have at least one safe flip.
+	Supported int
+	// Unsupported lists the clause indices with neither property.
+	Unsupported []int
+}
+
+// Flexible returns the number of clauses that are k-satisfied or supported.
+func (r FlexReport) Flexible() int { return r.KSatisfied + r.Supported }
+
+// FlexibleFraction returns Flexible()/Total (1 for an empty formula).
+func (r FlexReport) FlexibleFraction() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Flexible()) / float64(r.Total)
+}
+
+// SafeFlip reports whether committing the variable of literal l so that l
+// becomes true is safe: no clause of f that is currently satisfied under a
+// becomes unsatisfied ("without making any other clauses unsatisfied", §1).
+// Committing a don't-care variable is always safe — no clause relies on it.
+func SafeFlip(f *cnf.Formula, a cnf.Assignment, l cnf.Lit) bool {
+	v := l.Var()
+	switch a.Get(v) {
+	case cnf.Unassigned:
+		return true
+	case cnf.True:
+		if l.Pos() {
+			return true // already true
+		}
+	case cnf.False:
+		if !l.Pos() {
+			return true
+		}
+	}
+	// The flip falsifies the literal currently true on v; every clause
+	// relying on it must have alternate support.
+	was := cnf.Lit(v)
+	if a.Get(v) == cnf.False {
+		was = -was
+	}
+	for _, c := range f.Clauses {
+		if !c.Has(was) {
+			continue
+		}
+		other := false
+		for _, l2 := range c {
+			if l2 != was && a.LitTrue(l2) {
+				other = true
+				break
+			}
+		}
+		if !other {
+			return false
+		}
+	}
+	return true
+}
+
+// ClauseSupported reports whether clause ci of f has a currently-false (or
+// don't-care) literal whose flip is safe — the support notion behind
+// constraint (7).
+func ClauseSupported(f *cnf.Formula, a cnf.Assignment, ci int) bool {
+	for _, l := range f.Clauses[ci] {
+		if !a.LitTrue(l) && SafeFlip(f, a, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyFlexibility audits an assignment against the §5 enabling goal:
+// every clause k-satisfied or safely flip-supported. It is the simulation
+// oracle the enabling-EC tests and experiments use.
+func VerifyFlexibility(f *cnf.Formula, a cnf.Assignment, k int) FlexReport {
+	if k <= 0 {
+		k = 2
+	}
+	r := FlexReport{K: k, Total: len(f.Clauses)}
+	for ci, cl := range f.Clauses {
+		target := k
+		if len(cl) < target {
+			target = len(cl)
+		}
+		if a.SatLevel(cl) >= target {
+			r.KSatisfied++
+			continue
+		}
+		if ClauseSupported(f, a, ci) {
+			r.Supported++
+			continue
+		}
+		r.Unsupported = append(r.Unsupported, ci)
+	}
+	return r
+}
+
+// RepairResult is the outcome of SimulateElimination.
+type RepairResult struct {
+	// OK reports whether the (possibly repaired) assignment satisfies the
+	// changed formula.
+	OK bool
+	// Flips is the number of single-variable repairs applied.
+	Flips int
+	// Assignment is the resulting assignment (the original when OK without
+	// repair).
+	Assignment cnf.Assignment
+}
+
+// SimulateElimination plays the §1 narrative: eliminate variable v from f
+// and check whether assignment a still satisfies the result, repairing
+// each newly unsatisfied clause with a single safe flip when possible.
+// This is how enabling EC is validated: an enabled solution should survive
+// any single elimination with only local restructuring.
+func SimulateElimination(f *cnf.Formula, a cnf.Assignment, v int) RepairResult {
+	g := f.Clone()
+	g.EliminateVariable(v)
+	cur := a.Clone().Grow(g.NumVars)
+	cur.Set(v, cnf.Unassigned) // the variable no longer exists
+	flips := 0
+	for pass := 0; pass < g.NumClauses()+1; pass++ {
+		unsat := cur.UnsatisfiedClauses(g)
+		if len(unsat) == 0 {
+			return RepairResult{OK: true, Flips: flips, Assignment: cur}
+		}
+		repaired := false
+		for _, ci := range unsat {
+			for _, l := range g.Clauses[ci] {
+				if l.Var() == v || cur.LitTrue(l) {
+					continue
+				}
+				if SafeFlip(g, cur, l) {
+					if l.Pos() {
+						cur.Set(l.Var(), cnf.True)
+					} else {
+						cur.Set(l.Var(), cnf.False)
+					}
+					flips++
+					repaired = true
+					break
+				}
+			}
+			if repaired {
+				break
+			}
+		}
+		if !repaired {
+			return RepairResult{OK: false, Flips: flips, Assignment: cur}
+		}
+	}
+	return RepairResult{OK: cur.Satisfies(g), Flips: flips, Assignment: cur}
+}
+
+// EliminationSurvival sweeps every variable of f, simulating its
+// elimination under a, and returns the fraction of variables whose
+// elimination is absorbed (possibly with local repairs). This quantifies
+// the §1 claim that solution E "always has the correct solution,
+// regardless of which variable is being eliminated".
+func EliminationSurvival(f *cnf.Formula, a cnf.Assignment) (survived, total int) {
+	for v := 1; v <= f.NumVars; v++ {
+		res := SimulateElimination(f, a, v)
+		if res.OK {
+			survived++
+		}
+		total++
+	}
+	return survived, total
+}

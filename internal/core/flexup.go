@@ -1,0 +1,121 @@
+package core
+
+import (
+	"ilpec/internal/cnf"
+)
+
+// This file implements the §6 flexibility-increase step the paper applies
+// after relaxing changes (clause deletions / variable additions):
+//
+//	"We can increase the EC flexibility of the problem in two ways. First,
+//	 we try and recover as many DC variables from the initial solution as
+//	 possible. The second way is to reconstruct the solution in such a way
+//	 that more clauses are of 2-satisfiability or higher."
+//
+// Both operations work purely on the current solution — no ILP re-solve —
+// so they are cheap enough to run after every relaxing change.
+
+// FlexupResult reports what IncreaseFlexibility achieved.
+type FlexupResult struct {
+	// Assignment is the improved solution.
+	Assignment cnf.Assignment
+	// RecoveredDC is the number of variables newly returned to don't-care.
+	RecoveredDC int
+	// Gained2Sat is the increase in the number of ≥2-satisfied clauses.
+	Gained2Sat int
+	// Flips is the number of variable value changes applied (excluding
+	// DC recoveries).
+	Flips int
+}
+
+// RecoverDontCares un-commits every variable whose value no clause relies
+// on: a committed variable v can return to don't-care when each clause
+// currently supported by v's literal has another true literal. Variables
+// are processed in increasing order; the result depends on that order (an
+// earlier recovery can make a later one impossible), which keeps the
+// operation deterministic.
+func RecoverDontCares(f *cnf.Formula, a cnf.Assignment) (cnf.Assignment, int) {
+	out := a.Clone().Grow(f.NumVars)
+	pos, neg := f.LitOccurrences()
+	recovered := 0
+	for v := 1; v <= f.NumVars; v++ {
+		val := out.Get(v)
+		if val == cnf.Unassigned {
+			continue
+		}
+		occ := pos[v]
+		if val == cnf.False {
+			occ = neg[v]
+		}
+		needed := false
+		for _, ci := range occ {
+			// Clause ci is satisfied by v's literal; does it have backup?
+			backup := false
+			for _, l := range f.Clauses[ci] {
+				if l.Var() != v && out.LitTrue(l) {
+					backup = true
+					break
+				}
+			}
+			if !backup {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			out.Set(v, cnf.Unassigned)
+			recovered++
+		}
+	}
+	return out, recovered
+}
+
+// IncreaseFlexibility improves the solution after relaxing changes:
+// it recovers don't-cares, then greedily commits or flips single variables
+// whenever that strictly increases the number of ≥2-satisfied clauses
+// without unsatisfying anything. The loop runs to a fixpoint (bounded by
+// the number of clauses, since the 2-satisfied count strictly increases).
+func IncreaseFlexibility(f *cnf.Formula, a cnf.Assignment) FlexupResult {
+	cur, recovered := RecoverDontCares(f, a)
+	flips := 0
+	base2 := cur.KSatisfiedCount(f, 2)
+	start2 := base2
+
+	improved := true
+	for improved {
+		improved = false
+		for v := 1; v <= f.NumVars && !improved; v++ {
+			orig := cur.Get(v)
+			for _, cand := range [2]cnf.Value{cnf.True, cnf.False} {
+				if cand == orig {
+					continue
+				}
+				cur.Set(v, cand)
+				if cur.Satisfies(f) {
+					if n2 := cur.KSatisfiedCount(f, 2); n2 > base2 {
+						base2 = n2
+						flips++
+						improved = true
+						break
+					}
+				}
+				cur.Set(v, orig)
+			}
+		}
+	}
+	return FlexupResult{
+		Assignment:  cur,
+		RecoveredDC: recovered,
+		Gained2Sat:  base2 - start2,
+		Flips:       flips,
+	}
+}
+
+// FlexibilityGain compares the flexibility audit before and after
+// IncreaseFlexibility — a convenience for reports.
+func FlexibilityGain(f *cnf.Formula, before cnf.Assignment, k int) (pre, post FlexReport, res FlexupResult) {
+	pre = VerifyFlexibility(f, before, k)
+	res = IncreaseFlexibility(f, before)
+	post = VerifyFlexibility(f, res.Assignment, k)
+	return pre, post, res
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/ilp"
+)
+
+func TestRecoverDontCares(t *testing.T) {
+	// (v1 + v2): committing both is redundant; v1 can be recovered.
+	f := cnf.FromClauses([]int{1, 2})
+	a := cnf.AssignmentFromBools(true, true)
+	out, n := RecoverDontCares(f, a)
+	if n != 1 {
+		t.Fatalf("recovered %d, want 1", n)
+	}
+	if !out.Satisfies(f) {
+		t.Fatal("recovery broke satisfaction")
+	}
+	if out.AssignedCount() != 1 {
+		t.Fatalf("committed %d, want 1", out.AssignedCount())
+	}
+	if a.DontCareCount() != 0 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRecoverDontCaresKeepsNeeded(t *testing.T) {
+	// (v1)(v1' + v2): both variables are load-bearing.
+	f := cnf.FromClauses([]int{1}, []int{-1, 2})
+	a := cnf.AssignmentFromBools(true, true)
+	out, n := RecoverDontCares(f, a)
+	if n != 0 || out.AssignedCount() != 2 {
+		t.Fatalf("recovered %d (committed %d), want none", n, out.AssignedCount())
+	}
+}
+
+func TestRecoverDontCaresUnusedVariable(t *testing.T) {
+	// v3 occurs in no clause: its commitment is always recoverable.
+	f := cnf.New(3)
+	f.AddClause(cnf.Clause{1, 2})
+	a := cnf.AssignmentFromBools(true, false, true)
+	out, n := RecoverDontCares(f, a)
+	if n < 1 || out.Get(3) != cnf.Unassigned {
+		t.Fatalf("unused variable not recovered (n=%d)", n)
+	}
+}
+
+func TestIncreaseFlexibilityGains2Sat(t *testing.T) {
+	// (v1 + v2)(v1 + v3): a = {v1=1} is 1-satisfied everywhere; committing
+	// v2 and v3 true raises both clauses to 2-satisfied.
+	f := cnf.FromClauses([]int{1, 2}, []int{1, 3})
+	a := cnf.NewAssignment(3)
+	a.Set(1, cnf.True)
+	res := IncreaseFlexibility(f, a)
+	if !res.Assignment.Satisfies(f) {
+		t.Fatal("improvement broke satisfaction")
+	}
+	if res.Gained2Sat < 2 {
+		t.Fatalf("gained %d 2-satisfied clauses, want 2", res.Gained2Sat)
+	}
+	if res.Assignment.KSatisfiedCount(f, 2) != 2 {
+		t.Fatal("clauses not 2-satisfied after improvement")
+	}
+}
+
+func TestIncreaseFlexibilityNeverBreaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 4 + rng.Intn(8)
+		f := cnf.New(nVars)
+		plant := cnf.NewAssignment(nVars)
+		for v := 1; v <= nVars; v++ {
+			if rng.Intn(2) == 0 {
+				plant.Set(v, cnf.True)
+			} else {
+				plant.Set(v, cnf.False)
+			}
+		}
+		for i := 0; i < 3+rng.Intn(12); i++ {
+			vs := rng.Perm(nVars)[:3]
+			cl := make(cnf.Clause, 3)
+			for j, vi := range vs {
+				v := vi + 1
+				l := cnf.Lit(v)
+				if plant.Get(v) == cnf.False {
+					l = -l
+				}
+				if j > 0 && rng.Intn(2) == 0 {
+					l = -l
+				}
+				cl[j] = l
+			}
+			f.AddClause(cl)
+		}
+		res := IncreaseFlexibility(f, plant)
+		if !res.Assignment.Satisfies(f) {
+			t.Fatalf("trial %d: improvement broke satisfaction", trial)
+		}
+		before := plant.KSatisfiedCount(f, 2)
+		after := res.Assignment.KSatisfiedCount(f, 2)
+		if after < before {
+			t.Fatalf("trial %d: 2-sat count regressed %d -> %d", trial, before, after)
+		}
+	}
+}
+
+func TestFlexibilityGainReporting(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2}, []int{1, 3})
+	a := cnf.NewAssignment(3)
+	a.Set(1, cnf.True)
+	pre, post, res := FlexibilityGain(f, a, 2)
+	if post.KSatisfied < pre.KSatisfied {
+		t.Fatal("post-improvement audit regressed")
+	}
+	if res.Gained2Sat != post.KSatisfied-pre.KSatisfied {
+		t.Fatalf("gain accounting mismatch: %d vs %d", res.Gained2Sat, post.KSatisfied-pre.KSatisfied)
+	}
+}
+
+// The §6 synergy claim: enabling makes fast-EC sub-instances smaller.
+// After IncreaseFlexibility the closure should never be larger than before.
+func TestFlexupShrinksClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	shrunk, grew := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		nVars := 12
+		f := cnf.New(nVars)
+		plant := cnf.NewAssignment(nVars)
+		for v := 1; v <= nVars; v++ {
+			if rng.Intn(2) == 0 {
+				plant.Set(v, cnf.True)
+			} else {
+				plant.Set(v, cnf.False)
+			}
+		}
+		for i := 0; i < 24; i++ {
+			vs := rng.Perm(nVars)[:3]
+			cl := make(cnf.Clause, 3)
+			for j, vi := range vs {
+				v := vi + 1
+				l := cnf.Lit(v)
+				if plant.Get(v) == cnf.False {
+					l = -l
+				}
+				if j == 2 && rng.Intn(2) == 0 {
+					l = -l
+				}
+				cl[j] = l
+			}
+			f.AddClause(cl)
+		}
+		base, _, err := PlainResolve(f, ilp.Options{})
+		if err != nil {
+			continue
+		}
+		improved := IncreaseFlexibility(f, base).Assignment
+		// Add a clause violating both solutions.
+		var lits []int
+		for v := 1; v <= nVars && len(lits) < 3; v++ {
+			bv, iv := base.Get(v), improved.Get(v)
+			if bv != cnf.Unassigned && bv == iv {
+				if bv == cnf.True {
+					lits = append(lits, -v)
+				} else {
+					lits = append(lits, v)
+				}
+			}
+		}
+		if len(lits) < 2 {
+			continue
+		}
+		fPrime, err := Apply(f, []Change{NewClause(lits...)})
+		if err != nil {
+			continue
+		}
+		sBase := Simplify(fPrime, base)
+		sImp := Simplify(fPrime, improved)
+		if sBase.AlreadySatisfied || sImp.AlreadySatisfied {
+			continue
+		}
+		if len(sImp.Marked) <= len(sBase.Marked) {
+			shrunk++
+		} else {
+			grew++
+		}
+	}
+	if shrunk < grew {
+		t.Fatalf("flexibility increase enlarged closures more often than it shrank them (%d vs %d)", shrunk, grew)
+	}
+}

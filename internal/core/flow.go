@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/encode"
+	"ilpec/internal/heurilp"
+	"ilpec/internal/ilp"
+)
+
+// SolverKind selects the engine used for the initial solve in the Figure-1
+// flow: the exact branch-and-bound ILP solver or the heuristic
+// iterative-improvement solver (the paper's choice for large instances).
+type SolverKind int
+
+const (
+	// ExactILP uses internal/ilp (the CPLEX role).
+	ExactILP SolverKind = iota
+	// HeuristicILP uses internal/heurilp (the ref [6] role).
+	HeuristicILP
+)
+
+// String renders the kind.
+func (k SolverKind) String() string {
+	if k == HeuristicILP {
+		return "heuristic"
+	}
+	return "exact"
+}
+
+// Strategy selects how a change is resolved in the flow.
+type Strategy int
+
+const (
+	// FastEC uses the §6 sub-instance extraction.
+	FastEC Strategy = iota
+	// PreservingEC uses the §7 preservation objective.
+	PreservingEC
+	// Replan solves the changed instance from scratch (non-EC baseline).
+	Replan
+)
+
+// String renders the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case FastEC:
+		return "fast"
+	case PreservingEC:
+		return "preserving"
+	default:
+		return "replan"
+	}
+}
+
+// FlowOptions configures a Flow.
+type FlowOptions struct {
+	// Enable, when non-nil, runs enabling EC on the original specification
+	// (the "Enable EC" box of Figure 1); the initial solution is then the
+	// EC solution rather than the non-EC solution.
+	Enable *EnableOptions
+	// InitialSolver picks the engine for the original instance.
+	InitialSolver SolverKind
+	// Exact configures the exact solver (both initial and EC re-solves).
+	Exact ilp.Options
+	// Heuristic configures the heuristic solver.
+	Heuristic heurilp.Options
+	// Preserve configures preserving-EC re-solves.
+	Preserve PreserveOptions
+	// Fast configures fast-EC re-solves.
+	Fast FastOptions
+	// FlexOnRelax runs the §6 flexibility increase (don't-care recovery +
+	// 2-satisfiability reconstruction) after every relaxing change, so the
+	// next tightening change finds a more absorbent solution.
+	FlexOnRelax bool
+}
+
+// Step records one flow action for reporting.
+type Step struct {
+	// Action is "solve", "enable", or a Strategy name.
+	Action string
+	// Runtime is the wall-clock duration of the action.
+	Runtime time.Duration
+	// Vars and Clauses are the sizes of the instance the action solved.
+	Vars, Clauses int
+	// Preserved is the preserved fraction relative to the pre-change
+	// solution (resolve steps only).
+	Preserved float64
+}
+
+// Flow drives the generic ILP-based EC flow of Figure 1: original
+// specification → (enabling) solve → change → fast/preserving re-solve,
+// with the current solution threaded through the steps.
+type Flow struct {
+	opts     FlowOptions
+	formula  *cnf.Formula
+	solution cnf.Assignment
+	history  []Step
+}
+
+// NewFlow creates a flow for the original specification f.
+func NewFlow(f *cnf.Formula, opts FlowOptions) *Flow {
+	return &Flow{opts: opts, formula: f.Clone()}
+}
+
+// Formula returns the current specification.
+func (fl *Flow) Formula() *cnf.Formula { return fl.formula }
+
+// Solution returns the current solution (nil before Solve).
+func (fl *Flow) Solution() cnf.Assignment { return fl.solution }
+
+// History returns the recorded steps.
+func (fl *Flow) History() []Step { return fl.history }
+
+// Solve produces the initial solution: the EC solution when enabling is
+// configured, the non-EC solution otherwise.
+func (fl *Flow) Solve() (cnf.Assignment, error) {
+	start := time.Now()
+	if fl.opts.Enable != nil {
+		res, err := SolveEnable(fl.formula, *fl.opts.Enable, fl.opts.Exact)
+		if err != nil {
+			return nil, fmt.Errorf("core: flow enable: %w", err)
+		}
+		fl.solution = res.Assignment
+		fl.history = append(fl.history, Step{
+			Action: "enable", Runtime: time.Since(start),
+			Vars: fl.formula.NumVars, Clauses: fl.formula.NumClauses(),
+		})
+		return fl.solution, nil
+	}
+	var a cnf.Assignment
+	switch fl.opts.InitialSolver {
+	case HeuristicILP:
+		e := encode.New(fl.formula)
+		res := heurilp.Solve(e.Model, fl.opts.Heuristic)
+		if !res.Feasible {
+			return nil, fmt.Errorf("core: flow heuristic solve found no solution")
+		}
+		a = e.Decode(res.Solution)
+		if !a.Satisfies(fl.formula) {
+			return nil, fmt.Errorf("core: heuristic solution does not satisfy the formula (internal error)")
+		}
+	default:
+		var err error
+		a, _, err = PlainResolve(fl.formula, fl.opts.Exact)
+		if err != nil {
+			return nil, fmt.Errorf("core: flow solve: %w", err)
+		}
+	}
+	fl.solution = a
+	fl.history = append(fl.history, Step{
+		Action: "solve", Runtime: time.Since(start),
+		Vars: fl.formula.NumVars, Clauses: fl.formula.NumClauses(),
+	})
+	return fl.solution, nil
+}
+
+// ApplyChange mutates the specification and re-solves with the chosen
+// strategy, returning the updated solution. Relaxing-only change sets skip
+// the re-solve entirely (§6: additions of variables / deletions of clauses
+// never invalidate the solution).
+func (fl *Flow) ApplyChange(changes []Change, strategy Strategy) (cnf.Assignment, error) {
+	if fl.solution == nil {
+		return nil, fmt.Errorf("core: flow has no solution yet; call Solve first")
+	}
+	fPrime, err := Apply(fl.formula, changes)
+	if err != nil {
+		return nil, err
+	}
+	prev := fl.solution
+	start := time.Now()
+
+	if !AnyTightening(changes) {
+		// Relaxing changes: the previous solution remains valid; only the
+		// variable universe may have grown. Optionally use the slack the
+		// relaxation created to increase flexibility (§6).
+		fl.formula = fPrime
+		next := prev.Clone().Grow(fPrime.NumVars)
+		preserved := 1.0
+		if fl.opts.FlexOnRelax {
+			res := IncreaseFlexibility(fPrime, next)
+			next = res.Assignment
+			preserved = next.PreservedFraction(prev)
+		}
+		fl.solution = next
+		fl.history = append(fl.history, Step{
+			Action: "relax", Runtime: time.Since(start),
+			Vars: fPrime.NumVars, Clauses: fPrime.NumClauses(), Preserved: preserved,
+		})
+		return fl.solution, nil
+	}
+
+	var next cnf.Assignment
+	var vars, clauses int
+	switch strategy {
+	case FastEC:
+		res, ferr := FastResolve(fPrime, prev, fl.opts.Fast)
+		if ferr != nil {
+			return nil, ferr
+		}
+		next = res.Assignment
+		vars, clauses = res.SubVars, res.SubClauses
+	case PreservingEC:
+		popts := fl.opts.Preserve
+		popts.Solve = fl.opts.Exact
+		res, perr := PreserveResolve(fPrime, prev, popts)
+		if perr != nil {
+			return nil, perr
+		}
+		next = res.Assignment
+		vars, clauses = fPrime.NumVars, fPrime.NumClauses()
+	case Replan:
+		a, _, rerr := PlainResolve(fPrime, fl.opts.Exact)
+		if rerr != nil {
+			return nil, rerr
+		}
+		next = a
+		vars, clauses = fPrime.NumVars, fPrime.NumClauses()
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", strategy)
+	}
+	fl.formula = fPrime
+	fl.solution = next
+	fl.history = append(fl.history, Step{
+		Action: strategy.String(), Runtime: time.Since(start),
+		Vars: vars, Clauses: clauses,
+		Preserved: next.PreservedFraction(prev),
+	})
+	return fl.solution, nil
+}

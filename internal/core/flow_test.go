@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/heurilp"
+)
+
+func flowFormula() *cnf.Formula {
+	return cnf.FromClauses(
+		[]int{1, 2, 3}, []int{-1, 2}, []int{2, 4}, []int{3, -4, 5}, []int{-2, 5},
+	)
+}
+
+func TestFlowSolveAndFast(t *testing.T) {
+	fl := NewFlow(flowFormula(), FlowOptions{})
+	a, err := fl.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(fl.Formula()) {
+		t.Fatal("initial solution unsatisfying")
+	}
+	if len(fl.History()) != 1 || fl.History()[0].Action != "solve" {
+		t.Fatalf("history = %+v", fl.History())
+	}
+	// Tightening change resolved with fast EC.
+	b, err := fl.ApplyChange([]Change{NewClause(-2, -5)}, FastEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Satisfies(fl.Formula()) {
+		t.Fatal("post-change solution unsatisfying")
+	}
+	if fl.History()[1].Action != "fast" {
+		t.Fatalf("step action = %q", fl.History()[1].Action)
+	}
+}
+
+func TestFlowRelaxSkipsResolve(t *testing.T) {
+	fl := NewFlow(flowFormula(), FlowOptions{})
+	if _, err := fl.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	before := fl.Solution().Clone()
+	a, err := fl.ApplyChange([]Change{GrowVariable(), DropClause(0)}, FastEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values of existing variables unchanged; step recorded as relax.
+	for v := 1; v <= before.NumVars(); v++ {
+		if a.Get(v) != before.Get(v) {
+			t.Fatal("relaxing change altered the solution")
+		}
+	}
+	if fl.History()[1].Action != "relax" || fl.History()[1].Preserved != 1 {
+		t.Fatalf("relax step = %+v", fl.History()[1])
+	}
+	if fl.Formula().NumVars != 6 {
+		t.Fatalf("NumVars = %d, want 6", fl.Formula().NumVars)
+	}
+}
+
+func TestFlowPreservingStrategy(t *testing.T) {
+	fl := NewFlow(flowFormula(), FlowOptions{})
+	if _, err := fl.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fl.ApplyChange([]Change{NewClause(-2, 4)}, PreservingEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(fl.Formula()) {
+		t.Fatal("preserving solution unsatisfying")
+	}
+	if fl.History()[1].Action != "preserving" {
+		t.Fatalf("action = %q", fl.History()[1].Action)
+	}
+	if fl.History()[1].Preserved < 0 || fl.History()[1].Preserved > 1 {
+		t.Fatalf("preserved fraction = %v", fl.History()[1].Preserved)
+	}
+}
+
+func TestFlowReplanStrategy(t *testing.T) {
+	fl := NewFlow(flowFormula(), FlowOptions{})
+	if _, err := fl.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fl.ApplyChange([]Change{NewClause(-2, 4)}, Replan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(fl.Formula()) {
+		t.Fatal("replanned solution unsatisfying")
+	}
+}
+
+func TestFlowWithEnabling(t *testing.T) {
+	fl := NewFlow(flowFormula(), FlowOptions{
+		Enable: &EnableOptions{Mode: EnableObjective, Weight: 5},
+	})
+	a, err := fl.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(fl.Formula()) {
+		t.Fatal("enabled solution unsatisfying")
+	}
+	if fl.History()[0].Action != "enable" {
+		t.Fatalf("action = %q", fl.History()[0].Action)
+	}
+}
+
+func TestFlowWithHeuristicInitial(t *testing.T) {
+	fl := NewFlow(flowFormula(), FlowOptions{
+		InitialSolver: HeuristicILP,
+		Heuristic:     heurilp.Options{Seed: 3},
+	})
+	a, err := fl.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfies(fl.Formula()) {
+		t.Fatal("heuristic initial solution unsatisfying")
+	}
+}
+
+func TestFlowErrors(t *testing.T) {
+	fl := NewFlow(flowFormula(), FlowOptions{})
+	if _, err := fl.ApplyChange([]Change{NewClause(1)}, FastEC); err == nil {
+		t.Fatal("ApplyChange before Solve should fail")
+	}
+	if _, err := fl.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.ApplyChange([]Change{DropClause(99)}, FastEC); err == nil {
+		t.Fatal("bad change should fail")
+	}
+	if _, err := fl.ApplyChange([]Change{NewClause(1)}, Strategy(42)); err == nil {
+		t.Fatal("unknown strategy should fail")
+	}
+}
+
+func TestStrategyAndSolverStrings(t *testing.T) {
+	if FastEC.String() != "fast" || PreservingEC.String() != "preserving" || Replan.String() != "replan" {
+		t.Fatal("Strategy.String mismatch")
+	}
+	if ExactILP.String() != "exact" || HeuristicILP.String() != "heuristic" {
+		t.Fatal("SolverKind.String mismatch")
+	}
+}
+
+func TestFlowSuccessiveChanges(t *testing.T) {
+	// The paper criticizes ref [5] for not supporting successive requests;
+	// the flow must thread solutions through a change sequence.
+	fl := NewFlow(flowFormula(), FlowOptions{})
+	if _, err := fl.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	changes := [][]Change{
+		{NewClause(-2, -5)},
+		{GrowVariable(), NewClause(6, 1)},
+		{EliminateVariable(5)},
+	}
+	for i, chs := range changes {
+		if _, err := fl.ApplyChange(chs, FastEC); err != nil {
+			t.Fatalf("change %d: %v", i, err)
+		}
+		if !fl.Solution().Satisfies(fl.Formula()) {
+			t.Fatalf("solution invalid after change %d", i)
+		}
+	}
+	if len(fl.History()) != 4 {
+		t.Fatalf("history length = %d", len(fl.History()))
+	}
+}

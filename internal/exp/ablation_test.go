@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblations(t *testing.T) {
+	rows := RunAblations(Quick())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"warm-start", "bounding", "fast-vs-full"} {
+		if !names[want] {
+			t.Fatalf("missing ablation %q", want)
+		}
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
+		switch r.Name {
+		case "warm-start":
+			if r.NodesA > r.NodesB {
+				t.Fatalf("warm start explored more nodes (%d > %d)", r.NodesA, r.NodesB)
+			}
+		case "fast-vs-full":
+			if r.TimeA > r.TimeB*4 {
+				t.Fatalf("fast EC (%v) much slower than full re-solve (%v)", r.TimeA, r.TimeB)
+			}
+		}
+	}
+	out := RenderAblations(rows)
+	if !strings.Contains(out, "Ablations") || !strings.Contains(out, "warm-start") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestMutationSizes(t *testing.T) {
+	// At paper dimensions the protocol is exactly 3 eliminations and 10
+	// added clauses.
+	if e, a := mutationSizes(64, 254); e != 3 || a != 10 {
+		t.Fatalf("paper scale: %d/%d", e, a)
+	}
+	if e, a := mutationSizes(600, 2550); e != 3 || a != 10 {
+		t.Fatalf("paper scale large: %d/%d", e, a)
+	}
+	// Tiny instances receive proportionally small changes with floors.
+	if e, a := mutationSizes(12, 47); e != 1 || a != 2 {
+		t.Fatalf("tiny scale: %d/%d", e, a)
+	}
+	if e, a := mutationSizes(40, 320); e != 2 || a != 10 {
+		t.Fatalf("mid scale: %d/%d", e, a)
+	}
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunColoringQuick(t *testing.T) {
+	rows := RunColoring(Quick())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ok := 0
+	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
+		ok++
+		// Table-3-style shape on coloring: preserving EC must dominate the
+		// plain replan, and the fast region must stay below the graph size.
+		if r.PctPreserve < r.PctReplan-1e-9 {
+			t.Fatalf("%s: preserving %.1f%% below replan %.1f%%", r.Name, r.PctPreserve, r.PctReplan)
+		}
+		if r.FastRegion >= float64(r.Vertices) {
+			t.Fatalf("%s: fast region %.1f not local", r.Name, r.FastRegion)
+		}
+		if r.SpareEC < r.SpareBase {
+			t.Fatalf("%s: enabling reduced spare coverage %d -> %d", r.Name, r.SpareBase, r.SpareEC)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no successful rows")
+	}
+	out := RenderColoring(rows)
+	if !strings.Contains(out, "Graph coloring") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestColoringTimings(t *testing.T) {
+	replan, fast, err := ColoringTimings("gc30.4", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replan <= 0 || fast <= 0 {
+		t.Fatal("timings not measured")
+	}
+	if _, _, err := ColoringTimings("nope", Quick()); err == nil {
+		t.Fatal("expected error for unknown spec")
+	}
+}

@@ -1,0 +1,188 @@
+// Package exp regenerates the paper's experimental tables (§8, Tables 1–3)
+// and figure measurements on the synthetic benchmark families of
+// internal/gen. Each runner produces typed rows plus a rendered text table
+// whose columns mirror the paper's.
+//
+// Two profiles are provided: CI (scaled-down instances, minutes of
+// runtime) and Paper (original dimensions — hours for the exact solves,
+// exactly as the original CPLEX runs took hours on a 1 GHz Pentium III).
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile scales the experiment suite.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// Scale multiplies instance dimensions (1 = paper size).
+	Scale float64
+	// Trials is the number of randomized trials per instance (paper: 10).
+	Trials int
+	// SmallOnly drops the heuristic (Large) rows entirely.
+	SmallOnly bool
+	// ExactTimeLimit bounds each exact solve (0 = none). When the limit
+	// stops a solve the row is reported with the best-so-far result.
+	ExactTimeLimit time.Duration
+	// HeurFlips bounds the heuristic solver's flip budget (0 = default).
+	HeurFlips int64
+}
+
+// CI is the default profile: every table regenerates in minutes on a
+// laptop while preserving the families, ratios, and trial protocol.
+func CI() Profile {
+	return Profile{Name: "ci", Scale: 0.10, Trials: 3, ExactTimeLimit: 20 * time.Second, HeurFlips: 60_000}
+}
+
+// Quick is a smoke-test profile for unit tests.
+func Quick() Profile {
+	return Profile{Name: "quick", Scale: 0.05, Trials: 2, SmallOnly: true, ExactTimeLimit: 5 * time.Second, HeurFlips: 20_000}
+}
+
+// Paper attempts the original dimensions. Expect very long exact solves on
+// the big instances — the paper's own Table 1 reports 20089 seconds for
+// ii8b2 on CPLEX.
+func Paper() Profile {
+	return Profile{Name: "paper", Scale: 1, Trials: 10, HeurFlips: 2_000_000}
+}
+
+// ProfileByName resolves "ci", "quick" or "paper".
+func ProfileByName(name string) (Profile, error) {
+	switch strings.ToLower(name) {
+	case "", "ci":
+		return CI(), nil
+	case "quick":
+		return Quick(), nil
+	case "paper":
+		return Paper(), nil
+	default:
+		return Profile{}, fmt.Errorf("exp: unknown profile %q (want ci, quick, or paper)", name)
+	}
+}
+
+// ---- statistics ---------------------------------------------------------
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// ---- text-table rendering ------------------------------------------------
+
+// Table is a minimal fixed-width text table renderer.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row (cells are used as-is).
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces the aligned text table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// mutationSizes scales the paper's Table-2 protocol (eliminate 3
+// variables, add 10 clauses — calibrated to its ≥64-variable instances) to
+// the actual instance dimensions, so scaled-down CI instances receive a
+// proportionally comparable change. At paper sizes the returned values are
+// exactly 3 and 10.
+func mutationSizes(vars, clauses int) (elim, add int) {
+	elim = vars / 20
+	if elim < 1 {
+		elim = 1
+	}
+	if elim > 3 {
+		elim = 3
+	}
+	add = clauses / 25
+	if add < 2 {
+		add = 2
+	}
+	if add > 10 {
+		add = 10
+	}
+	return elim, add
+}
+
+// Seconds formats a duration as seconds with adaptive precision,
+// echoing the paper's runtime columns.
+func Seconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}

@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ilpec/internal/gen"
+)
+
+func TestProfiles(t *testing.T) {
+	for _, name := range []string{"ci", "quick", "paper", ""} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Scale <= 0 || p.Trials <= 0 {
+			t.Fatalf("%q: bad profile %+v", name, p)
+		}
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Median(xs) != 2 {
+		t.Fatal("stats wrong")
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tb.Add("xxx", "1")
+	tb.Add("y") // short row tolerated
+	s := tb.Render()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "xxx") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(1500*time.Millisecond) != "1.50" {
+		t.Fatalf("got %q", Seconds(1500*time.Millisecond))
+	}
+	if Seconds(120*time.Second) != "120" {
+		t.Fatal("long format wrong")
+	}
+	if Seconds(2*time.Millisecond) != "0.0020" {
+		t.Fatalf("short format wrong: %q", Seconds(2*time.Millisecond))
+	}
+}
+
+// TestTable1Quick runs the enabling experiment on the quick profile and
+// asserts the paper's qualitative shape: the OF overhead exceeds 1× on
+// average (the paper reports 2.62× / 3.31×).
+func TestTable1Quick(t *testing.T) {
+	res := RunTable1(Quick())
+	if len(res.Rows) != len(gen.Small()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	okRows := 0
+	for _, r := range res.Rows {
+		if r.Err == "" {
+			okRows++
+			if r.Orig <= 0 {
+				t.Fatalf("%s: no original runtime", r.Name)
+			}
+			if r.SCNorm <= 0 || r.OFNorm <= 0 {
+				t.Fatalf("%s: missing normalized runtimes", r.Name)
+			}
+		}
+	}
+	if okRows < len(res.Rows)/2 {
+		t.Fatalf("too many failed rows: %d/%d ok", okRows, len(res.Rows))
+	}
+	if res.SmallAvgOF <= 0 {
+		t.Fatal("no OF aggregate")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "average") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestTable2Quick asserts the fast-EC shape: sub-instances far smaller
+// than the original and tiny normalized re-solve times.
+func TestTable2Quick(t *testing.T) {
+	res := RunTable2(Quick())
+	okRows := 0
+	for _, r := range res.Rows {
+		if r.Err != "" {
+			continue
+		}
+		okRows++
+		if r.AvgVars <= 0 || r.AvgVars >= float64(r.Vars) {
+			t.Fatalf("%s: sub vars %v of %d not a reduction", r.Name, r.AvgVars, r.Vars)
+		}
+		if r.AvgCls >= float64(r.Clauses) {
+			t.Fatalf("%s: sub clauses %v of %d", r.Name, r.AvgCls, r.Clauses)
+		}
+	}
+	if okRows == 0 {
+		t.Fatal("no successful rows")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 2") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestTable3Quick asserts the preserving-EC shape: with-EC preservation
+// strictly dominates the plain baseline on average (the paper reports
+// 73% → 97%).
+func TestTable3Quick(t *testing.T) {
+	res := RunTable3(Quick())
+	okRows := 0
+	for _, r := range res.Rows {
+		if r.Err != "" {
+			continue
+		}
+		okRows++
+		if r.PctWithEC < r.PctOriginal-1e-9 {
+			t.Fatalf("%s: EC %.1f%% below baseline %.1f%%", r.Name, r.PctWithEC, r.PctOriginal)
+		}
+		if r.PctWithEC < 50 {
+			t.Fatalf("%s: suspiciously low EC preservation %.1f%%", r.Name, r.PctWithEC)
+		}
+	}
+	if okRows == 0 {
+		t.Fatal("no successful rows")
+	}
+	if res.AvgEC < res.AvgOrig {
+		t.Fatalf("aggregate EC %.1f%% below baseline %.1f%%", res.AvgEC, res.AvgOrig)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 3") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	rows := RunFigure2(Quick())
+	ok := 0
+	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
+		ok++
+		if r.ClsReduction < 1 {
+			t.Fatalf("%s: no clause reduction (%.2f)", r.Name, r.ClsReduction)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no successful rows")
+	}
+	if !strings.Contains(RenderFigure2(rows), "Figure 2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure1Trace(t *testing.T) {
+	spec := gen.Scaled(gen.Small()[1], 0.3) // ii8a1 scaled
+	steps, err := Figure1Trace(spec, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d, want 3 (enable, fast, preserving)", len(steps))
+	}
+	if steps[0].Action != "enable" {
+		t.Fatalf("first step %q", steps[0].Action)
+	}
+	out := RenderFlowSteps(steps)
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("render missing title")
+	}
+}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ilpec/internal/core"
+	"ilpec/internal/encode"
+	"ilpec/internal/gen"
+	"ilpec/internal/ilp"
+)
+
+// Figure2Row measures the Figure-2 simplification algorithm itself on one
+// instance: the closure cost and the achieved reduction factors. The paper
+// presents Figure 2 as pseudocode; this regenerates the quantitative
+// behaviour behind its claim ("the size of our instance is decreased from
+// ten clauses to three").
+type Figure2Row struct {
+	Name         string
+	Vars         int
+	Clauses      int
+	SubVars      float64 // mean closure variable-set size (Figure-2 literal)
+	SubClauses   float64 // mean marked-clause count (Figure-2 literal)
+	MinVars      float64 // mean variable-set size, minimal-V policy
+	MinClauses   float64 // mean marked-clause count, minimal-V policy
+	VarReduction float64 // Vars / MinVars
+	ClsReduction float64 // Clauses / MinClauses
+	ClosureTime  time.Duration
+	Trials       int
+	Err          string
+}
+
+// RunFigure2 sweeps the instance families, measuring Simplify in
+// isolation (no sub-solve) under Table-2-style mutations.
+func RunFigure2(p Profile) []Figure2Row {
+	specs := gen.Small()
+	if !p.SmallOnly {
+		specs = gen.All()
+	}
+	var out []Figure2Row
+	for _, spec0 := range specs {
+		spec := gen.Scaled(spec0, p.Scale)
+		row := Figure2Row{Name: spec.Name, Trials: p.Trials}
+		f, _ := spec.Generate()
+		row.Vars, row.Clauses = f.NumVars, f.NumClauses()
+		e := encode.New(f)
+		res := ilp.Solve(e.Model, ilp.Options{TimeLimit: p.ExactTimeLimit})
+		if res.Status != ilp.Optimal && res.Status != ilp.Feasible {
+			row.Err = "original solve failed"
+			out = append(out, row)
+			continue
+		}
+		pAsg := e.Decode(res.Solution)
+		mut := gen.NewMutator(spec.Seed * 3)
+		elim, add := mutationSizes(f.NumVars, f.NumClauses())
+		var vs, cs, mv, mc float64
+		var total time.Duration
+		ok := 0
+		for trial := 0; trial < p.Trials; trial++ {
+			plan, err := mut.Table2Changes(f, pAsg, elim, add)
+			if err != nil {
+				continue
+			}
+			fPrime, err := core.Apply(f, plan.Changes)
+			if err != nil {
+				continue
+			}
+			start := time.Now()
+			simp := core.Simplify(fPrime, pAsg)
+			total += time.Since(start)
+			if simp.AlreadySatisfied {
+				continue
+			}
+			minimal := core.SimplifyMinimal(fPrime, pAsg)
+			ok++
+			vs += float64(len(simp.Vars))
+			cs += float64(len(simp.Marked))
+			mv += float64(len(minimal.Vars))
+			mc += float64(len(minimal.Marked))
+		}
+		if ok == 0 {
+			row.Err = "no effective trials"
+			out = append(out, row)
+			continue
+		}
+		row.SubVars = vs / float64(ok)
+		row.SubClauses = cs / float64(ok)
+		row.MinVars = mv / float64(ok)
+		row.MinClauses = mc / float64(ok)
+		if row.MinVars > 0 {
+			row.VarReduction = float64(row.Vars) / row.MinVars
+		}
+		if row.MinClauses > 0 {
+			row.ClsReduction = float64(row.Clauses) / row.MinClauses
+		}
+		row.ClosureTime = total / time.Duration(p.Trials)
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderFigure2 renders the Figure-2 measurement table.
+func RenderFigure2(rows []Figure2Row) string {
+	t := Table{
+		Title:   "Figure 2: fast-EC simplification — closure sizes and reduction factors",
+		Headers: []string{"Instance", "#Vars", "#Clauses", "Fig2 #V/#C", "MinV #V/#C", "Reduction V/C", "Closure time"},
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Add(r.Name, fmt.Sprint(r.Vars), fmt.Sprint(r.Clauses), "-", "-", "-", "-")
+			continue
+		}
+		t.Add(r.Name, fmt.Sprint(r.Vars), fmt.Sprint(r.Clauses),
+			fmt.Sprintf("%.1f/%.1f", r.SubVars, r.SubClauses),
+			fmt.Sprintf("%.1f/%.1f", r.MinVars, r.MinClauses),
+			fmt.Sprintf("%.0fx/%.0fx", r.VarReduction, r.ClsReduction),
+			r.ClosureTime.String())
+	}
+	return t.Render()
+}
+
+// Figure1Trace runs the full Figure-1 flow end to end on one instance and
+// returns the recorded steps — the executable regeneration of the flow
+// diagram.
+func Figure1Trace(spec gen.Spec, p Profile) ([]core.Step, error) {
+	f, _ := spec.Generate()
+	fl := core.NewFlow(f, core.FlowOptions{
+		Enable: &core.EnableOptions{Mode: core.EnableObjective},
+		Exact:  ilp.Options{TimeLimit: p.ExactTimeLimit},
+	})
+	if _, err := fl.Solve(); err != nil {
+		return nil, err
+	}
+	mut := gen.NewMutator(spec.Seed * 11)
+	plan, err := mut.Table2Changes(fl.Formula(), fl.Solution(), 1, 3)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fl.ApplyChange(plan.Changes, core.FastEC); err != nil {
+		return nil, err
+	}
+	plan2, err := gen.NewMutator(spec.Seed*17).Table3Changes(fl.Formula(), fl.Solution(), 1, 1, 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fl.ApplyChange(plan2.Changes, core.PreservingEC); err != nil {
+		return nil, err
+	}
+	return fl.History(), nil
+}
+
+// RenderFlowSteps renders a Figure-1 trace.
+func RenderFlowSteps(steps []core.Step) string {
+	t := Table{
+		Title:   "Figure 1: generic ILP-based EC flow — executed trace",
+		Headers: []string{"Step", "Action", "Vars", "Clauses", "Preserved", "Runtime"},
+	}
+	for i, s := range steps {
+		pres := "-"
+		if s.Action == "fast" || s.Action == "preserving" || s.Action == "replan" || s.Action == "relax" {
+			pres = fmt.Sprintf("%.2f", s.Preserved)
+		}
+		t.Add(fmt.Sprint(i+1), s.Action, fmt.Sprint(s.Vars), fmt.Sprint(s.Clauses), pres, s.Runtime.String())
+	}
+	return t.Render()
+}

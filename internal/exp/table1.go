@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ilpec/internal/core"
+	"ilpec/internal/encode"
+	"ilpec/internal/gen"
+	"ilpec/internal/heurilp"
+	"ilpec/internal/ilp"
+)
+
+// Table1Row mirrors one row of the paper's Table 1: instance dimensions,
+// the original solve runtime, and the normalized runtimes of the two
+// enabling-EC formulations (specified constraints and objective function).
+type Table1Row struct {
+	Name     string
+	Vars     int
+	Clauses  int
+	Orig     time.Duration
+	SCNorm   float64 // EC (SC) runtime / original runtime
+	OFNorm   float64 // EC (OF) runtime / original runtime
+	Heur     bool    // solved with the heuristic ILP solver (paper's lower block)
+	Flexible int     // clauses made flexible in OF mode (extra diagnostics)
+	Err      string  // non-empty when a stage failed (e.g. SC infeasible)
+}
+
+// Table1Result carries all rows plus the paper-style aggregates.
+type Table1Result struct {
+	Rows []Table1Row
+	// SmallAvgSC .. aggregates over the exact (upper) block.
+	SmallAvgSC, SmallMedSC, SmallAvgOF, SmallMedOF float64
+	// LargeAvgSC .. aggregates over the heuristic (lower) block.
+	LargeAvgSC, LargeMedSC, LargeAvgOF, LargeMedOF float64
+}
+
+// RunTable1 regenerates Table 1 under the profile: for every instance it
+// solves the plain set-cover ILP, then the enabling-EC models in SC and OF
+// mode, reporting normalized runtimes.
+func RunTable1(p Profile) Table1Result {
+	specs := gen.Small()
+	if !p.SmallOnly {
+		specs = gen.All()
+	}
+	var out Table1Result
+	for _, spec := range specs {
+		row := runTable1Row(gen.Scaled(spec, p.Scale), spec.Large, p)
+		out.Rows = append(out.Rows, row)
+	}
+	var sSC, sOF, lSC, lOF []float64
+	for _, r := range out.Rows {
+		if r.Err != "" {
+			continue
+		}
+		if r.Heur {
+			lSC = append(lSC, r.SCNorm)
+			lOF = append(lOF, r.OFNorm)
+		} else {
+			sSC = append(sSC, r.SCNorm)
+			sOF = append(sOF, r.OFNorm)
+		}
+	}
+	out.SmallAvgSC, out.SmallMedSC = Mean(sSC), Median(sSC)
+	out.SmallAvgOF, out.SmallMedOF = Mean(sOF), Median(sOF)
+	out.LargeAvgSC, out.LargeMedSC = Mean(lSC), Median(lSC)
+	out.LargeAvgOF, out.LargeMedOF = Mean(lOF), Median(lOF)
+	return out
+}
+
+func runTable1Row(spec gen.Spec, heur bool, p Profile) Table1Row {
+	row := Table1Row{Name: spec.Name, Vars: spec.Vars, Clauses: spec.Clauses, Heur: heur}
+	f, _ := spec.Generate()
+	row.Vars, row.Clauses = f.NumVars, f.NumClauses()
+
+	exactOpts := ilp.Options{TimeLimit: p.ExactTimeLimit}
+	heurOpts := heurilp.Options{Seed: spec.Seed, MaxFlips: p.HeurFlips}
+
+	solveModel := func(m *ilp.Model) (time.Duration, bool) {
+		start := time.Now()
+		if heur {
+			res := heurilp.Solve(m, heurOpts)
+			return time.Since(start), res.Feasible
+		}
+		res := ilp.Solve(m, exactOpts)
+		return time.Since(start), res.Status == ilp.Optimal || res.Status == ilp.Feasible
+	}
+
+	// Original instance.
+	base := encode.New(f)
+	orig, ok := solveModel(base.Model)
+	if !ok {
+		row.Err = "original solve failed"
+		return row
+	}
+	row.Orig = orig
+
+	// Enabling with specified constraints.
+	scModel := core.BuildEnable(f, core.EnableOptions{Mode: core.EnableConstraints})
+	scTime, scOK := solveModel(scModel.Encoding.Model)
+	if scOK {
+		row.SCNorm = ratio(scTime, orig)
+	} else {
+		row.Err = "SC solve failed"
+	}
+
+	// Enabling through the objective function.
+	ofModel := core.BuildEnable(f, core.EnableOptions{Mode: core.EnableObjective})
+	start := time.Now()
+	var flexible int
+	if heur {
+		res := heurilp.Solve(ofModel.Encoding.Model, heurOpts)
+		if res.Feasible {
+			flexible = ofModel.FlexibleClauses(res.Solution)
+		}
+	} else {
+		res := ilp.Solve(ofModel.Encoding.Model, exactOpts)
+		if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
+			flexible = ofModel.FlexibleClauses(res.Solution)
+		}
+	}
+	row.OFNorm = ratio(time.Since(start), orig)
+	row.Flexible = flexible
+	return row
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Render produces the paper-style text table.
+func (r Table1Result) Render() string {
+	t := Table{
+		Title:   "Table 1: Experimental Results for Enabling EC on SAT",
+		Headers: []string{"Instance", "#Vars", "#Clauses", "Orig.Runtime(s)", "EC(SC) N.R.", "EC(OF) N.R."},
+	}
+	renderBlock := func(heur bool, avgSC, medSC, avgOF, medOF float64) {
+		any := false
+		for _, row := range r.Rows {
+			if row.Heur != heur {
+				continue
+			}
+			any = true
+			sc, of := fmt.Sprintf("%.2f", row.SCNorm), fmt.Sprintf("%.2f", row.OFNorm)
+			if row.Err != "" {
+				sc, of = "-", "-"
+			}
+			t.Add(row.Name, fmt.Sprint(row.Vars), fmt.Sprint(row.Clauses), Seconds(row.Orig), sc, of)
+		}
+		if any {
+			t.Add("average", "-", "-", "-", fmt.Sprintf("%.2f", avgSC), fmt.Sprintf("%.2f", avgOF))
+			t.Add("median", "-", "-", "-", fmt.Sprintf("%.2f", medSC), fmt.Sprintf("%.2f", medOF))
+		}
+	}
+	renderBlock(false, r.SmallAvgSC, r.SmallMedSC, r.SmallAvgOF, r.SmallMedOF)
+	renderBlock(true, r.LargeAvgSC, r.LargeMedSC, r.LargeAvgOF, r.LargeMedOF)
+	return t.Render()
+}

@@ -1,0 +1,394 @@
+// Package gen generates the synthetic benchmark families that stand in for
+// the DIMACS instances of the paper's §8 evaluation (the original files are
+// not redistributable and unavailable offline; see DESIGN.md §4). Every
+// generator plants a satisfying assignment — and, for clauses of length ≥ 2,
+// a 2-satisfying one — so that the constraint-mode enabling experiments of
+// Table 1 are feasible by construction, exactly as the original satisfiable
+// benchmarks admitted them. All generators are deterministic per seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ilpec/internal/cnf"
+)
+
+// Family enumerates the instance families of the paper's tables.
+type Family int
+
+const (
+	// FamilyPar mirrors the par* parity-learning instances: length-3
+	// clauses chained along consecutive variable windows.
+	FamilyPar Family = iota
+	// FamilyII mirrors the ii* inductive-inference instances: block-
+	// structured clauses of mixed width 2–5.
+	FamilyII
+	// FamilyJNH mirrors the jnh* random instances: wide clauses (length
+	// 3–7) over a small variable pool.
+	FamilyJNH
+	// FamilyRandom3 mirrors f600: uniform 3-SAT at clause/variable ratio
+	// 4.25.
+	FamilyRandom3
+	// FamilyColoring mirrors g250.*: CNF encodings of k-colorability of a
+	// planted-colorable random graph.
+	FamilyColoring
+)
+
+// String renders the family.
+func (f Family) String() string {
+	switch f {
+	case FamilyPar:
+		return "par"
+	case FamilyII:
+		return "ii"
+	case FamilyJNH:
+		return "jnh"
+	case FamilyRandom3:
+		return "rand3"
+	default:
+		return "gcol"
+	}
+}
+
+// Spec identifies one benchmark instance: the paper's name, its family,
+// and its exact dimensions.
+type Spec struct {
+	Name    string
+	Family  Family
+	Vars    int
+	Clauses int
+	// K is the color count for FamilyColoring (vars = vertices · K).
+	K    int
+	Seed int64
+	// Large marks the rows the paper solves with the heuristic ILP solver.
+	Large bool
+}
+
+// Small lists the upper block of Tables 1–3 (exactly solved in the paper).
+func Small() []Spec {
+	return []Spec{
+		{Name: "par8-1-c", Family: FamilyPar, Vars: 64, Clauses: 254, Seed: 81},
+		{Name: "ii8a1", Family: FamilyII, Vars: 66, Clauses: 186, Seed: 8101},
+		{Name: "par8-3-c", Family: FamilyPar, Vars: 75, Clauses: 298, Seed: 83},
+		{Name: "jnh201", Family: FamilyJNH, Vars: 100, Clauses: 800, Seed: 201},
+		{Name: "jnh1", Family: FamilyJNH, Vars: 100, Clauses: 850, Seed: 1},
+		{Name: "ii8a2", Family: FamilyII, Vars: 180, Clauses: 800, Seed: 8201},
+		{Name: "ii8b2", Family: FamilyII, Vars: 576, Clauses: 4088, Seed: 8202},
+		{Name: "f600", Family: FamilyRandom3, Vars: 600, Clauses: 2550, Seed: 600},
+	}
+}
+
+// Large lists the lower block (heuristically solved in the paper).
+func Large() []Spec {
+	return []Spec{
+		{Name: "par32-5-c", Family: FamilyPar, Vars: 1339, Clauses: 5350, Seed: 325, Large: true},
+		{Name: "ii16a1", Family: FamilyII, Vars: 1650, Clauses: 19368, Seed: 1601, Large: true},
+		{Name: "par32-5", Family: FamilyPar, Vars: 3176, Clauses: 10325, Seed: 3255, Large: true},
+		{Name: "g250.15", Family: FamilyColoring, Vars: 3750, Clauses: 233965, K: 15, Seed: 25015, Large: true},
+		{Name: "g250.29", Family: FamilyColoring, Vars: 7250, Clauses: 454622, K: 29, Seed: 25029, Large: true},
+	}
+}
+
+// All returns Small followed by Large.
+func All() []Spec { return append(Small(), Large()...) }
+
+// ByName looks a spec up by its paper name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Scaled returns a copy of the spec shrunk by the given factor (≥ 1 keeps
+// the original). It preserves the family's clause/variable ratio and keeps
+// the name with a "@scale" suffix. Used by the CI experiment profile.
+func Scaled(s Spec, factor float64) Spec {
+	if factor >= 1 || factor <= 0 {
+		return s
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s@%.2f", s.Name, factor)
+	// Below ~40 variables the density of the jnh/f families degenerates
+	// (every variable touches most clauses and fast-EC locality vanishes),
+	// so scaling clamps there.
+	minV := 40
+	out.Vars = int(float64(s.Vars) * factor)
+	if out.Vars < minV {
+		out.Vars = minV
+	}
+	out.Clauses = int(float64(s.Clauses) * float64(out.Vars) / float64(s.Vars))
+	if out.Clauses < out.Vars {
+		out.Clauses = out.Vars
+	}
+	if s.Family == FamilyColoring {
+		// Keep a sensible palette for the shrunken vertex count.
+		vertices := out.Vars / s.K
+		if vertices < s.K+1 {
+			out.K = vertices - 1
+			if out.K < 2 {
+				out.K = 2
+			}
+			out.Vars = vertices * out.K
+		}
+	}
+	return out
+}
+
+// Generate builds the instance together with its planted assignment. The
+// formula has exactly s.Vars variables and s.Clauses clauses (coloring
+// instances approximate the clause count via the edge budget; the actual
+// count is within one edge-block of the request).
+func (s Spec) Generate() (*cnf.Formula, cnf.Assignment) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch s.Family {
+	case FamilyPar:
+		return genPar(rng, s.Vars, s.Clauses)
+	case FamilyII:
+		return genII(rng, s.Vars, s.Clauses)
+	case FamilyJNH:
+		return genJNH(rng, s.Vars, s.Clauses)
+	case FamilyRandom3:
+		return genRandom3(rng, s.Vars, s.Clauses)
+	case FamilyColoring:
+		return genColoring(rng, s)
+	default:
+		panic("gen: unknown family")
+	}
+}
+
+// randomPlant draws a uniform total assignment.
+func randomPlant(rng *rand.Rand, n int) cnf.Assignment {
+	a := cnf.NewAssignment(n)
+	for v := 1; v <= n; v++ {
+		if rng.Intn(2) == 0 {
+			a.Set(v, cnf.True)
+		} else {
+			a.Set(v, cnf.False)
+		}
+	}
+	return a
+}
+
+// plantLit returns the literal of v that is true under plant.
+func plantLit(plant cnf.Assignment, v int) cnf.Lit {
+	if plant.Get(v) == cnf.False {
+		return cnf.Lit(-v)
+	}
+	return cnf.Lit(v)
+}
+
+// plantedClause builds a clause over the given variables with at least two
+// literals agreeing with plant (all literals agree when the clause has
+// fewer than two variables); remaining polarities are random.
+func plantedClause(rng *rand.Rand, plant cnf.Assignment, vars []int) cnf.Clause {
+	cl := make(cnf.Clause, len(vars))
+	agree := 2
+	if len(vars) < 2 {
+		agree = len(vars)
+	}
+	order := rng.Perm(len(vars))
+	for i, oi := range order {
+		v := vars[oi]
+		if i < agree {
+			cl[oi] = plantLit(plant, v)
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			cl[oi] = plantLit(plant, v)
+		} else {
+			cl[oi] = plantLit(plant, v).Neg()
+		}
+	}
+	return cl
+}
+
+// distinctVars samples k distinct variables from 1..n.
+func distinctVars(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := 1 + rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// genPar chains length-3 clauses along consecutive variable windows,
+// mimicking the chained structure of parity instances.
+func genPar(rng *rand.Rand, nVars, nClauses int) (*cnf.Formula, cnf.Assignment) {
+	plant := randomPlant(rng, nVars)
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		base := 1 + i%(max(1, nVars-2))
+		vars := []int{base, base + 1, base + 2}
+		if vars[2] > nVars {
+			vars = distinctVars(rng, nVars, 3)
+		}
+		f.AddClause(plantedClause(rng, plant, vars))
+	}
+	return f, plant
+}
+
+// genII emits block-structured clauses of width 2–5: variables are split
+// into blocks and clauses mostly connect a block to the next one.
+func genII(rng *rand.Rand, nVars, nClauses int) (*cnf.Formula, cnf.Assignment) {
+	plant := randomPlant(rng, nVars)
+	f := cnf.New(nVars)
+	blockSize := max(4, nVars/12)
+	nBlocks := max(1, nVars/blockSize)
+	for i := 0; i < nClauses; i++ {
+		width := 2 + rng.Intn(4)
+		b := rng.Intn(nBlocks)
+		var pool []int
+		lo := b*blockSize + 1
+		hi := min(nVars, lo+2*blockSize-1)
+		for v := lo; v <= hi; v++ {
+			pool = append(pool, v)
+		}
+		if len(pool) < width {
+			pool = nil
+			for v := 1; v <= nVars; v++ {
+				pool = append(pool, v)
+			}
+		}
+		idx := rng.Perm(len(pool))[:width]
+		vars := make([]int, width)
+		for j, pi := range idx {
+			vars[j] = pool[pi]
+		}
+		f.AddClause(plantedClause(rng, plant, vars))
+	}
+	return f, plant
+}
+
+// genJNH draws wide clauses (3–7 literals) uniformly over the pool.
+func genJNH(rng *rand.Rand, nVars, nClauses int) (*cnf.Formula, cnf.Assignment) {
+	plant := randomPlant(rng, nVars)
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		width := 3 + rng.Intn(5)
+		f.AddClause(plantedClause(rng, plant, distinctVars(rng, nVars, width)))
+	}
+	return f, plant
+}
+
+// genRandom3 draws uniform 3-SAT clauses.
+func genRandom3(rng *rand.Rand, nVars, nClauses int) (*cnf.Formula, cnf.Assignment) {
+	plant := randomPlant(rng, nVars)
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		f.AddClause(plantedClause(rng, plant, distinctVars(rng, nVars, 3)))
+	}
+	return f, plant
+}
+
+// genColoring encodes k-colorability of a planted-colorable graph:
+// variables x_{v,c} (numbered (v-1)·k + c), one at-least-one clause per
+// vertex, and one conflict clause per edge per color. The edge count is
+// derived from the requested clause budget.
+func genColoring(rng *rand.Rand, s Spec) (*cnf.Formula, cnf.Assignment) {
+	k := s.K
+	if k < 2 {
+		panic("gen: coloring spec needs K ≥ 2")
+	}
+	vertices := s.Vars / k
+	edgeBudget := (s.Clauses - vertices) / k
+	if edgeBudget < 0 {
+		edgeBudget = 0
+	}
+	colors := make([]int, vertices+1)
+	classSize := make([]int, k+1)
+	for v := 1; v <= vertices; v++ {
+		colors[v] = 1 + rng.Intn(k)
+		classSize[colors[v]]++
+	}
+	// The budget cannot exceed the number of cross-class pairs.
+	samePairs := 0
+	for c := 1; c <= k; c++ {
+		samePairs += classSize[c] * (classSize[c] - 1) / 2
+	}
+	maxCross := vertices*(vertices-1)/2 - samePairs
+	if edgeBudget > maxCross {
+		edgeBudget = maxCross
+	}
+	varOf := func(v, c int) int { return (v-1)*k + c }
+
+	f := cnf.New(vertices * k)
+	plant := cnf.NewAssignment(vertices * k)
+	for v := 1; v <= vertices; v++ {
+		cl := make(cnf.Clause, k)
+		for c := 1; c <= k; c++ {
+			cl[c-1] = cnf.Lit(varOf(v, c))
+			if c == colors[v] {
+				plant.Set(varOf(v, c), cnf.True)
+			} else {
+				plant.Set(varOf(v, c), cnf.False)
+			}
+		}
+		f.AddClause(cl)
+	}
+	addEdge := func(u, v int) {
+		for c := 1; c <= k; c++ {
+			f.AddClause(cnf.Clause{cnf.Lit(-varOf(u, c)), cnf.Lit(-varOf(v, c))})
+		}
+	}
+	if maxCross > 0 && float64(edgeBudget) > 0.5*float64(maxCross) {
+		// Dense request: enumerate the cross-class pairs and take a random
+		// prefix (rejection sampling would crawl near saturation).
+		var pairs [][2]int
+		for u := 1; u <= vertices; u++ {
+			for v := u + 1; v <= vertices; v++ {
+				if colors[u] != colors[v] {
+					pairs = append(pairs, [2]int{u, v})
+				}
+			}
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		for _, pr := range pairs[:edgeBudget] {
+			addEdge(pr[0], pr[1])
+		}
+		return f, plant
+	}
+	seen := map[[2]int]bool{}
+	for e := 0; e < edgeBudget; {
+		u := 1 + rng.Intn(vertices)
+		v := 1 + rng.Intn(vertices)
+		if u == v || colors[u] == colors[v] {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		addEdge(u, v)
+		e++
+	}
+	return f, plant
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

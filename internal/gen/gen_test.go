@@ -1,0 +1,270 @@
+package gen
+
+import (
+	"testing"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/core"
+)
+
+func TestRegistryShapes(t *testing.T) {
+	// Every registry entry must carry the paper's exact dimensions.
+	want := map[string][2]int{
+		"par8-1-c": {64, 254}, "ii8a1": {66, 186}, "par8-3-c": {75, 298},
+		"jnh201": {100, 800}, "jnh1": {100, 850}, "ii8a2": {180, 800},
+		"ii8b2": {576, 4088}, "f600": {600, 2550},
+		"par32-5-c": {1339, 5350}, "ii16a1": {1650, 19368},
+		"par32-5": {3176, 10325}, "g250.15": {3750, 233965}, "g250.29": {7250, 454622},
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(All()), len(want))
+	}
+	for _, s := range All() {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected spec %q", s.Name)
+		}
+		if s.Vars != w[0] || s.Clauses != w[1] {
+			t.Fatalf("%s: %d/%d, want %d/%d", s.Name, s.Vars, s.Clauses, w[0], w[1])
+		}
+	}
+	if _, ok := ByName("jnh1"); !ok {
+		t.Fatal("ByName miss")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName false positive")
+	}
+}
+
+func TestSmallFamiliesGenerateExactlyAndPlanted(t *testing.T) {
+	for _, s := range Small() {
+		f, plant := s.Generate()
+		if f.NumVars != s.Vars {
+			t.Fatalf("%s: vars %d want %d", s.Name, f.NumVars, s.Vars)
+		}
+		if f.NumClauses() != s.Clauses {
+			t.Fatalf("%s: clauses %d want %d", s.Name, f.NumClauses(), s.Clauses)
+		}
+		if !plant.Satisfies(f) {
+			t.Fatalf("%s: plant does not satisfy", s.Name)
+		}
+		// Plant must 2-satisfy every clause of length ≥ 2 (Table-1 SC
+		// feasibility guarantee).
+		for ci, cl := range f.Clauses {
+			target := 2
+			if len(cl) < 2 {
+				target = len(cl)
+			}
+			if plant.SatLevel(cl) < target {
+				t.Fatalf("%s: clause %d only %d-satisfied", s.Name, ci, plant.SatLevel(cl))
+			}
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Small()[0]
+	f1, _ := s.Generate()
+	f2, _ := s.Generate()
+	if !f1.Equal(f2) {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestColoringFamilyGenerates(t *testing.T) {
+	// A scaled-down coloring spec keeps the structure checkable.
+	s := Spec{Name: "g-test", Family: FamilyColoring, Vars: 60, Clauses: 500, K: 4, Seed: 7}
+	f, plant := s.Generate()
+	if f.NumVars != 60 {
+		t.Fatalf("vars = %d", f.NumVars)
+	}
+	if !plant.Satisfies(f) {
+		t.Fatal("planted coloring does not satisfy the CNF")
+	}
+	// 15 vertices: first 15 clauses are at-least-one of width K.
+	for ci := 0; ci < 15; ci++ {
+		if len(f.Clauses[ci]) != 4 {
+			t.Fatalf("ALO clause %d width %d", ci, len(f.Clauses[ci]))
+		}
+	}
+	// Remaining clauses are binary conflicts.
+	for ci := 15; ci < f.NumClauses(); ci++ {
+		if len(f.Clauses[ci]) != 2 {
+			t.Fatalf("conflict clause %d width %d", ci, len(f.Clauses[ci]))
+		}
+	}
+}
+
+func TestLargeFamiliesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation in -short mode")
+	}
+	for _, s := range Large() {
+		f, plant := s.Generate()
+		if f.NumVars != s.Vars {
+			t.Fatalf("%s: vars %d want %d", s.Name, f.NumVars, s.Vars)
+		}
+		if s.Family != FamilyColoring && f.NumClauses() != s.Clauses {
+			t.Fatalf("%s: clauses %d want %d", s.Name, f.NumClauses(), s.Clauses)
+		}
+		if s.Family == FamilyColoring {
+			// Edge-block quantization: within K clauses of the request.
+			diff := s.Clauses - f.NumClauses()
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > s.K {
+				t.Fatalf("%s: clauses %d want %d±%d", s.Name, f.NumClauses(), s.Clauses, s.K)
+			}
+		}
+		if !plant.Satisfies(f) {
+			t.Fatalf("%s: plant does not satisfy", s.Name)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s, _ := ByName("f600")
+	sc := Scaled(s, 0.1)
+	if sc.Vars != 60 && sc.Vars != 40 {
+		t.Fatalf("scaled vars = %d", sc.Vars)
+	}
+	// Ratio preserved.
+	gotRatio := float64(sc.Clauses) / float64(sc.Vars)
+	wantRatio := float64(s.Clauses) / float64(s.Vars)
+	if gotRatio < wantRatio-0.2 || gotRatio > wantRatio+0.2 {
+		t.Fatalf("ratio %v, want ~%v", gotRatio, wantRatio)
+	}
+	f, plant := sc.Generate()
+	if !plant.Satisfies(f) {
+		t.Fatal("scaled instance not planted")
+	}
+	if same := Scaled(s, 1.5); same.Name != s.Name {
+		t.Fatal("factor ≥ 1 must be identity")
+	}
+	// Tiny specs clamp to the minimum size.
+	tiny := Scaled(s, 0.001)
+	if tiny.Vars < 40 {
+		t.Fatalf("clamp failed: %d", tiny.Vars)
+	}
+	// Coloring scaling adjusts the palette.
+	g, _ := ByName("g250.15")
+	gs := Scaled(g, 0.01)
+	fc, pc := gs.Generate()
+	if !pc.Satisfies(fc) {
+		t.Fatal("scaled coloring not planted")
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for _, f := range []Family{FamilyPar, FamilyII, FamilyJNH, FamilyRandom3, FamilyColoring} {
+		if f.String() == "" {
+			t.Fatal("empty family name")
+		}
+	}
+}
+
+func TestTable2Changes(t *testing.T) {
+	s := Scaled(Small()[1], 0.5) // ii8a1 at half size
+	f, plant := s.Generate()
+	m := NewMutator(99)
+	plan, err := m.Table2Changes(f, plant, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elims, adds := 0, 0
+	for _, c := range plan.Changes {
+		switch c.Kind {
+		case core.RemoveVariable:
+			elims++
+		case core.AddClause:
+			adds++
+		}
+	}
+	if elims != 3 || adds != 10 {
+		t.Fatalf("changes: %d elims, %d adds", elims, adds)
+	}
+	fPrime, err := core.Apply(f, plan.Changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Witness.Satisfies(fPrime) {
+		t.Fatal("witness does not satisfy the changed instance")
+	}
+	// At least one added clause must invalidate the original plant (else
+	// fast EC has nothing to do).
+	if plant.Satisfies(fPrime) {
+		t.Fatal("mutation did not invalidate the original solution")
+	}
+}
+
+func TestTable3Changes(t *testing.T) {
+	s := Scaled(Small()[3], 0.3) // jnh201 scaled
+	f, plant := s.Generate()
+	m := NewMutator(7)
+	plan, err := m.Table3Changes(f, plant, 5, 5, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPrime, err := core.Apply(f, plan.Changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Witness.Satisfies(fPrime) {
+		t.Fatal("witness lost")
+	}
+	if fPrime.NumVars != f.NumVars+5 {
+		t.Fatalf("NumVars = %d, want +5", fPrime.NumVars)
+	}
+	var grows, elims, drops, adds int
+	for _, c := range plan.Changes {
+		switch c.Kind {
+		case core.AddVariable:
+			grows++
+		case core.RemoveVariable:
+			elims++
+		case core.RemoveClause:
+			drops++
+		case core.AddClause:
+			adds++
+		}
+	}
+	if grows != 5 || elims != 5 || drops != 5 || adds != 5 {
+		t.Fatalf("changes: %d/%d/%d/%d", grows, elims, drops, adds)
+	}
+}
+
+func TestMutatorDeterministic(t *testing.T) {
+	s := Scaled(Small()[0], 0.5)
+	f, plant := s.Generate()
+	p1, err1 := NewMutator(5).Table2Changes(f, plant, 2, 4)
+	p2, err2 := NewMutator(5).Table2Changes(f, plant, 2, 4)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(p1.Changes) != len(p2.Changes) {
+		t.Fatal("mutator not deterministic")
+	}
+	for i := range p1.Changes {
+		if p1.Changes[i].String() != p2.Changes[i].String() {
+			t.Fatal("mutator not deterministic")
+		}
+	}
+}
+
+func TestWitnessForRepairsDontCares(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2}, []int{-1, 3})
+	p := cnf.NewAssignment(3)
+	p.Set(2, cnf.True) // v1, v3 DC
+	m := NewMutator(1)
+	w := m.witnessFor(f, p, 2)
+	if !w.Satisfies(f) {
+		t.Fatal("witness does not satisfy")
+	}
+	if w.DontCareCount() != 0 {
+		t.Fatal("witness must be total")
+	}
+}

@@ -1,0 +1,218 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/core"
+)
+
+// Mutator produces the randomized specification changes the paper's
+// experiments apply (Table 2: "we eliminated three variables and added ten
+// clauses"; Table 3: "randomly added and deleted five variables and
+// randomly added and deleted five clauses, making sure that we did not
+// make the instance non-satisfiable").
+//
+// Satisfiability is guaranteed constructively: the mutator maintains an
+// explicit witness assignment that survives every change (repairing it
+// locally when a variable elimination breaks it), so no SAT solving is
+// needed during screening.
+type Mutator struct {
+	rng *rand.Rand
+}
+
+// NewMutator creates a deterministic mutator.
+func NewMutator(seed int64) *Mutator {
+	return &Mutator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// MutationPlan is a change list plus the witness that proves the changed
+// instance stays satisfiable.
+type MutationPlan struct {
+	Changes []core.Change
+	Witness cnf.Assignment
+}
+
+// witnessFor derives a changed-formula witness from p by flipping a few
+// random committed variables (so added clauses need not be satisfied by p
+// itself — otherwise the change would never invalidate p and the EC
+// machinery would have nothing to do).
+func (m *Mutator) witnessFor(f *cnf.Formula, p cnf.Assignment, flips int) cnf.Assignment {
+	w := p.Clone().Grow(f.NumVars)
+	// Complete don't-cares so the witness is total over active vars.
+	for v := 1; v <= f.NumVars; v++ {
+		if w.Get(v) == cnf.Unassigned {
+			if m.rng.Intn(2) == 0 {
+				w.Set(v, cnf.True)
+			} else {
+				w.Set(v, cnf.False)
+			}
+		}
+	}
+	if !w.Satisfies(f) {
+		// Shouldn't happen for don't-care completions of a model of f; be
+		// safe and fall back to p completed both ways.
+		w = p.Clone().Grow(f.NumVars).Complete(cnf.True)
+		if !w.Satisfies(f) {
+			w = p.Clone().Grow(f.NumVars).Complete(cnf.False)
+		}
+	}
+	for i := 0; i < flips; i++ {
+		v := 1 + m.rng.Intn(f.NumVars)
+		old := w.Get(v)
+		if old == cnf.Unassigned {
+			continue
+		}
+		flipped := cnf.True
+		if old == cnf.True {
+			flipped = cnf.False
+		}
+		w.Set(v, flipped)
+		if !w.Satisfies(f) {
+			w.Set(v, old) // revert flips that break the witness
+		}
+	}
+	return w
+}
+
+// randomClauseTrueUnder builds a clause of the given width containing at
+// least one literal true under w; when breakP is set it additionally makes
+// every literal false under p (so the clause invalidates p) if it can find
+// such a combination within a bounded number of attempts.
+func (m *Mutator) randomClauseTrueUnder(f *cnf.Formula, w, p cnf.Assignment, width int, breakP bool) cnf.Clause {
+	n := f.NumVars
+	if width > n {
+		width = n
+	}
+	// Anchors must come from variables the witness actually commits
+	// (eliminated variables are don't-care in w).
+	var committed []int
+	for v := 1; v <= n; v++ {
+		if w.Get(v) != cnf.Unassigned {
+			committed = append(committed, v)
+		}
+	}
+	if len(committed) == 0 {
+		panic("gen: witness commits no variables")
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		cl := make(cnf.Clause, 0, width)
+		anchorVar := committed[m.rng.Intn(len(committed))]
+		cl = append(cl, plantLit(w, anchorVar))
+		for len(cl) < width {
+			v := 1 + m.rng.Intn(n)
+			if v == anchorVar || cl.HasVar(v) {
+				continue
+			}
+			if m.rng.Intn(2) == 0 {
+				cl = append(cl, cnf.Lit(v))
+			} else {
+				cl = append(cl, cnf.Lit(-v))
+			}
+		}
+		ok := true
+		if breakP {
+			for _, l := range cl {
+				if p.LitTrue(l) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return cl
+		}
+	}
+	// Fall back to a clause that merely keeps the witness.
+	idx := m.rng.Perm(len(committed))
+	cl := make(cnf.Clause, 0, width)
+	for _, ci := range idx {
+		if len(cl) == width {
+			break
+		}
+		cl = append(cl, plantLit(w, committed[ci]))
+	}
+	return cl
+}
+
+// safeEliminations picks up to count variables whose elimination keeps the
+// witness valid (repairing w by local flips when needed), applying each
+// elimination to the evolving formula. It returns the changes and the
+// final witness.
+func (m *Mutator) safeEliminations(f *cnf.Formula, w cnf.Assignment, count int) ([]core.Change, *cnf.Formula, cnf.Assignment) {
+	cur := f.Clone()
+	var changes []core.Change
+	tried := map[int]bool{}
+	for len(changes) < count && len(tried) < cur.NumVars {
+		v := 1 + m.rng.Intn(cur.NumVars)
+		if tried[v] {
+			continue
+		}
+		tried[v] = true
+		rep := core.SimulateElimination(cur, w, v)
+		if !rep.OK {
+			continue
+		}
+		cur.EliminateVariable(v)
+		w = rep.Assignment
+		changes = append(changes, core.EliminateVariable(v))
+	}
+	return changes, cur, w
+}
+
+// Table2Changes builds one Table-2 trial: eliminate elimVars variables and
+// add addClauses clauses (width 3), keeping the instance satisfiable.
+func (m *Mutator) Table2Changes(f *cnf.Formula, p cnf.Assignment, elimVars, addClauses int) (MutationPlan, error) {
+	w := m.witnessFor(f, p, 1+f.NumVars/20)
+	changes, cur, w := m.safeEliminations(f, w, elimVars)
+	if len(changes) < elimVars {
+		return MutationPlan{}, fmt.Errorf("gen: found only %d of %d safe eliminations", len(changes), elimVars)
+	}
+	for i := 0; i < addClauses; i++ {
+		breakP := i == 0 // guarantee at least one clause invalidates p
+		cl := m.randomClauseTrueUnder(cur, w, p, 3, breakP)
+		cur.AddClause(cl)
+		changes = append(changes, core.Change{Kind: core.AddClause, Clause: cl})
+	}
+	if !w.Satisfies(cur) {
+		return MutationPlan{}, fmt.Errorf("gen: witness lost during mutation (internal error)")
+	}
+	return MutationPlan{Changes: changes, Witness: w}, nil
+}
+
+// Table3Changes builds one Table-3 trial: add addVars variables, eliminate
+// delVars variables, add addCls clauses, and delete delCls clauses, keeping
+// the instance satisfiable.
+func (m *Mutator) Table3Changes(f *cnf.Formula, p cnf.Assignment, addVars, delVars, addCls, delCls int) (MutationPlan, error) {
+	var changes []core.Change
+	cur := f.Clone()
+	for i := 0; i < addVars; i++ {
+		changes = append(changes, core.GrowVariable())
+		cur.AddVariable()
+	}
+	w := m.witnessFor(cur, p, 1+cur.NumVars/20)
+	elims, cur, w := m.safeEliminations(cur, w, delVars)
+	if len(elims) < delVars {
+		return MutationPlan{}, fmt.Errorf("gen: found only %d of %d safe eliminations", len(elims), delVars)
+	}
+	changes = append(changes, elims...)
+	for i := 0; i < delCls; i++ {
+		if cur.NumClauses() == 0 {
+			break
+		}
+		ci := m.rng.Intn(cur.NumClauses())
+		cur.RemoveClause(ci)
+		changes = append(changes, core.DropClause(ci))
+	}
+	for i := 0; i < addCls; i++ {
+		breakP := i == 0
+		cl := m.randomClauseTrueUnder(cur, w, p, 3, breakP)
+		cur.AddClause(cl)
+		changes = append(changes, core.Change{Kind: core.AddClause, Clause: cl})
+	}
+	if !w.Satisfies(cur) {
+		return MutationPlan{}, fmt.Errorf("gen: witness lost during mutation (internal error)")
+	}
+	return MutationPlan{Changes: changes, Witness: w}, nil
+}

@@ -1,0 +1,83 @@
+package heurilp
+
+import (
+	"testing"
+
+	"ilpec/internal/ilp"
+)
+
+func TestImprovingFlipsMaximize(t *testing.T) {
+	// max x + y with no constraints: local search must climb to (1,1).
+	m := ilp.NewModel(true)
+	m.AddVar("x", 1)
+	m.AddVar("y", 1)
+	res := Solve(m, Options{Seed: 4})
+	if !res.Feasible || res.Objective != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestImprovingFlipsMinimize(t *testing.T) {
+	// min x + y with x + y ≥ 1: optimum 1.
+	m := ilp.NewModel(false)
+	x := m.AddVar("x", 1)
+	y := m.AddVar("y", 1)
+	m.AddRow("", []ilp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, ilp.GE, 1)
+	res := Solve(m, Options{Seed: 4})
+	if !res.Feasible || res.Objective != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestTargetMaximize(t *testing.T) {
+	m := ilp.NewModel(true)
+	for j := 0; j < 8; j++ {
+		m.AddVar("", 1)
+	}
+	res := Solve(m, Options{Seed: 9, Target: 3, TargetSet: true})
+	if !res.Feasible || res.Objective < 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEqualityRows(t *testing.T) {
+	// x + y = 1 exactly.
+	m := ilp.NewModel(false)
+	x := m.AddVar("x", 0)
+	y := m.AddVar("y", 0)
+	m.AddRow("", []ilp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, ilp.EQ, 1)
+	res := Solve(m, Options{Seed: 2})
+	if !res.Feasible {
+		t.Fatal("no solution")
+	}
+	if res.Solution[x]+res.Solution[y] != 1 {
+		t.Fatalf("equality violated: %v", res.Solution)
+	}
+}
+
+func TestNegativeCoefficients(t *testing.T) {
+	// -2x + y ≤ -1 forces x=1 (y free-ish).
+	m := ilp.NewModel(false)
+	x := m.AddVar("x", 0)
+	m.AddVar("y", 1)
+	m.AddRow("", []ilp.Coef{{Var: x, Val: -2}, {Var: 1, Val: 1}}, ilp.LE, -1)
+	res := Solve(m, Options{Seed: 6})
+	if !res.Feasible || res.Solution[x] != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFlipBudgetRespected(t *testing.T) {
+	// An over-constrained (infeasible) model: search must stop by budget.
+	m := ilp.NewModel(false)
+	x := m.AddVar("x", 0)
+	m.AddRow("", []ilp.Coef{{Var: x, Val: 1}}, ilp.GE, 1)
+	m.AddRow("", []ilp.Coef{{Var: x, Val: 1}}, ilp.LE, 0)
+	res := Solve(m, Options{Seed: 3, MaxFlips: 500, Restarts: 2})
+	if res.Feasible {
+		t.Fatal("found solution to infeasible model")
+	}
+	if res.Flips > 5000 {
+		t.Fatalf("budget blown: %d flips", res.Flips)
+	}
+}

@@ -1,0 +1,348 @@
+// Package heurilp implements a heuristic iterative-improvement solver for
+// 0-1 integer linear programs, standing in for the unpublished heuristic
+// ILP solver the paper cites as reference [6] and uses for its large
+// benchmark instances (§8).
+//
+// The algorithm is a WalkSAT-style local search generalized to linear
+// pseudo-Boolean rows (in the spirit of Walser's WSAT(OIP)): starting from
+// a warm start or a random point, it repeatedly selects a violated row and
+// flips the variable that most reduces total violation (with occasional
+// noise moves); once feasible, it performs objective-improving flips that
+// preserve feasibility and records the best feasible point seen.
+package heurilp
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"ilpec/internal/ilp"
+)
+
+// Options configures the local search. The zero value gives defaults.
+type Options struct {
+	// Seed drives all random choices (deterministic per seed).
+	Seed int64
+	// MaxFlips bounds the total number of flips (0 = 200k + 200·vars).
+	MaxFlips int64
+	// Noise is the probability of a random walk move (0 = default 0.2).
+	Noise float64
+	// Restarts is the number of random restarts (0 = default 5).
+	Restarts int
+	// WarmStart seeds the first restart.
+	WarmStart ilp.Solution
+	// Target, if non-zero under minimization (or any value via TargetSet),
+	// stops the search once a feasible solution at least as good is found.
+	Target    float64
+	TargetSet bool
+}
+
+// Result is the outcome of the local search.
+type Result struct {
+	// Feasible reports whether any feasible solution was found.
+	Feasible bool
+	// Objective is the best feasible objective (valid when Feasible).
+	Objective float64
+	// Solution is the best feasible point (valid when Feasible).
+	Solution ilp.Solution
+	// Flips is the number of flips performed.
+	Flips int64
+	// Runtime is the wall-clock duration of the search.
+	Runtime time.Duration
+}
+
+// state holds incremental search structures for one restart.
+type state struct {
+	m        *ilp.Model
+	sol      ilp.Solution
+	activity []float64
+	violated []int // indices of violated rows
+	vpos     []int // position of row in violated, -1 if satisfied
+	varRows  [][]int32
+}
+
+// Solve runs the iterative-improvement search on m.
+func Solve(m *ilp.Model, opts Options) Result {
+	start := time.Now()
+	res := solve(m, opts)
+	res.Runtime = time.Since(start)
+	return res
+}
+
+func solve(m *ilp.Model, opts Options) Result {
+	n := m.NumVars()
+	maxFlips := opts.MaxFlips
+	if maxFlips == 0 {
+		maxFlips = int64(200_000 + 200*n)
+	}
+	noise := opts.Noise
+	if noise == 0 {
+		noise = 0.2
+	}
+	restarts := opts.Restarts
+	if restarts == 0 {
+		restarts = 5
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 12345))
+
+	varRows := make([][]int32, n)
+	for i := 0; i < m.NumRows(); i++ {
+		for _, c := range m.RowAt(i).Coefs {
+			varRows[c.Var] = append(varRows[c.Var], int32(i))
+		}
+	}
+
+	var best ilp.Solution
+	bestObj := m.WorstObjective()
+	var flips int64
+
+	budget := maxFlips / int64(restarts)
+	if budget == 0 {
+		budget = maxFlips
+	}
+
+	for r := 0; r < restarts; r++ {
+		st := &state{m: m, varRows: varRows}
+		st.sol = make(ilp.Solution, n)
+		for j := 0; j < n; j++ {
+			if r == 0 && opts.WarmStart != nil && j < len(opts.WarmStart) {
+				st.sol[j] = opts.WarmStart[j]
+			} else {
+				st.sol[j] = int8(rng.Intn(2))
+			}
+		}
+		st.init()
+
+		stall := int64(0)
+		for step := int64(0); step < budget; step++ {
+			if len(st.violated) == 0 {
+				z := m.Objective(st.sol)
+				if best == nil || m.Better(z, bestObj) {
+					best = st.sol.Clone()
+					bestObj = z
+					stall = 0
+					if opts.TargetSet && !m.Better(opts.Target, bestObj) {
+						return Result{Feasible: true, Objective: bestObj, Solution: best, Flips: flips}
+					}
+				}
+				// Feasible: attempt an objective-improving feasible flip.
+				j := st.improvingFlip(rng)
+				if j < 0 {
+					// Local optimum: perturb a few variables to escape.
+					stall++
+					if stall > 3 {
+						break // restart
+					}
+					for k := 0; k < 1+n/20; k++ {
+						st.flip(rng.Intn(n))
+						flips++
+					}
+					continue
+				}
+				st.flip(j)
+				flips++
+				continue
+			}
+			// Violated: repair move on a random violated row.
+			ri := st.violated[rng.Intn(len(st.violated))]
+			row := m.RowAt(ri)
+			if len(row.Coefs) == 0 {
+				break // structurally violated empty row: restart is futile
+			}
+			var j int
+			if rng.Float64() < noise {
+				j = row.Coefs[rng.Intn(len(row.Coefs))].Var
+			} else {
+				j = st.bestRepairVar(row, rng)
+			}
+			st.flip(j)
+			flips++
+		}
+	}
+	if best == nil {
+		return Result{Feasible: false, Flips: flips}
+	}
+	return Result{Feasible: true, Objective: bestObj, Solution: best, Flips: flips}
+}
+
+func (st *state) init() {
+	m := st.m
+	st.activity = make([]float64, m.NumRows())
+	st.vpos = make([]int, m.NumRows())
+	st.violated = st.violated[:0]
+	for i := 0; i < m.NumRows(); i++ {
+		row := m.RowAt(i)
+		st.activity[i] = row.Activity(st.sol)
+		st.vpos[i] = -1
+		if !satisfiedAct(row, st.activity[i]) {
+			st.vpos[i] = len(st.violated)
+			st.violated = append(st.violated, i)
+		}
+	}
+}
+
+func satisfiedAct(r ilp.Row, act float64) bool {
+	switch r.Sense {
+	case ilp.LE:
+		return act <= r.RHS+1e-9
+	case ilp.GE:
+		return act >= r.RHS-1e-9
+	default:
+		return math.Abs(act-r.RHS) <= 1e-9
+	}
+}
+
+func violationAct(r ilp.Row, act float64) float64 {
+	switch r.Sense {
+	case ilp.LE:
+		if act > r.RHS {
+			return act - r.RHS
+		}
+	case ilp.GE:
+		if act < r.RHS {
+			return r.RHS - act
+		}
+	default:
+		return math.Abs(act - r.RHS)
+	}
+	return 0
+}
+
+// flip toggles variable j, updating activities and the violated set.
+func (st *state) flip(j int) {
+	delta := 1.0
+	if st.sol[j] == 1 {
+		delta = -1.0
+		st.sol[j] = 0
+	} else {
+		st.sol[j] = 1
+	}
+	for _, ri := range st.varRows[j] {
+		row := st.m.RowAt(int(ri))
+		var a float64
+		for _, c := range row.Coefs {
+			if c.Var == j {
+				a += c.Val
+			}
+		}
+		st.activity[ri] += delta * a
+		sat := satisfiedAct(row, st.activity[ri])
+		switch {
+		case sat && st.vpos[ri] >= 0:
+			p := st.vpos[ri]
+			last := st.violated[len(st.violated)-1]
+			st.violated[p] = last
+			st.vpos[last] = p
+			st.violated = st.violated[:len(st.violated)-1]
+			st.vpos[ri] = -1
+		case !sat && st.vpos[ri] < 0:
+			st.vpos[ri] = len(st.violated)
+			st.violated = append(st.violated, int(ri))
+		}
+	}
+}
+
+// violationDelta computes the change in total violation if j flips.
+func (st *state) violationDelta(j int) float64 {
+	delta := 1.0
+	if st.sol[j] == 1 {
+		delta = -1.0
+	}
+	d := 0.0
+	for _, ri := range st.varRows[j] {
+		row := st.m.RowAt(int(ri))
+		var a float64
+		for _, c := range row.Coefs {
+			if c.Var == j {
+				a += c.Val
+			}
+		}
+		oldV := violationAct(row, st.activity[ri])
+		newV := violationAct(row, st.activity[ri]+delta*a)
+		d += newV - oldV
+	}
+	return d
+}
+
+// bestRepairVar returns the variable of the row whose flip minimizes
+// (violation delta, objective worsening); ties break randomly.
+func (st *state) bestRepairVar(row ilp.Row, rng *rand.Rand) int {
+	bestJ := -1
+	bestScore := math.Inf(1)
+	bestTies := 0
+	for _, c := range row.Coefs {
+		j := c.Var
+		vd := st.violationDelta(j)
+		// Secondary criterion: objective movement (scaled small so
+		// feasibility dominates).
+		od := st.m.Obj(j)
+		if st.sol[j] == 1 {
+			od = -od
+		}
+		if st.m.Maximize {
+			od = -od
+		}
+		score := vd + 1e-3*od
+		switch {
+		case score < bestScore-1e-12:
+			bestJ, bestScore, bestTies = j, score, 1
+		case score <= bestScore+1e-12:
+			bestTies++
+			if rng.Intn(bestTies) == 0 {
+				bestJ = j
+			}
+		}
+	}
+	return bestJ
+}
+
+// improvingFlip returns a variable whose flip strictly improves the
+// objective while keeping every row satisfied, or -1 if none exists.
+func (st *state) improvingFlip(rng *rand.Rand) int {
+	n := len(st.sol)
+	offset := rng.Intn(n)
+	for k := 0; k < n; k++ {
+		j := (offset + k) % n
+		c := st.m.Obj(j)
+		if c == 0 {
+			continue
+		}
+		// Objective delta of flipping j.
+		od := c
+		if st.sol[j] == 1 {
+			od = -od
+		}
+		improving := od < 0
+		if st.m.Maximize {
+			improving = od > 0
+		}
+		if !improving {
+			continue
+		}
+		if st.violationDelta(j) <= 0 && st.staysFeasible(j) {
+			return j
+		}
+	}
+	return -1
+}
+
+// staysFeasible checks whether flipping j keeps all rows of j satisfied.
+func (st *state) staysFeasible(j int) bool {
+	delta := 1.0
+	if st.sol[j] == 1 {
+		delta = -1.0
+	}
+	for _, ri := range st.varRows[j] {
+		row := st.m.RowAt(int(ri))
+		var a float64
+		for _, c := range row.Coefs {
+			if c.Var == j {
+				a += c.Val
+			}
+		}
+		if !satisfiedAct(row, st.activity[ri]+delta*a) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package heurilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ilpec/internal/ilp"
+)
+
+func TestFindsKnapsackFeasible(t *testing.T) {
+	m := ilp.NewModel(true)
+	coefs := make([]ilp.Coef, 3)
+	for j, v := range []float64{6, 5, 4} {
+		m.AddVar("", v)
+		coefs[j] = ilp.Coef{Var: j, Val: []float64{3, 2, 2}[j]}
+	}
+	m.AddRow("cap", coefs, ilp.LE, 4)
+	res := Solve(m, Options{Seed: 1})
+	if !res.Feasible {
+		t.Fatal("no feasible solution found")
+	}
+	if !m.Feasible(res.Solution) {
+		t.Fatal("claimed solution is infeasible")
+	}
+	if res.Objective != m.Objective(res.Solution) {
+		t.Fatal("objective mismatch")
+	}
+	// Local search should find the optimum 9 on this tiny instance.
+	if res.Objective < 9 {
+		t.Fatalf("objective = %v, want 9", res.Objective)
+	}
+}
+
+func TestWarmStartKept(t *testing.T) {
+	m := ilp.NewModel(false)
+	x := m.AddVar("x", 1)
+	y := m.AddVar("y", 1)
+	m.AddRow("", []ilp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, ilp.GE, 1)
+	ws := ilp.Solution{1, 0} // already optimal
+	res := Solve(m, Options{Seed: 3, WarmStart: ws, MaxFlips: 50})
+	if !res.Feasible || res.Objective != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMatchesExactOnRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	okCount := 0
+	for trial := 0; trial < 40; trial++ {
+		m := ilp.NewModel(trial%2 == 0)
+		n := 3 + rng.Intn(7)
+		for j := 0; j < n; j++ {
+			m.AddVar("", float64(rng.Intn(11)-5))
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			var coefs []ilp.Coef
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					coefs = append(coefs, ilp.Coef{Var: j, Val: float64(rng.Intn(5) - 2)})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, ilp.Coef{Var: 0, Val: 1})
+			}
+			m.AddRow("", coefs, ilp.Sense(rng.Intn(3)), float64(rng.Intn(5)-1))
+		}
+		exact := ilp.Enumerate(m)
+		heur := Solve(m, Options{Seed: int64(trial)})
+		if exact.Status == ilp.Infeasible {
+			if heur.Feasible {
+				t.Fatalf("trial %d: heuristic found solution to infeasible model", trial)
+			}
+			continue
+		}
+		if !heur.Feasible {
+			continue // incomplete search may miss; tracked below
+		}
+		if !m.Feasible(heur.Solution) {
+			t.Fatalf("trial %d: infeasible claimed solution", trial)
+		}
+		// Heuristic can be suboptimal but never better than exact.
+		if m.Better(heur.Objective, exact.Objective) {
+			t.Fatalf("trial %d: heuristic %v beats exact %v", trial, heur.Objective, exact.Objective)
+		}
+		if math.Abs(heur.Objective-exact.Objective) < 1e-9 {
+			okCount++
+		}
+	}
+	if okCount < 15 {
+		t.Fatalf("heuristic matched the optimum on only %d/40 feasible trials", okCount)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	m := ilp.NewModel(true)
+	for j := 0; j < 12; j++ {
+		m.AddVar("", float64(j%5)-2)
+	}
+	var coefs []ilp.Coef
+	for j := 0; j < 12; j++ {
+		coefs = append(coefs, ilp.Coef{Var: j, Val: 1})
+	}
+	m.AddRow("", coefs, ilp.LE, 6)
+	a := Solve(m, Options{Seed: 99})
+	b := Solve(m, Options{Seed: 99})
+	if a.Feasible != b.Feasible || a.Objective != b.Objective || a.Flips != b.Flips {
+		t.Fatal("not deterministic per seed")
+	}
+}
+
+func TestTargetStopsEarly(t *testing.T) {
+	m := ilp.NewModel(false)
+	for j := 0; j < 10; j++ {
+		m.AddVar("", 1)
+	}
+	var coefs []ilp.Coef
+	for j := 0; j < 10; j++ {
+		coefs = append(coefs, ilp.Coef{Var: j, Val: 1})
+	}
+	m.AddRow("", coefs, ilp.GE, 3)
+	res := Solve(m, Options{Seed: 7, Target: 10, TargetSet: true})
+	if !res.Feasible {
+		t.Fatal("target solve found nothing")
+	}
+	// Any feasible point has objective ≤ 10, so the very first feasible
+	// point should have stopped the search.
+	if res.Objective > 10 {
+		t.Fatalf("objective = %v", res.Objective)
+	}
+}
+
+func TestInfeasibleEmptyRow(t *testing.T) {
+	m := ilp.NewModel(false)
+	m.AddVar("x", 1)
+	m.AddRow("impossible", nil, ilp.GE, 1) // 0 ≥ 1
+	res := Solve(m, Options{Seed: 1, MaxFlips: 1000})
+	if res.Feasible {
+		t.Fatal("found solution to structurally infeasible model")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	m := ilp.NewModel(false)
+	x := m.AddVar("x", 1)
+	m.AddRow("", []ilp.Coef{{Var: x, Val: 1}}, ilp.GE, 1)
+	res := Solve(m, Options{Seed: 2})
+	if res.Runtime <= 0 {
+		t.Fatal("runtime not recorded")
+	}
+	if !res.Feasible || res.Solution[x] != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// On a pure set-cover model the heuristic should reach a near-optimal
+// cover quickly — this mirrors its role on the paper's large instances.
+func TestSetCoverQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := ilp.NewModel(false)
+	const nSets, nElems = 30, 40
+	for j := 0; j < nSets; j++ {
+		m.AddVar("", 1)
+	}
+	for e := 0; e < nElems; e++ {
+		var coefs []ilp.Coef
+		for j := 0; j < nSets; j++ {
+			if rng.Intn(5) == 0 {
+				coefs = append(coefs, ilp.Coef{Var: j, Val: 1})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = append(coefs, ilp.Coef{Var: rng.Intn(nSets), Val: 1})
+		}
+		m.AddRow("", coefs, ilp.GE, 1)
+	}
+	heur := Solve(m, Options{Seed: 21})
+	if !heur.Feasible {
+		t.Fatal("no cover found")
+	}
+	exact := ilp.Solve(m, ilp.Options{})
+	if exact.Status != ilp.Optimal {
+		t.Fatalf("exact status = %v", exact.Status)
+	}
+	if heur.Objective > exact.Objective*2 {
+		t.Fatalf("heuristic cover %v far from optimal %v", heur.Objective, exact.Objective)
+	}
+}

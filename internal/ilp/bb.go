@@ -1,0 +1,591 @@
+package ilp
+
+import (
+	"math"
+	"time"
+
+	"ilpec/internal/lp"
+)
+
+const solveEps = 1e-9
+
+// normRow is a row normalized to Σ a_j x_j ≤ b form.
+type normRow struct {
+	coefs []Coef
+	rhs   float64
+}
+
+// solver is the branch-and-bound engine. All rows are normalized to ≤ so
+// that pseudo-Boolean propagation has a single shape: a row is infeasible
+// when its minimum activity exceeds the right-hand side, and an unfixed
+// variable is forced when one of its values would make that happen.
+type solver struct {
+	m    *Model
+	opts Options
+
+	maximize bool
+	obj      []float64 // internal minimization objective
+	rows     []normRow
+	varRows  [][]int32 // rows containing each variable
+
+	fixed  []int8 // -1 unfixed, else 0/1
+	minAct []float64
+	trail  []int32 // fixed variable indices in order
+
+	incumbent    Solution
+	incumbentObj float64 // internal (minimization) value
+	hasIncumbent bool
+
+	// Covering structure (detected from the original rows): coverRows[i]
+	// lists the columns of a Σ x_j ≥ 1 unit-coefficient row. Used for the
+	// counting bound and greedy branching that make set-cover-shaped
+	// models (the SAT encoding of §3) tractable.
+	coverRows  [][]int32
+	coverOfVar [][]int32 // cover rows containing each variable
+	branching  Branching
+
+	nodes    int64
+	lpSolves int64
+	props    int64
+	deadline time.Time
+	timedOut bool
+
+	lpBase *lp.Problem // base relaxation (built lazily for LPBound)
+}
+
+func newSolver(m *Model, opts Options) *solver {
+	s := &solver{
+		m:        m,
+		opts:     opts,
+		maximize: m.Maximize,
+		obj:      make([]float64, m.NumVars()),
+		fixed:    make([]int8, m.NumVars()),
+		varRows:  make([][]int32, m.NumVars()),
+	}
+	for j := range s.fixed {
+		s.fixed[j] = -1
+	}
+	for j := 0; j < m.NumVars(); j++ {
+		c := m.obj[j]
+		if s.maximize {
+			c = -c
+		}
+		s.obj[j] = c
+	}
+	// Normalize rows to ≤ form; EQ becomes a ≤ and a ≥(negated ≤) pair.
+	addLE := func(coefs []Coef, rhs float64) {
+		idx := len(s.rows)
+		cp := append([]Coef(nil), coefs...)
+		s.rows = append(s.rows, normRow{coefs: cp, rhs: rhs})
+		for _, c := range cp {
+			s.varRows[c.Var] = append(s.varRows[c.Var], int32(idx))
+		}
+	}
+	neg := func(coefs []Coef) []Coef {
+		out := make([]Coef, len(coefs))
+		for i, c := range coefs {
+			out[i] = Coef{c.Var, -c.Val}
+		}
+		return out
+	}
+	for _, r := range m.rows {
+		switch r.Sense {
+		case LE:
+			addLE(r.Coefs, r.RHS)
+		case GE:
+			addLE(neg(r.Coefs), -r.RHS)
+		case EQ:
+			addLE(r.Coefs, r.RHS)
+			addLE(neg(r.Coefs), -r.RHS)
+		}
+	}
+	s.minAct = make([]float64, len(s.rows))
+	for i, r := range s.rows {
+		a := 0.0
+		for _, c := range r.coefs {
+			if c.Val < 0 {
+				a += c.Val
+			}
+		}
+		s.minAct[i] = a
+	}
+	// Detect covering rows (Σ x ≥ 1 or Σ x = 1, unit coefficients) in the
+	// original model for the counting bound and greedy branching. An
+	// equality row's ≥ direction is a valid cover.
+	s.coverOfVar = make([][]int32, m.NumVars())
+	for _, r := range m.rows {
+		if (r.Sense != GE && r.Sense != EQ) || r.RHS != 1 {
+			continue
+		}
+		ok := true
+		for _, c := range r.Coefs {
+			if c.Val != 1 {
+				ok = false
+				break
+			}
+		}
+		if !ok || len(r.Coefs) == 0 {
+			continue
+		}
+		idx := int32(len(s.coverRows))
+		cols := make([]int32, len(r.Coefs))
+		for i, c := range r.Coefs {
+			cols[i] = int32(c.Var)
+			s.coverOfVar[c.Var] = append(s.coverOfVar[c.Var], idx)
+		}
+		s.coverRows = append(s.coverRows, cols)
+	}
+	s.branching = opts.Branching
+	if s.branching == BranchMaxObj && len(s.coverRows) > 0 {
+		// The default rule degenerates on uniform objectives; covering
+		// structure admits a much better greedy choice.
+		s.branching = BranchCoverGreedy
+	}
+	return s
+}
+
+func (s *solver) internalObj(sol Solution) float64 {
+	z := 0.0
+	for j, v := range sol {
+		if v != 0 {
+			z += s.obj[j]
+		}
+	}
+	return z
+}
+
+func (s *solver) run() Result {
+	if s.opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(s.opts.TimeLimit)
+	}
+	// Warm start: adopt as incumbent when feasible.
+	if ws := s.opts.WarmStart; ws != nil && len(ws) == s.m.NumVars() && s.m.Feasible(ws) {
+		s.incumbent = ws.Clone()
+		s.incumbentObj = s.internalObj(ws)
+		s.hasIncumbent = true
+	}
+
+	// Root propagation, then depth-first search with explicit undo.
+	mark := len(s.trail)
+	if s.propagateAll() {
+		s.search()
+	}
+	s.undoTo(mark)
+
+	res := Result{Nodes: s.nodes, LPSolves: s.lpSolves, Propagations: s.props}
+	switch {
+	case s.hasIncumbent && !s.timedOut && !s.nodeLimited():
+		res.Status = Optimal
+	case s.hasIncumbent:
+		res.Status = Feasible
+	case !s.timedOut && !s.nodeLimited():
+		res.Status = Infeasible
+	default:
+		res.Status = Unknown
+	}
+	if s.hasIncumbent {
+		res.Solution = s.incumbent.Clone()
+		res.Objective = s.m.Objective(s.incumbent)
+	}
+	return res
+}
+
+func (s *solver) nodeLimited() bool {
+	return s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes
+}
+
+func (s *solver) limitHit() bool {
+	if s.nodeLimited() {
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+	return s.timedOut
+}
+
+// search explores the subtree under the current trail. It returns false if
+// a limit stopped the search (so optimality cannot be claimed).
+func (s *solver) search() bool {
+	if s.limitHit() {
+		return false
+	}
+	// Bounding.
+	bound := s.bound()
+	if math.IsInf(bound, 1) {
+		return true // no feasible completion exists
+	}
+	if s.hasIncumbent && bound >= s.incumbentObj-solveEps {
+		return true // pruned; subtree fully accounted for
+	}
+	j := s.pickVar()
+	if j < 0 {
+		// All variables fixed: feasible by propagation invariant.
+		s.record()
+		return true
+	}
+	s.nodes++
+	first := s.firstValue(j)
+	complete := true
+	for _, v := range [2]int8{first, 1 - first} {
+		mark := len(s.trail)
+		if s.assign(j, v) && s.propagateAll() {
+			if !s.search() {
+				complete = false
+			}
+		}
+		s.undoTo(mark)
+		if s.limitHit() {
+			return false
+		}
+	}
+	return complete
+}
+
+// firstValue returns the branch value to try first for variable j: the warm
+// start's value when present, otherwise greedy-1 for covering picks, else
+// the objective-improving value.
+func (s *solver) firstValue(j int) int8 {
+	if ws := s.opts.WarmStart; ws != nil && j < len(ws) {
+		return ws[j]
+	}
+	if s.branching == BranchCoverGreedy && len(s.coverOfVar[j]) > 0 {
+		return 1 // dive greedily toward a covering incumbent
+	}
+	if s.obj[j] > 0 {
+		return 0
+	}
+	return 1
+}
+
+// record stores the current complete assignment as incumbent if better.
+func (s *solver) record() {
+	sol := make(Solution, len(s.fixed))
+	for j, v := range s.fixed {
+		if v == 1 {
+			sol[j] = 1
+		}
+	}
+	z := s.internalObj(sol)
+	if !s.hasIncumbent || z < s.incumbentObj-solveEps {
+		s.incumbent = sol
+		s.incumbentObj = z
+		s.hasIncumbent = true
+	}
+}
+
+// assign fixes variable j to v, updating row activities. Returns false when
+// a row becomes infeasible immediately.
+func (s *solver) assign(j int, v int8) bool {
+	s.fixed[j] = v
+	s.trail = append(s.trail, int32(j))
+	ok := true
+	for _, ri := range s.varRows[j] {
+		r := &s.rows[ri]
+		var a float64
+		for _, c := range r.coefs {
+			if c.Var == j {
+				a = c.Val
+				break
+			}
+		}
+		// Min contribution was min(0, a); now a·v.
+		s.minAct[ri] += a*float64(v) - math.Min(0, a)
+		if s.minAct[ri] > r.rhs+solveEps {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func (s *solver) unassign(j int) {
+	v := s.fixed[j]
+	for _, ri := range s.varRows[j] {
+		r := &s.rows[ri]
+		var a float64
+		for _, c := range r.coefs {
+			if c.Var == j {
+				a = c.Val
+				break
+			}
+		}
+		s.minAct[ri] -= a*float64(v) - math.Min(0, a)
+	}
+	s.fixed[j] = -1
+}
+
+func (s *solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		j := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.unassign(int(j))
+	}
+}
+
+// propagateAll runs pseudo-Boolean propagation to fixpoint. Returns false
+// on conflict.
+func (s *solver) propagateAll() bool {
+	for {
+		changed := false
+		for ri := range s.rows {
+			r := &s.rows[ri]
+			slack := r.rhs - s.minAct[ri]
+			if slack < -solveEps {
+				return false
+			}
+			for _, c := range r.coefs {
+				if s.fixed[c.Var] != -1 {
+					continue
+				}
+				if c.Val > 0 && c.Val > slack+solveEps {
+					// x=1 would overflow the row → force 0.
+					s.props++
+					if !s.assign(c.Var, 0) {
+						return false
+					}
+					changed = true
+				} else if c.Val < 0 && -c.Val > slack+solveEps {
+					// x=0 removes the negative min contribution → force 1.
+					s.props++
+					if !s.assign(c.Var, 1) {
+						return false
+					}
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}
+
+// bound returns a lower bound (internal minimization sense) on the best
+// completion of the current partial assignment.
+func (s *solver) bound() float64 {
+	switch s.opts.Bounding {
+	case LPBound:
+		if b, ok := s.lpBound(); ok {
+			return b
+		}
+		return s.combBound()
+	default:
+		return s.combBound()
+	}
+}
+
+func (s *solver) combBound() float64 {
+	z := 0.0
+	for j, v := range s.fixed {
+		switch {
+		case v == 1:
+			z += s.obj[j]
+		case v == -1 && s.obj[j] < 0:
+			z += s.obj[j] // best case: take every negative-cost variable
+		}
+	}
+	return z + s.coverBound()
+}
+
+// coverBound strengthens the combinatorial bound with a counting argument
+// over the detected covering rows: every still-uncovered row whose unfixed
+// columns all carry non-negative cost requires a paid selection; a single
+// selection covers at most maxCov such rows and costs at least minC, so at
+// least ceil(N/maxCov)·minC of extra cost is unavoidable. (Negative-cost
+// columns are already charged by combBound, so rows they could cover are
+// excluded.)
+func (s *solver) coverBound() float64 {
+	if len(s.coverRows) == 0 {
+		return 0
+	}
+	// Mark the rows that still need a paid covering selection.
+	needed := 0
+	neededMark := make([]bool, len(s.coverRows))
+	for ri, cols := range s.coverRows {
+		covered := false
+		freeCoverable := false
+		for _, j := range cols {
+			switch s.fixed[j] {
+			case 1:
+				covered = true
+			case -1:
+				if s.obj[j] < 0 {
+					freeCoverable = true
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		if !covered && !freeCoverable {
+			neededMark[ri] = true
+			needed++
+		}
+	}
+	if needed == 0 {
+		return 0
+	}
+	maxCov := 0
+	minC := math.Inf(1)
+	for j := range s.fixed {
+		if s.fixed[j] != -1 || s.obj[j] < 0 {
+			continue
+		}
+		cov := 0
+		for _, ri := range s.coverOfVar[j] {
+			if neededMark[ri] {
+				cov++
+			}
+		}
+		if cov == 0 {
+			continue
+		}
+		if cov > maxCov {
+			maxCov = cov
+		}
+		if s.obj[j] < minC {
+			minC = s.obj[j]
+		}
+	}
+	if maxCov == 0 {
+		// No unfixed column can cover a needed row: the node is infeasible;
+		// report an infinite bound so it prunes immediately.
+		return math.Inf(1)
+	}
+	picks := (needed + maxCov - 1) / maxCov
+	return float64(picks) * minC
+}
+
+// lpBound solves the LP relaxation with current fixings as tight bounds.
+func (s *solver) lpBound() (float64, bool) {
+	s.lpSolves++
+	p := lp.NewProblem(false)
+	for j := range s.fixed {
+		lo, hi := 0.0, 1.0
+		if s.fixed[j] == 0 {
+			hi = 0
+		} else if s.fixed[j] == 1 {
+			lo = 1
+		}
+		p.AddVariable(s.obj[j], lo, hi)
+	}
+	for _, r := range s.rows {
+		coefs := make([]lp.Coef, len(r.coefs))
+		for i, c := range r.coefs {
+			coefs[i] = lp.Coef{Var: c.Var, Val: c.Val}
+		}
+		p.AddRow(coefs, lp.LE, r.rhs)
+	}
+	res := p.Solve()
+	switch res.Status {
+	case lp.Optimal:
+		return res.Objective, true
+	case lp.Infeasible:
+		return math.Inf(1), true // prune: no completion exists
+	default:
+		return 0, false
+	}
+}
+
+// pickVar selects the next branching variable, or -1 when all are fixed.
+func (s *solver) pickVar() int {
+	switch s.branching {
+	case BranchCoverGreedy:
+		// Greedy set-cover choice: the unfixed variable covering the most
+		// still-uncovered covering rows; falls through to max-objective
+		// when every row is covered.
+		covered := make([]bool, len(s.coverRows))
+		for ri, cols := range s.coverRows {
+			for _, j := range cols {
+				if s.fixed[j] == 1 {
+					covered[ri] = true
+					break
+				}
+			}
+		}
+		best, bestCov := -1, 0
+		for j, v := range s.fixed {
+			if v != -1 {
+				continue
+			}
+			cov := 0
+			for _, ri := range s.coverOfVar[j] {
+				if !covered[ri] {
+					cov++
+				}
+			}
+			if cov > bestCov {
+				best, bestCov = j, cov
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return s.pickMaxObj()
+	case BranchMostConstrained:
+		best, bestOcc := -1, -1
+		for j, v := range s.fixed {
+			if v == -1 && len(s.varRows[j]) > bestOcc {
+				best, bestOcc = j, len(s.varRows[j])
+			}
+		}
+		return best
+	case BranchLPFractional:
+		if s.opts.Bounding == LPBound {
+			if j := s.lpFractionalVar(); j >= 0 {
+				return j
+			}
+		}
+		return s.pickMaxObj()
+	default:
+		return s.pickMaxObj()
+	}
+}
+
+func (s *solver) pickMaxObj() int {
+	best, bestAbs := -1, -1.0
+	for j, v := range s.fixed {
+		if v == -1 && math.Abs(s.obj[j]) > bestAbs {
+			best, bestAbs = j, math.Abs(s.obj[j])
+		}
+	}
+	return best
+}
+
+// lpFractionalVar re-solves the node relaxation and returns the unfixed
+// variable with the most fractional value, or -1.
+func (s *solver) lpFractionalVar() int {
+	s.lpSolves++
+	p := lp.NewProblem(false)
+	for j := range s.fixed {
+		lo, hi := 0.0, 1.0
+		if s.fixed[j] == 0 {
+			hi = 0
+		} else if s.fixed[j] == 1 {
+			lo = 1
+		}
+		p.AddVariable(s.obj[j], lo, hi)
+	}
+	for _, r := range s.rows {
+		coefs := make([]lp.Coef, len(r.coefs))
+		for i, c := range r.coefs {
+			coefs[i] = lp.Coef{Var: c.Var, Val: c.Val}
+		}
+		p.AddRow(coefs, lp.LE, r.rhs)
+	}
+	res := p.Solve()
+	if res.Status != lp.Optimal {
+		return -1
+	}
+	best, bestDist := -1, 2.0
+	for j, x := range res.X {
+		if s.fixed[j] != -1 {
+			continue
+		}
+		d := math.Abs(x - 0.5)
+		if d < bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,335 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// knapsack builds max Σ v_j x_j s.t. Σ w_j x_j ≤ cap.
+func knapsack(values, weights []float64, cap float64) *Model {
+	m := NewModel(true)
+	coefs := make([]Coef, len(values))
+	for j := range values {
+		m.AddVar("", values[j])
+		coefs[j] = Coef{j, weights[j]}
+	}
+	m.AddRow("cap", coefs, LE, cap)
+	return m
+}
+
+func TestKnapsackOptimal(t *testing.T) {
+	m := knapsack([]float64{6, 5, 4}, []float64{3, 2, 2}, 4)
+	res := Solve(m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Best is items 2+3: value 9, weight 4.
+	if res.Objective != 9 {
+		t.Fatalf("objective = %v, want 9", res.Objective)
+	}
+	if !m.Feasible(res.Solution) {
+		t.Fatal("infeasible optimum")
+	}
+}
+
+func TestInfeasibleModel(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 1)
+	m.AddRow("", []Coef{{x, 1}}, GE, 1)
+	m.AddRow("", []Coef{{x, 1}}, LE, 0)
+	if res := Solve(m, Options{}); res.Status != Infeasible {
+		t.Fatalf("status = %v, want INFEASIBLE", res.Status)
+	}
+}
+
+func TestEqualityRows(t *testing.T) {
+	// min x+y+z s.t. x+y+z = 2 → objective 2.
+	m := NewModel(false)
+	var coefs []Coef
+	for j := 0; j < 3; j++ {
+		m.AddVar("", 1)
+		coefs = append(coefs, Coef{j, 1})
+	}
+	m.AddRow("", coefs, EQ, 2)
+	res := Solve(m, Options{})
+	if res.Status != Optimal || res.Objective != 2 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+	sum := int8(0)
+	for _, v := range res.Solution {
+		sum += v
+	}
+	if sum != 2 {
+		t.Fatalf("solution sum = %d", sum)
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := NewModel(false)
+	res := Solve(m, Options{})
+	if res.Status != Optimal || res.Objective != 0 || len(res.Solution) != 0 {
+		t.Fatalf("empty model: %+v", res)
+	}
+}
+
+func TestNoRowsPicksObjectiveBounds(t *testing.T) {
+	m := NewModel(true)
+	m.AddVar("a", 5)
+	m.AddVar("b", -3)
+	res := Solve(m, Options{})
+	if res.Status != Optimal || res.Objective != 5 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+	if res.Solution[0] != 1 || res.Solution[1] != 0 {
+		t.Fatalf("solution = %v", res.Solution)
+	}
+}
+
+func randomModel(rng *rand.Rand, nVars, nRows int) *Model {
+	m := NewModel(rng.Intn(2) == 0)
+	for j := 0; j < nVars; j++ {
+		m.AddVar("", float64(rng.Intn(21)-10))
+	}
+	for i := 0; i < nRows; i++ {
+		var coefs []Coef
+		for j := 0; j < nVars; j++ {
+			if rng.Intn(3) == 0 {
+				coefs = append(coefs, Coef{j, float64(rng.Intn(9) - 4)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = append(coefs, Coef{rng.Intn(nVars), 1})
+		}
+		sense := Sense(rng.Intn(3))
+		rhs := float64(rng.Intn(7) - 2)
+		m.AddRow("", coefs, sense, rhs)
+	}
+	return m
+}
+
+// TestSolveAgainstEnumerate is the core oracle test: branch and bound must
+// agree with exhaustive enumeration on status and objective value.
+func TestSolveAgainstEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	for trial := 0; trial < 250; trial++ {
+		m := randomModel(rng, 2+rng.Intn(8), 1+rng.Intn(6))
+		want := Enumerate(m)
+		got := Solve(m, Options{})
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: got %v want %v\nmodel: %v", trial, got.Status, want.Status, m)
+		}
+		if want.Status == Optimal {
+			if math.Abs(got.Objective-want.Objective) > 1e-9 {
+				t.Fatalf("trial %d: got obj %v want %v", trial, got.Objective, want.Objective)
+			}
+			if !m.Feasible(got.Solution) {
+				t.Fatalf("trial %d: infeasible claimed optimum", trial)
+			}
+		}
+	}
+}
+
+// TestBoundingModesAgree: LP-relaxation bounding must not change results.
+func TestBoundingModesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		m := randomModel(rng, 2+rng.Intn(6), 1+rng.Intn(4))
+		a := Solve(m, Options{Bounding: CombBound})
+		b := Solve(m, Options{Bounding: LPBound})
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: comb=%v lp=%v", trial, a.Status, b.Status)
+		}
+		if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-6 {
+			t.Fatalf("trial %d: comb obj=%v lp obj=%v", trial, a.Objective, b.Objective)
+		}
+		if b.Status == Optimal && b.LPSolves == 0 {
+			t.Fatalf("trial %d: LPBound did not call the LP solver", trial)
+		}
+	}
+}
+
+// TestBranchingModesAgree: all branching rules find the same optimum.
+func TestBranchingModesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rules := []Branching{BranchMaxObj, BranchMostConstrained, BranchLPFractional}
+	for trial := 0; trial < 40; trial++ {
+		m := randomModel(rng, 2+rng.Intn(6), 1+rng.Intn(4))
+		want := Enumerate(m)
+		for _, rule := range rules {
+			opts := Options{Branching: rule}
+			if rule == BranchLPFractional {
+				opts.Bounding = LPBound
+			}
+			got := Solve(m, opts)
+			if got.Status != want.Status {
+				t.Fatalf("trial %d rule %d: got %v want %v", trial, rule, got.Status, want.Status)
+			}
+			if want.Status == Optimal && math.Abs(got.Objective-want.Objective) > 1e-6 {
+				t.Fatalf("trial %d rule %d: obj %v want %v", trial, rule, got.Objective, want.Objective)
+			}
+		}
+	}
+}
+
+func TestWarmStartAdoptedAsIncumbent(t *testing.T) {
+	m := knapsack([]float64{6, 5, 4}, []float64{3, 2, 2}, 4)
+	ws := Solution{0, 1, 1} // the optimum
+	res := Solve(m, Options{WarmStart: ws})
+	if res.Status != Optimal || res.Objective != 9 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+	// An infeasible warm start must be ignored, not break the solve.
+	bad := Solution{1, 1, 1}
+	res2 := Solve(m, Options{WarmStart: bad})
+	if res2.Status != Optimal || res2.Objective != 9 {
+		t.Fatalf("bad warm start broke solve: %v %v", res2.Status, res2.Objective)
+	}
+}
+
+func TestWarmStartSpeedsSearch(t *testing.T) {
+	// On a model whose optimum is the warm start, node count with warm
+	// start must not exceed node count without.
+	rng := rand.New(rand.NewSource(5))
+	slow, fast := int64(0), int64(0)
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(rng, 10, 6)
+		base := Solve(m, Options{})
+		if base.Status != Optimal {
+			continue
+		}
+		warm := Solve(m, Options{WarmStart: base.Solution})
+		slow += base.Nodes
+		fast += warm.Nodes
+	}
+	if fast > slow {
+		t.Fatalf("warm start explored more nodes overall: %d > %d", fast, slow)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomModel(rng, 18, 10)
+	res := Solve(m, Options{MaxNodes: 1})
+	if res.Status == Optimal || res.Status == Infeasible {
+		// With 1 node the solver may still finish trivial models; verify
+		// correctness in that case.
+		want := Enumerate(m)
+		if res.Status != want.Status {
+			t.Fatalf("1-node claimed %v, oracle %v", res.Status, want.Status)
+		}
+		return
+	}
+	if res.Status != Feasible && res.Status != Unknown {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	// A large hard model; the 1ns budget must stop the search quickly.
+	m := randomModel(rng, 40, 30)
+	start := time.Now()
+	res := Solve(m, Options{TimeLimit: time.Nanosecond})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("time limit not respected")
+	}
+	_ = res
+}
+
+func TestPropagationForcesVariables(t *testing.T) {
+	// x + y ≤ 1 with x ≥ 1 forces y = 0 without branching on y.
+	m := NewModel(true)
+	x := m.AddVar("x", 1)
+	y := m.AddVar("y", 1)
+	m.AddRow("", []Coef{{x, 1}}, GE, 1)
+	m.AddRow("", []Coef{{x, 1}, {y, 1}}, LE, 1)
+	res := Solve(m, Options{})
+	if res.Status != Optimal || res.Objective != 1 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+	if res.Solution[x] != 1 || res.Solution[y] != 0 {
+		t.Fatalf("solution = %v", res.Solution)
+	}
+	if res.Propagations == 0 {
+		t.Fatal("expected propagation events")
+	}
+}
+
+func TestNegativeCoefficientPropagation(t *testing.T) {
+	// -x ≤ -1 forces x = 1.
+	m := NewModel(false)
+	x := m.AddVar("x", 5)
+	m.AddRow("", []Coef{{x, -1}}, LE, -1)
+	res := Solve(m, Options{})
+	if res.Status != Optimal || res.Solution[x] != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEnumerateTooLarge(t *testing.T) {
+	m := NewModel(false)
+	m.AddVars(MaxEnumerateVars + 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Enumerate(m)
+}
+
+func TestCountFeasible(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 0)
+	y := m.AddVar("y", 0)
+	m.AddRow("", []Coef{{x, 1}, {y, 1}}, LE, 1)
+	if n := CountFeasible(m); n != 3 {
+		t.Fatalf("CountFeasible = %d, want 3", n)
+	}
+}
+
+// Set-cover instance from the paper's §3 example: three clauses, variables
+// x1..x6 (x4..x6 complements), minimize selected literals.
+func paperSetCover() *Model {
+	m := NewModel(false)
+	for j := 0; j < 6; j++ {
+		m.AddVar("", 1)
+	}
+	// S1 = (x4, x2), S2 = (x2, x3), S3 = (x1, x6) — cover rows.
+	m.AddRow("S1", []Coef{{3, 1}, {1, 1}}, GE, 1)
+	m.AddRow("S2", []Coef{{1, 1}, {2, 1}}, GE, 1)
+	m.AddRow("S3", []Coef{{0, 1}, {5, 1}}, GE, 1)
+	// Consistency: x_i + x_{i+3} ≤ 1.
+	for v := 0; v < 3; v++ {
+		m.AddRow("", []Coef{{v, 1}, {v + 3, 1}}, LE, 1)
+	}
+	return m
+}
+
+func TestPaperSetCoverExample(t *testing.T) {
+	m := paperSetCover()
+	res := Solve(m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Two selections suffice (e.g. x2 covers S1+S2, x1 or x6 covers S3).
+	if res.Objective != 2 {
+		t.Fatalf("objective = %v, want 2", res.Objective)
+	}
+	want := Enumerate(m)
+	if math.Abs(want.Objective-res.Objective) > 1e-9 {
+		t.Fatalf("oracle disagrees: %v", want.Objective)
+	}
+}
+
+func TestSolveStatsPopulated(t *testing.T) {
+	m := paperSetCover()
+	res := Solve(m, Options{})
+	if res.Runtime <= 0 {
+		t.Fatal("runtime not recorded")
+	}
+	if res.Nodes < 0 {
+		t.Fatal("negative node count")
+	}
+}

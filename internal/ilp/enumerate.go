@@ -1,0 +1,62 @@
+package ilp
+
+// MaxEnumerateVars bounds the exhaustive reference optimizer.
+const MaxEnumerateVars = 22
+
+// Enumerate exhaustively optimizes the model by trying all 2^n points.
+// It is the test oracle for the branch-and-bound solver and panics beyond
+// MaxEnumerateVars variables.
+func Enumerate(m *Model) Result {
+	n := m.NumVars()
+	if n > MaxEnumerateVars {
+		panic("ilp: Enumerate instance too large")
+	}
+	sol := make(Solution, n)
+	var best Solution
+	bestObj := m.WorstObjective()
+	for mask := 0; mask < 1<<n; mask++ {
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				sol[j] = 1
+			} else {
+				sol[j] = 0
+			}
+		}
+		if !m.Feasible(sol) {
+			continue
+		}
+		z := m.Objective(sol)
+		if best == nil || m.Better(z, bestObj) {
+			best = sol.Clone()
+			bestObj = z
+		}
+	}
+	if best == nil {
+		return Result{Status: Infeasible}
+	}
+	return Result{Status: Optimal, Objective: bestObj, Solution: best}
+}
+
+// CountFeasible exhaustively counts feasible 0-1 points (test helper;
+// panics beyond MaxEnumerateVars).
+func CountFeasible(m *Model) int {
+	n := m.NumVars()
+	if n > MaxEnumerateVars {
+		panic("ilp: CountFeasible instance too large")
+	}
+	sol := make(Solution, n)
+	count := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				sol[j] = 1
+			} else {
+				sol[j] = 0
+			}
+		}
+		if m.Feasible(sol) {
+			count++
+		}
+	}
+	return count
+}

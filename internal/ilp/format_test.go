@@ -1,0 +1,130 @@
+package ilp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseTextBasic(t *testing.T) {
+	in := `# tiny model
+max x + 2 y - 3 z
+st
+c1: x + y <= 1
+c2: 2 x - y >= 0
+c3: x + z = 1
+`
+	m, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Maximize || m.NumVars() != 3 || m.NumRows() != 3 {
+		t.Fatalf("parsed %v", m)
+	}
+	if m.Obj(0) != 1 || m.Obj(1) != 2 || m.Obj(2) != -3 {
+		t.Fatalf("objective = %v %v %v", m.Obj(0), m.Obj(1), m.Obj(2))
+	}
+	r := m.RowAt(1)
+	if r.Sense != GE || r.RHS != 0 || len(r.Coefs) != 2 {
+		t.Fatalf("row 1 = %+v", r)
+	}
+}
+
+func TestParseTextGluedCoefficients(t *testing.T) {
+	in := "min 2x - y\nst\nr: 3x + -2y <= 4\n"
+	m, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Obj(0) != 2 || m.Obj(1) != -1 {
+		t.Fatalf("objective = %v %v", m.Obj(0), m.Obj(1))
+	}
+	r := m.RowAt(0)
+	if r.Coefs[0].Val != 3 || r.Coefs[1].Val != -2 {
+		t.Fatalf("row coefs = %+v", r.Coefs)
+	}
+}
+
+func TestParseTextMergesDuplicateTerms(t *testing.T) {
+	in := "min x\nst\nr: x + x <= 1\n"
+	m, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.RowAt(0)
+	if len(r.Coefs) != 1 || r.Coefs[0].Val != 2 {
+		t.Fatalf("merged coefs = %+v", r.Coefs)
+	}
+}
+
+func TestParseTextZeroObjective(t *testing.T) {
+	in := "min 0\nst\nr: x >= 1\n"
+	m, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVars() != 1 || m.Obj(0) != 0 {
+		t.Fatalf("vars=%d obj=%v", m.NumVars(), m.Obj(0))
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no objective", "st\nr: x <= 1\n"},
+		{"no comparison", "min x\nst\nr: x 1\n"},
+		{"bad rhs", "min x\nst\nr: x <= one\n"},
+		{"stuff before st", "min x\nr: x <= 1\n"},
+		{"empty", ""},
+		{"double number", "min 2 3 x\nst\n"},
+		{"dangling coef", "min x + 2\nst\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseText(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := NewModel(true)
+	x := m.AddVar("x", 1.5)
+	y := m.AddVar("y", -2)
+	z := m.AddVar("z", 0)
+	m.AddRow("a", []Coef{{x, 1}, {y, 1}}, LE, 1)
+	m.AddRow("b", []Coef{{y, -3}, {z, 1}}, GE, -2)
+	m.AddRow("c", []Coef{{x, 1}, {z, 2.5}}, EQ, 2)
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("%v\ntext:\n%s", err, buf.String())
+	}
+	if m2.NumVars() != 3 || m2.NumRows() != 3 || !m2.Maximize {
+		t.Fatalf("round trip shape: %v", m2)
+	}
+	// The two models must have identical optima.
+	a, b := Enumerate(m), Enumerate(m2)
+	if a.Status != b.Status || math.Abs(a.Objective-b.Objective) > 1e-9 {
+		t.Fatalf("optima differ after round trip: %v/%v vs %v/%v", a.Status, a.Objective, b.Status, b.Objective)
+	}
+}
+
+func TestWriteTextZeroObjective(t *testing.T) {
+	m := NewModel(false)
+	m.AddVar("x", 0)
+	m.AddRow("r", []Coef{{0, 1}}, GE, 1)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "min 0") {
+		t.Fatalf("zero objective rendering: %q", buf.String())
+	}
+	if _, err := ParseText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}

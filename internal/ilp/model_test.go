@@ -1,0 +1,133 @@
+package ilp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelBasics(t *testing.T) {
+	m := NewModel(true)
+	x := m.AddVar("x", 3)
+	y := m.AddVar("", -1)
+	if x != 0 || y != 1 || m.NumVars() != 2 {
+		t.Fatal("AddVar indices wrong")
+	}
+	if m.VarName(y) != "x1" {
+		t.Fatalf("default name = %q", m.VarName(y))
+	}
+	m.SetObj(y, 2)
+	if m.Obj(y) != 2 {
+		t.Fatal("SetObj/Obj mismatch")
+	}
+	r := m.AddRow("c", []Coef{{x, 1}, {y, 1}}, LE, 1)
+	if r != 0 || m.NumRows() != 1 {
+		t.Fatal("AddRow index wrong")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowEvaluation(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 1)
+	y := m.AddVar("y", 1)
+	m.AddRow("", []Coef{{x, 2}, {y, -1}}, LE, 1)
+	m.AddRow("", []Coef{{x, 1}, {y, 1}}, GE, 1)
+	m.AddRow("", []Coef{{x, 1}}, EQ, 1)
+
+	s := Solution{1, 1}
+	r0 := m.RowAt(0)
+	if r0.Activity(s) != 1 {
+		t.Fatalf("activity = %v", r0.Activity(s))
+	}
+	if !m.Feasible(s) {
+		t.Fatal("s should be feasible")
+	}
+	if m.Objective(s) != 2 {
+		t.Fatalf("objective = %v", m.Objective(s))
+	}
+	bad := Solution{0, 0}
+	if m.Feasible(bad) {
+		t.Fatal("bad should violate GE and EQ rows")
+	}
+	if m.NumViolated(bad) != 2 {
+		t.Fatalf("NumViolated = %d, want 2", m.NumViolated(bad))
+	}
+	if v := m.RowAt(1).Violation(bad); v != 1 {
+		t.Fatalf("GE violation = %v", v)
+	}
+	if v := m.RowAt(2).Violation(bad); v != 1 {
+		t.Fatalf("EQ violation = %v", v)
+	}
+	if m.Feasible(Solution{1}) {
+		t.Fatal("length-mismatched solution should be infeasible")
+	}
+}
+
+func TestBetterAndWorst(t *testing.T) {
+	mx := NewModel(true)
+	if !mx.Better(2, 1) || mx.Better(1, 2) {
+		t.Fatal("maximize Better wrong")
+	}
+	mn := NewModel(false)
+	if !mn.Better(1, 2) || mn.Better(2, 1) {
+		t.Fatal("minimize Better wrong")
+	}
+	if !mx.Better(0, mx.WorstObjective()) || !mn.Better(0, mn.WorstObjective()) {
+		t.Fatal("WorstObjective not worst")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 1)
+	m.AddRow("r", []Coef{{x, 1}}, LE, 1)
+	c := m.Clone()
+	c.SetObj(x, 9)
+	c.AddRow("r2", []Coef{{x, 1}}, GE, 0)
+	c.rows[0].Coefs[0].Val = 5
+	if m.Obj(x) != 1 || m.NumRows() != 1 || m.rows[0].Coefs[0].Val != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestValidateCatchesBadRows(t *testing.T) {
+	m := NewModel(false)
+	m.AddVar("x", 1)
+	m.rows = append(m.rows, Row{Coefs: []Coef{{5, 1}}, Sense: LE, RHS: 0})
+	if m.Validate() == nil {
+		t.Fatal("Validate accepted unknown variable")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := NewModel(true)
+	x := m.AddVar("x", 1)
+	y := m.AddVar("y", -2)
+	m.AddRow("c1", []Coef{{x, 1}, {y, 2}}, LE, 3)
+	if got := m.String(); !strings.Contains(got, "max") || !strings.Contains(got, "2 vars") {
+		t.Fatalf("String = %q", got)
+	}
+	if got := m.RowString(0); got != "c1: x + 2 y <= 3" {
+		t.Fatalf("RowString = %q", got)
+	}
+	st := m.ComputeStats()
+	if st.Vars != 2 || st.Rows != 1 || st.NonZeros != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRowStringEdgeCases(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 0)
+	y := m.AddVar("y", 0)
+	m.AddRow("", []Coef{{x, -1}, {y, -2.5}}, GE, -1)
+	if got := m.RowString(0); got != "- x - 2.5 y >= -1" {
+		t.Fatalf("RowString = %q", got)
+	}
+	m.AddRow("empty", nil, LE, 0)
+	if got := m.RowString(1); got != "empty: 0 <= 0" {
+		t.Fatalf("RowString = %q", got)
+	}
+}

@@ -1,0 +1,159 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: negating a GE row into LE form leaves the optimum unchanged.
+func TestSenseNormalizationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := NewModel(r.Intn(2) == 0)
+		bm := NewModel(a.Maximize)
+		for j := 0; j < n; j++ {
+			c := float64(r.Intn(9) - 4)
+			a.AddVar("", c)
+			bm.AddVar("", c)
+		}
+		for i := 0; i < 1+r.Intn(4); i++ {
+			var coefs []Coef
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					coefs = append(coefs, Coef{j, float64(r.Intn(7) - 3)})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{0, 1})
+			}
+			rhs := float64(r.Intn(5) - 1)
+			// Model a: GE row. Model b: equivalent negated LE row.
+			a.AddRow("", coefs, GE, rhs)
+			neg := make([]Coef, len(coefs))
+			for k, c := range coefs {
+				neg[k] = Coef{c.Var, -c.Val}
+			}
+			bm.AddRow("", neg, LE, -rhs)
+		}
+		ra := Solve(a, Options{})
+		rb := Solve(bm, Options{})
+		if ra.Status != rb.Status {
+			return false
+		}
+		if ra.Status == Optimal && math.Abs(ra.Objective-rb.Objective) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a feasible warm start never worsens the reported optimum, and
+// the solve is deterministic.
+func TestWarmStartProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomModel(r, 3+r.Intn(6), 1+r.Intn(4))
+		base := Solve(m, Options{})
+		again := Solve(m, Options{})
+		if base.Status != again.Status || base.Nodes != again.Nodes {
+			return false // nondeterminism
+		}
+		if base.Status != Optimal {
+			return true
+		}
+		warm := Solve(m, Options{WarmStart: base.Solution})
+		if warm.Status != Optimal {
+			return false
+		}
+		return math.Abs(warm.Objective-base.Objective) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cover-aware bound never prunes the true optimum — compare
+// against enumeration on pure set-cover models.
+func TestCoverBoundSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nSets := 3 + r.Intn(7)
+		nElems := 2 + r.Intn(8)
+		m := NewModel(false)
+		for j := 0; j < nSets; j++ {
+			m.AddVar("", 1+float64(r.Intn(3)))
+		}
+		for e := 0; e < nElems; e++ {
+			var coefs []Coef
+			for j := 0; j < nSets; j++ {
+				if r.Intn(3) == 0 {
+					coefs = append(coefs, Coef{j, 1})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{r.Intn(nSets), 1})
+			}
+			m.AddRow("", coefs, GE, 1)
+		}
+		want := Enumerate(m)
+		got := Solve(m, Options{})
+		if got.Status != want.Status {
+			return false
+		}
+		return want.Status != Optimal || math.Abs(got.Objective-want.Objective) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EQ-derived cover rows (one-hot constraints) keep the solver
+// exact — mimics the coloring model shape.
+func TestOneHotCoverProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		groups := 2 + r.Intn(3)
+		per := 2 + r.Intn(3)
+		m := NewModel(false)
+		for g := 0; g < groups; g++ {
+			for k := 0; k < per; k++ {
+				m.AddVar("", float64(r.Intn(5)))
+			}
+		}
+		for g := 0; g < groups; g++ {
+			var coefs []Coef
+			for k := 0; k < per; k++ {
+				coefs = append(coefs, Coef{g*per + k, 1})
+			}
+			m.AddRow("", coefs, EQ, 1)
+		}
+		// A few conflict rows.
+		for i := 0; i < r.Intn(4); i++ {
+			a := r.Intn(groups * per)
+			b := r.Intn(groups * per)
+			if a == b {
+				continue
+			}
+			m.AddRow("", []Coef{{a, 1}, {b, 1}}, LE, 1)
+		}
+		want := Enumerate(m)
+		got := Solve(m, Options{})
+		if got.Status != want.Status {
+			return false
+		}
+		return want.Status != Optimal || math.Abs(got.Objective-want.Objective) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package ilp
+
+import (
+	"time"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: the returned solution is proven optimal.
+	Optimal Status = iota
+	// Infeasible: the model has no feasible 0-1 point (proven).
+	Infeasible
+	// Feasible: a feasible solution was found but limits stopped the proof.
+	Feasible
+	// Unknown: limits stopped the search before any feasible solution.
+	Unknown
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "OPTIMAL"
+	case Infeasible:
+		return "INFEASIBLE"
+	case Feasible:
+		return "FEASIBLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Bounding selects the relaxation used to prune branch-and-bound nodes.
+type Bounding int
+
+const (
+	// CombBound uses the O(n) combinatorial bound: objective of fixed
+	// variables plus the best-case completion of unfixed ones, ignoring
+	// constraints. Cheap; the default.
+	CombBound Bounding = iota
+	// LPBound solves the LP relaxation at each node via internal/lp.
+	// Tighter but far more expensive per node.
+	LPBound
+)
+
+// Branching selects the variable-choice rule.
+type Branching int
+
+const (
+	// BranchMaxObj picks the unfixed variable with the largest absolute
+	// objective coefficient (ties to the lowest index). The default.
+	BranchMaxObj Branching = iota
+	// BranchMostConstrained picks the unfixed variable occurring in the
+	// most rows.
+	BranchMostConstrained
+	// BranchLPFractional picks the variable whose LP-relaxation value is
+	// closest to ½ (requires LPBound; falls back to BranchMaxObj).
+	BranchLPFractional
+	// BranchCoverGreedy picks the unfixed variable covering the most
+	// still-uncovered Σx ≥ 1 rows, diving on value 1 first — the greedy
+	// set-cover order. Selected automatically instead of BranchMaxObj when
+	// the model contains covering rows.
+	BranchCoverGreedy
+)
+
+// Options configures Solve. The zero value gives an exact solve with
+// combinatorial bounding and max-objective branching.
+type Options struct {
+	Bounding  Bounding
+	Branching Branching
+	// WarmStart, if non-nil and feasible, becomes the initial incumbent,
+	// and branching tries each variable's warm value first. This is the
+	// mechanism by which EC re-solves exploit the original solution.
+	WarmStart Solution
+	// MaxNodes bounds the number of branch-and-bound nodes (0 = unlimited).
+	MaxNodes int64
+	// TimeLimit bounds wall-clock time (0 = unlimited).
+	TimeLimit time.Duration
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status       Status
+	Objective    float64
+	Solution     Solution
+	Nodes        int64
+	LPSolves     int64
+	Propagations int64
+	Runtime      time.Duration
+}
+
+// Solve runs exact branch and bound on the model.
+func Solve(m *Model, opts Options) Result {
+	s := newSolver(m, opts)
+	start := time.Now()
+	res := s.run()
+	res.Runtime = time.Since(start)
+	return res
+}

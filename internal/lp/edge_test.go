@@ -1,0 +1,116 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x ≥ -3 with x free → -3 (free var must leave its pinned 0).
+	p := NewProblem(false)
+	x := p.AddVariable(1, -Inf, Inf)
+	p.AddRow([]Coef{{x, 1}}, GE, -3)
+	res := p.Solve()
+	if res.Status != Optimal || !approx(res.Objective, -3) {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// max x + y, x ∈ [-2, 1], y ∈ [-1, 2], x + y ≤ 1 → (1, 0) or (−...): best 1... x=1,y=0 → 1? y=2,x=-1 → 1. Objective 1.
+	p := NewProblem(true)
+	x := p.AddVariable(1, -2, 1)
+	y := p.AddVariable(1, -1, 2)
+	p.AddRow([]Coef{{x, 1}, {y, 1}}, LE, 1)
+	res := p.Solve()
+	if res.Status != Optimal || !approx(res.Objective, 1) {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+}
+
+func TestFixedVariableBounds(t *testing.T) {
+	// Variables fixed by equal bounds participate correctly.
+	p := NewProblem(false)
+	x := p.AddVariable(1, 1, 1) // fixed at 1
+	y := p.AddVariable(1, 0, 5)
+	p.AddRow([]Coef{{x, 1}, {y, 1}}, GE, 3)
+	res := p.Solve()
+	if res.Status != Optimal || !approx(res.Objective, 3) || !approx(res.X[x], 1) || !approx(res.X[y], 2) {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := NewProblem(true)
+	res := p.Solve()
+	if res.Status != Optimal || res.Objective != 0 {
+		t.Fatalf("empty problem: %+v", res)
+	}
+}
+
+func TestRowWithDuplicateVariable(t *testing.T) {
+	// AddRow merges duplicate coefficients additively.
+	p := NewProblem(false)
+	x := p.AddVariable(1, 0, 10)
+	p.AddRow([]Coef{{x, 1}, {x, 1}}, GE, 4) // effectively 2x ≥ 4
+	res := p.Solve()
+	if res.Status != Optimal || !approx(res.X[x], 2) {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestNumAccessors(t *testing.T) {
+	p := NewProblem(false)
+	p.AddVariable(0, 0, 1)
+	p.AddRow([]Coef{{0, 1}}, LE, 1)
+	if p.NumVariables() != 1 || p.NumRows() != 1 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+// Property: LP relaxation of 0-1 knapsacks is at least the integral
+// optimum (relaxation bound direction).
+func TestKnapsackRelaxationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(6)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		cap := 0.0
+		for j := 0; j < n; j++ {
+			values[j] = float64(1 + rng.Intn(9))
+			weights[j] = float64(1 + rng.Intn(5))
+			cap += weights[j]
+		}
+		cap /= 2
+		// LP relaxation.
+		p := NewProblem(true)
+		coefs := make([]Coef, n)
+		for j := 0; j < n; j++ {
+			p.AddVariable(values[j], 0, 1)
+			coefs[j] = Coef{j, weights[j]}
+		}
+		p.AddRow(coefs, LE, cap)
+		lpRes := p.Solve()
+		if lpRes.Status != Optimal {
+			t.Fatalf("trial %d: %v", trial, lpRes.Status)
+		}
+		// Integral optimum by enumeration.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					w += weights[j]
+					v += values[j]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		if lpRes.Objective < best-1e-6 {
+			t.Fatalf("trial %d: LP %v below ILP %v", trial, lpRes.Objective, best)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package lp implements a dense bounded-variable primal simplex solver for
+// linear programs
+//
+//	min / max  c·x
+//	s.t.       a_i·x  {≤,=,≥}  b_i        i = 1..m
+//	           l_j ≤ x_j ≤ u_j            j = 1..n
+//
+// It is the LP substrate that the exact 0-1 ILP solver (internal/ilp) uses
+// for relaxation bounding — the role CPLEX's LP engine plays in the paper.
+// The implementation is a textbook two-phase method: phase 1 drives the sum
+// of bound violations of the basic variables to zero, phase 2 optimizes the
+// true objective; both use Dantzig pricing with a Bland fallback for
+// anti-cycling.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a row comparison sense.
+type Sense int8
+
+const (
+	// LE is a_i·x ≤ b_i.
+	LE Sense = iota
+	// GE is a_i·x ≥ b_i.
+	GE
+	// EQ is a_i·x = b_i.
+	EQ
+)
+
+// String renders the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Inf is positive infinity for unbounded variable bounds.
+var Inf = math.Inf(1)
+
+// Problem is an LP in natural (row) form. Build it with NewProblem,
+// AddVariable and AddRow, then call Solve.
+type Problem struct {
+	maximize bool
+	obj      []float64
+	lower    []float64
+	upper    []float64
+	rows     [][]Coef
+	senses   []Sense
+	rhs      []float64
+}
+
+// Coef is a sparse coefficient: variable index (0-based) and value.
+type Coef struct {
+	Var int
+	Val float64
+}
+
+// NewProblem creates an empty problem. If maximize is true the objective is
+// maximized, otherwise minimized.
+func NewProblem(maximize bool) *Problem {
+	return &Problem{maximize: maximize}
+}
+
+// AddVariable appends a variable with objective coefficient c and bounds
+// [lo, hi], returning its index. Use -lp.Inf / lp.Inf for free directions.
+func (p *Problem) AddVariable(c, lo, hi float64) int {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable bounds inverted [%g,%g]", lo, hi))
+	}
+	p.obj = append(p.obj, c)
+	p.lower = append(p.lower, lo)
+	p.upper = append(p.upper, hi)
+	return len(p.obj) - 1
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.obj) }
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddRow appends the constraint Σ coefs · x  sense  rhs and returns its
+// index. Coefficients referencing unknown variables panic.
+func (p *Problem) AddRow(coefs []Coef, sense Sense, rhs float64) int {
+	for _, c := range coefs {
+		if c.Var < 0 || c.Var >= len(p.obj) {
+			panic(fmt.Sprintf("lp: row references unknown variable %d", c.Var))
+		}
+	}
+	cp := make([]Coef, len(coefs))
+	copy(cp, coefs)
+	p.rows = append(p.rows, cp)
+	p.senses = append(p.senses, sense)
+	p.rhs = append(p.rhs, rhs)
+	return len(p.rows) - 1
+}
+
+// Status is the outcome of an LP solve.
+type Status int
+
+const (
+	// Optimal: an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no point.
+	Infeasible
+	// Unbounded: the objective is unbounded over the feasible region.
+	Unbounded
+	// IterLimit: the iteration limit was exceeded.
+	IterLimit
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "OPTIMAL"
+	case Infeasible:
+		return "INFEASIBLE"
+	case Unbounded:
+		return "UNBOUNDED"
+	default:
+		return "ITERLIMIT"
+	}
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status     Status
+	Objective  float64
+	X          []float64 // variable values (len = NumVariables)
+	Iterations int
+}

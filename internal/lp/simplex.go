@@ -1,0 +1,428 @@
+package lp
+
+import "math"
+
+const (
+	eps      = 1e-9
+	pivotEps = 1e-10
+)
+
+// variable status in the simplex dictionary.
+type vstat int8
+
+const (
+	atLower vstat = iota
+	atUpper
+	basic
+)
+
+// simplex holds the dense working state: structural variables first, then
+// one slack per row (so column n+i is row i's slack), tableau kept in
+// B⁻¹A form by explicit pivoting.
+type simplex struct {
+	m, n  int // rows, structural variables
+	ncols int // n + m
+
+	T     [][]float64 // m × ncols
+	rhs   []float64   // B⁻¹ b
+	lower []float64
+	upper []float64
+	obj   []float64 // phase-2 costs (minimization form)
+
+	basis  []int // basis[i] = column basic in row i
+	status []vstat
+	xval   []float64 // current value of every column
+
+	iters    int
+	maxIters int
+}
+
+// Solve runs two-phase bounded simplex on the problem.
+func (p *Problem) Solve() Result {
+	return p.SolveWithLimit(0)
+}
+
+// SolveWithLimit runs Solve with an iteration cap (0 = default of
+// 200·(m+n) iterations).
+func (p *Problem) SolveWithLimit(maxIters int) Result {
+	m, n := len(p.rows), len(p.obj)
+	s := &simplex{
+		m: m, n: n, ncols: n + m,
+		T:      make([][]float64, m),
+		rhs:    make([]float64, m),
+		lower:  make([]float64, n+m),
+		upper:  make([]float64, n+m),
+		obj:    make([]float64, n+m),
+		basis:  make([]int, m),
+		status: make([]vstat, n+m),
+		xval:   make([]float64, n+m),
+	}
+	if maxIters <= 0 {
+		maxIters = 200 * (m + n + 10)
+	}
+	s.maxIters = maxIters
+
+	copy(s.lower, p.lower)
+	copy(s.upper, p.upper)
+	for j := 0; j < n; j++ {
+		c := p.obj[j]
+		if p.maximize {
+			c = -c
+		}
+		s.obj[j] = c
+	}
+	for i := 0; i < m; i++ {
+		s.T[i] = make([]float64, s.ncols)
+		for _, cf := range p.rows[i] {
+			s.T[i][cf.Var] += cf.Val
+		}
+		sl := n + i
+		s.T[i][sl] = 1
+		s.rhs[i] = p.rhs[i]
+		switch p.senses[i] {
+		case LE:
+			s.lower[sl], s.upper[sl] = 0, Inf
+		case GE:
+			s.lower[sl], s.upper[sl] = -Inf, 0
+		case EQ:
+			s.lower[sl], s.upper[sl] = 0, 0
+		}
+		s.basis[i] = sl
+		s.status[sl] = basic
+	}
+	// Nonbasic structurals start at a finite bound (lower preferred).
+	for j := 0; j < n; j++ {
+		switch {
+		case !math.IsInf(s.lower[j], -1):
+			s.status[j] = atLower
+			s.xval[j] = s.lower[j]
+		case !math.IsInf(s.upper[j], 1):
+			s.status[j] = atUpper
+			s.xval[j] = s.upper[j]
+		default:
+			s.status[j] = atLower // free variable pinned at 0
+			s.xval[j] = 0
+		}
+	}
+	s.computeBasics()
+
+	// Phase 1: drive bound violations of basic variables to zero.
+	if st := s.phase1(); st != Optimal {
+		return Result{Status: st, Iterations: s.iters}
+	}
+	// Phase 2: optimize the true objective.
+	st := s.phase2()
+	res := Result{Status: st, Iterations: s.iters}
+	if st == Optimal || st == IterLimit {
+		res.X = make([]float64, n)
+		copy(res.X, s.xval[:n])
+		var z float64
+		for j := 0; j < n; j++ {
+			z += p.obj[j] * s.xval[j]
+		}
+		res.Objective = z
+	}
+	return res
+}
+
+// computeBasics refreshes the values of the basic variables from the
+// tableau and the nonbasic bound values.
+func (s *simplex) computeBasics() {
+	for i := 0; i < s.m; i++ {
+		v := s.rhs[i]
+		for j := 0; j < s.ncols; j++ {
+			if s.status[j] != basic && s.T[i][j] != 0 && s.xval[j] != 0 {
+				v -= s.T[i][j] * s.xval[j]
+			}
+		}
+		s.xval[s.basis[i]] = v
+	}
+}
+
+// violation returns the signed bound violation of basic row i:
+// negative when below lower, positive when above upper, 0 when feasible.
+func (s *simplex) violation(i int) float64 {
+	b := s.basis[i]
+	x := s.xval[b]
+	if x < s.lower[b]-eps {
+		return x - s.lower[b]
+	}
+	if x > s.upper[b]+eps {
+		return x - s.upper[b]
+	}
+	return 0
+}
+
+func (s *simplex) totalInfeasibility() float64 {
+	t := 0.0
+	for i := 0; i < s.m; i++ {
+		t += math.Abs(s.violation(i))
+	}
+	return t
+}
+
+// phase1 reduces primal infeasibility to zero. Returns Optimal when a
+// feasible basis is reached, Infeasible when stuck at positive
+// infeasibility, IterLimit on budget exhaustion.
+func (s *simplex) phase1() Status {
+	for {
+		if s.totalInfeasibility() <= eps {
+			// Snap basics into their bounds to clear numeric dust.
+			for i := 0; i < s.m; i++ {
+				b := s.basis[i]
+				if s.xval[b] < s.lower[b] {
+					s.xval[b] = s.lower[b]
+				}
+				if s.xval[b] > s.upper[b] {
+					s.xval[b] = s.upper[b]
+				}
+			}
+			return Optimal
+		}
+		if s.iters >= s.maxIters {
+			return IterLimit
+		}
+		// Phase-1 reduced cost of nonbasic j: d_j = Σ_i sign_i · T[i][j],
+		// where sign_i = -1 if basic i below lower, +1 if above upper.
+		// Moving x_j by t changes violation by d_j·(-t)… see ratio test.
+		improvingFound := false
+		useBland := s.iters > s.maxIters/2
+		bestJ, bestScore, bestDir := -1, 0.0, 0.0
+		for j := 0; j < s.ncols; j++ {
+			if s.status[j] == basic {
+				continue
+			}
+			d := 0.0
+			for i := 0; i < s.m; i++ {
+				v := s.violation(i)
+				if v < 0 {
+					d -= s.T[i][j]
+				} else if v > 0 {
+					d += s.T[i][j]
+				}
+			}
+			// Direction chosen so total violation strictly decreases
+			// (dV/dt = -d for an increase of x_j). Free variables (both
+			// bounds infinite) may move in either direction.
+			var dir float64
+			free := math.IsInf(s.lower[j], -1) && math.IsInf(s.upper[j], 1)
+			switch {
+			case free && d > eps:
+				dir = 1
+			case free && d < -eps:
+				dir = -1
+			case s.status[j] == atLower && d > eps:
+				dir = 1
+			case s.status[j] == atUpper && d < -eps:
+				dir = -1
+			}
+			if dir == 0 {
+				continue
+			}
+			improvingFound = true
+			score := math.Abs(d)
+			if useBland {
+				bestJ, bestDir = j, dir
+				break
+			}
+			if score > bestScore {
+				bestJ, bestScore, bestDir = j, score, dir
+			}
+		}
+		if !improvingFound {
+			return Infeasible
+		}
+		if !s.step(bestJ, bestDir, true) {
+			// No blocking event in phase 1 means violations vanish along an
+			// unbounded ray; numerically treat as infeasible stall.
+			return Infeasible
+		}
+		s.iters++
+	}
+}
+
+// phase2 optimizes the true (minimization) objective from a feasible basis.
+func (s *simplex) phase2() Status {
+	for {
+		if s.iters >= s.maxIters {
+			return IterLimit
+		}
+		// Reduced costs: z_j = c_j - Σ_i c_B(i) T[i][j].
+		useBland := s.iters > s.maxIters/2
+		bestJ, bestScore, bestDir := -1, 0.0, 0.0
+		for j := 0; j < s.ncols; j++ {
+			if s.status[j] == basic {
+				continue
+			}
+			z := s.obj[j]
+			for i := 0; i < s.m; i++ {
+				if cb := s.obj[s.basis[i]]; cb != 0 {
+					z -= cb * s.T[i][j]
+				}
+			}
+			var dir float64
+			free := math.IsInf(s.lower[j], -1) && math.IsInf(s.upper[j], 1)
+			switch {
+			case free && z < -eps:
+				dir = 1
+			case free && z > eps:
+				dir = -1
+			case s.status[j] == atLower && z < -eps:
+				dir = 1
+			case s.status[j] == atUpper && z > eps:
+				dir = -1
+			}
+			if dir == 0 {
+				continue
+			}
+			score := math.Abs(z)
+			if useBland {
+				bestJ, bestDir = j, dir
+				break
+			}
+			if score > bestScore {
+				bestJ, bestScore, bestDir = j, score, dir
+			}
+		}
+		if bestJ < 0 {
+			return Optimal
+		}
+		if !s.step(bestJ, bestDir, false) {
+			return Unbounded
+		}
+		s.iters++
+	}
+}
+
+// step moves nonbasic column q in direction dir (+1 increase, -1 decrease)
+// until a blocking event, performing a pivot or a bound flip. In phase 1
+// basics that are currently infeasible block when they *reach* their
+// violated bound. Returns false when no finite blocking event exists.
+func (s *simplex) step(q int, dir float64, phase1 bool) bool {
+	// Maximum step from q's own bounds.
+	tMax := Inf
+	span := s.upper[q] - s.lower[q]
+	if !math.IsInf(span, 1) {
+		tMax = span
+	}
+	leave, tBest := -1, tMax
+	leaveToUpper := false
+	for i := 0; i < s.m; i++ {
+		a := s.T[i][q] * dir // xB_i changes at rate -a per unit step
+		if math.Abs(a) < pivotEps {
+			continue
+		}
+		b := s.basis[i]
+		x := s.xval[b]
+		var t float64
+		var toUpper bool
+		if a > 0 {
+			// Basic decreases. A below-lower basic moving further down
+			// never blocks (its worsening is priced into the entering
+			// choice); an above-upper basic blocks when it reaches upper;
+			// a feasible basic blocks at lower.
+			target := s.lower[b]
+			toUpper = false
+			if phase1 && x < s.lower[b]-eps {
+				continue
+			}
+			if phase1 && x > s.upper[b]+eps {
+				target = s.upper[b]
+				toUpper = true
+			}
+			if math.IsInf(target, -1) {
+				continue
+			}
+			t = (x - target) / a
+		} else {
+			// Basic increases: symmetric cases.
+			target := s.upper[b]
+			toUpper = true
+			if phase1 && x > s.upper[b]+eps {
+				continue
+			}
+			if phase1 && x < s.lower[b]-eps {
+				target = s.lower[b]
+				toUpper = false
+			}
+			if math.IsInf(target, 1) {
+				continue
+			}
+			t = (x - target) / a // a < 0, target ≥ x → t ≥ 0
+		}
+		if t < -eps {
+			t = 0
+		}
+		if t < tBest-eps || (t < tBest+eps && (leave < 0 || s.basis[i] < s.basis[leave])) {
+			leave, tBest, leaveToUpper = i, math.Max(t, 0), toUpper
+		}
+	}
+
+	if math.IsInf(tBest, 1) {
+		return false
+	}
+
+	// Apply the move to the nonbasic variable and all basics.
+	s.xval[q] += dir * tBest
+	for i := 0; i < s.m; i++ {
+		if a := s.T[i][q] * dir; a != 0 {
+			s.xval[s.basis[i]] -= a * tBest
+		}
+	}
+
+	if leave == -1 {
+		// Bound flip: q runs to its opposite bound, basis unchanged.
+		if dir > 0 {
+			s.status[q] = atUpper
+			s.xval[q] = s.upper[q]
+		} else {
+			s.status[q] = atLower
+			s.xval[q] = s.lower[q]
+		}
+		return true
+	}
+
+	// Pivot: q enters, basis[leave] leaves at the bound it hit.
+	lv := s.basis[leave]
+	piv := s.T[leave][q]
+	if math.Abs(piv) < pivotEps {
+		// Numerically degenerate pivot; treat as bound flip to avoid
+		// dividing by ~0. (Rare; Bland's rule prevents cycling.)
+		if dir > 0 {
+			s.status[q] = atUpper
+			s.xval[q] = s.upper[q]
+		} else {
+			s.status[q] = atLower
+			s.xval[q] = s.lower[q]
+		}
+		return true
+	}
+	inv := 1.0 / piv
+	for j := 0; j < s.ncols; j++ {
+		s.T[leave][j] *= inv
+	}
+	s.rhs[leave] *= inv
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		if f := s.T[i][q]; f != 0 {
+			for j := 0; j < s.ncols; j++ {
+				if s.T[leave][j] != 0 {
+					s.T[i][j] -= f * s.T[leave][j]
+				}
+			}
+			s.rhs[i] -= f * s.rhs[leave]
+		}
+	}
+	s.basis[leave] = q
+	s.status[q] = basic
+	if leaveToUpper {
+		s.status[lv] = atUpper
+		s.xval[lv] = s.upper[lv]
+	} else {
+		s.status[lv] = atLower
+		s.xval[lv] = s.lower[lv]
+	}
+	return true
+}

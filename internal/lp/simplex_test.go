@@ -1,0 +1,338 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Sense.String mismatch")
+	}
+	if Optimal.String() != "OPTIMAL" || Infeasible.String() != "INFEASIBLE" ||
+		Unbounded.String() != "UNBOUNDED" || IterLimit.String() != "ITERLIMIT" {
+		t.Fatal("Status.String mismatch")
+	}
+}
+
+// Classic 2-variable LP with a known optimum:
+//
+//	max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+//	optimum (2, 6) with value 36.
+func TestTextbookMaximization(t *testing.T) {
+	p := NewProblem(true)
+	x := p.AddVariable(3, 0, Inf)
+	y := p.AddVariable(5, 0, Inf)
+	p.AddRow([]Coef{{x, 1}}, LE, 4)
+	p.AddRow([]Coef{{y, 2}}, LE, 12)
+	p.AddRow([]Coef{{x, 3}, {y, 2}}, LE, 18)
+	res := p.Solve()
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Objective, 36) || !approx(res.X[x], 2) || !approx(res.X[y], 6) {
+		t.Fatalf("got obj=%v x=%v", res.Objective, res.X)
+	}
+}
+
+func TestMinimizationWithGE(t *testing.T) {
+	// min x + 2y s.t. x + y ≥ 3, x ≥ 1, y ≥ 0 → (3, 0) value 3.
+	p := NewProblem(false)
+	x := p.AddVariable(1, 1, Inf)
+	y := p.AddVariable(2, 0, Inf)
+	p.AddRow([]Coef{{x, 1}, {y, 1}}, GE, 3)
+	res := p.Solve()
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Objective, 3) || !approx(res.X[x], 3) || !approx(res.X[y], 0) {
+		t.Fatalf("got obj=%v x=%v", res.Objective, res.X)
+	}
+}
+
+func TestEqualityRow(t *testing.T) {
+	// min x + y s.t. x + y = 2, 0 ≤ x,y ≤ 2 → objective 2.
+	p := NewProblem(false)
+	x := p.AddVariable(1, 0, 2)
+	y := p.AddVariable(1, 0, 2)
+	p.AddRow([]Coef{{x, 1}, {y, 1}}, EQ, 2)
+	res := p.Solve()
+	if res.Status != Optimal || !approx(res.Objective, 2) {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+	if !approx(res.X[x]+res.X[y], 2) {
+		t.Fatalf("equality violated: %v", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(false)
+	x := p.AddVariable(1, 0, 1)
+	p.AddRow([]Coef{{x, 1}}, GE, 2) // x ≥ 2 with x ≤ 1
+	if res := p.Solve(); res.Status != Infeasible {
+		t.Fatalf("status = %v, want INFEASIBLE", res.Status)
+	}
+	// Contradictory equalities.
+	q := NewProblem(false)
+	y := q.AddVariable(0, 0, Inf)
+	q.AddRow([]Coef{{y, 1}}, EQ, 1)
+	q.AddRow([]Coef{{y, 1}}, EQ, 2)
+	if res := q.Solve(); res.Status != Infeasible {
+		t.Fatalf("status = %v, want INFEASIBLE", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(true)
+	x := p.AddVariable(1, 0, Inf)
+	p.AddRow([]Coef{{x, -1}}, LE, 0) // -x ≤ 0 never blocks growth
+	if res := p.Solve(); res.Status != Unbounded {
+		t.Fatalf("status = %v, want UNBOUNDED", res.Status)
+	}
+}
+
+func TestBoundedVariablesOnly(t *testing.T) {
+	// No rows at all: optimum sits at variable bounds.
+	p := NewProblem(true)
+	x := p.AddVariable(2, 0, 5)
+	y := p.AddVariable(-3, -1, 4)
+	res := p.Solve()
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.X[x], 5) || !approx(res.X[y], -1) || !approx(res.Objective, 13) {
+		t.Fatalf("got %v obj=%v", res.X, res.Objective)
+	}
+}
+
+func TestUpperBoundFlip(t *testing.T) {
+	// max x + y s.t. x + y ≤ 1.5, x,y ∈ [0,1] → 1.5 via fractional point.
+	p := NewProblem(true)
+	x := p.AddVariable(1, 0, 1)
+	y := p.AddVariable(1, 0, 1)
+	p.AddRow([]Coef{{x, 1}, {y, 1}}, LE, 1.5)
+	res := p.Solve()
+	if res.Status != Optimal || !approx(res.Objective, 1.5) {
+		t.Fatalf("status=%v obj=%v x=%v", res.Status, res.Objective, res.X)
+	}
+}
+
+// The LP relaxation of the paper's §3 three-clause SAT example:
+// minimize Σ x_i subject to cover rows and consistency rows. The integral
+// optimum selects 2 literals (e.g. v2=1 and one of v1/v3 consistent);
+// the LP value must be a lower bound ≤ 2.
+func TestSATRelaxationExample(t *testing.T) {
+	p := NewProblem(false)
+	xs := make([]int, 6)
+	for i := range xs {
+		xs[i] = p.AddVariable(1, 0, 1)
+	}
+	// F = (v1' + v2)(v2 + v3)(v1 + v3'); x1..x3 positive, x4..x6 negative.
+	p.AddRow([]Coef{{xs[3], 1}, {xs[1], 1}}, GE, 1)
+	p.AddRow([]Coef{{xs[1], 1}, {xs[2], 1}}, GE, 1)
+	p.AddRow([]Coef{{xs[0], 1}, {xs[5], 1}}, GE, 1)
+	for v := 0; v < 3; v++ {
+		p.AddRow([]Coef{{xs[v], 1}, {xs[v+3], 1}}, LE, 1)
+	}
+	res := p.Solve()
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Objective > 2+1e-6 || res.Objective < 1-1e-6 {
+		t.Fatalf("relaxation value %v outside [1,2]", res.Objective)
+	}
+	// Feasibility of the returned point.
+	for i, x := range res.X {
+		if x < -1e-9 || x > 1+1e-9 {
+			t.Fatalf("x[%d]=%v out of bounds", i, x)
+		}
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example (standard pivoting cycles without
+	// anti-cycling safeguards).
+	p := NewProblem(false)
+	x1 := p.AddVariable(-0.75, 0, Inf)
+	x2 := p.AddVariable(150, 0, Inf)
+	x3 := p.AddVariable(-0.02, 0, Inf)
+	x4 := p.AddVariable(6, 0, Inf)
+	p.AddRow([]Coef{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	p.AddRow([]Coef{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	p.AddRow([]Coef{{x3, 1}}, LE, 1)
+	res := p.Solve()
+	if res.Status != Optimal {
+		t.Fatalf("status = %v (cycling?)", res.Status)
+	}
+	if !approx(res.Objective, -0.05) {
+		t.Fatalf("objective = %v, want -0.05", res.Objective)
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	p := NewProblem(false)
+	x := p.AddVariable(1, 0, 10)
+	y := p.AddVariable(1, 0, 10)
+	p.AddRow([]Coef{{x, 1}, {y, 1}}, GE, 5)
+	res := p.SolveWithLimit(1)
+	if res.Status == Optimal && !approx(res.Objective, 5) {
+		t.Fatalf("limit-1 solve claims wrong optimum %v", res.Objective)
+	}
+	// With the default budget the instance is easy.
+	if res2 := p.Solve(); res2.Status != Optimal || !approx(res2.Objective, 5) {
+		t.Fatalf("full solve failed: %v %v", res2.Status, res2.Objective)
+	}
+}
+
+func TestNegativeRHSFeasibility(t *testing.T) {
+	// min x s.t. -x ≤ -2 (i.e. x ≥ 2), x ∈ [0,5] → 2. Exercises phase 1.
+	p := NewProblem(false)
+	x := p.AddVariable(1, 0, 5)
+	p.AddRow([]Coef{{x, -1}}, LE, -2)
+	res := p.Solve()
+	if res.Status != Optimal || !approx(res.Objective, 2) {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+}
+
+func TestAddRowValidation(t *testing.T) {
+	p := NewProblem(false)
+	p.AddVariable(1, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown variable")
+		}
+	}()
+	p.AddRow([]Coef{{3, 1}}, LE, 1)
+}
+
+func TestVariableBoundValidation(t *testing.T) {
+	p := NewProblem(false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inverted bounds")
+		}
+	}()
+	p.AddVariable(0, 2, 1)
+}
+
+// Random feasibility property: plant a point, generate rows it satisfies,
+// check the solver finds a feasible optimum at least as good.
+func TestRandomPlantedLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := NewProblem(false)
+		plant := make([]float64, n)
+		for j := 0; j < n; j++ {
+			plant[j] = rng.Float64()
+			p.AddVariable(rng.NormFloat64(), 0, 1)
+		}
+		rows := make([][]Coef, m)
+		for i := 0; i < m; i++ {
+			var coefs []Coef
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					v := rng.NormFloat64()
+					coefs = append(coefs, Coef{j, v})
+					dot += v * plant[j]
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{0, 1})
+				dot = plant[0]
+			}
+			// Make the planted point feasible with margin.
+			p.AddRow(coefs, LE, dot+0.1+rng.Float64())
+			rows[i] = coefs
+		}
+		res := p.Solve()
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status=%v on planted-feasible LP", trial, res.Status)
+		}
+		// Feasibility of the result.
+		for i, coefs := range rows {
+			dot := 0.0
+			for _, c := range coefs {
+				dot += c.Val * res.X[c.Var]
+			}
+			if dot > p.rhs[i]+1e-6 {
+				t.Fatalf("trial %d: row %d violated by %v", trial, i, dot-p.rhs[i])
+			}
+		}
+		for j, x := range res.X {
+			if x < -1e-6 || x > 1+1e-6 {
+				t.Fatalf("trial %d: x[%d]=%v out of [0,1]", trial, j, x)
+			}
+		}
+		// Optimality sanity: the planted point cannot beat the optimum.
+		plantObj := 0.0
+		for j := 0; j < n; j++ {
+			plantObj += p.obj[j] * plant[j]
+		}
+		if res.Objective > plantObj+1e-6 {
+			t.Fatalf("trial %d: claimed optimum %v worse than planted %v", trial, res.Objective, plantObj)
+		}
+	}
+}
+
+// Random LPs with equalities and GE rows built around a planted point.
+func TestRandomMixedSenseLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(5)
+		p := NewProblem(trial%2 == 0)
+		plant := make([]float64, n)
+		for j := 0; j < n; j++ {
+			plant[j] = rng.Float64()
+			p.AddVariable(rng.NormFloat64(), 0, 1)
+		}
+		m := 1 + rng.Intn(6)
+		for i := 0; i < m; i++ {
+			var coefs []Coef
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				coefs = append(coefs, Coef{j, v})
+				dot += v * plant[j]
+			}
+			switch rng.Intn(3) {
+			case 0:
+				p.AddRow(coefs, LE, dot+rng.Float64())
+			case 1:
+				p.AddRow(coefs, GE, dot-rng.Float64())
+			default:
+				p.AddRow(coefs, EQ, dot)
+			}
+		}
+		res := p.Solve()
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status=%v on planted-feasible mixed LP", trial, res.Status)
+		}
+		for i := range p.rows {
+			dot := 0.0
+			for _, c := range p.rows[i] {
+				dot += c.Val * res.X[c.Var]
+			}
+			switch p.senses[i] {
+			case LE:
+				if dot > p.rhs[i]+1e-5 {
+					t.Fatalf("trial %d: LE row %d violated (%v > %v)", trial, i, dot, p.rhs[i])
+				}
+			case GE:
+				if dot < p.rhs[i]-1e-5 {
+					t.Fatalf("trial %d: GE row %d violated (%v < %v)", trial, i, dot, p.rhs[i])
+				}
+			case EQ:
+				if math.Abs(dot-p.rhs[i]) > 1e-5 {
+					t.Fatalf("trial %d: EQ row %d violated (%v != %v)", trial, i, dot, p.rhs[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"ilpec/internal/cnf"
+)
+
+// MaxBruteVars bounds the exhaustive solver; beyond this it refuses to run.
+const MaxBruteVars = 25
+
+// BruteForce enumerates all assignments over the variables that actually
+// occur in f. It is the reference oracle for tests. Variables that do not
+// occur are left don't-care. Returns Unknown if f has more active
+// variables than MaxBruteVars.
+func BruteForce(f *cnf.Formula) Result {
+	vars := f.Vars()
+	if len(vars) > MaxBruteVars {
+		return Result{Status: Unknown}
+	}
+	if f.HasEmptyClause() {
+		return Result{Status: Unsatisfiable}
+	}
+	a := cnf.NewAssignment(f.NumVars)
+	total := 1 << len(vars)
+	for mask := 0; mask < total; mask++ {
+		for i, v := range vars {
+			if mask&(1<<i) != 0 {
+				a.Set(v, cnf.True)
+			} else {
+				a.Set(v, cnf.False)
+			}
+		}
+		if a.Satisfies(f) {
+			return Result{Status: Satisfiable, Assignment: a.Clone()}
+		}
+	}
+	return Result{Status: Unsatisfiable}
+}
+
+// CountSolutions exhaustively counts satisfying assignments over the active
+// variables (panics above MaxBruteVars). Used by property tests.
+func CountSolutions(f *cnf.Formula) int {
+	vars := f.Vars()
+	if len(vars) > MaxBruteVars {
+		panic("sat: CountSolutions instance too large")
+	}
+	if f.HasEmptyClause() {
+		return 0
+	}
+	a := cnf.NewAssignment(f.NumVars)
+	count := 0
+	total := 1 << len(vars)
+	for mask := 0; mask < total; mask++ {
+		for i, v := range vars {
+			if mask&(1<<i) != 0 {
+				a.Set(v, cnf.True)
+			} else {
+				a.Set(v, cnf.False)
+			}
+		}
+		if a.Satisfies(f) {
+			count++
+		}
+	}
+	return count
+}
+
+// ForEachSolution invokes fn for every satisfying total assignment over the
+// active variables of f; fn returning false stops the enumeration. Panics
+// above MaxBruteVars.
+func ForEachSolution(f *cnf.Formula, fn func(cnf.Assignment) bool) {
+	vars := f.Vars()
+	if len(vars) > MaxBruteVars {
+		panic("sat: ForEachSolution instance too large")
+	}
+	if f.HasEmptyClause() {
+		return
+	}
+	a := cnf.NewAssignment(f.NumVars)
+	total := 1 << len(vars)
+	for mask := 0; mask < total; mask++ {
+		for i, v := range vars {
+			if mask&(1<<i) != 0 {
+				a.Set(v, cnf.True)
+			} else {
+				a.Set(v, cnf.False)
+			}
+		}
+		if a.Satisfies(f) {
+			if !fn(a.Clone()) {
+				return
+			}
+		}
+	}
+}

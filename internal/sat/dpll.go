@@ -1,0 +1,283 @@
+package sat
+
+import (
+	"time"
+
+	"ilpec/internal/cnf"
+)
+
+// DPLL is a complete SAT solver: iterative DPLL with two-watched-literal
+// unit propagation, chronological backtracking, and an activity heuristic
+// that bumps variables involved in conflicts (a lightweight VSIDS).
+type DPLL struct {
+	opts Options
+
+	numVars int
+	clauses []cnf.Clause
+
+	// watches[litIndex] lists clause indices watching that literal.
+	// litIndex = 2*v for +v, 2*v+1 for -v.
+	watches [][]int
+	// watched[i] holds the two watched literal positions of clause i
+	// (or -1 for short clauses).
+	value []int8 // 0 unassigned, 1 true, -1 false; indexed by variable
+	level []int  // decision level of each variable
+	trail []cnf.Lit
+	lim   []int // trail indices at each decision level
+
+	activity []float64
+	bump     float64
+	occurs   []bool // occurs[v]: variable v appears in some clause
+
+	decisions int64
+	conflicts int64
+}
+
+// NewDPLL creates a DPLL solver for formula f.
+func NewDPLL(f *cnf.Formula, opts Options) *DPLL {
+	d := &DPLL{
+		opts:     opts,
+		numVars:  f.NumVars,
+		clauses:  make([]cnf.Clause, len(f.Clauses)),
+		watches:  make([][]int, 2*(f.NumVars+1)),
+		value:    make([]int8, f.NumVars+1),
+		level:    make([]int, f.NumVars+1),
+		activity: make([]float64, f.NumVars+1),
+		occurs:   make([]bool, f.NumVars+1),
+		bump:     1,
+	}
+	for i, c := range f.Clauses {
+		d.clauses[i] = c.Clone()
+		for _, l := range c {
+			d.occurs[l.Var()] = true
+		}
+	}
+	return d
+}
+
+func litIndex(l cnf.Lit) int {
+	if l > 0 {
+		return 2 * int(l)
+	}
+	return 2*int(-l) + 1
+}
+
+func (d *DPLL) litValue(l cnf.Lit) int8 {
+	v := d.value[l.Var()]
+	if l.Pos() {
+		return v
+	}
+	return -v
+}
+
+func (d *DPLL) assign(l cnf.Lit, lvl int) {
+	v := l.Var()
+	if l.Pos() {
+		d.value[v] = 1
+	} else {
+		d.value[v] = -1
+	}
+	d.level[v] = lvl
+	d.trail = append(d.trail, l)
+}
+
+// Solve runs the search. The returned assignment commits every variable
+// that occurs in a clause; variables never touched remain don't-care.
+func (d *DPLL) Solve() Result {
+	start := time.Now()
+	res := d.solve()
+	res.Runtime = time.Since(start)
+	res.Decisions = d.decisions
+	res.Conflicts = d.conflicts
+	return res
+}
+
+func (d *DPLL) solve() Result {
+	// Handle empty and unit clauses up front; install watches for the rest.
+	var units []cnf.Lit
+	for i, c := range d.clauses {
+		switch len(c) {
+		case 0:
+			return Result{Status: Unsatisfiable}
+		case 1:
+			units = append(units, c[0])
+		default:
+			d.watches[litIndex(c[0])] = append(d.watches[litIndex(c[0])], i)
+			d.watches[litIndex(c[1])] = append(d.watches[litIndex(c[1])], i)
+		}
+		_ = i
+	}
+	for _, u := range units {
+		switch d.litValue(u) {
+		case -1:
+			return Result{Status: Unsatisfiable}
+		case 0:
+			d.assign(u, 0)
+		}
+	}
+	if !d.propagate(0) {
+		return Result{Status: Unsatisfiable}
+	}
+
+	for {
+		l := d.pickBranch()
+		if l == 0 {
+			return Result{Status: Satisfiable, Assignment: d.extract()}
+		}
+		if d.opts.MaxDecisions > 0 && d.decisions >= d.opts.MaxDecisions {
+			return Result{Status: Unknown}
+		}
+		d.decisions++
+		d.lim = append(d.lim, len(d.trail))
+		d.assign(l, len(d.lim))
+		for !d.propagate(len(d.lim)) {
+			d.conflicts++
+			d.bumpConflictActivity()
+			flip, ok := d.backtrack()
+			if !ok {
+				return Result{Status: Unsatisfiable}
+			}
+			d.assign(flip, len(d.lim))
+		}
+	}
+}
+
+// propagate runs two-watched-literal unit propagation over the trail tail.
+// It returns false on conflict.
+func (d *DPLL) propagate(lvl int) bool {
+	head := 0
+	if len(d.lim) > 0 {
+		head = d.lim[len(d.lim)-1]
+	}
+	// Propagate from the first unpropagated literal. We track a queue index
+	// into the trail; everything before the current decision's limit has
+	// already been propagated at lower levels, except at level 0 where we
+	// start from the beginning.
+	if lvl == 0 {
+		head = 0
+	}
+	for q := head; q < len(d.trail); q++ {
+		falsified := d.trail[q].Neg()
+		wl := d.watches[litIndex(falsified)]
+		var keep []int
+		for wi := 0; wi < len(wl); wi++ {
+			ci := wl[wi]
+			c := d.clauses[ci]
+			// Ensure the falsified literal is at position 1.
+			if c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			if d.litValue(c[0]) == 1 {
+				keep = append(keep, ci) // clause satisfied by other watch
+				continue
+			}
+			// Find a new literal to watch.
+			moved := false
+			for k := 2; k < len(c); k++ {
+				if d.litValue(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					d.watches[litIndex(c[1])] = append(d.watches[litIndex(c[1])], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// No new watch: clause is unit or conflicting on c[0].
+			keep = append(keep, ci)
+			switch d.litValue(c[0]) {
+			case 0:
+				d.assign(c[0], lvl)
+			case -1:
+				// Conflict: restore remaining watches and fail.
+				keep = append(keep, wl[wi+1:]...)
+				d.watches[litIndex(falsified)] = keep
+				return false
+			}
+		}
+		d.watches[litIndex(falsified)] = keep
+	}
+	return true
+}
+
+// pickBranch selects the unassigned variable with the highest activity
+// (ties to the lowest index) and returns its positive literal biased by the
+// activity sign convention; 0 when all clause variables are assigned.
+func (d *DPLL) pickBranch() cnf.Lit {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= d.numVars; v++ {
+		if d.value[v] == 0 && d.occurs[v] && d.activity[v] > bestAct {
+			best, bestAct = v, d.activity[v]
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return cnf.Lit(best)
+}
+
+func (d *DPLL) bumpConflictActivity() {
+	// Bump the variables assigned at the current decision level.
+	if len(d.lim) == 0 {
+		return
+	}
+	from := d.lim[len(d.lim)-1]
+	for _, l := range d.trail[from:] {
+		d.activity[l.Var()] += d.bump
+	}
+	d.bump *= 1.05
+	if d.bump > 1e100 {
+		for v := range d.activity {
+			d.activity[v] *= 1e-100
+		}
+		d.bump *= 1e-100
+	}
+}
+
+// backtrack undoes the deepest decision whose second phase is untried and
+// returns the flipped decision literal. DPLL here flips the decision
+// literal (try +v first, then -v); a fully explored level is popped.
+func (d *DPLL) backtrack() (cnf.Lit, bool) {
+	for len(d.lim) > 0 {
+		from := d.lim[len(d.lim)-1]
+		decision := d.trail[from]
+		// Undo assignments at this level.
+		for _, l := range d.trail[from:] {
+			d.value[l.Var()] = 0
+		}
+		d.trail = d.trail[:from]
+		d.lim = d.lim[:len(d.lim)-1]
+		if decision.Pos() {
+			// Second phase: re-open the level with the negated decision.
+			d.lim = append(d.lim, len(d.trail))
+			return decision.Neg(), true
+		}
+		// Both phases tried; continue unwinding.
+	}
+	return 0, false
+}
+
+func (d *DPLL) extract() cnf.Assignment {
+	a := cnf.NewAssignment(d.numVars)
+	for v := 1; v <= d.numVars; v++ {
+		switch d.value[v] {
+		case 1:
+			a.Set(v, cnf.True)
+		case -1:
+			a.Set(v, cnf.False)
+		}
+	}
+	return a
+}
+
+// Solve is a convenience wrapper: complete DPLL search on f.
+func Solve(f *cnf.Formula, opts Options) Result {
+	return NewDPLL(f, opts).Solve()
+}
+
+// IsSatisfiable reports whether f is satisfiable using the complete solver
+// (no resource limits).
+func IsSatisfiable(f *cnf.Formula) bool {
+	return Solve(f, Options{}).Status == Satisfiable
+}

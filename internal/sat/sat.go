@@ -1,0 +1,70 @@
+// Package sat provides Boolean-satisfiability solvers over the cnf
+// substrate: a complete DPLL solver with two-watched-literal propagation
+// and activity-guided branching, a WalkSAT-style local search, and an
+// exhaustive reference solver for testing.
+//
+// Within the reproduction these solvers play the roles the paper assigns to
+// "an arbitrary algorithm, such as simulated annealing or a heuristic"
+// (§4): screening mutated instances for satisfiability, producing initial
+// solutions, and serving as the non-ILP baseline.
+package sat
+
+import (
+	"errors"
+	"time"
+
+	"ilpec/internal/cnf"
+)
+
+// Status is the outcome of a solve call.
+type Status int
+
+const (
+	// Unknown means the solver hit a resource limit before deciding.
+	Unknown Status = iota
+	// Satisfiable means a satisfying assignment was found.
+	Satisfiable
+	// Unsatisfiable means the formula has no satisfying assignment.
+	Unsatisfiable
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Satisfiable:
+		return "SAT"
+	case Unsatisfiable:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Result carries the outcome of a solve together with search statistics.
+type Result struct {
+	Status     Status
+	Assignment cnf.Assignment // valid when Status == Satisfiable
+	Decisions  int64
+	Conflicts  int64
+	Flips      int64 // local search only
+	Runtime    time.Duration
+}
+
+// ErrLimit is returned by solvers that exhaust their decision/flip budget.
+var ErrLimit = errors.New("sat: resource limit exhausted")
+
+// Options configures the solvers. The zero value gives sensible defaults.
+type Options struct {
+	// MaxDecisions bounds DPLL decisions (0 = unlimited).
+	MaxDecisions int64
+	// MaxFlips bounds local-search flips (0 = solver default).
+	MaxFlips int64
+	// Seed drives all randomized choices; solvers are deterministic for a
+	// fixed seed.
+	Seed int64
+	// Noise is the WalkSAT random-walk probability in [0,1]
+	// (0 = solver default of 0.5).
+	Noise float64
+	// Restarts is the number of local-search restarts (0 = default of 10).
+	Restarts int
+}

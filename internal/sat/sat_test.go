@@ -1,0 +1,276 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"ilpec/internal/cnf"
+)
+
+func TestStatusString(t *testing.T) {
+	if Satisfiable.String() != "SAT" || Unsatisfiable.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("Status.String mismatch")
+	}
+}
+
+func TestDPLLSimpleSAT(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2}, []int{-1, 2}, []int{-2, 3})
+	res := Solve(f, Options{})
+	if res.Status != Satisfiable {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !res.Assignment.Satisfies(f) {
+		t.Fatal("returned assignment does not satisfy formula")
+	}
+}
+
+func TestDPLLSimpleUNSAT(t *testing.T) {
+	f := cnf.FromClauses([]int{1}, []int{-1})
+	if res := Solve(f, Options{}); res.Status != Unsatisfiable {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Pigeonhole PHP(3,2): 3 pigeons, 2 holes — classic small UNSAT.
+	php := cnf.FromClauses(
+		[]int{1, 2}, []int{3, 4}, []int{5, 6}, // each pigeon in a hole
+		[]int{-1, -3}, []int{-1, -5}, []int{-3, -5}, // hole 1 conflicts
+		[]int{-2, -4}, []int{-2, -6}, []int{-4, -6}, // hole 2 conflicts
+	)
+	if res := Solve(php, Options{}); res.Status != Unsatisfiable {
+		t.Fatalf("PHP(3,2) status = %v", res.Status)
+	}
+}
+
+func TestDPLLEmptyClause(t *testing.T) {
+	f := cnf.New(2)
+	f.AddClause(cnf.Clause{})
+	if res := Solve(f, Options{}); res.Status != Unsatisfiable {
+		t.Fatal("empty clause should be UNSAT")
+	}
+}
+
+func TestDPLLEmptyFormula(t *testing.T) {
+	f := cnf.New(3)
+	res := Solve(f, Options{})
+	if res.Status != Satisfiable {
+		t.Fatal("empty formula should be SAT")
+	}
+	if res.Assignment.AssignedCount() != 0 {
+		t.Fatal("no variable should be committed for an empty formula")
+	}
+}
+
+func TestDPLLUnitConflictAtRoot(t *testing.T) {
+	f := cnf.FromClauses([]int{1}, []int{-1, 2}, []int{-2})
+	if res := Solve(f, Options{}); res.Status != Unsatisfiable {
+		t.Fatalf("status = %v, want UNSAT", res.Status)
+	}
+}
+
+func TestDPLLDecisionLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := randomKSAT(rng, 60, 255, 3)
+	res := Solve(f, Options{MaxDecisions: 1})
+	if res.Status == Unknown {
+		return // limit respected
+	}
+	// A solver that decides the instance within one decision is fine too,
+	// but the assignment must then be correct.
+	if res.Status == Satisfiable && !res.Assignment.Satisfies(f) {
+		t.Fatal("bogus SAT under decision limit")
+	}
+}
+
+func randomKSAT(rng *rand.Rand, nVars, nClauses, k int) *cnf.Formula {
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		cl := make(cnf.Clause, 0, k)
+		seen := map[int]bool{}
+		for len(cl) < k {
+			v := 1 + rng.Intn(nVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := cnf.Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			cl = append(cl, l)
+		}
+		f.AddClause(cl)
+	}
+	return f
+}
+
+// TestDPLLAgainstBruteForce cross-checks SAT/UNSAT verdicts on many random
+// small instances — the core correctness test for the complete solver.
+func TestDPLLAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(5*nVars)
+		f := randomKSAT(rng, nVars, nClauses, 2+rng.Intn(2))
+		want := BruteForce(f).Status
+		got := Solve(f, Options{})
+		if got.Status != want {
+			t.Fatalf("trial %d: dpll=%v brute=%v formula=%v", trial, got.Status, want, f)
+		}
+		if got.Status == Satisfiable && !got.Assignment.Satisfies(f) {
+			t.Fatalf("trial %d: invalid model", trial)
+		}
+	}
+}
+
+func TestWalkSATFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Planted-solution 3-SAT: every clause satisfied by the all-true
+	// assignment, so the instance is guaranteed satisfiable.
+	f := cnf.New(40)
+	for i := 0; i < 160; i++ {
+		cl := make(cnf.Clause, 0, 3)
+		cl = append(cl, cnf.Lit(1+rng.Intn(40))) // positive literal keeps plant
+		for len(cl) < 3 {
+			v := 1 + rng.Intn(40)
+			l := cnf.Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			cl = append(cl, l)
+		}
+		f.AddClause(cl)
+	}
+	res := LocalSearch(f, Options{Seed: 5})
+	if res.Status != Satisfiable {
+		t.Fatalf("WalkSAT failed on planted instance: %v", res.Status)
+	}
+	if !res.Assignment.Satisfies(f) {
+		t.Fatal("WalkSAT returned invalid model")
+	}
+	if res.Flips == 0 && res.Assignment.AssignedCount() == 0 {
+		t.Fatal("suspicious zero-work result")
+	}
+}
+
+func TestWalkSATWarmStart(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2}, []int{-1, 3}, []int{2, -3})
+	w := NewWalkSAT(f, Options{Seed: 1, MaxFlips: 100})
+	init := cnf.AssignmentFromBools(true, true, true)
+	w.SetInitial(init)
+	res := w.Solve()
+	if res.Status != Satisfiable {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Flips != 0 {
+		t.Fatalf("warm start from a model should need 0 flips, used %d", res.Flips)
+	}
+}
+
+func TestWalkSATEmptyClause(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(cnf.Clause{})
+	if res := LocalSearch(f, Options{}); res.Status != Unsatisfiable {
+		t.Fatal("WalkSAT should report UNSAT on an empty clause")
+	}
+}
+
+func TestWalkSATDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := randomKSAT(rng, 20, 60, 3)
+	r1 := LocalSearch(f, Options{Seed: 123})
+	r2 := LocalSearch(f, Options{Seed: 123})
+	if r1.Status != r2.Status || r1.Flips != r2.Flips {
+		t.Fatal("WalkSAT not deterministic for a fixed seed")
+	}
+}
+
+func TestBruteForceTooLarge(t *testing.T) {
+	f := cnf.New(MaxBruteVars + 1)
+	for v := 1; v <= MaxBruteVars+1; v++ {
+		f.AddClause(cnf.Clause{cnf.Lit(v)})
+	}
+	if res := BruteForce(f); res.Status != Unknown {
+		t.Fatal("BruteForce should refuse oversized instances")
+	}
+}
+
+func TestCountSolutions(t *testing.T) {
+	// (v1 + v2) has 3 models over 2 vars.
+	f := cnf.FromClauses([]int{1, 2})
+	if n := CountSolutions(f); n != 3 {
+		t.Fatalf("CountSolutions = %d, want 3", n)
+	}
+	unsat := cnf.FromClauses([]int{1}, []int{-1})
+	if n := CountSolutions(unsat); n != 0 {
+		t.Fatalf("CountSolutions(unsat) = %d", n)
+	}
+}
+
+func TestForEachSolution(t *testing.T) {
+	f := cnf.FromClauses([]int{1, 2})
+	count := 0
+	ForEachSolution(f, func(a cnf.Assignment) bool {
+		if !a.Satisfies(f) {
+			t.Fatal("enumerated non-model")
+		}
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("enumerated %d models, want 3", count)
+	}
+	// Early stop.
+	count = 0
+	ForEachSolution(f, func(cnf.Assignment) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop enumerated %d", count)
+	}
+}
+
+func TestIsSatisfiable(t *testing.T) {
+	if !IsSatisfiable(cnf.FromClauses([]int{1})) {
+		t.Fatal("trivial SAT reported UNSAT")
+	}
+	if IsSatisfiable(cnf.FromClauses([]int{1}, []int{-1})) {
+		t.Fatal("trivial UNSAT reported SAT")
+	}
+}
+
+// TestDPLLHardRandom exercises the solver near the phase transition where
+// backtracking actually happens.
+func TestDPLLHardRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	sat, unsat := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		f := randomKSAT(rng, 30, 128, 3) // ratio ≈ 4.27
+		res := Solve(f, Options{})
+		switch res.Status {
+		case Satisfiable:
+			sat++
+			if !res.Assignment.Satisfies(f) {
+				t.Fatal("invalid model near phase transition")
+			}
+		case Unsatisfiable:
+			unsat++
+		default:
+			t.Fatal("unexpected Unknown without limits")
+		}
+	}
+	if sat == 0 && unsat == 0 {
+		t.Fatal("no instances solved")
+	}
+}
+
+func TestDPLLStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := randomKSAT(rng, 25, 106, 3)
+	res := Solve(f, Options{})
+	if res.Runtime <= 0 {
+		t.Fatal("runtime not recorded")
+	}
+	if res.Status == Unknown {
+		t.Fatal("unexpected Unknown")
+	}
+}

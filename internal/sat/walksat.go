@@ -1,0 +1,196 @@
+package sat
+
+import (
+	"math/rand"
+	"time"
+
+	"ilpec/internal/cnf"
+)
+
+// WalkSAT is an incomplete local-search solver (Selman/Kautz WalkSAT with
+// the "best-of-break" heuristic). It either finds a satisfying assignment
+// or gives up after the flip budget; it can never prove unsatisfiability.
+type WalkSAT struct {
+	opts    Options
+	formula *cnf.Formula
+	initial cnf.Assignment // optional warm start
+}
+
+// NewWalkSAT creates a local-search solver for f.
+func NewWalkSAT(f *cnf.Formula, opts Options) *WalkSAT {
+	return &WalkSAT{opts: opts, formula: f}
+}
+
+// SetInitial seeds the first restart with a (total or partial) assignment;
+// don't-care variables are randomized.
+func (w *WalkSAT) SetInitial(a cnf.Assignment) { w.initial = a }
+
+// Solve runs the local search.
+func (w *WalkSAT) Solve() Result {
+	start := time.Now()
+	res := w.solve()
+	res.Runtime = time.Since(start)
+	return res
+}
+
+func (w *WalkSAT) solve() Result {
+	f := w.formula
+	if f.HasEmptyClause() {
+		return Result{Status: Unsatisfiable}
+	}
+	n := f.NumVars
+	maxFlips := w.opts.MaxFlips
+	if maxFlips == 0 {
+		maxFlips = int64(50_000 + 100*n)
+	}
+	noise := w.opts.Noise
+	if noise == 0 {
+		noise = 0.5
+	}
+	restarts := w.opts.Restarts
+	if restarts == 0 {
+		restarts = 10
+	}
+	rng := rand.New(rand.NewSource(w.opts.Seed + 1))
+
+	occ := f.Occurrences()
+	val := make([]bool, n+1) // current total assignment
+	var flips int64
+
+	for r := 0; r < restarts; r++ {
+		// Initialize: warm start on the first restart, random otherwise.
+		for v := 1; v <= n; v++ {
+			if r == 0 && w.initial != nil {
+				switch w.initial.Get(v) {
+				case cnf.True:
+					val[v] = true
+					continue
+				case cnf.False:
+					val[v] = false
+					continue
+				}
+			}
+			val[v] = rng.Intn(2) == 0
+		}
+
+		// unsat tracks indices of unsatisfied clauses.
+		satCount := make([]int, len(f.Clauses)) // true literals per clause
+		var unsat []int
+		pos := make([]int, len(f.Clauses)) // position of clause in unsat, -1 if absent
+		litTrue := func(l cnf.Lit) bool {
+			if l.Pos() {
+				return val[l.Var()]
+			}
+			return !val[l.Var()]
+		}
+		for i, c := range f.Clauses {
+			pos[i] = -1
+			for _, l := range c {
+				if litTrue(l) {
+					satCount[i]++
+				}
+			}
+			if satCount[i] == 0 {
+				pos[i] = len(unsat)
+				unsat = append(unsat, i)
+			}
+		}
+		addUnsat := func(i int) {
+			if pos[i] < 0 {
+				pos[i] = len(unsat)
+				unsat = append(unsat, i)
+			}
+		}
+		removeUnsat := func(i int) {
+			p := pos[i]
+			if p < 0 {
+				return
+			}
+			last := unsat[len(unsat)-1]
+			unsat[p] = last
+			pos[last] = p
+			unsat = unsat[:len(unsat)-1]
+			pos[i] = -1
+		}
+		flip := func(v int) {
+			val[v] = !val[v]
+			for _, ci := range occ[v] {
+				c := f.Clauses[ci]
+				cnt := 0
+				for _, l := range c {
+					if litTrue(l) {
+						cnt++
+					}
+				}
+				satCount[ci] = cnt
+				if cnt == 0 {
+					addUnsat(ci)
+				} else {
+					removeUnsat(ci)
+				}
+			}
+		}
+		// breakCount: clauses that become unsatisfied if v flips.
+		breakCount := func(v int) int {
+			b := 0
+			for _, ci := range occ[v] {
+				if satCount[ci] == 1 {
+					// Only breaks if the single true literal is on v.
+					for _, l := range f.Clauses[ci] {
+						if l.Var() == v && litTrue(l) {
+							b++
+							break
+						}
+					}
+				}
+			}
+			return b
+		}
+
+		budget := maxFlips / int64(restarts)
+		if budget == 0 {
+			budget = maxFlips
+		}
+		for step := int64(0); step < budget; step++ {
+			if len(unsat) == 0 {
+				return Result{Status: Satisfiable, Assignment: w.extract(val), Flips: flips}
+			}
+			flips++
+			c := f.Clauses[unsat[rng.Intn(len(unsat))]]
+			if len(c) == 0 {
+				return Result{Status: Unsatisfiable, Flips: flips}
+			}
+			// Pick a variable: freebie (break 0), else noise-random, else
+			// minimal break.
+			bestV, bestB := -1, 1<<30
+			for _, l := range c {
+				b := breakCount(l.Var())
+				if b < bestB {
+					bestV, bestB = l.Var(), b
+				}
+			}
+			if bestB > 0 && rng.Float64() < noise {
+				bestV = c[rng.Intn(len(c))].Var()
+			}
+			flip(bestV)
+		}
+	}
+	return Result{Status: Unknown, Flips: flips}
+}
+
+func (w *WalkSAT) extract(val []bool) cnf.Assignment {
+	a := cnf.NewAssignment(len(val) - 1)
+	for v := 1; v < len(val); v++ {
+		if val[v] {
+			a.Set(v, cnf.True)
+		} else {
+			a.Set(v, cnf.False)
+		}
+	}
+	return a
+}
+
+// LocalSearch is a convenience wrapper around WalkSAT.
+func LocalSearch(f *cnf.Formula, opts Options) Result {
+	return NewWalkSAT(f, opts).Solve()
+}

@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"fmt"
+
+	"ilpec/internal/ilp"
+)
+
+// FastReschedule is the fast-EC adaptation: given a changed problem and
+// the previous schedule, it re-places only the disturbed cone — operations
+// that are invalid where they stand (dependency or capacity violations, or
+// newly added ops) plus, on escalation, their dependency neighborhoods —
+// keeping every other operation frozen at its step.
+func FastReschedule(p *Problem, prev Schedule, opts ilp.Options) (Schedule, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	prev = prev.Clone()
+	for len(prev) < p.NumOps {
+		prev = append(prev, -1) // newly added operations join the region
+	}
+	region := map[int]bool{}
+	for o := 0; o < p.NumOps; o++ {
+		if prev[o] < 0 || prev[o] >= p.Steps {
+			region[o] = true
+		}
+	}
+	for _, d := range p.Deps {
+		if !region[d[0]] && !region[d[1]] && prev[d[0]] >= prev[d[1]] {
+			region[d[0]] = true
+			region[d[1]] = true
+		}
+	}
+	// Capacity violations join too.
+	use := make(map[[2]int][]int)
+	for o := 0; o < p.NumOps; o++ {
+		if !region[o] {
+			key := [2]int{p.Type[o], prev[o]}
+			use[key] = append(use[key], o)
+		}
+	}
+	for key, ops := range use {
+		if len(ops) > p.Capacity[key[0]] {
+			for _, o := range ops {
+				region[o] = true
+			}
+		}
+	}
+	if len(region) == 0 {
+		return prev[:p.NumOps], 0, nil
+	}
+	for {
+		s, err := solveRegion(p, prev, region, opts)
+		if err == nil {
+			return s, len(region), nil
+		}
+		// Escalate through the dependency neighborhood.
+		grew := false
+		for _, d := range p.Deps {
+			if region[d[0]] != region[d[1]] {
+				if !region[d[0]] {
+					region[d[0]] = true
+				} else {
+					region[d[1]] = true
+				}
+				grew = true
+			}
+		}
+		if !grew {
+			if len(region) < p.NumOps {
+				for o := 0; o < p.NumOps; o++ {
+					region[o] = true
+				}
+				continue
+			}
+			return nil, len(region), fmt.Errorf("sched: fast reschedule infeasible: %w", err)
+		}
+	}
+}
+
+func solveRegion(p *Problem, prev Schedule, region map[int]bool, opts ilp.Options) (Schedule, error) {
+	e := NewEncoding(p)
+	m := e.Model
+	for o := 0; o < p.NumOps; o++ {
+		if region[o] {
+			continue
+		}
+		m.AddRow(fmt.Sprintf("freeze_%d", o),
+			[]ilp.Coef{{Var: e.XCol(o, prev[o]), Val: 1}}, ilp.GE, 1)
+	}
+	opts.WarmStart = e.EncodeSchedule(prev)
+	res := ilp.Solve(m, opts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		s := e.Decode(res.Solution)
+		if !s.Valid(p) {
+			return nil, fmt.Errorf("sched: region reschedule invalid (internal error)")
+		}
+		return s, nil
+	case ilp.Infeasible:
+		return nil, fmt.Errorf("sched: frozen region reschedule infeasible")
+	default:
+		return nil, fmt.Errorf("sched: region reschedule hit limits (%s)", res.Status)
+	}
+}
+
+// PreserveReschedule re-solves the whole instance maximizing the number of
+// operations that keep their previous step (§7 adapted).
+func PreserveReschedule(p *Problem, prev Schedule, opts ilp.Options) (Schedule, ilp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, ilp.Result{}, err
+	}
+	e := NewEncoding(p)
+	m := e.Model
+	// Preservation objective replaces schedule compaction.
+	for o := 0; o < p.NumOps; o++ {
+		for t := 0; t < p.Steps; t++ {
+			m.SetObj(e.XCol(o, t), 0)
+		}
+	}
+	for o := 0; o < p.NumOps && o < len(prev); o++ {
+		if t := prev[o]; t >= 0 && t < p.Steps {
+			m.SetObj(e.XCol(o, t), -1)
+		}
+	}
+	opts.WarmStart = e.EncodeSchedule(prev)
+	res := ilp.Solve(m, opts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		s := e.Decode(res.Solution)
+		if !s.Valid(p) {
+			return nil, res, fmt.Errorf("sched: preserving schedule invalid (internal error)")
+		}
+		return s, res, nil
+	case ilp.Infeasible:
+		return nil, res, fmt.Errorf("sched: no schedule within %d steps", p.Steps)
+	default:
+		return nil, res, fmt.Errorf("sched: preserving solve hit limits (%s)", res.Status)
+	}
+}
+
+// SlackReport audits enabling-style flexibility of a schedule: an
+// operation is flexible when it could move to at least one other step
+// without violating dependencies or capacity (all other operations fixed).
+type SlackReport struct {
+	Total    int
+	Flexible int
+	// Rigid lists operations with no alternative step.
+	Rigid []int
+}
+
+// VerifySlack counts per-operation move freedom under s.
+func VerifySlack(p *Problem, s Schedule) SlackReport {
+	r := SlackReport{Total: p.NumOps}
+	use := make(map[[2]int]int)
+	for o := 0; o < p.NumOps; o++ {
+		use[[2]int{p.Type[o], s[o]}]++
+	}
+	for o := 0; o < p.NumOps; o++ {
+		lo, hi := 0, p.Steps-1
+		for _, d := range p.Deps {
+			if d[1] == o && s[d[0]]+1 > lo {
+				lo = s[d[0]] + 1
+			}
+			if d[0] == o && s[d[1]]-1 < hi {
+				hi = s[d[1]] - 1
+			}
+		}
+		movable := false
+		for t := lo; t <= hi && !movable; t++ {
+			if t == s[o] {
+				continue
+			}
+			if use[[2]int{p.Type[o], t}] < p.Capacity[p.Type[o]] {
+				movable = true
+			}
+		}
+		if movable {
+			r.Flexible++
+		} else {
+			r.Rigid = append(r.Rigid, o)
+		}
+	}
+	return r
+}
+
+// SolveEnabled schedules with an enabling-style objective: in addition to
+// compaction, each operation is rewarded (weight w) for having at least
+// one spare slot — a feasible alternative step given the rest of the
+// schedule. The construction mirrors the SAT support variables: s_{o,t}
+// may be 1 only when x_{o,t} = 0, t is within a window that no dependency
+// forbids outright, and the capacity row of (type(o), t) keeps one unit of
+// headroom; flex_o ≤ Σ_t s_{o,t}.
+func SolveEnabled(p *Problem, w float64, warm Schedule, opts ilp.Options) (Schedule, ilp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, ilp.Result{}, err
+	}
+	if w <= 0 {
+		w = 1
+	}
+	e := NewEncoding(p)
+	m := e.Model
+	for o := 0; o < p.NumOps; o++ {
+		var spares []ilp.Coef
+		for t := 0; t < p.Steps; t++ {
+			s := m.AddVar(fmt.Sprintf("s%d_%d", o, t), 0)
+			// Spare only where the operation is not already placed.
+			m.AddRow("", []ilp.Coef{{Var: s, Val: 1}, {Var: e.XCol(o, t), Val: 1}}, ilp.LE, 1)
+			// Capacity headroom: occupancy of (type,t) by OTHER ops + s ≤ cap.
+			coefs := []ilp.Coef{{Var: s, Val: 1}}
+			for o2 := 0; o2 < p.NumOps; o2++ {
+				if o2 != o && p.Type[o2] == p.Type[o] {
+					coefs = append(coefs, ilp.Coef{Var: e.XCol(o2, t), Val: 1})
+				}
+			}
+			m.AddRow("", coefs, ilp.LE, float64(p.Capacity[p.Type[o]]))
+			spares = append(spares, ilp.Coef{Var: s, Val: 1})
+		}
+		flex := m.AddVar(fmt.Sprintf("flex_%d", o), -w)
+		terms := append(append([]ilp.Coef(nil), spares...), ilp.Coef{Var: flex, Val: -1})
+		m.AddRow(fmt.Sprintf("flexdef_%d", o), terms, ilp.GE, 0)
+	}
+	if warm != nil {
+		opts.WarmStart = e.EncodeSchedule(warm)
+	}
+	res := ilp.Solve(m, opts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		s := e.Decode(res.Solution)
+		if !s.Valid(p) {
+			return nil, res, fmt.Errorf("sched: enabled schedule invalid (internal error)")
+		}
+		return s, res, nil
+	case ilp.Infeasible:
+		return nil, res, fmt.Errorf("sched: no schedule within %d steps", p.Steps)
+	default:
+		return nil, res, fmt.Errorf("sched: enabled solve hit limits (%s)", res.Status)
+	}
+}

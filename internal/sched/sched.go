@@ -1,0 +1,346 @@
+// Package sched applies the EC methodology to resource-constrained
+// operation scheduling — the behavioral-synthesis task of the paper's
+// predecessor work (Kirovski–Potkonjak [5], "engineering change:
+// methodology and applications to behavioral and system synthesis") and
+// the third domain backing the paper's §9 claim that the ILP-based EC
+// techniques generalize beyond SAT.
+//
+// The model is classic time-indexed scheduling: a DAG of unit-latency
+// operations, each assigned a resource type, must be scheduled into T
+// control steps so that dependencies precede their users and no step uses
+// more instances of a resource type than available. The ILP uses x_{o,t}
+// decision variables with one-hot rows per operation, precedence rows per
+// edge, and capacity rows per (type, step).
+//
+// EC arrives as operation/dependency additions and removals or capacity
+// changes; the three components adapt exactly as for SAT:
+//
+//   - enabling EC: prefer schedules with slack (spare capacity in the
+//     steps adjacent to each operation);
+//   - fast EC: re-place only the operations in the disturbed cone;
+//   - preserving EC: maximize the number of operations keeping their
+//     control step.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"ilpec/internal/ilp"
+)
+
+// Problem is a scheduling instance.
+type Problem struct {
+	// NumOps is the number of operations, identified 0..NumOps-1.
+	NumOps int
+	// Type[o] is the resource type of operation o (0-based).
+	Type []int
+	// Capacity[r] is the number of simultaneous operations of type r.
+	Capacity []int
+	// Deps lists (from, to) precedence pairs: from must be scheduled at a
+	// strictly earlier step than to.
+	Deps [][2]int
+	// Steps is the schedule horizon T (operations occupy one step each).
+	Steps int
+}
+
+// NewProblem creates an empty scheduling problem with the given resource
+// capacities and horizon.
+func NewProblem(capacity []int, steps int) *Problem {
+	return &Problem{Capacity: append([]int(nil), capacity...), Steps: steps}
+}
+
+// AddOp appends an operation of resource type r and returns its id.
+func (p *Problem) AddOp(r int) int {
+	if r < 0 || r >= len(p.Capacity) {
+		panic(fmt.Sprintf("sched: resource type %d out of range", r))
+	}
+	p.Type = append(p.Type, r)
+	p.NumOps++
+	return p.NumOps - 1
+}
+
+// AddDep records that operation from must complete before to starts.
+func (p *Problem) AddDep(from, to int) {
+	if from < 0 || from >= p.NumOps || to < 0 || to >= p.NumOps || from == to {
+		panic(fmt.Sprintf("sched: bad dependency %d->%d", from, to))
+	}
+	p.Deps = append(p.Deps, [2]int{from, to})
+}
+
+// RemoveDep deletes a dependency; it reports whether the pair existed.
+func (p *Problem) RemoveDep(from, to int) bool {
+	for i, d := range p.Deps {
+		if d[0] == from && d[1] == to {
+			p.Deps = append(p.Deps[:i], p.Deps[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		NumOps:   p.NumOps,
+		Type:     append([]int(nil), p.Type...),
+		Capacity: append([]int(nil), p.Capacity...),
+		Deps:     append([][2]int(nil), p.Deps...),
+		Steps:    p.Steps,
+	}
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if p.Steps < 1 {
+		return fmt.Errorf("sched: horizon %d", p.Steps)
+	}
+	if len(p.Type) != p.NumOps {
+		return fmt.Errorf("sched: type table length mismatch")
+	}
+	for o, r := range p.Type {
+		if r < 0 || r >= len(p.Capacity) {
+			return fmt.Errorf("sched: op %d has bad type %d", o, r)
+		}
+	}
+	for _, d := range p.Deps {
+		if d[0] < 0 || d[0] >= p.NumOps || d[1] < 0 || d[1] >= p.NumOps {
+			return fmt.Errorf("sched: dependency %v out of range", d)
+		}
+	}
+	return nil
+}
+
+// Schedule assigns each operation a control step in 0..Steps-1 (-1 =
+// unscheduled).
+type Schedule []int
+
+// Valid reports whether s schedules every operation, respects every
+// dependency strictly, and stays within capacities.
+func (s Schedule) Valid(p *Problem) bool {
+	if len(s) != p.NumOps {
+		return false
+	}
+	for _, t := range s {
+		if t < 0 || t >= p.Steps {
+			return false
+		}
+	}
+	for _, d := range p.Deps {
+		if s[d[0]] >= s[d[1]] {
+			return false
+		}
+	}
+	use := make(map[[2]int]int)
+	for o, t := range s {
+		use[[2]int{p.Type[o], t}]++
+	}
+	for key, n := range use {
+		if n > p.Capacity[key[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Agreement returns the fraction of operations keeping their step.
+func (s Schedule) Agreement(other Schedule) float64 {
+	if len(s) == 0 {
+		return 1
+	}
+	n := len(s)
+	if len(other) < n {
+		n = len(other)
+	}
+	same := 0
+	for o := 0; o < n; o++ {
+		if s[o] == other[o] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(s))
+}
+
+// Clone returns an independent copy.
+func (s Schedule) Clone() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}
+
+// Encoding is the time-indexed 0-1 ILP of a scheduling problem.
+type Encoding struct {
+	Model   *ilp.Model
+	Problem *Problem
+	// xCol[o][t] is the column of x_{o,t}.
+	xCol [][]int
+}
+
+// XCol returns the column of operation o at step t.
+func (e *Encoding) XCol(o, t int) int { return e.xCol[o][t] }
+
+// NewEncoding builds the ILP: one-hot per operation, precedence rows, and
+// capacity rows; the objective minimizes the weighted finish step
+// (Σ t·x_{o,t}), which compacts schedules toward early steps.
+func NewEncoding(p *Problem) *Encoding {
+	m := ilp.NewModel(false)
+	e := &Encoding{Model: m, Problem: p, xCol: make([][]int, p.NumOps)}
+	for o := 0; o < p.NumOps; o++ {
+		e.xCol[o] = make([]int, p.Steps)
+		for t := 0; t < p.Steps; t++ {
+			e.xCol[o][t] = m.AddVar(fmt.Sprintf("x%d_%d", o, t), float64(t))
+		}
+	}
+	for o := 0; o < p.NumOps; o++ {
+		coefs := make([]ilp.Coef, p.Steps)
+		for t := 0; t < p.Steps; t++ {
+			coefs[t] = ilp.Coef{Var: e.xCol[o][t], Val: 1}
+		}
+		m.AddRow(fmt.Sprintf("one_%d", o), coefs, ilp.EQ, 1)
+	}
+	// Precedence: Σ t·x_{from,t} + 1 ≤ Σ t·x_{to,t}.
+	for di, d := range p.Deps {
+		var coefs []ilp.Coef
+		for t := 0; t < p.Steps; t++ {
+			coefs = append(coefs, ilp.Coef{Var: e.xCol[d[1]][t], Val: float64(t)})
+			coefs = append(coefs, ilp.Coef{Var: e.xCol[d[0]][t], Val: -float64(t)})
+		}
+		m.AddRow(fmt.Sprintf("dep_%d", di), coefs, ilp.GE, 1)
+	}
+	// Capacity rows per (type, step).
+	for r := range p.Capacity {
+		for t := 0; t < p.Steps; t++ {
+			var coefs []ilp.Coef
+			for o := 0; o < p.NumOps; o++ {
+				if p.Type[o] == r {
+					coefs = append(coefs, ilp.Coef{Var: e.xCol[o][t], Val: 1})
+				}
+			}
+			if len(coefs) > 0 {
+				m.AddRow(fmt.Sprintf("cap_%d_%d", r, t), coefs, ilp.LE, float64(p.Capacity[r]))
+			}
+		}
+	}
+	return e
+}
+
+// Decode converts an ILP solution to a Schedule.
+func (e *Encoding) Decode(sol ilp.Solution) Schedule {
+	s := make(Schedule, e.Problem.NumOps)
+	for o := range s {
+		s[o] = -1
+		for t := 0; t < e.Problem.Steps; t++ {
+			if sol[e.xCol[o][t]] == 1 {
+				s[o] = t
+				break
+			}
+		}
+	}
+	return s
+}
+
+// EncodeSchedule converts a schedule into an ILP solution vector.
+func (e *Encoding) EncodeSchedule(s Schedule) ilp.Solution {
+	sol := make(ilp.Solution, e.Model.NumVars())
+	for o, t := range s {
+		if o < e.Problem.NumOps && t >= 0 && t < e.Problem.Steps {
+			sol[e.xCol[o][t]] = 1
+		}
+	}
+	return sol
+}
+
+// Solve schedules the problem exactly; warm (optional) guides branching.
+func Solve(p *Problem, warm Schedule, opts ilp.Options) (Schedule, ilp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, ilp.Result{}, err
+	}
+	e := NewEncoding(p)
+	if warm != nil {
+		opts.WarmStart = e.EncodeSchedule(warm)
+	}
+	res := ilp.Solve(e.Model, opts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		s := e.Decode(res.Solution)
+		if !s.Valid(p) {
+			return nil, res, fmt.Errorf("sched: decoded schedule invalid (internal error)")
+		}
+		return s, res, nil
+	case ilp.Infeasible:
+		return nil, res, fmt.Errorf("sched: no schedule within %d steps", p.Steps)
+	default:
+		return nil, res, fmt.Errorf("sched: solve hit limits (%s)", res.Status)
+	}
+}
+
+// ListSchedule is the greedy baseline: operations in topological order are
+// placed at the earliest step satisfying dependencies and capacity. It
+// returns an error when the horizon is too short (or the DAG is cyclic).
+func ListSchedule(p *Problem) (Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := topoOrder(p)
+	if err != nil {
+		return nil, err
+	}
+	s := make(Schedule, p.NumOps)
+	for i := range s {
+		s[i] = -1
+	}
+	use := make(map[[2]int]int)
+	for _, o := range order {
+		earliest := 0
+		for _, d := range p.Deps {
+			if d[1] == o && s[d[0]] >= earliest {
+				earliest = s[d[0]] + 1
+			}
+		}
+		placed := false
+		for t := earliest; t < p.Steps; t++ {
+			if use[[2]int{p.Type[o], t}] < p.Capacity[p.Type[o]] {
+				s[o] = t
+				use[[2]int{p.Type[o], t}]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("sched: horizon %d too short for op %d", p.Steps, o)
+		}
+	}
+	return s, nil
+}
+
+func topoOrder(p *Problem) ([]int, error) {
+	indeg := make([]int, p.NumOps)
+	succ := make([][]int, p.NumOps)
+	for _, d := range p.Deps {
+		indeg[d[1]]++
+		succ[d[0]] = append(succ[d[0]], d[1])
+	}
+	var queue []int
+	for o := 0; o < p.NumOps; o++ {
+		if indeg[o] == 0 {
+			queue = append(queue, o)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+		order = append(order, o)
+		for _, t := range succ[o] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) != p.NumOps {
+		return nil, fmt.Errorf("sched: dependency cycle")
+	}
+	return order, nil
+}

@@ -1,0 +1,80 @@
+package ilpec_test
+
+// Public-API tests for the scheduling (behavioral-synthesis) EC domain.
+
+import (
+	"testing"
+
+	"ilpec"
+)
+
+func TestPublicScheduling(t *testing.T) {
+	// Two adders (capacity 1) and a multiplier, diamond dependencies.
+	p := ilpec.NewSchedProblem([]int{1, 1}, 4)
+	a := p.AddOp(0)
+	b := p.AddOp(0)
+	c := p.AddOp(1)
+	d := p.AddOp(0)
+	p.AddDep(a, b)
+	p.AddDep(a, c)
+	p.AddDep(b, d)
+	p.AddDep(c, d)
+
+	greedy, err := ilpec.ListSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !greedy.Valid(p) {
+		t.Fatal("greedy invalid")
+	}
+	s, res, err := ilpec.SolveSchedule(p, greedy, ilpec.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Valid(p) || res.Status.String() == "" {
+		t.Fatal("exact schedule invalid")
+	}
+
+	// EC: a new multiplier fed by op a — fast EC keeps everything else put.
+	changed := p.Clone()
+	n := changed.AddOp(1)
+	changed.AddDep(a, n)
+	fast, region, err := ilpec.FastReschedule(changed, s, ilpec.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Valid(changed) || region > 2 {
+		t.Fatalf("fast reschedule: valid=%v region=%d", fast.Valid(changed), region)
+	}
+	for o := 0; o < p.NumOps; o++ {
+		if fast[o] != s[o] {
+			t.Fatalf("op %d moved under fast EC", o)
+		}
+	}
+
+	// EC: extra serialization — preserving EC keeps most steps.
+	changed2 := p.Clone()
+	changed2.AddDep(b, c)
+	pres, _, err := ilpec.PreserveReschedule(changed2, s, ilpec.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Valid(changed2) {
+		t.Fatal("preserving schedule invalid")
+	}
+	if pres.Agreement(s) < 0.5 {
+		t.Fatalf("agreement %.2f", pres.Agreement(s))
+	}
+
+	// Enabling: spare-slot rewarded schedule on a loose instance.
+	loose := ilpec.NewSchedProblem([]int{2}, 4)
+	loose.AddOp(0)
+	loose.AddOp(0)
+	en, _, err := ilpec.EnableSchedule(loose, 2, nil, ilpec.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !en.Valid(loose) {
+		t.Fatal("enabled schedule invalid")
+	}
+}
