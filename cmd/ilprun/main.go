@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "heuristic seed")
 	flips := flag.Int64("flips", 0, "heuristic flip budget (0 = default)")
 	timeout := flag.Duration("timeout", 0, "exact time limit (0 = none)")
+	workers := flag.Int("workers", 1, "parallel root searchers for the exact solver (1 = serial)")
 	quiet := flag.Bool("quiet", false, "print only status and objective")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,7 +59,7 @@ func main() {
 
 	switch *solver {
 	case "exact":
-		opts := ilp.Options{TimeLimit: *timeout}
+		opts := ilp.Options{TimeLimit: *timeout, Workers: *workers}
 		switch *bounding {
 		case "comb":
 			opts.Bounding = ilp.CombBound
@@ -89,8 +90,10 @@ func main() {
 			}
 		}
 		if !*quiet {
-			fmt.Printf("nodes: %d  propagations: %d  lp-solves: %d  runtime: %v\n",
-				res.Nodes, res.Propagations, res.LPSolves, time.Since(start))
+			fmt.Printf("nodes: %d  propagations: %d  row-scans-saved: %d  runtime: %v\n",
+				res.Nodes, res.Propagations, res.RowScansSaved, time.Since(start))
+			fmt.Printf("lp-solves: %d  lp-warm-hits: %d  workers: %d\n",
+				res.LPSolves, res.LPWarmHits, res.Workers)
 		}
 	case "heur":
 		res := heurilp.Solve(m, heurilp.Options{Seed: *seed, MaxFlips: *flips})

@@ -1,0 +1,3 @@
+module ilpec
+
+go 1.24

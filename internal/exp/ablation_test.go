@@ -6,7 +6,7 @@ import (
 )
 
 func TestRunAblations(t *testing.T) {
-	rows := RunAblations(Quick())
+	rows := RunAblations(testProfile(t))
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRunColoringQuick(t *testing.T) {
-	rows := RunColoring(Quick())
+	rows := RunColoring(testProfile(t))
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -38,14 +38,14 @@ func TestRunColoringQuick(t *testing.T) {
 }
 
 func TestColoringTimings(t *testing.T) {
-	replan, fast, err := ColoringTimings("gc30.4", Quick())
+	replan, fast, err := ColoringTimings("gc30.4", testProfile(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if replan <= 0 || fast <= 0 {
 		t.Fatal("timings not measured")
 	}
-	if _, _, err := ColoringTimings("nope", Quick()); err == nil {
+	if _, _, err := ColoringTimings("nope", testProfile(t)); err == nil {
 		t.Fatal("expected error for unknown spec")
 	}
 }

@@ -43,6 +43,13 @@ func Quick() Profile {
 	return Profile{Name: "quick", Scale: 0.05, Trials: 2, SmallOnly: true, ExactTimeLimit: 5 * time.Second, HeurFlips: 20_000}
 }
 
+// Short is the `go test -short` profile: single-trial runs on the smallest
+// instances with tight solve limits, so CI exercises every experiment path
+// in seconds.
+func Short() Profile {
+	return Profile{Name: "short", Scale: 0.04, Trials: 1, SmallOnly: true, ExactTimeLimit: 2 * time.Second, HeurFlips: 10_000}
+}
+
 // Paper attempts the original dimensions. Expect very long exact solves on
 // the big instances — the paper's own Table 1 reports 20089 seconds for
 // ii8b2 on CPLEX.
@@ -50,13 +57,15 @@ func Paper() Profile {
 	return Profile{Name: "paper", Scale: 1, Trials: 10, HeurFlips: 2_000_000}
 }
 
-// ProfileByName resolves "ci", "quick" or "paper".
+// ProfileByName resolves "ci", "quick", "short" or "paper".
 func ProfileByName(name string) (Profile, error) {
 	switch strings.ToLower(name) {
 	case "", "ci":
 		return CI(), nil
 	case "quick":
 		return Quick(), nil
+	case "short":
+		return Short(), nil
 	case "paper":
 		return Paper(), nil
 	default:

@@ -8,8 +8,18 @@ import (
 	"ilpec/internal/gen"
 )
 
+// testProfile selects the experiment scale: the Quick profile normally,
+// Short under `go test -short` so CI stays fast.
+func testProfile(t *testing.T) Profile {
+	t.Helper()
+	if testing.Short() {
+		return Short()
+	}
+	return Quick()
+}
+
 func TestProfiles(t *testing.T) {
-	for _, name := range []string{"ci", "quick", "paper", ""} {
+	for _, name := range []string{"ci", "quick", "short", "paper", ""} {
 		p, err := ProfileByName(name)
 		if err != nil {
 			t.Fatalf("%q: %v", name, err)
@@ -62,7 +72,7 @@ func TestSeconds(t *testing.T) {
 // asserts the paper's qualitative shape: the OF overhead exceeds 1× on
 // average (the paper reports 2.62× / 3.31×).
 func TestTable1Quick(t *testing.T) {
-	res := RunTable1(Quick())
+	res := RunTable1(testProfile(t))
 	if len(res.Rows) != len(gen.Small()) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
@@ -93,7 +103,7 @@ func TestTable1Quick(t *testing.T) {
 // TestTable2Quick asserts the fast-EC shape: sub-instances far smaller
 // than the original and tiny normalized re-solve times.
 func TestTable2Quick(t *testing.T) {
-	res := RunTable2(Quick())
+	res := RunTable2(testProfile(t))
 	okRows := 0
 	for _, r := range res.Rows {
 		if r.Err != "" {
@@ -120,7 +130,7 @@ func TestTable2Quick(t *testing.T) {
 // strictly dominates the plain baseline on average (the paper reports
 // 73% → 97%).
 func TestTable3Quick(t *testing.T) {
-	res := RunTable3(Quick())
+	res := RunTable3(testProfile(t))
 	okRows := 0
 	for _, r := range res.Rows {
 		if r.Err != "" {
@@ -147,7 +157,7 @@ func TestTable3Quick(t *testing.T) {
 }
 
 func TestFigure2Quick(t *testing.T) {
-	rows := RunFigure2(Quick())
+	rows := RunFigure2(testProfile(t))
 	ok := 0
 	for _, r := range rows {
 		if r.Err != "" {
@@ -168,7 +178,7 @@ func TestFigure2Quick(t *testing.T) {
 
 func TestFigure1Trace(t *testing.T) {
 	spec := gen.Scaled(gen.Small()[1], 0.3) // ii8a1 scaled
-	steps, err := Figure1Trace(spec, Quick())
+	steps, err := Figure1Trace(spec, testProfile(t))
 	if err != nil {
 		t.Fatal(err)
 	}

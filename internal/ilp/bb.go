@@ -11,14 +11,31 @@ const solveEps = 1e-9
 
 // normRow is a row normalized to Σ a_j x_j ≤ b form.
 type normRow struct {
-	coefs []Coef
-	rhs   float64
+	coefs  []Coef
+	rhs    float64
+	maxAbs float64 // largest |coef| — the watched-slack early-exit threshold
+}
+
+// occ is one occurrence of a variable in a normalized row. The column index
+// varOccs[j] carries the coefficient alongside the row id so assign and
+// unassign touch each affected row in O(1) instead of rescanning its
+// coefficient list.
+type occ struct {
+	row int32
+	val float64
 }
 
 // solver is the branch-and-bound engine. All rows are normalized to ≤ so
 // that pseudo-Boolean propagation has a single shape: a row is infeasible
 // when its minimum activity exceeds the right-hand side, and an unfixed
 // variable is forced when one of its values would make that happen.
+//
+// The kernel is incremental and allocation-free on the hot path: a column
+// index drives assign/unassign, a worklist revisits only rows whose slack
+// shrank, covering-row counts are maintained on the trail, the objective
+// bound terms are updated in O(1) per assignment, and the LP relaxation is
+// built once and re-solved per node by mutating variable bounds with a
+// warm-started simplex.
 type solver struct {
 	m    *Model
 	opts Options
@@ -26,31 +43,49 @@ type solver struct {
 	maximize bool
 	obj      []float64 // internal minimization objective
 	rows     []normRow
-	varRows  [][]int32 // rows containing each variable
+	varOccs  [][]occ // column index: each variable's (row, coef) pairs
 
 	fixed  []int8 // -1 unfixed, else 0/1
 	minAct []float64
 	trail  []int32 // fixed variable indices in order
 
-	incumbent    Solution
-	incumbentObj float64 // internal (minimization) value
+	curObj  float64 // Σ obj[j] over variables fixed to 1
+	negFree float64 // Σ obj[j] over unfixed variables with obj[j] < 0
+
+	queue   []int32 // worklist: rows whose slack shrank since last scan
+	inQueue []bool
+
+	incumbent    Solution // reusable buffer; cloned on return
+	incumbentObj float64  // internal (minimization) value
 	hasIncumbent bool
+	shared       *sharedInc // non-nil when part of a parallel root search
 
 	// Covering structure (detected from the original rows): coverRows[i]
 	// lists the columns of a Σ x_j ≥ 1 unit-coefficient row. Used for the
 	// counting bound and greedy branching that make set-cover-shaped
-	// models (the SAT encoding of §3) tractable.
+	// models (the SAT encoding of §3) tractable. coverCnt and coverNeg are
+	// maintained incrementally on the trail.
 	coverRows  [][]int32
 	coverOfVar [][]int32 // cover rows containing each variable
+	coverCnt   []int32   // variables fixed to 1 per cover row
+	coverNeg   []int32   // unfixed negative-cost columns per cover row
 	branching  Branching
 
-	nodes    int64
-	lpSolves int64
-	props    int64
-	deadline time.Time
-	timedOut bool
+	neededMark []int64 // epoch-stamped scratch for coverBound
+	markEpoch  int64
 
-	lpBase *lp.Problem // base relaxation (built lazily for LPBound)
+	nodes      int64
+	lpSolves   int64
+	props      int64
+	scansSaved int64
+	deadline   time.Time
+	timedOut   bool
+
+	lpBase     *lp.Problem // base relaxation, built once per solve
+	lpSolver   *lp.Solver  // warm-started simplex over lpBase
+	lpRes      lp.Result   // node relaxation shared by bound and branching
+	lpResTrail int         // trail length at which lpRes was computed
+	lpResOK    bool
 }
 
 func newSolver(m *Model, opts Options) *solver {
@@ -60,7 +95,7 @@ func newSolver(m *Model, opts Options) *solver {
 		maximize: m.Maximize,
 		obj:      make([]float64, m.NumVars()),
 		fixed:    make([]int8, m.NumVars()),
-		varRows:  make([][]int32, m.NumVars()),
+		varOccs:  make([][]occ, m.NumVars()),
 	}
 	for j := range s.fixed {
 		s.fixed[j] = -1
@@ -71,32 +106,50 @@ func newSolver(m *Model, opts Options) *solver {
 			c = -c
 		}
 		s.obj[j] = c
+		if c < 0 {
+			s.negFree += c
+		}
 	}
 	// Normalize rows to ≤ form; EQ becomes a ≤ and a ≥(negated ≤) pair.
-	addLE := func(coefs []Coef, rhs float64) {
-		idx := len(s.rows)
-		cp := append([]Coef(nil), coefs...)
-		s.rows = append(s.rows, normRow{coefs: cp, rhs: rhs})
-		for _, c := range cp {
-			s.varRows[c.Var] = append(s.varRows[c.Var], int32(idx))
+	// Row coefficients and the column index live in flat backing arrays
+	// sized up front, so model ingestion costs a fixed handful of
+	// allocations instead of per-row/per-variable append growth.
+	nRows, nz := 0, 0
+	for _, r := range m.rows {
+		if r.Sense == EQ {
+			nRows += 2
+			nz += 2 * len(r.Coefs)
+		} else {
+			nRows++
+			nz += len(r.Coefs)
 		}
 	}
-	neg := func(coefs []Coef) []Coef {
-		out := make([]Coef, len(coefs))
-		for i, c := range coefs {
-			out[i] = Coef{c.Var, -c.Val}
+	s.rows = make([]normRow, 0, nRows)
+	flat := make([]Coef, 0, nz)
+	addLE := func(coefs []Coef, negate bool, rhs float64) {
+		start := len(flat)
+		maxAbs := 0.0
+		for _, c := range coefs {
+			v := c.Val
+			if negate {
+				v = -v
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+			flat = append(flat, Coef{c.Var, v})
 		}
-		return out
+		s.rows = append(s.rows, normRow{coefs: flat[start:len(flat):len(flat)], rhs: rhs, maxAbs: maxAbs})
 	}
 	for _, r := range m.rows {
 		switch r.Sense {
 		case LE:
-			addLE(r.Coefs, r.RHS)
+			addLE(r.Coefs, false, r.RHS)
 		case GE:
-			addLE(neg(r.Coefs), -r.RHS)
+			addLE(r.Coefs, true, -r.RHS)
 		case EQ:
-			addLE(r.Coefs, r.RHS)
-			addLE(neg(r.Coefs), -r.RHS)
+			addLE(r.Coefs, false, r.RHS)
+			addLE(r.Coefs, true, -r.RHS)
 		}
 	}
 	s.minAct = make([]float64, len(s.rows))
@@ -109,6 +162,29 @@ func newSolver(m *Model, opts Options) *solver {
 		}
 		s.minAct[i] = a
 	}
+	// Column index: count occurrences, carve per-variable slices out of one
+	// flat array, then fill.
+	counts := make([]int32, m.NumVars())
+	for _, r := range s.rows {
+		for _, c := range r.coefs {
+			counts[c.Var]++
+		}
+	}
+	occFlat := make([]occ, nz)
+	pos := 0
+	for j := range s.varOccs {
+		n := int(counts[j])
+		s.varOccs[j] = occFlat[pos : pos : pos+n]
+		pos += n
+	}
+	for ri, r := range s.rows {
+		for _, c := range r.coefs {
+			s.varOccs[c.Var] = append(s.varOccs[c.Var], occ{int32(ri), c.Val})
+		}
+	}
+	s.inQueue = make([]bool, len(s.rows))
+	s.queue = make([]int32, 0, len(s.rows))
+	s.trail = make([]int32, 0, m.NumVars())
 	// Detect covering rows (Σ x ≥ 1 or Σ x = 1, unit coefficients) in the
 	// original model for the counting bound and greedy branching. An
 	// equality row's ≥ direction is a valid cover.
@@ -129,12 +205,19 @@ func newSolver(m *Model, opts Options) *solver {
 		}
 		idx := int32(len(s.coverRows))
 		cols := make([]int32, len(r.Coefs))
+		neg := int32(0)
 		for i, c := range r.Coefs {
 			cols[i] = int32(c.Var)
 			s.coverOfVar[c.Var] = append(s.coverOfVar[c.Var], idx)
+			if s.obj[c.Var] < 0 {
+				neg++
+			}
 		}
 		s.coverRows = append(s.coverRows, cols)
+		s.coverNeg = append(s.coverNeg, neg)
 	}
+	s.coverCnt = make([]int32, len(s.coverRows))
+	s.neededMark = make([]int64, len(s.coverRows))
 	s.branching = opts.Branching
 	if s.branching == BranchMaxObj && len(s.coverRows) > 0 {
 		// The default rule degenerates on uniform objectives; covering
@@ -155,7 +238,7 @@ func (s *solver) internalObj(sol Solution) float64 {
 }
 
 func (s *solver) run() Result {
-	if s.opts.TimeLimit > 0 {
+	if s.opts.TimeLimit > 0 && s.deadline.IsZero() {
 		s.deadline = time.Now().Add(s.opts.TimeLimit)
 	}
 	// Warm start: adopt as incumbent when feasible.
@@ -167,12 +250,12 @@ func (s *solver) run() Result {
 
 	// Root propagation, then depth-first search with explicit undo.
 	mark := len(s.trail)
-	if s.propagateAll() {
+	if s.rootPropagate() {
 		s.search()
 	}
 	s.undoTo(mark)
 
-	res := Result{Nodes: s.nodes, LPSolves: s.lpSolves, Propagations: s.props}
+	res := s.result()
 	switch {
 	case s.hasIncumbent && !s.timedOut && !s.nodeLimited():
 		res.Status = Optimal
@@ -188,6 +271,35 @@ func (s *solver) run() Result {
 		res.Objective = s.m.Objective(s.incumbent)
 	}
 	return res
+}
+
+// result collects the node counters (status and solution are filled by the
+// caller).
+func (s *solver) result() Result {
+	res := Result{
+		Nodes:         s.nodes,
+		LPSolves:      s.lpSolves,
+		Propagations:  s.props,
+		RowScansSaved: s.scansSaved,
+		Workers:       1,
+	}
+	if s.lpSolver != nil {
+		res.LPWarmHits = s.lpSolver.WarmHits
+	}
+	return res
+}
+
+// rootPropagate seeds the worklist with every row (the only moment a full
+// pass is needed) and runs propagation to fixpoint.
+func (s *solver) rootPropagate() bool {
+	for ri := range s.rows {
+		s.enqueue(int32(ri))
+	}
+	if !s.propagate() {
+		s.clearQueue()
+		return false
+	}
+	return true
 }
 
 func (s *solver) nodeLimited() bool {
@@ -210,6 +322,12 @@ func (s *solver) search() bool {
 	if s.limitHit() {
 		return false
 	}
+	if s.nodes%4096 == 0 {
+		s.resyncBoundTerms()
+	}
+	if s.shared != nil {
+		s.syncIncumbent()
+	}
 	// Bounding.
 	bound := s.bound()
 	if math.IsInf(bound, 1) {
@@ -229,17 +347,27 @@ func (s *solver) search() bool {
 	complete := true
 	for _, v := range [2]int8{first, 1 - first} {
 		mark := len(s.trail)
-		if s.assign(j, v) && s.propagateAll() {
+		if s.assign(j, v) && s.propagate() {
 			if !s.search() {
 				complete = false
 			}
 		}
+		s.clearQueue()
 		s.undoTo(mark)
 		if s.limitHit() {
 			return false
 		}
 	}
 	return complete
+}
+
+// syncIncumbent adopts the parallel search's shared bound when it is
+// tighter than the local one.
+func (s *solver) syncIncumbent() {
+	if b, ok := s.shared.best(); ok && (!s.hasIncumbent || b < s.incumbentObj) {
+		s.incumbentObj = b
+		s.hasIncumbent = true
+	}
 }
 
 // firstValue returns the branch value to try first for variable j: the warm
@@ -259,40 +387,101 @@ func (s *solver) firstValue(j int) int8 {
 }
 
 // record stores the current complete assignment as incumbent if better.
+// The objective is recomputed exactly here (leaves are rare relative to
+// nodes) so incremental float drift in curObj can never corrupt the answer.
 func (s *solver) record() {
-	sol := make(Solution, len(s.fixed))
+	z := 0.0
 	for j, v := range s.fixed {
 		if v == 1 {
-			sol[j] = 1
+			z += s.obj[j]
 		}
 	}
-	z := s.internalObj(sol)
-	if !s.hasIncumbent || z < s.incumbentObj-solveEps {
-		s.incumbent = sol
-		s.incumbentObj = z
-		s.hasIncumbent = true
+	if s.hasIncumbent && z >= s.incumbentObj-solveEps {
+		return
+	}
+	if s.shared != nil {
+		if s.shared.tryUpdate(z, s.fixed) {
+			s.incumbentObj = z
+			s.hasIncumbent = true
+		} else {
+			s.syncIncumbent()
+		}
+		return
+	}
+	if s.incumbent == nil {
+		s.incumbent = make(Solution, len(s.fixed))
+	}
+	for j, v := range s.fixed {
+		if v == 1 {
+			s.incumbent[j] = 1
+		} else {
+			s.incumbent[j] = 0
+		}
+	}
+	s.incumbentObj = z
+	s.hasIncumbent = true
+}
+
+func (s *solver) enqueue(ri int32) {
+	if !s.inQueue[ri] {
+		s.inQueue[ri] = true
+		s.queue = append(s.queue, ri)
 	}
 }
 
-// assign fixes variable j to v, updating row activities. Returns false when
-// a row becomes infeasible immediately.
+// clearQueue drops pending worklist entries (after a conflict, before the
+// trail rewinds). Idempotent.
+func (s *solver) clearQueue() {
+	for _, ri := range s.queue {
+		s.inQueue[ri] = false
+	}
+	s.queue = s.queue[:0]
+}
+
+// assign fixes variable j to v, updating row activities, cover counts, and
+// the incremental bound terms through the column index, and enqueues every
+// row whose slack shrank. Returns false when a row becomes infeasible
+// immediately (the caller must clearQueue before undoing).
 func (s *solver) assign(j int, v int8) bool {
 	s.fixed[j] = v
 	s.trail = append(s.trail, int32(j))
-	ok := true
-	for _, ri := range s.varRows[j] {
-		r := &s.rows[ri]
-		var a float64
-		for _, c := range r.coefs {
-			if c.Var == j {
-				a = c.Val
-				break
+	c := s.obj[j]
+	if v == 1 {
+		s.curObj += c
+	}
+	if c < 0 {
+		s.negFree -= c
+		for _, ri := range s.coverOfVar[j] {
+			s.coverNeg[ri]--
+			if v == 1 {
+				s.coverCnt[ri]++
 			}
 		}
-		// Min contribution was min(0, a); now a·v.
-		s.minAct[ri] += a*float64(v) - math.Min(0, a)
-		if s.minAct[ri] > r.rhs+solveEps {
-			ok = false
+	} else if v == 1 {
+		for _, ri := range s.coverOfVar[j] {
+			s.coverCnt[ri]++
+		}
+	}
+	ok := true
+	for _, o := range s.varOccs[j] {
+		// Min contribution was min(0, val); now val·v. The delta is ≥ 0, so
+		// an assignment can only shrink slack.
+		var delta float64
+		if v == 1 {
+			if o.val > 0 {
+				delta = o.val
+			}
+		} else {
+			if o.val < 0 {
+				delta = -o.val
+			}
+		}
+		if delta != 0 {
+			s.minAct[o.row] += delta
+			if s.minAct[o.row] > s.rows[o.row].rhs+solveEps {
+				ok = false
+			}
+			s.enqueue(o.row)
 		}
 	}
 	return ok
@@ -300,21 +489,43 @@ func (s *solver) assign(j int, v int8) bool {
 
 func (s *solver) unassign(j int) {
 	v := s.fixed[j]
-	for _, ri := range s.varRows[j] {
-		r := &s.rows[ri]
-		var a float64
-		for _, c := range r.coefs {
-			if c.Var == j {
-				a = c.Val
-				break
+	c := s.obj[j]
+	if v == 1 {
+		s.curObj -= c
+	}
+	if c < 0 {
+		s.negFree += c
+		for _, ri := range s.coverOfVar[j] {
+			s.coverNeg[ri]++
+			if v == 1 {
+				s.coverCnt[ri]--
 			}
 		}
-		s.minAct[ri] -= a*float64(v) - math.Min(0, a)
+	} else if v == 1 {
+		for _, ri := range s.coverOfVar[j] {
+			s.coverCnt[ri]--
+		}
+	}
+	for _, o := range s.varOccs[j] {
+		if v == 1 {
+			if o.val > 0 {
+				s.minAct[o.row] -= o.val
+			}
+		} else {
+			if o.val < 0 {
+				s.minAct[o.row] += o.val
+			}
+		}
 	}
 	s.fixed[j] = -1
 }
 
 func (s *solver) undoTo(mark int) {
+	if len(s.trail) > mark {
+		// Different assignments can later reproduce the same trail length,
+		// so the cached node relaxation must die with the backtrack.
+		s.lpResOK = false
+	}
 	for len(s.trail) > mark {
 		j := s.trail[len(s.trail)-1]
 		s.trail = s.trail[:len(s.trail)-1]
@@ -322,42 +533,50 @@ func (s *solver) undoTo(mark int) {
 	}
 }
 
-// propagateAll runs pseudo-Boolean propagation to fixpoint. Returns false
-// on conflict.
-func (s *solver) propagateAll() bool {
-	for {
-		changed := false
-		for ri := range s.rows {
-			r := &s.rows[ri]
-			slack := r.rhs - s.minAct[ri]
-			if slack < -solveEps {
-				return false
-			}
-			for _, c := range r.coefs {
-				if s.fixed[c.Var] != -1 {
-					continue
-				}
-				if c.Val > 0 && c.Val > slack+solveEps {
-					// x=1 would overflow the row → force 0.
-					s.props++
-					if !s.assign(c.Var, 0) {
-						return false
-					}
-					changed = true
-				} else if c.Val < 0 && -c.Val > slack+solveEps {
-					// x=0 removes the negative min contribution → force 1.
-					s.props++
-					if !s.assign(c.Var, 1) {
-						return false
-					}
-					changed = true
-				}
-			}
+// propagate drains the worklist: only rows whose slack shrank since their
+// last scan are revisited, and a row whose slack still exceeds its largest
+// coefficient magnitude cannot force anything and is skipped outright.
+// Returns false on conflict (the queue is cleared in that case).
+func (s *solver) propagate() bool {
+	for len(s.queue) > 0 {
+		ri := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.inQueue[ri] = false
+		r := &s.rows[ri]
+		slack := r.rhs - s.minAct[ri]
+		if slack < -solveEps {
+			s.clearQueue()
+			return false
 		}
-		if !changed {
-			return true
+		if r.maxAbs <= slack+solveEps {
+			// Watched-slack early exit: no coefficient can overflow.
+			s.scansSaved++
+			continue
+		}
+		for _, c := range r.coefs {
+			if s.fixed[c.Var] != -1 {
+				continue
+			}
+			if c.Val > slack+solveEps {
+				// x=1 would overflow the row → force 0.
+				s.props++
+				if !s.assign(c.Var, 0) {
+					s.clearQueue()
+					return false
+				}
+			} else if c.Val < 0 && -c.Val > slack+solveEps {
+				// x=0 removes the negative min contribution → force 1.
+				s.props++
+				if !s.assign(c.Var, 1) {
+					s.clearQueue()
+					return false
+				}
+			}
+			// Forcing a variable at its min-contribution value leaves this
+			// row's slack unchanged, so the scan stays valid.
 		}
 	}
+	return true
 }
 
 // bound returns a lower bound (internal minimization sense) on the best
@@ -374,17 +593,30 @@ func (s *solver) bound() float64 {
 	}
 }
 
+// combBound is the O(cover) combinatorial bound: the objective of the
+// variables fixed to 1 plus every negative-cost unfixed variable — both
+// maintained incrementally on the trail — plus the covering counting bound.
 func (s *solver) combBound() float64 {
-	z := 0.0
+	return s.curObj + s.negFree + s.coverBound()
+}
+
+// resyncBoundTerms recomputes curObj and negFree exactly. The incremental
+// +=/-= pairs in assign/unassign leave floating-point residue on non-dyadic
+// objectives; a periodic exact rebuild keeps the accumulated drift far
+// below solveEps so the bound can never prune the true optimum.
+func (s *solver) resyncBoundTerms() {
+	cur, neg := 0.0, 0.0
 	for j, v := range s.fixed {
-		switch {
-		case v == 1:
-			z += s.obj[j]
-		case v == -1 && s.obj[j] < 0:
-			z += s.obj[j] // best case: take every negative-cost variable
+		switch v {
+		case 1:
+			cur += s.obj[j]
+		case -1:
+			if s.obj[j] < 0 {
+				neg += s.obj[j]
+			}
 		}
 	}
-	return z + s.coverBound()
+	s.curObj, s.negFree = cur, neg
 }
 
 // coverBound strengthens the combinatorial bound with a counting argument
@@ -393,32 +625,18 @@ func (s *solver) combBound() float64 {
 // selection covers at most maxCov such rows and costs at least minC, so at
 // least ceil(N/maxCov)·minC of extra cost is unavoidable. (Negative-cost
 // columns are already charged by combBound, so rows they could cover are
-// excluded.)
+// excluded.) Coverage state comes from the trail-maintained counters; the
+// needed-row marks live in an epoch-stamped scratch buffer, so the bound
+// allocates nothing.
 func (s *solver) coverBound() float64 {
 	if len(s.coverRows) == 0 {
 		return 0
 	}
-	// Mark the rows that still need a paid covering selection.
 	needed := 0
-	neededMark := make([]bool, len(s.coverRows))
-	for ri, cols := range s.coverRows {
-		covered := false
-		freeCoverable := false
-		for _, j := range cols {
-			switch s.fixed[j] {
-			case 1:
-				covered = true
-			case -1:
-				if s.obj[j] < 0 {
-					freeCoverable = true
-				}
-			}
-			if covered {
-				break
-			}
-		}
-		if !covered && !freeCoverable {
-			neededMark[ri] = true
+	s.markEpoch++
+	for ri := range s.coverRows {
+		if s.coverCnt[ri] == 0 && s.coverNeg[ri] == 0 {
+			s.neededMark[ri] = s.markEpoch
 			needed++
 		}
 	}
@@ -433,7 +651,7 @@ func (s *solver) coverBound() float64 {
 		}
 		cov := 0
 		for _, ri := range s.coverOfVar[j] {
-			if neededMark[ri] {
+			if s.neededMark[ri] == s.markEpoch {
 				cov++
 			}
 		}
@@ -456,27 +674,56 @@ func (s *solver) coverBound() float64 {
 	return float64(picks) * minC
 }
 
-// lpBound solves the LP relaxation with current fixings as tight bounds.
-func (s *solver) lpBound() (float64, bool) {
-	s.lpSolves++
+// ensureLP builds the base LP relaxation once per solve. Nodes differ only
+// in variable bounds, which SetBounds mutates in place.
+func (s *solver) ensureLP() {
+	if s.lpBase != nil {
+		return
+	}
 	p := lp.NewProblem(false)
 	for j := range s.fixed {
+		p.AddVariable(s.obj[j], 0, 1)
+	}
+	buf := make([]lp.Coef, 0, 16)
+	for _, r := range s.rows {
+		buf = buf[:0]
+		for _, c := range r.coefs {
+			buf = append(buf, lp.Coef{Var: c.Var, Val: c.Val})
+		}
+		p.AddRow(buf, lp.LE, r.rhs)
+	}
+	s.lpBase = p
+	s.lpSolver = lp.NewSolver(p)
+}
+
+// nodeLP solves the relaxation of the current node, warm-starting the
+// simplex from the previous node's basis. The result is cached so the
+// bound and the fractional branching rule share one solve per node.
+func (s *solver) nodeLP() *lp.Result {
+	if s.lpResOK && s.lpResTrail == len(s.trail) {
+		return &s.lpRes
+	}
+	s.ensureLP()
+	for j, v := range s.fixed {
 		lo, hi := 0.0, 1.0
-		if s.fixed[j] == 0 {
+		switch v {
+		case 0:
 			hi = 0
-		} else if s.fixed[j] == 1 {
+		case 1:
 			lo = 1
 		}
-		p.AddVariable(s.obj[j], lo, hi)
+		s.lpBase.SetBounds(j, lo, hi)
 	}
-	for _, r := range s.rows {
-		coefs := make([]lp.Coef, len(r.coefs))
-		for i, c := range r.coefs {
-			coefs[i] = lp.Coef{Var: c.Var, Val: c.Val}
-		}
-		p.AddRow(coefs, lp.LE, r.rhs)
-	}
-	res := p.Solve()
+	s.lpSolves++
+	s.lpRes = s.lpSolver.Solve()
+	s.lpResTrail = len(s.trail)
+	s.lpResOK = true
+	return &s.lpRes
+}
+
+// lpBound prices the node by its LP relaxation.
+func (s *solver) lpBound() (float64, bool) {
+	res := s.nodeLP()
 	switch res.Status {
 	case lp.Optimal:
 		return res.Objective, true
@@ -492,17 +739,8 @@ func (s *solver) pickVar() int {
 	switch s.branching {
 	case BranchCoverGreedy:
 		// Greedy set-cover choice: the unfixed variable covering the most
-		// still-uncovered covering rows; falls through to max-objective
-		// when every row is covered.
-		covered := make([]bool, len(s.coverRows))
-		for ri, cols := range s.coverRows {
-			for _, j := range cols {
-				if s.fixed[j] == 1 {
-					covered[ri] = true
-					break
-				}
-			}
-		}
+		// still-uncovered covering rows (read off the trail-maintained
+		// counts); falls through to max-objective when every row is covered.
 		best, bestCov := -1, 0
 		for j, v := range s.fixed {
 			if v != -1 {
@@ -510,7 +748,7 @@ func (s *solver) pickVar() int {
 			}
 			cov := 0
 			for _, ri := range s.coverOfVar[j] {
-				if !covered[ri] {
+				if s.coverCnt[ri] == 0 {
 					cov++
 				}
 			}
@@ -525,8 +763,8 @@ func (s *solver) pickVar() int {
 	case BranchMostConstrained:
 		best, bestOcc := -1, -1
 		for j, v := range s.fixed {
-			if v == -1 && len(s.varRows[j]) > bestOcc {
-				best, bestOcc = j, len(s.varRows[j])
+			if v == -1 && len(s.varOccs[j]) > bestOcc {
+				best, bestOcc = j, len(s.varOccs[j])
 			}
 		}
 		return best
@@ -552,28 +790,11 @@ func (s *solver) pickMaxObj() int {
 	return best
 }
 
-// lpFractionalVar re-solves the node relaxation and returns the unfixed
-// variable with the most fractional value, or -1.
+// lpFractionalVar returns the unfixed variable with the most fractional
+// value in the node relaxation (shared with the bound — no second solve),
+// or -1.
 func (s *solver) lpFractionalVar() int {
-	s.lpSolves++
-	p := lp.NewProblem(false)
-	for j := range s.fixed {
-		lo, hi := 0.0, 1.0
-		if s.fixed[j] == 0 {
-			hi = 0
-		} else if s.fixed[j] == 1 {
-			lo = 1
-		}
-		p.AddVariable(s.obj[j], lo, hi)
-	}
-	for _, r := range s.rows {
-		coefs := make([]lp.Coef, len(r.coefs))
-		for i, c := range r.coefs {
-			coefs[i] = lp.Coef{Var: c.Var, Val: c.Val}
-		}
-		p.AddRow(coefs, lp.LE, r.rhs)
-	}
-	res := p.Solve()
+	res := s.nodeLP()
 	if res.Status != lp.Optimal {
 		return -1
 	}

@@ -1,0 +1,146 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSetCover builds a seeded random set-cover model: nElems rows of
+// Σ x_j ≥ 1 over nSets unit-cost columns — the covering structure the
+// SAT encoding of §3 produces, and the shape the incremental kernel's
+// cover-count maintenance targets.
+func benchSetCover(nSets, nElems, perElem int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel(false)
+	for j := 0; j < nSets; j++ {
+		m.AddVar("", 1+float64(rng.Intn(3)))
+	}
+	for e := 0; e < nElems; e++ {
+		coefs := make([]Coef, 0, perElem)
+		seen := make(map[int]bool, perElem)
+		for len(coefs) < perElem {
+			j := rng.Intn(nSets)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			coefs = append(coefs, Coef{j, 1})
+		}
+		m.AddRow("", coefs, GE, 1)
+	}
+	return m
+}
+
+// benchPacked builds a model with general ± coefficients and mixed senses:
+// the propagation-heavy shape without covering structure.
+func benchPacked(nVars, nRows int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel(rng.Intn(2) == 0)
+	for j := 0; j < nVars; j++ {
+		m.AddVar("", float64(rng.Intn(21)-10))
+	}
+	for i := 0; i < nRows; i++ {
+		var coefs []Coef
+		for j := 0; j < nVars; j++ {
+			if rng.Intn(3) == 0 {
+				coefs = append(coefs, Coef{j, float64(rng.Intn(9) - 4)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = append(coefs, Coef{rng.Intn(nVars), 1})
+		}
+		m.AddRow("", coefs, Sense(rng.Intn(3)), float64(rng.Intn(7)-2))
+	}
+	return m
+}
+
+func reportNodes(b *testing.B, res Result) {
+	b.Helper()
+	if res.Nodes > 0 {
+		b.ReportMetric(float64(res.Nodes)*float64(b.N)/b.Elapsed().Seconds(), "nodes/sec")
+	}
+}
+
+// BenchmarkSolverSetCover is the covering-structure bench: cover-greedy
+// branching plus the counting bound, the hot path of every Table-1 solve.
+func BenchmarkSolverSetCover(b *testing.B) {
+	m := benchSetCover(40, 80, 3, 42)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverSetCoverLarge stresses the propagation worklist on a
+// bigger covering instance.
+func BenchmarkSolverSetCoverLarge(b *testing.B) {
+	m := benchSetCover(48, 120, 4, 7)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverPacked exercises the general propagate/assign path with
+// mixed-sign coefficients and no covering structure.
+func BenchmarkSolverPacked(b *testing.B) {
+	m := benchPacked(30, 46, 11)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{})
+		if res.Status == Unknown {
+			b.Fatal("unexpected status")
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverLPBound exercises the LP relaxation path: with the shared
+// node solve and warm-started simplex this is where reuse pays most.
+func BenchmarkSolverLPBound(b *testing.B) {
+	m := benchSetCover(25, 50, 3, 13)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{Bounding: LPBound, Branching: BranchLPFractional})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverWarmStart measures the EC re-solve pattern: solving a
+// model whose optimum is already known as the warm start.
+func BenchmarkSolverWarmStart(b *testing.B) {
+	m := benchSetCover(40, 80, 3, 42)
+	base := Solve(m, Options{})
+	if base.Status != Optimal {
+		b.Fatalf("status %v", base.Status)
+	}
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{WarmStart: base.Solution})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}

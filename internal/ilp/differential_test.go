@@ -1,0 +1,210 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Differential tests for the incremental kernel: the indexed/worklist
+// engine must be observationally identical to exhaustive enumeration on
+// status and objective, across bounding modes, warm starts, limits, and
+// the parallel root search.
+
+// diffCheck asserts that opts solves m to the same status/objective as the
+// enumeration oracle.
+func diffCheck(t *testing.T, trial int, m *Model, opts Options) {
+	t.Helper()
+	want := Enumerate(m)
+	got := Solve(m, opts)
+	if got.Status != want.Status {
+		t.Fatalf("trial %d: got %v want %v\nmodel: %v", trial, got.Status, want.Status, m)
+	}
+	if want.Status == Optimal {
+		if math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Fatalf("trial %d: got obj %v want %v", trial, got.Objective, want.Objective)
+		}
+		if !m.Feasible(got.Solution) {
+			t.Fatalf("trial %d: claimed optimum is infeasible", trial)
+		}
+	}
+}
+
+// TestDifferentialRandomModels runs the kernel against enumeration on 120
+// seeded random models with general senses and mixed-sign coefficients.
+func TestDifferentialRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	for trial := 0; trial < 120; trial++ {
+		m := randomModel(rng, 2+rng.Intn(9), 1+rng.Intn(7))
+		diffCheck(t, trial, m, Options{})
+	}
+}
+
+// TestDifferentialCoverModels focuses on covering structure, where the
+// incremental cover counts and the counting bound are load-bearing.
+func TestDifferentialCoverModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(813))
+	for trial := 0; trial < 120; trial++ {
+		nSets := 3 + rng.Intn(8)
+		nElems := 2 + rng.Intn(9)
+		m := NewModel(false)
+		for j := 0; j < nSets; j++ {
+			m.AddVar("", float64(rng.Intn(5)-1)) // some zero/negative costs
+		}
+		for e := 0; e < nElems; e++ {
+			var coefs []Coef
+			for j := 0; j < nSets; j++ {
+				if rng.Intn(3) == 0 {
+					coefs = append(coefs, Coef{j, 1})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{rng.Intn(nSets), 1})
+			}
+			m.AddRow("", coefs, GE, 1)
+		}
+		diffCheck(t, trial, m, Options{})
+	}
+}
+
+// TestDifferentialLPBoundWarm exercises the reused relaxation and the
+// warm-started simplex across many nodes of many models.
+func TestDifferentialLPBoundWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(821))
+	warmHits := int64(0)
+	for trial := 0; trial < 80; trial++ {
+		m := randomModel(rng, 2+rng.Intn(8), 1+rng.Intn(6))
+		want := Enumerate(m)
+		for _, br := range []Branching{BranchMaxObj, BranchLPFractional} {
+			got := Solve(m, Options{Bounding: LPBound, Branching: br})
+			if got.Status != want.Status {
+				t.Fatalf("trial %d br %d: got %v want %v", trial, br, got.Status, want.Status)
+			}
+			if want.Status == Optimal && math.Abs(got.Objective-want.Objective) > 1e-6 {
+				t.Fatalf("trial %d br %d: got obj %v want %v", trial, br, got.Objective, want.Objective)
+			}
+			warmHits += got.LPWarmHits
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("LP warm-start path never taken across the differential sweep")
+	}
+}
+
+// TestDifferentialWarmStartPath feeds the solver its own optimum and a
+// deliberately infeasible warm start; neither may change the answer.
+func TestDifferentialWarmStartPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(823))
+	for trial := 0; trial < 60; trial++ {
+		m := randomModel(rng, 3+rng.Intn(7), 1+rng.Intn(5))
+		want := Enumerate(m)
+		if want.Status != Optimal {
+			continue
+		}
+		diffCheck(t, trial, m, Options{WarmStart: want.Solution})
+		bad := make(Solution, m.NumVars())
+		for j := range bad {
+			bad[j] = int8(rng.Intn(2))
+		}
+		diffCheck(t, trial, m, Options{WarmStart: bad})
+	}
+}
+
+// TestDifferentialTimeLimitPath asserts limit-stopped solves degrade to
+// Feasible/Unknown but never report a wrong optimum, and that a generous
+// limit still reaches the oracle answer.
+func TestDifferentialTimeLimitPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(827))
+	for trial := 0; trial < 40; trial++ {
+		m := randomModel(rng, 2+rng.Intn(8), 1+rng.Intn(6))
+		want := Enumerate(m)
+		got := Solve(m, Options{TimeLimit: time.Minute})
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: got %v want %v", trial, got.Status, want.Status)
+		}
+		tight := Solve(m, Options{TimeLimit: time.Nanosecond, MaxNodes: 4})
+		switch tight.Status {
+		case Optimal, Infeasible:
+			if tight.Status != want.Status {
+				t.Fatalf("trial %d: limited solve claimed %v, oracle %v", trial, tight.Status, want.Status)
+			}
+			if want.Status == Optimal && math.Abs(tight.Objective-want.Objective) > 1e-6 {
+				t.Fatalf("trial %d: limited solve obj %v, oracle %v", trial, tight.Objective, want.Objective)
+			}
+		case Feasible:
+			if want.Status == Infeasible {
+				t.Fatalf("trial %d: feasible point on infeasible model", trial)
+			}
+			if !m.Feasible(tight.Solution) {
+				t.Fatalf("trial %d: reported infeasible point", trial)
+			}
+		}
+	}
+}
+
+// TestWorkersMatchSerial is the parallel differential: Workers > 1 must
+// return the same status and objective as the serial path.
+func TestWorkersMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(829))
+	for trial := 0; trial < 60; trial++ {
+		m := randomModel(rng, 4+rng.Intn(10), 1+rng.Intn(8))
+		serial := Solve(m, Options{})
+		for _, w := range []int{2, 4} {
+			par := Solve(m, Options{Workers: w})
+			if par.Status != serial.Status {
+				t.Fatalf("trial %d workers=%d: got %v serial %v", trial, w, par.Status, serial.Status)
+			}
+			if serial.Status == Optimal {
+				if math.Abs(par.Objective-serial.Objective) > 1e-6 {
+					t.Fatalf("trial %d workers=%d: obj %v serial %v", trial, w, par.Objective, serial.Objective)
+				}
+				if !m.Feasible(par.Solution) {
+					t.Fatalf("trial %d workers=%d: infeasible optimum", trial, w)
+				}
+			}
+			// Workers reports how the answer was produced: w when the
+			// parallel phase ran, 1 when the root dive or serial fallback
+			// already finished the tree.
+			if par.Workers != w && par.Workers != 1 {
+				t.Fatalf("trial %d: Workers = %d, want %d or 1", trial, par.Workers, w)
+			}
+		}
+	}
+}
+
+// TestWorkersCoverModel checks the parallel search on the covering shape
+// with warm starts — the EC re-solve pattern.
+func TestWorkersCoverModel(t *testing.T) {
+	m := benchSetCover(30, 60, 3, 99)
+	serial := Solve(m, Options{})
+	if serial.Status != Optimal {
+		t.Fatalf("serial status %v", serial.Status)
+	}
+	par := Solve(m, Options{Workers: 4, WarmStart: serial.Solution})
+	if par.Status != Optimal {
+		t.Fatalf("parallel status %v", par.Status)
+	}
+	if math.Abs(par.Objective-serial.Objective) > 1e-9 {
+		t.Fatalf("parallel obj %v, serial %v", par.Objective, serial.Objective)
+	}
+	if !m.Feasible(par.Solution) {
+		t.Fatal("parallel optimum infeasible")
+	}
+}
+
+// TestRowScansSavedReported asserts the watched-slack counter surfaces
+// through Result.
+func TestRowScansSavedReported(t *testing.T) {
+	m := benchSetCover(20, 40, 3, 5)
+	res := Solve(m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.RowScansSaved == 0 {
+		t.Fatal("watched-slack early exit never fired on a covering model")
+	}
+	if res.Workers != 1 {
+		t.Fatalf("serial Workers = %d", res.Workers)
+	}
+}

@@ -75,9 +75,15 @@ type Options struct {
 	// mechanism by which EC re-solves exploit the original solution.
 	WarmStart Solution
 	// MaxNodes bounds the number of branch-and-bound nodes (0 = unlimited).
+	// With Workers > 1 the budget applies per worker.
 	MaxNodes int64
 	// TimeLimit bounds wall-clock time (0 = unlimited).
 	TimeLimit time.Duration
+	// Workers > 1 splits the root into subproblems by fixing the first k
+	// branching variables and searches them on parallel goroutines sharing
+	// an incumbent bound. The optimum is unchanged; the reported Solution
+	// may be any optimal one. 0 or 1 selects the serial search.
+	Workers int
 }
 
 // Result is the outcome of Solve.
@@ -88,14 +94,25 @@ type Result struct {
 	Nodes        int64
 	LPSolves     int64
 	Propagations int64
-	Runtime      time.Duration
+	// RowScansSaved counts worklist row visits skipped by the watched-slack
+	// early exit — full-row scans the non-indexed engine would have done.
+	RowScansSaved int64
+	// LPWarmHits counts LP node solves that reused the previous basis.
+	LPWarmHits int64
+	// Workers is the number of parallel searchers used (1 = serial).
+	Workers int
+	Runtime time.Duration
 }
 
 // Solve runs exact branch and bound on the model.
 func Solve(m *Model, opts Options) Result {
-	s := newSolver(m, opts)
 	start := time.Now()
-	res := s.run()
+	var res Result
+	if opts.Workers > 1 {
+		res = solveParallel(m, opts)
+	} else {
+		res = newSolver(m, opts).run()
+	}
 	res.Runtime = time.Since(start)
 	return res
 }

@@ -81,6 +81,18 @@ func (p *Problem) AddVariable(c, lo, hi float64) int {
 	return len(p.obj) - 1
 }
 
+// SetBounds replaces variable j's bounds — the mutation a reusable Solver
+// applies between branch-and-bound node solves.
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	if j < 0 || j >= len(p.obj) {
+		panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", j, len(p.obj)))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable bounds inverted [%g,%g]", lo, hi))
+	}
+	p.lower[j], p.upper[j] = lo, hi
+}
+
 // NumVariables returns the number of variables added so far.
 func (p *Problem) NumVariables() int { return len(p.obj) }
 

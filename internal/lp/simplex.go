@@ -45,6 +45,14 @@ func (p *Problem) Solve() Result {
 // SolveWithLimit runs Solve with an iteration cap (0 = default of
 // 200·(m+n) iterations).
 func (p *Problem) SolveWithLimit(maxIters int) Result {
+	s := newSimplex(p)
+	s.install(p)
+	return s.run(p, maxIters)
+}
+
+// newSimplex allocates working state sized for p. install must be called
+// before run.
+func newSimplex(p *Problem) *simplex {
 	m, n := len(p.rows), len(p.obj)
 	s := &simplex{
 		m: m, n: n, ncols: n + m,
@@ -57,11 +65,16 @@ func (p *Problem) SolveWithLimit(maxIters int) Result {
 		status: make([]vstat, n+m),
 		xval:   make([]float64, n+m),
 	}
-	if maxIters <= 0 {
-		maxIters = 200 * (m + n + 10)
+	for i := 0; i < m; i++ {
+		s.T[i] = make([]float64, s.ncols)
 	}
-	s.maxIters = maxIters
+	return s
+}
 
+// install (re)builds the tableau, bounds, and the all-slack starting basis
+// from p, discarding any prior state.
+func (s *simplex) install(p *Problem) {
+	n := s.n
 	copy(s.lower, p.lower)
 	copy(s.upper, p.upper)
 	for j := 0; j < n; j++ {
@@ -71,13 +84,16 @@ func (p *Problem) SolveWithLimit(maxIters int) Result {
 		}
 		s.obj[j] = c
 	}
-	for i := 0; i < m; i++ {
-		s.T[i] = make([]float64, s.ncols)
+	for i := 0; i < s.m; i++ {
+		row := s.T[i]
+		for j := range row {
+			row[j] = 0
+		}
 		for _, cf := range p.rows[i] {
-			s.T[i][cf.Var] += cf.Val
+			row[cf.Var] += cf.Val
 		}
 		sl := n + i
-		s.T[i][sl] = 1
+		row[sl] = 1
 		s.rhs[i] = p.rhs[i]
 		switch p.senses[i] {
 		case LE:
@@ -105,6 +121,45 @@ func (p *Problem) SolveWithLimit(maxIters int) Result {
 		}
 	}
 	s.computeBasics()
+}
+
+// refreshBounds adopts p's current variable bounds while keeping the
+// tableau and basis from the previous solve — the warm-start entry point.
+// Nonbasic variables are snapped onto a finite bound consistent with their
+// status; phase 1 then repairs whatever basic infeasibility the bound
+// changes introduced, which for small bound perturbations takes far fewer
+// pivots than restarting from the all-slack basis.
+func (s *simplex) refreshBounds(p *Problem) {
+	copy(s.lower[:s.n], p.lower)
+	copy(s.upper[:s.n], p.upper)
+	for j := 0; j < s.ncols; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		switch {
+		case s.status[j] == atUpper && !math.IsInf(s.upper[j], 1):
+			s.xval[j] = s.upper[j]
+		case !math.IsInf(s.lower[j], -1):
+			s.status[j] = atLower
+			s.xval[j] = s.lower[j]
+		case !math.IsInf(s.upper[j], 1):
+			s.status[j] = atUpper
+			s.xval[j] = s.upper[j]
+		default:
+			s.status[j] = atLower
+			s.xval[j] = 0
+		}
+	}
+	s.computeBasics()
+}
+
+// run executes both phases from the current basis and extracts the result.
+func (s *simplex) run(p *Problem, maxIters int) Result {
+	if maxIters <= 0 {
+		maxIters = 200 * (s.m + s.n + 10)
+	}
+	s.maxIters = maxIters
+	s.iters = 0
 
 	// Phase 1: drive bound violations of basic variables to zero.
 	if st := s.phase1(); st != Optimal {
@@ -114,10 +169,10 @@ func (p *Problem) SolveWithLimit(maxIters int) Result {
 	st := s.phase2()
 	res := Result{Status: st, Iterations: s.iters}
 	if st == Optimal || st == IterLimit {
-		res.X = make([]float64, n)
-		copy(res.X, s.xval[:n])
+		res.X = make([]float64, s.n)
+		copy(res.X, s.xval[:s.n])
 		var z float64
-		for j := 0; j < n; j++ {
+		for j := 0; j < s.n; j++ {
 			z += p.obj[j] * s.xval[j]
 		}
 		res.Objective = z

@@ -1,0 +1,65 @@
+package lp
+
+// rebuildEvery bounds numerical drift on a long-lived tableau: after this
+// many warm solves the tableau is refactorized from the problem data.
+const rebuildEvery = 64
+
+// Solver re-solves one Problem whose variable bounds change between calls
+// — the branch-and-bound node pattern. The constraint matrix never enters
+// a bound change, so the simplex tableau and basis from the previous solve
+// stay valid and each call warm-starts from them instead of the all-slack
+// basis. Mutate bounds with Problem.SetBounds between calls; do not add
+// variables or rows after the first Solve.
+type Solver struct {
+	p       *Problem
+	s       *simplex
+	age     int // warm solves since the last refactorization
+	armed   bool
+	maxIter int
+
+	// WarmHits counts solves that reused the previous basis.
+	WarmHits int64
+}
+
+// NewSolver returns a reusable warm-starting solver over p.
+func NewSolver(p *Problem) *Solver {
+	return &Solver{p: p}
+}
+
+// SetIterLimit caps simplex iterations per solve (0 = default).
+func (w *Solver) SetIterLimit(n int) { w.maxIter = n }
+
+// Solve optimizes the problem under its current bounds, warm-starting from
+// the previous basis when one exists.
+func (w *Solver) Solve() Result {
+	warm := false
+	switch {
+	case w.s == nil:
+		w.s = newSimplex(w.p)
+		w.s.install(w.p)
+		w.age = 0
+	case !w.armed || w.age >= rebuildEvery:
+		w.s.install(w.p)
+		w.age = 0
+	default:
+		w.s.refreshBounds(w.p)
+		w.age++
+		warm = true
+	}
+	res := w.s.run(w.p, w.maxIter)
+	if warm {
+		if res.Status == Optimal {
+			w.WarmHits++
+		} else {
+			// A drifted tableau can stall the warm path — or, worse, report
+			// a spurious Infeasible that a branch-and-bound caller would
+			// turn into a wrong prune. Refactorize and confirm cold before
+			// reporting anything but Optimal; such a solve is not a warm hit.
+			w.s.install(w.p)
+			w.age = 0
+			res = w.s.run(w.p, w.maxIter)
+		}
+	}
+	w.armed = res.Status == Optimal || res.Status == Infeasible
+	return res
+}

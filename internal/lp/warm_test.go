@@ -1,0 +1,83 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWarmSolverMatchesCold drives one problem through random 0-1 bound
+// fixings — the branch-and-bound node pattern — and checks every warm
+// re-solve against a from-scratch solve of the same bounds.
+func TestWarmSolverMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	warmHits := int64(0)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(6)
+		mRows := 2 + rng.Intn(5)
+		p := NewProblem(false)
+		for j := 0; j < n; j++ {
+			p.AddVariable(float64(rng.Intn(11)-5), 0, 1)
+		}
+		for i := 0; i < mRows; i++ {
+			var coefs []Coef
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					coefs = append(coefs, Coef{j, float64(rng.Intn(7) - 3)})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{0, 1})
+			}
+			p.AddRow(coefs, Sense(rng.Intn(3)), float64(rng.Intn(5)-1))
+		}
+		ws := NewSolver(p)
+		for step := 0; step < 40; step++ {
+			for j := 0; j < n; j++ {
+				switch rng.Intn(3) {
+				case 0:
+					p.SetBounds(j, 0, 0)
+				case 1:
+					p.SetBounds(j, 1, 1)
+				default:
+					p.SetBounds(j, 0, 1)
+				}
+			}
+			warm := ws.Solve()
+			cold := p.Solve()
+			if warm.Status != cold.Status {
+				t.Fatalf("trial %d step %d: warm %v cold %v", trial, step, warm.Status, cold.Status)
+			}
+			if warm.Status == Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+				t.Fatalf("trial %d step %d: warm obj %v cold %v", trial, step, warm.Objective, cold.Objective)
+			}
+		}
+		warmHits += ws.WarmHits
+	}
+	// WarmHits counts only warm solves confirmed Optimal (infeasible or
+	// stalled warm attempts are re-verified cold), so assert across the
+	// whole sweep rather than per trial.
+	if warmHits == 0 {
+		t.Fatal("warm path never taken")
+	}
+}
+
+// TestSetBoundsValidates covers the panic contracts.
+func TestSetBoundsValidates(t *testing.T) {
+	p := NewProblem(false)
+	p.AddVariable(1, 0, 1)
+	for _, bad := range []func(){
+		func() { p.SetBounds(-1, 0, 1) },
+		func() { p.SetBounds(1, 0, 1) },
+		func() { p.SetBounds(0, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
