@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ilpec/internal/ilp
+cpu: AMD EPYC 7B13
+BenchmarkSolverSetCover-8       	     100	    123456 ns/op	  813508 nodes/sec	    2345 B/op	      67 allocs/op
+BenchmarkSolverSetCoverLarge-8  	       5	 234567890.5 ns/op	  999999 B/op	    1234 allocs/op
+BenchmarkSolverPacked-8         	     200	     55555 ns/op
+BenchmarkSolverWarmStart        	      50	     777.25 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	ilpec/internal/ilp	4.2s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(results), results)
+	}
+	sc := results["SolverSetCover"]
+	if sc.Iterations != 100 || sc.NsPerOp != 123456 {
+		t.Fatalf("SolverSetCover %+v", sc)
+	}
+	if sc.AllocsPerOp == nil || *sc.AllocsPerOp != 67 || sc.BytesPerOp == nil || *sc.BytesPerOp != 2345 {
+		t.Fatalf("SolverSetCover allocs/bytes %+v", sc)
+	}
+	// No -benchmem columns → nil, omitted from JSON.
+	if p := results["SolverPacked"]; p.AllocsPerOp != nil || p.BytesPerOp != nil {
+		t.Fatalf("SolverPacked %+v should have no alloc columns", p)
+	}
+	// Fractional ns/op and no GOMAXPROCS suffix both parse.
+	if w := results["SolverWarmStart"]; w.NsPerOp != 777.25 {
+		t.Fatalf("SolverWarmStart %+v", w)
+	}
+	if l := results["SolverSetCoverLarge"]; l.NsPerOp != 234567890.5 {
+		t.Fatalf("SolverSetCoverLarge %+v", l)
+	}
+}
+
+func TestParseKeepsBestOfRepeats(t *testing.T) {
+	in := `BenchmarkX-8   10   200 ns/op
+BenchmarkX-8   10   100 ns/op
+BenchmarkX-8   10   300 ns/op
+`
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["X"].NsPerOp; got != 100 {
+		t.Fatalf("kept %v ns/op, want the best run (100)", got)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("no-benchmark input accepted")
+	}
+}

@@ -1,0 +1,154 @@
+// Command ecserve is the EC session server: it exposes the long-lived
+// engineering-change sessions of internal/service over HTTP/JSON.
+//
+// Usage:
+//
+//	ecserve -addr :8080
+//	ecserve -addr :8080 -strategy preserving -workers 8 -cache 512 -timeout 30s
+//
+// Endpoints (see internal/service.NewHandler and the README walkthrough):
+//
+//	POST   /v1/sessions              create a session (DIMACS or clause list)
+//	GET    /v1/sessions              list live session ids
+//	GET    /v1/sessions/{id}         session info
+//	DELETE /v1/sessions/{id}         close a session
+//	POST   /v1/sessions/{id}/changes queue a change batch
+//	POST   /v1/sessions/{id}/solve   drain the batch in one EC pass
+//	GET    /v1/sessions/{id}/flex    flexibility report
+//	GET    /v1/metrics               service counters
+//	GET    /healthz                  liveness probe
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ilpec/internal/core"
+	"ilpec/internal/ilp"
+	"ilpec/internal/service"
+)
+
+// config carries the parsed command line.
+type config struct {
+	addr        string
+	strategy    core.Strategy
+	workers     int
+	solverWork  int
+	cacheSize   int
+	maxSessions int
+	timeLimit   time.Duration
+	drain       time.Duration
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "ecserve:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, log.New(os.Stderr, "ecserve: ", log.LstdFlags), nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ecserve:", err)
+		os.Exit(1)
+	}
+}
+
+func parseFlags(args []string, errOut io.Writer) (config, error) {
+	fs := flag.NewFlagSet("ecserve", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	addr := fs.String("addr", ":8080", "listen address")
+	strategy := fs.String("strategy", "fast", "default re-solve strategy: fast, preserving, or replan")
+	workers := fs.Int("workers", 0, "executor pool size (0 = GOMAXPROCS)")
+	solverWorkers := fs.Int("solver-workers", 1, "parallel root searchers inside each solve")
+	cache := fs.Int("cache", 256, "solve-cache entries")
+	maxSessions := fs.Int("max-sessions", 4096, "live session limit")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-solve time limit (0 = none)")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() != 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := config{
+		addr:        *addr,
+		workers:     *workers,
+		solverWork:  *solverWorkers,
+		cacheSize:   *cache,
+		maxSessions: *maxSessions,
+		timeLimit:   *timeout,
+		drain:       *drain,
+	}
+	strat, err := service.ParseStrategy(*strategy)
+	if err != nil {
+		return config{}, fmt.Errorf("-strategy: %w", err)
+	}
+	cfg.strategy = strat
+	return cfg, nil
+}
+
+// serve runs the server until ctx is cancelled, then drains. ready, when
+// non-nil, receives the bound address once the listener is up (used by
+// tests and useful with -addr :0).
+func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr string)) error {
+	svc := service.New(service.Options{
+		Solve:       ilp.Options{TimeLimit: cfg.timeLimit, Workers: cfg.solverWork},
+		Strategy:    cfg.strategy,
+		CacheSize:   cfg.cacheSize,
+		Workers:     cfg.workers,
+		MaxSessions: cfg.maxSessions,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("listening on %s (strategy=%s workers=%d cache=%d)",
+		ln.Addr(), cfg.strategy, cfg.workers, cfg.cacheSize)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down (drain %v)", cfg.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	m := svc.Metrics()
+	logger.Printf("served %d sessions, %d solves (%d cache hits)",
+		m.SessionsCreated, m.Solves, m.CacheHits)
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ilpec/internal/core"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", ":0", "-strategy", "preserving", "-timeout", "5s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":0" || cfg.strategy != core.PreservingEC || cfg.timeLimit != 5*time.Second {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-strategy", "psychic"}, io.Discard); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+}
+
+// TestServeLifecycle boots the real server on a random port, drives one
+// session through the HTTP API, and checks the graceful shutdown path.
+func TestServeLifecycle(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-drain", "2s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, cfg, log.New(io.Discard, "", 0), func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"clauses": [[1,2],[-1,3]]}`
+	resp, err = http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || json.Unmarshal(raw, &info) != nil || info.ID == "" {
+		t.Fatalf("create: %d %s", resp.StatusCode, raw)
+	}
+	resp, err = http.Post(base+"/v1/sessions/"+info.ID+"/solve", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -10,6 +10,15 @@
 //	echo 'max x + y
 //	st
 //	c: x + y <= 1' | ilprun -
+//
+// Exit codes (so CI scripts can gate on solver outcomes):
+//
+//	0  a solution was found (OPTIMAL or FEASIBLE)
+//	1  I/O, parse, or validation error
+//	2  usage error
+//	3  the model is proven INFEASIBLE
+//	4  limits stopped the search with no solution (UNKNOWN, e.g. -timeout),
+//	   or the heuristic found none
 package main
 
 import (
@@ -23,38 +32,55 @@ import (
 	"ilpec/internal/ilp"
 )
 
+// Exit codes of run.
+const (
+	exitOK         = 0
+	exitError      = 1
+	exitUsage      = 2
+	exitInfeasible = 3
+	exitNoSolution = 4
+)
+
 func main() {
-	solver := flag.String("solver", "exact", "exact or heur")
-	bounding := flag.String("bounding", "comb", "exact bounding: comb or lp")
-	branching := flag.String("branching", "auto", "exact branching: auto, maxobj, constrained, lpfrac, cover")
-	seed := flag.Int64("seed", 1, "heuristic seed")
-	flips := flag.Int64("flips", 0, "heuristic flip budget (0 = default)")
-	timeout := flag.Duration("timeout", 0, "exact time limit (0 = none)")
-	workers := flag.Int("workers", 1, "parallel root searchers for the exact solver (1 = serial)")
-	quiet := flag.Bool("quiet", false, "print only status and objective")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ilprun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	solver := fs.String("solver", "exact", "exact or heur")
+	bounding := fs.String("bounding", "comb", "exact bounding: comb or lp")
+	branching := fs.String("branching", "auto", "exact branching: auto, maxobj, constrained, lpfrac, cover")
+	seed := fs.Int64("seed", 1, "heuristic seed")
+	flips := fs.Int64("flips", 0, "heuristic flip budget (0 = default)")
+	timeout := fs.Duration("timeout", 0, "exact time limit (0 = none)")
+	workers := fs.Int("workers", 1, "parallel root searchers for the exact solver (1 = serial)")
+	quiet := fs.Bool("quiet", false, "print only status and objective")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return exitUsage
 	}
 
 	var r io.Reader
-	if flag.Arg(0) == "-" {
-		r = os.Stdin
+	if fs.Arg(0) == "-" {
+		r = stdin
 	} else {
-		fh, err := os.Open(flag.Arg(0))
+		fh, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		defer fh.Close()
 		r = fh
 	}
 	m, err := ilp.ParseText(r)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if err := m.Validate(); err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 
 	switch *solver {
@@ -66,7 +92,7 @@ func main() {
 		case "lp":
 			opts.Bounding = ilp.LPBound
 		default:
-			fatal(fmt.Errorf("unknown -bounding %q", *bounding))
+			return fail(stderr, fmt.Errorf("unknown -bounding %q", *bounding))
 		}
 		switch *branching {
 		case "auto", "maxobj":
@@ -78,49 +104,58 @@ func main() {
 		case "cover":
 			opts.Branching = ilp.BranchCoverGreedy
 		default:
-			fatal(fmt.Errorf("unknown -branching %q", *branching))
+			return fail(stderr, fmt.Errorf("unknown -branching %q", *branching))
 		}
 		start := time.Now()
 		res := ilp.Solve(m, opts)
-		fmt.Printf("status: %s\n", res.Status)
+		fmt.Fprintf(stdout, "status: %s\n", res.Status)
 		if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
-			fmt.Printf("objective: %g\n", res.Objective)
+			fmt.Fprintf(stdout, "objective: %g\n", res.Objective)
 			if !*quiet {
-				printSolution(m, res.Solution)
+				printSolution(stdout, m, res.Solution)
 			}
 		}
 		if !*quiet {
-			fmt.Printf("nodes: %d  propagations: %d  row-scans-saved: %d  runtime: %v\n",
+			fmt.Fprintf(stdout, "nodes: %d  propagations: %d  row-scans-saved: %d  runtime: %v\n",
 				res.Nodes, res.Propagations, res.RowScansSaved, time.Since(start))
-			fmt.Printf("lp-solves: %d  lp-warm-hits: %d  workers: %d\n",
+			fmt.Fprintf(stdout, "lp-solves: %d  lp-warm-hits: %d  workers: %d\n",
 				res.LPSolves, res.LPWarmHits, res.Workers)
+		}
+		switch res.Status {
+		case ilp.Optimal, ilp.Feasible:
+			return exitOK
+		case ilp.Infeasible:
+			return exitInfeasible
+		default: // Unknown: node/time limits exhausted the search
+			return exitNoSolution
 		}
 	case "heur":
 		res := heurilp.Solve(m, heurilp.Options{Seed: *seed, MaxFlips: *flips})
 		if !res.Feasible {
-			fmt.Println("status: NO-SOLUTION")
-			os.Exit(1)
+			fmt.Fprintln(stdout, "status: NO-SOLUTION")
+			return exitNoSolution
 		}
-		fmt.Println("status: FEASIBLE")
-		fmt.Printf("objective: %g\n", res.Objective)
+		fmt.Fprintln(stdout, "status: FEASIBLE")
+		fmt.Fprintf(stdout, "objective: %g\n", res.Objective)
 		if !*quiet {
-			printSolution(m, res.Solution)
-			fmt.Printf("flips: %d  runtime: %v\n", res.Flips, res.Runtime)
+			printSolution(stdout, m, res.Solution)
+			fmt.Fprintf(stdout, "flips: %d  runtime: %v\n", res.Flips, res.Runtime)
 		}
+		return exitOK
 	default:
-		fatal(fmt.Errorf("unknown -solver %q", *solver))
+		return fail(stderr, fmt.Errorf("unknown -solver %q", *solver))
 	}
 }
 
-func printSolution(m *ilp.Model, sol ilp.Solution) {
+func printSolution(w io.Writer, m *ilp.Model, sol ilp.Solution) {
 	for j := 0; j < m.NumVars(); j++ {
 		if sol[j] == 1 {
-			fmt.Printf("%s = 1\n", m.VarName(j))
+			fmt.Fprintf(w, "%s = 1\n", m.VarName(j))
 		}
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ilprun:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "ilprun:", err)
+	return exitError
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCase executes run with a stdin payload and returns exit code + output.
+func runCase(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestRunStdinExact(t *testing.T) {
+	model := "max x + y\nst\nc: x + y <= 1\n"
+	code, out, errOut := runCase(t, []string{"-"}, model)
+	if code != exitOK {
+		t.Fatalf("exit %d (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(out, "status: OPTIMAL") || !strings.Contains(out, "objective: 1") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestRunStdinQuiet(t *testing.T) {
+	model := "max x + y\nst\nc: x + y <= 1\n"
+	code, out, _ := runCase(t, []string{"-quiet", "-"}, model)
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "nodes:") || strings.Contains(out, " = 1") {
+		t.Fatalf("-quiet leaked detail: %q", out)
+	}
+}
+
+func TestRunStdinHeuristic(t *testing.T) {
+	model := "max x + y\nst\nc: x + y <= 1\n"
+	code, out, _ := runCase(t, []string{"-solver", "heur", "-seed", "3", "-"}, model)
+	if code != exitOK || !strings.Contains(out, "status: FEASIBLE") {
+		t.Fatalf("exit %d output %q", code, out)
+	}
+}
+
+func TestRunInfeasibleExitCode(t *testing.T) {
+	// x + y ≥ 3 has no 0-1 point: proven infeasible must exit 3.
+	model := "min x + y\nst\nc: x + y >= 3\n"
+	code, out, _ := runCase(t, []string{"-"}, model)
+	if code != exitInfeasible {
+		t.Fatalf("exit %d, want %d (output %q)", code, exitInfeasible, out)
+	}
+	if !strings.Contains(out, "status: INFEASIBLE") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestRunParseErrorExitCode(t *testing.T) {
+	code, _, errOut := runCase(t, []string{"-"}, "this is not a model")
+	if code != exitError {
+		t.Fatalf("exit %d, want %d", code, exitError)
+	}
+	if !strings.Contains(errOut, "ilprun:") {
+		t.Fatalf("stderr %q", errOut)
+	}
+}
+
+func TestRunUsageExitCode(t *testing.T) {
+	if code, _, _ := runCase(t, nil, ""); code != exitUsage {
+		t.Fatalf("no-args exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCase(t, []string{"a.ilp", "b.ilp"}, ""); code != exitUsage {
+		t.Fatalf("two-args exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCase(t, []string{"-nope", "-"}, ""); code != exitUsage {
+		t.Fatalf("bad-flag exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCase(t, []string{"-solver", "quantum", "-"}, "min x\nst\nc: x >= 1\n"); code != exitError {
+		t.Fatal("unknown solver accepted")
+	}
+	if code, _, _ := runCase(t, []string{"-bounding", "psychic", "-"}, "min x\nst\nc: x >= 1\n"); code != exitError {
+		t.Fatal("unknown bounding accepted")
+	}
+	if code, _, _ := runCase(t, []string{"-branching", "dice", "-"}, "min x\nst\nc: x >= 1\n"); code != exitError {
+		t.Fatal("unknown branching accepted")
+	}
+}
+
+func TestRunMissingFileExitCode(t *testing.T) {
+	code, _, errOut := runCase(t, []string{filepath.Join(t.TempDir(), "absent.ilp")}, "")
+	if code != exitError || !strings.Contains(errOut, "ilprun:") {
+		t.Fatalf("exit %d stderr %q", code, errOut)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ilp")
+	if err := os.WriteFile(path, []byte("max x\nst\nc: x <= 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{path}, strings.NewReader(""), &out, io.Discard); code != exitOK {
+		t.Fatalf("exit %d output %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "x = 1") {
+		t.Fatalf("output %q", out.String())
+	}
+}

@@ -19,6 +19,7 @@ package ilpec
 
 import (
 	"io"
+	"net/http"
 
 	"ilpec/internal/cnf"
 	"ilpec/internal/coloring"
@@ -28,6 +29,7 @@ import (
 	"ilpec/internal/heurilp"
 	"ilpec/internal/ilp"
 	"ilpec/internal/sched"
+	"ilpec/internal/service"
 )
 
 // ---- CNF substrate -------------------------------------------------------
@@ -365,6 +367,37 @@ func PreserveReschedule(p *SchedProblem, prev SchedSchedule, opts SolveOptions) 
 func EnableSchedule(p *SchedProblem, weight float64, warm SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
 	return sched.SolveEnabled(p, weight, warm, opts)
 }
+
+// ---- EC session service --------------------------------------------------------
+
+// Service manages long-lived EC sessions with batched change application,
+// a shared solve cache, and a worker-pool executor (internal/service).
+type Service = service.Service
+
+// ServiceOptions configures a Service.
+type ServiceOptions = service.Options
+
+// Session is one long-lived engineering-change session.
+type Session = service.Session
+
+// SessionConfig carries per-session overrides at creation time.
+type SessionConfig = service.SessionConfig
+
+// SessionInfo is a point-in-time summary of a session.
+type SessionInfo = service.SessionInfo
+
+// SessionSolveResult reports one Session.Solve outcome.
+type SessionSolveResult = service.SolveResult
+
+// ServiceMetrics is a snapshot of the service counters.
+type ServiceMetrics = service.MetricsSnapshot
+
+// NewService creates an EC session service; Close it when done.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// NewServiceHandler exposes a Service over HTTP/JSON (the cmd/ecserve
+// API).
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 
 // ---- benchmark families -------------------------------------------------------
 

@@ -1,6 +1,8 @@
 package ilp
 
 import (
+	"encoding/binary"
+	"io"
 	"time"
 )
 
@@ -84,6 +86,23 @@ type Options struct {
 	// an incumbent bound. The optimum is unchanged; the reported Solution
 	// may be any optimal one. 0 or 1 selects the serial search.
 	Workers int
+}
+
+// Fingerprint writes a canonical binary digest of the answer-relevant
+// options to w — everything except WarmStart, which guides the search but
+// is keyed separately by callers that cache solves (the EC session service
+// hashes the previous solution alongside). Two Options values with equal
+// fingerprints configure searches that return the same status and
+// objective for the same model.
+func (o Options) Fingerprint(w io.Writer) {
+	var buf [5 * binary.MaxVarintLen64]byte
+	b := buf[:0]
+	b = binary.AppendVarint(b, int64(o.Bounding))
+	b = binary.AppendVarint(b, int64(o.Branching))
+	b = binary.AppendVarint(b, o.MaxNodes)
+	b = binary.AppendVarint(b, int64(o.TimeLimit))
+	b = binary.AppendVarint(b, int64(o.Workers))
+	w.Write(b)
 }
 
 // Result is the outcome of Solve.

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"ilpec/internal/ilp"
+)
+
+// TestFastRescheduleNeighborhoodEscalation pins the dependency-neighborhood
+// escalation path: the initial region (just the new operation) is
+// infeasible against the frozen schedule, and FastReschedule must grow the
+// region along dependency edges — twice — before the re-solve succeeds.
+//
+// Chain a→b→c scheduled {0,1,2} in 4 steps (capacity 1); the change
+// prepends d with d→a. Region {d} fails (a is frozen at step 0), region
+// {d,a} fails (b is frozen at step 1), and only the full chain {d,a,b,c}
+// can shift to {0,1,2,3}.
+func TestFastRescheduleNeighborhoodEscalation(t *testing.T) {
+	p := NewProblem([]int{1}, 4)
+	a := p.AddOp(0)
+	b := p.AddOp(0)
+	c := p.AddOp(0)
+	p.AddDep(a, b)
+	p.AddDep(b, c)
+	prev := Schedule{0, 1, 2}
+	if !prev.Valid(p) {
+		t.Fatal("setup schedule invalid")
+	}
+
+	d := p.AddOp(0)
+	p.AddDep(d, a)
+	s, region, err := FastReschedule(p, prev, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Valid(p) {
+		t.Fatalf("rescheduled invalid: %v", s)
+	}
+	if region != p.NumOps {
+		t.Fatalf("region %d, want the full chain %d after neighborhood escalation", region, p.NumOps)
+	}
+	if s[d] >= s[a] || s[a] >= s[b] || s[b] >= s[c] {
+		t.Fatalf("chain order broken: %v", s)
+	}
+}
+
+// TestFastRescheduleEscalationStaysPartial pins that escalation stops as
+// soon as the grown region becomes feasible, leaving the rest frozen: with
+// a→b at {0,2} and a new d→a, one neighborhood growth ({d} → {d,a}) lets
+// d,a slide to {0,1} while b never moves.
+func TestFastRescheduleEscalationStaysPartial(t *testing.T) {
+	p := NewProblem([]int{1}, 3)
+	a := p.AddOp(0)
+	b := p.AddOp(0)
+	p.AddDep(a, b)
+	prev := Schedule{0, 2}
+	if !prev.Valid(p) {
+		t.Fatal("setup schedule invalid")
+	}
+	d := p.AddOp(0)
+	p.AddDep(d, a)
+	s, region, err := FastReschedule(p, prev, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Valid(p) {
+		t.Fatalf("rescheduled invalid: %v", s)
+	}
+	if region != 2 {
+		t.Fatalf("region %d, want 2 ({d,a} after one dependency-neighborhood growth)", region)
+	}
+	if s[b] != prev[b] {
+		t.Fatalf("op b moved from %d to %d despite being outside the region", prev[b], s[b])
+	}
+	if s[d] >= s[a] || s[a] >= s[b] {
+		t.Fatalf("order broken: %v", s)
+	}
+}
+
+// TestFastRescheduleInfeasibleReportsFullRegion covers the growth
+// fixpoint's last resort: with no escalation left, the region jumps to the
+// full operation set, and the error reports the exhausted region when even
+// that cannot absorb the change.
+func TestFastRescheduleInfeasibleReportsFullRegion(t *testing.T) {
+	p := NewProblem([]int{1}, 2)
+	p.AddOp(0)
+	p.AddOp(0)
+	prev := Schedule{0, 1}
+	p.AddOp(0) // three unit ops, two steps, capacity 1: impossible
+	_, region, err := FastReschedule(p, prev, ilp.Options{})
+	if err == nil {
+		t.Fatal("impossible reschedule succeeded")
+	}
+	if !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("error %q does not name infeasibility", err)
+	}
+	if region != p.NumOps {
+		t.Fatalf("region %d, want %d (full escalation before giving up)", region, p.NumOps)
+	}
+}
+
+// TestFastRescheduleCapacityViolationJoinsRegion pins the capacity-repair
+// seeding: a capacity drop puts previously-frozen co-resident operations
+// into the region even though their steps are individually in range.
+func TestFastRescheduleCapacityViolationJoinsRegion(t *testing.T) {
+	p := NewProblem([]int{2}, 3)
+	p.AddOp(0)
+	p.AddOp(0)
+	prev := Schedule{0, 0, 1}
+	p.AddOp(0)
+	prev = prev[:2] // third op is new → joins the region as -1
+	p.Capacity[0] = 1
+	s, region, err := FastReschedule(p, prev, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Valid(p) {
+		t.Fatalf("rescheduled invalid: %v", s)
+	}
+	if region < 3 {
+		t.Fatalf("region %d too small: the capacity victims at step 0 must join", region)
+	}
+}
+
+// TestFastRescheduleValidateError covers the input-validation guard.
+func TestFastRescheduleValidateError(t *testing.T) {
+	p := NewProblem([]int{1}, 0) // zero-step horizon is invalid
+	p.AddOp(0)
+	if _, _, err := FastReschedule(p, Schedule{0}, ilp.Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

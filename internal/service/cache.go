@@ -1,0 +1,195 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sync"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/ilp"
+)
+
+// solveCache is an LRU cache of solved subproblems with in-flight
+// deduplication: concurrent requests for the same key run the solver once
+// and share the result. Keys are canonical hashes of the subproblem (task
+// kind + formula + previous solution + solver options), so identical
+// subproblems across sessions are answered without touching the solver.
+type solveCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*inflightSolve
+}
+
+type cacheEntry struct {
+	key string
+	val cnf.Assignment
+}
+
+type inflightSolve struct {
+	done chan struct{}
+	val  cnf.Assignment
+	err  error
+}
+
+func newSolveCache(capacity int) *solveCache {
+	if capacity <= 0 {
+		capacity = defaultCacheSize
+	}
+	return &solveCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*inflightSolve),
+	}
+}
+
+// do returns the cached assignment for key, or runs compute (once per key,
+// no matter how many goroutines ask concurrently) and caches its result.
+// hit is true when a value was served without solver work: from the LRU,
+// or from another caller's successful in-flight solve (joining a FAILED
+// in-flight solve shares the error but is not a hit). Returned
+// assignments are clones; callers may mutate them freely. Errors are not
+// cached — a failed key is recomputed on the next request.
+func (c *solveCache) do(key string, compute func() (cnf.Assignment, error)) (val cnf.Assignment, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		val = el.Value.(*cacheEntry).val.Clone()
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			// Sharing an in-flight failure is not a hit: nothing was
+			// served from cache.
+			return nil, false, fl.err
+		}
+		return fl.val.Clone(), true, nil
+	}
+	fl := &inflightSolve{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	fl.val, fl.err = compute()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.insertLocked(key, fl.val.Clone())
+	}
+	c.mu.Unlock()
+	if fl.err != nil {
+		return nil, false, fl.err
+	}
+	return fl.val, false, nil
+}
+
+func (c *solveCache) insertLocked(key string, val cnf.Assignment) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of completed entries held.
+func (c *solveCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// ---- canonical subproblem hashing ----------------------------------------
+
+// keyHasher accumulates a canonical binary digest of a subproblem. The
+// digest covers everything that determines the solver's answer: the task
+// kind, the formula (variable count and exact clause list), the previous
+// solution for EC re-solves, and the solver-relevant options.
+type keyHasher struct {
+	h       hash.Hash
+	scratch []byte
+}
+
+func newKeyHasher(kind string) *keyHasher {
+	k := &keyHasher{h: sha256.New(), scratch: make([]byte, 0, 64)}
+	k.str(kind)
+	return k
+}
+
+func (k *keyHasher) int64(vs ...int64) *keyHasher {
+	k.scratch = k.scratch[:0]
+	for _, v := range vs {
+		k.scratch = binary.AppendVarint(k.scratch, v)
+	}
+	k.h.Write(k.scratch)
+	return k
+}
+
+func (k *keyHasher) str(s string) *keyHasher {
+	k.int64(int64(len(s)))
+	k.h.Write([]byte(s))
+	return k
+}
+
+// formula hashes the exact clause structure (order-sensitive: clause
+// indices are part of the EC change model, so two formulas with permuted
+// clauses are distinct subproblems).
+func (k *keyHasher) formula(f *cnf.Formula) *keyHasher {
+	k.int64(int64(f.NumVars), int64(len(f.Clauses)))
+	for _, cl := range f.Clauses {
+		k.scratch = k.scratch[:0]
+		k.scratch = binary.AppendVarint(k.scratch, int64(len(cl)))
+		for _, l := range cl {
+			k.scratch = binary.AppendVarint(k.scratch, int64(l))
+		}
+		k.h.Write(k.scratch)
+	}
+	return k
+}
+
+// assignment hashes a tri-state assignment (used for EC re-solve keys,
+// whose answer depends on the previous solution).
+func (k *keyHasher) assignment(a cnf.Assignment) *keyHasher {
+	n := a.NumVars()
+	k.int64(int64(n))
+	k.scratch = k.scratch[:0]
+	for v := 1; v <= n; v++ {
+		k.scratch = append(k.scratch, byte(a.Get(v)))
+		if len(k.scratch) >= 4096 {
+			k.h.Write(k.scratch)
+			k.scratch = k.scratch[:0]
+		}
+	}
+	k.h.Write(k.scratch)
+	return k
+}
+
+// options hashes the solver options via ilp.Options.Fingerprint.
+func (k *keyHasher) options(o ilp.Options) *keyHasher {
+	o.Fingerprint(k.h)
+	return k
+}
+
+func (k *keyHasher) sum() string {
+	return hex.EncodeToString(k.h.Sum(nil))
+}
+
+// formulaKey is the options-independent hash of a formula, used by the
+// shared incumbent store.
+func formulaKey(f *cnf.Formula) string {
+	return newKeyHasher("formula").formula(f).sum()
+}

@@ -1,0 +1,324 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/core"
+)
+
+// maxBodyBytes bounds request bodies (DIMACS payloads included).
+const maxBodyBytes = 8 << 20
+
+// NewHandler exposes a Service over HTTP/JSON:
+//
+//	POST   /v1/sessions              create a session (DIMACS or clause list)
+//	GET    /v1/sessions              list live session ids
+//	GET    /v1/sessions/{id}         session info
+//	DELETE /v1/sessions/{id}         close a session
+//	POST   /v1/sessions/{id}/changes queue a change batch
+//	POST   /v1/sessions/{id}/solve   drain the batch in one EC pass
+//	GET    /v1/sessions/{id}/flex?k= flexibility report (§5 audit)
+//	GET    /v1/metrics               service counters
+//	GET    /healthz                  liveness probe
+//
+// See the README's "EC session service" section for a curl walkthrough.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		handleCreate(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": svc.Sessions()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", withSession(svc, func(sess *Session, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sess.Info())
+	}))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", withSession(svc, func(sess *Session, w http.ResponseWriter, r *http.Request) {
+		svc.CloseSession(sess.ID())
+		writeJSON(w, http.StatusOK, map[string]any{"closed": sess.ID()})
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/changes", withSession(svc, handleChanges))
+	mux.HandleFunc("POST /v1/sessions/{id}/solve", withSession(svc, handleSolve))
+	mux.HandleFunc("GET /v1/sessions/{id}/flex", withSession(svc, handleFlex))
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+// ---- requests ------------------------------------------------------------
+
+// createRequest describes a new session. The formula arrives either as a
+// DIMACS CNF string or as a clause list (plus an optional variable count
+// for trailing unused variables).
+type createRequest struct {
+	DIMACS  string  `json:"dimacs,omitempty"`
+	Vars    int     `json:"vars,omitempty"`
+	Clauses [][]int `json:"clauses,omitempty"`
+	// Strategy overrides the service default: "fast", "preserving", or
+	// "replan".
+	Strategy string `json:"strategy,omitempty"`
+	// TimeLimitMS overrides the solver time limit for this session
+	// (capped at the service default when one is configured).
+	TimeLimitMS int64 `json:"time_limit_ms,omitempty"`
+	// Workers overrides the in-solver parallel root searchers (capped at
+	// the service's configured solver workers and the machine).
+	Workers int `json:"workers,omitempty"`
+}
+
+// changeJSON is the wire form of a core.Change.
+type changeJSON struct {
+	// Kind is "add-clause", "remove-clause", "add-variable", or
+	// "remove-variable".
+	Kind  string `json:"kind"`
+	Lits  []int  `json:"lits,omitempty"`
+	Index int    `json:"index,omitempty"`
+	Var   int    `json:"var,omitempty"`
+}
+
+type changesRequest struct {
+	Changes []changeJSON `json:"changes"`
+}
+
+// solveResponse is SolveResult plus the assignment in wire form: the
+// committed variables as DIMACS literals (don't-cares omitted).
+type solveResponse struct {
+	*SolveResult
+	Literals []int `json:"literals"`
+}
+
+// ---- handlers ------------------------------------------------------------
+
+func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	f, err := formulaFromRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var cfg SessionConfig
+	if req.Strategy != "" {
+		strat, err := ParseStrategy(req.Strategy)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg.Strategy = &strat
+	}
+	if req.TimeLimitMS > 0 || req.Workers > 0 {
+		// Client overrides are clamped so one request cannot escape the
+		// operator's resource limits: the time limit never exceeds the
+		// service default (when one is set) and workers never exceed the
+		// configured solver parallelism or the machine.
+		solve := svc.opts.Solve
+		if req.TimeLimitMS > 0 {
+			limit := time.Duration(req.TimeLimitMS) * time.Millisecond
+			if solve.TimeLimit > 0 && limit > solve.TimeLimit {
+				limit = solve.TimeLimit
+			}
+			solve.TimeLimit = limit
+		}
+		if req.Workers > 0 {
+			solve.Workers = min(req.Workers, max(svc.opts.Solve.Workers, 1), runtime.GOMAXPROCS(0))
+		}
+		cfg.Solve = &solve
+	}
+	sess, err := svc.CreateSession(f, cfg)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
+	var req changesRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Changes) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty change batch"))
+		return
+	}
+	changes := make([]core.Change, 0, len(req.Changes))
+	for i, cj := range req.Changes {
+		c, err := changeFromJSON(cj)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("change %d: %w", i, err))
+			return
+		}
+		changes = append(changes, c)
+	}
+	pending := sess.Queue(changes...)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": sess.ID(), "pending": pending})
+}
+
+func handleSolve(sess *Session, w http.ResponseWriter, r *http.Request) {
+	res, err := sess.Solve()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{
+		SolveResult: res,
+		Literals:    assignmentLits(res.Assignment),
+	})
+}
+
+func handleFlex(sess *Session, w http.ResponseWriter, r *http.Request) {
+	k := 2
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", raw))
+			return
+		}
+		k = parsed
+	}
+	rep, err := sess.FlexReport(k)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":          sess.ID(),
+		"k":           k,
+		"total":       rep.Total,
+		"k_satisfied": rep.KSatisfied,
+		"supported":   rep.Supported,
+		"flexible":    rep.Flexible(),
+		"fraction":    rep.FlexibleFraction(),
+	})
+}
+
+// ---- helpers -------------------------------------------------------------
+
+func withSession(svc *Service, h func(*Session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		sess, ok := svc.Session(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+			return
+		}
+		h(sess, w, r)
+	}
+}
+
+func formulaFromRequest(req createRequest) (*cnf.Formula, error) {
+	if req.DIMACS != "" {
+		if len(req.Clauses) > 0 {
+			return nil, fmt.Errorf("give dimacs or clauses, not both")
+		}
+		f, err := cnf.ParseDIMACS(strings.NewReader(req.DIMACS))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimacs: %w", err)
+		}
+		return f, nil
+	}
+	if len(req.Clauses) == 0 {
+		return nil, fmt.Errorf("missing formula: give dimacs or clauses")
+	}
+	f := cnf.New(req.Vars)
+	for i, raw := range req.Clauses {
+		if len(raw) == 0 {
+			return nil, fmt.Errorf("clause %d is empty", i)
+		}
+		cl := make(cnf.Clause, len(raw))
+		for j, l := range raw {
+			if l == 0 {
+				return nil, fmt.Errorf("clause %d has a zero literal", i)
+			}
+			cl[j] = cnf.Lit(l)
+		}
+		f.AddClause(cl)
+	}
+	return f, nil
+}
+
+// ParseStrategy maps a strategy name (case-insensitive) to core.Strategy;
+// cmd/ecserve shares it for the -strategy flag.
+func ParseStrategy(s string) (core.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "fast":
+		return core.FastEC, nil
+	case "preserving", "preserve":
+		return core.PreservingEC, nil
+	case "replan":
+		return core.Replan, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want fast, preserving, or replan)", s)
+	}
+}
+
+func changeFromJSON(cj changeJSON) (core.Change, error) {
+	switch strings.ToLower(cj.Kind) {
+	case "add-clause":
+		if len(cj.Lits) == 0 {
+			return core.Change{}, fmt.Errorf("add-clause needs lits")
+		}
+		for _, l := range cj.Lits {
+			if l == 0 {
+				return core.Change{}, fmt.Errorf("add-clause has a zero literal")
+			}
+		}
+		return core.NewClause(cj.Lits...), nil
+	case "remove-clause":
+		return core.DropClause(cj.Index), nil
+	case "add-variable":
+		return core.GrowVariable(), nil
+	case "remove-variable":
+		return core.EliminateVariable(cj.Var), nil
+	default:
+		return core.Change{}, fmt.Errorf("unknown kind %q", cj.Kind)
+	}
+}
+
+// assignmentLits renders the committed variables as DIMACS literals.
+func assignmentLits(a cnf.Assignment) []int {
+	lits := make([]int, 0, a.AssignedCount())
+	for v := 1; v <= a.NumVars(); v++ {
+		switch a.Get(v) {
+		case cnf.True:
+			lits = append(lits, v)
+		case cnf.False:
+			lits = append(lits, -v)
+		}
+	}
+	return lits
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

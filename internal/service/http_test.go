@@ -1,0 +1,325 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/ilp"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Options{Workers: 4})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func TestHTTPSessionWalkthrough(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var info SessionInfo
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+		"clauses":  [][]int{{1, 2}, {-1, 3}, {2, 4}},
+		"strategy": "preserving",
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	if info.ID == "" || info.Vars != 4 || info.Clauses != 3 {
+		t.Fatalf("create info %+v", info)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	var solve struct {
+		Status    string `json:"status"`
+		Batched   int    `json:"batched"`
+		Cached    bool   `json:"cached"`
+		DontCares int    `json:"dont_cares"`
+		Literals  []int  `json:"literals"`
+	}
+	if code, raw = doJSON(t, "POST", base+"/solve", nil, &solve); code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, raw)
+	}
+	if solve.Status != "initial" || len(solve.Literals) == 0 {
+		t.Fatalf("initial solve %+v", solve)
+	}
+
+	var queued struct {
+		Pending int `json:"pending"`
+	}
+	code, raw = doJSON(t, "POST", base+"/changes", map[string]any{
+		"changes": []map[string]any{
+			{"kind": "add-clause", "lits": []int{-2, 3}},
+			{"kind": "add-variable"},
+			{"kind": "add-clause", "lits": []int{-3, 5}},
+		},
+	}, &queued)
+	if code != http.StatusAccepted || queued.Pending != 3 {
+		t.Fatalf("changes: %d %s", code, raw)
+	}
+
+	if code, raw = doJSON(t, "POST", base+"/solve", nil, &solve); code != http.StatusOK {
+		t.Fatalf("batch solve: %d %s", code, raw)
+	}
+	if solve.Status != "preserving" || solve.Batched != 3 {
+		t.Fatalf("batch solve %+v", solve)
+	}
+
+	var flex struct {
+		Flexible int `json:"flexible"`
+		Total    int `json:"total"`
+	}
+	if code, raw = doJSON(t, "GET", base+"/flex?k=2", nil, &flex); code != http.StatusOK {
+		t.Fatalf("flex: %d %s", code, raw)
+	}
+	if flex.Total != 5 {
+		t.Fatalf("flex total %d, want 5 clauses", flex.Total)
+	}
+
+	var metrics MetricsSnapshot
+	if code, raw = doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: %d %s", code, raw)
+	}
+	if metrics.Solves != 2 || metrics.Batches != 1 {
+		t.Fatalf("metrics %+v", metrics)
+	}
+
+	if code, raw = doJSON(t, "DELETE", base, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, raw)
+	}
+	if code, _ = doJSON(t, "GET", base, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted session still answers: %d", code)
+	}
+}
+
+func TestHTTPCreateDIMACS(t *testing.T) {
+	_, ts := newTestServer(t)
+	var info SessionInfo
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+		"dimacs": "p cnf 3 2\n1 -2 0\n2 3 0\n",
+	}, &info)
+	if code != http.StatusCreated || info.Vars != 3 || info.Clauses != 2 {
+		t.Fatalf("dimacs create: %d %s", code, raw)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, tc := range map[string]struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		"missing formula": {"POST", "/v1/sessions", map[string]any{}, http.StatusBadRequest},
+		"both formats":    {"POST", "/v1/sessions", map[string]any{"dimacs": "p cnf 1 1\n1 0\n", "clauses": [][]int{{1}}}, http.StatusBadRequest},
+		"bad strategy":    {"POST", "/v1/sessions", map[string]any{"clauses": [][]int{{1}}, "strategy": "psychic"}, http.StatusBadRequest},
+		"zero literal":    {"POST", "/v1/sessions", map[string]any{"clauses": [][]int{{1, 0}}}, http.StatusBadRequest},
+		"unknown field":   {"POST", "/v1/sessions", map[string]any{"claws": [][]int{{1}}}, http.StatusBadRequest},
+		"unknown session": {"GET", "/v1/sessions/nope", nil, http.StatusNotFound},
+		"solve unknown":   {"POST", "/v1/sessions/nope/solve", nil, http.StatusNotFound},
+	} {
+		t.Run(name, func(t *testing.T) {
+			code, raw := doJSON(t, tc.method, ts.URL+tc.path, tc.body, nil)
+			if code != tc.want {
+				t.Fatalf("%s %s: got %d (%s), want %d", tc.method, tc.path, code, raw, tc.want)
+			}
+		})
+	}
+
+	// Bad change kinds and empty batches on a real session.
+	var info SessionInfo
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{"clauses": [][]int{{1, 2}}}, &info); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+	if code, _ := doJSON(t, "POST", base+"/changes", map[string]any{"changes": []map[string]any{}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch accepted: %d", code)
+	}
+	if code, _ := doJSON(t, "POST", base+"/changes", map[string]any{"changes": []map[string]any{{"kind": "telepathy"}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad kind accepted: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", base+"/flex?k=0", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad k accepted: %d", code)
+	}
+	// Flex before solve conflicts.
+	if code, _ := doJSON(t, "GET", base+"/flex", nil, nil); code != http.StatusConflict {
+		t.Fatalf("flex before solve: %d", code)
+	}
+	// An unsatisfiable batch reports conflict and keeps the session.
+	doJSON(t, "POST", base+"/solve", nil, nil)
+	doJSON(t, "POST", base+"/changes", map[string]any{"changes": []map[string]any{
+		{"kind": "add-clause", "lits": []int{1}},
+		{"kind": "add-clause", "lits": []int{-1}},
+	}}, nil)
+	if code, _ := doJSON(t, "POST", base+"/solve", nil, nil); code != http.StatusConflict {
+		t.Fatalf("unsat batch: %d, want 409", code)
+	}
+	if code, _ := doJSON(t, "GET", base, nil, nil); code != http.StatusOK {
+		t.Fatalf("session gone after failed batch: %d", code)
+	}
+}
+
+// TestHTTPConcurrentSessions drives the acceptance scenario over the wire:
+// 8 parallel HTTP clients create sessions on the same formula, post a
+// 3-change batch, and solve. The service must answer some solves from the
+// cache and coalesce every batch into a single pass.
+func TestHTTPConcurrentSessions(t *testing.T) {
+	svc, ts := newTestServer(t)
+	const clients = 8
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var info SessionInfo
+			code, raw := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+				"clauses": [][]int{{1, 2}, {-1, 3}, {2, 4}, {-3, -4, 5}, {5, 6}},
+			}, &info)
+			if code != http.StatusCreated {
+				errs <- fmt.Errorf("create: %d %s", code, raw)
+				return
+			}
+			base := ts.URL + "/v1/sessions/" + info.ID
+			if code, raw := doJSON(t, "POST", base+"/solve", nil, nil); code != http.StatusOK {
+				errs <- fmt.Errorf("initial solve: %d %s", code, raw)
+				return
+			}
+			code, raw = doJSON(t, "POST", base+"/changes", map[string]any{
+				"changes": []map[string]any{
+					{"kind": "add-clause", "lits": []int{-2, 3}},
+					{"kind": "add-clause", "lits": []int{1, 4}},
+					{"kind": "add-clause", "lits": []int{-5, 2}},
+				},
+			}, nil)
+			if code != http.StatusAccepted {
+				errs <- fmt.Errorf("changes: %d %s", code, raw)
+				return
+			}
+			var solve struct {
+				Batched  int   `json:"batched"`
+				Literals []int `json:"literals"`
+			}
+			if code, raw := doJSON(t, "POST", base+"/solve", nil, &solve); code != http.StatusOK {
+				errs <- fmt.Errorf("batch solve: %d %s", code, raw)
+				return
+			}
+			if solve.Batched != 3 {
+				errs <- fmt.Errorf("batched %d, want 3", solve.Batched)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := svc.Metrics()
+	if m.CacheHits == 0 {
+		t.Fatalf("no cache hits over HTTP: %+v", m)
+	}
+	if m.Batches >= m.ChangesQueued {
+		t.Fatalf("batched solves %d not < posted changes %d", m.Batches, m.ChangesQueued)
+	}
+}
+
+// TestHTTPOverridesClamped pins that client-supplied solver overrides
+// cannot escape the operator's limits: the session is created, but with
+// workers bounded by the machine and the time limit by the service cap.
+func TestHTTPOverridesClamped(t *testing.T) {
+	svc := New(Options{Solve: ilp.Options{TimeLimit: time.Second}})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	var info SessionInfo
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+		"clauses":       [][]int{{1, 2}},
+		"workers":       1 << 20,
+		"time_limit_ms": 1 << 40,
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	sess, ok := svc.Session(info.ID)
+	if !ok {
+		t.Fatal("session missing")
+	}
+	if sess.solve.Workers > runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers %d escaped the machine clamp", sess.solve.Workers)
+	}
+	if sess.solve.TimeLimit > time.Second {
+		t.Fatalf("time limit %v escaped the service cap", sess.solve.TimeLimit)
+	}
+	// A request below the caps is honored as-is.
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+		"clauses":       [][]int{{1, 2}},
+		"workers":       1,
+		"time_limit_ms": 50,
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	sess, _ = svc.Session(info.ID)
+	if sess.solve.TimeLimit != 50*time.Millisecond || sess.solve.Workers != 1 {
+		t.Fatalf("in-range overrides mangled: %+v", sess.solve)
+	}
+}
+
+func TestAssignmentLits(t *testing.T) {
+	a := cnf.NewAssignment(4)
+	a.Set(1, cnf.True)
+	a.Set(3, cnf.False)
+	got := assignmentLits(a)
+	want := []int{1, -3}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("lits %v, want %v", got, want)
+	}
+}

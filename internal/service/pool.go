@@ -1,0 +1,72 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// pool is the worker-pool executor: a fixed set of goroutines that run
+// solve jobs on behalf of sessions. It bounds the number of concurrent
+// branch-and-bound searches regardless of how many sessions (or HTTP
+// requests) are in flight; each solve may itself use ilp.Options.Workers
+// goroutines internally, so the effective parallelism budget is
+// pool workers × solver workers.
+type pool struct {
+	jobs chan poolJob
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+type poolJob struct {
+	run  func()
+	done chan struct{}
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{
+		jobs: make(chan poolJob),
+		quit: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case job := <-p.jobs:
+			job.run()
+			close(job.done)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// run submits f and blocks until a worker has executed it. It fails only
+// when the pool has been closed.
+func (p *pool) run(f func()) error {
+	job := poolJob{run: f, done: make(chan struct{})}
+	select {
+	case p.jobs <- job:
+		<-job.done
+		return nil
+	case <-p.quit:
+		return fmt.Errorf("service: executor closed")
+	}
+}
+
+// close stops the workers after their current jobs finish. Pending run
+// calls that have not been picked up fail.
+func (p *pool) close() {
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}

@@ -1,0 +1,310 @@
+// Package service turns the one-shot EC library calls into a long-lived
+// serving layer: a Service manages concurrent EC sessions, each holding a
+// live formula, the current solution, and the warm-start state the EC
+// re-solves exploit (the SAT↔set-cover encoding is rebuilt per solver
+// run and skipped entirely for cache-served answers).
+//
+// Three mechanisms amortize work across the change stream, in the spirit
+// of the paper's Figure-1 flow:
+//
+//   - batched change application: changes posted to a session queue up and
+//     are coalesced into ONE fast-EC / preserving-EC pass per Solve call,
+//     instead of one re-solve per change;
+//   - an LRU solve cache keyed by a canonical hash of the subproblem
+//     (task kind + formula + previous solution + solver options), with
+//     in-flight deduplication, so identical subproblems across sessions
+//     are answered without touching the solver;
+//   - a worker-pool executor that multiplexes all sessions' solves over a
+//     bounded set of goroutines (each of which may itself run an
+//     Options.Workers-parallel root search), plus a shared incumbent store
+//     that warm-starts a solve of a formula another session has already
+//     solved under different options.
+//
+// The package is exposed over HTTP/JSON by NewHandler (see cmd/ecserve)
+// and re-exported from the root ilpec package.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/core"
+	"ilpec/internal/ilp"
+)
+
+const (
+	defaultCacheSize   = 256
+	defaultMaxSessions = 4096
+)
+
+// Options configures a Service. The zero value is usable: fast-EC
+// strategy, exact solver defaults, GOMAXPROCS executor workers, and a
+// 256-entry solve cache.
+type Options struct {
+	// Solve is the default exact-solver configuration for every session
+	// (sessions may override it at creation).
+	Solve ilp.Options
+	// Fast configures fast-EC re-solves.
+	Fast core.FastOptions
+	// Preserve configures preserving-EC re-solves. Preserve.Solve is
+	// ignored; the session's solver options are used.
+	Preserve core.PreserveOptions
+	// Strategy is the default re-solve strategy for change batches
+	// (sessions may override it at creation). Default: fast EC.
+	Strategy core.Strategy
+	// CacheSize bounds the LRU solve cache (entries; default 256).
+	CacheSize int
+	// Workers sizes the executor pool (default GOMAXPROCS). This bounds
+	// concurrent branch-and-bound searches; Solve.Workers additionally
+	// parallelizes within one search.
+	Workers int
+	// MaxSessions bounds live sessions (default 4096).
+	MaxSessions int
+}
+
+// SessionConfig carries per-session overrides at creation time.
+type SessionConfig struct {
+	// Strategy overrides the service default when non-nil.
+	Strategy *core.Strategy
+	// Solve overrides the service solver options when non-nil.
+	Solve *ilp.Options
+}
+
+// Metrics are the service-wide counters, updated atomically.
+type Metrics struct {
+	SessionsCreated atomic.Int64
+	SessionsClosed  atomic.Int64
+	// ChangesQueued counts individual changes posted to sessions.
+	ChangesQueued atomic.Int64
+	// Batches counts change batches resolved (each coalesces ≥1 changes
+	// into a single pass; Batches < ChangesQueued measures coalescing).
+	Batches atomic.Int64
+	// Solves counts Session.Solve calls that produced a solution
+	// (initial solves, batch re-solves, and relax fast-paths).
+	Solves atomic.Int64
+	// SolverRuns counts actual branch-and-bound executions — cache
+	// misses. Solves − SolverRuns − RelaxFastPaths ≈ cache hits.
+	SolverRuns atomic.Int64
+	// CacheHits / CacheMisses count solve-cache lookups (a hit includes
+	// joining another session's in-flight identical solve).
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// RelaxFastPaths counts batches absorbed without any solver work
+	// (relaxing-only change sets, §6).
+	RelaxFastPaths atomic.Int64
+	// IncumbentHits counts solves warm-started from the shared incumbent
+	// store (same formula solved before under different options).
+	IncumbentHits atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics for reporting.
+type MetricsSnapshot struct {
+	SessionsLive    int   `json:"sessions_live"`
+	SessionsCreated int64 `json:"sessions_created"`
+	SessionsClosed  int64 `json:"sessions_closed"`
+	ChangesQueued   int64 `json:"changes_queued"`
+	Batches         int64 `json:"batches"`
+	Solves          int64 `json:"solves"`
+	SolverRuns      int64 `json:"solver_runs"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheEntries    int   `json:"cache_entries"`
+	RelaxFastPaths  int64 `json:"relax_fast_paths"`
+	IncumbentHits   int64 `json:"incumbent_hits"`
+}
+
+// Service manages long-lived EC sessions sharing a solve cache, an
+// incumbent store, and a worker-pool executor.
+type Service struct {
+	opts  Options
+	cache *solveCache
+	exec  *pool
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*Session
+	nextID   int64
+
+	imu        sync.Mutex
+	incumbents map[string]cnf.Assignment
+
+	metrics Metrics
+}
+
+// New creates a Service. Close it when done to stop the executor workers.
+func New(opts Options) *Service {
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = defaultCacheSize
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = defaultMaxSessions
+	}
+	return &Service{
+		opts:       opts,
+		cache:      newSolveCache(opts.CacheSize),
+		exec:       newPool(opts.Workers),
+		sessions:   make(map[string]*Session),
+		incumbents: make(map[string]cnf.Assignment),
+	}
+}
+
+// CreateSession registers a new session for formula f (deep-copied; the
+// caller keeps ownership of f). cfg carries optional per-session
+// overrides.
+func (s *Service) CreateSession(f *cnf.Formula, cfg SessionConfig) (*Session, error) {
+	if f == nil {
+		return nil, fmt.Errorf("service: nil formula")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("service: invalid formula: %w", err)
+	}
+	strategy := s.opts.Strategy
+	if cfg.Strategy != nil {
+		strategy = *cfg.Strategy
+	}
+	solve := s.opts.Solve
+	if cfg.Solve != nil {
+		solve = *cfg.Solve
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("service: closed")
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		return nil, fmt.Errorf("service: session limit (%d) reached", s.opts.MaxSessions)
+	}
+	s.nextID++
+	sess := &Session{
+		id:       fmt.Sprintf("s%d", s.nextID),
+		svc:      s,
+		formula:  f.Clone(),
+		strategy: strategy,
+		solve:    solve,
+	}
+	s.sessions[sess.id] = sess
+	s.metrics.SessionsCreated.Add(1)
+	return sess, nil
+}
+
+// Session looks a live session up by id.
+func (s *Service) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// Sessions returns the ids of all live sessions.
+func (s *Service) Sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// CloseSession removes a session; it reports whether the id was live.
+func (s *Service) CloseSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	s.metrics.SessionsClosed.Add(1)
+	return true
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	live := len(s.sessions)
+	s.mu.Unlock()
+	m := &s.metrics
+	return MetricsSnapshot{
+		SessionsLive:    live,
+		SessionsCreated: m.SessionsCreated.Load(),
+		SessionsClosed:  m.SessionsClosed.Load(),
+		ChangesQueued:   m.ChangesQueued.Load(),
+		Batches:         m.Batches.Load(),
+		Solves:          m.Solves.Load(),
+		SolverRuns:      m.SolverRuns.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+		CacheEntries:    s.cache.len(),
+		RelaxFastPaths:  m.RelaxFastPaths.Load(),
+		IncumbentHits:   m.IncumbentHits.Load(),
+	}
+}
+
+// Close drops all sessions and stops the executor. In-flight solves
+// finish; subsequent Solve calls fail.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	n := len(s.sessions)
+	s.sessions = make(map[string]*Session)
+	s.mu.Unlock()
+	s.metrics.SessionsClosed.Add(int64(n))
+	s.exec.close()
+}
+
+// cachedSolve routes one solve through the cache and, on a miss, the
+// executor pool.
+func (s *Service) cachedSolve(key string, compute func() (cnf.Assignment, error)) (cnf.Assignment, bool, error) {
+	val, hit, err := s.cache.do(key, func() (cnf.Assignment, error) {
+		var a cnf.Assignment
+		var cerr error
+		if perr := s.exec.run(func() { a, cerr = compute() }); perr != nil {
+			return nil, perr
+		}
+		return a, cerr
+	})
+	if hit {
+		s.metrics.CacheHits.Add(1)
+	} else {
+		s.metrics.CacheMisses.Add(1)
+		if err == nil {
+			s.metrics.SolverRuns.Add(1)
+		}
+	}
+	return val, hit, err
+}
+
+// incumbent returns the stored solution for a formula key, if any.
+func (s *Service) incumbent(key string) cnf.Assignment {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	if a, ok := s.incumbents[key]; ok {
+		return a.Clone()
+	}
+	return nil
+}
+
+// storeIncumbent records a solution for a formula key, shared across
+// sessions as warm-start material. The store is bounded by the cache size.
+func (s *Service) storeIncumbent(key string, a cnf.Assignment) {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	if len(s.incumbents) >= s.opts.CacheSize {
+		// Evict an arbitrary entry: the store is a best-effort accelerator.
+		for k := range s.incumbents {
+			delete(s.incumbents, k)
+			break
+		}
+	}
+	s.incumbents[key] = a.Clone()
+}

@@ -1,0 +1,456 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/core"
+	"ilpec/internal/ilp"
+)
+
+// testFormula is a small satisfiable instance with room for don't-cares.
+func testFormula() *cnf.Formula {
+	return cnf.FromClauses(
+		[]int{1, 2},
+		[]int{-1, 3},
+		[]int{2, 4},
+		[]int{-3, -4, 5},
+		[]int{5, 6},
+	)
+}
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	svc := New(opts)
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	svc := newTestService(t, Options{})
+	sess, err := svc.CreateSession(testFormula(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Solution() != nil {
+		t.Fatal("unsolved session has a solution")
+	}
+	res, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "initial" {
+		t.Fatalf("status %q, want initial", res.Status)
+	}
+	if !res.Assignment.Satisfies(sess.Formula()) {
+		t.Fatal("initial solution does not satisfy the formula")
+	}
+	info := sess.Info()
+	if !info.Solved || info.Solves != 1 {
+		t.Fatalf("info %+v after initial solve", info)
+	}
+	if got, want := len(svc.Sessions()), 1; got != want {
+		t.Fatalf("%d live sessions, want %d", got, want)
+	}
+	if !svc.CloseSession(sess.ID()) {
+		t.Fatal("close failed")
+	}
+	if svc.CloseSession(sess.ID()) {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestBatchCoalescing(t *testing.T) {
+	for _, strat := range []core.Strategy{core.FastEC, core.PreservingEC, core.Replan} {
+		t.Run(strat.String(), func(t *testing.T) {
+			svc := newTestService(t, Options{Strategy: strat})
+			sess, err := svc.CreateSession(testFormula(), SessionConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Solve(); err != nil {
+				t.Fatal(err)
+			}
+			// Three tightening changes, queued, resolved in ONE pass.
+			if n := sess.Queue(core.NewClause(-2, 3), core.NewClause(1, 4), core.NewClause(-5, 2)); n != 3 {
+				t.Fatalf("pending %d, want 3", n)
+			}
+			res, err := sess.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Batched != 3 {
+				t.Fatalf("batched %d changes, want 3", res.Batched)
+			}
+			if res.Status != strat.String() {
+				t.Fatalf("status %q, want %q", res.Status, strat)
+			}
+			if !res.Assignment.Satisfies(sess.Formula()) {
+				t.Fatal("batch solution does not satisfy the changed formula")
+			}
+			info := sess.Info()
+			if info.Batches != 1 || info.ChangesQueued != 3 {
+				t.Fatalf("info %+v: want 1 batch for 3 changes", info)
+			}
+		})
+	}
+}
+
+func TestRelaxingBatchSkipsSolver(t *testing.T) {
+	svc := newTestService(t, Options{})
+	sess, err := svc.CreateSession(testFormula(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	runsBefore := svc.Metrics().SolverRuns
+	sess.Queue(core.GrowVariable(), core.DropClause(0))
+	res, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "relaxed" || res.Preserved != 1 {
+		t.Fatalf("relax pass got status=%q preserved=%v", res.Status, res.Preserved)
+	}
+	m := svc.Metrics()
+	if m.SolverRuns != runsBefore {
+		t.Fatalf("relaxing batch ran the solver (%d -> %d runs)", runsBefore, m.SolverRuns)
+	}
+	if m.RelaxFastPaths != 1 {
+		t.Fatalf("relax fast paths %d, want 1", m.RelaxFastPaths)
+	}
+	if !res.Assignment.Satisfies(sess.Formula()) {
+		t.Fatal("relaxed solution invalid")
+	}
+}
+
+func TestNoopSolve(t *testing.T) {
+	svc := newTestService(t, Options{})
+	sess, _ := svc.CreateSession(testFormula(), SessionConfig{})
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "noop" || res.Batched != 0 {
+		t.Fatalf("noop solve got %+v", res)
+	}
+}
+
+func TestSolveCacheAcrossSessions(t *testing.T) {
+	svc := newTestService(t, Options{})
+	a, err := svc.CreateSession(testFormula(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := a.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Cached {
+		t.Fatal("first solve was cached")
+	}
+	b, err := svc.CreateSession(testFormula(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := b.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.Cached {
+		t.Fatal("identical second-session solve missed the cache")
+	}
+	if got := resB.Assignment.String(); got != resA.Assignment.String() {
+		t.Fatalf("cached solve differs: %s vs %s", got, resA.Assignment)
+	}
+	m := svc.Metrics()
+	if m.CacheHits < 1 || m.SolverRuns != 1 {
+		t.Fatalf("metrics %+v: want ≥1 hit and exactly 1 solver run", m)
+	}
+}
+
+func TestDifferentOptionsMissCache(t *testing.T) {
+	svc := newTestService(t, Options{})
+	a, _ := svc.CreateSession(testFormula(), SessionConfig{})
+	if _, err := a.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	lp := ilp.Options{Bounding: ilp.LPBound}
+	b, _ := svc.CreateSession(testFormula(), SessionConfig{Solve: &lp})
+	res, err := b.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("solve with different options hit the cache")
+	}
+	// The incumbent store still shares the earlier solution as warm start.
+	if svc.Metrics().IncumbentHits < 1 {
+		t.Fatal("incumbent store unused across options variants")
+	}
+}
+
+func TestErrorKeepsSessionUsable(t *testing.T) {
+	svc := newTestService(t, Options{})
+	sess, _ := svc.CreateSession(testFormula(), SessionConfig{})
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Info()
+
+	// Invalid change: out-of-range clause index.
+	sess.Queue(core.DropClause(99))
+	if _, err := sess.Solve(); err == nil {
+		t.Fatal("invalid batch succeeded")
+	}
+	// Unsatisfiable batch: force 1 and ¬1.
+	sess.Queue(core.NewClause(1), core.NewClause(-1))
+	if _, err := sess.Solve(); err == nil {
+		t.Fatal("unsatisfiable batch succeeded")
+	}
+	after := sess.Info()
+	if after.Vars != before.Vars || after.Clauses != before.Clauses {
+		t.Fatalf("failed batches mutated the session: %+v -> %+v", before, after)
+	}
+	if after.Pending != 0 {
+		t.Fatalf("failed batch left %d pending changes", after.Pending)
+	}
+	// The session still works.
+	sess.Queue(core.NewClause(-2, 5))
+	if _, err := sess.Solve(); err != nil {
+		t.Fatalf("session unusable after failed batches: %v", err)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	svc := newTestService(t, Options{MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := svc.CreateSession(testFormula(), SessionConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.CreateSession(testFormula(), SessionConfig{}); err == nil {
+		t.Fatal("session limit not enforced")
+	}
+}
+
+func TestClosedService(t *testing.T) {
+	svc := New(Options{})
+	sess, _ := svc.CreateSession(testFormula(), SessionConfig{})
+	svc.Close()
+	if _, err := svc.CreateSession(testFormula(), SessionConfig{}); err == nil {
+		t.Fatal("create succeeded on closed service")
+	}
+	if _, err := sess.Solve(); err == nil {
+		t.Fatal("solve succeeded on closed service")
+	}
+	svc.Close() // idempotent
+}
+
+// TestConcurrentSessions is the acceptance scenario: ≥8 parallel sessions
+// driven through create → batch changes → solve. Identical subproblems
+// must be answered from the cache (hits > 0) and batching must keep the
+// number of change-resolution passes below the number of posted changes.
+func TestConcurrentSessions(t *testing.T) {
+	const sessions = 8
+	const changesPerSession = 3
+	svc := newTestService(t, Options{Workers: 4})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := svc.CreateSession(testFormula(), SessionConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := sess.Solve(); err != nil {
+				errs <- fmt.Errorf("%s initial: %w", sess.ID(), err)
+				return
+			}
+			sess.Queue(core.NewClause(-2, 3))
+			sess.Queue(core.NewClause(1, 4), core.NewClause(-5, 2))
+			res, err := sess.Solve()
+			if err != nil {
+				errs <- fmt.Errorf("%s batch: %w", sess.ID(), err)
+				return
+			}
+			if res.Batched != changesPerSession {
+				errs <- fmt.Errorf("%s batched %d, want %d", sess.ID(), res.Batched, changesPerSession)
+				return
+			}
+			if !res.Assignment.Satisfies(sess.Formula()) {
+				errs <- fmt.Errorf("%s solution invalid", sess.ID())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := svc.Metrics()
+	if m.CacheHits == 0 {
+		t.Fatalf("no cache hits across %d identical sessions: %+v", sessions, m)
+	}
+	if total := int64(sessions * changesPerSession); m.Batches >= total || m.ChangesQueued != total {
+		t.Fatalf("batched solves %d not < total posted changes %d (%+v)", m.Batches, total, m)
+	}
+	if m.SessionsCreated != sessions {
+		t.Fatalf("sessions created %d, want %d", m.SessionsCreated, sessions)
+	}
+	// All 16 solves (8 initial + 8 batch) target two distinct subproblems:
+	// the solver must have run far fewer times than the solve count.
+	if m.SolverRuns >= m.Solves {
+		t.Fatalf("solver ran %d times for %d solves; cache ineffective", m.SolverRuns, m.Solves)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newSolveCache(2)
+	mk := func(v int) func() (cnf.Assignment, error) {
+		return func() (cnf.Assignment, error) {
+			a := cnf.NewAssignment(1)
+			if v%2 == 0 {
+				a.Set(1, cnf.True)
+			} else {
+				a.Set(1, cnf.False)
+			}
+			return a, nil
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, hit, _ := c.do(fmt.Sprintf("k%d", i), mk(i)); hit {
+			t.Fatalf("key k%d hit on first insert", i)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	// k0 is the eviction victim; k2 must still be resident.
+	if _, hit, _ := c.do("k2", mk(2)); !hit {
+		t.Fatal("most recent key evicted")
+	}
+	if _, hit, _ := c.do("k0", mk(0)); hit {
+		t.Fatal("oldest key survived a full eviction cycle")
+	}
+}
+
+func TestCacheInflightDedup(t *testing.T) {
+	c := newSolveCache(8)
+	var runs int
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func() (cnf.Assignment, error) {
+		runs++
+		close(started)
+		<-release
+		return cnf.NewAssignment(1), nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.do("k", compute)
+	}()
+	<-started
+	// Second caller joins the in-flight solve instead of recomputing.
+	hitCh := make(chan bool, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, hit, _ := c.do("k", func() (cnf.Assignment, error) {
+			t.Error("second compute ran despite in-flight solve")
+			return cnf.NewAssignment(1), nil
+		})
+		hitCh <- hit
+	}()
+	time.Sleep(10 * time.Millisecond) // let the second caller block
+	close(release)
+	wg.Wait()
+	if runs != 1 {
+		t.Fatalf("compute ran %d times, want 1", runs)
+	}
+	if !<-hitCh {
+		t.Fatal("joining an in-flight solve did not count as a hit")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newSolveCache(8)
+	calls := 0
+	fail := func() (cnf.Assignment, error) {
+		calls++
+		return nil, fmt.Errorf("boom %d", calls)
+	}
+	if _, _, err := c.do("k", fail); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, hit, err := c.do("k", fail); err == nil || hit {
+		t.Fatalf("failed solve was cached (hit=%v err=%v)", hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+}
+
+func TestKeyHasherDistinguishes(t *testing.T) {
+	f := testFormula()
+	g := testFormula()
+	g.AddClause(cnf.Clause{1})
+	base := ilp.Options{}
+	if plainKey(f, base) == plainKey(g, base) {
+		t.Fatal("different formulas share a key")
+	}
+	if plainKey(f, base) == plainKey(f, ilp.Options{Bounding: ilp.LPBound}) {
+		t.Fatal("different options share a key")
+	}
+	warm := base
+	warm.WarmStart = ilp.Solution{1}
+	if plainKey(f, base) != plainKey(f, warm) {
+		t.Fatal("warm start leaked into the plain key")
+	}
+	p := cnf.NewAssignment(f.NumVars)
+	p.Set(1, cnf.True)
+	q := p.Clone()
+	q.Set(1, cnf.False)
+	if fastKey(f, p, core.FastOptions{}) == fastKey(f, q, core.FastOptions{}) {
+		t.Fatal("fast keys ignore the previous solution")
+	}
+	if preserveKey(f, p, core.PreserveOptions{}) == preserveKey(f, p, core.PreserveOptions{Mode: core.PreserveHard, Protected: []int{1}}) {
+		t.Fatal("preserve keys ignore the mode")
+	}
+	if plainKey(f, base) == fastKey(f, p, core.FastOptions{}) {
+		t.Fatal("task kinds share a key")
+	}
+}
+
+func TestFlexReportAndInfo(t *testing.T) {
+	svc := newTestService(t, Options{})
+	sess, _ := svc.CreateSession(testFormula(), SessionConfig{})
+	if _, err := sess.FlexReport(2); err == nil {
+		t.Fatal("flex report before solve succeeded")
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.FlexReport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != testFormula().NumClauses() {
+		t.Fatalf("flex total %d, want %d", rep.Total, testFormula().NumClauses())
+	}
+}

@@ -1,0 +1,386 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/core"
+	"ilpec/internal/encode"
+	"ilpec/internal/ilp"
+)
+
+// Session is one long-lived engineering-change session: a live formula,
+// the current solution, and a queue of pending changes (the set-cover
+// encoding is built per solver run, inside the compute closures, so
+// cache-served answers never pay for one). Changes accumulate via Queue
+// and are coalesced into a single
+// EC pass by the next Solve call — N posted changes cost one re-solve,
+// not N. All methods are safe for concurrent use; a session's solves are
+// serialized by its own lock while different sessions proceed in parallel
+// on the service's executor pool.
+type Session struct {
+	id  string
+	svc *Service
+
+	// mu is the per-session lock: it serializes this session's queue and
+	// solve operations while independent sessions run in parallel.
+	mu       sync.Mutex
+	formula  *cnf.Formula
+	solution cnf.Assignment
+	pending  []core.Change
+	strategy core.Strategy
+	solve    ilp.Options
+	stats    sessionStats
+}
+
+type sessionStats struct {
+	changesQueued int64
+	batches       int64
+	solves        int64
+	cacheHits     int64
+}
+
+// SolveResult reports one Session.Solve outcome.
+type SolveResult struct {
+	// Assignment is the current solution (a clone; safe to keep).
+	Assignment cnf.Assignment `json:"-"`
+	// Status names the pass taken: "initial", "noop", "relaxed", "fast",
+	// "preserving", or "replan".
+	Status string `json:"status"`
+	// Batched is the number of queued changes coalesced into this pass.
+	Batched int `json:"batched"`
+	// Cached is true when the answer came from the solve cache (including
+	// joining an identical in-flight solve) instead of running the solver.
+	Cached bool `json:"cached"`
+	// Preserved is the preserved fraction vs. the pre-batch solution
+	// (batch passes only).
+	Preserved float64 `json:"preserved"`
+	// DontCares counts don't-care variables in the solution.
+	DontCares int `json:"dont_cares"`
+	// SubVars/SubClauses are the fast-EC sub-instance sizes (fast passes
+	// that ran the solver; zero on cache hits and other strategies).
+	SubVars    int `json:"sub_vars,omitempty"`
+	SubClauses int `json:"sub_clauses,omitempty"`
+	// Runtime is the wall-clock duration of this call.
+	Runtime time.Duration `json:"runtime_ns"`
+}
+
+// SessionInfo is a point-in-time summary of a session.
+type SessionInfo struct {
+	ID            string `json:"id"`
+	Vars          int    `json:"vars"`
+	Clauses       int    `json:"clauses"`
+	Pending       int    `json:"pending"`
+	Solved        bool   `json:"solved"`
+	Strategy      string `json:"strategy"`
+	DontCares     int    `json:"dont_cares"`
+	ChangesQueued int64  `json:"changes_queued"`
+	Batches       int64  `json:"batches"`
+	Solves        int64  `json:"solves"`
+	CacheHits     int64  `json:"cache_hits"`
+}
+
+// ID returns the session id.
+func (s *Session) ID() string { return s.id }
+
+// Queue appends changes to the pending batch without solving; it returns
+// the pending count. The batch is validated and applied atomically by the
+// next Solve.
+func (s *Session) Queue(changes ...core.Change) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, changes...)
+	s.stats.changesQueued += int64(len(changes))
+	s.svc.metrics.ChangesQueued.Add(int64(len(changes)))
+	return len(s.pending)
+}
+
+// Pending returns the number of queued, not yet applied changes.
+func (s *Session) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Solution returns a clone of the current solution (nil before the first
+// Solve).
+func (s *Session) Solution() cnf.Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.solution == nil {
+		return nil
+	}
+	return s.solution.Clone()
+}
+
+// Formula returns a clone of the current formula.
+func (s *Session) Formula() *cnf.Formula {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.formula.Clone()
+}
+
+// Info summarizes the session.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SessionInfo{
+		ID:            s.id,
+		Vars:          s.formula.NumVars,
+		Clauses:       s.formula.NumClauses(),
+		Pending:       len(s.pending),
+		Solved:        s.solution != nil,
+		Strategy:      s.strategy.String(),
+		ChangesQueued: s.stats.changesQueued,
+		Batches:       s.stats.batches,
+		Solves:        s.stats.solves,
+		CacheHits:     s.stats.cacheHits,
+	}
+	if s.solution != nil {
+		info.DontCares = s.solution.DontCareCount()
+	}
+	return info
+}
+
+// FlexReport audits the current solution's flexibility at level k (§5).
+func (s *Session) FlexReport(k int) (core.FlexReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.solution == nil {
+		return core.FlexReport{}, fmt.Errorf("service: session %s has no solution yet", s.id)
+	}
+	return core.VerifyFlexibility(s.formula, s.solution, k), nil
+}
+
+// Solve drains the pending batch and brings the session to a solved
+// state: the initial set-cover solve when the session has no solution
+// yet, a single coalesced EC pass (per the session strategy) when
+// tightening changes are pending, a solver-free extension when the batch
+// is relaxing-only, and a no-op when nothing is pending.
+//
+// On error the pending batch is discarded and the session keeps its
+// previous formula and solution, so a client can correct course and
+// continue; an invalid change (bad index/variable) or an unsatisfiable
+// batch never poisons the session.
+func (s *Session) Solve() (*SolveResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	batch := s.pending
+	s.pending = nil
+
+	if s.solution == nil {
+		return s.solveInitial(batch, start)
+	}
+	if len(batch) == 0 {
+		return &SolveResult{
+			Assignment: s.solution.Clone(),
+			Status:     "noop",
+			DontCares:  s.solution.DontCareCount(),
+			Runtime:    time.Since(start),
+		}, nil
+	}
+	return s.solveBatch(batch, start)
+}
+
+// solveInitial runs the first solve, folding any pending batch into the
+// starting formula. Caller holds s.mu.
+func (s *Session) solveInitial(batch []core.Change, start time.Time) (*SolveResult, error) {
+	f := s.formula
+	if len(batch) > 0 {
+		applied, err := core.Apply(s.formula, batch)
+		if err != nil {
+			return nil, fmt.Errorf("service: batch discarded: %w", err)
+		}
+		f = applied
+	}
+	if f.HasEmptyClause() {
+		return nil, fmt.Errorf("service: batch discarded: formula has an empty clause (unsatisfiable)")
+	}
+	key := plainKey(f, s.solve)
+	fkey := formulaKey(f)
+	// The encoding is built inside the compute closure so a cache hit —
+	// the common case across identical sessions — pays nothing.
+	a, hit, err := s.svc.cachedSolve(key, func() (cnf.Assignment, error) {
+		e := encode.New(f)
+		opts := s.solve
+		if warm := s.svc.incumbent(fkey); warm != nil {
+			opts.WarmStart = e.EncodeAssignment(warm.Grow(f.NumVars))
+			s.svc.metrics.IncumbentHits.Add(1)
+		}
+		return solveEncoding(e, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.commit(f, a, fkey, len(batch), hit)
+	return &SolveResult{
+		Assignment: a.Clone(),
+		Status:     "initial",
+		Batched:    len(batch),
+		Cached:     hit,
+		DontCares:  a.DontCareCount(),
+		Runtime:    time.Since(start),
+	}, nil
+}
+
+// solveBatch resolves a non-empty tightening-or-relaxing batch against
+// the current solution in one pass. Caller holds s.mu.
+func (s *Session) solveBatch(batch []core.Change, start time.Time) (*SolveResult, error) {
+	fPrime, err := core.Apply(s.formula, batch)
+	if err != nil {
+		return nil, fmt.Errorf("service: batch discarded: %w", err)
+	}
+	prev := s.solution
+
+	if !core.AnyTightening(batch) {
+		// Relaxing-only batch: the solution stays valid (§6); just grow it.
+		next := prev.Clone().Grow(fPrime.NumVars)
+		s.commit(fPrime, next, formulaKey(fPrime), len(batch), false)
+		s.svc.metrics.RelaxFastPaths.Add(1)
+		return &SolveResult{
+			Assignment: next.Clone(),
+			Status:     "relaxed",
+			Batched:    len(batch),
+			Preserved:  1,
+			DontCares:  next.DontCareCount(),
+			Runtime:    time.Since(start),
+		}, nil
+	}
+	if fPrime.HasEmptyClause() {
+		return nil, fmt.Errorf("service: batch discarded: changed formula has an empty clause (unsatisfiable)")
+	}
+
+	var subVars, subClauses int
+	var key string
+	var compute func() (cnf.Assignment, error)
+	switch s.strategy {
+	case core.FastEC:
+		fopts := s.svc.opts.Fast
+		fopts.Solve = s.solve
+		key = fastKey(fPrime, prev, fopts)
+		compute = func() (cnf.Assignment, error) {
+			res, ferr := core.FastResolve(fPrime, prev, fopts)
+			if ferr != nil {
+				return nil, ferr
+			}
+			subVars, subClauses = res.SubVars, res.SubClauses
+			return res.Assignment, nil
+		}
+	case core.PreservingEC:
+		popts := s.svc.opts.Preserve
+		popts.Solve = s.solve
+		key = preserveKey(fPrime, prev, popts)
+		compute = func() (cnf.Assignment, error) {
+			res, perr := core.PreserveResolve(fPrime, prev, popts)
+			if perr != nil {
+				return nil, perr
+			}
+			return res.Assignment, nil
+		}
+	case core.Replan:
+		key = plainKey(fPrime, s.solve)
+		compute = func() (cnf.Assignment, error) {
+			opts := s.solve
+			e := encode.New(fPrime)
+			opts.WarmStart = e.EncodeAssignment(prev.Clone().Grow(fPrime.NumVars))
+			return solveEncoding(e, opts)
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown strategy %d", s.strategy)
+	}
+
+	next, hit, err := s.svc.cachedSolve(key, compute)
+	if err != nil {
+		return nil, err
+	}
+	s.commit(fPrime, next, formulaKey(fPrime), len(batch), hit)
+	return &SolveResult{
+		Assignment: next.Clone(),
+		Status:     s.strategy.String(),
+		Batched:    len(batch),
+		Cached:     hit,
+		Preserved:  next.PreservedFraction(prev),
+		DontCares:  next.DontCareCount(),
+		SubVars:    subVars,
+		SubClauses: subClauses,
+		Runtime:    time.Since(start),
+	}, nil
+}
+
+// commit installs the new formula/solution pair, updates stats, and
+// shares the solution through the incumbent store. Caller holds s.mu.
+func (s *Session) commit(f *cnf.Formula, a cnf.Assignment, fkey string, batched int, hit bool) {
+	s.formula = f
+	s.solution = a
+	s.stats.solves++
+	s.svc.metrics.Solves.Add(1)
+	if batched > 0 {
+		s.stats.batches++
+		s.svc.metrics.Batches.Add(1)
+	}
+	if hit {
+		s.stats.cacheHits++
+	}
+	s.svc.storeIncumbent(fkey, a)
+}
+
+// solveEncoding runs the base set-cover solve on a prepared encoding.
+func solveEncoding(e *encode.Encoding, opts ilp.Options) (cnf.Assignment, error) {
+	res := ilp.Solve(e.Model, opts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		a := e.Decode(res.Solution)
+		if !a.Satisfies(e.Formula) {
+			return nil, fmt.Errorf("service: decoded solution does not satisfy the formula (internal error)")
+		}
+		return a, nil
+	case ilp.Infeasible:
+		return nil, fmt.Errorf("service: formula is unsatisfiable")
+	default:
+		return nil, fmt.Errorf("service: solve hit limits (%s)", res.Status)
+	}
+}
+
+// ---- cache keys ----------------------------------------------------------
+
+// plainKey keys a base set-cover solve. WarmStart never shapes the key:
+// it guides the search, and the incumbent-store warm start is injected
+// after the lookup misses.
+func plainKey(f *cnf.Formula, opts ilp.Options) string {
+	opts.WarmStart = nil
+	return newKeyHasher("plain").formula(f).options(opts).sum()
+}
+
+// fastKey keys a fast-EC re-solve: the answer depends on the changed
+// formula, the previous solution, and the fast options.
+func fastKey(f *cnf.Formula, prev cnf.Assignment, opts core.FastOptions) string {
+	solve := opts.Solve
+	solve.WarmStart = nil
+	k := newKeyHasher("fast").formula(f).assignment(prev).options(solve)
+	k.int64(int64(opts.MaxEscalations), boolToInt(opts.Minimal))
+	return k.sum()
+}
+
+// preserveKey keys a preserving-EC re-solve.
+func preserveKey(f *cnf.Formula, prev cnf.Assignment, opts core.PreserveOptions) string {
+	solve := opts.Solve
+	solve.WarmStart = nil
+	k := newKeyHasher("preserve").formula(f).assignment(prev).options(solve)
+	k.int64(int64(opts.Mode), int64(math.Float64bits(opts.Weight)))
+	k.int64(int64(len(opts.Protected)))
+	for _, v := range opts.Protected {
+		k.int64(int64(v))
+	}
+	return k.sum()
+}
+
+func boolToInt(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
