@@ -1,0 +1,216 @@
+// Command apicheck guards the public API surface: it extracts every
+// exported declaration of a package directory into a canonical sorted
+// snapshot and diffs it against a committed golden file, so unintended
+// public-API breaks fail CI while intentional changes are a one-line
+// -update away.
+//
+// Usage:
+//
+//	apicheck -dir . -golden api/ilpec.txt           # verify (CI)
+//	apicheck -dir . -golden api/ilpec.txt -update   # refresh the golden
+//
+// The snapshot lists one exported declaration per line: functions and
+// methods with their full signatures, types with their kind (alias,
+// struct, interface, ...), and exported consts/vars. Doc comments and
+// unexported details never enter the snapshot, so documentation-only
+// edits cannot break the check.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("apicheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "package directory to snapshot")
+	golden := fs.String("golden", "", "golden snapshot file")
+	update := fs.Bool("update", false, "rewrite the golden file instead of checking")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *golden == "" {
+		fmt.Fprintln(stderr, "apicheck: -golden is required")
+		return 2
+	}
+	snapshot, err := Snapshot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "apicheck:", err)
+		return 1
+	}
+	if *update {
+		if err := os.WriteFile(*golden, []byte(snapshot), 0o644); err != nil {
+			fmt.Fprintln(stderr, "apicheck:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "apicheck: wrote %s (%d lines)\n", *golden, strings.Count(snapshot, "\n"))
+		return 0
+	}
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintln(stderr, "apicheck:", err)
+		return 1
+	}
+	diff := Diff(string(want), snapshot)
+	if diff == "" {
+		fmt.Fprintf(stdout, "apicheck: %s is up to date\n", *golden)
+		return 0
+	}
+	fmt.Fprintf(stderr, "apicheck: public API of %s differs from %s:\n%s", *dir, *golden, diff)
+	fmt.Fprintf(stderr, "apicheck: intentional? run: go run ./cmd/apicheck -dir %s -golden %s -update\n", *dir, *golden)
+	return 1
+}
+
+// Snapshot renders the exported API of the package in dir, one sorted
+// declaration per line.
+func Snapshot(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// declLines renders the exported entries of one top-level declaration.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) == 1 {
+			t := typeString(fset, d.Recv.List[0].Type)
+			base := strings.TrimPrefix(t, "*")
+			if !ast.IsExported(strings.TrimLeft(base, "*")) {
+				return nil // method on an unexported type
+			}
+			recv = "(" + t + ") "
+		}
+		out = append(out, "func "+recv+d.Name.Name+strings.TrimPrefix(typeString(fset, d.Type), "func"))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				kind := typeKind(s)
+				out = append(out, "type "+s.Name.Name+" "+kind)
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					what := "var"
+					if d.Tok == token.CONST {
+						what = "const"
+					}
+					line := what + " " + name.Name
+					if s.Type != nil {
+						line += " " + typeString(fset, s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// typeKind classifies a type spec: "= <target>" for aliases, else the
+// syntactic kind of the underlying type.
+func typeKind(s *ast.TypeSpec) string {
+	if s.Assign != 0 {
+		return "= alias"
+	}
+	switch s.Type.(type) {
+	case *ast.StructType:
+		return "struct"
+	case *ast.InterfaceType:
+		return "interface"
+	case *ast.FuncType:
+		return "func"
+	case *ast.MapType:
+		return "map"
+	case *ast.ArrayType:
+		return "slice-or-array"
+	case *ast.ChanType:
+		return "chan"
+	default:
+		return "defined"
+	}
+}
+
+func typeString(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	// Collapse whitespace so formatting never shapes the snapshot.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// Diff reports the line-level additions/removals from want to got
+// (empty when identical).
+func Diff(want, got string) string {
+	wantSet := toSet(want)
+	gotSet := toSet(got)
+	var sb strings.Builder
+	for _, l := range sortedKeys(wantSet) {
+		if !gotSet[l] {
+			fmt.Fprintf(&sb, "  - %s\n", l)
+		}
+	}
+	for _, l := range sortedKeys(gotSet) {
+		if !wantSet[l] {
+			fmt.Fprintf(&sb, "  + %s\n", l)
+		}
+	}
+	return sb.String()
+}
+
+func toSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimRight(l, " \t"); l != "" {
+			set[l] = true
+		}
+	}
+	return set
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotExportedOnly(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "pkg.go", `package pkg
+
+// Public doc.
+func Public(a int, b ...string) (int, error) { return 0, nil }
+
+func private() {}
+
+type Exported struct{ X int }
+
+type hidden struct{}
+
+// Method is exported on an exported type.
+func (e *Exported) Method() {}
+
+func (h hidden) Hidden() {}
+
+type Alias = Exported
+
+const Answer = 42
+const secret = 1
+
+var Visible int
+`)
+	snap, err := Snapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func Public(a int, b ...string) (int, error)",
+		"func (*Exported) Method()",
+		"type Exported struct",
+		"type Alias = alias",
+		"const Answer",
+		"var Visible",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	for _, bad := range []string{"private", "hidden", "Hidden", "secret"} {
+		if strings.Contains(snap, bad) {
+			t.Errorf("snapshot leaks %q:\n%s", bad, snap)
+		}
+	}
+}
+
+func TestSnapshotIgnoresDocsAndOrder(t *testing.T) {
+	a := t.TempDir()
+	writeFile(t, a, "x.go", "package p\n\n// doc one\nfunc B() {}\nfunc A() {}\n")
+	b := t.TempDir()
+	writeFile(t, b, "y.go", "package p\nfunc A() {}\n\n// totally different doc\nfunc B() {}\n")
+	sa, err := Snapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Snapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", sa, sb)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	if d := Diff("func A()\n", "func A()\n"); d != "" {
+		t.Fatalf("identical snapshots diff: %q", d)
+	}
+	d := Diff("func A()\nfunc B()\n", "func B()\nfunc C()\n")
+	if !strings.Contains(d, "- func A()") || !strings.Contains(d, "+ func C()") {
+		t.Fatalf("diff %q", d)
+	}
+}
+
+// TestGoldenMatchesRepo is the real gate run locally: the committed
+// snapshot must match the current root-package API.
+func TestGoldenMatchesRepo(t *testing.T) {
+	root := "../.."
+	snap, err := Snapshot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(root, "api", "ilpec.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(string(want), snap); d != "" {
+		t.Fatalf("api/ilpec.txt is stale:\n%s\nrun: go run ./cmd/apicheck -dir . -golden api/ilpec.txt -update", d)
+	}
+}

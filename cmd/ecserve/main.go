@@ -1,5 +1,7 @@
 // Command ecserve is the EC session server: it exposes the long-lived
-// engineering-change sessions of internal/service over HTTP/JSON.
+// engineering-change sessions of internal/service over HTTP/JSON, for
+// every registered problem domain (CNF/set-cover, graph coloring,
+// scheduling, min-cut partitioning, and custom adapters).
 //
 // Usage:
 //
@@ -8,15 +10,21 @@
 //
 // Endpoints (see internal/service.NewHandler and the README walkthrough):
 //
-//	POST   /v1/sessions              create a session (DIMACS or clause list)
+//	POST   /v1/sessions              create a session ("domain" + "problem",
+//	                                 or the legacy DIMACS/clause-list shape)
 //	GET    /v1/sessions              list live session ids
 //	GET    /v1/sessions/{id}         session info
 //	DELETE /v1/sessions/{id}         close a session
-//	POST   /v1/sessions/{id}/changes queue a change batch
+//	POST   /v1/sessions/{id}/changes queue a change batch (domain wire form)
 //	POST   /v1/sessions/{id}/solve   drain the batch in one EC pass
 //	GET    /v1/sessions/{id}/flex    flexibility report
+//	GET    /v1/domains               registered domain names
 //	GET    /v1/metrics               service counters
 //	GET    /healthz                  liveness probe
+//
+// Client errors return HTTP 400 with a structured body
+// {"error": {"code": "...", "message": "..."}} — e.g. code
+// "unknown_domain" or "unknown_strategy".
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main

@@ -97,3 +97,183 @@ func TestServeLifecycle(t *testing.T) {
 		t.Fatal("server did not shut down")
 	}
 }
+
+// startTestServer boots the real server on a random port and returns its
+// base URL.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-drain", "2s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, cfg, log.New(io.Discard, "", 0), func(addr string) { addrCh <- addr })
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return ""
+}
+
+// postJSON posts a JSON body and returns the status code and the decoded
+// structured error (zero-valued on success responses).
+func postJSON(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestServeClientErrorPaths pins that client mistakes — unknown domain or
+// strategy names, malformed problems, bad change kinds — come back as
+// HTTP 400 (never 500) with the structured {"error":{code,message}} body.
+func TestServeClientErrorPaths(t *testing.T) {
+	base := startTestServer(t)
+	decode := func(raw string) (code, message string) {
+		var eb struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(raw), &eb); err != nil {
+			t.Fatalf("unstructured error body %q: %v", raw, err)
+		}
+		return eb.Error.Code, eb.Error.Message
+	}
+
+	for name, tc := range map[string]struct {
+		body     string
+		wantCode string
+	}{
+		"unknown domain":   {`{"domain": "quantum", "problem": {}}`, "unknown_domain"},
+		"unknown strategy": {`{"clauses": [[1,2]], "strategy": "psychic"}`, "unknown_strategy"},
+		"bad problem":      {`{"domain": "coloring", "problem": {"vertices": 3, "k": 0}}`, "bad_problem"},
+		"missing problem":  {`{"domain": "sched"}`, "bad_problem"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			status, raw := postJSON(t, base+"/v1/sessions", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d (%s), want 400", status, raw)
+			}
+			code, message := decode(raw)
+			if code != tc.wantCode || message == "" {
+				t.Fatalf("error %q/%q, want code %q", code, message, tc.wantCode)
+			}
+		})
+	}
+
+	// Bad change kind on a live session.
+	status, raw := postJSON(t, base+"/v1/sessions", `{"domain": "partition", "problem": {"vertices": 4, "blocks": 2, "edges": [[1,2]]}}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(raw), &info); err != nil || info.ID == "" {
+		t.Fatalf("create info %q: %v", raw, err)
+	}
+	status, raw = postJSON(t, base+"/v1/sessions/"+info.ID+"/changes", `{"changes": [{"kind": "warp"}]}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad change: %d %s", status, raw)
+	}
+	if code, _ := decode(raw); code != "bad_change" {
+		t.Fatalf("error code %q, want bad_change", code)
+	}
+}
+
+// TestServePartitionEndToEnd drives the new partitioning domain through
+// the real server: create by domain name, initial solve, netlist change
+// batch, fast-EC re-solve.
+func TestServePartitionEndToEnd(t *testing.T) {
+	base := startTestServer(t)
+	status, raw := postJSON(t, base+"/v1/sessions",
+		`{"domain": "partition", "problem": {"vertices": 6, "blocks": 2, "edges": [[1,2],[2,3],[4,5],[5,6],[3,4]]}}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	var info struct {
+		ID     string `json:"id"`
+		Domain string `json:"domain"`
+	}
+	if err := json.Unmarshal([]byte(raw), &info); err != nil || info.Domain != "partition" {
+		t.Fatalf("create info %q: %v", raw, err)
+	}
+	sessURL := base + "/v1/sessions/" + info.ID
+	var solve struct {
+		Status   string `json:"status"`
+		Batched  int    `json:"batched"`
+		Solution []int  `json:"solution"`
+	}
+	status, raw = postJSON(t, sessURL+"/solve", "")
+	if status != http.StatusOK || json.Unmarshal([]byte(raw), &solve) != nil {
+		t.Fatalf("solve: %d %s", status, raw)
+	}
+	if solve.Status != "initial" || len(solve.Solution) != 6 {
+		t.Fatalf("initial solve %+v", solve)
+	}
+	status, raw = postJSON(t, sessURL+"/changes",
+		`{"changes": [{"kind": "add-vertex"}, {"kind": "set-bounds", "max": 4}, {"kind": "add-edge", "u": 7, "v": 1, "weight": 2}]}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("changes: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, sessURL+"/solve", "")
+	if status != http.StatusOK || json.Unmarshal([]byte(raw), &solve) != nil {
+		t.Fatalf("batch solve: %d %s", status, raw)
+	}
+	if solve.Status != "fast" || solve.Batched != 3 || len(solve.Solution) != 7 {
+		t.Fatalf("batch solve %+v", solve)
+	}
+}
+
+// TestServeDomainsEndpoint pins that the server advertises all built-in
+// domains.
+func TestServeDomainsEndpoint(t *testing.T) {
+	base := startTestServer(t)
+	resp, err := http.Get(base + "/v1/domains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("domains: %d %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Domains []string `json:"domains"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"cnf": true, "coloring": true, "sched": true, "partition": true}
+	for _, d := range out.Domains {
+		delete(want, d)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing domains %v in %s", want, raw)
+	}
+}

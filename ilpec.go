@@ -7,14 +7,19 @@
 //   - CNF formulas, assignments, and DIMACS I/O (internal/cnf);
 //   - the specification-change model and the three EC components —
 //     enabling, fast, and preserving EC (internal/core);
-//   - the generic Figure-1 flow orchestrator;
+//   - the generic Domain interface and Figure-1 flow orchestrator that
+//     run the EC triad for ANY registered problem class
+//     (internal/domain), with four built-in adapters: CNF/set-cover,
+//     graph coloring (internal/coloring), scheduling (internal/sched),
+//     and min-cut netlist partitioning (internal/partition);
 //   - 0-1 ILP modeling and the exact and heuristic solvers
 //     (internal/ilp, internal/heurilp);
 //   - the SAT↔set-cover encoding (internal/encode);
-//   - the graph-coloring application (internal/coloring);
+//   - the EC session service and its HTTP front end (internal/service);
 //   - the synthetic DIMACS benchmark families (internal/gen).
 //
-// See examples/quickstart for a guided tour.
+// See examples/quickstart for a guided tour and examples/domains for
+// plugging a custom domain into the engine.
 package ilpec
 
 import (
@@ -24,10 +29,12 @@ import (
 	"ilpec/internal/cnf"
 	"ilpec/internal/coloring"
 	"ilpec/internal/core"
+	"ilpec/internal/domain"
 	"ilpec/internal/encode"
 	"ilpec/internal/gen"
 	"ilpec/internal/heurilp"
 	"ilpec/internal/ilp"
+	"ilpec/internal/partition"
 	"ilpec/internal/sched"
 	"ilpec/internal/service"
 )
@@ -109,14 +116,19 @@ func ApplyChanges(f *Formula, changes []Change) (*Formula, error) {
 // SolveOptions configures the exact 0-1 ILP solver.
 type SolveOptions = ilp.Options
 
+// firstOpt resolves the variadic-options idiom: the first element when
+// present, the zero value otherwise.
+func firstOpt(opts ...SolveOptions) SolveOptions {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return SolveOptions{}
+}
+
 // Solve finds a satisfying assignment for f through the §3 set-cover ILP,
 // maximizing don't-cares. It returns an error when f is unsatisfiable.
 func Solve(f *Formula, opts ...SolveOptions) (Assignment, error) {
-	var o SolveOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	a, _, err := core.PlainResolve(f, o)
+	a, _, err := core.PlainResolve(f, firstOpt(opts...))
 	return a, err
 }
 
@@ -138,12 +150,12 @@ const (
 type EnableResult = core.EnableResult
 
 // Enable solves f under the §5 flexibility requirements.
+//
+// Deprecated: use the generic Domain path — EnableDomain(CNFDomain(), f,
+// ...) — which serves every registered domain through one engine. This
+// wrapper remains for one release.
 func Enable(f *Formula, opts EnableOptions, solve ...SolveOptions) (*EnableResult, error) {
-	var o SolveOptions
-	if len(solve) > 0 {
-		o = solve[0]
-	}
-	return core.SolveEnable(f, opts, o)
+	return core.SolveEnable(f, opts, firstOpt(solve...))
 }
 
 // FlexReport audits a solution's flexibility.
@@ -184,6 +196,10 @@ func Simplify(fPrime *Formula, p Assignment) SimplifyResult {
 }
 
 // FastResolve re-solves only the affected sub-instance and merges.
+//
+// Deprecated: use FastResolveDomain(CNFDomain(), fPrime, p, ...) — the
+// generic fast-EC engine behind every registered domain. This wrapper
+// remains for one release.
 func FastResolve(fPrime *Formula, p Assignment, opts FastOptions) (*FastResult, error) {
 	return core.FastResolve(fPrime, p, opts)
 }
@@ -208,6 +224,11 @@ type PreserveResult = core.PreserveResult
 
 // PreserveResolve re-solves the changed instance, maximizing agreement
 // with the original solution (or hard-preserving a protected set).
+//
+// Deprecated: use PreserveResolveDomain(CNFDomain(), fPrime, p, ...) —
+// the generic preserving-EC engine behind every registered domain (hard
+// and weighted modes remain available through CNFDomainWith). This
+// wrapper remains for one release.
 func PreserveResolve(fPrime *Formula, p Assignment, opts PreserveOptions) (*PreserveResult, error) {
 	return core.PreserveResolve(fPrime, p, opts)
 }
@@ -308,14 +329,27 @@ func ColorExact(g *Graph, k int, warm GraphColoring, opts SolveOptions) (GraphCo
 // ColorGreedy colors g with the DSATUR heuristic.
 func ColorGreedy(g *Graph) GraphColoring { return coloring.Greedy(g) }
 
+// ColoringProblem pairs a graph with its palette size — the problem value
+// of the "coloring" domain.
+type ColoringProblem = coloring.Problem
+
+// ColoringChange is one coloring specification change (domain wire form).
+type ColoringChange = coloring.Change
+
 // FastRecolor absorbs graph changes by recoloring only the conflicted
 // region (fast EC on coloring).
+//
+// Deprecated: use FastResolveDomain(ColoringDomain(), &ColoringProblem{G:
+// g, K: k}, prev, ...). This wrapper remains for one release.
 func FastRecolor(g *Graph, prev GraphColoring, k int, opts SolveOptions) (*coloring.FastRecolorResult, error) {
 	return coloring.FastRecolor(g, prev, k, opts)
 }
 
 // PreserveRecolor re-colors maximizing agreement with prev (preserving EC
 // on coloring).
+//
+// Deprecated: use PreserveResolveDomain(ColoringDomain(), ...). This
+// wrapper remains for one release.
 func PreserveRecolor(g *Graph, prev GraphColoring, k int, opts SolveOptions) (GraphColoring, ILPResult, error) {
 	return coloring.PreserveRecolor(g, prev, k, opts)
 }
@@ -323,6 +357,9 @@ func PreserveRecolor(g *Graph, prev GraphColoring, k int, opts SolveOptions) (Gr
 // EnableColoring colors g so vertices keep spare colors (enabling EC on
 // coloring). hard requires a spare at every vertex; warm (optional) guides
 // branching.
+//
+// Deprecated: use EnableDomain(ColoringDomain(), ...). This wrapper
+// remains for one release.
 func EnableColoring(g *Graph, k int, hard bool, weight float64, warm GraphColoring, opts SolveOptions) (GraphColoring, ILPResult, error) {
 	return coloring.SolveEnable(g, k, hard, weight, warm, opts)
 }
@@ -350,23 +387,162 @@ func SolveSchedule(p *SchedProblem, warm SchedSchedule, opts SolveOptions) (Sche
 // ListSchedule is the greedy ASAP baseline scheduler.
 func ListSchedule(p *SchedProblem) (SchedSchedule, error) { return sched.ListSchedule(p) }
 
+// SchedChange is one scheduling specification change (domain wire form).
+type SchedChange = sched.Change
+
 // FastReschedule re-places only the disturbed operations after a change
 // (fast EC on scheduling); it returns the schedule and the region size.
+//
+// Deprecated: use FastResolveDomain(SchedDomain(), p, prev, ...). This
+// wrapper remains for one release.
 func FastReschedule(p *SchedProblem, prev SchedSchedule, opts SolveOptions) (SchedSchedule, int, error) {
 	return sched.FastReschedule(p, prev, opts)
 }
 
 // PreserveReschedule re-solves maximizing kept control steps (preserving
 // EC on scheduling).
+//
+// Deprecated: use PreserveResolveDomain(SchedDomain(), ...). This wrapper
+// remains for one release.
 func PreserveReschedule(p *SchedProblem, prev SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
 	return sched.PreserveReschedule(p, prev, opts)
 }
 
 // EnableSchedule schedules with spare-slot rewards (enabling EC on
 // scheduling).
+//
+// Deprecated: use EnableDomain(SchedDomain(), ...). This wrapper remains
+// for one release.
 func EnableSchedule(p *SchedProblem, weight float64, warm SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
 	return sched.SolveEnabled(p, weight, warm, opts)
 }
+
+// ---- generic problem domains ---------------------------------------------
+
+// Domain is one pluggable problem class behind the generic EC engine:
+// the paper's Figure-1 flow (initial solve → change → enabling / fast /
+// preserving EC) runs through this interface for every registered domain.
+// Built-in adapters: CNFDomain, ColoringDomain, SchedDomain,
+// PartitionDomain; register custom adapters with RegisterDomain. See the
+// README "Domains" section and examples/domains for the contract.
+type Domain = domain.Domain
+
+// DomainEncoding binds an ILP model to domain decode/encode logic.
+type DomainEncoding = domain.Encoding
+
+// DomainRegion is a fast-EC sub-instance with its escalation ladder.
+type DomainRegion = domain.Region
+
+// DomainFlexReport is the domain-generic §5 flexibility audit.
+type DomainFlexReport = domain.FlexReport
+
+// DomainEnableOptions configures enabling EC generically.
+type DomainEnableOptions = domain.EnableOptions
+
+// DomainFastOptions configures the generic fast-EC engine.
+type DomainFastOptions = domain.FastOptions
+
+// DomainFastStats reports what the generic fast-EC engine did.
+type DomainFastStats = domain.FastStats
+
+// DomainConformance is the fixture a custom Domain supplies for the
+// shared conformance suite (domain.RunConformance).
+type DomainConformance = domain.Conformance
+
+// ILPSolution is a 0-1 solution vector of an ILP Model (used by
+// DomainEncoding implementations).
+type ILPSolution = ilp.Solution
+
+// RegisterDomain installs a domain adapter in the process-wide registry;
+// services and cmd/ecserve serve it by name immediately.
+func RegisterDomain(d Domain) { domain.Register(d) }
+
+// DomainByName looks an adapter up in the process-wide registry.
+func DomainByName(name string) (Domain, bool) { return domain.Get(name) }
+
+// Domains lists the registered domain names, sorted.
+func Domains() []string { return domain.Names() }
+
+// CNFDomain returns the SAT/set-cover adapter ("cnf") with default EC
+// policies.
+func CNFDomain() Domain { return core.CNF() }
+
+// CNFDomainOptions tunes the CNF adapter (fast-EC minimality, preserve
+// modes, enabling defaults, relax-time flexibility recovery).
+type CNFDomainOptions = core.CNFOptions
+
+// CNFDomainWith returns a CNF adapter with explicit EC policies.
+func CNFDomainWith(opts CNFDomainOptions) Domain { return core.CNFWith(opts) }
+
+// ColoringDomain returns the graph-coloring adapter ("coloring").
+func ColoringDomain() Domain { return coloring.Domain() }
+
+// SchedDomain returns the scheduling adapter ("sched").
+func SchedDomain() Domain { return sched.Domain() }
+
+// PartitionDomain returns the min-cut netlist-partitioning adapter
+// ("partition").
+func PartitionDomain() Domain { return partition.Domain() }
+
+// SolveDomain runs the base solve of a problem (initial solve or replan);
+// the result is a domain solution value.
+func SolveDomain(d Domain, problem any, opts ...SolveOptions) (any, error) {
+	sol, _, err := domain.Solve(d, problem, firstOpt(opts...), nil)
+	return sol, err
+}
+
+// EnableDomain runs the §5 enabling-EC solve for any domain.
+func EnableDomain(d Domain, problem any, eopts DomainEnableOptions, opts ...SolveOptions) (any, error) {
+	sol, _, err := domain.Enable(d, problem, eopts, firstOpt(opts...), nil)
+	return sol, err
+}
+
+// FastResolveDomain runs the §6 fast-EC engine for any domain: re-solve
+// only the affected region of the changed problem, escalating on
+// infeasibility.
+func FastResolveDomain(d Domain, problem, prev any, opts ...SolveOptions) (any, DomainFastStats, error) {
+	return domain.Fast(d, problem, prev, DomainFastOptions{Solve: firstOpt(opts...)})
+}
+
+// PreserveResolveDomain runs the §7 preserving-EC solve for any domain:
+// re-solve the changed problem maximizing agreement with prev.
+func PreserveResolveDomain(d Domain, problem, prev any, opts ...SolveOptions) (any, error) {
+	sol, _, err := domain.Preserve(d, problem, prev, firstOpt(opts...))
+	return sol, err
+}
+
+// DomainFlow is the generic Figure-1 flow over any Domain.
+type DomainFlow = domain.Flow
+
+// DomainFlowOptions configures a DomainFlow.
+type DomainFlowOptions = domain.FlowOptions
+
+// NewDomainFlow creates a Figure-1 flow for any registered domain.
+func NewDomainFlow(d Domain, problem any, opts DomainFlowOptions) *DomainFlow {
+	return domain.NewFlow(d, problem, opts)
+}
+
+// ---- netlist partitioning application --------------------------------------
+
+// PartitionProblem is a min-cut netlist-partitioning instance (the
+// "partition" domain).
+type PartitionProblem = partition.Problem
+
+// PartitionAssignment maps vertices to blocks.
+type PartitionAssignment = partition.Assignment
+
+// PartitionEdge is a weighted netlist edge.
+type PartitionEdge = partition.Edge
+
+// PartitionChange is one netlist specification change (domain wire form).
+type PartitionChange = partition.Change
+
+// NewPartitionProblem creates a partitioning problem with n vertices and
+// b blocks.
+func NewPartitionProblem(n, b int) *PartitionProblem { return partition.NewProblem(n, b) }
+
+// GreedyPartition builds a balanced starting partition.
+func GreedyPartition(p *PartitionProblem) PartitionAssignment { return partition.Greedy(p) }
 
 // ---- EC session service --------------------------------------------------------
 

@@ -211,3 +211,125 @@ func TestPublicBenchmarks(t *testing.T) {
 		t.Fatal("name mismatch")
 	}
 }
+
+// TestPublicDomains exercises the generic domain surface: registry
+// lookups, the four built-in adapters, and the EC triad through the
+// SolveDomain/FastResolveDomain/PreserveResolveDomain/EnableDomain
+// entry points.
+func TestPublicDomains(t *testing.T) {
+	names := ilpec.Domains()
+	for _, want := range []string{"cnf", "coloring", "sched", "partition"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("domain %q not registered (have %v)", want, names)
+		}
+		if _, ok := ilpec.DomainByName(want); !ok {
+			t.Fatalf("DomainByName(%q) failed", want)
+		}
+	}
+
+	// CNF through the generic engine.
+	d := ilpec.CNFDomain()
+	f := introFormula()
+	sol, err := ilpec.SolveDomain(d, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.(ilpec.Assignment).Satisfies(f) {
+		t.Fatal("generic CNF solve unsatisfying")
+	}
+	changed, err := d.ApplyChanges(f, []any{ilpec.NewClause(-2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastSol, stats, err := ilpec.FastResolveDomain(d, changed, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(changed, fastSol); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlreadyValid && stats.SubSize == 0 {
+		t.Fatalf("fast stats %+v", stats)
+	}
+	if _, err := ilpec.PreserveResolveDomain(d, changed, sol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ilpec.EnableDomain(d, f, ilpec.DomainEnableOptions{K: 2, Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partitioning: the new domain end to end, plus the generic flow.
+	p := ilpec.NewPartitionProblem(6, 2)
+	p.AddEdge(1, 2, 0)
+	p.AddEdge(2, 3, 0)
+	p.AddEdge(4, 5, 0)
+	p.AddEdge(5, 6, 0)
+	p.AddEdge(3, 4, 2)
+	pd := ilpec.PartitionDomain()
+	psol, err := ilpec.SolveDomain(pd, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := psol.(ilpec.PartitionAssignment)
+	if !pa.Valid(p) {
+		t.Fatal("partition invalid")
+	}
+	if g := ilpec.GreedyPartition(p); !g.Valid(p) {
+		t.Fatal("greedy partition invalid")
+	}
+	fl := ilpec.NewDomainFlow(pd, p, ilpec.DomainFlowOptions{})
+	if _, err := fl.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.ApplyChanges([]any{
+		ilpec.PartitionChange{Kind: "add-vertex"},
+		ilpec.PartitionChange{Kind: "set-bounds", Max: 4},
+	}, ilpec.FastEC); err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.Verify(fl.Problem(), fl.Solution()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicDomainService drives a non-CNF domain through the re-exported
+// session service.
+func TestPublicDomainService(t *testing.T) {
+	svc := ilpec.NewService(ilpec.ServiceOptions{})
+	defer svc.Close()
+	g := ilpec.NewGraph(4)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	sess, err := svc.CreateDomainSession("coloring", &ilpec.ColoringProblem{G: g, K: 3}, ilpec.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "initial" || res.Solution == nil {
+		t.Fatalf("solve %+v", res)
+	}
+	sess.QueueChanges(ilpec.ColoringChange{Kind: "add-edge", U: 1, V: 3})
+	res, err = sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "fast" || res.Batched != 1 {
+		t.Fatalf("batch solve %+v", res)
+	}
+	rep, err := sess.FlexReport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 4 {
+		t.Fatalf("flex %+v", rep)
+	}
+}

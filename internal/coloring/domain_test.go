@@ -1,0 +1,58 @@
+package coloring
+
+import (
+	"testing"
+
+	"ilpec/internal/domain"
+	"ilpec/internal/ilp"
+)
+
+// TestColoringDomainConformance runs the shared cross-domain suite
+// against the coloring adapter.
+func TestColoringDomainConformance(t *testing.T) {
+	domain.RunConformance(t, Domain())
+}
+
+// TestColoringDomainFastRecolorsLocally pins that a conflicting edge
+// addition is absorbed by recoloring a sub-region, not the whole graph.
+func TestColoringDomainFastRecolorsLocally(t *testing.T) {
+	d := Domain()
+	g := RandomGraph(10, 0.25, 7)
+	k := Greedy(g).NumColors() + 1
+	p := &Problem{G: g, K: k}
+	col, _, err := domain.Solve(d, p, ilp.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a conflict between two same-colored, non-adjacent vertices.
+	base := col.(Coloring)
+	var u, v int
+	for a := 1; a <= g.N && u == 0; a++ {
+		for b := a + 1; b <= g.N; b++ {
+			if base[a] == base[b] && !g.HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	if u == 0 {
+		t.Skip("no same-colored non-adjacent pair")
+	}
+	changed, err := d.ApplyChanges(p, []any{Change{Kind: "add-edge", U: u, V: v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, stats, err := domain.Fast(d, changed, base, domain.FastOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(changed, next); err != nil {
+		t.Fatal(err)
+	}
+	if stats.AlreadyValid {
+		t.Fatal("conflicting edge reported as already valid")
+	}
+	if !stats.FullResolve && stats.SubSize >= g.N {
+		t.Fatalf("region covered the whole graph (%d vertices)", stats.SubSize)
+	}
+}

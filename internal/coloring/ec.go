@@ -68,6 +68,15 @@ func VerifyFlexibility(g *Graph, col Coloring, k int) FlexReport {
 // (the objective-mode analogue of §5; a hard variant adds per-vertex rows).
 func BuildEnable(g *Graph, k int, hard bool, w float64) *Encoding {
 	e := NewEncoding(g, k)
+	addEnableTerms(e, hard, w)
+	return e
+}
+
+// addEnableTerms extends an existing coloring encoding with the
+// spare-color variables and flexibility rewards (shared by BuildEnable
+// and the domain adapter).
+func addEnableTerms(e *Encoding, hard bool, w float64) {
+	g, k := e.Graph, e.K
 	m := e.Model
 	if w <= 0 {
 		w = 1
@@ -91,7 +100,6 @@ func BuildEnable(g *Graph, k int, hard bool, w float64) *Encoding {
 			m.AddRow(fmt.Sprintf("flexdef_%d", v), terms, ilp.GE, 0)
 		}
 	}
-	return e
 }
 
 // SolveEnable colors g with spare-color flexibility. hard requires a spare
@@ -209,12 +217,11 @@ func solveRegion(g *Graph, prev Coloring, k int, region map[int]bool, opts ilp.O
 	}
 }
 
-// PreserveRecolor re-solves the whole instance maximizing the number of
-// vertices that keep their previous color (§7 analogue).
-func PreserveRecolor(g *Graph, prev Coloring, k int, opts ilp.Options) (Coloring, ilp.Result, error) {
-	e := NewEncoding(g, k)
-	m := e.Model
-	// Replace the palette-minimizing objective with pure preservation.
+// addPreserveTerms replaces the palette-minimizing objective of an
+// existing encoding with pure preservation against prev (shared by
+// PreserveRecolor and the domain adapter).
+func addPreserveTerms(e *Encoding, prev Coloring) {
+	m, g, k := e.Model, e.Graph, e.K
 	for c := 1; c <= k; c++ {
 		m.SetObj(e.YCol(c), 0)
 	}
@@ -223,8 +230,15 @@ func PreserveRecolor(g *Graph, prev Coloring, k int, opts ilp.Options) (Coloring
 			m.SetObj(e.XCol(v, c), -1) // maximize matches
 		}
 	}
+}
+
+// PreserveRecolor re-solves the whole instance maximizing the number of
+// vertices that keep their previous color (§7 analogue).
+func PreserveRecolor(g *Graph, prev Coloring, k int, opts ilp.Options) (Coloring, ilp.Result, error) {
+	e := NewEncoding(g, k)
+	addPreserveTerms(e, prev)
 	opts.WarmStart = e.EncodeColoring(prev)
-	res := ilp.Solve(m, opts)
+	res := ilp.Solve(e.Model, opts)
 	switch res.Status {
 	case ilp.Optimal, ilp.Feasible:
 		col := e.Decode(res.Solution)

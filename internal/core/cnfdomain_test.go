@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"ilpec/internal/cnf"
+	"ilpec/internal/domain"
+	"ilpec/internal/ilp"
+)
+
+// TestCNFDomainConformance runs the shared cross-domain suite against the
+// CNF adapter.
+func TestCNFDomainConformance(t *testing.T) {
+	domain.RunConformance(t, CNF())
+}
+
+func TestCNFDomainRegistered(t *testing.T) {
+	d, ok := domain.Get("cnf")
+	if !ok {
+		t.Fatal("cnf domain not registered")
+	}
+	if d.Name() != "cnf" {
+		t.Fatalf("name %q", d.Name())
+	}
+}
+
+// TestCNFDomainFastMatchesFastResolve pins the adapter's fast-EC region
+// ladder to the behavior of the legacy FastResolve path: both must land on
+// valid solutions, and the minimal-closure policy must flow through.
+func TestCNFDomainFastMatchesFastResolve(t *testing.T) {
+	f := cnf.FromClauses(
+		[]int{1, 2}, []int{-1, 3}, []int{2, 4}, []int{-3, -4, 5}, []int{5, 6},
+	)
+	a, _, err := PlainResolve(f, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := []Change{NewClause(-2, 3), NewClause(1, 4)}
+	fPrime, err := Apply(f, changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, minimal := range []bool{false, true} {
+		d := CNFWith(CNFOptions{Fast: FastOptions{Minimal: minimal}})
+		got, stats, err := domain.Fast(d, fPrime, a, domain.FastOptions{})
+		if err != nil {
+			t.Fatalf("minimal=%v: %v", minimal, err)
+		}
+		if err := d.Verify(fPrime, got); err != nil {
+			t.Fatalf("minimal=%v: %v", minimal, err)
+		}
+		want, err := FastResolve(fPrime, a, FastOptions{Minimal: minimal})
+		if err != nil {
+			t.Fatalf("minimal=%v legacy: %v", minimal, err)
+		}
+		if !stats.AlreadyValid && !want.AlreadySatisfied && stats.SubSize != want.SubVars {
+			t.Fatalf("minimal=%v: region size %d, legacy sub vars %d", minimal, stats.SubSize, want.SubVars)
+		}
+	}
+}

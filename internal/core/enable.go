@@ -90,9 +90,16 @@ type EnableModel struct {
 //	Σ_{ℓ∈c_j} x_ℓ + Σ_{ℓ∈c_j} S_jℓ ≥ min(K, |c_j|)   (constraint mode)
 //	Σ_{ℓ∈c_j} x_ℓ + Σ_{ℓ∈c_j} S_jℓ ≥ min(K,|c_j|)·flex_j, max Σ flex_j (objective mode)
 func BuildEnable(f *cnf.Formula, opts EnableOptions) *EnableModel {
+	return buildEnableOn(encode.New(f), opts)
+}
+
+// buildEnableOn extends an existing set-cover encoding with the §5
+// support variables and flexibility rows (shared by BuildEnable and the
+// CNF domain adapter).
+func buildEnableOn(e *encode.Encoding, opts EnableOptions) *EnableModel {
 	opts.K = opts.k()
 	opts.Weight = opts.weight()
-	e := encode.New(f)
+	f := e.Formula
 	m := e.Model
 	em := &EnableModel{
 		Encoding:   e,

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"ilpec/internal/cnf"
+	"ilpec/internal/domain"
 	"ilpec/internal/encode"
 	"ilpec/internal/heurilp"
 	"ilpec/internal/ilp"
@@ -30,29 +30,22 @@ func (k SolverKind) String() string {
 	return "exact"
 }
 
-// Strategy selects how a change is resolved in the flow.
-type Strategy int
+// Strategy selects how a change is resolved in the flow (shared with the
+// generic domain engine).
+type Strategy = domain.Strategy
 
+// Flow strategies.
 const (
 	// FastEC uses the §6 sub-instance extraction.
-	FastEC Strategy = iota
+	FastEC = domain.FastEC
 	// PreservingEC uses the §7 preservation objective.
-	PreservingEC
+	PreservingEC = domain.PreservingEC
 	// Replan solves the changed instance from scratch (non-EC baseline).
-	Replan
+	Replan = domain.Replan
 )
 
-// String renders the strategy.
-func (s Strategy) String() string {
-	switch s {
-	case FastEC:
-		return "fast"
-	case PreservingEC:
-		return "preserving"
-	default:
-		return "replan"
-	}
-}
+// Step records one flow action for reporting (shared with domain.Flow).
+type Step = domain.Step
 
 // FlowOptions configures a Flow.
 type FlowOptions struct {
@@ -76,84 +69,82 @@ type FlowOptions struct {
 	FlexOnRelax bool
 }
 
-// Step records one flow action for reporting.
-type Step struct {
-	// Action is "solve", "enable", or a Strategy name.
-	Action string
-	// Runtime is the wall-clock duration of the action.
-	Runtime time.Duration
-	// Vars and Clauses are the sizes of the instance the action solved.
-	Vars, Clauses int
-	// Preserved is the preserved fraction relative to the pre-change
-	// solution (resolve steps only).
-	Preserved float64
-}
-
-// Flow drives the generic ILP-based EC flow of Figure 1: original
-// specification → (enabling) solve → change → fast/preserving re-solve,
-// with the current solution threaded through the steps.
+// Flow drives the ILP-based EC flow of Figure 1 for SAT specifications.
+// It is a typed front end over the generic domain.Flow running the CNF
+// adapter: original specification → (enabling) solve → change →
+// fast/preserving re-solve, with the current solution threaded through
+// the steps. Other problem classes use domain.NewFlow with their adapter
+// directly.
 type Flow struct {
-	opts     FlowOptions
-	formula  *cnf.Formula
-	solution cnf.Assignment
-	history  []Step
+	inner *domain.Flow
 }
 
 // NewFlow creates a flow for the original specification f.
 func NewFlow(f *cnf.Formula, opts FlowOptions) *Flow {
-	return &Flow{opts: opts, formula: f.Clone()}
+	ad := CNFWith(CNFOptions{
+		Fast:        opts.Fast,
+		Preserve:    opts.Preserve,
+		FlexOnRelax: opts.FlexOnRelax,
+	})
+	dopts := domain.FlowOptions{
+		Solve: opts.Exact,
+		Fast: domain.FastOptions{
+			Solve:          opts.Fast.Solve,
+			MaxEscalations: opts.Fast.MaxEscalations,
+		},
+	}
+	switch {
+	case opts.Enable != nil:
+		enable := *opts.Enable
+		exact := opts.Exact
+		dopts.InitialSolve = func(_ domain.Domain, p any) (any, string, error) {
+			res, err := SolveEnable(p.(*cnf.Formula), enable, exact)
+			if err != nil {
+				return nil, "enable", fmt.Errorf("core: flow enable: %w", err)
+			}
+			return res.Assignment, "enable", nil
+		}
+	case opts.InitialSolver == HeuristicILP:
+		heur := opts.Heuristic
+		dopts.InitialSolve = func(_ domain.Domain, p any) (any, string, error) {
+			f := p.(*cnf.Formula)
+			e := encode.New(f)
+			res := heurilp.Solve(e.Model, heur)
+			if !res.Feasible {
+				return nil, "solve", fmt.Errorf("core: flow heuristic solve found no solution")
+			}
+			a := e.Decode(res.Solution)
+			if !a.Satisfies(f) {
+				return nil, "solve", fmt.Errorf("core: heuristic solution does not satisfy the formula (internal error)")
+			}
+			return a, "solve", nil
+		}
+	}
+	return &Flow{inner: domain.NewFlow(ad, f, dopts)}
 }
 
 // Formula returns the current specification.
-func (fl *Flow) Formula() *cnf.Formula { return fl.formula }
+func (fl *Flow) Formula() *cnf.Formula { return fl.inner.Problem().(*cnf.Formula) }
 
 // Solution returns the current solution (nil before Solve).
-func (fl *Flow) Solution() cnf.Assignment { return fl.solution }
+func (fl *Flow) Solution() cnf.Assignment {
+	if s := fl.inner.Solution(); s != nil {
+		return s.(cnf.Assignment)
+	}
+	return nil
+}
 
 // History returns the recorded steps.
-func (fl *Flow) History() []Step { return fl.history }
+func (fl *Flow) History() []Step { return fl.inner.History() }
 
 // Solve produces the initial solution: the EC solution when enabling is
 // configured, the non-EC solution otherwise.
 func (fl *Flow) Solve() (cnf.Assignment, error) {
-	start := time.Now()
-	if fl.opts.Enable != nil {
-		res, err := SolveEnable(fl.formula, *fl.opts.Enable, fl.opts.Exact)
-		if err != nil {
-			return nil, fmt.Errorf("core: flow enable: %w", err)
-		}
-		fl.solution = res.Assignment
-		fl.history = append(fl.history, Step{
-			Action: "enable", Runtime: time.Since(start),
-			Vars: fl.formula.NumVars, Clauses: fl.formula.NumClauses(),
-		})
-		return fl.solution, nil
+	a, err := fl.inner.Solve()
+	if err != nil {
+		return nil, err
 	}
-	var a cnf.Assignment
-	switch fl.opts.InitialSolver {
-	case HeuristicILP:
-		e := encode.New(fl.formula)
-		res := heurilp.Solve(e.Model, fl.opts.Heuristic)
-		if !res.Feasible {
-			return nil, fmt.Errorf("core: flow heuristic solve found no solution")
-		}
-		a = e.Decode(res.Solution)
-		if !a.Satisfies(fl.formula) {
-			return nil, fmt.Errorf("core: heuristic solution does not satisfy the formula (internal error)")
-		}
-	default:
-		var err error
-		a, _, err = PlainResolve(fl.formula, fl.opts.Exact)
-		if err != nil {
-			return nil, fmt.Errorf("core: flow solve: %w", err)
-		}
-	}
-	fl.solution = a
-	fl.history = append(fl.history, Step{
-		Action: "solve", Runtime: time.Since(start),
-		Vars: fl.formula.NumVars, Clauses: fl.formula.NumClauses(),
-	})
-	return fl.solution, nil
+	return a.(cnf.Assignment), nil
 }
 
 // ApplyChange mutates the specification and re-solves with the chosen
@@ -161,71 +152,16 @@ func (fl *Flow) Solve() (cnf.Assignment, error) {
 // the re-solve entirely (§6: additions of variables / deletions of clauses
 // never invalidate the solution).
 func (fl *Flow) ApplyChange(changes []Change, strategy Strategy) (cnf.Assignment, error) {
-	if fl.solution == nil {
+	if fl.inner.Solution() == nil {
 		return nil, fmt.Errorf("core: flow has no solution yet; call Solve first")
 	}
-	fPrime, err := Apply(fl.formula, changes)
+	anyChanges := make([]any, len(changes))
+	for i, c := range changes {
+		anyChanges[i] = c
+	}
+	a, err := fl.inner.ApplyChanges(anyChanges, strategy)
 	if err != nil {
 		return nil, err
 	}
-	prev := fl.solution
-	start := time.Now()
-
-	if !AnyTightening(changes) {
-		// Relaxing changes: the previous solution remains valid; only the
-		// variable universe may have grown. Optionally use the slack the
-		// relaxation created to increase flexibility (§6).
-		fl.formula = fPrime
-		next := prev.Clone().Grow(fPrime.NumVars)
-		preserved := 1.0
-		if fl.opts.FlexOnRelax {
-			res := IncreaseFlexibility(fPrime, next)
-			next = res.Assignment
-			preserved = next.PreservedFraction(prev)
-		}
-		fl.solution = next
-		fl.history = append(fl.history, Step{
-			Action: "relax", Runtime: time.Since(start),
-			Vars: fPrime.NumVars, Clauses: fPrime.NumClauses(), Preserved: preserved,
-		})
-		return fl.solution, nil
-	}
-
-	var next cnf.Assignment
-	var vars, clauses int
-	switch strategy {
-	case FastEC:
-		res, ferr := FastResolve(fPrime, prev, fl.opts.Fast)
-		if ferr != nil {
-			return nil, ferr
-		}
-		next = res.Assignment
-		vars, clauses = res.SubVars, res.SubClauses
-	case PreservingEC:
-		popts := fl.opts.Preserve
-		popts.Solve = fl.opts.Exact
-		res, perr := PreserveResolve(fPrime, prev, popts)
-		if perr != nil {
-			return nil, perr
-		}
-		next = res.Assignment
-		vars, clauses = fPrime.NumVars, fPrime.NumClauses()
-	case Replan:
-		a, _, rerr := PlainResolve(fPrime, fl.opts.Exact)
-		if rerr != nil {
-			return nil, rerr
-		}
-		next = a
-		vars, clauses = fPrime.NumVars, fPrime.NumClauses()
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %d", strategy)
-	}
-	fl.formula = fPrime
-	fl.solution = next
-	fl.history = append(fl.history, Step{
-		Action: strategy.String(), Runtime: time.Since(start),
-		Vars: vars, Clauses: clauses,
-		Preserved: next.PreservedFraction(prev),
-	})
-	return fl.solution, nil
+	return a.(cnf.Assignment), nil
 }

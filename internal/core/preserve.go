@@ -65,6 +65,15 @@ type PreserveResult struct {
 // formula fPrime against original solution p.
 func BuildPreserve(fPrime *cnf.Formula, p cnf.Assignment, opts PreserveOptions) (*encode.Encoding, error) {
 	e := encode.New(fPrime)
+	if err := applyPreserveTerms(e, fPrime, p, opts); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// applyPreserveTerms rewrites an existing set-cover encoding into the §7
+// preservation form (shared by BuildPreserve and the CNF domain adapter).
+func applyPreserveTerms(e *encode.Encoding, fPrime *cnf.Formula, p cnf.Assignment, opts PreserveOptions) error {
 	m := e.Model
 	p = p.Grow(fPrime.NumVars)
 	switch opts.Mode {
@@ -98,7 +107,7 @@ func BuildPreserve(fPrime *cnf.Formula, p cnf.Assignment, opts PreserveOptions) 
 	case PreserveHard:
 		for _, v := range opts.Protected {
 			if v < 1 || v > fPrime.NumVars {
-				return nil, fmt.Errorf("core: protected variable %d out of range", v)
+				return fmt.Errorf("core: protected variable %d out of range", v)
 			}
 			switch p.Get(v) {
 			case cnf.True:
@@ -113,9 +122,9 @@ func BuildPreserve(fPrime *cnf.Formula, p cnf.Assignment, opts PreserveOptions) 
 			}
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown preserve mode %d", opts.Mode)
+		return fmt.Errorf("core: unknown preserve mode %d", opts.Mode)
 	}
-	return e, nil
+	return nil
 }
 
 // PreserveResolve re-solves the changed instance under the preservation

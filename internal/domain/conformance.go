@@ -1,0 +1,246 @@
+package domain
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ilpec/internal/ilp"
+)
+
+// Conformance is the fixture a Domain supplies for RunConformance: one
+// small, quickly solvable instance together with change batches that
+// exercise the whole EC triad.
+type Conformance struct {
+	// Problem is a small feasible instance.
+	Problem any
+	// ProblemJSON is the wire form of an equivalent problem (exercises
+	// ParseProblem; optional when the domain has no wire form).
+	ProblemJSON json.RawMessage
+	// Tightening is a change batch with at least one tightening change
+	// that keeps the changed problem feasible.
+	Tightening []any
+	// TighteningJSON is the wire form of Tightening (exercises
+	// ParseChange; optional).
+	TighteningJSON []json.RawMessage
+	// Relaxing is a non-empty batch of relax-only changes.
+	Relaxing []any
+	// Enable configures the enabling-EC conformance solve.
+	Enable EnableOptions
+	// FlexK is the flexibility level passed to Flex.
+	FlexK int
+	// Solve bounds the conformance solves (defaults: no limits).
+	Solve ilp.Options
+}
+
+// Fixtured is implemented by adapters that ship a conformance fixture.
+type Fixtured interface {
+	Conformance() Conformance
+}
+
+// RunConformance drives a Domain through the full generic EC contract:
+// initial solve, enabling EC, relax-only extension, fast EC, preserving
+// EC, replan, flexibility audit, wire codecs, and fingerprints. Every
+// adapter runs it; a new domain passes this suite and inherits the
+// session service unchanged.
+//
+// d must implement Fixtured.
+func RunConformance(t *testing.T, d Domain) {
+	t.Helper()
+	fx, ok := d.(Fixtured)
+	if !ok {
+		t.Fatalf("domain %T does not provide a Conformance fixture", d)
+	}
+	c := fx.Conformance()
+	if d.Name() == "" {
+		t.Fatal("empty domain name")
+	}
+	if c.Problem == nil {
+		t.Fatal("fixture has no problem")
+	}
+	if err := d.Validate(c.Problem); err != nil {
+		t.Fatalf("fixture problem invalid: %v", err)
+	}
+	if d.CloneProblem(c.Problem) == nil {
+		t.Fatal("CloneProblem returned nil")
+	}
+	units, _ := d.ProblemSize(c.Problem)
+	if units <= 0 {
+		t.Fatalf("ProblemSize units = %d, want > 0", units)
+	}
+
+	// Initial solve.
+	sol, _, err := Solve(d, c.Problem, c.Solve, nil)
+	if err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+	if err := d.Verify(c.Problem, sol); err != nil {
+		t.Fatalf("initial solution invalid: %v", err)
+	}
+	if got := d.Agreement(sol, sol); got != 1 {
+		t.Fatalf("self-agreement = %v, want 1", got)
+	}
+	if d.DontCares(c.Problem, sol) < 0 {
+		t.Fatal("negative don't-care count")
+	}
+	if d.Render(c.Problem, sol) == nil {
+		t.Fatal("Render returned nil")
+	}
+	if _, err := json.Marshal(d.Render(c.Problem, sol)); err != nil {
+		t.Fatalf("rendered solution not JSON-marshalable: %v", err)
+	}
+	clone := d.CloneSolution(sol)
+	if err := d.Verify(c.Problem, clone); err != nil {
+		t.Fatalf("cloned solution invalid: %v", err)
+	}
+
+	// Enabling EC.
+	enabled, _, err := Enable(d, c.Problem, c.Enable, c.Solve, sol)
+	if err != nil {
+		t.Fatalf("enabling EC: %v", err)
+	}
+	if err := d.Verify(c.Problem, enabled); err != nil {
+		t.Fatalf("enabled solution invalid: %v", err)
+	}
+
+	// Flexibility audit.
+	rep, err := d.Flex(c.Problem, enabled, c.FlexK)
+	if err != nil {
+		t.Fatalf("flex audit: %v", err)
+	}
+	if rep.Total < 0 || rep.Flexible < 0 || rep.Flexible > rep.Total {
+		t.Fatalf("flex report out of range: %+v", rep)
+	}
+	if fr := rep.Fraction(); fr < 0 || fr > 1 {
+		t.Fatalf("flex fraction %v", fr)
+	}
+
+	// Relax-only batch: the extended previous solution must stay valid.
+	if len(c.Relaxing) == 0 {
+		t.Fatal("fixture has no relaxing changes")
+	}
+	if AnyTightening(d, c.Relaxing) {
+		t.Fatal("relaxing fixture contains a tightening change")
+	}
+	relaxed, err := d.ApplyChanges(c.Problem, c.Relaxing)
+	if err != nil {
+		t.Fatalf("apply relaxing: %v", err)
+	}
+	extended, err := d.ExtendSolution(relaxed, sol)
+	if err != nil {
+		t.Fatalf("extend after relax: %v", err)
+	}
+	if err := d.Verify(relaxed, extended); err != nil {
+		t.Fatalf("extended solution invalid: %v", err)
+	}
+
+	// Tightening batch through all three re-solve strategies.
+	if len(c.Tightening) == 0 {
+		t.Fatal("fixture has no tightening changes")
+	}
+	if !AnyTightening(d, c.Tightening) {
+		t.Fatal("tightening fixture has no tightening change")
+	}
+	changed, err := d.ApplyChanges(c.Problem, c.Tightening)
+	if err != nil {
+		t.Fatalf("apply tightening: %v", err)
+	}
+	if err := d.Validate(changed); err != nil {
+		t.Fatalf("changed problem invalid: %v", err)
+	}
+
+	fastSol, stats, err := Fast(d, changed, sol, FastOptions{Solve: c.Solve})
+	if err != nil {
+		t.Fatalf("fast EC: %v", err)
+	}
+	if err := d.Verify(changed, fastSol); err != nil {
+		t.Fatalf("fast-EC solution invalid: %v", err)
+	}
+	if !stats.AlreadyValid && stats.SubSize <= 0 {
+		t.Fatalf("fast EC ran the solver with sub-size %d", stats.SubSize)
+	}
+
+	presSol, _, err := Preserve(d, changed, sol, c.Solve)
+	if err != nil {
+		t.Fatalf("preserving EC: %v", err)
+	}
+	if err := d.Verify(changed, presSol); err != nil {
+		t.Fatalf("preserving solution invalid: %v", err)
+	}
+	if ag := d.Agreement(sol, presSol); ag < 0 || ag > 1 {
+		t.Fatalf("agreement %v out of [0,1]", ag)
+	}
+
+	replanned, _, err := Solve(d, changed, c.Solve, sol)
+	if err != nil {
+		t.Fatalf("replan: %v", err)
+	}
+	if err := d.Verify(changed, replanned); err != nil {
+		t.Fatalf("replanned solution invalid: %v", err)
+	}
+
+	// Wire codecs.
+	if len(c.ProblemJSON) > 0 {
+		p, err := d.ParseProblem(c.ProblemJSON)
+		if err != nil {
+			t.Fatalf("ParseProblem: %v", err)
+		}
+		if err := d.Validate(p); err != nil {
+			t.Fatalf("parsed problem invalid: %v", err)
+		}
+	}
+	if len(c.TighteningJSON) > 0 {
+		parsed := make([]any, 0, len(c.TighteningJSON))
+		for i, raw := range c.TighteningJSON {
+			ch, err := d.ParseChange(raw)
+			if err != nil {
+				t.Fatalf("ParseChange %d: %v", i, err)
+			}
+			parsed = append(parsed, ch)
+		}
+		if _, err := d.ApplyChanges(c.Problem, parsed); err != nil {
+			t.Fatalf("apply parsed changes: %v", err)
+		}
+	}
+	if _, err := d.ParseChange(json.RawMessage(`{"kind":"no-such-change-kind"}`)); err == nil {
+		t.Fatal("ParseChange accepted an unknown kind")
+	}
+
+	// Fingerprints: deterministic, and sensitive to the change batch and
+	// the solution.
+	if fp(d, c.Problem) != fp(d, c.Problem) {
+		t.Fatal("problem fingerprint not deterministic")
+	}
+	if fp(d, c.Problem) == fp(d, changed) {
+		t.Fatal("tightening change did not alter the problem fingerprint")
+	}
+	if fps(d, sol) != fps(d, sol) {
+		t.Fatal("solution fingerprint not deterministic")
+	}
+
+	// The generic flow threads the same instance end to end.
+	for _, strat := range []Strategy{FastEC, PreservingEC, Replan} {
+		fl := NewFlow(d, c.Problem, FlowOptions{Solve: c.Solve, Fast: FastOptions{Solve: c.Solve}})
+		if _, err := fl.Solve(); err != nil {
+			t.Fatalf("flow solve (%s): %v", strat, err)
+		}
+		if _, err := fl.ApplyChanges(c.Tightening, strat); err != nil {
+			t.Fatalf("flow %s: %v", strat, err)
+		}
+		if err := d.Verify(fl.Problem(), fl.Solution()); err != nil {
+			t.Fatalf("flow %s solution invalid: %v", strat, err)
+		}
+	}
+}
+
+func fp(d Domain, problem any) string {
+	var buf bytes.Buffer
+	d.FingerprintProblem(&buf, problem)
+	return buf.String()
+}
+
+func fps(d Domain, sol any) string {
+	var buf bytes.Buffer
+	d.FingerprintSolution(&buf, sol)
+	return buf.String()
+}

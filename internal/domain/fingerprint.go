@@ -1,0 +1,33 @@
+package domain
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// Fingerprint helpers shared by the adapters: a canonical, unambiguous
+// byte encoding (length-prefixed varints) so structurally different
+// problems never collide by concatenation.
+
+// WriteInts writes each value as a varint.
+func WriteInts(w io.Writer, vs ...int64) {
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range vs {
+		n := binary.PutVarint(buf[:], v)
+		w.Write(buf[:n]) //nolint:errcheck // hash writers never fail
+	}
+}
+
+// WriteFloats writes each value as its IEEE-754 bit pattern.
+func WriteFloats(w io.Writer, vs ...float64) {
+	for _, v := range vs {
+		WriteInts(w, int64(math.Float64bits(v)))
+	}
+}
+
+// WriteString writes a length-prefixed string.
+func WriteString(w io.Writer, s string) {
+	WriteInts(w, int64(len(s)))
+	io.WriteString(w, s) //nolint:errcheck // hash writers never fail
+}

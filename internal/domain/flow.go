@@ -1,0 +1,164 @@
+package domain
+
+import (
+	"fmt"
+	"time"
+
+	"ilpec/internal/ilp"
+)
+
+// FlowOptions configures a generic Figure-1 Flow.
+type FlowOptions struct {
+	// Solve configures the exact solver for initial, preserving, and
+	// replan passes.
+	Solve ilp.Options
+	// Fast configures fast-EC passes (including the sub-solver options).
+	Fast FastOptions
+	// Enable, when non-nil, runs enabling EC as the initial solve (the
+	// "Enable EC" box of Figure 1).
+	Enable *EnableOptions
+	// InitialSolve, when non-nil, overrides the initial solve entirely
+	// (heuristic engines, domain-specific enabling modes). It returns the
+	// solution and the Step action label.
+	InitialSolve func(d Domain, problem any) (any, string, error)
+	// OnRelax, when non-nil, post-processes the extended solution after a
+	// relax-only batch (e.g. the §6 flexibility increase).
+	OnRelax func(d Domain, problem, sol any) (any, error)
+}
+
+// Step records one flow action for reporting.
+type Step struct {
+	// Action is "solve", "enable", "relax", or a Strategy name.
+	Action string
+	// Runtime is the wall-clock duration of the action.
+	Runtime time.Duration
+	// Vars and Clauses are the decision-unit and constraint counts of the
+	// instance the action solved (the fast-EC sub-instance for fast steps).
+	Vars, Clauses int
+	// Preserved is the agreement with the pre-change solution (re-solve
+	// steps only).
+	Preserved float64
+}
+
+// Flow drives the generic ILP-based EC flow of Figure 1 for any Domain:
+// original specification → (enabling) solve → change → fast / preserving
+// re-solve, with the current solution threaded through the steps.
+type Flow struct {
+	d        Domain
+	opts     FlowOptions
+	problem  any
+	solution any
+	history  []Step
+}
+
+// NewFlow creates a flow for the original problem (deep-copied).
+func NewFlow(d Domain, problem any, opts FlowOptions) *Flow {
+	return &Flow{d: d, opts: opts, problem: d.CloneProblem(problem)}
+}
+
+// Domain returns the flow's domain adapter.
+func (fl *Flow) Domain() Domain { return fl.d }
+
+// Problem returns the current problem (do not mutate).
+func (fl *Flow) Problem() any { return fl.problem }
+
+// Solution returns the current solution (nil before Solve; do not mutate).
+func (fl *Flow) Solution() any { return fl.solution }
+
+// History returns the recorded steps.
+func (fl *Flow) History() []Step { return fl.history }
+
+// Solve produces the initial solution: the enabling-EC solution when
+// configured, the plain solution otherwise.
+func (fl *Flow) Solve() (any, error) {
+	start := time.Now()
+	var (
+		sol    any
+		action = "solve"
+		err    error
+	)
+	switch {
+	case fl.opts.InitialSolve != nil:
+		sol, action, err = fl.opts.InitialSolve(fl.d, fl.problem)
+	case fl.opts.Enable != nil:
+		action = "enable"
+		sol, _, err = Enable(fl.d, fl.problem, *fl.opts.Enable, fl.opts.Solve, nil)
+	default:
+		sol, _, err = Solve(fl.d, fl.problem, fl.opts.Solve, nil)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("flow %s: %w", action, err)
+	}
+	fl.solution = sol
+	units, constraints := fl.d.ProblemSize(fl.problem)
+	fl.history = append(fl.history, Step{
+		Action: action, Runtime: time.Since(start), Vars: units, Clauses: constraints,
+	})
+	return fl.solution, nil
+}
+
+// ApplyChanges mutates the problem and re-solves with the chosen strategy,
+// returning the updated solution. Relax-only batches skip the solver (§6).
+func (fl *Flow) ApplyChanges(changes []any, strategy Strategy) (any, error) {
+	if fl.solution == nil {
+		return nil, fmt.Errorf("flow: no solution yet; call Solve first")
+	}
+	changed, err := fl.d.ApplyChanges(fl.problem, changes)
+	if err != nil {
+		return nil, err
+	}
+	prev := fl.solution
+	start := time.Now()
+
+	if !AnyTightening(fl.d, changes) {
+		next, err := fl.d.ExtendSolution(changed, prev)
+		if err != nil {
+			return nil, fmt.Errorf("flow relax: %w", err)
+		}
+		if fl.opts.OnRelax != nil {
+			if next, err = fl.opts.OnRelax(fl.d, changed, next); err != nil {
+				return nil, fmt.Errorf("flow relax: %w", err)
+			}
+		}
+		fl.problem = changed
+		fl.solution = next
+		units, constraints := fl.d.ProblemSize(changed)
+		fl.history = append(fl.history, Step{
+			Action: "relax", Runtime: time.Since(start),
+			Vars: units, Clauses: constraints,
+			Preserved: fl.d.Agreement(prev, next),
+		})
+		return fl.solution, nil
+	}
+	if err := fl.d.Validate(changed); err != nil {
+		return nil, err
+	}
+
+	var next any
+	units, constraints := fl.d.ProblemSize(changed)
+	switch strategy {
+	case FastEC:
+		var stats FastStats
+		next, stats, err = Fast(fl.d, changed, prev, fl.opts.Fast)
+		if err == nil && !stats.AlreadyValid {
+			units, constraints = stats.SubSize, stats.SubRows
+		}
+	case PreservingEC:
+		next, _, err = Preserve(fl.d, changed, prev, fl.opts.Solve)
+	case Replan:
+		next, _, err = Solve(fl.d, changed, fl.opts.Solve, prev)
+	default:
+		return nil, fmt.Errorf("flow: unknown strategy %d", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fl.problem = changed
+	fl.solution = next
+	fl.history = append(fl.history, Step{
+		Action: strategy.String(), Runtime: time.Since(start),
+		Vars: units, Clauses: constraints,
+		Preserved: fl.d.Agreement(prev, next),
+	})
+	return fl.solution, nil
+}

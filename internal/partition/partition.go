@@ -1,0 +1,330 @@
+// Package partition applies the EC methodology to min-cut netlist
+// partitioning — the classic physical-design task of splitting a netlist
+// graph into balanced blocks while minimizing the weight of cut edges.
+// It is the fourth domain behind the generic EC engine and exists to
+// prove the domain interface carries a genuinely new scenario: the
+// package ships no bespoke EC entry points at all, only the ILP
+// substrate and the domain.Domain adapter (domain.go).
+//
+// The ILP uses x_{v,b} one-hot block-assignment variables, per-block
+// balance rows (L ≤ Σ_v x_{v,b} ≤ U), and a cut indicator y_e per edge
+// with y_e ≥ x_{u,b} - x_{v,b} for every block, so y_e = 1 exactly when
+// the endpoints land in different blocks. The objective minimizes
+// Σ w_e·y_e.
+//
+// EC arrives as netlist edits — edge additions/removals, new vertices,
+// and balance-bound changes; the triad adapts as usual:
+//
+//   - enabling EC: prefer partitions where vertices keep a spare block
+//     with size headroom, so future moves stay local;
+//   - fast EC: re-place only the vertices that violate balance or are
+//     unplaced, with the rest frozen;
+//   - preserving EC: maximize the number of vertices keeping their block.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"ilpec/internal/ilp"
+)
+
+// Edge is a weighted undirected netlist edge.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Problem is a partitioning instance over vertices 1..N.
+type Problem struct {
+	// N is the vertex count.
+	N int
+	// Blocks is the number of blocks (≥ 1), identified 1..Blocks.
+	Blocks int
+	// MinSize/MaxSize bound every block's vertex count. MaxSize 0 means
+	// ⌈N/Blocks⌉ (perfect balance up to rounding); MinSize 0 means no
+	// lower bound.
+	MinSize, MaxSize int
+	// Edges is the weighted edge list (weight 0 counts as 1).
+	Edges []Edge
+}
+
+// NewProblem creates a partitioning problem with n vertices and b blocks.
+func NewProblem(n, b int) *Problem {
+	return &Problem{N: n, Blocks: b}
+}
+
+// AddEdge appends a weighted edge.
+func (p *Problem) AddEdge(u, v int, w float64) {
+	p.Edges = append(p.Edges, Edge{U: u, V: v, W: w})
+}
+
+// Clone returns a deep copy.
+func (p *Problem) Clone() *Problem {
+	out := *p
+	out.Edges = append([]Edge(nil), p.Edges...)
+	return &out
+}
+
+// maxSize resolves the effective per-block upper bound.
+func (p *Problem) maxSize() int {
+	if p.MaxSize > 0 {
+		return p.MaxSize
+	}
+	if p.Blocks < 1 {
+		return p.N
+	}
+	return (p.N + p.Blocks - 1) / p.Blocks
+}
+
+// Validate checks structural consistency and arithmetic feasibility of
+// the balance bounds.
+func (p *Problem) Validate() error {
+	if p.N < 0 {
+		return fmt.Errorf("partition: negative vertex count")
+	}
+	if p.Blocks < 1 {
+		return fmt.Errorf("partition: need ≥ 1 block, have %d", p.Blocks)
+	}
+	if p.MinSize < 0 || (p.MaxSize > 0 && p.MaxSize < p.MinSize) {
+		return fmt.Errorf("partition: bad size bounds [%d,%d]", p.MinSize, p.MaxSize)
+	}
+	if p.maxSize()*p.Blocks < p.N {
+		return fmt.Errorf("partition: %d blocks of ≤ %d vertices cannot hold %d", p.Blocks, p.maxSize(), p.N)
+	}
+	if p.MinSize*p.Blocks > p.N {
+		return fmt.Errorf("partition: %d blocks of ≥ %d vertices exceed %d", p.Blocks, p.MinSize, p.N)
+	}
+	for i, e := range p.Edges {
+		if e.U == e.V || e.U < 1 || e.V < 1 || e.U > p.N || e.V > p.N {
+			return fmt.Errorf("partition: edge %d (%d,%d) out of range", i, e.U, e.V)
+		}
+		if e.W < 0 {
+			return fmt.Errorf("partition: edge %d has negative weight", i)
+		}
+	}
+	return nil
+}
+
+// Neighbors returns the sorted neighbor set of v.
+func (p *Problem) Neighbors(v int) []int {
+	seen := map[int]bool{}
+	for _, e := range p.Edges {
+		if e.U == v {
+			seen[e.V] = true
+		}
+		if e.V == v {
+			seen[e.U] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Assignment maps each vertex (1-based; index 0 unused) to a block in
+// 1..Blocks (0 = unplaced).
+type Assignment []int
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}
+
+// BlockSizes tallies the vertices per block (index 0 counts unplaced).
+func (a Assignment) BlockSizes(p *Problem) []int {
+	sizes := make([]int, p.Blocks+1)
+	for v := 1; v <= p.N && v < len(a); v++ {
+		b := a[v]
+		if b >= 1 && b <= p.Blocks {
+			sizes[b]++
+		} else {
+			sizes[0]++
+		}
+	}
+	if p.N >= len(a) {
+		sizes[0] += p.N - len(a) + 1
+	}
+	return sizes
+}
+
+// Valid reports whether every vertex is placed and every block is within
+// the balance bounds.
+func (a Assignment) Valid(p *Problem) bool {
+	sizes := a.BlockSizes(p)
+	if sizes[0] > 0 {
+		return false
+	}
+	for b := 1; b <= p.Blocks; b++ {
+		if sizes[b] > p.maxSize() || sizes[b] < p.MinSize {
+			return false
+		}
+	}
+	return true
+}
+
+// CutWeight sums the weights of edges whose endpoints are in different
+// blocks (weight 0 counts as 1).
+func (a Assignment) CutWeight(p *Problem) float64 {
+	total := 0.0
+	for _, e := range p.Edges {
+		if e.U < len(a) && e.V < len(a) && a[e.U] != a[e.V] {
+			total += edgeWeight(e)
+		}
+	}
+	return total
+}
+
+// Agreement returns the fraction of a's placed vertices kept by other.
+func (a Assignment) Agreement(other Assignment) float64 {
+	placed, same := 0, 0
+	for v := 1; v < len(a); v++ {
+		if a[v] < 1 {
+			continue
+		}
+		placed++
+		if v < len(other) && other[v] == a[v] {
+			same++
+		}
+	}
+	if placed == 0 {
+		return 1
+	}
+	return float64(same) / float64(placed)
+}
+
+func edgeWeight(e Edge) float64 {
+	if e.W <= 0 {
+		return 1
+	}
+	return e.W
+}
+
+// Encoding is the min-cut partitioning 0-1 ILP.
+type Encoding struct {
+	Model   *ilp.Model
+	Problem *Problem
+	// xCol[v][b-1] is the column of x_{v,b}.
+	xCol [][]int
+	// yCol[i] is the cut indicator of edge i.
+	yCol []int
+}
+
+// XCol returns the column of x_{v,b} (1-based vertex and block).
+func (e *Encoding) XCol(v, b int) int { return e.xCol[v][b-1] }
+
+// NewEncoding builds the ILP: one-hot rows per vertex, balance rows per
+// block, and cut-indicator rows per (edge, block) pair, minimizing the
+// weighted cut.
+func NewEncoding(p *Problem) *Encoding {
+	m := ilp.NewModel(false) // minimize cut weight
+	e := &Encoding{Model: m, Problem: p,
+		xCol: make([][]int, p.N+1), yCol: make([]int, len(p.Edges))}
+	for v := 1; v <= p.N; v++ {
+		e.xCol[v] = make([]int, p.Blocks)
+		for b := 1; b <= p.Blocks; b++ {
+			e.xCol[v][b-1] = m.AddVar(fmt.Sprintf("x%d_%d", v, b), 0)
+		}
+	}
+	for i, ed := range p.Edges {
+		e.yCol[i] = m.AddVar(fmt.Sprintf("y%d", i), edgeWeight(ed))
+	}
+	// Exactly one block per vertex.
+	for v := 1; v <= p.N; v++ {
+		coefs := make([]ilp.Coef, p.Blocks)
+		for b := 1; b <= p.Blocks; b++ {
+			coefs[b-1] = ilp.Coef{Var: e.XCol(v, b), Val: 1}
+		}
+		m.AddRow(fmt.Sprintf("one_%d", v), coefs, ilp.EQ, 1)
+	}
+	// Balance rows.
+	for b := 1; b <= p.Blocks; b++ {
+		coefs := make([]ilp.Coef, p.N)
+		for v := 1; v <= p.N; v++ {
+			coefs[v-1] = ilp.Coef{Var: e.XCol(v, b), Val: 1}
+		}
+		m.AddRow(fmt.Sprintf("cap_%d", b), coefs, ilp.LE, float64(p.maxSize()))
+		if p.MinSize > 0 {
+			m.AddRow(fmt.Sprintf("floor_%d", b), coefs, ilp.GE, float64(p.MinSize))
+		}
+	}
+	// Cut indicators: y_e ≥ x_{u,b} - x_{v,b} (both directions, per block).
+	for i, ed := range p.Edges {
+		for b := 1; b <= p.Blocks; b++ {
+			m.AddRow("", []ilp.Coef{
+				{Var: e.yCol[i], Val: 1}, {Var: e.XCol(ed.U, b), Val: -1}, {Var: e.XCol(ed.V, b), Val: 1},
+			}, ilp.GE, 0)
+			m.AddRow("", []ilp.Coef{
+				{Var: e.yCol[i], Val: 1}, {Var: e.XCol(ed.V, b), Val: -1}, {Var: e.XCol(ed.U, b), Val: 1},
+			}, ilp.GE, 0)
+		}
+	}
+	return e
+}
+
+// Decode converts an ILP solution to an Assignment.
+func (e *Encoding) Decode(sol ilp.Solution) Assignment {
+	a := make(Assignment, e.Problem.N+1)
+	for v := 1; v <= e.Problem.N; v++ {
+		for b := 1; b <= e.Problem.Blocks; b++ {
+			if sol[e.XCol(v, b)] == 1 {
+				a[v] = b
+				break
+			}
+		}
+	}
+	return a
+}
+
+// EncodeAssignment converts an assignment into an ILP solution vector
+// (cut indicators are set consistently so warm starts can be adopted).
+func (e *Encoding) EncodeAssignment(a Assignment) ilp.Solution {
+	sol := make(ilp.Solution, e.Model.NumVars())
+	for v := 1; v <= e.Problem.N && v < len(a); v++ {
+		if b := a[v]; b >= 1 && b <= e.Problem.Blocks {
+			sol[e.XCol(v, b)] = 1
+		}
+	}
+	for i, ed := range e.Problem.Edges {
+		if ed.U < len(a) && ed.V < len(a) && a[ed.U] != a[ed.V] {
+			sol[e.yCol[i]] = 1
+		}
+	}
+	return sol
+}
+
+// Greedy builds a balanced starting partition: vertices in index order go
+// to the least-loaded block with headroom, preferring the block where
+// most already-placed neighbors live.
+func Greedy(p *Problem) Assignment {
+	a := make(Assignment, p.N+1)
+	sizes := make([]int, p.Blocks+1)
+	for v := 1; v <= p.N; v++ {
+		best, bestScore := 0, -1<<30
+		for b := 1; b <= p.Blocks; b++ {
+			if sizes[b] >= p.maxSize() {
+				continue
+			}
+			score := -sizes[b]
+			for _, u := range p.Neighbors(v) {
+				if a[u] == b {
+					score += 4 // keep nets together
+				}
+			}
+			if score > bestScore {
+				best, bestScore = b, score
+			}
+		}
+		if best == 0 {
+			best = 1 + (v-1)%p.Blocks // bounds infeasible; round-robin
+		}
+		a[v] = best
+		sizes[best]++
+	}
+	return a
+}

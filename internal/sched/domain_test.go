@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"testing"
+
+	"ilpec/internal/domain"
+	"ilpec/internal/ilp"
+)
+
+// TestSchedDomainConformance runs the shared cross-domain suite against
+// the scheduling adapter.
+func TestSchedDomainConformance(t *testing.T) {
+	domain.RunConformance(t, Domain())
+}
+
+// TestSchedDomainFastPlacesNewOp pins that adding an operation triggers a
+// region re-place around the new op rather than a full reschedule.
+func TestSchedDomainFastPlacesNewOp(t *testing.T) {
+	d := Domain()
+	p := NewProblem([]int{2, 2}, 5)
+	for i := 0; i < 6; i++ {
+		p.AddOp(i % 2)
+	}
+	p.AddDep(0, 2)
+	p.AddDep(1, 3)
+	p.AddDep(2, 4)
+	prevAny, _, err := domain.Solve(d, p, ilp.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := d.ApplyChanges(p, []any{Change{Kind: "add-op", Type: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, stats, err := domain.Fast(d, changed, prevAny, domain.FastOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(changed, next); err != nil {
+		t.Fatal(err)
+	}
+	if stats.AlreadyValid {
+		t.Fatal("new op reported as already placed")
+	}
+	if !stats.FullResolve && stats.SubSize >= changed.(*Problem).NumOps {
+		t.Fatalf("region covered all %d ops", stats.SubSize)
+	}
+	// Frozen operations keep their steps.
+	prev, nextSched := prevAny.(Schedule), next.(Schedule)
+	moved := 0
+	for o := 0; o < len(prev); o++ {
+		if nextSched[o] != prev[o] {
+			moved++
+		}
+	}
+	if !stats.FullResolve && moved > stats.SubSize {
+		t.Fatalf("%d ops moved with region size %d", moved, stats.SubSize)
+	}
+}

@@ -104,15 +104,11 @@ func solveRegion(p *Problem, prev Schedule, region map[int]bool, opts ilp.Option
 	}
 }
 
-// PreserveReschedule re-solves the whole instance maximizing the number of
-// operations that keep their previous step (§7 adapted).
-func PreserveReschedule(p *Problem, prev Schedule, opts ilp.Options) (Schedule, ilp.Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, ilp.Result{}, err
-	}
-	e := NewEncoding(p)
-	m := e.Model
-	// Preservation objective replaces schedule compaction.
+// addPreserveTerms replaces the compaction objective of an existing
+// encoding with pure preservation against prev (shared by
+// PreserveReschedule and the domain adapter).
+func addPreserveTerms(e *Encoding, prev Schedule) {
+	m, p := e.Model, e.Problem
 	for o := 0; o < p.NumOps; o++ {
 		for t := 0; t < p.Steps; t++ {
 			m.SetObj(e.XCol(o, t), 0)
@@ -123,8 +119,18 @@ func PreserveReschedule(p *Problem, prev Schedule, opts ilp.Options) (Schedule, 
 			m.SetObj(e.XCol(o, t), -1)
 		}
 	}
+}
+
+// PreserveReschedule re-solves the whole instance maximizing the number of
+// operations that keep their previous step (§7 adapted).
+func PreserveReschedule(p *Problem, prev Schedule, opts ilp.Options) (Schedule, ilp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, ilp.Result{}, err
+	}
+	e := NewEncoding(p)
+	addPreserveTerms(e, prev)
 	opts.WarmStart = e.EncodeSchedule(prev)
-	res := ilp.Solve(m, opts)
+	res := ilp.Solve(e.Model, opts)
 	switch res.Status {
 	case ilp.Optimal, ilp.Feasible:
 		s := e.Decode(res.Solution)
@@ -199,7 +205,29 @@ func SolveEnabled(p *Problem, w float64, warm Schedule, opts ilp.Options) (Sched
 		w = 1
 	}
 	e := NewEncoding(p)
-	m := e.Model
+	addEnableTerms(e, w)
+	if warm != nil {
+		opts.WarmStart = e.EncodeSchedule(warm)
+	}
+	res := ilp.Solve(e.Model, opts)
+	switch res.Status {
+	case ilp.Optimal, ilp.Feasible:
+		s := e.Decode(res.Solution)
+		if !s.Valid(p) {
+			return nil, res, fmt.Errorf("sched: enabled schedule invalid (internal error)")
+		}
+		return s, res, nil
+	case ilp.Infeasible:
+		return nil, res, fmt.Errorf("sched: no schedule within %d steps", p.Steps)
+	default:
+		return nil, res, fmt.Errorf("sched: enabled solve hit limits (%s)", res.Status)
+	}
+}
+
+// addEnableTerms extends an existing encoding with the spare-slot reward
+// construction of SolveEnabled (shared with the domain adapter).
+func addEnableTerms(e *Encoding, w float64) {
+	m, p := e.Model, e.Problem
 	for o := 0; o < p.NumOps; o++ {
 		var spares []ilp.Coef
 		for t := 0; t < p.Steps; t++ {
@@ -219,21 +247,5 @@ func SolveEnabled(p *Problem, w float64, warm Schedule, opts ilp.Options) (Sched
 		flex := m.AddVar(fmt.Sprintf("flex_%d", o), -w)
 		terms := append(append([]ilp.Coef(nil), spares...), ilp.Coef{Var: flex, Val: -1})
 		m.AddRow(fmt.Sprintf("flexdef_%d", o), terms, ilp.GE, 0)
-	}
-	if warm != nil {
-		opts.WarmStart = e.EncodeSchedule(warm)
-	}
-	res := ilp.Solve(m, opts)
-	switch res.Status {
-	case ilp.Optimal, ilp.Feasible:
-		s := e.Decode(res.Solution)
-		if !s.Valid(p) {
-			return nil, res, fmt.Errorf("sched: enabled schedule invalid (internal error)")
-		}
-		return s, res, nil
-	case ilp.Infeasible:
-		return nil, res, fmt.Errorf("sched: no schedule within %d steps", p.Steps)
-	default:
-		return nil, res, fmt.Errorf("sched: enabled solve hit limits (%s)", res.Status)
 	}
 }

@@ -8,15 +8,16 @@ import (
 	"hash"
 	"sync"
 
-	"ilpec/internal/cnf"
 	"ilpec/internal/ilp"
 )
 
 // solveCache is an LRU cache of solved subproblems with in-flight
 // deduplication: concurrent requests for the same key run the solver once
 // and share the result. Keys are canonical hashes of the subproblem (task
-// kind + formula + previous solution + solver options), so identical
-// subproblems across sessions are answered without touching the solver.
+// kind + domain + problem + previous solution + solver options), so
+// identical subproblems across sessions are answered without touching
+// the solver. Values are opaque domain solutions; the caller supplies the
+// clone function of the owning domain.
 type solveCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -27,12 +28,14 @@ type solveCache struct {
 
 type cacheEntry struct {
 	key string
-	val cnf.Assignment
+	val any
+	// clone deep-copies val before it escapes the cache.
+	clone func(any) any
 }
 
 type inflightSolve struct {
 	done chan struct{}
-	val  cnf.Assignment
+	val  any
 	err  error
 }
 
@@ -48,18 +51,19 @@ func newSolveCache(capacity int) *solveCache {
 	}
 }
 
-// do returns the cached assignment for key, or runs compute (once per key,
+// do returns the cached solution for key, or runs compute (once per key,
 // no matter how many goroutines ask concurrently) and caches its result.
 // hit is true when a value was served without solver work: from the LRU,
 // or from another caller's successful in-flight solve (joining a FAILED
-// in-flight solve shares the error but is not a hit). Returned
-// assignments are clones; callers may mutate them freely. Errors are not
-// cached — a failed key is recomputed on the next request.
-func (c *solveCache) do(key string, compute func() (cnf.Assignment, error)) (val cnf.Assignment, hit bool, err error) {
+// in-flight solve shares the error but is not a hit). Returned solutions
+// are clones; callers may mutate them freely. Errors are not cached — a
+// failed key is recomputed on the next request.
+func (c *solveCache) do(key string, clone func(any) any, compute func() (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		val = el.Value.(*cacheEntry).val.Clone()
+		entry := el.Value.(*cacheEntry)
+		val = entry.clone(entry.val)
 		c.mu.Unlock()
 		return val, true, nil
 	}
@@ -71,7 +75,7 @@ func (c *solveCache) do(key string, compute func() (cnf.Assignment, error)) (val
 			// served from cache.
 			return nil, false, fl.err
 		}
-		return fl.val.Clone(), true, nil
+		return clone(fl.val), true, nil
 	}
 	fl := &inflightSolve{done: make(chan struct{})}
 	c.inflight[key] = fl
@@ -83,7 +87,7 @@ func (c *solveCache) do(key string, compute func() (cnf.Assignment, error)) (val
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if fl.err == nil {
-		c.insertLocked(key, fl.val.Clone())
+		c.insertLocked(key, clone(fl.val), clone)
 	}
 	c.mu.Unlock()
 	if fl.err != nil {
@@ -92,13 +96,15 @@ func (c *solveCache) do(key string, compute func() (cnf.Assignment, error)) (val
 	return fl.val, false, nil
 }
 
-func (c *solveCache) insertLocked(key string, val cnf.Assignment) {
+func (c *solveCache) insertLocked(key string, val any, clone func(any) any) {
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = val
+		entry := el.Value.(*cacheEntry)
+		entry.val = val
+		entry.clone = clone
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, clone: clone})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -117,8 +123,8 @@ func (c *solveCache) len() int {
 
 // keyHasher accumulates a canonical binary digest of a subproblem. The
 // digest covers everything that determines the solver's answer: the task
-// kind, the formula (variable count and exact clause list), the previous
-// solution for EC re-solves, and the solver-relevant options.
+// kind, the domain name, the problem fingerprint, the previous solution
+// for EC re-solves, and the solver-relevant options.
 type keyHasher struct {
 	h       hash.Hash
 	scratch []byte
@@ -145,39 +151,6 @@ func (k *keyHasher) str(s string) *keyHasher {
 	return k
 }
 
-// formula hashes the exact clause structure (order-sensitive: clause
-// indices are part of the EC change model, so two formulas with permuted
-// clauses are distinct subproblems).
-func (k *keyHasher) formula(f *cnf.Formula) *keyHasher {
-	k.int64(int64(f.NumVars), int64(len(f.Clauses)))
-	for _, cl := range f.Clauses {
-		k.scratch = k.scratch[:0]
-		k.scratch = binary.AppendVarint(k.scratch, int64(len(cl)))
-		for _, l := range cl {
-			k.scratch = binary.AppendVarint(k.scratch, int64(l))
-		}
-		k.h.Write(k.scratch)
-	}
-	return k
-}
-
-// assignment hashes a tri-state assignment (used for EC re-solve keys,
-// whose answer depends on the previous solution).
-func (k *keyHasher) assignment(a cnf.Assignment) *keyHasher {
-	n := a.NumVars()
-	k.int64(int64(n))
-	k.scratch = k.scratch[:0]
-	for v := 1; v <= n; v++ {
-		k.scratch = append(k.scratch, byte(a.Get(v)))
-		if len(k.scratch) >= 4096 {
-			k.h.Write(k.scratch)
-			k.scratch = k.scratch[:0]
-		}
-	}
-	k.h.Write(k.scratch)
-	return k
-}
-
 // options hashes the solver options via ilp.Options.Fingerprint.
 func (k *keyHasher) options(o ilp.Options) *keyHasher {
 	o.Fingerprint(k.h)
@@ -186,10 +159,4 @@ func (k *keyHasher) options(o ilp.Options) *keyHasher {
 
 func (k *keyHasher) sum() string {
 	return hex.EncodeToString(k.h.Sum(nil))
-}
-
-// formulaKey is the options-independent hash of a formula, used by the
-// shared incumbent store.
-func formulaKey(f *cnf.Formula) string {
-	return newKeyHasher("formula").formula(f).sum()
 }

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"testing"
+
+	"ilpec/internal/coloring"
+	"ilpec/internal/domain"
+)
+
+// colTestProblem is a tiny coloring instance shared by the key tests.
+func colTestProblem() *coloring.Problem {
+	g := coloring.NewGraph(4)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	return &coloring.Problem{G: g, K: 3}
+}
+
+// TestCrossDomainSessions drives the SAME create → changes → solve → flex
+// script against every registered domain adapter, using each adapter's
+// conformance fixture as the instance. This is the acceptance check that
+// the session service is genuinely domain-generic: no per-domain code
+// path exists to diverge.
+func TestCrossDomainSessions(t *testing.T) {
+	for _, name := range []string{"cnf", "coloring", "sched", "partition"} {
+		t.Run(name, func(t *testing.T) {
+			svc := newTestService(t, Options{})
+			d, ok := svc.DomainByName(name)
+			if !ok {
+				t.Fatalf("domain %q not registered", name)
+			}
+			fx, ok := d.(domain.Fixtured)
+			if !ok {
+				t.Fatalf("domain %q has no conformance fixture", name)
+			}
+			c := fx.Conformance()
+
+			sess, err := svc.CreateDomainSession(name, c.Problem, SessionConfig{})
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			if sess.Domain() != name {
+				t.Fatalf("session domain %q", sess.Domain())
+			}
+
+			// Initial solve.
+			res, err := sess.Solve()
+			if err != nil {
+				t.Fatalf("initial solve: %v", err)
+			}
+			if res.Status != "initial" || res.Solution == nil {
+				t.Fatalf("initial solve %+v", res)
+			}
+			if err := d.Verify(sess.Problem(), res.Solution); err != nil {
+				t.Fatalf("initial solution invalid: %v", err)
+			}
+
+			// Queue the tightening batch (via the wire codec when the
+			// fixture ships one) and resolve it in ONE pass.
+			changes := c.Tightening
+			if len(c.TighteningJSON) > 0 {
+				changes = changes[:0]
+				for i, raw := range c.TighteningJSON {
+					ch, err := d.ParseChange(raw)
+					if err != nil {
+						t.Fatalf("parse change %d: %v", i, err)
+					}
+					changes = append(changes, ch)
+				}
+			}
+			if n := sess.QueueChanges(changes...); n != len(changes) {
+				t.Fatalf("pending %d, want %d", n, len(changes))
+			}
+			res, err = sess.Solve()
+			if err != nil {
+				t.Fatalf("batch solve: %v", err)
+			}
+			if res.Batched != len(changes) || res.Status != "fast" {
+				t.Fatalf("batch solve %+v", res)
+			}
+			if res.Preserved < 0 || res.Preserved > 1 {
+				t.Fatalf("preserved %v", res.Preserved)
+			}
+			if err := d.Verify(sess.Problem(), res.Solution); err != nil {
+				t.Fatalf("batch solution invalid: %v", err)
+			}
+
+			// Flexibility audit.
+			rep, err := sess.FlexReport(c.FlexK)
+			if err != nil {
+				t.Fatalf("flex: %v", err)
+			}
+			if rep.Total <= 0 {
+				t.Fatalf("flex report %+v", rep)
+			}
+
+			// Relax-only batch skips the solver.
+			runsBefore := svc.Metrics().SolverRuns
+			sess.QueueChanges(c.Relaxing...)
+			res, err = sess.Solve()
+			if err != nil {
+				t.Fatalf("relax solve: %v", err)
+			}
+			if res.Status != "relaxed" || res.Preserved != 1 {
+				t.Fatalf("relax solve %+v", res)
+			}
+			if got := svc.Metrics().SolverRuns; got != runsBefore {
+				t.Fatalf("relax batch ran the solver (%d -> %d)", runsBefore, got)
+			}
+			if err := d.Verify(sess.Problem(), res.Solution); err != nil {
+				t.Fatalf("relaxed solution invalid: %v", err)
+			}
+
+			if !svc.CloseSession(sess.ID()) {
+				t.Fatal("close failed")
+			}
+		})
+	}
+}
+
+// TestCrossDomainStrategies runs the tightening batch under all three
+// strategies for every domain.
+func TestCrossDomainStrategies(t *testing.T) {
+	for _, name := range []string{"cnf", "coloring", "sched", "partition"} {
+		for _, strat := range []domain.Strategy{domain.FastEC, domain.PreservingEC, domain.Replan} {
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				svc := newTestService(t, Options{})
+				d, _ := svc.DomainByName(name)
+				c := d.(domain.Fixtured).Conformance()
+				sess, err := svc.CreateDomainSession(name, c.Problem, SessionConfig{Strategy: &strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sess.Solve(); err != nil {
+					t.Fatal(err)
+				}
+				sess.QueueChanges(c.Tightening...)
+				res, err := sess.Solve()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Status != strat.String() {
+					t.Fatalf("status %q, want %q", res.Status, strat)
+				}
+				if err := d.Verify(sess.Problem(), res.Solution); err != nil {
+					t.Fatalf("solution invalid: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCrossDomainCache pins that identical non-CNF subproblems across
+// sessions are served from the cache, and that different domains never
+// collide.
+func TestCrossDomainCache(t *testing.T) {
+	svc := newTestService(t, Options{})
+	a, err := svc.CreateDomainSession("coloring", colTestProblem(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := a.Solve(); err != nil || res.Cached {
+		t.Fatalf("first coloring solve: cached=%v err=%v", res != nil && res.Cached, err)
+	}
+	b, err := svc.CreateDomainSession("coloring", colTestProblem(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("identical coloring solve missed the cache")
+	}
+	if res.Assignment != nil {
+		t.Fatal("non-CNF session produced a CNF assignment")
+	}
+	if m := svc.Metrics(); m.SolverRuns != 1 {
+		t.Fatalf("solver ran %d times, want 1", m.SolverRuns)
+	}
+}
+
+// TestUnknownDomain pins the create-time error for unregistered names.
+func TestUnknownDomain(t *testing.T) {
+	svc := newTestService(t, Options{})
+	if _, err := svc.CreateDomainSession("quantum", struct{}{}, SessionConfig{}); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	if _, ok := svc.DomainByName("quantum"); ok {
+		t.Fatal("unknown domain resolved")
+	}
+}

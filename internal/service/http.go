@@ -6,11 +6,10 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
 	"time"
 
-	"ilpec/internal/cnf"
 	"ilpec/internal/core"
+	"ilpec/internal/domain"
 )
 
 // maxBodyBytes bounds request bodies (DIMACS payloads included).
@@ -18,15 +17,21 @@ const maxBodyBytes = 8 << 20
 
 // NewHandler exposes a Service over HTTP/JSON:
 //
-//	POST   /v1/sessions              create a session (DIMACS or clause list)
+//	POST   /v1/sessions              create a session (any registered domain)
 //	GET    /v1/sessions              list live session ids
 //	GET    /v1/sessions/{id}         session info
 //	DELETE /v1/sessions/{id}         close a session
-//	POST   /v1/sessions/{id}/changes queue a change batch
+//	POST   /v1/sessions/{id}/changes queue a change batch (domain wire form)
 //	POST   /v1/sessions/{id}/solve   drain the batch in one EC pass
 //	GET    /v1/sessions/{id}/flex?k= flexibility report (§5 audit)
+//	GET    /v1/domains               registered domain names
 //	GET    /v1/metrics               service counters
 //	GET    /healthz                  liveness probe
+//
+// Sessions default to the CNF domain (the legacy dimacs/clauses create
+// shape); pass "domain" plus a domain-specific "problem" object to serve
+// coloring, scheduling, partitioning, or a custom adapter. Errors carry a
+// structured body: {"error": {"code": "...", "message": "..."}}.
 //
 // See the README's "EC session service" section for a curl walkthrough.
 func NewHandler(svc *Service) http.Handler {
@@ -47,6 +52,9 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/changes", withSession(svc, handleChanges))
 	mux.HandleFunc("POST /v1/sessions/{id}/solve", withSession(svc, handleSolve))
 	mux.HandleFunc("GET /v1/sessions/{id}/flex", withSession(svc, handleFlex))
+	mux.HandleFunc("GET /v1/domains", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"domains": svc.Domains()})
+	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Metrics())
 	})
@@ -58,10 +66,15 @@ func NewHandler(svc *Service) http.Handler {
 
 // ---- requests ------------------------------------------------------------
 
-// createRequest describes a new session. The formula arrives either as a
-// DIMACS CNF string or as a clause list (plus an optional variable count
-// for trailing unused variables).
+// createRequest describes a new session. Either set Domain plus the
+// domain's Problem wire form, or use the legacy CNF shape (a DIMACS
+// string or a clause list).
 type createRequest struct {
+	// Domain selects the problem domain (default "cnf").
+	Domain string `json:"domain,omitempty"`
+	// Problem is the domain-specific problem description.
+	Problem json.RawMessage `json:"problem,omitempty"`
+	// DIMACS/Vars/Clauses are the legacy CNF problem shape.
 	DIMACS  string  `json:"dimacs,omitempty"`
 	Vars    int     `json:"vars,omitempty"`
 	Clauses [][]int `json:"clauses,omitempty"`
@@ -76,25 +89,19 @@ type createRequest struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// changeJSON is the wire form of a core.Change.
-type changeJSON struct {
-	// Kind is "add-clause", "remove-clause", "add-variable", or
-	// "remove-variable".
-	Kind  string `json:"kind"`
-	Lits  []int  `json:"lits,omitempty"`
-	Index int    `json:"index,omitempty"`
-	Var   int    `json:"var,omitempty"`
-}
-
 type changesRequest struct {
-	Changes []changeJSON `json:"changes"`
+	// Changes carry the wire form of the session domain's changes.
+	Changes []json.RawMessage `json:"changes"`
 }
 
-// solveResponse is SolveResult plus the assignment in wire form: the
-// committed variables as DIMACS literals (don't-cares omitted).
+// solveResponse is SolveResult plus the solution in wire form. Literals
+// repeats the CNF rendering (committed variables as DIMACS literals) for
+// backward compatibility.
 type solveResponse struct {
 	*SolveResult
-	Literals []int `json:"literals"`
+	Domain   string `json:"domain"`
+	Solution any    `json:"solution"`
+	Literals []int  `json:"literals,omitempty"`
 }
 
 // ---- handlers ------------------------------------------------------------
@@ -104,16 +111,40 @@ func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	f, err := formulaFromRequest(req)
+	domainName := req.Domain
+	if domainName == "" {
+		domainName = "cnf"
+	}
+	d, ok := svc.DomainByName(domainName)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown_domain",
+			fmt.Errorf("unknown domain %q (have %v)", domainName, svc.Domains()))
+		return
+	}
+	var problem any
+	var err error
+	switch {
+	case len(req.Problem) > 0:
+		if req.DIMACS != "" || len(req.Clauses) > 0 {
+			writeError(w, http.StatusBadRequest, "bad_problem",
+				fmt.Errorf("give problem or the legacy dimacs/clauses fields, not both"))
+			return
+		}
+		problem, err = d.ParseProblem(req.Problem)
+	case domainName == "cnf":
+		problem, err = core.FormulaFromWire(req.DIMACS, req.Vars, req.Clauses)
+	default:
+		err = fmt.Errorf("domain %q needs a problem object", domainName)
+	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_problem", err)
 		return
 	}
 	var cfg SessionConfig
 	if req.Strategy != "" {
 		strat, err := ParseStrategy(req.Strategy)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, "unknown_strategy", err)
 			return
 		}
 		cfg.Strategy = &strat
@@ -136,9 +167,9 @@ func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Solve = &solve
 	}
-	sess, err := svc.CreateSession(f, cfg)
+	sess, err := svc.CreateDomainSession(domainName, problem, cfg)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, "create_failed", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, sess.Info())
@@ -150,32 +181,41 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Changes) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty change batch"))
+		writeError(w, http.StatusBadRequest, "empty_batch", fmt.Errorf("empty change batch"))
 		return
 	}
-	changes := make([]core.Change, 0, len(req.Changes))
-	for i, cj := range req.Changes {
-		c, err := changeFromJSON(cj)
+	d := sess.dom
+	changes := make([]any, 0, len(req.Changes))
+	for i, raw := range req.Changes {
+		c, err := d.ParseChange(raw)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("change %d: %w", i, err))
+			writeError(w, http.StatusBadRequest, "bad_change", fmt.Errorf("change %d: %w", i, err))
 			return
 		}
 		changes = append(changes, c)
 	}
-	pending := sess.Queue(changes...)
+	pending := sess.QueueChanges(changes...)
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": sess.ID(), "pending": pending})
 }
 
 func handleSolve(sess *Session, w http.ResponseWriter, r *http.Request) {
 	res, err := sess.Solve()
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeError(w, http.StatusConflict, "solve_failed", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, solveResponse{
+	d := sess.dom
+	resp := solveResponse{
 		SolveResult: res,
-		Literals:    assignmentLits(res.Assignment),
-	})
+		Domain:      sess.Domain(),
+		Solution:    d.Render(sess.problemRef(), res.Solution),
+	}
+	if res.Assignment != nil {
+		if lits, ok := resp.Solution.([]int); ok {
+			resp.Literals = lits
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func handleFlex(sess *Session, w http.ResponseWriter, r *http.Request) {
@@ -183,25 +223,35 @@ func handleFlex(sess *Session, w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		parsed, err := strconv.Atoi(raw)
 		if err != nil || parsed < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", raw))
+			writeError(w, http.StatusBadRequest, "bad_k", fmt.Errorf("bad k %q", raw))
 			return
 		}
 		k = parsed
 	}
 	rep, err := sess.FlexReport(k)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeError(w, http.StatusConflict, "flex_failed", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id":          sess.ID(),
-		"k":           k,
-		"total":       rep.Total,
-		"k_satisfied": rep.KSatisfied,
-		"supported":   rep.Supported,
-		"flexible":    rep.Flexible(),
-		"fraction":    rep.FlexibleFraction(),
-	})
+	out := map[string]any{
+		"id":       sess.ID(),
+		"domain":   sess.Domain(),
+		"k":        k,
+		"total":    rep.Total,
+		"flexible": rep.Flexible,
+		"fraction": rep.Fraction(),
+	}
+	for name, v := range rep.Detail {
+		out[name] = v
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// problemRef returns the live problem value for rendering (read-only).
+func (s *Session) problemRef() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.problem
 }
 
 // ---- helpers -------------------------------------------------------------
@@ -211,101 +261,24 @@ func withSession(svc *Service, h func(*Session, http.ResponseWriter, *http.Reque
 		id := r.PathValue("id")
 		sess, ok := svc.Session(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+			writeError(w, http.StatusNotFound, "unknown_session", fmt.Errorf("unknown session %q", id))
 			return
 		}
 		h(sess, w, r)
 	}
 }
 
-func formulaFromRequest(req createRequest) (*cnf.Formula, error) {
-	if req.DIMACS != "" {
-		if len(req.Clauses) > 0 {
-			return nil, fmt.Errorf("give dimacs or clauses, not both")
-		}
-		f, err := cnf.ParseDIMACS(strings.NewReader(req.DIMACS))
-		if err != nil {
-			return nil, fmt.Errorf("bad dimacs: %w", err)
-		}
-		return f, nil
-	}
-	if len(req.Clauses) == 0 {
-		return nil, fmt.Errorf("missing formula: give dimacs or clauses")
-	}
-	f := cnf.New(req.Vars)
-	for i, raw := range req.Clauses {
-		if len(raw) == 0 {
-			return nil, fmt.Errorf("clause %d is empty", i)
-		}
-		cl := make(cnf.Clause, len(raw))
-		for j, l := range raw {
-			if l == 0 {
-				return nil, fmt.Errorf("clause %d has a zero literal", i)
-			}
-			cl[j] = cnf.Lit(l)
-		}
-		f.AddClause(cl)
-	}
-	return f, nil
-}
-
-// ParseStrategy maps a strategy name (case-insensitive) to core.Strategy;
+// ParseStrategy maps a strategy name (case-insensitive) to a Strategy;
 // cmd/ecserve shares it for the -strategy flag.
-func ParseStrategy(s string) (core.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "fast":
-		return core.FastEC, nil
-	case "preserving", "preserve":
-		return core.PreservingEC, nil
-	case "replan":
-		return core.Replan, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q (want fast, preserving, or replan)", s)
-	}
-}
-
-func changeFromJSON(cj changeJSON) (core.Change, error) {
-	switch strings.ToLower(cj.Kind) {
-	case "add-clause":
-		if len(cj.Lits) == 0 {
-			return core.Change{}, fmt.Errorf("add-clause needs lits")
-		}
-		for _, l := range cj.Lits {
-			if l == 0 {
-				return core.Change{}, fmt.Errorf("add-clause has a zero literal")
-			}
-		}
-		return core.NewClause(cj.Lits...), nil
-	case "remove-clause":
-		return core.DropClause(cj.Index), nil
-	case "add-variable":
-		return core.GrowVariable(), nil
-	case "remove-variable":
-		return core.EliminateVariable(cj.Var), nil
-	default:
-		return core.Change{}, fmt.Errorf("unknown kind %q", cj.Kind)
-	}
-}
-
-// assignmentLits renders the committed variables as DIMACS literals.
-func assignmentLits(a cnf.Assignment) []int {
-	lits := make([]int, 0, a.AssignedCount())
-	for v := 1; v <= a.NumVars(); v++ {
-		switch a.Get(v) {
-		case cnf.True:
-			lits = append(lits, v)
-		case cnf.False:
-			lits = append(lits, -v)
-		}
-	}
-	return lits
+func ParseStrategy(s string) (domain.Strategy, error) {
+	return domain.ParseStrategy(s)
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -319,6 +292,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]any{"error": err.Error()})
+// writeError emits the structured error body. code is a stable
+// machine-readable slug; the message is human-readable.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]any{
+		"error": map[string]any{"code": code, "message": err.Error()},
+	})
 }

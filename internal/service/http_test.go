@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ilpec/internal/cnf"
+	"ilpec/internal/domain"
 	"ilpec/internal/ilp"
 )
 
@@ -314,10 +315,17 @@ func TestHTTPOverridesClamped(t *testing.T) {
 }
 
 func TestAssignmentLits(t *testing.T) {
+	d, ok := domain.Get("cnf")
+	if !ok {
+		t.Fatal("cnf domain missing")
+	}
 	a := cnf.NewAssignment(4)
 	a.Set(1, cnf.True)
 	a.Set(3, cnf.False)
-	got := assignmentLits(a)
+	got, ok := d.Render(cnf.New(4), a).([]int)
+	if !ok {
+		t.Fatalf("render type %T", d.Render(cnf.New(4), a))
+	}
 	want := []int{1, -3}
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("lits %v, want %v", got, want)

@@ -1,8 +1,11 @@
 // Package service turns the one-shot EC library calls into a long-lived
 // serving layer: a Service manages concurrent EC sessions, each holding a
-// live formula, the current solution, and the warm-start state the EC
-// re-solves exploit (the SAT↔set-cover encoding is rebuilt per solver
-// run and skipped entirely for cache-served answers).
+// live problem from ANY registered domain (CNF/set-cover, graph coloring,
+// scheduling, netlist partitioning, or a custom adapter), the current
+// solution, and the warm-start state the EC re-solves exploit. The whole
+// session lifecycle — batching, caching, fast/preserving/replan passes —
+// runs through the generic domain.Domain interface; adding a domain adds
+// zero code here.
 //
 // Three mechanisms amortize work across the change stream, in the spirit
 // of the paper's Figure-1 flow:
@@ -11,13 +14,13 @@
 //     are coalesced into ONE fast-EC / preserving-EC pass per Solve call,
 //     instead of one re-solve per change;
 //   - an LRU solve cache keyed by a canonical hash of the subproblem
-//     (task kind + formula + previous solution + solver options), with
-//     in-flight deduplication, so identical subproblems across sessions
-//     are answered without touching the solver;
+//     (task kind + domain + problem + previous solution + solver options),
+//     with in-flight deduplication, so identical subproblems across
+//     sessions are answered without touching the solver;
 //   - a worker-pool executor that multiplexes all sessions' solves over a
 //     bounded set of goroutines (each of which may itself run an
 //     Options.Workers-parallel root search), plus a shared incumbent store
-//     that warm-starts a solve of a formula another session has already
+//     that warm-starts a solve of a problem another session has already
 //     solved under different options.
 //
 // The package is exposed over HTTP/JSON by NewHandler (see cmd/ecserve)
@@ -32,7 +35,14 @@ import (
 
 	"ilpec/internal/cnf"
 	"ilpec/internal/core"
+	"ilpec/internal/domain"
 	"ilpec/internal/ilp"
+
+	// The built-in domains register themselves on import so every service
+	// (and cmd/ecserve) can serve them by name.
+	_ "ilpec/internal/coloring"
+	_ "ilpec/internal/partition"
+	_ "ilpec/internal/sched"
 )
 
 const (
@@ -47,14 +57,16 @@ type Options struct {
 	// Solve is the default exact-solver configuration for every session
 	// (sessions may override it at creation).
 	Solve ilp.Options
-	// Fast configures fast-EC re-solves.
+	// Fast configures fast-EC re-solves. Solve inside it is ignored; the
+	// session's solver options are used. Minimal applies to CNF sessions.
 	Fast core.FastOptions
-	// Preserve configures preserving-EC re-solves. Preserve.Solve is
-	// ignored; the session's solver options are used.
+	// Preserve configures preserving-EC re-solves on CNF sessions
+	// (Mode/Weight/Protected). Preserve.Solve is ignored; the session's
+	// solver options are used. Non-CNF domains always maximize agreement.
 	Preserve core.PreserveOptions
 	// Strategy is the default re-solve strategy for change batches
 	// (sessions may override it at creation). Default: fast EC.
-	Strategy core.Strategy
+	Strategy domain.Strategy
 	// CacheSize bounds the LRU solve cache (entries; default 256).
 	CacheSize int
 	// Workers sizes the executor pool (default GOMAXPROCS). This bounds
@@ -63,12 +75,15 @@ type Options struct {
 	Workers int
 	// MaxSessions bounds live sessions (default 4096).
 	MaxSessions int
+	// Domains overrides the domain registry (default: the process-wide
+	// registry with the built-in adapters).
+	Domains *domain.Registry
 }
 
 // SessionConfig carries per-session overrides at creation time.
 type SessionConfig struct {
 	// Strategy overrides the service default when non-nil.
-	Strategy *core.Strategy
+	Strategy *domain.Strategy
 	// Solve overrides the service solver options when non-nil.
 	Solve *ilp.Options
 }
@@ -96,7 +111,7 @@ type Metrics struct {
 	// (relaxing-only change sets, §6).
 	RelaxFastPaths atomic.Int64
 	// IncumbentHits counts solves warm-started from the shared incumbent
-	// store (same formula solved before under different options).
+	// store (same problem solved before under different options).
 	IncumbentHits atomic.Int64
 }
 
@@ -122,6 +137,10 @@ type Service struct {
 	opts  Options
 	cache *solveCache
 	exec  *pool
+	// cnf is the CNF adapter configured with the service's EC policies;
+	// it shadows the registry entry of the same name so Options.Fast and
+	// Options.Preserve keep their meaning.
+	cnf domain.Domain
 
 	mu       sync.Mutex
 	closed   bool
@@ -129,9 +148,15 @@ type Service struct {
 	nextID   int64
 
 	imu        sync.Mutex
-	incumbents map[string]cnf.Assignment
+	incumbents map[string]incumbent
 
 	metrics Metrics
+}
+
+// incumbent pairs a stored solution with the domain that can clone it.
+type incumbent struct {
+	d   domain.Domain
+	sol any
 }
 
 // New creates a Service. Close it when done to stop the executor workers.
@@ -146,23 +171,61 @@ func New(opts Options) *Service {
 		opts.MaxSessions = defaultMaxSessions
 	}
 	return &Service{
-		opts:       opts,
-		cache:      newSolveCache(opts.CacheSize),
-		exec:       newPool(opts.Workers),
+		opts:  opts,
+		cache: newSolveCache(opts.CacheSize),
+		exec:  newPool(opts.Workers),
+		cnf: core.CNFWith(core.CNFOptions{
+			Fast:     core.FastOptions{Minimal: opts.Fast.Minimal, MaxEscalations: opts.Fast.MaxEscalations},
+			Preserve: opts.Preserve,
+		}),
 		sessions:   make(map[string]*Session),
-		incumbents: make(map[string]cnf.Assignment),
+		incumbents: make(map[string]incumbent),
 	}
 }
 
-// CreateSession registers a new session for formula f (deep-copied; the
-// caller keeps ownership of f). cfg carries optional per-session
-// overrides.
+// Domains lists the domain names this service can serve, sorted.
+func (s *Service) Domains() []string {
+	if s.opts.Domains != nil {
+		return s.opts.Domains.Names()
+	}
+	return domain.Names()
+}
+
+// DomainByName resolves a domain adapter for this service. The CNF
+// adapter carries the service's configured EC policies.
+func (s *Service) DomainByName(name string) (domain.Domain, bool) {
+	if name == s.cnf.Name() {
+		return s.cnf, true
+	}
+	if s.opts.Domains != nil {
+		return s.opts.Domains.Get(name)
+	}
+	return domain.Get(name)
+}
+
+// CreateSession registers a new CNF session for formula f (deep-copied;
+// the caller keeps ownership of f). cfg carries optional per-session
+// overrides. It is shorthand for CreateDomainSession("cnf", f, cfg).
 func (s *Service) CreateSession(f *cnf.Formula, cfg SessionConfig) (*Session, error) {
 	if f == nil {
 		return nil, fmt.Errorf("service: nil formula")
 	}
-	if err := f.Validate(); err != nil {
-		return nil, fmt.Errorf("service: invalid formula: %w", err)
+	return s.CreateDomainSession("cnf", f, cfg)
+}
+
+// CreateDomainSession registers a new session for a problem of the named
+// domain (deep-copied; the caller keeps ownership). cfg carries optional
+// per-session overrides.
+func (s *Service) CreateDomainSession(domainName string, problem any, cfg SessionConfig) (*Session, error) {
+	d, ok := s.DomainByName(domainName)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown domain %q (have %v)", domainName, s.Domains())
+	}
+	if problem == nil {
+		return nil, fmt.Errorf("service: nil problem")
+	}
+	if err := d.Validate(problem); err != nil {
+		return nil, fmt.Errorf("service: invalid problem: %w", err)
 	}
 	strategy := s.opts.Strategy
 	if cfg.Strategy != nil {
@@ -184,7 +247,8 @@ func (s *Service) CreateSession(f *cnf.Formula, cfg SessionConfig) (*Session, er
 	sess := &Session{
 		id:       fmt.Sprintf("s%d", s.nextID),
 		svc:      s,
-		formula:  f.Clone(),
+		dom:      d,
+		problem:  d.CloneProblem(problem),
 		strategy: strategy,
 		solve:    solve,
 	}
@@ -263,15 +327,15 @@ func (s *Service) Close() {
 }
 
 // cachedSolve routes one solve through the cache and, on a miss, the
-// executor pool.
-func (s *Service) cachedSolve(key string, compute func() (cnf.Assignment, error)) (cnf.Assignment, bool, error) {
-	val, hit, err := s.cache.do(key, func() (cnf.Assignment, error) {
-		var a cnf.Assignment
+// executor pool. clone deep-copies cached values before they escape.
+func (s *Service) cachedSolve(key string, clone func(any) any, compute func() (any, error)) (any, bool, error) {
+	val, hit, err := s.cache.do(key, clone, func() (any, error) {
+		var v any
 		var cerr error
-		if perr := s.exec.run(func() { a, cerr = compute() }); perr != nil {
+		if perr := s.exec.run(func() { v, cerr = compute() }); perr != nil {
 			return nil, perr
 		}
-		return a, cerr
+		return v, cerr
 	})
 	if hit {
 		s.metrics.CacheHits.Add(1)
@@ -284,19 +348,19 @@ func (s *Service) cachedSolve(key string, compute func() (cnf.Assignment, error)
 	return val, hit, err
 }
 
-// incumbent returns the stored solution for a formula key, if any.
-func (s *Service) incumbent(key string) cnf.Assignment {
+// incumbent returns the stored solution for a problem key, if any.
+func (s *Service) incumbent(key string) any {
 	s.imu.Lock()
 	defer s.imu.Unlock()
-	if a, ok := s.incumbents[key]; ok {
-		return a.Clone()
+	if inc, ok := s.incumbents[key]; ok {
+		return inc.d.CloneSolution(inc.sol)
 	}
 	return nil
 }
 
-// storeIncumbent records a solution for a formula key, shared across
+// storeIncumbent records a solution for a problem key, shared across
 // sessions as warm-start material. The store is bounded by the cache size.
-func (s *Service) storeIncumbent(key string, a cnf.Assignment) {
+func (s *Service) storeIncumbent(key string, d domain.Domain, sol any) {
 	s.imu.Lock()
 	defer s.imu.Unlock()
 	if len(s.incumbents) >= s.opts.CacheSize {
@@ -306,5 +370,5 @@ func (s *Service) storeIncumbent(key string, a cnf.Assignment) {
 			break
 		}
 	}
-	s.incumbents[key] = a.Clone()
+	s.incumbents[key] = incumbent{d: d, sol: d.CloneSolution(sol)}
 }

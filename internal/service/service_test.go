@@ -318,10 +318,13 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 }
 
+// cloneAssignment is the domain clone function used by the cache tests.
+func cloneAssignment(v any) any { return v.(cnf.Assignment).Clone() }
+
 func TestCacheLRUEviction(t *testing.T) {
 	c := newSolveCache(2)
-	mk := func(v int) func() (cnf.Assignment, error) {
-		return func() (cnf.Assignment, error) {
+	mk := func(v int) func() (any, error) {
+		return func() (any, error) {
 			a := cnf.NewAssignment(1)
 			if v%2 == 0 {
 				a.Set(1, cnf.True)
@@ -332,7 +335,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if _, hit, _ := c.do(fmt.Sprintf("k%d", i), mk(i)); hit {
+		if _, hit, _ := c.do(fmt.Sprintf("k%d", i), cloneAssignment, mk(i)); hit {
 			t.Fatalf("key k%d hit on first insert", i)
 		}
 	}
@@ -340,10 +343,10 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Fatalf("cache holds %d entries, want 2", c.len())
 	}
 	// k0 is the eviction victim; k2 must still be resident.
-	if _, hit, _ := c.do("k2", mk(2)); !hit {
+	if _, hit, _ := c.do("k2", cloneAssignment, mk(2)); !hit {
 		t.Fatal("most recent key evicted")
 	}
-	if _, hit, _ := c.do("k0", mk(0)); hit {
+	if _, hit, _ := c.do("k0", cloneAssignment, mk(0)); hit {
 		t.Fatal("oldest key survived a full eviction cycle")
 	}
 }
@@ -353,7 +356,7 @@ func TestCacheInflightDedup(t *testing.T) {
 	var runs int
 	started := make(chan struct{})
 	release := make(chan struct{})
-	compute := func() (cnf.Assignment, error) {
+	compute := func() (any, error) {
 		runs++
 		close(started)
 		<-release
@@ -363,7 +366,7 @@ func TestCacheInflightDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.do("k", compute)
+		c.do("k", cloneAssignment, compute)
 	}()
 	<-started
 	// Second caller joins the in-flight solve instead of recomputing.
@@ -371,7 +374,7 @@ func TestCacheInflightDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, hit, _ := c.do("k", func() (cnf.Assignment, error) {
+		_, hit, _ := c.do("k", cloneAssignment, func() (any, error) {
 			t.Error("second compute ran despite in-flight solve")
 			return cnf.NewAssignment(1), nil
 		})
@@ -391,14 +394,14 @@ func TestCacheInflightDedup(t *testing.T) {
 func TestCacheErrorNotCached(t *testing.T) {
 	c := newSolveCache(8)
 	calls := 0
-	fail := func() (cnf.Assignment, error) {
+	fail := func() (any, error) {
 		calls++
 		return nil, fmt.Errorf("boom %d", calls)
 	}
-	if _, _, err := c.do("k", fail); err == nil {
+	if _, _, err := c.do("k", cloneAssignment, fail); err == nil {
 		t.Fatal("error swallowed")
 	}
-	if _, hit, err := c.do("k", fail); err == nil || hit {
+	if _, hit, err := c.do("k", cloneAssignment, fail); err == nil || hit {
 		t.Fatalf("failed solve was cached (hit=%v err=%v)", hit, err)
 	}
 	if calls != 2 {
@@ -407,33 +410,51 @@ func TestCacheErrorNotCached(t *testing.T) {
 }
 
 func TestKeyHasherDistinguishes(t *testing.T) {
+	svc := newTestService(t, Options{})
+	sess, err := svc.CreateSession(testFormula(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := testFormula()
 	g := testFormula()
 	g.AddClause(cnf.Clause{1})
-	base := ilp.Options{}
-	if plainKey(f, base) == plainKey(g, base) {
+	if sess.taskKey("plain", f, nil) == sess.taskKey("plain", g, nil) {
 		t.Fatal("different formulas share a key")
 	}
-	if plainKey(f, base) == plainKey(f, ilp.Options{Bounding: ilp.LPBound}) {
+	lp := ilp.Options{Bounding: ilp.LPBound}
+	lpSess, err := svc.CreateSession(testFormula(), SessionConfig{Solve: &lp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.taskKey("plain", f, nil) == lpSess.taskKey("plain", f, nil) {
 		t.Fatal("different options share a key")
 	}
-	warm := base
-	warm.WarmStart = ilp.Solution{1}
-	if plainKey(f, base) != plainKey(f, warm) {
+	warm := ilp.Options{WarmStart: ilp.Solution{1}}
+	warmSess, err := svc.CreateSession(testFormula(), SessionConfig{Solve: &warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.taskKey("plain", f, nil) != warmSess.taskKey("plain", f, nil) {
 		t.Fatal("warm start leaked into the plain key")
 	}
 	p := cnf.NewAssignment(f.NumVars)
 	p.Set(1, cnf.True)
 	q := p.Clone()
 	q.Set(1, cnf.False)
-	if fastKey(f, p, core.FastOptions{}) == fastKey(f, q, core.FastOptions{}) {
+	if sess.taskKey("fast", f, p) == sess.taskKey("fast", f, q) {
 		t.Fatal("fast keys ignore the previous solution")
 	}
-	if preserveKey(f, p, core.PreserveOptions{}) == preserveKey(f, p, core.PreserveOptions{Mode: core.PreserveHard, Protected: []int{1}}) {
-		t.Fatal("preserve keys ignore the mode")
-	}
-	if plainKey(f, base) == fastKey(f, p, core.FastOptions{}) {
+	if sess.taskKey("plain", f, nil) == sess.taskKey("fast", f, p) {
 		t.Fatal("task kinds share a key")
+	}
+	// Another domain with an identical byte layout must not collide: the
+	// domain name is part of every key.
+	colSess, err := svc.CreateDomainSession("coloring", colTestProblem(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.taskKey("plain", f, nil) == colSess.taskKey("plain", colTestProblem(), nil) {
+		t.Fatal("domains share a key")
 	}
 }
 

@@ -2,36 +2,36 @@ package service
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
 	"ilpec/internal/cnf"
 	"ilpec/internal/core"
-	"ilpec/internal/encode"
+	"ilpec/internal/domain"
 	"ilpec/internal/ilp"
 )
 
-// Session is one long-lived engineering-change session: a live formula,
-// the current solution, and a queue of pending changes (the set-cover
-// encoding is built per solver run, inside the compute closures, so
-// cache-served answers never pay for one). Changes accumulate via Queue
-// and are coalesced into a single
-// EC pass by the next Solve call — N posted changes cost one re-solve,
-// not N. All methods are safe for concurrent use; a session's solves are
+// Session is one long-lived engineering-change session: a live problem of
+// some registered domain, the current solution, and a queue of pending
+// changes (ILP encodings are built per solver run, inside the compute
+// closures, so cache-served answers never pay for one). Changes
+// accumulate via Queue/QueueChanges and are coalesced into a single EC
+// pass by the next Solve call — N posted changes cost one re-solve, not
+// N. All methods are safe for concurrent use; a session's solves are
 // serialized by its own lock while different sessions proceed in parallel
 // on the service's executor pool.
 type Session struct {
 	id  string
 	svc *Service
+	dom domain.Domain
 
 	// mu is the per-session lock: it serializes this session's queue and
 	// solve operations while independent sessions run in parallel.
 	mu       sync.Mutex
-	formula  *cnf.Formula
-	solution cnf.Assignment
-	pending  []core.Change
-	strategy core.Strategy
+	problem  any
+	solution any
+	pending  []any
+	strategy domain.Strategy
 	solve    ilp.Options
 	stats    sessionStats
 }
@@ -45,8 +45,11 @@ type sessionStats struct {
 
 // SolveResult reports one Session.Solve outcome.
 type SolveResult struct {
-	// Assignment is the current solution (a clone; safe to keep).
+	// Assignment is the current solution for CNF sessions (a clone; safe
+	// to keep; nil on other domains — use Solution).
 	Assignment cnf.Assignment `json:"-"`
+	// Solution is the current domain solution (a clone; safe to keep).
+	Solution any `json:"-"`
 	// Status names the pass taken: "initial", "noop", "relaxed", "fast",
 	// "preserving", or "replan".
 	Status string `json:"status"`
@@ -58,10 +61,11 @@ type SolveResult struct {
 	// Preserved is the preserved fraction vs. the pre-batch solution
 	// (batch passes only).
 	Preserved float64 `json:"preserved"`
-	// DontCares counts don't-care variables in the solution.
+	// DontCares counts uncommitted decisions in the solution (CNF only).
 	DontCares int `json:"dont_cares"`
-	// SubVars/SubClauses are the fast-EC sub-instance sizes (fast passes
-	// that ran the solver; zero on cache hits and other strategies).
+	// SubVars/SubClauses are the fast-EC sub-instance sizes — re-decided
+	// units and sub-model rows (fast passes that ran the solver; zero on
+	// cache hits and other strategies).
 	SubVars    int `json:"sub_vars,omitempty"`
 	SubClauses int `json:"sub_clauses,omitempty"`
 	// Runtime is the wall-clock duration of this call.
@@ -70,7 +74,11 @@ type SolveResult struct {
 
 // SessionInfo is a point-in-time summary of a session.
 type SessionInfo struct {
-	ID            string `json:"id"`
+	ID string `json:"id"`
+	// Domain names the session's problem domain.
+	Domain string `json:"domain"`
+	// Vars and Clauses are the domain's decision-unit and constraint
+	// counts (variables/clauses, vertices/edges, ops/deps, ...).
 	Vars          int    `json:"vars"`
 	Clauses       int    `json:"clauses"`
 	Pending       int    `json:"pending"`
@@ -86,10 +94,24 @@ type SessionInfo struct {
 // ID returns the session id.
 func (s *Session) ID() string { return s.id }
 
-// Queue appends changes to the pending batch without solving; it returns
-// the pending count. The batch is validated and applied atomically by the
-// next Solve.
+// Domain returns the session's domain name.
+func (s *Session) Domain() string { return s.dom.Name() }
+
+// Queue appends CNF changes to the pending batch without solving; it
+// returns the pending count. It is shorthand for QueueChanges on a CNF
+// session.
 func (s *Session) Queue(changes ...core.Change) int {
+	anyChanges := make([]any, len(changes))
+	for i, c := range changes {
+		anyChanges[i] = c
+	}
+	return s.QueueChanges(anyChanges...)
+}
+
+// QueueChanges appends domain changes to the pending batch without
+// solving; it returns the pending count. The batch is validated and
+// applied atomically by the next Solve.
+func (s *Session) QueueChanges(changes ...any) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pending = append(s.pending, changes...)
@@ -105,32 +127,52 @@ func (s *Session) Pending() int {
 	return len(s.pending)
 }
 
-// Solution returns a clone of the current solution (nil before the first
-// Solve).
+// Solution returns a clone of the current CNF solution (nil before the
+// first Solve and on non-CNF sessions — use SolutionValue).
 func (s *Session) Solution() cnf.Assignment {
+	if a, ok := s.SolutionValue().(cnf.Assignment); ok {
+		return a
+	}
+	return nil
+}
+
+// SolutionValue returns a clone of the current domain solution (nil
+// before the first Solve).
+func (s *Session) SolutionValue() any {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.solution == nil {
 		return nil
 	}
-	return s.solution.Clone()
+	return s.dom.CloneSolution(s.solution)
 }
 
-// Formula returns a clone of the current formula.
+// Formula returns a clone of the current formula (nil on non-CNF
+// sessions — use Problem).
 func (s *Session) Formula() *cnf.Formula {
+	if f, ok := s.Problem().(*cnf.Formula); ok {
+		return f
+	}
+	return nil
+}
+
+// Problem returns a clone of the current domain problem.
+func (s *Session) Problem() any {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.formula.Clone()
+	return s.dom.CloneProblem(s.problem)
 }
 
 // Info summarizes the session.
 func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	units, constraints := s.dom.ProblemSize(s.problem)
 	info := SessionInfo{
 		ID:            s.id,
-		Vars:          s.formula.NumVars,
-		Clauses:       s.formula.NumClauses(),
+		Domain:        s.dom.Name(),
+		Vars:          units,
+		Clauses:       constraints,
 		Pending:       len(s.pending),
 		Solved:        s.solution != nil,
 		Strategy:      s.strategy.String(),
@@ -140,31 +182,31 @@ func (s *Session) Info() SessionInfo {
 		CacheHits:     s.stats.cacheHits,
 	}
 	if s.solution != nil {
-		info.DontCares = s.solution.DontCareCount()
+		info.DontCares = s.dom.DontCares(s.problem, s.solution)
 	}
 	return info
 }
 
 // FlexReport audits the current solution's flexibility at level k (§5).
-func (s *Session) FlexReport(k int) (core.FlexReport, error) {
+func (s *Session) FlexReport(k int) (domain.FlexReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.solution == nil {
-		return core.FlexReport{}, fmt.Errorf("service: session %s has no solution yet", s.id)
+		return domain.FlexReport{}, fmt.Errorf("service: session %s has no solution yet", s.id)
 	}
-	return core.VerifyFlexibility(s.formula, s.solution, k), nil
+	return s.dom.Flex(s.problem, s.solution, k)
 }
 
 // Solve drains the pending batch and brings the session to a solved
-// state: the initial set-cover solve when the session has no solution
-// yet, a single coalesced EC pass (per the session strategy) when
-// tightening changes are pending, a solver-free extension when the batch
-// is relaxing-only, and a no-op when nothing is pending.
+// state: the initial solve when the session has no solution yet, a single
+// coalesced EC pass (per the session strategy) when tightening changes
+// are pending, a solver-free extension when the batch is relaxing-only,
+// and a no-op when nothing is pending.
 //
 // On error the pending batch is discarded and the session keeps its
-// previous formula and solution, so a client can correct course and
-// continue; an invalid change (bad index/variable) or an unsatisfiable
-// batch never poisons the session.
+// previous problem and solution, so a client can correct course and
+// continue; an invalid change or an infeasible batch never poisons the
+// session.
 func (s *Session) Solve() (*SolveResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -176,146 +218,138 @@ func (s *Session) Solve() (*SolveResult, error) {
 		return s.solveInitial(batch, start)
 	}
 	if len(batch) == 0 {
-		return &SolveResult{
-			Assignment: s.solution.Clone(),
-			Status:     "noop",
-			DontCares:  s.solution.DontCareCount(),
-			Runtime:    time.Since(start),
-		}, nil
+		return s.result(&SolveResult{Status: "noop"}, start), nil
 	}
 	return s.solveBatch(batch, start)
 }
 
+// result finalizes a SolveResult from the committed session state.
+// Caller holds s.mu.
+func (s *Session) result(res *SolveResult, start time.Time) *SolveResult {
+	res.Solution = s.dom.CloneSolution(s.solution)
+	if a, ok := res.Solution.(cnf.Assignment); ok {
+		res.Assignment = a
+	}
+	res.DontCares = s.dom.DontCares(s.problem, s.solution)
+	res.Runtime = time.Since(start)
+	return res
+}
+
 // solveInitial runs the first solve, folding any pending batch into the
-// starting formula. Caller holds s.mu.
-func (s *Session) solveInitial(batch []core.Change, start time.Time) (*SolveResult, error) {
-	f := s.formula
+// starting problem. Caller holds s.mu.
+func (s *Session) solveInitial(batch []any, start time.Time) (*SolveResult, error) {
+	p := s.problem
 	if len(batch) > 0 {
-		applied, err := core.Apply(s.formula, batch)
+		applied, err := s.dom.ApplyChanges(s.problem, batch)
 		if err != nil {
 			return nil, fmt.Errorf("service: batch discarded: %w", err)
 		}
-		f = applied
+		p = applied
 	}
-	if f.HasEmptyClause() {
-		return nil, fmt.Errorf("service: batch discarded: formula has an empty clause (unsatisfiable)")
+	if err := s.dom.Validate(p); err != nil {
+		return nil, fmt.Errorf("service: batch discarded: %w", err)
 	}
-	key := plainKey(f, s.solve)
-	fkey := formulaKey(f)
+	key := s.taskKey("plain", p, nil)
+	pkey := s.problemKey(p)
 	// The encoding is built inside the compute closure so a cache hit —
 	// the common case across identical sessions — pays nothing.
-	a, hit, err := s.svc.cachedSolve(key, func() (cnf.Assignment, error) {
-		e := encode.New(f)
-		opts := s.solve
-		if warm := s.svc.incumbent(fkey); warm != nil {
-			opts.WarmStart = e.EncodeAssignment(warm.Grow(f.NumVars))
+	sol, hit, err := s.svc.cachedSolve(key, s.dom.CloneSolution, func() (any, error) {
+		warm := s.svc.incumbent(pkey)
+		if warm != nil {
 			s.svc.metrics.IncumbentHits.Add(1)
 		}
-		return solveEncoding(e, opts)
+		a, _, err := domain.Solve(s.dom, p, s.solve, warm)
+		return a, err
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.commit(f, a, fkey, len(batch), hit)
-	return &SolveResult{
-		Assignment: a.Clone(),
-		Status:     "initial",
-		Batched:    len(batch),
-		Cached:     hit,
-		DontCares:  a.DontCareCount(),
-		Runtime:    time.Since(start),
-	}, nil
+	s.commit(p, sol, pkey, len(batch), hit)
+	return s.result(&SolveResult{
+		Status:  "initial",
+		Batched: len(batch),
+		Cached:  hit,
+	}, start), nil
 }
 
 // solveBatch resolves a non-empty tightening-or-relaxing batch against
 // the current solution in one pass. Caller holds s.mu.
-func (s *Session) solveBatch(batch []core.Change, start time.Time) (*SolveResult, error) {
-	fPrime, err := core.Apply(s.formula, batch)
+func (s *Session) solveBatch(batch []any, start time.Time) (*SolveResult, error) {
+	changed, err := s.dom.ApplyChanges(s.problem, batch)
 	if err != nil {
 		return nil, fmt.Errorf("service: batch discarded: %w", err)
 	}
 	prev := s.solution
 
-	if !core.AnyTightening(batch) {
-		// Relaxing-only batch: the solution stays valid (§6); just grow it.
-		next := prev.Clone().Grow(fPrime.NumVars)
-		s.commit(fPrime, next, formulaKey(fPrime), len(batch), false)
+	if !domain.AnyTightening(s.dom, batch) {
+		// Relaxing-only batch: the solution stays valid (§6); just extend it.
+		next, err := s.dom.ExtendSolution(changed, prev)
+		if err != nil {
+			return nil, fmt.Errorf("service: batch discarded: %w", err)
+		}
+		s.commit(changed, next, s.problemKey(changed), len(batch), false)
 		s.svc.metrics.RelaxFastPaths.Add(1)
-		return &SolveResult{
-			Assignment: next.Clone(),
-			Status:     "relaxed",
-			Batched:    len(batch),
-			Preserved:  1,
-			DontCares:  next.DontCareCount(),
-			Runtime:    time.Since(start),
-		}, nil
+		return s.result(&SolveResult{
+			Status:    "relaxed",
+			Batched:   len(batch),
+			Preserved: 1,
+		}, start), nil
 	}
-	if fPrime.HasEmptyClause() {
-		return nil, fmt.Errorf("service: batch discarded: changed formula has an empty clause (unsatisfiable)")
+	if err := s.dom.Validate(changed); err != nil {
+		return nil, fmt.Errorf("service: batch discarded: %w", err)
 	}
 
-	var subVars, subClauses int
+	var subVars, subRows int
 	var key string
-	var compute func() (cnf.Assignment, error)
+	var compute func() (any, error)
 	switch s.strategy {
-	case core.FastEC:
-		fopts := s.svc.opts.Fast
-		fopts.Solve = s.solve
-		key = fastKey(fPrime, prev, fopts)
-		compute = func() (cnf.Assignment, error) {
-			res, ferr := core.FastResolve(fPrime, prev, fopts)
+	case domain.FastEC:
+		fopts := domain.FastOptions{Solve: s.solve, MaxEscalations: s.svc.opts.Fast.MaxEscalations}
+		key = s.taskKey("fast", changed, prev)
+		compute = func() (any, error) {
+			next, stats, ferr := domain.Fast(s.dom, changed, prev, fopts)
 			if ferr != nil {
 				return nil, ferr
 			}
-			subVars, subClauses = res.SubVars, res.SubClauses
-			return res.Assignment, nil
+			subVars, subRows = stats.SubSize, stats.SubRows
+			return next, nil
 		}
-	case core.PreservingEC:
-		popts := s.svc.opts.Preserve
-		popts.Solve = s.solve
-		key = preserveKey(fPrime, prev, popts)
-		compute = func() (cnf.Assignment, error) {
-			res, perr := core.PreserveResolve(fPrime, prev, popts)
-			if perr != nil {
-				return nil, perr
-			}
-			return res.Assignment, nil
+	case domain.PreservingEC:
+		key = s.taskKey("preserve", changed, prev)
+		compute = func() (any, error) {
+			next, _, perr := domain.Preserve(s.dom, changed, prev, s.solve)
+			return next, perr
 		}
-	case core.Replan:
-		key = plainKey(fPrime, s.solve)
-		compute = func() (cnf.Assignment, error) {
-			opts := s.solve
-			e := encode.New(fPrime)
-			opts.WarmStart = e.EncodeAssignment(prev.Clone().Grow(fPrime.NumVars))
-			return solveEncoding(e, opts)
+	case domain.Replan:
+		key = s.taskKey("plain", changed, nil)
+		compute = func() (any, error) {
+			next, _, rerr := domain.Solve(s.dom, changed, s.solve, prev)
+			return next, rerr
 		}
 	default:
 		return nil, fmt.Errorf("service: unknown strategy %d", s.strategy)
 	}
 
-	next, hit, err := s.svc.cachedSolve(key, compute)
+	next, hit, err := s.svc.cachedSolve(key, s.dom.CloneSolution, compute)
 	if err != nil {
 		return nil, err
 	}
-	s.commit(fPrime, next, formulaKey(fPrime), len(batch), hit)
-	return &SolveResult{
-		Assignment: next.Clone(),
+	s.commit(changed, next, s.problemKey(changed), len(batch), hit)
+	return s.result(&SolveResult{
 		Status:     s.strategy.String(),
 		Batched:    len(batch),
 		Cached:     hit,
-		Preserved:  next.PreservedFraction(prev),
-		DontCares:  next.DontCareCount(),
+		Preserved:  s.dom.Agreement(prev, next),
 		SubVars:    subVars,
-		SubClauses: subClauses,
-		Runtime:    time.Since(start),
-	}, nil
+		SubClauses: subRows,
+	}, start), nil
 }
 
-// commit installs the new formula/solution pair, updates stats, and
+// commit installs the new problem/solution pair, updates stats, and
 // shares the solution through the incumbent store. Caller holds s.mu.
-func (s *Session) commit(f *cnf.Formula, a cnf.Assignment, fkey string, batched int, hit bool) {
-	s.formula = f
-	s.solution = a
+func (s *Session) commit(p, sol any, pkey string, batched int, hit bool) {
+	s.problem = p
+	s.solution = sol
 	s.stats.solves++
 	s.svc.metrics.Solves.Add(1)
 	if batched > 0 {
@@ -325,62 +359,35 @@ func (s *Session) commit(f *cnf.Formula, a cnf.Assignment, fkey string, batched 
 	if hit {
 		s.stats.cacheHits++
 	}
-	s.svc.storeIncumbent(fkey, a)
-}
-
-// solveEncoding runs the base set-cover solve on a prepared encoding.
-func solveEncoding(e *encode.Encoding, opts ilp.Options) (cnf.Assignment, error) {
-	res := ilp.Solve(e.Model, opts)
-	switch res.Status {
-	case ilp.Optimal, ilp.Feasible:
-		a := e.Decode(res.Solution)
-		if !a.Satisfies(e.Formula) {
-			return nil, fmt.Errorf("service: decoded solution does not satisfy the formula (internal error)")
-		}
-		return a, nil
-	case ilp.Infeasible:
-		return nil, fmt.Errorf("service: formula is unsatisfiable")
-	default:
-		return nil, fmt.Errorf("service: solve hit limits (%s)", res.Status)
-	}
+	s.svc.storeIncumbent(pkey, s.dom, sol)
 }
 
 // ---- cache keys ----------------------------------------------------------
 
-// plainKey keys a base set-cover solve. WarmStart never shapes the key:
-// it guides the search, and the incumbent-store warm start is injected
-// after the lookup misses.
-func plainKey(f *cnf.Formula, opts ilp.Options) string {
-	opts.WarmStart = nil
-	return newKeyHasher("plain").formula(f).options(opts).sum()
-}
-
-// fastKey keys a fast-EC re-solve: the answer depends on the changed
-// formula, the previous solution, and the fast options.
-func fastKey(f *cnf.Formula, prev cnf.Assignment, opts core.FastOptions) string {
-	solve := opts.Solve
-	solve.WarmStart = nil
-	k := newKeyHasher("fast").formula(f).assignment(prev).options(solve)
-	k.int64(int64(opts.MaxEscalations), boolToInt(opts.Minimal))
-	return k.sum()
-}
-
-// preserveKey keys a preserving-EC re-solve.
-func preserveKey(f *cnf.Formula, prev cnf.Assignment, opts core.PreserveOptions) string {
-	solve := opts.Solve
-	solve.WarmStart = nil
-	k := newKeyHasher("preserve").formula(f).assignment(prev).options(solve)
-	k.int64(int64(opts.Mode), int64(math.Float64bits(opts.Weight)))
-	k.int64(int64(len(opts.Protected)))
-	for _, v := range opts.Protected {
-		k.int64(int64(v))
+// taskKey keys one solve task: the kind, the domain, the problem, the
+// previous solution for EC re-solves, and the solver-relevant options.
+// WarmStart never shapes a key: it only guides branching, and the
+// incumbent-store warm start is injected after the lookup misses.
+// Service-wide EC policies (Options.Fast/Preserve) are constant per
+// service and cache, so they are safely omitted.
+func (s *Session) taskKey(kind string, problem, prev any) string {
+	k := newKeyHasher(kind)
+	k.str(s.dom.Name())
+	s.dom.FingerprintProblem(k.h, problem)
+	if prev != nil {
+		k.str("prev")
+		s.dom.FingerprintSolution(k.h, prev)
 	}
-	return k.sum()
+	solve := s.solve
+	solve.WarmStart = nil
+	return k.options(solve).sum()
 }
 
-func boolToInt(v bool) int64 {
-	if v {
-		return 1
-	}
-	return 0
+// problemKey is the options-independent hash of a problem, used by the
+// shared incumbent store.
+func (s *Session) problemKey(problem any) string {
+	k := newKeyHasher("problem")
+	k.str(s.dom.Name())
+	s.dom.FingerprintProblem(k.h, problem)
+	return k.sum()
 }
