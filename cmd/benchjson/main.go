@@ -7,6 +7,13 @@
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./internal/ilp | benchjson -o BENCH.json
 //
+// With -compare BASELINE.json the freshly parsed results are also diffed
+// against a committed baseline: any benchmark whose name matches the
+// -match prefix and whose ns/op regressed by more than -threshold
+// (default 20%) fails the run with exit code 1 — the CI bench job's
+// regression gate for solver wall-clock. Benchmarks present on only one
+// side are reported but never fail the gate.
+//
 // The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so names are
 // stable across runner shapes. Benchmarks that appear multiple times (e.g.
 // -count > 1) keep the best (lowest ns/op) run.
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,6 +41,9 @@ type Metrics struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to diff against; regressions past -threshold fail")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression vs the baseline")
+	match := flag.String("match", "", "only gate benchmarks whose name starts with this prefix")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: reads bench output from stdin; no arguments expected")
@@ -59,6 +70,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		baseline, err := loadBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regressions := compareResults(os.Stderr, results, baseline, *match, *threshold)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+				regressions, *threshold*100, *compare)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadBaseline reads a previously emitted benchjson file.
+func loadBaseline(path string) (map[string]Metrics, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	var baseline map[string]Metrics
+	if err := json.NewDecoder(fh).Decode(&baseline); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return baseline, nil
+}
+
+// compareResults reports per-benchmark deltas to w and returns how many
+// gated benchmarks (name matching the prefix, present on both sides)
+// regressed past the threshold. One-sided benchmarks are informational.
+func compareResults(w io.Writer, results, baseline map[string]Metrics, match string, threshold float64) int {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		if match != "" && !strings.HasPrefix(name, match) {
+			continue
+		}
+		old, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %s: new benchmark (no baseline)\n", name)
+			continue
+		}
+		if old.NsPerOp <= 0 {
+			continue
+		}
+		ratio := results[name].NsPerOp / old.NsPerOp
+		switch {
+		case ratio > 1+threshold:
+			fmt.Fprintf(w, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n",
+				name, results[name].NsPerOp, old.NsPerOp, (ratio-1)*100)
+			regressions++
+		default:
+			fmt.Fprintf(w, "benchjson: ok %s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n",
+				name, results[name].NsPerOp, old.NsPerOp, (ratio-1)*100)
+		}
+	}
+	for name := range baseline {
+		if match != "" && !strings.HasPrefix(name, match) {
+			continue
+		}
+		if _, ok := results[name]; !ok {
+			fmt.Fprintf(w, "benchjson: %s: baseline benchmark missing from this run\n", name)
+		}
+	}
+	return regressions
 }
 
 // parse extracts benchmark results from go test -bench output. A result

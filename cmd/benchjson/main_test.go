@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -62,5 +63,39 @@ BenchmarkX-8   10   300 ns/op
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
 		t.Fatal("no-benchmark input accepted")
+	}
+}
+
+func TestCompareResults(t *testing.T) {
+	baseline := map[string]Metrics{
+		"SolverSetCover": {NsPerOp: 1000},
+		"SolverPacked":   {NsPerOp: 1000},
+		"SolverGone":     {NsPerOp: 1000},
+		"ParseOnly":      {NsPerOp: 1000},
+	}
+	results := map[string]Metrics{
+		"SolverSetCover": {NsPerOp: 1100}, // +10%: within the gate
+		"SolverPacked":   {NsPerOp: 1500}, // +50%: regression
+		"SolverNew":      {NsPerOp: 9999}, // no baseline: informational
+		"ParseOnly":      {NsPerOp: 9000}, // filtered out by -match Solver
+	}
+	var buf strings.Builder
+	n := compareResults(&buf, results, baseline, "Solver", 0.20)
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION SolverPacked") {
+		t.Fatalf("missing regression line:\n%s", out)
+	}
+	if strings.Contains(out, "ParseOnly") {
+		t.Fatalf("-match filter leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "SolverNew: new benchmark") || !strings.Contains(out, "SolverGone: baseline benchmark missing") {
+		t.Fatalf("one-sided benchmarks not reported:\n%s", out)
+	}
+	// Everything within threshold: gate passes.
+	if n := compareResults(io.Discard, baseline, baseline, "", 0.20); n != 0 {
+		t.Fatalf("identical runs regressed: %d", n)
 	}
 }

@@ -58,6 +58,8 @@ type config struct {
 	maxSessions int
 	timeLimit   time.Duration
 	drain       time.Duration
+	presolve    bool
+	cuts        bool
 }
 
 func main() {
@@ -88,6 +90,8 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	maxSessions := fs.Int("max-sessions", 4096, "live session limit")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-solve time limit (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget")
+	presolve := fs.Bool("presolve", true, "run the solver's presolve pass on every solve")
+	cuts := fs.Bool("cuts", true, "separate cover/clique cuts, retained per session across re-solves")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -102,6 +106,8 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		maxSessions: *maxSessions,
 		timeLimit:   *timeout,
 		drain:       *drain,
+		presolve:    *presolve,
+		cuts:        *cuts,
 	}
 	strat, err := service.ParseStrategy(*strategy)
 	if err != nil {
@@ -116,7 +122,12 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 // tests and useful with -addr :0).
 func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr string)) error {
 	svc := service.New(service.Options{
-		Solve:       ilp.Options{TimeLimit: cfg.timeLimit, Workers: cfg.solverWork},
+		Solve: ilp.Options{
+			TimeLimit: cfg.timeLimit,
+			Workers:   cfg.solverWork,
+			Presolve:  cfg.presolve,
+			Cuts:      cfg.cuts,
+		},
 		Strategy:    cfg.strategy,
 		CacheSize:   cfg.cacheSize,
 		Workers:     cfg.workers,

@@ -22,6 +22,13 @@ func TestParseFlags(t *testing.T) {
 	if cfg.addr != ":0" || cfg.strategy != core.PreservingEC || cfg.timeLimit != 5*time.Second {
 		t.Fatalf("cfg %+v", cfg)
 	}
+	if !cfg.presolve || !cfg.cuts {
+		t.Fatalf("presolve/cuts should default on: %+v", cfg)
+	}
+	cfg2, err := parseFlags([]string{"-presolve=false", "-cuts=false"}, io.Discard)
+	if err != nil || cfg2.presolve || cfg2.cuts {
+		t.Fatalf("presolve/cuts flags not honored: %+v (%v)", cfg2, err)
+	}
 	if _, err := parseFlags([]string{"-strategy", "psychic"}, io.Discard); err == nil {
 		t.Fatal("bad strategy accepted")
 	}
@@ -275,5 +282,49 @@ func TestServeDomainsEndpoint(t *testing.T) {
 	}
 	if len(want) != 0 {
 		t.Fatalf("missing domains %v in %s", want, raw)
+	}
+}
+
+// TestServeMetricsCounters: /v1/metrics reports the presolve/cut-pool
+// counters the PR-4 solver layers feed (the server runs with presolve and
+// cuts on by default).
+func TestServeMetricsCounters(t *testing.T) {
+	base := startTestServer(t)
+	body := `{"clauses": [[1,2],[-1,3],[2,3]]}`
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if json.Unmarshal(raw, &info) != nil || info.ID == "" {
+		t.Fatalf("create: %s", raw)
+	}
+	resp, err = http.Post(base+"/v1/sessions/"+info.ID+"/solve", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics body %s: %v", raw, err)
+	}
+	for _, k := range []string{
+		"presolve_fixed", "presolve_rows", "cuts_added", "cuts_reused",
+		"cut_tightenings", "truncated_solves",
+	} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("metrics missing %q: %s", k, raw)
+		}
 	}
 }

@@ -55,6 +55,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	flips := fs.Int64("flips", 0, "heuristic flip budget (0 = default)")
 	timeout := fs.Duration("timeout", 0, "exact time limit (0 = none)")
 	workers := fs.Int("workers", 1, "parallel root searchers for the exact solver (1 = serial)")
+	presolve := fs.Bool("presolve", true, "run the presolve pass (bound tightening, row/column elimination)")
+	cuts := fs.Bool("cuts", true, "separate cover and clique cuts before the search")
 	quiet := fs.Bool("quiet", false, "print only status and objective")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -85,7 +87,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	switch *solver {
 	case "exact":
-		opts := ilp.Options{TimeLimit: *timeout, Workers: *workers}
+		opts := ilp.Options{TimeLimit: *timeout, Workers: *workers, Presolve: *presolve, Cuts: *cuts}
 		switch *bounding {
 		case "comb":
 			opts.Bounding = ilp.CombBound
@@ -120,6 +122,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				res.Nodes, res.Propagations, res.RowScansSaved, time.Since(start))
 			fmt.Fprintf(stdout, "lp-solves: %d  lp-warm-hits: %d  workers: %d\n",
 				res.LPSolves, res.LPWarmHits, res.Workers)
+			fmt.Fprintf(stdout, "presolve-fixed: %d  presolve-rows: %d  cuts-added: %d  cut-tightenings: %d\n",
+				res.PresolveFixed, res.PresolveRows, res.CutsAdded, res.CutTightenings)
 		}
 		switch res.Status {
 		case ilp.Optimal, ilp.Feasible:

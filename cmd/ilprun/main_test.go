@@ -110,3 +110,23 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatalf("output %q", out.String())
 	}
 }
+
+func TestRunPresolveCounters(t *testing.T) {
+	// x forced to 1 by its own row: presolve fixes it and reports so.
+	model := "min x + y\nst\na: x >= 1\nb: x + y <= 2\n"
+	code, out, errOut := runCase(t, []string{"-"}, model)
+	if code != exitOK {
+		t.Fatalf("exit %d (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(out, "presolve-fixed:") || !strings.Contains(out, "cuts-added:") {
+		t.Fatalf("missing presolve/cut counters in %q", out)
+	}
+	// -presolve=false -cuts=false restores the raw kernel (same answer).
+	code2, out2, _ := runCase(t, []string{"-presolve=false", "-cuts=false", "-"}, model)
+	if code2 != exitOK || !strings.Contains(out2, "presolve-fixed: 0") {
+		t.Fatalf("raw run exit %d output %q", code2, out2)
+	}
+	if !strings.Contains(out, "objective: 1") || !strings.Contains(out2, "objective: 1") {
+		t.Fatalf("objectives differ: %q vs %q", out, out2)
+	}
+}

@@ -218,6 +218,35 @@ func RunConformance(t *testing.T, d Domain) {
 		t.Fatal("solution fingerprint not deterministic")
 	}
 
+	// Presolve + cuts differential: the reduced solve must reproduce the
+	// raw kernel's status and objective on both the fixture problem and
+	// the changed problem (ISSUE: reduced-vs-raw across every domain).
+	for _, problem := range []any{c.Problem, changed} {
+		enc, err := d.Encode(problem)
+		if err != nil {
+			t.Fatalf("encode for presolve differential: %v", err)
+		}
+		raw := ilp.Solve(enc.ILP(), c.Solve)
+		reducedOpts := c.Solve
+		reducedOpts.Presolve = true
+		reducedOpts.Cuts = true
+		reducedOpts.CutPool = ilp.NewCutPool()
+		red := ilp.Solve(enc.ILP(), reducedOpts)
+		if red.Status != raw.Status {
+			t.Fatalf("presolve differential: status %v, want %v", red.Status, raw.Status)
+		}
+		if raw.Status == ilp.Optimal {
+			if diff := red.Objective - raw.Objective; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("presolve differential: objective %v, want %v", red.Objective, raw.Objective)
+			}
+			if sol, err := enc.Decode(red.Solution); err != nil {
+				t.Fatalf("presolve differential: decode reduced solution: %v", err)
+			} else if err := d.Verify(problem, sol); err != nil {
+				t.Fatalf("presolve differential: reduced solution invalid: %v", err)
+			}
+		}
+	}
+
 	// The generic flow threads the same instance end to end.
 	for _, strat := range []Strategy{FastEC, PreservingEC, Replan} {
 		fl := NewFlow(d, c.Problem, FlowOptions{Solve: c.Solve, Fast: FastOptions{Solve: c.Solve}})

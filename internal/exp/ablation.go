@@ -98,6 +98,25 @@ func RunAblations(p Profile) []AblationRow {
 		}
 	}
 	out = append(out, row3)
+
+	// Arm 4: presolve + cut separation vs the raw kernel on the base
+	// encoding (the PR-4 reduction layer).
+	row4 := AblationRow{Name: "presolve", Instance: spec.Name, A: "presolve+cuts", B: "raw"}
+	preOpts := opts
+	preOpts.Presolve = true
+	preOpts.Cuts = true
+	t0 = time.Now()
+	rp := ilp.Solve(e.Model, preOpts)
+	row4.TimeA = time.Since(t0)
+	row4.NodesA = rp.Nodes
+	t0 = time.Now()
+	rr := ilp.Solve(e.Model, opts)
+	row4.TimeB = time.Since(t0)
+	row4.NodesB = rr.Nodes
+	if rp.Status != rr.Status {
+		row4.Err = fmt.Sprintf("status mismatch: %v vs %v", rp.Status, rr.Status)
+	}
+	out = append(out, row4)
 	return out
 }
 

@@ -7,14 +7,14 @@ import (
 
 func TestRunAblations(t *testing.T) {
 	rows := RunAblations(testProfile(t))
-	if len(rows) != 3 {
+	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	names := map[string]bool{}
 	for _, r := range rows {
 		names[r.Name] = true
 	}
-	for _, want := range []string{"warm-start", "bounding", "fast-vs-full"} {
+	for _, want := range []string{"warm-start", "bounding", "fast-vs-full", "presolve"} {
 		if !names[want] {
 			t.Fatalf("missing ablation %q", want)
 		}
@@ -31,6 +31,14 @@ func TestRunAblations(t *testing.T) {
 		case "fast-vs-full":
 			if r.TimeA > r.TimeB*4 {
 				t.Fatalf("fast EC (%v) much slower than full re-solve (%v)", r.TimeA, r.TimeB)
+			}
+		case "presolve":
+			// Reductions reshape the branching order, so node counts are
+			// not strictly monotone per instance; gate only on
+			// pathological blowups (the perf claim itself lives in
+			// BenchmarkSolverPresolve*/BENCH_PR4.json).
+			if r.NodesA > 2*r.NodesB+1000 {
+				t.Fatalf("presolve+cuts blew the search up (%d vs %d nodes)", r.NodesA, r.NodesB)
 			}
 		}
 	}

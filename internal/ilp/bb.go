@@ -1,7 +1,9 @@
 package ilp
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"ilpec/internal/lp"
@@ -78,8 +80,25 @@ type solver struct {
 	lpSolves   int64
 	props      int64
 	scansSaved int64
+	cutTight   int64 // propagation fixings forced by cut rows
 	deadline   time.Time
 	timedOut   bool
+
+	// budget, when non-nil, is the node counter shared by every searcher
+	// of one Solve call; Options.MaxNodes is checked against it so the
+	// budget stays global regardless of Workers. Nil (serial solves)
+	// checks the local node count instead.
+	budget *atomic.Int64
+	// localCap additionally bounds this solver's own nodes (the parallel
+	// root search's bounded serial dive); 0 means no local cap.
+	localCap int64
+	ctx      context.Context // non-nil: abort when cancelled
+	aborted  bool
+
+	// cutNormStart is the first normalized-row index belonging to a cut
+	// row (cut rows are the model's trailing opts.cutRows rows);
+	// math.MaxInt when the model carries no cuts.
+	cutNormStart int
 
 	lpBase     *lp.Problem // base relaxation, built once per solve
 	lpSolver   *lp.Solver  // warm-started simplex over lpBase
@@ -90,12 +109,27 @@ type solver struct {
 
 func newSolver(m *Model, opts Options) *solver {
 	s := &solver{
-		m:        m,
-		opts:     opts,
-		maximize: m.Maximize,
-		obj:      make([]float64, m.NumVars()),
-		fixed:    make([]int8, m.NumVars()),
-		varOccs:  make([][]occ, m.NumVars()),
+		m:            m,
+		opts:         opts,
+		maximize:     m.Maximize,
+		obj:          make([]float64, m.NumVars()),
+		fixed:        make([]int8, m.NumVars()),
+		varOccs:      make([][]occ, m.NumVars()),
+		ctx:          opts.Context,
+		cutNormStart: math.MaxInt,
+	}
+	if opts.cutRows > 0 {
+		// Cut rows are the trailing opts.cutRows model rows; count the
+		// normalized rows the non-cut prefix expands to (EQ becomes two).
+		start := 0
+		for _, r := range m.rows[:len(m.rows)-opts.cutRows] {
+			if r.Sense == EQ {
+				start += 2
+			} else {
+				start++
+			}
+		}
+		s.cutNormStart = start
 	}
 	for j := range s.fixed {
 		s.fixed[j] = -1
@@ -257,11 +291,11 @@ func (s *solver) run() Result {
 
 	res := s.result()
 	switch {
-	case s.hasIncumbent && !s.timedOut && !s.nodeLimited():
+	case s.hasIncumbent && !s.truncated():
 		res.Status = Optimal
 	case s.hasIncumbent:
 		res.Status = Feasible
-	case !s.timedOut && !s.nodeLimited():
+	case !s.truncated():
 		res.Status = Infeasible
 	default:
 		res.Status = Unknown
@@ -277,11 +311,12 @@ func (s *solver) run() Result {
 // caller).
 func (s *solver) result() Result {
 	res := Result{
-		Nodes:         s.nodes,
-		LPSolves:      s.lpSolves,
-		Propagations:  s.props,
-		RowScansSaved: s.scansSaved,
-		Workers:       1,
+		Nodes:          s.nodes,
+		LPSolves:       s.lpSolves,
+		Propagations:   s.props,
+		RowScansSaved:  s.scansSaved,
+		CutTightenings: s.cutTight,
+		Workers:        1,
 	}
 	if s.lpSolver != nil {
 		res.LPWarmHits = s.lpSolver.WarmHits
@@ -302,18 +337,42 @@ func (s *solver) rootPropagate() bool {
 	return true
 }
 
+// nodeLimited reports budget exhaustion: the global MaxNodes budget
+// (drawn from the shared counter when this searcher is part of a parallel
+// solve) or this searcher's own localCap (the parallel root search's
+// bounded serial dive).
 func (s *solver) nodeLimited() bool {
-	return s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes
+	if s.localCap > 0 && s.nodes >= s.localCap {
+		return true
+	}
+	if s.opts.MaxNodes <= 0 {
+		return false
+	}
+	if s.budget != nil {
+		return s.budget.Load() >= s.opts.MaxNodes
+	}
+	return s.nodes >= s.opts.MaxNodes
+}
+
+// truncated reports whether any limit (nodes, time, context) stopped this
+// searcher from proving its subtree.
+func (s *solver) truncated() bool {
+	return s.timedOut || s.aborted || s.nodeLimited()
 }
 
 func (s *solver) limitHit() bool {
 	if s.nodeLimited() {
 		return true
 	}
-	if !s.deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadline) {
-		s.timedOut = true
+	if s.nodes%256 == 0 {
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.timedOut = true
+		}
+		if s.ctx != nil && s.ctx.Err() != nil {
+			s.aborted = true
+		}
 	}
-	return s.timedOut
+	return s.timedOut || s.aborted
 }
 
 // search explores the subtree under the current trail. It returns false if
@@ -343,6 +402,9 @@ func (s *solver) search() bool {
 		return true
 	}
 	s.nodes++
+	if s.budget != nil {
+		s.budget.Add(1)
+	}
 	first := s.firstValue(j)
 	complete := true
 	for _, v := range [2]int8{first, 1 - first} {
@@ -560,6 +622,9 @@ func (s *solver) propagate() bool {
 			if c.Val > slack+solveEps {
 				// x=1 would overflow the row → force 0.
 				s.props++
+				if int(ri) >= s.cutNormStart {
+					s.cutTight++
+				}
 				if !s.assign(c.Var, 0) {
 					s.clearQueue()
 					return false
@@ -567,6 +632,9 @@ func (s *solver) propagate() bool {
 			} else if c.Val < 0 && -c.Val > slack+solveEps {
 				// x=0 removes the negative min contribution → force 1.
 				s.props++
+				if int(ri) >= s.cutNormStart {
+					s.cutTight++
+				}
 				if !s.assign(c.Var, 1) {
 					s.clearQueue()
 					return false

@@ -144,3 +144,191 @@ func BenchmarkSolverWarmStart(b *testing.B) {
 	}
 	reportNodes(b, res)
 }
+
+// benchRedundant builds the EC-shaped presolve target: a set-cover core
+// buried under the noise a change-churned encoding accumulates —
+// duplicated cover rows, dominated decoy columns, forced variables, and
+// redundant capacity rows. Presolve strips all of it; the raw kernel pays
+// for it at every node.
+func benchRedundant(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := benchSetCover(40, 80, 3, seed)
+	// Duplicate every cover row twice more (identical residuals: the
+	// cover bound scans them all, presolve keeps one).
+	nRows := m.NumRows()
+	for i := 0; i < nRows; i++ {
+		r := m.RowAt(i)
+		m.AddRow("", r.Coefs, r.Sense, r.RHS)
+		m.AddRow("", r.Coefs, r.Sense, r.RHS)
+	}
+	// Dominated decoy columns: positive cost, only positive coefficients
+	// in LE rows — presolve fixes them to 0.
+	first := m.NumVars()
+	for j := 0; j < 40; j++ {
+		m.AddVar("", 2+float64(rng.Intn(3)))
+	}
+	for i := 0; i < 20; i++ {
+		coefs := make([]Coef, 0, 4)
+		for k := 0; k < 4; k++ {
+			coefs = append(coefs, Coef{first + rng.Intn(40), 1})
+		}
+		m.AddRow("", coefs, LE, 3)
+	}
+	// Forced variables plus rows their fixing makes redundant.
+	forced := m.NumVars()
+	for j := 0; j < 10; j++ {
+		m.AddVar("", 1)
+		m.AddRow("", []Coef{{forced + j, 1}}, GE, 1)
+		m.AddRow("", []Coef{{forced + j, 5}, {rng.Intn(40), 1}}, LE, 6)
+	}
+	return m
+}
+
+// BenchmarkSolverPresolveOff is the raw-kernel control for the presolve
+// benches: same redundancy-laden model, no reductions.
+func BenchmarkSolverPresolveOff(b *testing.B) {
+	m := benchRedundant(19)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverPresolveOn runs the same model through the presolve
+// pass: duplicate rows collapse, decoys and forced variables leave the
+// model, and every node of the remaining search gets cheaper.
+func BenchmarkSolverPresolveOn(b *testing.B) {
+	m := benchRedundant(19)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{Presolve: true})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverPresolveCuts adds the cut layer on top: cover cuts from
+// the knapsack rows and clique cuts from the conflict graph, separated
+// fresh each solve (the pool-retained path is BenchmarkSolverCutPoolReuse).
+func BenchmarkSolverPresolveCuts(b *testing.B) {
+	m := benchRedundant(19)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{Presolve: true, Cuts: true})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverCutPoolReuse measures the EC re-solve path: a retained
+// pool answers separation for unchanged rows, so only the pool lookup is
+// paid after the first solve.
+func BenchmarkSolverCutPoolReuse(b *testing.B) {
+	m := benchRedundant(19)
+	pool := NewCutPool()
+	if res := Solve(m, Options{Presolve: true, Cuts: true, CutPool: pool}); res.Status != Optimal {
+		b.Fatalf("status %v", res.Status)
+	}
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{Presolve: true, Cuts: true, CutPool: pool})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkPresolvePass isolates the cost of the reduction fixpoint
+// itself (no search).
+func BenchmarkPresolvePass(b *testing.B) {
+	m := benchRedundant(19)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := presolveModel(m)
+		if p.infeasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// benchCliqued builds the conflict-graph shape where clique cuts shine: a
+// weighted selection over groups of mutually exclusive options encoded as
+// pairwise-conflict rows (one-of-n structure a netlist or coloring
+// encoding produces). The LP relaxation of the pairwise rows is weak
+// (x = 1/2 everywhere); the separated clique cut Σ_group x ≤ 1 closes it.
+func benchCliqued() *Model {
+	m := NewModel(true)
+	const groups, size = 8, 5
+	for g := 0; g < groups; g++ {
+		for i := 0; i < size; i++ {
+			m.AddVar("", 1+float64(i%3))
+		}
+	}
+	for g := 0; g < groups; g++ {
+		base := g * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				m.AddRow("", []Coef{{base + i, 1}, {base + j, 1}}, LE, 1)
+			}
+		}
+	}
+	for g := 0; g+1 < groups; g++ {
+		var coefs []Coef
+		for i := 0; i < size; i++ {
+			coefs = append(coefs, Coef{g*size + i, 1})
+		}
+		m.AddRow("", coefs, GE, 1)
+	}
+	return m
+}
+
+// BenchmarkSolverCutsOff is the control: LP-bounded search over the
+// pairwise-conflict model with no clique cuts (thousands of nodes at
+// x = 1/2 fractional points).
+func BenchmarkSolverCutsOff(b *testing.B) {
+	m := benchCliqued()
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{Bounding: LPBound, Branching: BranchLPFractional})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkSolverCutsOn separates the clique cuts first: the same search
+// needs ~20× fewer nodes because each group's LP bound is exact.
+func BenchmarkSolverCutsOn(b *testing.B) {
+	m := benchCliqued()
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(m, Options{Bounding: LPBound, Branching: BranchLPFractional, Cuts: true})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}

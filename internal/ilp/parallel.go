@@ -102,6 +102,15 @@ func solveParallel(m *Model, opts Options) Result {
 	workers := opts.Workers
 	probe := newSolver(m, opts)
 
+	// One shared node counter enforces Options.MaxNodes globally: the
+	// dive, the fallback, and every worker draw from the same budget, so
+	// Workers never multiplies it.
+	var budget *atomic.Int64
+	if opts.MaxNodes > 0 {
+		budget = new(atomic.Int64)
+		probe.budget = budget
+	}
+
 	var deadline time.Time
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
@@ -127,9 +136,7 @@ func solveParallel(m *Model, opts Options) Result {
 		probe.hasIncumbent = true
 	}
 	const diveNodes = 4096
-	if opts.MaxNodes == 0 || opts.MaxNodes > diveNodes {
-		probe.opts.MaxNodes = diveNodes
-	}
+	probe.localCap = diveNodes // the global MaxNodes budget still applies
 	rootMark := len(probe.trail)
 	complete := probe.search()
 	probe.clearQueue()
@@ -164,6 +171,7 @@ func solveParallel(m *Model, opts Options) Result {
 		}
 		fb := newSolver(m, fbOpts)
 		fb.deadline = deadline
+		fb.budget = budget
 		res := fb.run()
 		pr := probe.result()
 		res.Nodes += pr.Nodes
@@ -171,6 +179,7 @@ func solveParallel(m *Model, opts Options) Result {
 		res.Propagations += pr.Propagations
 		res.RowScansSaved += pr.RowScansSaved
 		res.LPWarmHits += pr.LPWarmHits
+		res.CutTightenings += pr.CutTightenings
 		return res
 	}
 	sort.Slice(unfixed, func(a, b int) bool {
@@ -219,6 +228,7 @@ func solveParallel(m *Model, opts Options) Result {
 	pr := probe.result()
 	nodes, lpSolves := pr.Nodes, pr.LPSolves
 	props, scansSaved, lpWarmHits := pr.Propagations, pr.RowScansSaved, pr.LPWarmHits
+	cutTight := pr.CutTightenings
 	var incomplete atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -228,6 +238,7 @@ func solveParallel(m *Model, opts Options) Result {
 			sub := newSolver(m, opts)
 			sub.shared = shared
 			sub.deadline = deadline
+			sub.budget = budget
 			if sub.rootPropagate() {
 				rootMark := len(sub.trail)
 				for mask := range tasks {
@@ -238,7 +249,7 @@ func solveParallel(m *Model, opts Options) Result {
 					}
 					sub.clearQueue()
 					sub.undoTo(rootMark)
-					if sub.timedOut || sub.nodeLimited() {
+					if sub.timedOut || sub.aborted || sub.nodeLimited() {
 						incomplete.Store(true)
 						break
 					}
@@ -250,17 +261,19 @@ func solveParallel(m *Model, opts Options) Result {
 			atomic.AddInt64(&props, r.Propagations)
 			atomic.AddInt64(&scansSaved, r.RowScansSaved)
 			atomic.AddInt64(&lpWarmHits, r.LPWarmHits)
+			atomic.AddInt64(&cutTight, r.CutTightenings)
 		}()
 	}
 	wg.Wait()
 
 	res := Result{
-		Nodes:         nodes,
-		LPSolves:      lpSolves,
-		Propagations:  props,
-		RowScansSaved: scansSaved,
-		LPWarmHits:    lpWarmHits,
-		Workers:       workers,
+		Nodes:          nodes,
+		LPSolves:       lpSolves,
+		Propagations:   props,
+		RowScansSaved:  scansSaved,
+		LPWarmHits:     lpWarmHits,
+		CutTightenings: cutTight,
+		Workers:        workers,
 	}
 	_, has := shared.best()
 	switch {

@@ -1,0 +1,248 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPresolveForcedFixings: rows whose slack admits only one value fix
+// variables at presolve time.
+func TestPresolveForcedFixings(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 1)
+	y := m.AddVar("y", 1)
+	z := m.AddVar("z", -1)
+	m.AddRow("", []Coef{{x, 1}}, GE, 1)          // forces x = 1
+	m.AddRow("", []Coef{{y, 2}, {x, 1}}, LE, 2)  // with x = 1: forces y = 0
+	m.AddRow("", []Coef{{z, -3}, {y, 1}}, LE, 0) // z = 0 violates? no: forces nothing new; z dominated to 1
+	p := presolveModel(m)
+	if p.infeasible {
+		t.Fatal("unexpected infeasible")
+	}
+	if p.fixedVals[x] != 1 || p.fixedVals[y] != 0 {
+		t.Fatalf("fixedVals = %v, want x=1 y=0", p.fixedVals)
+	}
+	if p.reduced.NumVars() != 0 {
+		// z has negative objective and only helpful coefficients: fixed 1.
+		t.Fatalf("reduced vars = %d, want 0 (z dominated)", p.reduced.NumVars())
+	}
+	res := Solve(m, Options{Presolve: true})
+	if res.Status != Optimal || res.PresolveFixed != 3 {
+		t.Fatalf("res = %+v, want Optimal with 3 fixed", res)
+	}
+	want := Enumerate(m)
+	if math.Abs(res.Objective-want.Objective) > 1e-9 {
+		t.Fatalf("objective %v, want %v", res.Objective, want.Objective)
+	}
+}
+
+// TestPresolveInfeasible: contradictory rows are detected without search.
+func TestPresolveInfeasible(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 1)
+	m.AddRow("", []Coef{{x, 1}}, GE, 1)
+	m.AddRow("", []Coef{{x, 1}}, LE, 0)
+	res := Solve(m, Options{Presolve: true})
+	if res.Status != Infeasible {
+		t.Fatalf("status %v, want Infeasible", res.Status)
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("nodes %d, want 0 (presolve should prove it)", res.Nodes)
+	}
+}
+
+// TestPresolveDuplicateRows: identical residual rows collapse to the
+// tightest right-hand side, and equal-coef EQ rows with different rhs are
+// infeasible.
+func TestPresolveDuplicateRows(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", -1)
+	y := m.AddVar("y", -1)
+	z := m.AddVar("z", -1)
+	m.AddRow("", []Coef{{x, 1}, {y, 1}, {z, 1}}, LE, 2)
+	m.AddRow("", []Coef{{z, 1}, {x, 1}, {y, 1}}, LE, 1) // same coefs, tighter
+	m.AddRow("", []Coef{{x, 1}, {y, 1}, {z, 1}}, LE, 2) // duplicate again
+	p := presolveModel(m)
+	if p.infeasible {
+		t.Fatal("unexpected infeasible")
+	}
+	if p.nRowsDropped < 2 {
+		t.Fatalf("dropped %d rows, want >= 2", p.nRowsDropped)
+	}
+	diffPresolve(t, 0, m)
+
+	m2 := NewModel(false)
+	a := m2.AddVar("a", 1)
+	b := m2.AddVar("b", 1)
+	m2.AddRow("", []Coef{{a, 1}, {b, 1}}, EQ, 1)
+	m2.AddRow("", []Coef{{a, 1}, {b, 1}}, EQ, 2)
+	if res := Solve(m2, Options{Presolve: true}); res.Status != Infeasible {
+		t.Fatalf("conflicting EQ duplicates: status %v, want Infeasible", res.Status)
+	}
+}
+
+// TestPresolveDominatedColumns: a column whose value never hurts any row
+// or the objective is fixed.
+func TestPresolveDominatedColumns(t *testing.T) {
+	m := NewModel(false)
+	x := m.AddVar("x", 2) // only positive coefs in LE rows, positive cost → 0
+	y := m.AddVar("y", 1)
+	z := m.AddVar("z", 1)
+	m.AddRow("", []Coef{{x, 1}, {y, 1}, {z, 1}}, LE, 2)
+	m.AddRow("", []Coef{{y, 1}, {z, 1}}, GE, 1)
+	p := presolveModel(m)
+	if p.fixedVals[x] != 0 {
+		t.Fatalf("x not fixed to 0: %v", p.fixedVals)
+	}
+	diffPresolve(t, 0, m)
+}
+
+// diffPresolve asserts Presolve+Cuts solves m to the same status and
+// objective as the raw kernel, and that the mapped-back solution is
+// feasible in the original model.
+func diffPresolve(t *testing.T, trial int, m *Model) {
+	t.Helper()
+	want := Solve(m, Options{})
+	for _, opts := range []Options{
+		{Presolve: true},
+		{Cuts: true},
+		{Presolve: true, Cuts: true},
+		{Presolve: true, Cuts: true, Bounding: LPBound, Branching: BranchLPFractional},
+	} {
+		got := Solve(m, opts)
+		if got.Status != want.Status {
+			t.Fatalf("trial %d %+v: status %v, want %v\nmodel: %v", trial, opts, got.Status, want.Status, m)
+		}
+		if want.Status == Optimal {
+			if math.Abs(got.Objective-want.Objective) > 1e-6 {
+				t.Fatalf("trial %d %+v: objective %v, want %v\nmodel: %v", trial, opts, got.Objective, want.Objective, m)
+			}
+			if len(got.Solution) != m.NumVars() {
+				t.Fatalf("trial %d: solution length %d, want %d", trial, len(got.Solution), m.NumVars())
+			}
+			if !m.Feasible(got.Solution) {
+				t.Fatalf("trial %d %+v: postsolved solution infeasible\nmodel: %v", trial, opts, m)
+			}
+		}
+	}
+}
+
+// TestPresolveDifferentialRandom is the property-style round-trip test:
+// across seeded random models with general senses and mixed-sign
+// coefficients, the reduced model's mapped-back solution must be feasible
+// and objective-equal in the original.
+func TestPresolveDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	for trial := 0; trial < 150; trial++ {
+		m := randomModel(rng, 2+rng.Intn(10), 1+rng.Intn(8))
+		diffPresolve(t, trial, m)
+	}
+}
+
+// TestPresolveDifferentialCover focuses on covering structure: presolve
+// must keep GE cover rows recognizable (the cover bound and greedy
+// branching depend on them).
+func TestPresolveDifferentialCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(422))
+	for trial := 0; trial < 80; trial++ {
+		nSets := 3 + rng.Intn(9)
+		nElems := 2 + rng.Intn(10)
+		m := NewModel(false)
+		for j := 0; j < nSets; j++ {
+			m.AddVar("", float64(rng.Intn(6)-1))
+		}
+		for e := 0; e < nElems; e++ {
+			var coefs []Coef
+			for j := 0; j < nSets; j++ {
+				if rng.Intn(3) == 0 {
+					coefs = append(coefs, Coef{j, 1})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{rng.Intn(nSets), 1})
+			}
+			m.AddRow("", coefs, GE, 1)
+		}
+		diffPresolve(t, trial, m)
+	}
+}
+
+// TestPresolveDifferentialKnapsack focuses on the all-positive LE rows
+// that drive cover-cut and conflict-edge separation.
+func TestPresolveDifferentialKnapsack(t *testing.T) {
+	rng := rand.New(rand.NewSource(423))
+	for trial := 0; trial < 80; trial++ {
+		nVars := 3 + rng.Intn(8)
+		m := NewModel(rng.Intn(2) == 0)
+		for j := 0; j < nVars; j++ {
+			m.AddVar("", float64(rng.Intn(9)-3))
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			var coefs []Coef
+			for j := 0; j < nVars; j++ {
+				if rng.Intn(2) == 0 {
+					coefs = append(coefs, Coef{j, float64(1 + rng.Intn(6))})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{rng.Intn(nVars), 2})
+			}
+			m.AddRow("", coefs, LE, float64(1+rng.Intn(9)))
+		}
+		// A couple of GE rows keep the instances feasible-but-nontrivial.
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			var coefs []Coef
+			for j := 0; j < nVars; j++ {
+				if rng.Intn(3) == 0 {
+					coefs = append(coefs, Coef{j, 1})
+				}
+			}
+			if len(coefs) == 0 {
+				continue
+			}
+			m.AddRow("", coefs, GE, 1)
+		}
+		diffPresolve(t, trial, m)
+	}
+}
+
+// TestPresolveWarmStart: warm starts survive the reduction (mapped into
+// the reduced space) and still steer the solver.
+func TestPresolveWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(424))
+	for trial := 0; trial < 40; trial++ {
+		m := randomModel(rng, 3+rng.Intn(8), 1+rng.Intn(6))
+		base := Solve(m, Options{})
+		if base.Status != Optimal {
+			continue
+		}
+		got := Solve(m, Options{Presolve: true, Cuts: true, WarmStart: base.Solution})
+		if got.Status != Optimal || math.Abs(got.Objective-base.Objective) > 1e-6 {
+			t.Fatalf("trial %d: warm-started presolve got %v/%v, want Optimal/%v",
+				trial, got.Status, got.Objective, base.Objective)
+		}
+	}
+}
+
+// TestPresolveParallelDifferential: presolve+cuts compose with the
+// parallel root search.
+func TestPresolveParallelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(425))
+	for trial := 0; trial < 30; trial++ {
+		m := randomModel(rng, 4+rng.Intn(9), 2+rng.Intn(7))
+		want := Solve(m, Options{})
+		got := Solve(m, Options{Presolve: true, Cuts: true, Workers: 4})
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v, want %v", trial, got.Status, want.Status)
+		}
+		if want.Status == Optimal {
+			if math.Abs(got.Objective-want.Objective) > 1e-6 {
+				t.Fatalf("trial %d: objective %v, want %v", trial, got.Objective, want.Objective)
+			}
+			if !m.Feasible(got.Solution) {
+				t.Fatalf("trial %d: infeasible solution", trial)
+			}
+		}
+	}
+}

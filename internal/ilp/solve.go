@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"encoding/binary"
 	"io"
 	"time"
@@ -76,8 +77,10 @@ type Options struct {
 	// and branching tries each variable's warm value first. This is the
 	// mechanism by which EC re-solves exploit the original solution.
 	WarmStart Solution
-	// MaxNodes bounds the number of branch-and-bound nodes (0 = unlimited).
-	// With Workers > 1 the budget applies per worker.
+	// MaxNodes bounds the total number of branch-and-bound nodes across
+	// the whole search (0 = unlimited). The budget is global: with
+	// Workers > 1 all searchers draw from one shared counter, so raising
+	// Workers never multiplies the node budget.
 	MaxNodes int64
 	// TimeLimit bounds wall-clock time (0 = unlimited).
 	TimeLimit time.Duration
@@ -86,14 +89,40 @@ type Options struct {
 	// an incumbent bound. The optimum is unchanged; the reported Solution
 	// may be any optimal one. 0 or 1 selects the serial search.
 	Workers int
+	// Presolve runs the reduction fixpoint of presolve.go before the
+	// search: slack forcing, redundant/duplicate row elimination, and
+	// dominated column fixing, with solutions mapped back through the
+	// postsolve maps. Status and objective are preserved exactly.
+	Presolve bool
+	// Cuts separates lifted cover cuts and clique cuts (cuts.go) and adds
+	// them as extra rows, tightening propagation and the LP relaxation.
+	// Implied inequalities only: status and objective are unchanged.
+	Cuts bool
+	// CutPool, when non-nil with Cuts set, retains separated cuts across
+	// solves keyed by source-row content, so EC re-solves only pay
+	// separation for changed rows. Nil uses a transient per-solve pool.
+	CutPool *CutPool
+	// Context, when non-nil, aborts the search when cancelled (checked on
+	// the same stride as TimeLimit). An aborted solve reports Feasible or
+	// Unknown, exactly like a time limit.
+	Context context.Context
+
+	// cutRows is set internally by Solve: the number of trailing rows of
+	// the model handed to the kernel that are cut rows (for the
+	// CutTightenings counter).
+	cutRows int
 }
 
 // Fingerprint writes a canonical binary digest of the answer-relevant
-// options to w — everything except WarmStart, which guides the search but
-// is keyed separately by callers that cache solves (the EC session service
-// hashes the previous solution alongside). Two Options values with equal
-// fingerprints configure searches that return the same status and
-// objective for the same model.
+// options to w. Excluded: WarmStart (guides the search but is keyed
+// separately by callers that cache solves — the EC session service hashes
+// the previous solution alongside), Presolve/Cuts/CutPool (proven to
+// preserve status and objective, so reduced and raw solves are
+// answer-equivalent), and Context (truncates like TimeLimit, and
+// truncated results are never cache-eligible — see the service's
+// proven-only caching rule). Two Options values with equal fingerprints
+// configure searches that return the same status and objective for the
+// same model, provided the search ran to completion.
 func (o Options) Fingerprint(w io.Writer) {
 	var buf [5 * binary.MaxVarintLen64]byte
 	b := buf[:0]
@@ -118,20 +147,137 @@ type Result struct {
 	RowScansSaved int64
 	// LPWarmHits counts LP node solves that reused the previous basis.
 	LPWarmHits int64
+	// PresolveFixed counts variables fixed by the presolve pass.
+	PresolveFixed int64
+	// PresolveRows counts rows dropped by presolve (redundant +
+	// duplicate).
+	PresolveRows int64
+	// CutsAdded is the number of cut rows added to this solve (separated
+	// fresh plus served from the pool).
+	CutsAdded int64
+	// CutsReused is the subset of CutsAdded served from a retained
+	// CutPool without re-separation.
+	CutsReused int64
+	// CutTightenings counts variable fixings forced by cut rows during
+	// propagation — prunings the raw row set would not have made.
+	CutTightenings int64
 	// Workers is the number of parallel searchers used (1 = serial).
 	Workers int
 	Runtime time.Duration
 }
 
-// Solve runs exact branch and bound on the model.
+// Solve runs exact branch and bound on the model, after the optional
+// presolve and cut-separation layers.
 func Solve(m *Model, opts Options) Result {
 	start := time.Now()
-	var res Result
-	if opts.Workers > 1 {
-		res = solveParallel(m, opts)
-	} else {
-		res = newSolver(m, opts).run()
-	}
+	res := solvePrepared(m, opts)
 	res.Runtime = time.Since(start)
 	return res
+}
+
+// solveCore dispatches the prepared model to the serial or parallel
+// kernel.
+func solveCore(m *Model, opts Options) Result {
+	if opts.Workers > 1 {
+		return solveParallel(m, opts)
+	}
+	return newSolver(m, opts).run()
+}
+
+// solvePrepared runs presolve and cut separation, solves the reduced
+// model, and maps the answer back to the original variable space.
+func solvePrepared(m *Model, opts Options) Result {
+	if !opts.Presolve && !opts.Cuts {
+		return solveCore(m, opts)
+	}
+
+	var pre *presolved
+	if opts.Presolve {
+		pre = presolveModel(m)
+		if pre.infeasible {
+			return Result{
+				Status:        Infeasible,
+				PresolveFixed: int64(pre.nFixed),
+				PresolveRows:  int64(pre.nRowsDropped),
+				Workers:       1,
+			}
+		}
+	}
+
+	// Cuts are separated in the ORIGINAL variable/row space so the pool's
+	// row-content keys stay stable across EC re-solves, then translated
+	// through the presolve fixings.
+	var cuts []Cut
+	var added, reused int
+	if opts.Cuts {
+		pool := opts.CutPool
+		if pool == nil {
+			pool = NewCutPool()
+		}
+		cuts, added, reused = pool.separate(m)
+	}
+
+	work := m
+	if pre != nil {
+		work = pre.reduced
+		opts.WarmStart = pre.mapWarm(opts.WarmStart)
+		if len(cuts) > 0 {
+			mapped := cuts[:0]
+			for _, c := range cuts {
+				if mc, ok := pre.mapCut(c); ok {
+					mapped = append(mapped, mc)
+				}
+			}
+			cuts = mapped
+		}
+		if work.NumVars() == 0 {
+			// Presolve decided everything. The reduced model being
+			// conflict-free makes the fixed assignment feasible by
+			// construction; Feasible() is a cheap belt-and-braces check.
+			sol := pre.fixedSolution()
+			if m.Feasible(sol) {
+				return Result{
+					Status:        Optimal,
+					Objective:     m.Objective(sol),
+					Solution:      sol,
+					PresolveFixed: int64(pre.nFixed),
+					PresolveRows:  int64(pre.nRowsDropped),
+					Workers:       1,
+				}
+			}
+			// Should be unreachable; solve the raw model rather than risk
+			// a wrong answer.
+			raw := opts
+			raw.Presolve, raw.Cuts = false, false
+			return solveCore(m, raw)
+		}
+	}
+	if len(cuts) > 0 {
+		work = withCutRows(work, cuts)
+		opts.cutRows = len(cuts)
+	}
+
+	res := solveCore(work, opts)
+	res.CutsAdded, res.CutsReused = int64(added), int64(reused)
+	if pre != nil {
+		res.PresolveFixed = int64(pre.nFixed)
+		res.PresolveRows = int64(pre.nRowsDropped)
+		if res.Solution != nil {
+			res.Solution = pre.postsolve(res.Solution)
+			res.Objective = m.Objective(res.Solution)
+		}
+	}
+	return res
+}
+
+// withCutRows returns a model sharing m's variables and rows with the cut
+// rows appended (m itself is not modified).
+func withCutRows(m *Model, cuts []Cut) *Model {
+	out := &Model{Maximize: m.Maximize, names: m.names, obj: m.obj}
+	out.rows = make([]Row, 0, len(m.rows)+len(cuts))
+	out.rows = append(out.rows, m.rows...)
+	for _, c := range cuts {
+		out.rows = append(out.rows, Row{Name: "cut", Coefs: c.Coefs, Sense: LE, RHS: c.RHS})
+	}
+	return out
 }

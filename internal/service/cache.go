@@ -2,14 +2,23 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"hash"
 	"sync"
 
 	"ilpec/internal/ilp"
 )
+
+// ownerCancelled reports whether an in-flight solve failed because ITS
+// requester's context died (as opposed to a real solver failure that
+// every joiner should share).
+func ownerCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // solveCache is an LRU cache of solved subproblems with in-flight
 // deduplication: concurrent requests for the same key run the solver once
@@ -36,7 +45,12 @@ type cacheEntry struct {
 type inflightSolve struct {
 	done chan struct{}
 	val  any
-	err  error
+	// ok reports cache eligibility: only results whose solver status
+	// proves optimality or infeasibility may be stored, so a node- or
+	// time-limit-truncated (possibly suboptimal) answer is never replayed
+	// for its key — the next request re-attempts the solve.
+	ok  bool
+	err error
 }
 
 func newSolveCache(capacity int) *solveCache {
@@ -56,9 +70,18 @@ func newSolveCache(capacity int) *solveCache {
 // hit is true when a value was served without solver work: from the LRU,
 // or from another caller's successful in-flight solve (joining a FAILED
 // in-flight solve shares the error but is not a hit). Returned solutions
-// are clones; callers may mutate them freely. Errors are not cached — a
-// failed key is recomputed on the next request.
-func (c *solveCache) do(key string, clone func(any) any, compute func() (any, error)) (val any, hit bool, err error) {
+// are clones; callers may mutate them freely.
+//
+// compute additionally reports whether its result is cache-eligible:
+// only proven (optimal/infeasible) results are stored, so limit-truncated
+// answers are re-attempted on the next request instead of being replayed
+// forever. Errors are likewise not cached. A concurrent identical request
+// may still JOIN an in-flight truncated solve — that is the same answer
+// both would have computed side by side, not a replay.
+//
+// ctx bounds the caller's wait: a cancelled joiner leaves early with
+// ctx's error while the in-flight solve continues for its owner.
+func (c *solveCache) do(ctx context.Context, key string, clone func(any) any, compute func() (any, bool, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -69,8 +92,20 @@ func (c *solveCache) do(key string, clone func(any) any, compute func() (any, er
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 		if fl.err != nil {
+			// The owner's request being cancelled is not OUR failure: a
+			// joiner with a live context retries the solve itself (the
+			// owner has removed the in-flight entry by the time done is
+			// closed, or will momentarily — the retry either takes over
+			// or joins a fresh owner).
+			if ownerCancelled(fl.err) && ctx.Err() == nil {
+				return c.do(ctx, key, clone, compute)
+			}
 			// Sharing an in-flight failure is not a hit: nothing was
 			// served from cache.
 			return nil, false, fl.err
@@ -81,15 +116,20 @@ func (c *solveCache) do(key string, clone func(any) any, compute func() (any, er
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
-	fl.val, fl.err = compute()
-	close(fl.done)
+	fl.val, fl.ok, fl.err = compute()
 
+	// Settle the cache state BEFORE waking joiners: by the time done is
+	// closed the in-flight entry is gone and any cache insert has
+	// landed, so a joiner that retries after an owner-cancelled failure
+	// either hits the LRU or becomes a fresh owner — never this stale
+	// entry again.
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if fl.err == nil {
+	if fl.err == nil && fl.ok {
 		c.insertLocked(key, clone(fl.val), clone)
 	}
 	c.mu.Unlock()
+	close(fl.done)
 	if fl.err != nil {
 		return nil, false, fl.err
 	}

@@ -199,8 +199,16 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 }
 
 func handleSolve(sess *Session, w http.ResponseWriter, r *http.Request) {
-	res, err := sess.Solve()
+	// The request context rides all the way into the kernel's abort
+	// check: a disconnected client's solve stops instead of running to
+	// completion while holding an executor slot.
+	res, err := sess.SolveContext(r.Context())
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; the status code is for logs only.
+			writeError(w, http.StatusRequestTimeout, "cancelled", err)
+			return
+		}
 		writeError(w, http.StatusConflict, "solve_failed", err)
 		return
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -51,14 +52,20 @@ func (p *pool) worker() {
 	}
 }
 
-// run submits f and blocks until a worker has executed it. It fails only
-// when the pool has been closed.
-func (p *pool) run(f func()) error {
+// run submits f and blocks until a worker has executed it. It fails when
+// the pool has been closed, or when ctx is cancelled BEFORE a worker
+// picks the job up — a disconnected client stops holding a place in the
+// queue. Once running, f is expected to observe ctx itself (the solver
+// kernel checks Options.Context), so cancellation also frees the worker
+// slot promptly.
+func (p *pool) run(ctx context.Context, f func()) error {
 	job := poolJob{run: f, done: make(chan struct{})}
 	select {
 	case p.jobs <- job:
 		<-job.done
 		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-p.quit:
 		return fmt.Errorf("service: executor closed")
 	}

@@ -28,6 +28,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -113,6 +114,19 @@ type Metrics struct {
 	// IncumbentHits counts solves warm-started from the shared incumbent
 	// store (same problem solved before under different options).
 	IncumbentHits atomic.Int64
+	// TruncatedSolves counts solver runs stopped by a node/time limit or
+	// a cancelled request. Their results are NOT cache-eligible: only
+	// proven (optimal/infeasible) outcomes enter the solve cache, so a
+	// truncated solve is re-attempted on the next request.
+	TruncatedSolves atomic.Int64
+	// PresolveFixed / PresolveRows / CutsAdded / CutsReused /
+	// CutTightenings accumulate the kernel's presolve and cut-pool
+	// counters across all solver runs (ilp.Options.Presolve / Cuts).
+	PresolveFixed  atomic.Int64
+	PresolveRows   atomic.Int64
+	CutsAdded      atomic.Int64
+	CutsReused     atomic.Int64
+	CutTightenings atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics for reporting.
@@ -129,6 +143,12 @@ type MetricsSnapshot struct {
 	CacheEntries    int   `json:"cache_entries"`
 	RelaxFastPaths  int64 `json:"relax_fast_paths"`
 	IncumbentHits   int64 `json:"incumbent_hits"`
+	TruncatedSolves int64 `json:"truncated_solves"`
+	PresolveFixed   int64 `json:"presolve_fixed"`
+	PresolveRows    int64 `json:"presolve_rows"`
+	CutsAdded       int64 `json:"cuts_added"`
+	CutsReused      int64 `json:"cuts_reused"`
+	CutTightenings  int64 `json:"cut_tightenings"`
 }
 
 // Service manages long-lived EC sessions sharing a solve cache, an
@@ -251,6 +271,11 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 		problem:  d.CloneProblem(problem),
 		strategy: strategy,
 		solve:    solve,
+		// The session's cut pool lives alongside its incumbent solution:
+		// re-solves after a change batch reuse the cuts of unchanged rows
+		// (the pool keys by row content, so the domain's change
+		// fingerprint implicitly invalidates exactly the touched rows).
+		cuts: ilp.NewCutPool(),
 	}
 	s.sessions[sess.id] = sess
 	s.metrics.SessionsCreated.Add(1)
@@ -307,6 +332,12 @@ func (s *Service) Metrics() MetricsSnapshot {
 		CacheEntries:    s.cache.len(),
 		RelaxFastPaths:  m.RelaxFastPaths.Load(),
 		IncumbentHits:   m.IncumbentHits.Load(),
+		TruncatedSolves: m.TruncatedSolves.Load(),
+		PresolveFixed:   m.PresolveFixed.Load(),
+		PresolveRows:    m.PresolveRows.Load(),
+		CutsAdded:       m.CutsAdded.Load(),
+		CutsReused:      m.CutsReused.Load(),
+		CutTightenings:  m.CutTightenings.Load(),
 	}
 }
 
@@ -328,14 +359,19 @@ func (s *Service) Close() {
 
 // cachedSolve routes one solve through the cache and, on a miss, the
 // executor pool. clone deep-copies cached values before they escape.
-func (s *Service) cachedSolve(key string, clone func(any) any, compute func() (any, error)) (any, bool, error) {
-	val, hit, err := s.cache.do(key, clone, func() (any, error) {
+// compute reports cache eligibility alongside its value: only proven
+// (optimal/infeasible) results may be stored (see solveCache.do). ctx
+// aborts both the wait for a worker slot and — through the solver
+// options — the search itself.
+func (s *Service) cachedSolve(ctx context.Context, key string, clone func(any) any, compute func() (any, bool, error)) (any, bool, error) {
+	val, hit, err := s.cache.do(ctx, key, clone, func() (any, bool, error) {
 		var v any
+		var ok bool
 		var cerr error
-		if perr := s.exec.run(func() { v, cerr = compute() }); perr != nil {
-			return nil, perr
+		if perr := s.exec.run(ctx, func() { v, ok, cerr = compute() }); perr != nil {
+			return nil, false, perr
 		}
-		return v, cerr
+		return v, ok, cerr
 	})
 	if hit {
 		s.metrics.CacheHits.Add(1)
@@ -346,6 +382,20 @@ func (s *Service) cachedSolve(key string, clone func(any) any, compute func() (a
 		}
 	}
 	return val, hit, err
+}
+
+// noteSolverResult folds one kernel result into the service counters. A
+// Feasible/Unknown status means a node/time limit or a cancelled request
+// truncated the search.
+func (s *Service) noteSolverResult(res ilp.Result) {
+	if res.Status == ilp.Feasible || res.Status == ilp.Unknown {
+		s.metrics.TruncatedSolves.Add(1)
+	}
+	s.metrics.PresolveFixed.Add(res.PresolveFixed)
+	s.metrics.PresolveRows.Add(res.PresolveRows)
+	s.metrics.CutsAdded.Add(res.CutsAdded)
+	s.metrics.CutsReused.Add(res.CutsReused)
+	s.metrics.CutTightenings.Add(res.CutTightenings)
 }
 
 // incumbent returns the stored solution for a problem key, if any.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -323,19 +324,19 @@ func cloneAssignment(v any) any { return v.(cnf.Assignment).Clone() }
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newSolveCache(2)
-	mk := func(v int) func() (any, error) {
-		return func() (any, error) {
+	mk := func(v int) func() (any, bool, error) {
+		return func() (any, bool, error) {
 			a := cnf.NewAssignment(1)
 			if v%2 == 0 {
 				a.Set(1, cnf.True)
 			} else {
 				a.Set(1, cnf.False)
 			}
-			return a, nil
+			return a, true, nil
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if _, hit, _ := c.do(fmt.Sprintf("k%d", i), cloneAssignment, mk(i)); hit {
+		if _, hit, _ := c.do(context.Background(), fmt.Sprintf("k%d", i), cloneAssignment, mk(i)); hit {
 			t.Fatalf("key k%d hit on first insert", i)
 		}
 	}
@@ -343,10 +344,10 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Fatalf("cache holds %d entries, want 2", c.len())
 	}
 	// k0 is the eviction victim; k2 must still be resident.
-	if _, hit, _ := c.do("k2", cloneAssignment, mk(2)); !hit {
+	if _, hit, _ := c.do(context.Background(), "k2", cloneAssignment, mk(2)); !hit {
 		t.Fatal("most recent key evicted")
 	}
-	if _, hit, _ := c.do("k0", cloneAssignment, mk(0)); hit {
+	if _, hit, _ := c.do(context.Background(), "k0", cloneAssignment, mk(0)); hit {
 		t.Fatal("oldest key survived a full eviction cycle")
 	}
 }
@@ -356,17 +357,17 @@ func TestCacheInflightDedup(t *testing.T) {
 	var runs int
 	started := make(chan struct{})
 	release := make(chan struct{})
-	compute := func() (any, error) {
+	compute := func() (any, bool, error) {
 		runs++
 		close(started)
 		<-release
-		return cnf.NewAssignment(1), nil
+		return cnf.NewAssignment(1), true, nil
 	}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.do("k", cloneAssignment, compute)
+		c.do(context.Background(), "k", cloneAssignment, compute)
 	}()
 	<-started
 	// Second caller joins the in-flight solve instead of recomputing.
@@ -374,9 +375,9 @@ func TestCacheInflightDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, hit, _ := c.do("k", cloneAssignment, func() (any, error) {
+		_, hit, _ := c.do(context.Background(), "k", cloneAssignment, func() (any, bool, error) {
 			t.Error("second compute ran despite in-flight solve")
-			return cnf.NewAssignment(1), nil
+			return cnf.NewAssignment(1), true, nil
 		})
 		hitCh <- hit
 	}()
@@ -394,14 +395,14 @@ func TestCacheInflightDedup(t *testing.T) {
 func TestCacheErrorNotCached(t *testing.T) {
 	c := newSolveCache(8)
 	calls := 0
-	fail := func() (any, error) {
+	fail := func() (any, bool, error) {
 		calls++
-		return nil, fmt.Errorf("boom %d", calls)
+		return nil, true, fmt.Errorf("boom %d", calls)
 	}
-	if _, _, err := c.do("k", cloneAssignment, fail); err == nil {
+	if _, _, err := c.do(context.Background(), "k", cloneAssignment, fail); err == nil {
 		t.Fatal("error swallowed")
 	}
-	if _, hit, err := c.do("k", cloneAssignment, fail); err == nil || hit {
+	if _, hit, err := c.do(context.Background(), "k", cloneAssignment, fail); err == nil || hit {
 		t.Fatalf("failed solve was cached (hit=%v err=%v)", hit, err)
 	}
 	if calls != 2 {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -33,7 +34,13 @@ type Session struct {
 	pending  []any
 	strategy domain.Strategy
 	solve    ilp.Options
-	stats    sessionStats
+	// cuts is the session's retained cut pool (used when the session's
+	// solver options enable Cuts): separated cutting planes keyed by
+	// source-row content, so an EC re-solve only pays separation for the
+	// rows the change batch touched. Solves are serialized under mu, so
+	// the pool is never shared between concurrent searches.
+	cuts  *ilp.CutPool
+	stats sessionStats
 }
 
 type sessionStats struct {
@@ -208,6 +215,18 @@ func (s *Session) FlexReport(k int) (domain.FlexReport, error) {
 // continue; an invalid change or an infeasible batch never poisons the
 // session.
 func (s *Session) Solve() (*SolveResult, error) {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext is Solve bound to a context: when ctx is cancelled the
+// solve aborts inside the kernel (freeing its executor slot) and the
+// session keeps its previous problem and solution. The HTTP handler
+// passes the request context, so a disconnected client stops paying for
+// its solve.
+func (s *Session) SolveContext(ctx context.Context) (*SolveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
@@ -215,12 +234,35 @@ func (s *Session) Solve() (*SolveResult, error) {
 	s.pending = nil
 
 	if s.solution == nil {
-		return s.solveInitial(batch, start)
+		return s.solveInitial(ctx, batch, start)
 	}
 	if len(batch) == 0 {
 		return s.result(&SolveResult{Status: "noop"}, start), nil
 	}
-	return s.solveBatch(batch, start)
+	return s.solveBatch(ctx, batch, start)
+}
+
+// wrapCtxErr folds a solve failure that coincides with the request's
+// cancellation into the context error: the kernel reports an abort as a
+// generic limits error, but cache joiners must be able to tell "the
+// owner's client went away" (retry with their own context) from a real
+// solver failure (share it).
+func wrapCtxErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("%w (%v)", ctx.Err(), err)
+	}
+	return err
+}
+
+// solverOpts binds the session's solver options to one call: the request
+// context for aborts and the session's retained cut pool.
+func (s *Session) solverOpts(ctx context.Context) ilp.Options {
+	opts := s.solve
+	opts.Context = ctx
+	if opts.Cuts {
+		opts.CutPool = s.cuts
+	}
+	return opts
 }
 
 // result finalizes a SolveResult from the committed session state.
@@ -237,7 +279,7 @@ func (s *Session) result(res *SolveResult, start time.Time) *SolveResult {
 
 // solveInitial runs the first solve, folding any pending batch into the
 // starting problem. Caller holds s.mu.
-func (s *Session) solveInitial(batch []any, start time.Time) (*SolveResult, error) {
+func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time) (*SolveResult, error) {
 	p := s.problem
 	if len(batch) > 0 {
 		applied, err := s.dom.ApplyChanges(s.problem, batch)
@@ -252,14 +294,19 @@ func (s *Session) solveInitial(batch []any, start time.Time) (*SolveResult, erro
 	key := s.taskKey("plain", p, nil)
 	pkey := s.problemKey(p)
 	// The encoding is built inside the compute closure so a cache hit —
-	// the common case across identical sessions — pays nothing.
-	sol, hit, err := s.svc.cachedSolve(key, s.dom.CloneSolution, func() (any, error) {
+	// the common case across identical sessions — pays nothing. The
+	// closure reports cache eligibility: only a PROVEN result (optimal,
+	// or infeasible-as-error which is never cached) may be replayed for
+	// this key; a limit-truncated Feasible answer is served once and
+	// re-attempted on the next request.
+	sol, hit, err := s.svc.cachedSolve(ctx, key, s.dom.CloneSolution, func() (any, bool, error) {
 		warm := s.svc.incumbent(pkey)
 		if warm != nil {
 			s.svc.metrics.IncumbentHits.Add(1)
 		}
-		a, _, err := domain.Solve(s.dom, p, s.solve, warm)
-		return a, err
+		a, res, err := domain.Solve(s.dom, p, s.solverOpts(ctx), warm)
+		s.svc.noteSolverResult(res)
+		return a, err == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, err)
 	})
 	if err != nil {
 		return nil, err
@@ -274,7 +321,7 @@ func (s *Session) solveInitial(batch []any, start time.Time) (*SolveResult, erro
 
 // solveBatch resolves a non-empty tightening-or-relaxing batch against
 // the current solution in one pass. Caller holds s.mu.
-func (s *Session) solveBatch(batch []any, start time.Time) (*SolveResult, error) {
+func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) (*SolveResult, error) {
 	changed, err := s.dom.ApplyChanges(s.problem, batch)
 	if err != nil {
 		return nil, fmt.Errorf("service: batch discarded: %w", err)
@@ -301,36 +348,44 @@ func (s *Session) solveBatch(batch []any, start time.Time) (*SolveResult, error)
 
 	var subVars, subRows int
 	var key string
-	var compute func() (any, error)
+	var compute func() (any, bool, error)
 	switch s.strategy {
 	case domain.FastEC:
-		fopts := domain.FastOptions{Solve: s.solve, MaxEscalations: s.svc.opts.Fast.MaxEscalations}
+		fopts := domain.FastOptions{Solve: s.solverOpts(ctx), MaxEscalations: s.svc.opts.Fast.MaxEscalations}
 		key = s.taskKey("fast", changed, prev)
-		compute = func() (any, error) {
+		compute = func() (any, bool, error) {
 			next, stats, ferr := domain.Fast(s.dom, changed, prev, fopts)
 			if ferr != nil {
-				return nil, ferr
+				return nil, false, wrapCtxErr(ctx, ferr)
+			}
+			if !stats.AlreadyValid {
+				s.svc.noteSolverResult(stats.ILP)
 			}
 			subVars, subRows = stats.SubSize, stats.SubRows
-			return next, nil
+			// A fast pass is cache-eligible when no solver ran (the
+			// previous solution provably survived) or the final
+			// sub-solve proved optimality.
+			return next, stats.AlreadyValid || stats.ILP.Status == ilp.Optimal, nil
 		}
 	case domain.PreservingEC:
 		key = s.taskKey("preserve", changed, prev)
-		compute = func() (any, error) {
-			next, _, perr := domain.Preserve(s.dom, changed, prev, s.solve)
-			return next, perr
+		compute = func() (any, bool, error) {
+			next, res, perr := domain.Preserve(s.dom, changed, prev, s.solverOpts(ctx))
+			s.svc.noteSolverResult(res)
+			return next, perr == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, perr)
 		}
 	case domain.Replan:
 		key = s.taskKey("plain", changed, nil)
-		compute = func() (any, error) {
-			next, _, rerr := domain.Solve(s.dom, changed, s.solve, prev)
-			return next, rerr
+		compute = func() (any, bool, error) {
+			next, res, rerr := domain.Solve(s.dom, changed, s.solverOpts(ctx), prev)
+			s.svc.noteSolverResult(res)
+			return next, rerr == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, rerr)
 		}
 	default:
 		return nil, fmt.Errorf("service: unknown strategy %d", s.strategy)
 	}
 
-	next, hit, err := s.svc.cachedSolve(key, s.dom.CloneSolution, compute)
+	next, hit, err := s.svc.cachedSolve(ctx, key, s.dom.CloneSolution, compute)
 	if err != nil {
 		return nil, err
 	}
