@@ -7,14 +7,23 @@
 //
 //	ecserve -addr :8080
 //	ecserve -addr :8080 -strategy preserving -workers 8 -cache 512 -timeout 30s
+//	ecserve -addr :8080 -data-dir /var/lib/ecserve -snapshot-every 64 \
+//	        -max-live-sessions 1024 -session-ttl 1h
+//
+// With -data-dir, sessions are durable: every queued change batch is
+// journaled (fsync'd, CRC-framed) and snapshots are cut periodically, so
+// a restart or crash recovers every session — see the README
+// "Persistence" section. -max-live-sessions bounds memory (LRU sessions
+// are evicted to disk and rehydrated on touch) and -session-ttl
+// snapshots-and-closes idle sessions.
 //
 // Endpoints (see internal/service.NewHandler and the README walkthrough):
 //
 //	POST   /v1/sessions              create a session ("domain" + "problem",
 //	                                 or the legacy DIMACS/clause-list shape)
-//	GET    /v1/sessions              list live session ids
-//	GET    /v1/sessions/{id}         session info
-//	DELETE /v1/sessions/{id}         close a session
+//	GET    /v1/sessions              list all session ids (live + persisted)
+//	GET    /v1/sessions/{id}         session info (rehydrates if evicted)
+//	DELETE /v1/sessions/{id}         close a session (memory and store)
 //	POST   /v1/sessions/{id}/changes queue a change batch (domain wire form)
 //	POST   /v1/sessions/{id}/solve   drain the batch in one EC pass
 //	GET    /v1/sessions/{id}/flex    flexibility report
@@ -46,6 +55,7 @@ import (
 	"ilpec/internal/core"
 	"ilpec/internal/ilp"
 	"ilpec/internal/service"
+	"ilpec/internal/store"
 )
 
 // config carries the parsed command line.
@@ -60,6 +70,11 @@ type config struct {
 	drain       time.Duration
 	presolve    bool
 	cuts        bool
+	// Persistence (empty dataDir = memory-only, nothing survives exit).
+	dataDir       string
+	snapshotEvery int
+	maxLive       int
+	sessionTTL    time.Duration
 }
 
 func main() {
@@ -92,22 +107,33 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget")
 	presolve := fs.Bool("presolve", true, "run the solver's presolve pass on every solve")
 	cuts := fs.Bool("cuts", true, "separate cover/clique cuts, retained per session across re-solves")
+	dataDir := fs.String("data-dir", "", "durable session store directory (empty = in-memory only)")
+	snapshotEvery := fs.Int("snapshot-every", 64, "journal records per session between compaction snapshots")
+	maxLive := fs.Int("max-live-sessions", 0, "in-memory session bound; beyond it LRU sessions are evicted to the store (0 = no eviction; needs -data-dir)")
+	sessionTTL := fs.Duration("session-ttl", 0, "idle sessions are snapshotted-and-closed after this (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
+	}
+	if *maxLive > 0 && *dataDir == "" {
+		return config{}, fmt.Errorf("-max-live-sessions needs -data-dir (evicted sessions must have a store to land in)")
 	}
 	if fs.NArg() != 0 {
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	cfg := config{
-		addr:        *addr,
-		workers:     *workers,
-		solverWork:  *solverWorkers,
-		cacheSize:   *cache,
-		maxSessions: *maxSessions,
-		timeLimit:   *timeout,
-		drain:       *drain,
-		presolve:    *presolve,
-		cuts:        *cuts,
+		addr:          *addr,
+		workers:       *workers,
+		solverWork:    *solverWorkers,
+		cacheSize:     *cache,
+		maxSessions:   *maxSessions,
+		timeLimit:     *timeout,
+		drain:         *drain,
+		presolve:      *presolve,
+		cuts:          *cuts,
+		dataDir:       *dataDir,
+		snapshotEvery: *snapshotEvery,
+		maxLive:       *maxLive,
+		sessionTTL:    *sessionTTL,
 	}
 	strat, err := service.ParseStrategy(*strategy)
 	if err != nil {
@@ -121,6 +147,16 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 // non-nil, receives the bound address once the listener is up (used by
 // tests and useful with -addr :0).
 func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr string)) error {
+	var st store.Store
+	if cfg.dataDir != "" {
+		fileStore, err := store.NewFile(cfg.dataDir)
+		if err != nil {
+			return err
+		}
+		st = fileStore
+		logger.Printf("durable sessions in %s (snapshot-every=%d max-live=%d ttl=%v)",
+			cfg.dataDir, cfg.snapshotEvery, cfg.maxLive, cfg.sessionTTL)
+	}
 	svc := service.New(service.Options{
 		Solve: ilp.Options{
 			TimeLimit: cfg.timeLimit,
@@ -132,8 +168,19 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		CacheSize:   cfg.cacheSize,
 		Workers:     cfg.workers,
 		MaxSessions: cfg.maxSessions,
+		// The service owns the store: Close flushes final snapshots and
+		// closes it, which is what makes the drain below durable.
+		Store:           st,
+		SnapshotEvery:   cfg.snapshotEvery,
+		MaxLiveSessions: cfg.maxLive,
+		SessionTTL:      cfg.sessionTTL,
 	})
 	defer svc.Close()
+	if st != nil {
+		if m := svc.Metrics(); m.Recoveries > 0 {
+			logger.Printf("recovered %d persisted sessions", m.Recoveries)
+		}
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -166,8 +213,18 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// The HTTP drain is done; flush the session store before reporting.
+	// Every journal append was already fsync'd at accept time — this cuts
+	// the final compaction snapshots and closes the store, so a restart
+	// recovers every session without journal replay. (The deferred Close
+	// is then a no-op.)
+	svc.Close()
 	m := svc.Metrics()
 	logger.Printf("served %d sessions, %d solves (%d cache hits)",
 		m.SessionsCreated, m.Solves, m.CacheHits)
+	if cfg.dataDir != "" {
+		logger.Printf("persisted state flushed (%d journal appends, %d snapshots)",
+			m.JournalAppends, m.SnapshotsWritten)
+	}
 	return nil
 }

@@ -7,6 +7,9 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -34,6 +37,22 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
 		t.Fatal("stray argument accepted")
+	}
+	cfg3, err := parseFlags([]string{
+		"-data-dir", "/tmp/x", "-snapshot-every", "8",
+		"-max-live-sessions", "2", "-session-ttl", "90s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg3.dataDir != "/tmp/x" || cfg3.snapshotEvery != 8 || cfg3.maxLive != 2 || cfg3.sessionTTL != 90*time.Second {
+		t.Fatalf("persistence flags not honored: %+v", cfg3)
+	}
+	if cfg.dataDir != "" || cfg.snapshotEvery != 64 || cfg.sessionTTL != 0 {
+		t.Fatalf("persistence defaults wrong: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-max-live-sessions", "2"}, io.Discard); err == nil {
+		t.Fatal("-max-live-sessions without -data-dir accepted")
 	}
 }
 
@@ -106,10 +125,19 @@ func TestServeLifecycle(t *testing.T) {
 }
 
 // startTestServer boots the real server on a random port and returns its
-// base URL.
-func startTestServer(t *testing.T) string {
+// base URL; extra flags ride along after the defaults.
+func startTestServer(t *testing.T, extraArgs ...string) string {
 	t.Helper()
-	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-drain", "2s"}, io.Discard)
+	base, _ := startStoppableServer(t, extraArgs...)
+	return base
+}
+
+// startStoppableServer is startTestServer plus an explicit stop function
+// (graceful shutdown, waits for exit) for restart scenarios.
+func startStoppableServer(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "2s"}, extraArgs...)
+	cfg, err := parseFlags(args, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,23 +147,32 @@ func startTestServer(t *testing.T) string {
 	go func() {
 		done <- serve(ctx, cfg, log.New(io.Discard, "", 0), func(addr string) { addrCh <- addr })
 	}()
-	t.Cleanup(func() {
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
 		cancel()
 		select {
-		case <-done:
+		case err := <-done:
+			if err != nil {
+				t.Errorf("shutdown error: %v", err)
+			}
 		case <-time.After(5 * time.Second):
 			t.Error("server did not shut down")
 		}
-	})
+	}
+	t.Cleanup(stop)
 	select {
 	case addr := <-addrCh:
-		return "http://" + addr
+		return "http://" + addr, stop
 	case err := <-done:
 		t.Fatalf("server exited early: %v", err)
 	case <-time.After(5 * time.Second):
 		t.Fatal("server never became ready")
 	}
-	return ""
+	return "", nil
 }
 
 // postJSON posts a JSON body and returns the status code and the decoded
@@ -326,5 +363,208 @@ func TestServeMetricsCounters(t *testing.T) {
 		if _, ok := m[k]; !ok {
 			t.Fatalf("metrics missing %q: %s", k, raw)
 		}
+	}
+}
+
+// TestServeRestartSurvivesSession is the subsystem acceptance test: a
+// session created, changed, and solved against a file-backed store
+// survives a full process restart — after recovery GET /v1/sessions lists
+// it and a subsequent solve returns the identical solution (same
+// objective, same fingerprint).
+func TestServeRestartSurvivesSession(t *testing.T) {
+	dataDir := t.TempDir()
+	base, stop := startStoppableServer(t, "-data-dir", dataDir)
+
+	status, raw := postJSON(t, base+"/v1/sessions", `{"clauses": [[1,2],[-1,3],[2,4],[-3,-4,5],[5,6]]}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(raw), &info); err != nil || info.ID == "" {
+		t.Fatalf("create info %q: %v", raw, err)
+	}
+	sessURL := "/v1/sessions/" + info.ID
+	if status, raw = postJSON(t, base+sessURL+"/solve", ""); status != http.StatusOK {
+		t.Fatalf("initial solve: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, base+sessURL+"/changes",
+		`{"changes": [{"kind": "add-clause", "lits": [-2, 3]}, {"kind": "add-variable"}]}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("changes: %d %s", status, raw)
+	}
+	type solveBody struct {
+		Status    string `json:"status"`
+		Solution  []int  `json:"solution"`
+		DontCares int    `json:"dont_cares"`
+	}
+	var before solveBody
+	status, raw = postJSON(t, base+sessURL+"/solve", "")
+	if status != http.StatusOK || json.Unmarshal([]byte(raw), &before) != nil {
+		t.Fatalf("batch solve: %d %s", status, raw)
+	}
+
+	// Full process restart: graceful stop, fresh server over the same dir.
+	stop()
+	base2, _ := startStoppableServer(t, "-data-dir", dataDir)
+
+	resp, err := http.Get(base2 + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listRaw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list struct {
+		Sessions []string `json:"sessions"`
+		Live     []string `json:"live"`
+	}
+	if err := json.Unmarshal(listRaw, &list); err != nil {
+		t.Fatalf("list body %s: %v", listRaw, err)
+	}
+	found := false
+	for _, id := range list.Sessions {
+		found = found || id == info.ID
+	}
+	if !found {
+		t.Fatalf("recovered listing %s misses %s", listRaw, info.ID)
+	}
+	if len(list.Live) != 0 {
+		t.Fatalf("sessions live before first touch: %s", listRaw)
+	}
+
+	// The recovered session answers with the same solution: equal
+	// rendered literals means equal objective AND equal fingerprint.
+	var after solveBody
+	status, raw = postJSON(t, base2+sessURL+"/solve", "")
+	if status != http.StatusOK || json.Unmarshal([]byte(raw), &after) != nil {
+		t.Fatalf("post-restart solve: %d %s", status, raw)
+	}
+	if after.Status != "noop" {
+		t.Fatalf("post-restart solve status %q, want noop", after.Status)
+	}
+	if !reflect.DeepEqual(after.Solution, before.Solution) || after.DontCares != before.DontCares {
+		t.Fatalf("solution diverged across restart:\n before %v (%d dc)\n after  %v (%d dc)",
+			before.Solution, before.DontCares, after.Solution, after.DontCares)
+	}
+
+	// The recovered session keeps absorbing changes.
+	status, raw = postJSON(t, base2+sessURL+"/changes", `{"changes": [{"kind": "add-clause", "lits": [1, 7]}]}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("post-restart changes: %d %s", status, raw)
+	}
+	if status, raw = postJSON(t, base2+sessURL+"/solve", ""); status != http.StatusOK {
+		t.Fatalf("post-restart batch solve: %d %s", status, raw)
+	}
+
+	// DELETE drops it from the store too.
+	req, _ := http.NewRequest(http.MethodDelete, base2+sessURL, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, info.ID)); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived DELETE: %v", err)
+	}
+}
+
+// TestServeShutdownFlushesStore pins the graceful-drain satellite: by the
+// time the process exits, every session's state is compacted into its
+// snapshot (journal drained), so the files alone carry the session.
+func TestServeShutdownFlushesStore(t *testing.T) {
+	dataDir := t.TempDir()
+	base, stop := startStoppableServer(t, "-data-dir", dataDir, "-snapshot-every", "1000000")
+
+	status, raw := postJSON(t, base+"/v1/sessions", `{"clauses": [[1,2],[-1,3]]}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(raw), &info); err != nil {
+		t.Fatal(err)
+	}
+	if status, raw = postJSON(t, base+"/v1/sessions/"+info.ID+"/solve", ""); status != http.StatusOK {
+		t.Fatalf("solve: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, base+"/v1/sessions/"+info.ID+"/changes", `{"changes": [{"kind": "add-variable"}]}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("changes: %d %s", status, raw)
+	}
+	stop()
+
+	// With -snapshot-every effectively off, only the shutdown flush can
+	// have compacted the journal into the snapshot.
+	snapRaw, err := os.ReadFile(filepath.Join(dataDir, info.ID, "snapshot.json"))
+	if err != nil {
+		t.Fatalf("snapshot not flushed: %v", err)
+	}
+	var snap struct {
+		Solution json.RawMessage   `json:"solution"`
+		Pending  []json.RawMessage `json:"pending"`
+		Seq      uint64            `json:"seq"`
+	}
+	if err := json.Unmarshal(snapRaw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Solution) == 0 || snap.Seq == 0 || len(snap.Pending) != 1 {
+		t.Fatalf("flushed snapshot incomplete: %s", snapRaw)
+	}
+	journal, err := os.ReadFile(filepath.Join(dataDir, info.ID, "journal.jsonl"))
+	if err != nil || len(journal) != 0 {
+		t.Fatalf("journal not drained at shutdown: %q (%v)", journal, err)
+	}
+}
+
+// TestServeEvictionOverHTTP: with -max-live-sessions 1 the server keeps
+// serving every session while only one lives in memory.
+func TestServeEvictionOverHTTP(t *testing.T) {
+	base := startTestServer(t, "-data-dir", t.TempDir(), "-max-live-sessions", "1")
+	var ids []string
+	for i := 0; i < 3; i++ {
+		status, raw := postJSON(t, base+"/v1/sessions", `{"clauses": [[1,2],[-1,3]]}`)
+		if status != http.StatusCreated {
+			t.Fatalf("create %d: %d %s", i, status, raw)
+		}
+		var info struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal([]byte(raw), &info); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+		if status, raw = postJSON(t, base+"/v1/sessions/"+info.ID+"/solve", ""); status != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", i, status, raw)
+		}
+	}
+	// Every session still answers (rehydrating as needed) ...
+	for _, id := range ids {
+		if status, raw := postJSON(t, base+"/v1/sessions/"+id+"/solve", ""); status != http.StatusOK {
+			t.Fatalf("evicted session %s unreachable: %d %s", id, status, raw)
+		}
+	}
+	// ... while metrics show the eviction/rehydration churn and a bounded
+	// live set.
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m struct {
+		SessionsLive int   `json:"sessions_live"`
+		Evictions    int64 `json:"evictions"`
+		Rehydrations int64 `json:"rehydrations"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SessionsLive != 1 || m.Evictions < 2 || m.Rehydrations < 2 {
+		t.Fatalf("eviction metrics %s", raw)
 	}
 }

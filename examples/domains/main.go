@@ -13,7 +13,9 @@
 //     escalating through graph neighborhoods);
 //   - PreserveTerms: the agreement-maximizing objective;
 //   - EnableTerms: slack rewards (double-covered edges);
-//   - ParseProblem/ParseChange/Render: the HTTP wire codecs.
+//   - ParseProblem/ParseChange/Render and their inverses RenderProblem/
+//     RenderChange/ParseSolution: the HTTP wire codecs, which also make
+//     sessions of this domain durable (journal + snapshots) for free.
 //
 // Run it with: go run ./examples/domains
 package main
@@ -82,6 +84,13 @@ func (coverDomain) ParseProblem(spec json.RawMessage) (any, error) {
 	return &coverProblem{N: req.Vertices, Edges: req.Edges}, nil
 }
 
+// RenderProblem is the ParseProblem inverse; the session store snapshots
+// problems through it.
+func (coverDomain) RenderProblem(p any) any {
+	cp := p.(*coverProblem)
+	return map[string]any{"vertices": cp.N, "edges": cp.Edges}
+}
+
 func (coverDomain) ParseChange(spec json.RawMessage) (any, error) {
 	var c coverChange
 	if err := json.Unmarshal(spec, &c); err != nil {
@@ -93,6 +102,10 @@ func (coverDomain) ParseChange(spec json.RawMessage) (any, error) {
 	}
 	return c, nil
 }
+
+// RenderChange is the ParseChange inverse; the session store journals
+// queued changes through it.
+func (coverDomain) RenderChange(change any) any { return change.(coverChange) }
 
 func (d coverDomain) ApplyChanges(p any, changes []any) (any, error) {
 	out := d.CloneProblem(p).(*coverProblem)
@@ -147,6 +160,24 @@ func (coverDomain) Render(p, s any) any {
 		}
 	}
 	return chosen
+}
+
+// ParseSolution is the Render inverse; the session store rehydrates
+// persisted solutions through it.
+func (coverDomain) ParseSolution(p any, spec json.RawMessage) (any, error) {
+	cp := p.(*coverProblem)
+	var chosen []int
+	if err := json.Unmarshal(spec, &chosen); err != nil {
+		return nil, err
+	}
+	sol := make(coverSolution, cp.N+1)
+	for _, v := range chosen {
+		if v < 1 || v > cp.N {
+			return nil, fmt.Errorf("vcover: vertex %d out of range", v)
+		}
+		sol[v] = true
+	}
+	return sol, nil
 }
 
 func (coverDomain) Agreement(prev, next any) float64 {

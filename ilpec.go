@@ -16,6 +16,8 @@
 //     (internal/ilp, internal/heurilp);
 //   - the SAT↔set-cover encoding (internal/encode);
 //   - the EC session service and its HTTP front end (internal/service);
+//   - the durable session store — write-ahead change journal, snapshots,
+//     crash recovery — behind it (internal/store);
 //   - the synthetic DIMACS benchmark families (internal/gen).
 //
 // See examples/quickstart for a guided tour and examples/domains for
@@ -37,6 +39,7 @@ import (
 	"ilpec/internal/partition"
 	"ilpec/internal/sched"
 	"ilpec/internal/service"
+	"ilpec/internal/store"
 )
 
 // ---- CNF substrate -------------------------------------------------------
@@ -574,6 +577,44 @@ func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 // NewServiceHandler exposes a Service over HTTP/JSON (the cmd/ecserve
 // API).
 func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
+// ---- durable session store -----------------------------------------------
+
+// SessionStore persists EC sessions as a write-ahead change journal plus
+// periodic snapshots, in the domains' JSON wire forms. Plug one into
+// ServiceOptions.Store and sessions survive restarts and crashes, are
+// LRU-evictable under ServiceOptions.MaxLiveSessions, and rehydrate
+// transparently on touch (see internal/store and the README "Persistence"
+// section).
+type SessionStore = store.Store
+
+// SessionSnapshot is the persisted full state of one session at a journal
+// sequence point.
+type SessionSnapshot = store.Snapshot
+
+// SessionRecord is one write-ahead journal entry of a session.
+type SessionRecord = store.Record
+
+// SessionRecord kinds: a queued change batch, a committed solve, and a
+// discarded batch.
+const (
+	SessionRecordChanges = store.KindChanges
+	SessionRecordSolve   = store.KindSolve
+	SessionRecordDiscard = store.KindDiscard
+)
+
+// ErrSessionNotFound reports a session id with no persisted state.
+var ErrSessionNotFound = store.ErrNotFound
+
+// NewMemorySessionStore returns the in-memory store backend: full
+// snapshot/journal semantics, no durability (tests, ephemeral services).
+func NewMemorySessionStore() SessionStore { return store.NewMemory() }
+
+// NewFileSessionStore opens (creating if needed) the durable file backend
+// rooted at dir: one directory per session holding snapshot.json plus a
+// CRC-framed, fsync'd journal.jsonl with torn-tail repair on recovery —
+// what cmd/ecserve -data-dir uses.
+func NewFileSessionStore(dir string) (SessionStore, error) { return store.NewFile(dir) }
 
 // ---- benchmark families -------------------------------------------------------
 

@@ -333,3 +333,60 @@ func TestPublicDomainService(t *testing.T) {
 		t.Fatalf("flex %+v", rep)
 	}
 }
+
+// TestPublicDurableService drives the re-exported durable session store:
+// a session survives a service "restart" over the same store, and the
+// file backend round-trips through NewFileSessionStore.
+func TestPublicDurableService(t *testing.T) {
+	st := ilpec.NewMemorySessionStore()
+	svc := ilpec.NewService(ilpec.ServiceOptions{Store: st})
+	sess, err := svc.CreateSession(ilpec.NewFormula([]int{1, 2}, []int{-1, 3}), ilpec.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Queue(ilpec.NewClause(-2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	want := sess.Solution()
+	id := sess.ID()
+	svc.Close()
+
+	svc2 := ilpec.NewService(ilpec.ServiceOptions{Store: st})
+	defer svc2.Close()
+	m := svc2.Metrics()
+	if m.Recoveries != 1 {
+		t.Fatalf("recoveries %d, want 1", m.Recoveries)
+	}
+	back, ok := svc2.Session(id)
+	if !ok {
+		t.Fatal("session did not survive the restart")
+	}
+	got := back.Solution()
+	if got.NumVars() != want.NumVars() {
+		t.Fatalf("recovered solution spans %d vars, want %d", got.NumVars(), want.NumVars())
+	}
+	for v := 1; v <= want.NumVars(); v++ {
+		if got.Get(v) != want.Get(v) {
+			t.Fatalf("recovered solution diverged at variable %d", v)
+		}
+	}
+
+	fileStore, err := ilpec.NewFileSessionStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc3 := ilpec.NewService(ilpec.ServiceOptions{Store: fileStore})
+	defer svc3.Close()
+	if _, err := svc3.CreateSession(ilpec.NewFormula([]int{1, 2}), ilpec.SessionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if ids := svc3.Sessions(); len(ids) != 1 {
+		t.Fatalf("file-backed sessions %v", ids)
+	}
+}

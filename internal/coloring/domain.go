@@ -117,6 +117,14 @@ func (d colorDomain) ParseProblem(spec json.RawMessage) (any, error) {
 	return &Problem{G: g, K: req.K}, nil
 }
 
+func (d colorDomain) RenderProblem(p any) any {
+	cp, err := d.problem(p)
+	if err != nil {
+		return nil
+	}
+	return problemJSON{Vertices: cp.G.N, K: cp.K, Edges: cp.G.Edges()}
+}
+
 func (d colorDomain) ParseChange(spec json.RawMessage) (any, error) {
 	var c Change
 	if err := json.Unmarshal(spec, &c); err != nil {
@@ -129,6 +137,14 @@ func (d colorDomain) ParseChange(spec json.RawMessage) (any, error) {
 	default:
 		return nil, fmt.Errorf("coloring: unknown kind %q", c.Kind)
 	}
+}
+
+func (d colorDomain) RenderChange(change any) any {
+	c, ok := change.(Change)
+	if !ok {
+		return nil
+	}
+	return c
 }
 
 func (d colorDomain) ApplyChanges(p any, changes []any) (any, error) {
@@ -229,6 +245,23 @@ func (d colorDomain) Render(p, s any) any {
 		return []int{}
 	}
 	return []int(col[1:]) // per-vertex colors, vertex 1 first
+}
+
+func (d colorDomain) ParseSolution(p any, spec json.RawMessage) (any, error) {
+	cp, err := d.problem(p)
+	if err != nil {
+		return nil, err
+	}
+	var colors []int
+	if err := json.Unmarshal(spec, &colors); err != nil {
+		return nil, fmt.Errorf("coloring: bad solution: %w", err)
+	}
+	if len(colors) != cp.G.N {
+		return nil, fmt.Errorf("coloring: solution covers %d vertices, want %d", len(colors), cp.G.N)
+	}
+	col := make(Coloring, cp.G.N+1)
+	copy(col[1:], colors)
+	return col, nil
 }
 
 func (d colorDomain) Agreement(prev, next any) float64 {

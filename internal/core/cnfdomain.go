@@ -126,6 +126,12 @@ func FormulaFromWire(dimacs string, vars int, clauses [][]int) (*cnf.Formula, er
 		return f, nil
 	}
 	if len(clauses) == 0 {
+		if vars > 0 {
+			// A clause-free formula over an explicit universe is valid (all
+			// clauses may have been removed by changes); the wire form must
+			// round-trip it.
+			return cnf.New(vars), nil
+		}
 		return nil, fmt.Errorf("missing formula: give dimacs or clauses")
 	}
 	f := cnf.New(vars)
@@ -143,6 +149,22 @@ func FormulaFromWire(dimacs string, vars int, clauses [][]int) (*cnf.Formula, er
 		f.AddClause(cl)
 	}
 	return f, nil
+}
+
+func (d *cnfDomain) RenderProblem(p any) any {
+	f, err := d.problem(p)
+	if err != nil {
+		return nil
+	}
+	clauses := make([][]int, len(f.Clauses))
+	for i, cl := range f.Clauses {
+		lits := make([]int, len(cl))
+		for j, l := range cl {
+			lits[j] = int(l)
+		}
+		clauses[i] = lits
+	}
+	return cnfProblemJSON{Vars: f.NumVars, Clauses: clauses}
 }
 
 // cnfChangeJSON is the wire form of a core.Change.
@@ -180,6 +202,26 @@ func (d *cnfDomain) ParseChange(spec json.RawMessage) (any, error) {
 	default:
 		return nil, fmt.Errorf("unknown kind %q", cj.Kind)
 	}
+}
+
+func (d *cnfDomain) RenderChange(change any) any {
+	c, ok := change.(Change)
+	if !ok {
+		return nil
+	}
+	cj := cnfChangeJSON{Kind: c.Kind.String()}
+	switch c.Kind {
+	case AddClause:
+		cj.Lits = make([]int, len(c.Clause))
+		for i, l := range c.Clause {
+			cj.Lits[i] = int(l)
+		}
+	case RemoveClause:
+		cj.Index = c.Index
+	case RemoveVariable:
+		cj.Var = c.Var
+	}
+	return cj
 }
 
 func (d *cnfDomain) ApplyChanges(p any, changes []any) (any, error) {
@@ -257,6 +299,30 @@ func (d *cnfDomain) Render(p, s any) any {
 		}
 	}
 	return lits
+}
+
+func (d *cnfDomain) ParseSolution(p any, spec json.RawMessage) (any, error) {
+	f, err := d.problem(p)
+	if err != nil {
+		return nil, err
+	}
+	var lits []int
+	if err := json.Unmarshal(spec, &lits); err != nil {
+		return nil, fmt.Errorf("cnf: bad solution: %w", err)
+	}
+	a := cnf.NewAssignment(f.NumVars)
+	for _, l := range lits {
+		v := l
+		val := cnf.True
+		if l < 0 {
+			v, val = -l, cnf.False
+		}
+		if v < 1 || v > f.NumVars {
+			return nil, fmt.Errorf("cnf: solution literal %d out of range [1,%d]", l, f.NumVars)
+		}
+		a.Set(v, val)
+	}
+	return a, nil
 }
 
 func (d *cnfDomain) Agreement(prev, next any) float64 {

@@ -206,6 +206,71 @@ func RunConformance(t *testing.T, d Domain) {
 		t.Fatal("ParseChange accepted an unknown kind")
 	}
 
+	// Wire-codec inverses: RenderProblem / RenderChange / ParseSolution
+	// must round-trip through their Parse counterparts with fingerprint
+	// fidelity — the durable session store journals changes and snapshots
+	// problems and solutions in exactly these forms, so a lossy codec
+	// corrupts recovered sessions.
+	rendered := d.RenderProblem(c.Problem)
+	if rendered == nil {
+		t.Fatal("RenderProblem returned nil")
+	}
+	rawProblem, err := json.Marshal(rendered)
+	if err != nil {
+		t.Fatalf("rendered problem not JSON-marshalable: %v", err)
+	}
+	reparsed, err := d.ParseProblem(rawProblem)
+	if err != nil {
+		t.Fatalf("ParseProblem(RenderProblem): %v", err)
+	}
+	if fp(d, reparsed) != fp(d, c.Problem) {
+		t.Fatalf("problem wire roundtrip lost information: %s", rawProblem)
+	}
+	for name, batch := range map[string][]any{"tightening": c.Tightening, "relaxing": c.Relaxing} {
+		replayed := make([]any, len(batch))
+		for i, ch := range batch {
+			rc := d.RenderChange(ch)
+			if rc == nil {
+				t.Fatalf("RenderChange(%s %d) returned nil", name, i)
+			}
+			raw, err := json.Marshal(rc)
+			if err != nil {
+				t.Fatalf("rendered %s change %d not JSON-marshalable: %v", name, i, err)
+			}
+			if replayed[i], err = d.ParseChange(raw); err != nil {
+				t.Fatalf("ParseChange(RenderChange) %s %d: %v", name, i, err)
+			}
+		}
+		direct, err := d.ApplyChanges(c.Problem, batch)
+		if err != nil {
+			t.Fatalf("apply %s batch: %v", name, err)
+		}
+		viaWire, err := d.ApplyChanges(c.Problem, replayed)
+		if err != nil {
+			t.Fatalf("apply replayed %s batch: %v", name, err)
+		}
+		if fp(d, direct) != fp(d, viaWire) {
+			t.Fatalf("%s change wire roundtrip diverged", name)
+		}
+	}
+	rawSol, err := json.Marshal(d.Render(c.Problem, sol))
+	if err != nil {
+		t.Fatalf("rendered solution not JSON-marshalable: %v", err)
+	}
+	solBack, err := d.ParseSolution(c.Problem, rawSol)
+	if err != nil {
+		t.Fatalf("ParseSolution(Render): %v", err)
+	}
+	if err := d.Verify(c.Problem, solBack); err != nil {
+		t.Fatalf("roundtripped solution invalid: %v", err)
+	}
+	if fps(d, solBack) != fps(d, sol) {
+		t.Fatalf("solution wire roundtrip lost information: %s", rawSol)
+	}
+	if _, err := d.ParseSolution(c.Problem, json.RawMessage(`"not-a-solution"`)); err == nil {
+		t.Fatal("ParseSolution accepted garbage")
+	}
+
 	// Fingerprints: deterministic, and sensitive to the change batch and
 	// the solution.
 	if fp(d, c.Problem) != fp(d, c.Problem) {

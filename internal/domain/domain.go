@@ -17,8 +17,11 @@
 //   - PreserveTerms rewrites an encoding's objective into the §7
 //     agreement-maximizing form;
 //   - EnableTerms augments an encoding with §5 flexibility rewards;
-//   - ParseProblem/ParseChange/Render are the JSON wire codecs the
-//     session service uses to carry any domain over HTTP.
+//   - ParseProblem/ParseChange/Render and their inverses RenderProblem/
+//     RenderChange/ParseSolution are the JSON wire codecs the session
+//     service uses to carry any domain over HTTP and to persist sessions
+//     durably (internal/store journals changes and snapshots problems and
+//     solutions in exactly these wire forms).
 //
 // The engine functions (Solve, Enable, Fast, Preserve), the generic
 // Figure-1 Flow, and the conformance suite live in this package too, so a
@@ -151,9 +154,19 @@ type Domain interface {
 	ProblemSize(problem any) (units, constraints int)
 	// ParseProblem decodes the JSON wire form of a problem.
 	ParseProblem(spec json.RawMessage) (any, error)
+	// RenderProblem returns the JSON-marshalable wire form of a problem —
+	// the inverse of ParseProblem. Round-tripping must reconstruct an
+	// equivalent problem (same FingerprintProblem digest); the session
+	// store snapshots problems in this form.
+	RenderProblem(problem any) any
 
 	// ParseChange decodes the JSON wire form of one change.
 	ParseChange(spec json.RawMessage) (any, error)
+	// RenderChange returns the JSON-marshalable wire form of one change —
+	// the inverse of ParseChange. The session store journals queued
+	// changes in this form, so replaying a rendered-then-parsed change
+	// must produce the same problem as applying the original.
+	RenderChange(change any) any
 	// ApplyChanges returns the changed problem; the input is not modified.
 	ApplyChanges(problem any, changes []any) (any, error)
 	// Tightening reports whether a change can invalidate existing
@@ -169,6 +182,10 @@ type Domain interface {
 	Verify(problem, sol any) error
 	// Render returns the JSON-marshalable wire form of a solution.
 	Render(problem, sol any) any
+	// ParseSolution decodes the wire form produced by Render back into a
+	// domain solution for problem — the inverse of Render. The session
+	// store rehydrates persisted solutions through it.
+	ParseSolution(problem any, spec json.RawMessage) (any, error)
 	// Agreement is the fraction of prev's decisions kept by next (§7).
 	Agreement(prev, next any) float64
 	// DontCares counts uncommitted decisions (CNF don't-cares; domains

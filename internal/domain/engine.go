@@ -55,7 +55,15 @@ func Fast(d Domain, problem, prev any, opts FastOptions) (any, FastStats, error)
 		return nil, FastStats{}, fmt.Errorf("domain %s: affected region: %w", d.Name(), err)
 	}
 	if region == nil {
-		// The previous solution survived the change.
+		// The previous solution survived the change. Extend it onto the
+		// changed universe so the committed solution always spans the
+		// problem (newly added units become explicit free decisions — the
+		// same normal form a session rehydrated from the store produces);
+		// fall back to the untouched solution for domains that cannot
+		// extend here.
+		if next, err := d.ExtendSolution(problem, prev); err == nil {
+			return next, FastStats{AlreadyValid: true}, nil
+		}
 		return d.CloneSolution(prev), FastStats{AlreadyValid: true}, nil
 	}
 	maxEsc := opts.MaxEscalations

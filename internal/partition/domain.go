@@ -113,6 +113,24 @@ func (d partDomain) ParseProblem(spec json.RawMessage) (any, error) {
 	return p, nil
 }
 
+func (d partDomain) RenderProblem(p any) any {
+	pp, err := d.problem(p)
+	if err != nil {
+		return nil
+	}
+	edges := make([][]float64, len(pp.Edges))
+	for i, e := range pp.Edges {
+		edges[i] = []float64{float64(e.U), float64(e.V), e.W}
+	}
+	return partProblemJSON{
+		Vertices: pp.N,
+		Blocks:   pp.Blocks,
+		MinSize:  pp.MinSize,
+		MaxSize:  pp.MaxSize,
+		Edges:    edges,
+	}
+}
+
 func (d partDomain) ParseChange(spec json.RawMessage) (any, error) {
 	var c Change
 	if err := json.Unmarshal(spec, &c); err != nil {
@@ -125,6 +143,14 @@ func (d partDomain) ParseChange(spec json.RawMessage) (any, error) {
 	default:
 		return nil, fmt.Errorf("partition: unknown kind %q", c.Kind)
 	}
+}
+
+func (d partDomain) RenderChange(change any) any {
+	c, ok := change.(Change)
+	if !ok {
+		return nil
+	}
+	return c
 }
 
 func (d partDomain) ApplyChanges(p any, changes []any) (any, error) {
@@ -229,6 +255,23 @@ func (d partDomain) Render(p, s any) any {
 		return []int{}
 	}
 	return []int(a[1:]) // per-vertex blocks, vertex 1 first
+}
+
+func (d partDomain) ParseSolution(p any, spec json.RawMessage) (any, error) {
+	pp, err := d.problem(p)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []int
+	if err := json.Unmarshal(spec, &blocks); err != nil {
+		return nil, fmt.Errorf("partition: bad solution: %w", err)
+	}
+	if len(blocks) != pp.N {
+		return nil, fmt.Errorf("partition: solution covers %d vertices, want %d", len(blocks), pp.N)
+	}
+	a := make(Assignment, pp.N+1)
+	copy(a[1:], blocks)
+	return a, nil
 }
 
 func (d partDomain) Agreement(prev, next any) float64 {

@@ -112,6 +112,19 @@ func (d schedDomain) ParseProblem(spec json.RawMessage) (any, error) {
 	return p, nil
 }
 
+func (d schedDomain) RenderProblem(p any) any {
+	sp, err := d.problem(p)
+	if err != nil {
+		return nil
+	}
+	return schedProblemJSON{
+		Capacity: append([]int(nil), sp.Capacity...),
+		Steps:    sp.Steps,
+		Types:    append([]int(nil), sp.Type...),
+		Deps:     append([][2]int(nil), sp.Deps...),
+	}
+}
+
 func (d schedDomain) ParseChange(spec json.RawMessage) (any, error) {
 	var c Change
 	if err := json.Unmarshal(spec, &c); err != nil {
@@ -124,6 +137,14 @@ func (d schedDomain) ParseChange(spec json.RawMessage) (any, error) {
 	default:
 		return nil, fmt.Errorf("sched: unknown kind %q", c.Kind)
 	}
+}
+
+func (d schedDomain) RenderChange(change any) any {
+	c, ok := change.(Change)
+	if !ok {
+		return nil
+	}
+	return c
 }
 
 func (d schedDomain) ApplyChanges(p any, changes []any) (any, error) {
@@ -219,6 +240,21 @@ func (d schedDomain) Render(p, s any) any {
 		return nil
 	}
 	return []int(sc)
+}
+
+func (d schedDomain) ParseSolution(p any, spec json.RawMessage) (any, error) {
+	sp, err := d.problem(p)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int
+	if err := json.Unmarshal(spec, &steps); err != nil {
+		return nil, fmt.Errorf("sched: bad solution: %w", err)
+	}
+	if len(steps) != sp.NumOps {
+		return nil, fmt.Errorf("sched: solution covers %d ops, want %d", len(steps), sp.NumOps)
+	}
+	return Schedule(append([]int(nil), steps...)), nil
 }
 
 func (d schedDomain) Agreement(prev, next any) float64 {

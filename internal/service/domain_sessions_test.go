@@ -68,8 +68,8 @@ func TestCrossDomainSessions(t *testing.T) {
 					changes = append(changes, ch)
 				}
 			}
-			if n := sess.QueueChanges(changes...); n != len(changes) {
-				t.Fatalf("pending %d, want %d", n, len(changes))
+			if n, err := sess.QueueChanges(changes...); err != nil || n != len(changes) {
+				t.Fatalf("pending %d (%v), want %d", n, err, len(changes))
 			}
 			res, err = sess.Solve()
 			if err != nil {

@@ -18,9 +18,9 @@ const maxBodyBytes = 8 << 20
 // NewHandler exposes a Service over HTTP/JSON:
 //
 //	POST   /v1/sessions              create a session (any registered domain)
-//	GET    /v1/sessions              list live session ids
-//	GET    /v1/sessions/{id}         session info
-//	DELETE /v1/sessions/{id}         close a session
+//	GET    /v1/sessions              list all session ids (live + persisted)
+//	GET    /v1/sessions/{id}         session info (rehydrates if evicted)
+//	DELETE /v1/sessions/{id}         close a session (memory and store)
 //	POST   /v1/sessions/{id}/changes queue a change batch (domain wire form)
 //	POST   /v1/sessions/{id}/solve   drain the batch in one EC pass
 //	GET    /v1/sessions/{id}/flex?k= flexibility report (§5 audit)
@@ -40,7 +40,12 @@ func NewHandler(svc *Service) http.Handler {
 		handleCreate(svc, w, r)
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"sessions": svc.Sessions()})
+		// "sessions" spans live AND persisted (evicted / recovered-but-
+		// untouched) sessions; "live" is the in-memory subset.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"sessions": svc.Sessions(),
+			"live":     svc.LiveSessions(),
+		})
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}", withSession(svc, func(sess *Session, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, sess.Info())
@@ -194,7 +199,13 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 		}
 		changes = append(changes, c)
 	}
-	pending := sess.QueueChanges(changes...)
+	// The 202 is only sent after the batch is durably journaled (on a
+	// store-backed service): an acknowledged change survives a crash.
+	pending, err := sess.QueueChanges(changes...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "queue_failed", err)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": sess.ID(), "pending": pending})
 }
 

@@ -1,0 +1,452 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ilpec/internal/domain"
+	"ilpec/internal/ilp"
+	"ilpec/internal/store"
+)
+
+// This file wires the durable session store (internal/store) through the
+// session lifecycle. The invariant it maintains: the store is ALWAYS a
+// faithful replica of every session, because each state transition is
+// journaled before the in-memory commit —
+//
+//   - session creation writes the initial snapshot (problem, strategy,
+//     seq 0);
+//   - QueueChanges appends a "changes" record with the wire-encoded batch;
+//   - a successful solve appends a "solve" record with the committed
+//     solution (all pending changes fold into the problem at that point);
+//   - a failed solve appends a "discard" record (the batch is dropped, the
+//     session keeps its previous state), so replay tracks the in-memory
+//     outcome either way.
+//
+// Snapshots are therefore pure compaction: after SnapshotEvery journal
+// records the full state is rewritten and the journal truncated. Eviction
+// and TTL expiry only cut a final snapshot and drop the session from
+// memory; rehydration loads the snapshot, replays the journal tail
+// through the domain codecs, and re-registers the session with its
+// solution as warm-start material.
+
+// hasStore reports whether this service persists sessions.
+func (s *Service) hasStore() bool { return s.opts.Store != nil }
+
+// touch marks a session as recently used (LRU / TTL bookkeeping).
+func (s *Service) touch(sess *Session) {
+	sess.lastUsed.Store(time.Now().UnixNano())
+}
+
+// ---- wire encoding --------------------------------------------------------
+
+// renderChanges wire-encodes a change batch through the domain codec.
+func renderChanges(d domain.Domain, changes []any) ([]json.RawMessage, error) {
+	if len(changes) == 0 {
+		return nil, nil
+	}
+	out := make([]json.RawMessage, len(changes))
+	for i, c := range changes {
+		wire := d.RenderChange(c)
+		if wire == nil {
+			return nil, fmt.Errorf("service: change %d (%T) has no wire form in domain %q", i, c, d.Name())
+		}
+		raw, err := json.Marshal(wire)
+		if err != nil {
+			return nil, fmt.Errorf("service: encode change %d: %w", i, err)
+		}
+		out[i] = raw
+	}
+	return out, nil
+}
+
+// parseChanges decodes a journaled change batch.
+func parseChanges(d domain.Domain, raws []json.RawMessage) ([]any, error) {
+	if len(raws) == 0 {
+		return nil, nil
+	}
+	out := make([]any, len(raws))
+	for i, raw := range raws {
+		c, err := d.ParseChange(raw)
+		if err != nil {
+			return nil, fmt.Errorf("service: journaled change %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// snapshotLocked captures the session's full state in wire form. Caller
+// holds sess.mu (or exclusively owns the session).
+func (sess *Session) snapshotLocked() (store.Snapshot, error) {
+	wire := sess.dom.RenderProblem(sess.problem)
+	if wire == nil {
+		return store.Snapshot{}, fmt.Errorf("service: problem of domain %q has no wire form", sess.dom.Name())
+	}
+	problem, err := json.Marshal(wire)
+	if err != nil {
+		return store.Snapshot{}, fmt.Errorf("service: encode problem: %w", err)
+	}
+	snap := store.Snapshot{
+		SessionID:     sess.id,
+		Domain:        sess.dom.Name(),
+		Strategy:      sess.strategy.String(),
+		Problem:       problem,
+		Seq:           sess.seq,
+		ChangesQueued: sess.stats.changesQueued,
+		Batches:       sess.stats.batches,
+		Solves:        sess.stats.solves,
+	}
+	if sess.solution != nil {
+		raw, err := json.Marshal(sess.dom.Render(sess.problem, sess.solution))
+		if err != nil {
+			return store.Snapshot{}, fmt.Errorf("service: encode solution: %w", err)
+		}
+		snap.Solution = raw
+	}
+	if snap.Pending, err = renderChanges(sess.dom, sess.pending); err != nil {
+		return store.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// persistSnapshotLocked writes a compaction snapshot. Caller holds
+// sess.mu.
+func (sess *Session) persistSnapshotLocked() error {
+	if !sess.svc.hasStore() {
+		return nil
+	}
+	snap, err := sess.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	if err := sess.svc.opts.Store.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	sess.svc.metrics.SnapshotsWritten.Add(1)
+	sess.tailLen = 0
+	return nil
+}
+
+// appendLocked journals one record. It must NOT snapshot: it runs
+// before the in-memory commit of the operation it describes, so a
+// snapshot here would capture mid-transition state while compacting the
+// record away. Compaction happens via maybeCompactLocked once memory
+// has caught up. Caller holds sess.mu.
+func (sess *Session) appendLocked(rec store.Record) error {
+	if !sess.svc.hasStore() {
+		return nil
+	}
+	rec.Seq = sess.seq + 1
+	if err := sess.svc.opts.Store.Append(sess.id, rec); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	sess.seq = rec.Seq
+	sess.tailLen++
+	sess.svc.metrics.JournalAppends.Add(1)
+	return nil
+}
+
+// maybeCompactLocked cuts the compaction snapshot once the journal tail
+// reaches SnapshotEvery. Callers invoke it only AFTER the in-memory
+// state reflects every journaled record, so the snapshot supersedes the
+// records it drops. Best-effort: the journal already holds the state, so
+// a failed compaction only defers truncation. Caller holds sess.mu.
+func (sess *Session) maybeCompactLocked() {
+	if !sess.svc.hasStore() || sess.tailLen < sess.svc.opts.SnapshotEvery {
+		return
+	}
+	sess.persistSnapshotLocked() //nolint:errcheck // compaction only; journal is authoritative
+}
+
+// persistQueueLocked journals a queued change batch (before it enters the
+// in-memory pending queue).
+func (sess *Session) persistQueueLocked(changes []any) error {
+	if !sess.svc.hasStore() {
+		return nil
+	}
+	wire, err := renderChanges(sess.dom, changes)
+	if err != nil {
+		return err
+	}
+	return sess.appendLocked(store.Record{Kind: store.KindChanges, Changes: wire})
+}
+
+// persistSolveLocked journals a committed solve (problem = previous
+// problem ⊕ all pending changes, solution = sol) before the in-memory
+// commit.
+func (sess *Session) persistSolveLocked(problem, sol any, batched int) error {
+	if !sess.svc.hasStore() {
+		return nil
+	}
+	raw, err := json.Marshal(sess.dom.Render(problem, sol))
+	if err != nil {
+		return fmt.Errorf("service: encode solution: %w", err)
+	}
+	return sess.appendLocked(store.Record{Kind: store.KindSolve, Solution: raw, Batched: batched})
+}
+
+// persistDiscardLocked journals a dropped batch (best effort — the same
+// store trouble that fails a solve append will usually fail this too, and
+// replay treats a trailing unresolved batch as pending, which a later
+// solve or discard record supersedes).
+func (sess *Session) persistDiscardLocked() {
+	if !sess.svc.hasStore() {
+		return
+	}
+	// Memory already reflects the discard (the batch was drained at solve
+	// entry and not restored), so compaction is safe right away.
+	if sess.appendLocked(store.Record{Kind: store.KindDiscard}) == nil {
+		sess.maybeCompactLocked()
+	}
+}
+
+// ---- recovery and rehydration --------------------------------------------
+
+// recover scans the store at startup: every persisted session becomes
+// immediately visible (Sessions, GET /v1/sessions) and touchable; the
+// heavy rehydration work happens lazily on first touch. The id counter
+// advances past recovered ids so new sessions never collide.
+func (s *Service) recoverSessions() {
+	ids, err := s.opts.Store.List()
+	if err != nil {
+		return // an unreadable store serves as empty; writes will surface the fault
+	}
+	for _, id := range ids {
+		s.persisted[id] = true
+		if n, ok := numericID(id); ok && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	s.metrics.Recoveries.Add(int64(len(ids)))
+}
+
+// numericID extracts k from the service's "s<k>" id scheme.
+func numericID(id string) (int64, bool) {
+	if !strings.HasPrefix(id, "s") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	return n, err == nil
+}
+
+// rehydrate reconstructs a session from its snapshot and journal tail.
+// It does NOT register the session; Session(id) does that under the
+// service lock.
+func (s *Service) rehydrate(id string) (*Session, error) {
+	snap, tail, err := s.opts.Store.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := s.DomainByName(snap.Domain)
+	if !ok {
+		return nil, fmt.Errorf("service: session %s has unknown domain %q", id, snap.Domain)
+	}
+	strategy, err := domain.ParseStrategy(snap.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("service: session %s: %w", id, err)
+	}
+	problem, err := d.ParseProblem(snap.Problem)
+	if err != nil {
+		return nil, fmt.Errorf("service: session %s problem: %w", id, err)
+	}
+	var solution any
+	if len(snap.Solution) > 0 {
+		if solution, err = d.ParseSolution(problem, snap.Solution); err != nil {
+			return nil, fmt.Errorf("service: session %s solution: %w", id, err)
+		}
+	}
+	pending, err := parseChanges(d, snap.Pending)
+	if err != nil {
+		return nil, fmt.Errorf("service: session %s: %w", id, err)
+	}
+
+	// Replay the journal tail: changes queue up, a solve folds the queue
+	// into the problem and installs the journaled solution, a discard
+	// drops the queue.
+	seq := snap.Seq
+	for _, rec := range tail {
+		seq = rec.Seq
+		switch rec.Kind {
+		case store.KindChanges:
+			batch, err := parseChanges(d, rec.Changes)
+			if err != nil {
+				return nil, fmt.Errorf("service: session %s seq %d: %w", id, rec.Seq, err)
+			}
+			pending = append(pending, batch...)
+		case store.KindSolve:
+			if len(pending) > 0 {
+				if problem, err = d.ApplyChanges(problem, pending); err != nil {
+					return nil, fmt.Errorf("service: session %s seq %d replay: %w", id, rec.Seq, err)
+				}
+			}
+			if solution, err = d.ParseSolution(problem, rec.Solution); err != nil {
+				return nil, fmt.Errorf("service: session %s seq %d solution: %w", id, rec.Seq, err)
+			}
+			pending = nil
+		case store.KindDiscard:
+			pending = nil
+		default:
+			return nil, fmt.Errorf("service: session %s seq %d has unknown record kind %q", id, rec.Seq, rec.Kind)
+		}
+	}
+
+	sess := &Session{
+		id:       id,
+		svc:      s,
+		dom:      d,
+		problem:  problem,
+		solution: solution,
+		pending:  pending,
+		strategy: strategy,
+		solve:    s.opts.Solve,
+		cuts:     ilp.NewCutPool(),
+		seq:      seq,
+		tailLen:  len(tail),
+		stats: sessionStats{
+			changesQueued: snap.ChangesQueued,
+			batches:       snap.Batches,
+			solves:        snap.Solves,
+		},
+	}
+	// The persisted solution warm-starts this session's next re-solve AND
+	// any other session solving the same problem.
+	if solution != nil {
+		s.storeIncumbent(sess.problemKey(problem), d, solution)
+	}
+	return sess, nil
+}
+
+// ---- eviction and expiry --------------------------------------------------
+
+// enforceLiveLimit evicts least-recently-used sessions until the live
+// count is within MaxLiveSessions. Only meaningful with a store: the
+// journal already replicates each victim, so eviction cuts a final
+// compaction snapshot and frees the memory; the next touch rehydrates.
+func (s *Service) enforceLiveLimit() {
+	if !s.hasStore() || s.opts.MaxLiveSessions <= 0 {
+		return
+	}
+	for {
+		s.mu.Lock()
+		if s.closed || len(s.sessions) <= s.opts.MaxLiveSessions {
+			s.mu.Unlock()
+			return
+		}
+		victim := s.lruLocked()
+		if victim == nil {
+			s.mu.Unlock()
+			return
+		}
+		s.beginDetachLocked(victim)
+		s.mu.Unlock()
+		s.finishDetach(victim, true)
+		s.metrics.Evictions.Add(1)
+	}
+}
+
+// beginDetachLocked removes a session from the live map and registers it
+// as mid-eviction, so concurrent lookups wait instead of rehydrating a
+// state the detaching instance is still appending to. Caller holds s.mu.
+func (s *Service) beginDetachLocked(sess *Session) {
+	delete(s.sessions, sess.id)
+	s.evicting[sess.id] = make(chan struct{})
+}
+
+// finishDetach drains the victim's in-flight operations (retire blocks
+// on its lock), cuts the final snapshot, and only THEN publishes the id
+// as persisted and releases waiting lookups — the order that makes a
+// rehydration see every journal record the detached instance wrote.
+func (s *Service) finishDetach(sess *Session, keepPersisted bool) {
+	s.retire(sess)
+	s.mu.Lock()
+	if keepPersisted && !s.closed {
+		s.persisted[sess.id] = true
+	}
+	ch := s.evicting[sess.id]
+	delete(s.evicting, sess.id)
+	s.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// lruLocked returns the live session with the oldest last-use stamp.
+// Caller holds s.mu.
+func (s *Service) lruLocked() *Session {
+	var victim *Session
+	var oldest int64
+	for _, sess := range s.sessions {
+		if t := sess.lastUsed.Load(); victim == nil || t < oldest {
+			victim, oldest = sess, t
+		}
+	}
+	return victim
+}
+
+// retire detaches a session from memory: a final compaction snapshot
+// (best effort — the journal is authoritative) and the closed mark that
+// sends stale pointers back to Service.Session for the rehydrated
+// instance.
+func (s *Service) retire(sess *Session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.persistSnapshotLocked() //nolint:errcheck // journal holds the state
+	sess.closed = true
+}
+
+// sweepLoop runs the TTL sweep until Close.
+func (s *Service) sweepLoop() {
+	defer close(s.sweepDone)
+	interval := s.opts.SessionTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-ticker.C:
+			s.sweepExpired(time.Now())
+		}
+	}
+}
+
+// sweepExpired snapshots-and-closes sessions idle past SessionTTL. With a
+// store the session leaves memory but stays durable (listed, rehydratable
+// on touch); without one it is closed outright — either way the memory is
+// reclaimed rather than leaked.
+func (s *Service) sweepExpired(now time.Time) {
+	ttl := s.opts.SessionTTL
+	if ttl <= 0 {
+		return
+	}
+	cutoff := now.Add(-ttl).UnixNano()
+	s.mu.Lock()
+	var victims []*Session
+	for _, sess := range s.sessions {
+		if sess.lastUsed.Load() <= cutoff {
+			victims = append(victims, sess)
+		}
+	}
+	for _, sess := range victims {
+		s.beginDetachLocked(sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range victims {
+		s.finishDetach(sess, s.hasStore())
+		if s.hasStore() {
+			s.metrics.TTLExpirations.Add(1)
+		} else {
+			s.metrics.SessionsClosed.Add(1)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ilpec/internal/domain"
+	"ilpec/internal/store"
+)
+
+// allDomains are the built-in adapters with conformance fixtures; every
+// persistence test runs its script across all of them, so the journal/
+// snapshot codecs are exercised per domain.
+var allDomains = []string{"cnf", "coloring", "sched", "partition"}
+
+func fixtureFor(t *testing.T, svc *Service, name string) (domain.Domain, domain.Conformance) {
+	t.Helper()
+	d, ok := svc.DomainByName(name)
+	if !ok {
+		t.Fatalf("unknown domain %q", name)
+	}
+	fx, ok := d.(domain.Fixtured)
+	if !ok {
+		t.Fatalf("domain %q has no fixture", name)
+	}
+	return d, fx.Conformance()
+}
+
+func solFP(d domain.Domain, sol any) string {
+	var buf bytes.Buffer
+	d.FingerprintSolution(&buf, sol)
+	return buf.String()
+}
+
+func probFP(d domain.Domain, p any) string {
+	var buf bytes.Buffer
+	d.FingerprintProblem(&buf, p)
+	return buf.String()
+}
+
+// runScript drives one session through the shared test script — initial
+// solve, tightening batch, solve — and returns the session.
+func runScript(t *testing.T, svc *Service, name string) *Session {
+	t.Helper()
+	_, c := fixtureFor(t, svc, name)
+	sess, err := svc.CreateDomainSession(name, c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+	if _, err := sess.QueueChanges(c.Tightening...); err != nil {
+		t.Fatalf("queue: %v", err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatalf("batch solve: %v", err)
+	}
+	return sess
+}
+
+// TestRestartRecoversSessions is the heart of the subsystem: sessions
+// created, changed, and solved against a store survive a full service
+// restart with their exact problem, solution, and stats.
+func TestRestartRecoversSessions(t *testing.T) {
+	st := store.NewMemory()
+	svc := New(Options{Store: st})
+	ids := map[string]string{} // domain -> session id
+	solFPs := map[string]string{}
+	probFPs := map[string]string{}
+	for _, name := range allDomains {
+		sess := runScript(t, svc, name)
+		d := sess.dom
+		ids[name] = sess.ID()
+		solFPs[name] = solFP(d, sess.SolutionValue())
+		probFPs[name] = probFP(d, sess.Problem())
+	}
+	if m := svc.Metrics(); m.JournalAppends == 0 || m.SnapshotsWritten == 0 {
+		t.Fatalf("no store traffic recorded: %+v", m)
+	}
+	svc.Close()
+
+	// "Restart": a fresh service over the surviving store.
+	svc2 := New(Options{Store: st})
+	defer svc2.Close()
+	if got := svc2.Metrics().Recoveries; got != int64(len(allDomains)) {
+		t.Fatalf("recoveries %d, want %d", got, len(allDomains))
+	}
+	var want []string
+	for _, id := range ids {
+		want = append(want, id)
+	}
+	got := svc2.Sessions()
+	if len(got) != len(want) {
+		t.Fatalf("sessions after restart %v, want %d ids", got, len(want))
+	}
+	for _, name := range allDomains {
+		sess, ok := svc2.Session(ids[name])
+		if !ok {
+			t.Fatalf("session %s (%s) not rehydrated", ids[name], name)
+		}
+		d := sess.dom
+		if fp := solFP(d, sess.SolutionValue()); fp != solFPs[name] {
+			t.Fatalf("%s: solution diverged after restart", name)
+		}
+		if fp := probFP(d, sess.Problem()); fp != probFPs[name] {
+			t.Fatalf("%s: problem diverged after restart", name)
+		}
+		// A post-restart solve with nothing pending is a noop on the same
+		// solution — the acceptance check of the subsystem.
+		res, err := sess.Solve()
+		if err != nil {
+			t.Fatalf("%s: post-restart solve: %v", name, err)
+		}
+		if res.Status != "noop" || solFP(d, res.Solution) != solFPs[name] {
+			t.Fatalf("%s: post-restart solve %q diverged", name, res.Status)
+		}
+		// And the session keeps working: a relax-only batch extends it.
+		_, c := fixtureFor(t, svc2, name)
+		if _, err := sess.QueueChanges(c.Relaxing...); err != nil {
+			t.Fatal(err)
+		}
+		if res, err = sess.Solve(); err != nil || res.Status != "relaxed" {
+			t.Fatalf("%s: relax after restart: %+v, %v", name, res, err)
+		}
+	}
+	if m := svc2.Metrics(); m.Rehydrations != int64(len(allDomains)) {
+		t.Fatalf("rehydrations %d, want %d", m.Rehydrations, len(allDomains))
+	}
+}
+
+// TestRestartRecoversPendingChanges: queued-but-unsolved changes are
+// journaled, so they survive a restart and resolve on the next solve.
+func TestRestartRecoversPendingChanges(t *testing.T) {
+	st := store.NewMemory()
+	svc := New(Options{Store: st})
+	_, c := fixtureFor(t, svc, "cnf")
+	sess, err := svc.CreateDomainSession("cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.QueueChanges(c.Tightening...); err != nil {
+		t.Fatal(err)
+	}
+	id := sess.ID()
+	svc.Close()
+
+	svc2 := New(Options{Store: st})
+	defer svc2.Close()
+	sess2, ok := svc2.Session(id)
+	if !ok {
+		t.Fatal("session lost")
+	}
+	if got := sess2.Pending(); got != len(c.Tightening) {
+		t.Fatalf("pending after restart %d, want %d", got, len(c.Tightening))
+	}
+	res, err := sess2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batched != len(c.Tightening) || res.Status != "fast" {
+		t.Fatalf("post-restart batch solve %+v", res)
+	}
+}
+
+// TestSnapshotCompaction: after SnapshotEvery journal records the session
+// is re-snapshotted and the journal tail truncated, and the compacted
+// state still restarts cleanly.
+func TestSnapshotCompaction(t *testing.T) {
+	st := store.NewMemory()
+	svc := New(Options{Store: st, SnapshotEvery: 4})
+	_, c := fixtureFor(t, svc, "coloring")
+	sess, err := svc.CreateDomainSession("coloring", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	// Ten relax batches: 20 journal records, so at least 4 compactions.
+	for i := 0; i < 10; i++ {
+		if _, err := sess.QueueChanges(c.Relaxing[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := svc.Metrics()
+	if m.SnapshotsWritten < 5 { // 1 at birth + ≥4 compactions
+		t.Fatalf("snapshots_written %d, want ≥ 5", m.SnapshotsWritten)
+	}
+	snap, tail, err := st.Load(sess.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) >= 4 {
+		t.Fatalf("journal tail %d records, compaction never ran", len(tail))
+	}
+	if snap.Seq == 0 {
+		t.Fatal("snapshot never advanced past birth")
+	}
+	fpBefore := solFP(sess.dom, sess.SolutionValue())
+	id := sess.ID()
+	svc.Close()
+	svc2 := New(Options{Store: st})
+	defer svc2.Close()
+	sess2, ok := svc2.Session(id)
+	if !ok {
+		t.Fatal("compacted session lost")
+	}
+	if solFP(sess2.dom, sess2.SolutionValue()) != fpBefore {
+		t.Fatal("compacted session diverged after restart")
+	}
+}
+
+// TestEvictionAndRehydration: beyond MaxLiveSessions the LRU session is
+// snapshotted out of memory and transparently rebuilt on its next touch.
+func TestEvictionAndRehydration(t *testing.T) {
+	st := store.NewMemory()
+	svc := New(Options{Store: st, MaxLiveSessions: 1})
+	defer svc.Close()
+	s1 := runScript(t, svc, "cnf")
+	id1 := s1.ID()
+	fp1 := solFP(s1.dom, s1.SolutionValue())
+
+	s2 := runScript(t, svc, "coloring") // evicts s1
+	if m := svc.Metrics(); m.Evictions == 0 {
+		t.Fatalf("no eviction recorded: %+v", m)
+	}
+	if live := svc.LiveSessions(); !reflect.DeepEqual(live, []string{s2.ID()}) {
+		t.Fatalf("live %v, want only %s", live, s2.ID())
+	}
+	if all := svc.Sessions(); len(all) != 2 {
+		t.Fatalf("sessions %v, want both ids", all)
+	}
+
+	// The evicted pointer is detached; the id rehydrates.
+	if _, err := s1.Solve(); err == nil {
+		t.Fatal("evicted session pointer still solvable")
+	}
+	if _, err := s1.QueueChanges(); err == nil {
+		t.Fatal("evicted session pointer still queueable")
+	}
+	back, ok := svc.Session(id1)
+	if !ok {
+		t.Fatal("evicted session did not rehydrate")
+	}
+	if back == s1 {
+		t.Fatal("rehydration returned the detached instance")
+	}
+	if solFP(back.dom, back.SolutionValue()) != fp1 {
+		t.Fatal("rehydrated solution diverged")
+	}
+	if m := svc.Metrics(); m.Rehydrations != 1 {
+		t.Fatalf("rehydrations %d, want 1", m.Rehydrations)
+	}
+	// Rehydrating s1 pushed the live count back over the limit: s2 is out.
+	if live := svc.LiveSessions(); !reflect.DeepEqual(live, []string{id1}) {
+		t.Fatalf("live %v, want only %s", live, id1)
+	}
+}
+
+// TestSessionTTLSweep: idle sessions are snapshotted-and-closed. With a
+// store they stay durable and rehydratable; memory is reclaimed either
+// way.
+func TestSessionTTLSweep(t *testing.T) {
+	st := store.NewMemory()
+	svc := New(Options{Store: st, SessionTTL: 30 * time.Millisecond})
+	defer svc.Close()
+	sess := runScript(t, svc, "cnf")
+	id := sess.ID()
+	fp := solFP(sess.dom, sess.SolutionValue())
+
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().TTLExpirations == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("TTL sweep never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if live := svc.LiveSessions(); len(live) != 0 {
+		t.Fatalf("expired session still live: %v", live)
+	}
+	if all := svc.Sessions(); !reflect.DeepEqual(all, []string{id}) {
+		t.Fatalf("expired session not listed: %v", all)
+	}
+	back, ok := svc.Session(id)
+	if !ok {
+		t.Fatal("expired session did not rehydrate")
+	}
+	if solFP(back.dom, back.SolutionValue()) != fp {
+		t.Fatal("expired session diverged")
+	}
+}
+
+// TestSessionTTLWithoutStore: with no store the sweep closes idle
+// sessions outright instead of leaking them.
+func TestSessionTTLWithoutStore(t *testing.T) {
+	svc := New(Options{SessionTTL: 20 * time.Millisecond})
+	defer svc.Close()
+	sess := runScript(t, svc, "cnf")
+	id := sess.ID()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := svc.Session(id); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never closed")
+		}
+		// NOTE: Session(id) touches the session, so back off beyond the
+		// TTL between polls.
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := len(svc.Sessions()); n != 0 {
+		t.Fatalf("%d sessions still listed", n)
+	}
+}
+
+// TestCrashRecoveryDifferential is the satellite crash drill: for every
+// domain, a file-backed session is killed mid-append (a torn journal
+// tail), recovered by a fresh service, and differential-checked against
+// an uninterrupted in-memory session running the identical script.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	for _, name := range allDomains {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := store.NewFile(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The crashing service: create, solve, tighten, solve, then
+			// queue a relax batch... and die mid-append. No Close — a
+			// crash never flushes.
+			svc := New(Options{Store: st})
+			sess := runScript(t, svc, name)
+			_, c := fixtureFor(t, svc, name)
+			if _, err := sess.QueueChanges(c.Relaxing...); err != nil {
+				t.Fatal(err)
+			}
+			id := sess.ID()
+
+			// Simulate the torn write: half a record, no newline, straight
+			// into the journal file.
+			journal := filepath.Join(dir, id, "journal.jsonl")
+			f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(`0badc0de {"seq":999,"kind":"cha`); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			// Recovery: a fresh store + service over the same directory.
+			st2, err := store.NewFile(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc2 := New(Options{Store: st2})
+			defer svc2.Close()
+			recovered, ok := svc2.Session(id)
+			if !ok {
+				t.Fatal("crashed session did not recover")
+			}
+			if got := recovered.Pending(); got != len(c.Relaxing) {
+				t.Fatalf("recovered pending %d, want %d", got, len(c.Relaxing))
+			}
+			res, err := recovered.Solve()
+			if err != nil {
+				t.Fatalf("post-recovery solve: %v", err)
+			}
+
+			// The uninterrupted control: same script, no store, no crash.
+			control := New(Options{})
+			defer control.Close()
+			ctrlSess := runScript(t, control, name)
+			if _, err := ctrlSess.QueueChanges(c.Relaxing...); err != nil {
+				t.Fatal(err)
+			}
+			ctrlRes, err := ctrlSess.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			d := recovered.dom
+			if probFP(d, recovered.Problem()) != probFP(d, ctrlSess.Problem()) {
+				t.Fatal("recovered problem diverged from uninterrupted session")
+			}
+			if solFP(d, res.Solution) != solFP(d, ctrlRes.Solution) {
+				t.Fatal("recovered solution diverged from uninterrupted session")
+			}
+			if res.Status != ctrlRes.Status || res.Batched != ctrlRes.Batched {
+				t.Fatalf("recovered pass %q/%d, control %q/%d",
+					res.Status, res.Batched, ctrlRes.Status, ctrlRes.Batched)
+			}
+		})
+	}
+}
+
+// TestCloseSessionDeletesFromStore: DELETE removes both the memory and
+// the durable state.
+func TestCloseSessionDeletesFromStore(t *testing.T) {
+	st := store.NewMemory()
+	svc := New(Options{Store: st})
+	defer svc.Close()
+	sess := runScript(t, svc, "cnf")
+	id := sess.ID()
+	if !svc.CloseSession(id) {
+		t.Fatal("close failed")
+	}
+	if _, ok := svc.Session(id); ok {
+		t.Fatal("closed session still reachable")
+	}
+	if ids, _ := st.List(); len(ids) != 0 {
+		t.Fatalf("store still holds %v", ids)
+	}
+	// Closing a persisted-only (evicted) session works too.
+	sess2 := runScript(t, svc, "coloring")
+	svc.retire(sess2)
+	svc.mu.Lock()
+	delete(svc.sessions, sess2.ID())
+	svc.persisted[sess2.ID()] = true
+	svc.mu.Unlock()
+	if !svc.CloseSession(sess2.ID()) {
+		t.Fatal("close of evicted session failed")
+	}
+	if ids, _ := st.List(); len(ids) != 0 {
+		t.Fatalf("store still holds %v", ids)
+	}
+}
+
+// TestCompactionAtThresholdSurvivesCrash (regression): a compaction
+// snapshot triggered by the very record being appended must capture the
+// POST-commit state. With SnapshotEvery=2 the queue append below lands
+// exactly on the threshold; a crash right after it (no Close) must not
+// lose the acknowledged batch.
+func TestCompactionAtThresholdSurvivesCrash(t *testing.T) {
+	st := store.NewMemory()
+	svc := New(Options{Store: st, SnapshotEvery: 2})
+	_, c := fixtureFor(t, svc, "cnf")
+	sess, err := svc.CreateDomainSession("cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil { // journal seq 1
+		t.Fatal(err)
+	}
+	if _, err := sess.QueueChanges(c.Tightening...); err != nil { // seq 2: compaction fires
+		t.Fatal(err)
+	}
+	snap, tail, err := st.Load(sess.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 0 {
+		t.Fatalf("journal not compacted at threshold: %d records", len(tail))
+	}
+	if len(snap.Pending) != len(c.Tightening) || len(snap.Solution) == 0 {
+		t.Fatalf("compaction snapshot lost state: pending %d, solution %q",
+			len(snap.Pending), snap.Solution)
+	}
+
+	// Crash (no Close): the compacted store alone must carry the session.
+	svc2 := New(Options{Store: st})
+	defer svc2.Close()
+	back, ok := svc2.Session(sess.ID())
+	if !ok {
+		t.Fatal("session lost")
+	}
+	if got := back.Pending(); got != len(c.Tightening) {
+		t.Fatalf("acknowledged batch lost across compaction+crash: pending %d, want %d",
+			got, len(c.Tightening))
+	}
+	res, err := back.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batched != len(c.Tightening) {
+		t.Fatalf("recovered solve batched %d, want %d", res.Batched, len(c.Tightening))
+	}
+}

@@ -31,13 +31,16 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ilpec/internal/cnf"
 	"ilpec/internal/core"
 	"ilpec/internal/domain"
 	"ilpec/internal/ilp"
+	"ilpec/internal/store"
 
 	// The built-in domains register themselves on import so every service
 	// (and cmd/ecserve) can serve them by name.
@@ -47,8 +50,9 @@ import (
 )
 
 const (
-	defaultCacheSize   = 256
-	defaultMaxSessions = 4096
+	defaultCacheSize     = 256
+	defaultMaxSessions   = 4096
+	defaultSnapshotEvery = 64
 )
 
 // Options configures a Service. The zero value is usable: fast-EC
@@ -79,6 +83,24 @@ type Options struct {
 	// Domains overrides the domain registry (default: the process-wide
 	// registry with the built-in adapters).
 	Domains *domain.Registry
+	// Store persists sessions durably: a write-ahead journal of applied
+	// changes plus periodic snapshots per session (see internal/store).
+	// The service takes ownership (Close closes it), recovers every
+	// persisted session at startup, and transparently rehydrates evicted
+	// sessions on their next touch. nil disables persistence.
+	Store store.Store
+	// SnapshotEvery cuts a compaction snapshot after this many journal
+	// records per session (default 64; needs Store).
+	SnapshotEvery int
+	// MaxLiveSessions bounds the sessions held in memory when a Store is
+	// configured: beyond it the least-recently-used session is
+	// snapshotted and evicted, to be rehydrated on next touch. 0 disables
+	// eviction (MaxSessions still bounds the total).
+	MaxLiveSessions int
+	// SessionTTL snapshots-and-closes sessions idle longer than this:
+	// with a Store they leave memory but stay durable and rehydratable;
+	// without one they are closed outright. 0 disables the sweep.
+	SessionTTL time.Duration
 }
 
 // SessionConfig carries per-session overrides at creation time.
@@ -127,6 +149,18 @@ type Metrics struct {
 	CutsAdded      atomic.Int64
 	CutsReused     atomic.Int64
 	CutTightenings atomic.Int64
+	// JournalAppends / SnapshotsWritten count durable-store writes;
+	// Recoveries counts sessions found in the store at startup;
+	// Rehydrations counts evicted/recovered sessions rebuilt from the
+	// store on touch; Evictions counts LRU evictions under
+	// MaxLiveSessions; TTLExpirations counts idle sessions the TTL sweep
+	// snapshotted-and-closed.
+	JournalAppends   atomic.Int64
+	SnapshotsWritten atomic.Int64
+	Recoveries       atomic.Int64
+	Rehydrations     atomic.Int64
+	Evictions        atomic.Int64
+	TTLExpirations   atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics for reporting.
@@ -149,6 +183,15 @@ type MetricsSnapshot struct {
 	CutsAdded       int64 `json:"cuts_added"`
 	CutsReused      int64 `json:"cuts_reused"`
 	CutTightenings  int64 `json:"cut_tightenings"`
+	// SessionsPersisted counts sessions that live only in the store
+	// (evicted, expired, or not yet rehydrated after recovery).
+	SessionsPersisted int   `json:"sessions_persisted"`
+	JournalAppends    int64 `json:"journal_appends"`
+	SnapshotsWritten  int64 `json:"snapshots_written"`
+	Recoveries        int64 `json:"recoveries"`
+	Rehydrations      int64 `json:"rehydrations"`
+	Evictions         int64 `json:"evictions"`
+	TTLExpirations    int64 `json:"ttl_expirations"`
 }
 
 // Service manages long-lived EC sessions sharing a solve cache, an
@@ -165,7 +208,20 @@ type Service struct {
 	mu       sync.Mutex
 	closed   bool
 	sessions map[string]*Session
+	// persisted holds the ids that live only in the store (recovered at
+	// startup, evicted, or TTL-expired); a touch rehydrates them back
+	// into sessions. The two maps are disjoint.
+	persisted map[string]bool
+	// evicting holds ids mid-detachment: removed from sessions but whose
+	// final snapshot is still being cut. Lookups wait on the channel, so
+	// a rehydration can never race a detaching instance's last journal
+	// appends (which would fork the session).
+	evicting map[string]chan struct{}
 	nextID   int64
+
+	// sweepStop/sweepDone bracket the TTL sweeper goroutine.
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 
 	imu        sync.Mutex
 	incumbents map[string]incumbent
@@ -179,7 +235,10 @@ type incumbent struct {
 	sol any
 }
 
-// New creates a Service. Close it when done to stop the executor workers.
+// New creates a Service. Close it when done to stop the executor workers
+// (and, when a Store is configured, to flush final snapshots and close
+// the store). With a Store, every session persisted by a previous run is
+// recovered: immediately listed, and rehydrated on first touch.
 func New(opts Options) *Service {
 	if opts.Workers < 1 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -190,7 +249,10 @@ func New(opts Options) *Service {
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = defaultMaxSessions
 	}
-	return &Service{
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	s := &Service{
 		opts:  opts,
 		cache: newSolveCache(opts.CacheSize),
 		exec:  newPool(opts.Workers),
@@ -199,8 +261,19 @@ func New(opts Options) *Service {
 			Preserve: opts.Preserve,
 		}),
 		sessions:   make(map[string]*Session),
+		persisted:  make(map[string]bool),
+		evicting:   make(map[string]chan struct{}),
 		incumbents: make(map[string]incumbent),
 	}
+	if s.hasStore() {
+		s.recoverSessions()
+	}
+	if opts.SessionTTL > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop()
+	}
+	return s
 }
 
 // Domains lists the domain names this service can serve, sorted.
@@ -256,16 +329,20 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 		solve = *cfg.Solve
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("service: closed")
 	}
-	if len(s.sessions) >= s.opts.MaxSessions {
+	if len(s.sessions)+len(s.persisted)+len(s.evicting) >= s.opts.MaxSessions {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("service: session limit (%d) reached", s.opts.MaxSessions)
 	}
 	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.mu.Unlock()
+
 	sess := &Session{
-		id:       fmt.Sprintf("s%d", s.nextID),
+		id:       id,
 		svc:      s,
 		dom:      d,
 		problem:  d.CloneProblem(problem),
@@ -277,38 +354,141 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 		// fingerprint implicitly invalidates exactly the touched rows).
 		cuts: ilp.NewCutPool(),
 	}
-	s.sessions[sess.id] = sess
+	s.touch(sess)
+	// Durable birth: the initial snapshot must land before the session is
+	// acknowledged, so a crash right after creation still recovers it.
+	// The id is already reserved, so the store write (fsync + renames on
+	// the file backend) happens outside the service lock.
+	if s.hasStore() {
+		if err := sess.persistSnapshotLocked(); err != nil {
+			return nil, fmt.Errorf("service: persist session: %w", err)
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if s.hasStore() {
+			s.opts.Store.Delete(id) //nolint:errcheck // undo the orphaned birth snapshot
+		}
+		return nil, fmt.Errorf("service: closed")
+	}
+	s.sessions[id] = sess
 	s.metrics.SessionsCreated.Add(1)
+	s.mu.Unlock()
+	s.enforceLiveLimit()
 	return sess, nil
 }
 
-// Session looks a live session up by id.
+// Session looks a session up by id. A live session is returned directly;
+// a persisted-but-evicted (or freshly recovered) session is transparently
+// rehydrated from the store — snapshot loaded, journal tail replayed, the
+// persisted solution installed as warm-start material — and re-registered
+// as live.
 func (s *Service) Session(id string) (*Session, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
-	return sess, ok
+	if sess, ok := s.sessions[id]; ok {
+		s.touch(sess)
+		s.mu.Unlock()
+		return sess, true
+	}
+	if ch, ok := s.evicting[id]; ok {
+		// Mid-eviction: wait for the final snapshot to land, then retry —
+		// rehydrating now would miss the detaching instance's last
+		// journal appends.
+		s.mu.Unlock()
+		<-ch
+		return s.Session(id)
+	}
+	if s.closed || !s.persisted[id] {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+
+	sess, err := s.rehydrate(id)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if live, ok := s.sessions[id]; ok {
+		// A concurrent touch won the rehydration race; both rebuilt the
+		// same durable state, so ours is simply dropped.
+		s.touch(live)
+		s.mu.Unlock()
+		return live, true
+	}
+	if !s.persisted[id] {
+		s.mu.Unlock() // deleted while we were loading
+		return nil, false
+	}
+	delete(s.persisted, id)
+	s.sessions[id] = sess
+	s.touch(sess)
+	s.metrics.Rehydrations.Add(1)
+	s.mu.Unlock()
+	s.enforceLiveLimit()
+	return sess, true
 }
 
-// Sessions returns the ids of all live sessions.
+// Sessions returns the ids of all sessions — live and persisted — sorted.
 func (s *Service) Sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.sessions)+len(s.persisted)+len(s.evicting))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	for id := range s.persisted {
+		ids = append(ids, id)
+	}
+	for id := range s.evicting {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// LiveSessions returns the ids currently held in memory, sorted.
+func (s *Service) LiveSessions() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ids := make([]string, 0, len(s.sessions))
 	for id := range s.sessions {
 		ids = append(ids, id)
 	}
+	sort.Strings(ids)
 	return ids
 }
 
-// CloseSession removes a session; it reports whether the id was live.
+// CloseSession removes a session from memory AND from the store; it
+// reports whether the id existed.
 func (s *Service) CloseSession(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	if ch, ok := s.evicting[id]; ok {
+		s.mu.Unlock()
+		<-ch // let the in-flight eviction settle, then close for real
+		return s.CloseSession(id)
+	}
+	sess, live := s.sessions[id]
+	stored := s.persisted[id]
+	delete(s.sessions, id)
+	delete(s.persisted, id)
+	s.mu.Unlock()
+	if !live && !stored {
 		return false
 	}
-	delete(s.sessions, id)
+	if live {
+		sess.mu.Lock()
+		sess.closed = true
+		sess.mu.Unlock()
+	}
+	if s.hasStore() {
+		s.opts.Store.Delete(id) //nolint:errcheck // best effort; List re-reads the disk
+	}
 	s.metrics.SessionsClosed.Add(1)
 	return true
 }
@@ -317,6 +497,7 @@ func (s *Service) CloseSession(id string) bool {
 func (s *Service) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	live := len(s.sessions)
+	stored := len(s.persisted)
 	s.mu.Unlock()
 	m := &s.metrics
 	return MetricsSnapshot{
@@ -338,11 +519,22 @@ func (s *Service) Metrics() MetricsSnapshot {
 		CutsAdded:       m.CutsAdded.Load(),
 		CutsReused:      m.CutsReused.Load(),
 		CutTightenings:  m.CutTightenings.Load(),
+
+		SessionsPersisted: stored,
+		JournalAppends:    m.JournalAppends.Load(),
+		SnapshotsWritten:  m.SnapshotsWritten.Load(),
+		Recoveries:        m.Recoveries.Load(),
+		Rehydrations:      m.Rehydrations.Load(),
+		Evictions:         m.Evictions.Load(),
+		TTLExpirations:    m.TTLExpirations.Load(),
 	}
 }
 
 // Close drops all sessions and stops the executor. In-flight solves
-// finish; subsequent Solve calls fail.
+// finish; subsequent Solve calls fail. With a Store, every live session
+// is flushed with a final compaction snapshot (all journal fsyncs have
+// already happened at append time) and the store is closed — the graceful
+// drain contract cmd/ecserve relies on.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -350,10 +542,23 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	n := len(s.sessions)
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
 	s.sessions = make(map[string]*Session)
 	s.mu.Unlock()
-	s.metrics.SessionsClosed.Add(int64(n))
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+	}
+	for _, sess := range live {
+		s.retire(sess)
+	}
+	if s.hasStore() {
+		s.opts.Store.Close() //nolint:errcheck // shutdown path
+	}
+	s.metrics.SessionsClosed.Add(int64(len(live)))
 	s.exec.close()
 }
 

@@ -76,7 +76,7 @@ func TestBatchCoalescing(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Three tightening changes, queued, resolved in ONE pass.
-			if n := sess.Queue(core.NewClause(-2, 3), core.NewClause(1, 4), core.NewClause(-5, 2)); n != 3 {
+			if n, err := sess.Queue(core.NewClause(-2, 3), core.NewClause(1, 4), core.NewClause(-5, 2)); err != nil || n != 3 {
 				t.Fatalf("pending %d, want 3", n)
 			}
 			res, err := sess.Solve()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ilpec/internal/cnf"
@@ -41,6 +42,18 @@ type Session struct {
 	// the pool is never shared between concurrent searches.
 	cuts  *ilp.CutPool
 	stats sessionStats
+
+	// closed marks a session that was evicted, TTL-expired, or deleted:
+	// stale pointers error instead of mutating a detached copy (the live
+	// state is in the store; Service.Session rehydrates it).
+	closed bool
+	// seq is the last write-ahead journal sequence number; tailLen counts
+	// journal records since the last snapshot (SnapshotEvery compaction).
+	seq     uint64
+	tailLen int
+	// lastUsed is the unix-nano last-touch stamp driving LRU eviction and
+	// the TTL sweep.
+	lastUsed atomic.Int64
 }
 
 type sessionStats struct {
@@ -107,7 +120,7 @@ func (s *Session) Domain() string { return s.dom.Name() }
 // Queue appends CNF changes to the pending batch without solving; it
 // returns the pending count. It is shorthand for QueueChanges on a CNF
 // session.
-func (s *Session) Queue(changes ...core.Change) int {
+func (s *Session) Queue(changes ...core.Change) (int, error) {
 	anyChanges := make([]any, len(changes))
 	for i, c := range changes {
 		anyChanges[i] = c
@@ -117,14 +130,25 @@ func (s *Session) Queue(changes ...core.Change) int {
 
 // QueueChanges appends domain changes to the pending batch without
 // solving; it returns the pending count. The batch is validated and
-// applied atomically by the next Solve.
-func (s *Session) QueueChanges(changes ...any) int {
+// applied atomically by the next Solve. On a durable service the batch is
+// journaled (wire-encoded and fsync'd) BEFORE it is acknowledged, so an
+// accepted change survives a crash; the error reports a detached session
+// or a failed journal append, and in either case nothing was queued.
+func (s *Session) QueueChanges(changes ...any) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("service: session %s is closed (re-fetch it by id)", s.id)
+	}
+	if err := s.persistQueueLocked(changes); err != nil {
+		return len(s.pending), err
+	}
 	s.pending = append(s.pending, changes...)
 	s.stats.changesQueued += int64(len(changes))
 	s.svc.metrics.ChangesQueued.Add(int64(len(changes)))
-	return len(s.pending)
+	s.svc.touch(s)
+	s.maybeCompactLocked()
+	return len(s.pending), nil
 }
 
 // Pending returns the number of queued, not yet applied changes.
@@ -229,17 +253,30 @@ func (s *Session) SolveContext(ctx context.Context) (*SolveResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("service: session %s is closed (re-fetch it by id)", s.id)
+	}
+	s.svc.touch(s)
 	start := time.Now()
 	batch := s.pending
 	s.pending = nil
 
-	if s.solution == nil {
-		return s.solveInitial(ctx, batch, start)
+	res, err := func() (*SolveResult, error) {
+		if s.solution == nil {
+			return s.solveInitial(ctx, batch, start)
+		}
+		if len(batch) == 0 {
+			return s.result(&SolveResult{Status: "noop"}, start), nil
+		}
+		return s.solveBatch(ctx, batch, start)
+	}()
+	if err != nil && len(batch) > 0 {
+		// The batch was discarded; journal that so replay agrees with the
+		// in-memory outcome (the queued "changes" records would otherwise
+		// resurrect it as pending on rehydration).
+		s.persistDiscardLocked()
 	}
-	if len(batch) == 0 {
-		return s.result(&SolveResult{Status: "noop"}, start), nil
-	}
-	return s.solveBatch(ctx, batch, start)
+	return res, err
 }
 
 // wrapCtxErr folds a solve failure that coincides with the request's
@@ -311,6 +348,9 @@ func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time
 	if err != nil {
 		return nil, err
 	}
+	if err := s.persistSolveLocked(p, sol, len(batch)); err != nil {
+		return nil, err
+	}
 	s.commit(p, sol, pkey, len(batch), hit)
 	return s.result(&SolveResult{
 		Status:  "initial",
@@ -333,6 +373,9 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 		next, err := s.dom.ExtendSolution(changed, prev)
 		if err != nil {
 			return nil, fmt.Errorf("service: batch discarded: %w", err)
+		}
+		if err := s.persistSolveLocked(changed, next, len(batch)); err != nil {
+			return nil, err
 		}
 		s.commit(changed, next, s.problemKey(changed), len(batch), false)
 		s.svc.metrics.RelaxFastPaths.Add(1)
@@ -389,6 +432,9 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 	if err != nil {
 		return nil, err
 	}
+	if err := s.persistSolveLocked(changed, next, len(batch)); err != nil {
+		return nil, err
+	}
 	s.commit(changed, next, s.problemKey(changed), len(batch), hit)
 	return s.result(&SolveResult{
 		Status:     s.strategy.String(),
@@ -415,6 +461,8 @@ func (s *Session) commit(p, sol any, pkey string, batched int, hit bool) {
 		s.stats.cacheHits++
 	}
 	s.svc.storeIncumbent(pkey, s.dom, sol)
+	// The in-memory state now matches the journal head; compact if due.
+	s.maybeCompactLocked()
 }
 
 // ---- cache keys ----------------------------------------------------------

@@ -1,0 +1,417 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the durable Store backend: one directory per session under the
+// store root, holding
+//
+//	<root>/<id>/snapshot.json   the latest snapshot (atomically replaced)
+//	<root>/<id>/journal.jsonl   the write-ahead journal tail
+//
+// Journal appends are a single CRC-framed line ("crc32hex payload\n")
+// followed by fsync, so an acknowledged record survives a crash. On load
+// the journal is scanned and repaired: the first torn (unterminated),
+// CRC-corrupt, or out-of-sequence line ends the log — everything from
+// that offset on is truncated away, exactly the write-ahead contract (a
+// torn tail is an append that was never acknowledged).
+//
+// Snapshots are written to a temp file, fsync'd, and renamed into place;
+// the journal is then compacted to the records the snapshot has not
+// folded in (normally none).
+type File struct {
+	root string
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*fileSession
+}
+
+// fileSession serializes access to one session's files and caches the
+// open append handle between writes.
+type fileSession struct {
+	mu      sync.Mutex
+	dir     string
+	journal *os.File
+	// lastSeq is the highest durable sequence number (snapshot or journal),
+	// lazily derived from disk on first use; appends must stay above it.
+	lastSeq uint64
+	seqInit bool
+}
+
+// NewFile opens (creating if needed) a file store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create root: %w", err)
+	}
+	return &File{root: dir, sessions: make(map[string]*fileSession)}, nil
+}
+
+// Dir returns the store root directory.
+func (f *File) Dir() string { return f.root }
+
+func (f *File) session(id string, create bool) (*fileSession, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	if s, ok := f.sessions[id]; ok {
+		return s, nil
+	}
+	dir := filepath.Join(f.root, id)
+	if !create {
+		if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+			return nil, fmt.Errorf("store: %q: %w", id, ErrNotFound)
+		}
+	}
+	s := &fileSession{dir: dir}
+	f.sessions[id] = s
+	return s, nil
+}
+
+const (
+	snapshotName = "snapshot.json"
+	journalName  = "journal.jsonl"
+)
+
+func (f *File) Append(id string, rec Record) error {
+	s, err := f.session(id, false)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.seqInit {
+		if err := s.initSeqLocked(); err != nil {
+			return err
+		}
+	}
+	if rec.Seq <= s.lastSeq {
+		return fmt.Errorf("store: %q journal seq %d not after %d", id, rec.Seq, s.lastSeq)
+	}
+	if s.journal == nil {
+		j, err := os.OpenFile(filepath.Join(s.dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: open journal: %w", err)
+		}
+		s.journal = j
+	}
+	line, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.journal.Write(line); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("store: journal fsync: %w", err)
+	}
+	s.lastSeq = rec.Seq
+	return nil
+}
+
+// initSeqLocked derives the durable high-water sequence from the
+// snapshot and a clean-prefix scan of the journal.
+func (s *fileSession) initSeqLocked() error {
+	last := uint64(0)
+	if raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName)); err == nil {
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err == nil {
+			last = snap.Seq
+		}
+	}
+	tail, _, err := s.readJournalLocked(last)
+	if err != nil {
+		return err
+	}
+	if len(tail) > 0 && tail[len(tail)-1].Seq > last {
+		last = tail[len(tail)-1].Seq
+	}
+	s.lastSeq, s.seqInit = last, true
+	return nil
+}
+
+// frameRecord renders one journal line: 8 hex CRC32 digits, a space, the
+// JSON payload, a newline.
+func frameRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	return append(line, '\n'), nil
+}
+
+func (f *File) WriteSnapshot(snap Snapshot) error {
+	s, err := f.session(snap.SessionID, true)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("store: create session dir: %w", err)
+	}
+	// Records the new snapshot has NOT folded in survive compaction (the
+	// normal service flow snapshots at the current head, so this is empty).
+	tail, _, err := s.readJournalLocked(snap.Seq)
+	if err != nil {
+		return err
+	}
+	// Compact marshal keeps the embedded wire-form RawMessages byte-stable
+	// across write/load cycles.
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(s.dir, snapshotName), payload); err != nil {
+		return err
+	}
+	if err := s.resetJournalLocked(tail); err != nil {
+		return err
+	}
+	s.lastSeq, s.seqInit = snap.Seq, true
+	if len(tail) > 0 && tail[len(tail)-1].Seq > s.lastSeq {
+		s.lastSeq = tail[len(tail)-1].Seq
+	}
+	return nil
+}
+
+// resetJournalLocked rewrites the journal to exactly tail (usually empty)
+// through a temp file + rename, and reopens the append handle.
+func (s *fileSession) resetJournalLocked(tail []Record) error {
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	var buf bytes.Buffer
+	for _, rec := range tail {
+		line, err := frameRecord(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	return atomicWrite(filepath.Join(s.dir, journalName), buf.Bytes())
+}
+
+// atomicWrite durably replaces path with data: temp file, fsync, rename,
+// fsync the parent directory.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: fsync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename into %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best effort: some platforms cannot open directories
+	}
+	defer d.Close()
+	d.Sync() //nolint:errcheck // fsync on directories is best effort
+	return nil
+}
+
+func (f *File) Load(id string) (Snapshot, []Record, error) {
+	s, err := f.session(id, false)
+	if err != nil {
+		return Snapshot{}, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Snapshot{}, nil, fmt.Errorf("store: %q: %w", id, ErrNotFound)
+		}
+		return Snapshot{}, nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return Snapshot{}, nil, fmt.Errorf("store: corrupt snapshot for %q: %w", id, err)
+	}
+	tail, truncateAt, err := s.readJournalLocked(snap.Seq)
+	if err != nil {
+		return Snapshot{}, nil, err
+	}
+	if truncateAt >= 0 {
+		// Torn or corrupt tail: repair the log so the next append starts
+		// from the last acknowledged record.
+		if err := s.truncateJournalLocked(truncateAt); err != nil {
+			return Snapshot{}, nil, err
+		}
+	}
+	s.lastSeq, s.seqInit = snap.Seq, true
+	if len(tail) > 0 && tail[len(tail)-1].Seq > s.lastSeq {
+		s.lastSeq = tail[len(tail)-1].Seq
+	}
+	return snap, tail, nil
+}
+
+// readJournalLocked scans the journal and returns the valid records with
+// Seq > afterSeq. truncateAt is the byte offset of the first invalid line
+// (-1 when the whole file is clean); callers repair by truncating there.
+func (s *fileSession) readJournalLocked(afterSeq uint64) (tail []Record, truncateAt int64, err error) {
+	path := filepath.Join(s.dir, journalName)
+	file, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, -1, nil
+		}
+		return nil, -1, fmt.Errorf("store: open journal: %w", err)
+	}
+	defer file.Close()
+	var offset int64
+	truncateAt = -1
+	lastSeq := uint64(0)
+	r := bufio.NewReader(file)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				truncateAt = offset // torn final append (no newline)
+			}
+			break
+		}
+		if err != nil {
+			return nil, -1, fmt.Errorf("store: read journal: %w", err)
+		}
+		rec, ok := parseLine(line)
+		if !ok || rec.Seq <= lastSeq {
+			truncateAt = offset // CRC mismatch, bad frame, or stale seq
+			break
+		}
+		lastSeq = rec.Seq
+		if rec.Seq > afterSeq {
+			tail = append(tail, rec)
+		}
+		offset += int64(len(line))
+	}
+	return tail, truncateAt, nil
+}
+
+// parseLine validates one CRC-framed journal line.
+func parseLine(line []byte) (Record, bool) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return Record{}, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+func (s *fileSession) truncateJournalLocked(size int64) error {
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	if err := os.Truncate(filepath.Join(s.dir, journalName), size); err != nil {
+		return fmt.Errorf("store: repair journal: %w", err)
+	}
+	return nil
+}
+
+func (f *File) List() ([]string, error) {
+	entries, err := os.ReadDir(f.root)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(f.root, e.Name(), snapshotName)); err == nil {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (f *File) Delete(id string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	s := f.sessions[id]
+	delete(f.sessions, id)
+	f.mu.Unlock()
+	if s != nil {
+		s.mu.Lock()
+		if s.journal != nil {
+			s.journal.Close()
+			s.journal = nil
+		}
+		s.mu.Unlock()
+	}
+	if err := os.RemoveAll(filepath.Join(f.root, id)); err != nil {
+		return fmt.Errorf("store: delete %q: %w", id, err)
+	}
+	return syncDir(f.root)
+}
+
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	for _, s := range f.sessions {
+		s.mu.Lock()
+		if s.journal != nil {
+			s.journal.Close()
+			s.journal = nil
+		}
+		s.mu.Unlock()
+	}
+	f.sessions = map[string]*fileSession{}
+	return nil
+}

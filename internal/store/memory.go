@@ -1,0 +1,111 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Memory is the in-memory Store backend: full fidelity (snapshots,
+// journal tails, compaction) with no durability. It backs tests and
+// ephemeral services, and doubles as the reference implementation the
+// file backend is differential-tested against.
+//
+// Close is deliberately a no-op on the data: a Service closes the store
+// it owns on shutdown, and restart tests re-open the same Memory value to
+// simulate a surviving disk.
+type Memory struct {
+	mu       sync.Mutex
+	sessions map[string]*memSession
+}
+
+type memSession struct {
+	snap Snapshot
+	tail []Record
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{sessions: make(map[string]*memSession)}
+}
+
+func (m *Memory) Append(id string, rec Record) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("store: append to session %q without a snapshot: %w", id, ErrNotFound)
+	}
+	if last := s.lastSeq(); rec.Seq <= last {
+		return fmt.Errorf("store: session %q journal seq %d not after %d", id, rec.Seq, last)
+	}
+	s.tail = append(s.tail, cloneRecord(rec))
+	return nil
+}
+
+func (s *memSession) lastSeq() uint64 {
+	if len(s.tail) > 0 {
+		return s.tail[len(s.tail)-1].Seq
+	}
+	return s.snap.Seq
+}
+
+func (m *Memory) WriteSnapshot(snap Snapshot) error {
+	if err := ValidateID(snap.SessionID); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[snap.SessionID]
+	if !ok {
+		s = &memSession{}
+		m.sessions[snap.SessionID] = s
+	}
+	// Compact: keep only records the new snapshot has not folded in.
+	var tail []Record
+	for _, r := range s.tail {
+		if r.Seq > snap.Seq {
+			tail = append(tail, r)
+		}
+	}
+	s.snap = cloneSnapshot(snap)
+	s.tail = tail
+	return nil
+}
+
+func (m *Memory) Load(id string) (Snapshot, []Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return Snapshot{}, nil, fmt.Errorf("store: %q: %w", id, ErrNotFound)
+	}
+	tail := make([]Record, len(s.tail))
+	for i, r := range s.tail {
+		tail[i] = cloneRecord(r)
+	}
+	return cloneSnapshot(s.snap), tail, nil
+}
+
+func (m *Memory) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (m *Memory) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sessions, id)
+	return nil
+}
+
+func (m *Memory) Close() error { return nil }

@@ -1,0 +1,147 @@
+// Package store is the durable session store behind internal/service: a
+// write-ahead change journal plus periodic snapshots, so an engineering-
+// change session — the long-lived artifact the paper's whole flow exists
+// to preserve — survives process restarts, crashes, and memory-pressure
+// eviction.
+//
+// The model is a classic WAL pair per session:
+//
+//   - a Snapshot captures the full session state (problem, solution,
+//     pending changes, all in the domain's JSON wire form) at a journal
+//     sequence point;
+//   - Records appended after the snapshot's sequence number carry the
+//     incremental history: queued change batches, committed solves, and
+//     batch discards.
+//
+// Replaying the journal tail over the snapshot reconstructs the exact
+// session state (internal/service/persist.go does the replay through the
+// domain codecs). Two backends implement the Store interface: Memory (for
+// tests and ephemeral services) and File (one directory per session with
+// fsync'd, CRC-checked journal appends and torn-tail truncation on
+// recovery).
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Record kinds.
+const (
+	// KindChanges journals one queued change batch (wire-form changes).
+	KindChanges = "changes"
+	// KindSolve journals one committed solve: all pending changes were
+	// folded into the problem and Solution became current.
+	KindSolve = "solve"
+	// KindDiscard journals a failed solve: the pending batch was dropped
+	// and the session kept its previous problem and solution.
+	KindDiscard = "discard"
+)
+
+// Record is one write-ahead journal entry of a session.
+type Record struct {
+	// Seq is the session-scoped sequence number (strictly increasing,
+	// starting at 1 after a fresh snapshot's Seq 0).
+	Seq uint64 `json:"seq"`
+	// Kind is KindChanges, KindSolve, or KindDiscard.
+	Kind string `json:"kind"`
+	// Changes carries the wire form of the queued batch (KindChanges).
+	Changes []json.RawMessage `json:"changes,omitempty"`
+	// Solution carries the wire form of the committed solution (KindSolve).
+	Solution json.RawMessage `json:"solution,omitempty"`
+	// Batched is the number of pending changes folded into the solve
+	// (KindSolve; used as a replay cross-check).
+	Batched int `json:"batched,omitempty"`
+}
+
+// Snapshot is the full persisted state of one session at a sequence
+// point: journal records with Seq ≤ Snapshot.Seq are folded in, records
+// after it form the replay tail.
+type Snapshot struct {
+	SessionID string `json:"session_id"`
+	// Domain names the registered domain adapter that owns the wire forms.
+	Domain string `json:"domain"`
+	// Strategy is the session's re-solve strategy name.
+	Strategy string `json:"strategy"`
+	// Problem/Solution/Pending are the domain wire forms (Solution empty
+	// before the first solve; Pending carries queued-but-unsolved changes).
+	Problem  json.RawMessage   `json:"problem"`
+	Solution json.RawMessage   `json:"solution,omitempty"`
+	Pending  []json.RawMessage `json:"pending,omitempty"`
+	// Seq is the last journal sequence number folded into this snapshot.
+	Seq uint64 `json:"seq"`
+	// ChangesQueued/Batches/Solves carry the session counters across
+	// restarts.
+	ChangesQueued int64 `json:"changes_queued,omitempty"`
+	Batches       int64 `json:"batches,omitempty"`
+	Solves        int64 `json:"solves,omitempty"`
+}
+
+// ErrNotFound reports a session id with no persisted state.
+var ErrNotFound = errors.New("store: session not found")
+
+// Store persists sessions as snapshot + journal pairs. Implementations
+// must be safe for concurrent use; appends of ONE session are expected to
+// be serialized by the caller (the service holds the session lock).
+type Store interface {
+	// Append durably adds one journal record for session id. The session
+	// must have a snapshot (WriteSnapshot creates it at session birth).
+	Append(id string, rec Record) error
+	// WriteSnapshot atomically replaces the session's snapshot and
+	// compacts the journal: records with Seq ≤ snap.Seq are dropped.
+	WriteSnapshot(snap Snapshot) error
+	// Load returns the snapshot and the journal tail (records with
+	// Seq > snapshot.Seq, in append order). It returns ErrNotFound for
+	// unknown ids.
+	Load(id string) (Snapshot, []Record, error)
+	// List returns the ids of all persisted sessions, sorted.
+	List() ([]string, error)
+	// Delete removes all persisted state of a session (idempotent).
+	Delete(id string) error
+	// Close releases backend resources. A closed store rejects writes.
+	Close() error
+}
+
+// ValidateID rejects session ids that cannot be safely used as storage
+// keys (path elements in the file backend).
+func ValidateID(id string) error {
+	if id == "" || id == "." || id == ".." || strings.ContainsAny(id, "/\\\x00") {
+		return fmt.Errorf("store: invalid session id %q", id)
+	}
+	return nil
+}
+
+// cloneRaw deep-copies a raw message so callers may mutate returned
+// snapshots and records freely.
+func cloneRaw(m json.RawMessage) json.RawMessage {
+	if m == nil {
+		return nil
+	}
+	return append(json.RawMessage(nil), m...)
+}
+
+func cloneRaws(ms []json.RawMessage) []json.RawMessage {
+	if ms == nil {
+		return nil
+	}
+	out := make([]json.RawMessage, len(ms))
+	for i, m := range ms {
+		out[i] = cloneRaw(m)
+	}
+	return out
+}
+
+func cloneRecord(r Record) Record {
+	r.Changes = cloneRaws(r.Changes)
+	r.Solution = cloneRaw(r.Solution)
+	return r
+}
+
+func cloneSnapshot(s Snapshot) Snapshot {
+	s.Problem = cloneRaw(s.Problem)
+	s.Solution = cloneRaw(s.Solution)
+	s.Pending = cloneRaws(s.Pending)
+	return s
+}

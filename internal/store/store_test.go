@@ -1,0 +1,371 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// backends enumerates the Store implementations under test; every
+// behavioral test runs against both so the file backend is pinned to the
+// in-memory reference semantics.
+func backends(t *testing.T) map[string]Store {
+	t.Helper()
+	file, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { file.Close() })
+	return map[string]Store{"memory": NewMemory(), "file": file}
+}
+
+func raw(s string) json.RawMessage { return json.RawMessage(s) }
+
+func snap(id string, seq uint64) Snapshot {
+	return Snapshot{
+		SessionID: id,
+		Domain:    "cnf",
+		Strategy:  "fast",
+		Problem:   raw(`{"clauses":[[1,2]]}`),
+		Seq:       seq,
+	}
+}
+
+func TestStoreRoundtrip(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := st.Load("s1"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("load before create: %v, want ErrNotFound", err)
+			}
+			if err := st.Append("s1", Record{Seq: 1, Kind: KindChanges}); err == nil {
+				t.Fatal("append before snapshot accepted")
+			}
+			if err := st.WriteSnapshot(snap("s1", 0)); err != nil {
+				t.Fatal(err)
+			}
+			recs := []Record{
+				{Seq: 1, Kind: KindChanges, Changes: []json.RawMessage{raw(`{"kind":"add-clause","lits":[3]}`)}},
+				{Seq: 2, Kind: KindSolve, Solution: raw(`[1,-2,3]`), Batched: 1},
+				{Seq: 3, Kind: KindDiscard},
+			}
+			for _, r := range recs {
+				if err := st.Append("s1", r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, tail, err := st.Load("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.SessionID != "s1" || got.Domain != "cnf" || string(got.Problem) != `{"clauses":[[1,2]]}` {
+				t.Fatalf("snapshot %+v", got)
+			}
+			if !reflect.DeepEqual(tail, recs) {
+				t.Fatalf("tail %+v, want %+v", tail, recs)
+			}
+
+			// Out-of-order appends are rejected.
+			if err := st.Append("s1", Record{Seq: 2, Kind: KindDiscard}); err == nil {
+				t.Fatal("stale seq accepted")
+			}
+
+			// Compaction: a snapshot at seq 2 keeps only record 3.
+			s2 := snap("s1", 2)
+			s2.Solution = raw(`[1,-2,3]`)
+			if err := st.WriteSnapshot(s2); err != nil {
+				t.Fatal(err)
+			}
+			got, tail, err = st.Load("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Seq != 2 || string(got.Solution) != `[1,-2,3]` {
+				t.Fatalf("compacted snapshot %+v", got)
+			}
+			if len(tail) != 1 || tail[0].Seq != 3 || tail[0].Kind != KindDiscard {
+				t.Fatalf("compacted tail %+v", tail)
+			}
+
+			// Appends continue after compaction.
+			if err := st.Append("s1", Record{Seq: 4, Kind: KindChanges, Changes: []json.RawMessage{raw(`{}`)}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, tail, _ = st.Load("s1"); len(tail) != 2 || tail[1].Seq != 4 {
+				t.Fatalf("tail after post-compaction append %+v", tail)
+			}
+		})
+	}
+}
+
+func TestStoreListDelete(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, id := range []string{"s2", "s1", "s10"} {
+				if err := st.WriteSnapshot(snap(id, 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ids, err := st.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ids, []string{"s1", "s10", "s2"}) {
+				t.Fatalf("list %v", ids)
+			}
+			if err := st.Delete("s10"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Delete("s10"); err != nil {
+				t.Fatalf("delete not idempotent: %v", err)
+			}
+			if _, _, err := st.Load("s10"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("load after delete: %v", err)
+			}
+			if ids, _ = st.List(); !reflect.DeepEqual(ids, []string{"s1", "s2"}) {
+				t.Fatalf("list after delete %v", ids)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsBadIDs(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, id := range []string{"", ".", "..", "a/b", `a\b`, "x\x00y"} {
+				if err := st.WriteSnapshot(snap(id, 0)); err == nil {
+					t.Fatalf("id %q accepted", id)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreReturnedValuesAreClones(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := st.WriteSnapshot(snap("s1", 0)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Append("s1", Record{Seq: 1, Kind: KindSolve, Solution: raw(`[1]`)}); err != nil {
+				t.Fatal(err)
+			}
+			got, tail, err := st.Load("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Problem[0] = 'X'
+			tail[0].Solution[0] = 'X'
+			again, tail2, err := st.Load("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again.Problem) != `{"clauses":[[1,2]]}` || string(tail2[0].Solution) != `[1]` {
+				t.Fatal("mutating returned values corrupted the store")
+			}
+		})
+	}
+}
+
+func TestStoreConcurrentSessions(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					id := fmt.Sprintf("s%d", i)
+					if err := st.WriteSnapshot(snap(id, 0)); err != nil {
+						t.Error(err)
+						return
+					}
+					for seq := uint64(1); seq <= 20; seq++ {
+						if err := st.Append(id, Record{Seq: seq, Kind: KindDiscard}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if _, tail, err := st.Load(id); err != nil || len(tail) != 20 {
+						t.Errorf("load %s: %d records, err %v", id, len(tail), err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if ids, _ := st.List(); len(ids) != 8 {
+				t.Fatalf("list %v", ids)
+			}
+		})
+	}
+}
+
+// ---- file-backend crash scenarios ----------------------------------------
+
+func newFileStore(t *testing.T, dir string) *File {
+	t.Helper()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// seedJournal writes a snapshot and three records, then closes the store,
+// returning the journal path and the clean journal bytes.
+func seedJournal(t *testing.T, dir string) (journalPath string, clean []byte) {
+	t.Helper()
+	st := newFileStore(t, dir)
+	if err := st.WriteSnapshot(snap("s1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		rec := Record{Seq: seq, Kind: KindChanges, Changes: []json.RawMessage{raw(fmt.Sprintf(`{"n":%d}`, seq))}}
+		if err := st.Append("s1", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	journalPath = filepath.Join(dir, "s1", journalName)
+	clean, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return journalPath, clean
+}
+
+func TestFileTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path, clean := seedJournal(t, dir)
+	// Simulate a crash mid-append: half of a fourth record, no newline.
+	torn := append(append([]byte{}, clean...), []byte(`deadbeef {"seq":4,"kind":"cha`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := newFileStore(t, dir)
+	_, tail, err := st.Load("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 3 || tail[2].Seq != 3 {
+		t.Fatalf("recovered tail %+v, want 3 clean records", tail)
+	}
+	// The load repaired the file in place.
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(repaired) != string(clean) {
+		t.Fatalf("journal not repaired: %q", repaired)
+	}
+	// Appends pick up after the repair.
+	if err := st.Append("s1", Record{Seq: 4, Kind: KindDiscard}); err != nil {
+		t.Fatal(err)
+	}
+	if _, tail, _ = st.Load("s1"); len(tail) != 4 || tail[3].Seq != 4 {
+		t.Fatalf("tail after repair+append %+v", tail)
+	}
+}
+
+func TestFileCRCCorruptionEndsLog(t *testing.T) {
+	dir := t.TempDir()
+	path, clean := seedJournal(t, dir)
+	// Flip one payload byte of the SECOND record: it and everything after
+	// it are unreachable.
+	lines := splitLines(clean)
+	if len(lines) != 3 {
+		t.Fatalf("seed journal has %d lines", len(lines))
+	}
+	second := []byte(lines[1])
+	second[len(second)-3] ^= 0xff
+	corrupt := []byte(lines[0] + "\n" + string(second) + "\n" + lines[2] + "\n")
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := newFileStore(t, dir)
+	_, tail, err := st.Load("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].Seq != 1 {
+		t.Fatalf("recovered tail %+v, want only record 1", tail)
+	}
+	repaired, _ := os.ReadFile(path)
+	if string(repaired) != lines[0]+"\n" {
+		t.Fatalf("journal not truncated at the corruption: %q", repaired)
+	}
+}
+
+func TestFileGarbageJournalDropsToSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := seedJournal(t, dir)
+	if err := os.WriteFile(path, []byte("not a journal at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := newFileStore(t, dir)
+	got, tail, err := st.Load("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 0 || len(tail) != 0 {
+		t.Fatalf("snapshot %+v tail %+v, want bare snapshot", got, tail)
+	}
+}
+
+func TestFileMissingJournalIsEmptyTail(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := seedJournal(t, dir)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	st := newFileStore(t, dir)
+	if _, tail, err := st.Load("s1"); err != nil || len(tail) != 0 {
+		t.Fatalf("tail %+v err %v", tail, err)
+	}
+}
+
+func TestFileSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := newFileStore(t, dir)
+	if err := st.WriteSnapshot(snap("s1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("s1", Record{Seq: 1, Kind: KindSolve, Solution: raw(`[1,2]`)}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := st.Append("s1", Record{Seq: 2, Kind: KindDiscard}); err == nil {
+		t.Fatal("append after Close accepted")
+	}
+
+	st2 := newFileStore(t, dir)
+	gotSnap, tail, err := st2.Load("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSnap.SessionID != "s1" || len(tail) != 1 || string(tail[0].Solution) != `[1,2]` {
+		t.Fatalf("reopened state: %+v / %+v", gotSnap, tail)
+	}
+}
+
+func splitLines(b []byte) []string {
+	var out []string
+	for len(b) > 0 {
+		i := 0
+		for i < len(b) && b[i] != '\n' {
+			i++
+		}
+		out = append(out, string(b[:i]))
+		if i < len(b) {
+			i++
+		}
+		b = b[i:]
+	}
+	return out
+}
