@@ -9,6 +9,7 @@
 //	ecserve -addr :8080 -strategy preserving -workers 8 -cache 512 -timeout 30s
 //	ecserve -addr :8080 -data-dir /var/lib/ecserve -snapshot-every 64 \
 //	        -max-live-sessions 1024 -session-ttl 1h
+//	ecserve -addr :8080 -max-pending 1024 -max-backlog 32 -request-timeout 5s
 //
 // With -data-dir, sessions are durable: every queued change batch is
 // journaled (fsync'd, CRC-framed) and snapshots are cut periodically, so
@@ -16,6 +17,15 @@
 // "Persistence" section. -max-live-sessions bounds memory (LRU sessions
 // are evicted to disk and rehydrated on touch) and -session-ttl
 // snapshots-and-closes idle sessions.
+//
+// The server is failure-hardened (see the README "Resilience" section):
+// transient store faults are retried with capped jittered backoff
+// (-store-retries), sessions whose persistence keeps failing are
+// quarantined to memory-only service and periodically healed
+// (-quarantine-after, -reprobe-interval), and overload is shed at
+// admission (-max-pending → 429, -max-backlog → 503, -request-timeout).
+// -fault-plan arms deterministic store fault injection for resilience
+// testing.
 //
 // Endpoints (see internal/service.NewHandler and the README walkthrough):
 //
@@ -53,6 +63,7 @@ import (
 	"time"
 
 	"ilpec/internal/core"
+	"ilpec/internal/fault"
 	"ilpec/internal/ilp"
 	"ilpec/internal/service"
 	"ilpec/internal/store"
@@ -75,6 +86,15 @@ type config struct {
 	snapshotEvery int
 	maxLive       int
 	sessionTTL    time.Duration
+	// Resilience (see the README "Resilience" section).
+	storeRetries    int
+	quarantineAfter int
+	reprobeInterval time.Duration
+	maxPending      int
+	maxBacklog      int
+	requestTimeout  time.Duration
+	// Fault injection (testing only; needs -data-dir).
+	faultPlan *fault.Plan
 }
 
 func main() {
@@ -111,35 +131,59 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	snapshotEvery := fs.Int("snapshot-every", 64, "journal records per session between compaction snapshots")
 	maxLive := fs.Int("max-live-sessions", 0, "in-memory session bound; beyond it LRU sessions are evicted to the store (0 = no eviction; needs -data-dir)")
 	sessionTTL := fs.Duration("session-ttl", 0, "idle sessions are snapshotted-and-closed after this (0 = never)")
+	storeRetries := fs.Int("store-retries", 0, "attempts per transient store operation before quarantine bookkeeping (0 = default 4, 1 = no retries)")
+	quarantineAfter := fs.Int("quarantine-after", 0, "exhausted-retry store failures before a session degrades to memory-only service (0 = default 3)")
+	reprobeInterval := fs.Duration("reprobe-interval", 0, "cadence for re-probing the store to heal quarantined sessions (0 = default 5s, negative = never)")
+	maxPending := fs.Int("max-pending", 0, "per-session queued-change bound; beyond it POST changes returns 429 (0 = default 4096, negative = unbounded)")
+	maxBacklog := fs.Int("max-backlog", 0, "solve jobs waiting beyond the worker pool; beyond it POST solve returns 503 (0 = default 8x workers, negative = unbounded)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request solve deadline, propagated into the solver (0 = none)")
+	faultPlan := fs.String("fault-plan", "", "inject deterministic store faults, e.g. \"append:error:p=0.1;snapshot:enospc:nth=2\" (testing only; needs -data-dir)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for probabilistic -fault-plan triggers")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if *maxLive > 0 && *dataDir == "" {
 		return config{}, fmt.Errorf("-max-live-sessions needs -data-dir (evicted sessions must have a store to land in)")
 	}
+	if *faultPlan != "" && *dataDir == "" {
+		return config{}, fmt.Errorf("-fault-plan needs -data-dir (faults are injected into the durable store)")
+	}
 	if fs.NArg() != 0 {
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	cfg := config{
-		addr:          *addr,
-		workers:       *workers,
-		solverWork:    *solverWorkers,
-		cacheSize:     *cache,
-		maxSessions:   *maxSessions,
-		timeLimit:     *timeout,
-		drain:         *drain,
-		presolve:      *presolve,
-		cuts:          *cuts,
-		dataDir:       *dataDir,
-		snapshotEvery: *snapshotEvery,
-		maxLive:       *maxLive,
-		sessionTTL:    *sessionTTL,
+		addr:            *addr,
+		workers:         *workers,
+		solverWork:      *solverWorkers,
+		cacheSize:       *cache,
+		maxSessions:     *maxSessions,
+		timeLimit:       *timeout,
+		drain:           *drain,
+		presolve:        *presolve,
+		cuts:            *cuts,
+		dataDir:         *dataDir,
+		snapshotEvery:   *snapshotEvery,
+		maxLive:         *maxLive,
+		sessionTTL:      *sessionTTL,
+		storeRetries:    *storeRetries,
+		quarantineAfter: *quarantineAfter,
+		reprobeInterval: *reprobeInterval,
+		maxPending:      *maxPending,
+		maxBacklog:      *maxBacklog,
+		requestTimeout:  *requestTimeout,
 	}
 	strat, err := service.ParseStrategy(*strategy)
 	if err != nil {
 		return config{}, fmt.Errorf("-strategy: %w", err)
 	}
 	cfg.strategy = strat
+	if *faultPlan != "" {
+		plan, err := fault.ParsePlan(*faultSeed, *faultPlan)
+		if err != nil {
+			return config{}, fmt.Errorf("-fault-plan: %w", err)
+		}
+		cfg.faultPlan = plan
+	}
 	return cfg, nil
 }
 
@@ -156,6 +200,10 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		st = fileStore
 		logger.Printf("durable sessions in %s (snapshot-every=%d max-live=%d ttl=%v)",
 			cfg.dataDir, cfg.snapshotEvery, cfg.maxLive, cfg.sessionTTL)
+		if cfg.faultPlan != nil {
+			st = store.NewFaulty(st, cfg.faultPlan)
+			logger.Printf("WARNING: fault injection armed — store faults will be injected deterministically")
+		}
 	}
 	svc := service.New(service.Options{
 		Solve: ilp.Options{
@@ -174,6 +222,12 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		SnapshotEvery:   cfg.snapshotEvery,
 		MaxLiveSessions: cfg.maxLive,
 		SessionTTL:      cfg.sessionTTL,
+		StoreRetry:      service.RetryPolicy{Attempts: cfg.storeRetries},
+		QuarantineAfter: cfg.quarantineAfter,
+		ReprobeInterval: cfg.reprobeInterval,
+		MaxPending:      cfg.maxPending,
+		MaxBacklog:      cfg.maxBacklog,
+		RequestTimeout:  cfg.requestTimeout,
 	})
 	defer svc.Close()
 	if st != nil {
@@ -225,6 +279,10 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	if cfg.dataDir != "" {
 		logger.Printf("persisted state flushed (%d journal appends, %d snapshots)",
 			m.JournalAppends, m.SnapshotsWritten)
+		if m.Quarantines > 0 {
+			logger.Printf("store trouble seen: %d quarantines (%d healed), %d retries, %d snapshot failures",
+				m.Quarantines, m.QuarantineHeals, m.JournalRetries, m.SnapshotFailures)
+		}
 	}
 	return nil
 }

@@ -568,3 +568,96 @@ func TestServeEvictionOverHTTP(t *testing.T) {
 		t.Fatalf("eviction metrics %s", raw)
 	}
 }
+
+func TestParseResilienceFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-store-retries", "2", "-quarantine-after", "1", "-reprobe-interval", "250ms",
+		"-max-pending", "16", "-max-backlog", "4", "-request-timeout", "3s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.storeRetries != 2 || cfg.quarantineAfter != 1 || cfg.reprobeInterval != 250*time.Millisecond ||
+		cfg.maxPending != 16 || cfg.maxBacklog != 4 || cfg.requestTimeout != 3*time.Second {
+		t.Fatalf("resilience flags not honored: %+v", cfg)
+	}
+	if cfg.faultPlan != nil {
+		t.Fatal("fault plan armed without -fault-plan")
+	}
+	if _, err := parseFlags([]string{"-fault-plan", "append:error:every=1"}, io.Discard); err == nil {
+		t.Fatal("-fault-plan without -data-dir accepted")
+	}
+	if _, err := parseFlags([]string{"-data-dir", "/tmp/x", "-fault-plan", "append:bogus:every=1"}, io.Discard); err == nil {
+		t.Fatal("bad -fault-plan spec accepted")
+	}
+	cfg2, err := parseFlags([]string{"-data-dir", "/tmp/x", "-fault-plan", "append:error:p=0.5", "-fault-seed", "7"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.faultPlan == nil {
+		t.Fatal("fault plan not armed")
+	}
+}
+
+// TestServeFaultPlanDegradedServing boots the server with -fault-plan
+// making every store write fail: sessions must still be created and
+// solved (memory-only), with the quarantine visible in the session list
+// and the metrics — the CLI surface of the chaos suite's total-outage
+// scenario.
+func TestServeFaultPlanDegradedServing(t *testing.T) {
+	base := startTestServer(t,
+		"-data-dir", filepath.Join(t.TempDir(), "data"),
+		"-fault-plan", "append:error:every=1;snapshot:error:every=1",
+		"-quarantine-after", "1", "-reprobe-interval", "-1s",
+	)
+	status, raw := postJSON(t, base+"/v1/sessions", `{"clauses": [[1,2],[-1,3]]}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create with store down: %d %s", status, raw)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(raw), &info); err != nil || info.ID == "" {
+		t.Fatalf("create body: %s (%v)", raw, err)
+	}
+	if status, raw := postJSON(t, base+"/v1/sessions/"+info.ID+"/changes",
+		`{"changes": [{"kind": "add-clause", "lits": [2, 3]}]}`); status != http.StatusAccepted {
+		t.Fatalf("queue with store down: %d %s", status, raw)
+	}
+	if status, raw := postJSON(t, base+"/v1/sessions/"+info.ID+"/solve", ""); status != http.StatusOK {
+		t.Fatalf("solve with store down: %d %s", status, raw)
+	}
+
+	resp, err := http.Get(base + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawList, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list struct {
+		Degraded []string `json:"degraded"`
+	}
+	if err := json.Unmarshal(rawList, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Degraded) != 1 || list.Degraded[0] != info.ID {
+		t.Fatalf("session not visibly quarantined: %s", rawList)
+	}
+	resp, err = http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawM, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m struct {
+		Quarantines      int64 `json:"quarantines"`
+		SnapshotFailures int64 `json:"snapshot_failures"`
+		Solves           int64 `json:"solves"`
+	}
+	if err := json.Unmarshal(rawM, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Quarantines < 1 || m.SnapshotFailures < 1 || m.Solves < 1 {
+		t.Fatalf("quarantine not visible in metrics: %s", rawM)
+	}
+}

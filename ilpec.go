@@ -18,6 +18,9 @@
 //   - the EC session service and its HTTP front end (internal/service);
 //   - the durable session store — write-ahead change journal, snapshots,
 //     crash recovery — behind it (internal/store);
+//   - the fault-injection harness and the failure-hardening controls —
+//     store retry policy, session quarantine, admission bounds — that the
+//     chaos suite exercises (internal/fault);
 //   - the synthetic DIMACS benchmark families (internal/gen).
 //
 // See examples/quickstart for a guided tour and examples/domains for
@@ -33,6 +36,7 @@ import (
 	"ilpec/internal/core"
 	"ilpec/internal/domain"
 	"ilpec/internal/encode"
+	"ilpec/internal/fault"
 	"ilpec/internal/gen"
 	"ilpec/internal/heurilp"
 	"ilpec/internal/ilp"
@@ -615,6 +619,65 @@ func NewMemorySessionStore() SessionStore { return store.NewMemory() }
 // CRC-framed, fsync'd journal.jsonl with torn-tail repair on recovery —
 // what cmd/ecserve -data-dir uses.
 func NewFileSessionStore(dir string) (SessionStore, error) { return store.NewFile(dir) }
+
+// ---- fault injection & resilience ----------------------------------------
+
+// FaultPlan is a deterministic, seed-driven store fault schedule; wrap a
+// SessionStore with NewFaultySessionStore to inject it (internal/fault).
+type FaultPlan = fault.Plan
+
+// FaultRule matches store operations ("append", "snapshot", "load",
+// "list", "delete", or "*") and decides when a fault fires: the Nth
+// matching call, every Kth, or a seeded coin flip P.
+type FaultRule = fault.Rule
+
+// FaultKind selects the injected failure mode.
+type FaultKind = fault.Kind
+
+// The injectable failure modes: a transient error, added latency, a torn
+// (partial) write, a write whose durability ack is lost, and ENOSPC.
+const (
+	FaultError   = fault.KindError
+	FaultLatency = fault.KindLatency
+	FaultTorn    = fault.KindTorn
+	FaultFsync   = fault.KindFsync
+	FaultENOSPC  = fault.KindENOSPC
+)
+
+// NewFaultPlan builds a plan from explicit rules; seed fixes the
+// probabilistic triggers.
+func NewFaultPlan(seed int64, rules ...FaultRule) *FaultPlan { return fault.NewPlan(seed, rules...) }
+
+// ParseFaultPlan parses the compact spec syntax cmd/ecserve's -fault-plan
+// flag uses, e.g. "append:error:p=0.1;snapshot:enospc:nth=2".
+func ParseFaultPlan(seed int64, spec string) (*FaultPlan, error) { return fault.ParsePlan(seed, spec) }
+
+// NewFaultySessionStore wraps s so plan's faults fire on its operations
+// (a nil plan never injects). Injected errors carry the same
+// transient/permanent classification as real store trouble.
+func NewFaultySessionStore(s SessionStore, plan *FaultPlan) SessionStore {
+	return store.NewFaulty(s, plan)
+}
+
+// StoreRetryPolicy shapes the capped, jittered exponential backoff the
+// service applies to transient store faults (ServiceOptions.StoreRetry).
+type StoreRetryPolicy = service.RetryPolicy
+
+// ErrServiceOverloaded reports a solve shed at the
+// ServiceOptions.MaxBacklog admission bound (HTTP 503 + Retry-After).
+var ErrServiceOverloaded = service.ErrOverloaded
+
+// ErrSessionQueueFull reports a change batch refused at the
+// ServiceOptions.MaxPending bound (HTTP 429 + Retry-After).
+var ErrSessionQueueFull = service.ErrQueueFull
+
+// ErrSessionSeqConflict reports a journal append at a stale sequence —
+// the write-ahead conflict recovery and ack-lost resolution key on it.
+var ErrSessionSeqConflict = store.ErrSeqConflict
+
+// IsTransientStoreError reports whether err is retryable store trouble
+// (I/O, ENOSPC, injected faults) as opposed to corruption or misuse.
+func IsTransientStoreError(err error) bool { return store.IsTransient(err) }
 
 // ---- benchmark families -------------------------------------------------------
 

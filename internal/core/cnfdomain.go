@@ -156,6 +156,12 @@ func (d *cnfDomain) RenderProblem(p any) any {
 	if err != nil {
 		return nil
 	}
+	if f.NumVars == 0 && len(f.Clauses) == 0 {
+		// Both wire fields are omitempty, so the empty formula would render
+		// as {} — which ParseProblem rejects as "missing formula". Explicit
+		// DIMACS is the one wire form that can carry it.
+		return cnfProblemJSON{DIMACS: "p cnf 0 0\n"}
+	}
 	clauses := make([][]int, len(f.Clauses))
 	for i, cl := range f.Clauses {
 		lits := make([]int, len(cl))

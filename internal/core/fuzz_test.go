@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFormulaFromWire drives the HTTP create path's formula decoder with
+// arbitrary DIMACS text and variable counts: it must never panic, and an
+// accepted formula must survive the domain wire round-trip
+// (RenderProblem → ParseProblem) with an identical fingerprint — the
+// property the durable store's snapshot codec depends on.
+func FuzzFormulaFromWire(f *testing.F) {
+	f.Add("p cnf 2 2\n1 2 0\n-1 2 0\n", 0)
+	f.Add("c comment\np cnf 3 1\n1 -2 3 0\n", 0)
+	f.Add("p cnf 1 1\n1 0\n%\n0\n", 0)
+	f.Add("p cnf 0 0\n", 0)
+	f.Add("", 4)
+	f.Add("", 0)
+	f.Add("p cnf 2 1\n1 2\n", 0)     // clause without terminator
+	f.Add("1 2 0\n", 0)              // clause before problem line
+	f.Add("p cnf 2 2\np cnf 2 2", 0) // duplicate problem line
+	f.Fuzz(func(t *testing.T, dimacs string, vars int) {
+		formula, err := FormulaFromWire(dimacs, vars, nil)
+		if err != nil {
+			return
+		}
+		if formula == nil {
+			t.Fatal("nil formula without error")
+		}
+		d := CNF()
+		if err := d.Validate(formula); err != nil {
+			// FormulaFromWire is a faithful decoder: it accepts shapes
+			// (e.g. an empty clause in DIMACS text) that Validate — the
+			// service's admission gate — rejects before anything is
+			// persisted. The round-trip guarantee only covers formulas
+			// that pass the gate.
+			return
+		}
+		wire := d.RenderProblem(formula)
+		if wire == nil {
+			t.Fatal("accepted formula has no wire form")
+		}
+		raw, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatalf("encode accepted formula: %v", err)
+		}
+		back, err := d.ParseProblem(raw)
+		if err != nil {
+			t.Fatalf("wire round-trip rejected: %v", err)
+		}
+		var a, b bytes.Buffer
+		d.FingerprintProblem(&a, formula)
+		d.FingerprintProblem(&b, back)
+		if a.String() != b.String() {
+			t.Fatal("formula fingerprint diverged across the wire round-trip")
+		}
+	})
+}

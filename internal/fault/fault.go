@@ -1,0 +1,312 @@
+// Package fault is a deterministic, seed-driven fault-injection harness:
+// the systematic version of the one-off corruption scripts the crash
+// tests used to hand-craft. A Plan is a set of rules — each matching an
+// operation name and firing on a deterministic trigger (the nth matching
+// call, every kth call, or a seeded coin flip) — that decide, per
+// operation, whether to inject a fault and which kind:
+//
+//   - error:   the operation fails transiently without running;
+//   - latency: the operation runs after an injected delay;
+//   - torn:    a write lands partially (a torn journal tail) and fails;
+//   - fsync:   the write lands but the durability acknowledgement fails
+//     (the caller thinks it lost a record that is actually on disk);
+//   - enospc:  the device is full (fails wrapping syscall.ENOSPC).
+//
+// Two properties make failures cheap to reproduce, in the delta-debugging
+// spirit of making every failure a deterministic artifact: the same seed
+// and call sequence always injects the same faults, and a compact spec
+// string ("append:error:p=0.3;snapshot:enospc:nth=2") round-trips plans
+// through flags and test matrices. store.NewFaulty wires a Plan into
+// every operation of a session store; the chaos suite in
+// internal/service drives the serving path through seed matrices of
+// these plans.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Kind names an injectable fault class.
+type Kind string
+
+const (
+	// KindError fails the operation transiently without running it.
+	KindError Kind = "error"
+	// KindLatency delays the operation, then runs it normally.
+	KindLatency Kind = "latency"
+	// KindTorn partially performs a write (a torn tail) and fails it.
+	KindTorn Kind = "torn"
+	// KindFsync performs the write but fails the durability ack: the
+	// caller sees an error for a record that actually landed.
+	KindFsync Kind = "fsync"
+	// KindENOSPC fails the operation wrapping syscall.ENOSPC.
+	KindENOSPC Kind = "enospc"
+)
+
+// validKinds gates spec parsing.
+var validKinds = map[Kind]bool{
+	KindError: true, KindLatency: true, KindTorn: true, KindFsync: true, KindENOSPC: true,
+}
+
+// Error is an injected fault error. Transient() marks it retryable so the
+// serving path's store-error classification treats injected faults
+// exactly like real transient I/O trouble.
+type Error struct {
+	Op   string
+	Kind Kind
+	// wrapped carries the underlying cause (syscall.ENOSPC for
+	// KindENOSPC), surfaced through errors.Is/As.
+	wrapped error
+}
+
+func (e *Error) Error() string {
+	if e.wrapped != nil {
+		return fmt.Sprintf("fault: injected %s on %s: %v", e.Kind, e.Op, e.wrapped)
+	}
+	return fmt.Sprintf("fault: injected %s on %s", e.Kind, e.Op)
+}
+
+// Unwrap exposes the underlying cause (e.g. syscall.ENOSPC).
+func (e *Error) Unwrap() error { return e.wrapped }
+
+// Transient marks every injected fault as retryable.
+func (e *Error) Transient() bool { return true }
+
+// Rule matches operations and decides when to fire. Exactly one trigger
+// should be set: Nth (the nth matching call, 1-based), Every (every kth
+// matching call), or P (an independent seeded coin flip per call).
+type Rule struct {
+	// Op matches the operation name ("append", "snapshot", "load",
+	// "list", "delete"); "*" or "" matches every operation.
+	Op string
+	// Kind selects the fault to inject.
+	Kind Kind
+	// Nth fires on exactly the nth matching call (1-based).
+	Nth int
+	// Every fires on every kth matching call (k, 2k, 3k, ...).
+	Every int
+	// P fires with probability P on each matching call (0 < P ≤ 1),
+	// drawn from the plan's seeded generator.
+	P float64
+	// Count caps how many times this rule fires (0 = unlimited).
+	Count int
+	// Latency is the injected delay for KindLatency (default 10ms).
+	Latency time.Duration
+}
+
+// Injection is one positive fault decision.
+type Injection struct {
+	Kind    Kind
+	Latency time.Duration
+	// Err is the error the faulted operation should return (nil for
+	// KindLatency, which only delays).
+	Err error
+}
+
+// Plan is a deterministic fault schedule: rules evaluated against a
+// per-operation call counter and one seeded random stream. It is safe
+// for concurrent use; with a serialized caller (the service holds the
+// session lock around store writes) the injection sequence is a pure
+// function of (seed, rules, call sequence).
+type Plan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []ruleState
+	calls map[string]int
+	// injected counts fired faults per "op:kind" for assertions and the
+	// /v1/metrics-style stats surface.
+	injected map[string]int64
+	disarmed bool
+}
+
+type ruleState struct {
+	Rule
+	seen  int // matching calls so far
+	fired int // injections so far
+}
+
+// NewPlan builds a Plan from explicit rules. The seed fixes the
+// probabilistic triggers; plans with only Nth/Every rules ignore it.
+func NewPlan(seed int64, rules ...Rule) *Plan {
+	p := &Plan{
+		rng:      rand.New(rand.NewSource(seed)),
+		calls:    make(map[string]int),
+		injected: make(map[string]int64),
+	}
+	for _, r := range rules {
+		if r.Kind == KindLatency && r.Latency <= 0 {
+			r.Latency = 10 * time.Millisecond
+		}
+		p.rules = append(p.rules, ruleState{Rule: r})
+	}
+	return p
+}
+
+// ParsePlan builds a Plan from a compact spec: semicolon-separated rules
+// of the form
+//
+//	op:kind:trigger[:count=N][:latency=DUR]
+//
+// where trigger is nth=N, every=K, or p=F — e.g.
+//
+//	"append:error:p=0.3;snapshot:enospc:nth=2;append:latency:every=4:latency=50ms"
+//
+// An empty spec yields a plan that never fires.
+func ParsePlan(seed int64, spec string) (*Plan, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("fault: rule %q needs op:kind:trigger", part)
+		}
+		r := Rule{Op: fields[0], Kind: Kind(fields[1])}
+		if !validKinds[r.Kind] {
+			return nil, fmt.Errorf("fault: rule %q has unknown kind %q", part, fields[1])
+		}
+		trigger := false
+		for _, opt := range fields[2:] {
+			key, val, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: rule %q has malformed option %q", part, opt)
+			}
+			var err error
+			switch key {
+			case "nth":
+				r.Nth, err = strconv.Atoi(val)
+				trigger = true
+			case "every":
+				r.Every, err = strconv.Atoi(val)
+				trigger = true
+			case "p":
+				r.P, err = strconv.ParseFloat(val, 64)
+				trigger = true
+			case "count":
+				r.Count, err = strconv.Atoi(val)
+			case "latency":
+				r.Latency, err = time.ParseDuration(val)
+			default:
+				return nil, fmt.Errorf("fault: rule %q has unknown option %q", part, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: rule %q option %q: %v", part, opt, err)
+			}
+		}
+		if !trigger {
+			return nil, fmt.Errorf("fault: rule %q has no trigger (nth=, every=, or p=)", part)
+		}
+		if r.P < 0 || r.P > 1 {
+			return nil, fmt.Errorf("fault: rule %q probability %v out of [0,1]", part, r.P)
+		}
+		rules = append(rules, r)
+	}
+	return NewPlan(seed, rules...), nil
+}
+
+// Decide evaluates the plan for one operation call. It returns the first
+// matching rule's injection, or ok=false to let the operation run clean.
+// Every probabilistic rule consumes randomness on every matching call
+// whether or not it fires, so one rule's outcome never shifts another's
+// stream position.
+func (p *Plan) Decide(op string) (Injection, bool) {
+	if p == nil {
+		return Injection{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls[op]++
+	var hit *ruleState
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Op != "" && r.Op != "*" && r.Op != op {
+			continue
+		}
+		r.seen++
+		fire := false
+		switch {
+		case r.Nth > 0:
+			fire = r.seen == r.Nth
+		case r.Every > 0:
+			fire = r.seen%r.Every == 0
+		case r.P > 0:
+			fire = p.rng.Float64() < r.P
+		}
+		if p.disarmed || !fire || (r.Count > 0 && r.fired >= r.Count) || hit != nil {
+			continue
+		}
+		r.fired++
+		hit = r
+	}
+	if hit == nil {
+		return Injection{}, false
+	}
+	p.injected[op+":"+string(hit.Kind)]++
+	inj := Injection{Kind: hit.Kind, Latency: hit.Latency}
+	switch hit.Kind {
+	case KindENOSPC:
+		inj.Err = &Error{Op: op, Kind: hit.Kind, wrapped: syscall.ENOSPC}
+	case KindLatency:
+		// Delay only; the operation proceeds.
+	default:
+		inj.Err = &Error{Op: op, Kind: hit.Kind}
+	}
+	return inj, true
+}
+
+// Disarm stops all future injections (rule bookkeeping continues, so
+// Stats stay meaningful). Chaos tests use it to model a fault window
+// that ends — the store "heals" — without rebuilding the plan.
+func (p *Plan) Disarm() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.disarmed = true
+}
+
+// Injected reports the total faults fired.
+func (p *Plan) Injected() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, v := range p.injected {
+		n += v
+	}
+	return n
+}
+
+// Stats returns the fired-fault counts keyed "op:kind", sorted for
+// stable logging.
+func (p *Plan) Stats() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.injected))
+	for k, v := range p.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the fired-fault stats compactly ("append:error=3
+// snapshot:enospc=1"), for test logs.
+func (p *Plan) String() string {
+	stats := p.Stats()
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, stats[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNthTrigger(t *testing.T) {
+	p := NewPlan(0, Rule{Op: "append", Kind: KindError, Nth: 3})
+	for i := 1; i <= 5; i++ {
+		inj, ok := p.Decide("append")
+		if (i == 3) != ok {
+			t.Fatalf("call %d: fired=%v", i, ok)
+		}
+		if ok && inj.Err == nil {
+			t.Fatal("error fault without error")
+		}
+	}
+	if got := p.Injected(); got != 1 {
+		t.Fatalf("injected %d, want 1", got)
+	}
+}
+
+func TestEveryTriggerAndCountCap(t *testing.T) {
+	p := NewPlan(0, Rule{Op: "append", Kind: KindError, Every: 2, Count: 2})
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		if _, ok := p.Decide("append"); ok {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired on %v, want [2 4]", fired)
+	}
+}
+
+func TestOpMatchingAndWildcard(t *testing.T) {
+	p := NewPlan(0,
+		Rule{Op: "append", Kind: KindError, Nth: 1},
+		Rule{Op: "*", Kind: KindENOSPC, Nth: 2},
+	)
+	if _, ok := p.Decide("snapshot"); ok { // wildcard seen=1
+		t.Fatal("snapshot call 1 fired")
+	}
+	// The append rule (nth=1) and the wildcard (seen=2) both match this
+	// call; the first matching rule wins and the wildcard's nth moment
+	// passes unfired.
+	inj, ok := p.Decide("append")
+	if !ok || inj.Kind != KindError {
+		t.Fatalf("append call: %+v ok=%v", inj, ok)
+	}
+	inj, ok = p.Decide("load")
+	if ok {
+		t.Fatalf("load fired %+v", inj)
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		p := NewPlan(seed, Rule{Op: "append", Kind: KindError, P: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = p.Decide("append")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-call sequences")
+	}
+}
+
+func TestENOSPCWrapsErrno(t *testing.T) {
+	p := NewPlan(0, Rule{Op: "append", Kind: KindENOSPC, Nth: 1})
+	inj, ok := p.Decide("append")
+	if !ok || !errors.Is(inj.Err, syscall.ENOSPC) {
+		t.Fatalf("injection %+v ok=%v, want ENOSPC", inj, ok)
+	}
+	var fe *Error
+	if !errors.As(inj.Err, &fe) || !fe.Transient() {
+		t.Fatal("injected fault not marked transient")
+	}
+}
+
+func TestLatencyInjectionHasNoError(t *testing.T) {
+	p := NewPlan(0, Rule{Op: "append", Kind: KindLatency, Nth: 1, Latency: 5 * time.Millisecond})
+	inj, ok := p.Decide("append")
+	if !ok || inj.Err != nil || inj.Latency != 5*time.Millisecond {
+		t.Fatalf("latency injection %+v ok=%v", inj, ok)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	p := NewPlan(0, Rule{Op: "*", Kind: KindError, P: 1})
+	if _, ok := p.Decide("append"); !ok {
+		t.Fatal("armed plan did not fire")
+	}
+	p.Disarm()
+	if _, ok := p.Decide("append"); ok {
+		t.Fatal("disarmed plan fired")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan(7, "append:error:p=0.5;snapshot:enospc:nth=2;append:latency:every=4:latency=50ms;load:fsync:nth=1:count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(p.rules))
+	}
+	if r := p.rules[2].Rule; r.Every != 4 || r.Latency != 50*time.Millisecond {
+		t.Fatalf("latency rule parsed as %+v", r)
+	}
+	if r := p.rules[3].Rule; r.Count != 3 || r.Kind != KindFsync {
+		t.Fatalf("fsync rule parsed as %+v", r)
+	}
+	if p, err := ParsePlan(0, " "); err != nil || p.Injected() != 0 {
+		t.Fatalf("empty spec: %v", err)
+	}
+	for _, bad := range []string{
+		"append",                 // no kind/trigger
+		"append:explode:nth=1",   // unknown kind
+		"append:error",           // no trigger
+		"append:error:count=2",   // count is not a trigger
+		"append:error:p=1.5",     // probability out of range
+		"append:error:nth",       // malformed option
+		"append:error:nth=1:x=2", // unknown option
+	} {
+		if _, err := ParsePlan(0, bad); err == nil {
+			t.Fatalf("spec %q parsed", bad)
+		}
+	}
+}
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	if _, ok := p.Decide("append"); ok {
+		t.Fatal("nil plan fired")
+	}
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ilpec/internal/domain"
+)
+
+// FuzzDomainParseChange feeds arbitrary JSON to every registered domain's
+// change decoder — the exact bytes an HTTP client can POST to
+// /v1/sessions/{id}/changes and that the store journals verbatim. The
+// decoder must never panic, and an accepted change must survive the
+// journal round-trip (RenderChange → json.Marshal → ParseChange), since
+// crash recovery replays changes from their rendered form.
+func FuzzDomainParseChange(f *testing.F) {
+	for _, name := range domain.Names() {
+		d, ok := domain.Get(name)
+		if !ok {
+			f.Fatalf("registered domain %q missing from registry", name)
+		}
+		fx, ok := d.(domain.Fixtured)
+		if !ok {
+			continue
+		}
+		for _, raw := range fx.Conformance().TighteningJSON {
+			f.Add(name, []byte(raw))
+		}
+	}
+	f.Add("cnf", []byte(`{"kind": "bogus"}`))
+	f.Add("coloring", []byte(`null`))
+	f.Add("sched", []byte(`{}`))
+	f.Add("partition", []byte(`[1, 2, 3]`))
+	f.Fuzz(func(t *testing.T, name string, spec []byte) {
+		d, ok := domain.Get(name)
+		if !ok {
+			return // unregistered domain name — nothing to test
+		}
+		change, err := d.ParseChange(spec)
+		if err != nil {
+			return
+		}
+		wire := d.RenderChange(change)
+		if wire == nil {
+			t.Fatalf("accepted change has no wire form (spec %q)", spec)
+		}
+		raw, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatalf("encode accepted change: %v", err)
+		}
+		if _, err := d.ParseChange(raw); err != nil {
+			t.Fatalf("journal round-trip rejected: %v (spec %q, rendered %s)", err, spec, raw)
+		}
+	})
+}

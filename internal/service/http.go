@@ -1,7 +1,9 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -10,6 +12,7 @@ import (
 
 	"ilpec/internal/core"
 	"ilpec/internal/domain"
+	"ilpec/internal/store"
 )
 
 // maxBodyBytes bounds request bodies (DIMACS payloads included).
@@ -41,10 +44,12 @@ func NewHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		// "sessions" spans live AND persisted (evicted / recovered-but-
-		// untouched) sessions; "live" is the in-memory subset.
+		// untouched) sessions; "live" is the in-memory subset; "degraded"
+		// lists quarantined sessions currently served memory-only.
 		writeJSON(w, http.StatusOK, map[string]any{
 			"sessions": svc.Sessions(),
 			"live":     svc.LiveSessions(),
+			"degraded": svc.DegradedSessions(),
 		})
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}", withSession(svc, func(sess *Session, w http.ResponseWriter, r *http.Request) {
@@ -174,7 +179,11 @@ func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := svc.CreateDomainSession(domainName, problem, cfg)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "create_failed", err)
+		if store.IsTransient(err) {
+			writeRetryableError(w, http.StatusServiceUnavailable, "create_failed", err)
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "create_failed", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, sess.Info())
@@ -203,7 +212,18 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 	// store-backed service): an acknowledged change survives a crash.
 	pending, err := sess.QueueChanges(changes...)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "queue_failed", err)
+		// Retryable conditions get retryable statuses: a full queue is the
+		// client's backpressure signal (429), a transient store fault will
+		// pass (503). Only real corruption — a change with no wire form, an
+		// unencodable batch — stays a 500.
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeRetryableError(w, http.StatusTooManyRequests, "queue_full", err)
+		case store.IsTransient(err):
+			writeRetryableError(w, http.StatusServiceUnavailable, "store_unavailable", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "queue_failed", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": sess.ID(), "pending": pending})
@@ -212,15 +232,32 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 func handleSolve(sess *Session, w http.ResponseWriter, r *http.Request) {
 	// The request context rides all the way into the kernel's abort
 	// check: a disconnected client's solve stops instead of running to
-	// completion while holding an executor slot.
-	res, err := sess.SolveContext(r.Context())
+	// completion while holding an executor slot — and the service's
+	// RequestTimeout (when set) bounds how long any one request may hold
+	// that slot.
+	ctx := r.Context()
+	if limit := sess.svc.opts.RequestTimeout; limit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, limit)
+		defer cancel()
+	}
+	res, err := sess.SolveContext(ctx)
 	if err != nil {
-		if r.Context().Err() != nil {
+		switch {
+		case r.Context().Err() != nil:
 			// The client is gone; the status code is for logs only.
 			writeError(w, http.StatusRequestTimeout, "cancelled", err)
-			return
+		case errors.Is(err, ErrOverloaded):
+			writeRetryableError(w, http.StatusServiceUnavailable, "overloaded", err)
+		case ctx.Err() != nil:
+			// Our RequestTimeout fired, not the client: the service shed the
+			// request to protect the pool. Retryable.
+			writeRetryableError(w, http.StatusServiceUnavailable, "deadline_exceeded", err)
+		case store.IsTransient(err):
+			writeRetryableError(w, http.StatusServiceUnavailable, "store_unavailable", err)
+		default:
+			writeError(w, http.StatusConflict, "solve_failed", err)
 		}
-		writeError(w, http.StatusConflict, "solve_failed", err)
 		return
 	}
 	d := sess.dom
@@ -317,4 +354,17 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, map[string]any{
 		"error": map[string]any{"code": code, "message": err.Error()},
 	})
+}
+
+// retryAfterSeconds is the Retry-After hint on 429/503 responses. One
+// second comfortably covers a full store retry cycle (default backoff
+// sums to well under a second) and a solve draining from the pool.
+const retryAfterSeconds = 1
+
+// writeRetryableError is writeError plus the Retry-After header: the
+// condition is expected to pass, so a well-behaved client should back off
+// and retry rather than give up.
+func writeRetryableError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeError(w, status, code, err)
 }

@@ -147,7 +147,7 @@ func TestHTTPSolveCancelled(t *testing.T) {
 // TestPoolRunCancelledWhileQueued: a caller whose context dies while
 // waiting for a worker slot leaves the queue instead of holding it.
 func TestPoolRunCancelledWhileQueued(t *testing.T) {
-	p := newPool(1)
+	p := newPool(1, -1)
 	defer p.close()
 	block := make(chan struct{})
 	started := make(chan struct{})

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -113,8 +114,10 @@ func (sess *Session) snapshotLocked() (store.Snapshot, error) {
 	return snap, nil
 }
 
-// persistSnapshotLocked writes a compaction snapshot. Caller holds
-// sess.mu.
+// persistSnapshotLocked writes a compaction snapshot, retrying transient
+// faults under the service's backoff policy. Failures are never silent:
+// they count in SnapshotFailures and feed the session's quarantine
+// heuristic. Caller holds sess.mu.
 func (sess *Session) persistSnapshotLocked() error {
 	if !sess.svc.hasStore() {
 		return nil
@@ -123,11 +126,16 @@ func (sess *Session) persistSnapshotLocked() error {
 	if err != nil {
 		return err
 	}
-	if err := sess.svc.opts.Store.WriteSnapshot(snap); err != nil {
+	if err := sess.svc.retryStore(func() error { return sess.svc.opts.Store.WriteSnapshot(snap) }); err != nil {
+		sess.svc.metrics.SnapshotFailures.Add(1)
+		if store.IsTransient(err) {
+			sess.noteStoreFailureLocked()
+		}
 		return err
 	}
-	sess.svc.metrics.SnapshotsWritten.Add(1)
 	sess.tailLen = 0
+	sess.forceCompact = false
+	sess.svc.metrics.SnapshotsWritten.Add(1)
 	return nil
 }
 
@@ -136,14 +144,50 @@ func (sess *Session) persistSnapshotLocked() error {
 // snapshot here would capture mid-transition state while compacting the
 // record away. Compaction happens via maybeCompactLocked once memory
 // has caught up. Caller holds sess.mu.
+//
+// Failure handling: transient store faults are retried with backoff; if
+// retries exhaust, the failure feeds the quarantine heuristic. Once the
+// session is quarantined (here or before), the append is ABSORBED — the
+// sequence number still advances, marking how far the in-memory state
+// has moved past the stale journal, so the heal snapshot supersedes
+// every stale record — and the request succeeds memory-only. Below the
+// quarantine threshold the (transient) error is returned, mapping to a
+// retryable 503. Caller holds sess.mu.
 func (sess *Session) appendLocked(rec store.Record) error {
 	if !sess.svc.hasStore() {
 		return nil
 	}
+	if sess.degraded.Load() {
+		sess.seq++
+		return nil
+	}
 	rec.Seq = sess.seq + 1
-	if err := sess.svc.opts.Store.Append(sess.id, rec); err != nil {
+	err := sess.svc.retryStore(func() error { return sess.svc.opts.Store.Append(sess.id, rec) })
+	if err != nil && rec.Seq == sess.ackLostSeq && errors.Is(err, store.ErrSeqConflict) {
+		// A previously failed append for this very seq actually landed — its
+		// acknowledgement was lost (failed fsync, or an injected fault after
+		// the write). The slot is durably occupied, and only this session
+		// writes it, so accept the append; forceCompact schedules a prompt
+		// snapshot so the durable record is superseded even if its payload
+		// predates this retry.
+		sess.forceCompact = true
+		err = nil
+	}
+	if err != nil {
+		if store.IsTransient(err) {
+			// The attempt may or may not have landed (retryStore cannot always
+			// tell); remember the seq so a later retry can resolve an
+			// ErrSeqConflict for it as "already durable".
+			sess.ackLostSeq = rec.Seq
+			if sess.noteStoreFailureLocked() {
+				sess.seq++ // quarantined: absorb and serve memory-only
+				return nil
+			}
+		}
 		return fmt.Errorf("service: journal append: %w", err)
 	}
+	sess.ackLostSeq = 0
+	sess.persistFails = 0
 	sess.seq = rec.Seq
 	sess.tailLen++
 	sess.svc.metrics.JournalAppends.Add(1)
@@ -153,13 +197,19 @@ func (sess *Session) appendLocked(rec store.Record) error {
 // maybeCompactLocked cuts the compaction snapshot once the journal tail
 // reaches SnapshotEvery. Callers invoke it only AFTER the in-memory
 // state reflects every journaled record, so the snapshot supersedes the
-// records it drops. Best-effort: the journal already holds the state, so
-// a failed compaction only defers truncation. Caller holds sess.mu.
+// records it drops. The request is never failed here — the journal
+// already holds the state, so a failed compaction only defers truncation
+// — but the failure is counted (SnapshotFailures) and feeds the
+// quarantine heuristic inside persistSnapshotLocked. Caller holds
+// sess.mu.
 func (sess *Session) maybeCompactLocked() {
-	if !sess.svc.hasStore() || sess.tailLen < sess.svc.opts.SnapshotEvery {
+	if !sess.svc.hasStore() || sess.degraded.Load() {
 		return
 	}
-	sess.persistSnapshotLocked() //nolint:errcheck // compaction only; journal is authoritative
+	if !sess.forceCompact && sess.tailLen < sess.svc.opts.SnapshotEvery {
+		return
+	}
+	sess.persistSnapshotLocked() //nolint:errcheck // deferred, not dropped: counted + quarantine-fed above
 }
 
 // persistQueueLocked journals a queued change batch (before it enters the
@@ -375,11 +425,16 @@ func (s *Service) finishDetach(sess *Session, keepPersisted bool) {
 }
 
 // lruLocked returns the live session with the oldest last-use stamp.
+// Quarantined sessions are never victims: their memory is the only
+// up-to-date copy, so evicting one would silently lose accepted changes.
 // Caller holds s.mu.
 func (s *Service) lruLocked() *Session {
 	var victim *Session
 	var oldest int64
 	for _, sess := range s.sessions {
+		if sess.degraded.Load() {
+			continue
+		}
 		if t := sess.lastUsed.Load(); victim == nil || t < oldest {
 			victim, oldest = sess, t
 		}
@@ -387,14 +442,22 @@ func (s *Service) lruLocked() *Session {
 	return victim
 }
 
-// retire detaches a session from memory: a final compaction snapshot
-// (best effort — the journal is authoritative) and the closed mark that
-// sends stale pointers back to Service.Session for the rehydrated
-// instance.
+// retire detaches a session from memory: a final compaction snapshot and
+// the closed mark that sends stale pointers back to Service.Session for
+// the rehydrated instance. The snapshot does not gate retirement — for a
+// healthy session the journal is authoritative, and for a quarantined one
+// at shutdown this is the last-chance flush — but failures are counted
+// (SnapshotFailures inside persistSnapshotLocked), never silent.
 func (s *Service) retire(sess *Session) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	sess.persistSnapshotLocked() //nolint:errcheck // journal holds the state
+	if sess.degraded.Load() {
+		// Last-chance heal: if the store has recovered, one full snapshot at
+		// the session's logical seq makes the replica exact again.
+		sess.healLocked()
+	} else {
+		sess.persistSnapshotLocked() //nolint:errcheck // counted above; journal holds the state
+	}
 	sess.closed = true
 }
 
@@ -433,6 +496,12 @@ func (s *Service) sweepExpired(now time.Time) {
 	s.mu.Lock()
 	var victims []*Session
 	for _, sess := range s.sessions {
+		// Quarantined sessions are immune from expiry: their durable copy is
+		// stale, so detaching them would lose state. The probe loop heals
+		// them first; until then they stay resident.
+		if sess.degraded.Load() {
+			continue
+		}
 		if sess.lastUsed.Load() <= cutoff {
 			victims = append(victims, sess)
 		}

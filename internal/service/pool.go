@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // pool is the worker-pool executor: a fixed set of goroutines that run
@@ -17,6 +18,13 @@ type pool struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+
+	// cap bounds admission: at most `cap` jobs may be running-or-queued at
+	// once (workers + backlog); further run calls fail fast with
+	// ErrOverloaded instead of queueing unboundedly. cap <= 0 disables the
+	// bound. inflight counts admitted jobs.
+	cap      int64
+	inflight atomic.Int64
 }
 
 type poolJob struct {
@@ -24,13 +32,18 @@ type poolJob struct {
 	done chan struct{}
 }
 
-func newPool(workers int) *pool {
+// newPool starts a pool of `workers` goroutines admitting at most
+// workers+backlog concurrent run calls (backlog < 0 = unbounded).
+func newPool(workers, backlog int) *pool {
 	if workers < 1 {
 		workers = 1
 	}
 	p := &pool{
 		jobs: make(chan poolJob),
 		quit: make(chan struct{}),
+	}
+	if backlog >= 0 {
+		p.cap = int64(workers + backlog)
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -53,12 +66,20 @@ func (p *pool) worker() {
 }
 
 // run submits f and blocks until a worker has executed it. It fails when
-// the pool has been closed, or when ctx is cancelled BEFORE a worker
-// picks the job up — a disconnected client stops holding a place in the
-// queue. Once running, f is expected to observe ctx itself (the solver
-// kernel checks Options.Context), so cancellation also frees the worker
-// slot promptly.
+// the pool has been closed, when the backlog bound is exceeded
+// (ErrOverloaded — shed load instead of building an unbounded queue), or
+// when ctx is cancelled BEFORE a worker picks the job up — a
+// disconnected client stops holding a place in the queue. Once running,
+// f is expected to observe ctx itself (the solver kernel checks
+// Options.Context), so cancellation also frees the worker slot promptly.
 func (p *pool) run(ctx context.Context, f func()) error {
+	if p.cap > 0 {
+		if p.inflight.Add(1) > p.cap {
+			p.inflight.Add(-1)
+			return ErrOverloaded
+		}
+		defer p.inflight.Add(-1)
+	}
 	job := poolJob{run: f, done: make(chan struct{})}
 	select {
 	case p.jobs <- job:

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ilpec/internal/store"
+)
+
+// This file is the failure-hardening layer between the session lifecycle
+// and the durable store: capped exponential retry with jitter for
+// transient store faults, and the per-session quarantine that degrades a
+// session to memory-only service — with a periodic re-probe that heals
+// it — when persistence keeps failing. The design goal (ROADMAP's
+// "heavy traffic" north star): a flaky disk makes sessions DEGRADED and
+// visible, never erroring on every request and never silently divergent
+// while the service is alive.
+
+// ErrOverloaded reports a solve rejected because the executor backlog is
+// full (Options.MaxBacklog). Clients should back off and retry; the HTTP
+// layer maps it to 503 + Retry-After.
+var ErrOverloaded = errors.New("service: overloaded: solver backlog full")
+
+// ErrQueueFull reports a change batch rejected because the session's
+// pending queue is at Options.MaxPending. The HTTP layer maps it to 429 +
+// Retry-After: the client must solve (drain) before queueing more.
+var ErrQueueFull = errors.New("service: session change queue full")
+
+// RetryPolicy shapes the capped exponential backoff applied to transient
+// store faults (journal appends and snapshots).
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 4; 1 disables
+	// retries).
+	Attempts int
+	// Base is the first backoff delay (default 5ms); each further attempt
+	// doubles it up to Max (default 250ms). Actual sleeps are jittered
+	// uniformly in [d/2, d) to decorrelate retry storms.
+	Base time.Duration
+	Max  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 5 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry attempt n (1-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.Base << (n - 1)
+	if d > p.Max || d <= 0 {
+		d = p.Max
+	}
+	// Uniform jitter in [d/2, d): decorrelates sessions retrying against
+	// the same sick disk. Randomness here never affects solver results,
+	// so the global source is fine.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryStore runs op under the service's retry policy, sleeping the
+// jittered backoff between attempts while the error stays transient. Two
+// special cases encode the write-ahead contract:
+//
+//   - a store.ErrSeqConflict on a RETRY (never on the first attempt)
+//     means the previous attempt actually landed — a failed-fsync
+//     acknowledgement was lost — so the record is durable and the retry
+//     loop reports success;
+//   - non-transient errors (corruption, closed store, validation) return
+//     immediately: backing off cannot help.
+func (s *Service) retryStore(op func() error) error {
+	pol := s.opts.StoreRetry
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if attempt > 1 && errors.Is(err, store.ErrSeqConflict) {
+			return nil // the failed attempt was durable after all
+		}
+		if !store.IsTransient(err) || attempt >= pol.Attempts {
+			return err
+		}
+		s.metrics.JournalRetries.Add(1)
+		time.Sleep(pol.backoff(attempt))
+	}
+}
+
+// ---- quarantine ------------------------------------------------------------
+
+// noteStoreFailureLocked folds one exhausted-retries transient store
+// failure into the session's quarantine heuristic. It reports whether the
+// session is (now) quarantined — in which case the caller absorbs the
+// failure and serves memory-only instead of failing the request. Caller
+// holds sess.mu.
+func (sess *Session) noteStoreFailureLocked() bool {
+	if sess.degraded.Load() {
+		return true
+	}
+	sess.persistFails++
+	if sess.persistFails < sess.svc.opts.QuarantineAfter {
+		return false
+	}
+	sess.degraded.Store(true)
+	sess.svc.metrics.Quarantines.Add(1)
+	return true
+}
+
+// Degraded reports whether the session is quarantined: persistence kept
+// failing, so it is being served memory-only. Its durable state is stale
+// until a re-probe heals it (a crash in this window loses the changes
+// accepted since quarantine began — the trade the quarantine makes to
+// keep serving).
+func (s *Session) Degraded() bool { return s.degraded.Load() }
+
+// healLocked attempts to end a session's quarantine: one full snapshot at
+// the session's logical sequence — which supersedes every stale journal
+// record via compaction — restores the store to an exact replica. Caller
+// holds sess.mu.
+func (sess *Session) healLocked() bool {
+	svc := sess.svc
+	svc.metrics.QuarantineProbes.Add(1)
+	snap, err := sess.snapshotLocked()
+	if err == nil {
+		err = svc.opts.Store.WriteSnapshot(snap)
+	}
+	if err != nil {
+		svc.metrics.SnapshotFailures.Add(1)
+		return false
+	}
+	sess.degraded.Store(false)
+	sess.persistFails = 0
+	sess.tailLen = 0
+	sess.ackLostSeq = 0
+	sess.forceCompact = false
+	svc.metrics.SnapshotsWritten.Add(1)
+	svc.metrics.QuarantineHeals.Add(1)
+	return true
+}
+
+// probeQuarantined sweeps the live sessions and re-probes the store for
+// each quarantined one. Runs from the probe loop; at shutdown, retire
+// performs the same last-chance heal per session.
+func (s *Service) probeQuarantined() {
+	s.mu.Lock()
+	var degraded []*Session
+	for _, sess := range s.sessions {
+		if sess.degraded.Load() {
+			degraded = append(degraded, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range degraded {
+		sess.mu.Lock()
+		if !sess.closed && sess.degraded.Load() {
+			sess.healLocked()
+		}
+		sess.mu.Unlock()
+	}
+}
+
+// probeLoop periodically re-probes the store for quarantined sessions
+// until Close.
+func (s *Service) probeLoop() {
+	defer close(s.probeDone)
+	ticker := time.NewTicker(s.opts.ReprobeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-ticker.C:
+			s.probeQuarantined()
+		}
+	}
+}
+
+// DegradedSessions returns the ids of live quarantined sessions, sorted.
+func (s *Service) DegradedSessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []string
+	for id, sess := range s.sessions {
+		if sess.degraded.Load() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -29,6 +29,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -50,9 +51,13 @@ import (
 )
 
 const (
-	defaultCacheSize     = 256
-	defaultMaxSessions   = 4096
-	defaultSnapshotEvery = 64
+	defaultCacheSize       = 256
+	defaultMaxSessions     = 4096
+	defaultSnapshotEvery   = 64
+	defaultQuarantineAfter = 3
+	defaultReprobeInterval = 5 * time.Second
+	defaultMaxPending      = 4096
+	defaultBacklogFactor   = 8
 )
 
 // Options configures a Service. The zero value is usable: fast-EC
@@ -101,6 +106,31 @@ type Options struct {
 	// with a Store they leave memory but stay durable and rehydratable;
 	// without one they are closed outright. 0 disables the sweep.
 	SessionTTL time.Duration
+	// StoreRetry shapes the capped exponential backoff applied to
+	// transient store faults on journal appends and snapshots (zero
+	// fields take the defaults: 4 attempts, 5ms base, 250ms cap).
+	StoreRetry RetryPolicy
+	// QuarantineAfter degrades a session to memory-only service after
+	// this many exhausted-retries store failures (default 3): requests
+	// keep succeeding, the session reports Degraded, and the periodic
+	// re-probe heals it back to durable when the store recovers.
+	QuarantineAfter int
+	// ReprobeInterval is the cadence at which quarantined sessions
+	// re-probe the store (default 5s; < 0 disables the probe loop).
+	ReprobeInterval time.Duration
+	// MaxPending bounds each session's queued-but-unsolved changes
+	// (default 4096; < 0 unbounded). Beyond it QueueChanges fails with
+	// ErrQueueFull — HTTP 429 — until a solve drains the queue.
+	MaxPending int
+	// MaxBacklog bounds solve jobs waiting for an executor slot beyond
+	// the Workers already running (default 8×Workers; < 0 unbounded).
+	// Beyond it solves fail fast with ErrOverloaded — HTTP 503 +
+	// Retry-After — instead of queueing unboundedly.
+	MaxBacklog int
+	// RequestTimeout bounds each HTTP solve request (0 = none): the
+	// deadline propagates through the executor queue into the kernel's
+	// abort check, and an expired request returns 503 + Retry-After.
+	RequestTimeout time.Duration
 }
 
 // SessionConfig carries per-session overrides at creation time.
@@ -161,6 +191,21 @@ type Metrics struct {
 	Rehydrations     atomic.Int64
 	Evictions        atomic.Int64
 	TTLExpirations   atomic.Int64
+	// JournalRetries counts backed-off re-attempts of transient store
+	// faults; SnapshotFailures counts snapshot/compaction writes that
+	// ultimately failed (they feed the quarantine heuristic instead of
+	// being discarded). Quarantines counts sessions entering memory-only
+	// degraded service; QuarantineProbes/QuarantineHeals count store
+	// re-probes and successful returns to durable service.
+	JournalRetries   atomic.Int64
+	SnapshotFailures atomic.Int64
+	Quarantines      atomic.Int64
+	QuarantineProbes atomic.Int64
+	QuarantineHeals  atomic.Int64
+	// QueueRejections counts change batches refused at MaxPending (429);
+	// BacklogRejections counts solves shed at MaxBacklog (503).
+	QueueRejections   atomic.Int64
+	BacklogRejections atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics for reporting.
@@ -192,6 +237,17 @@ type MetricsSnapshot struct {
 	Rehydrations      int64 `json:"rehydrations"`
 	Evictions         int64 `json:"evictions"`
 	TTLExpirations    int64 `json:"ttl_expirations"`
+	// SessionsDegraded is the live sessions currently quarantined
+	// (memory-only); the cumulative counters below track the resilience
+	// machinery.
+	SessionsDegraded  int   `json:"sessions_degraded"`
+	JournalRetries    int64 `json:"journal_retries"`
+	SnapshotFailures  int64 `json:"snapshot_failures"`
+	Quarantines       int64 `json:"quarantines"`
+	QuarantineProbes  int64 `json:"quarantine_probes"`
+	QuarantineHeals   int64 `json:"quarantine_heals"`
+	QueueRejections   int64 `json:"queue_rejections"`
+	BacklogRejections int64 `json:"backlog_rejections"`
 }
 
 // Service manages long-lived EC sessions sharing a solve cache, an
@@ -219,9 +275,12 @@ type Service struct {
 	evicting map[string]chan struct{}
 	nextID   int64
 
-	// sweepStop/sweepDone bracket the TTL sweeper goroutine.
+	// sweepStop/sweepDone bracket the TTL sweeper goroutine;
+	// probeStop/probeDone bracket the quarantine re-probe loop.
 	sweepStop chan struct{}
 	sweepDone chan struct{}
+	probeStop chan struct{}
+	probeDone chan struct{}
 
 	imu        sync.Mutex
 	incumbents map[string]incumbent
@@ -252,10 +311,23 @@ func New(opts Options) *Service {
 	if opts.SnapshotEvery <= 0 {
 		opts.SnapshotEvery = defaultSnapshotEvery
 	}
+	opts.StoreRetry = opts.StoreRetry.withDefaults()
+	if opts.QuarantineAfter <= 0 {
+		opts.QuarantineAfter = defaultQuarantineAfter
+	}
+	if opts.ReprobeInterval == 0 {
+		opts.ReprobeInterval = defaultReprobeInterval
+	}
+	if opts.MaxPending == 0 {
+		opts.MaxPending = defaultMaxPending
+	}
+	if opts.MaxBacklog == 0 {
+		opts.MaxBacklog = defaultBacklogFactor * opts.Workers
+	}
 	s := &Service{
 		opts:  opts,
 		cache: newSolveCache(opts.CacheSize),
-		exec:  newPool(opts.Workers),
+		exec:  newPool(opts.Workers, opts.MaxBacklog),
 		cnf: core.CNFWith(core.CNFOptions{
 			Fast:     core.FastOptions{Minimal: opts.Fast.Minimal, MaxEscalations: opts.Fast.MaxEscalations},
 			Preserve: opts.Preserve,
@@ -267,6 +339,11 @@ func New(opts Options) *Service {
 	}
 	if s.hasStore() {
 		s.recoverSessions()
+		if opts.ReprobeInterval > 0 {
+			s.probeStop = make(chan struct{})
+			s.probeDone = make(chan struct{})
+			go s.probeLoop()
+		}
 	}
 	if opts.SessionTTL > 0 {
 		s.sweepStop = make(chan struct{})
@@ -358,10 +435,24 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 	// Durable birth: the initial snapshot must land before the session is
 	// acknowledged, so a crash right after creation still recovers it.
 	// The id is already reserved, so the store write (fsync + renames on
-	// the file backend) happens outside the service lock.
+	// the file backend) happens outside the service lock. A TRANSIENT
+	// birth failure does not refuse the session: it is born quarantined
+	// (memory-only, visibly degraded) and the re-probe writes the missing
+	// snapshot when the store recovers — a dead disk degrades the service
+	// instead of taking it down.
 	if s.hasStore() {
 		if err := sess.persistSnapshotLocked(); err != nil {
-			return nil, fmt.Errorf("service: persist session: %w", err)
+			if !store.IsTransient(err) {
+				return nil, fmt.Errorf("service: persist session: %w", err)
+			}
+			// persistSnapshotLocked may already have quarantined the session
+			// (QuarantineAfter reached); otherwise one unwritable birth
+			// snapshot is evidence enough — quarantine immediately.
+			if !sess.degraded.Load() {
+				sess.persistFails = s.opts.QuarantineAfter
+				sess.degraded.Store(true)
+				s.metrics.Quarantines.Add(1)
+			}
 		}
 	}
 	s.mu.Lock()
@@ -499,6 +590,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 	live := len(s.sessions)
 	stored := len(s.persisted)
 	s.mu.Unlock()
+	degraded := len(s.DegradedSessions())
 	m := &s.metrics
 	return MetricsSnapshot{
 		SessionsLive:    live,
@@ -527,6 +619,15 @@ func (s *Service) Metrics() MetricsSnapshot {
 		Rehydrations:      m.Rehydrations.Load(),
 		Evictions:         m.Evictions.Load(),
 		TTLExpirations:    m.TTLExpirations.Load(),
+
+		SessionsDegraded:  degraded,
+		JournalRetries:    m.JournalRetries.Load(),
+		SnapshotFailures:  m.SnapshotFailures.Load(),
+		Quarantines:       m.Quarantines.Load(),
+		QuarantineProbes:  m.QuarantineProbes.Load(),
+		QuarantineHeals:   m.QuarantineHeals.Load(),
+		QueueRejections:   m.QueueRejections.Load(),
+		BacklogRejections: m.BacklogRejections.Load(),
 	}
 }
 
@@ -552,6 +653,10 @@ func (s *Service) Close() {
 		close(s.sweepStop)
 		<-s.sweepDone
 	}
+	if s.probeStop != nil {
+		close(s.probeStop)
+		<-s.probeDone
+	}
 	for _, sess := range live {
 		s.retire(sess)
 	}
@@ -574,6 +679,9 @@ func (s *Service) cachedSolve(ctx context.Context, key string, clone func(any) a
 		var ok bool
 		var cerr error
 		if perr := s.exec.run(ctx, func() { v, ok, cerr = compute() }); perr != nil {
+			if errors.Is(perr, ErrOverloaded) {
+				s.metrics.BacklogRejections.Add(1)
+			}
 			return nil, false, perr
 		}
 		return v, ok, cerr

@@ -51,6 +51,21 @@ type Session struct {
 	// journal records since the last snapshot (SnapshotEvery compaction).
 	seq     uint64
 	tailLen int
+	// persistFails counts consecutive exhausted-retries store failures; at
+	// Options.QuarantineAfter the session degrades to memory-only serving
+	// (degraded), keeping seq advancing logically so the heal snapshot
+	// supersedes the stale journal. degraded is atomic so read-side paths
+	// (Info, metrics, the probe loop's scan) need not take mu.
+	persistFails int
+	degraded     atomic.Bool
+	// ackLostSeq is the journal seq of the most recent append that failed
+	// with its durability UNKNOWN (e.g. a failed fsync: the write may have
+	// landed while the acknowledgement was lost). A later append for that
+	// seq that hits ErrSeqConflict is thereby recognized as "the earlier
+	// attempt did land" and accepted; forceCompact then schedules a prompt
+	// snapshot so the journal record is superseded either way.
+	ackLostSeq   uint64
+	forceCompact bool
 	// lastUsed is the unix-nano last-touch stamp driving LRU eviction and
 	// the TTL sweep.
 	lastUsed atomic.Int64
@@ -99,16 +114,21 @@ type SessionInfo struct {
 	Domain string `json:"domain"`
 	// Vars and Clauses are the domain's decision-unit and constraint
 	// counts (variables/clauses, vertices/edges, ops/deps, ...).
-	Vars          int    `json:"vars"`
-	Clauses       int    `json:"clauses"`
-	Pending       int    `json:"pending"`
-	Solved        bool   `json:"solved"`
-	Strategy      string `json:"strategy"`
-	DontCares     int    `json:"dont_cares"`
-	ChangesQueued int64  `json:"changes_queued"`
-	Batches       int64  `json:"batches"`
-	Solves        int64  `json:"solves"`
-	CacheHits     int64  `json:"cache_hits"`
+	Vars     int    `json:"vars"`
+	Clauses  int    `json:"clauses"`
+	Pending  int    `json:"pending"`
+	Solved   bool   `json:"solved"`
+	Strategy string `json:"strategy"`
+	// Degraded marks a quarantined session: persistence kept failing, so it
+	// is served memory-only until a store re-probe heals it. Its durable
+	// state is stale — a crash now would lose the changes accepted since
+	// quarantine began.
+	Degraded      bool  `json:"degraded,omitempty"`
+	DontCares     int   `json:"dont_cares"`
+	ChangesQueued int64 `json:"changes_queued"`
+	Batches       int64 `json:"batches"`
+	Solves        int64 `json:"solves"`
+	CacheHits     int64 `json:"cache_hits"`
 }
 
 // ID returns the session id.
@@ -139,6 +159,10 @@ func (s *Session) QueueChanges(changes ...any) (int, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, fmt.Errorf("service: session %s is closed (re-fetch it by id)", s.id)
+	}
+	if max := s.svc.opts.MaxPending; max > 0 && len(s.pending)+len(changes) > max {
+		s.svc.metrics.QueueRejections.Add(1)
+		return len(s.pending), fmt.Errorf("%w (%d pending, limit %d)", ErrQueueFull, len(s.pending), max)
 	}
 	if err := s.persistQueueLocked(changes); err != nil {
 		return len(s.pending), err
@@ -207,6 +231,7 @@ func (s *Session) Info() SessionInfo {
 		Pending:       len(s.pending),
 		Solved:        s.solution != nil,
 		Strategy:      s.strategy.String(),
+		Degraded:      s.degraded.Load(),
 		ChangesQueued: s.stats.changesQueued,
 		Batches:       s.stats.batches,
 		Solves:        s.stats.solves,

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ilpec/internal/fault"
+)
+
+// Faulty wraps a Store and wires a fault.Plan into every operation: the
+// injection point the chaos suite (and ecserve's -fault-plan flag) uses
+// to drive the serving path through deterministic failure schedules.
+// Operation names seen by the plan: "append", "snapshot", "load",
+// "list", "delete".
+//
+// Fault semantics per kind (see internal/fault):
+//
+//   - error / enospc: the wrapped operation does not run; the injected
+//     (transient) error is returned.
+//   - latency: the operation runs normally after the injected delay.
+//   - fsync: the wrapped operation RUNS — the write is durable — but the
+//     acknowledgement is replaced by an error, modeling a crash between
+//     write and ack. A retry of the same append sees ErrSeqConflict,
+//     which the serving layer treats as "already durable".
+//   - torn: on "append" over the file backend, half an unframed record
+//     is written straight into the journal (a torn tail that recovery
+//     must repair) and the error returned; elsewhere it degrades to an
+//     error fault (no partial state is representable).
+//
+// Faulty is safe for concurrent use exactly when the wrapped store is.
+type Faulty struct {
+	inner Store
+	plan  *fault.Plan
+}
+
+// NewFaulty wraps s with plan. A nil plan never injects.
+func NewFaulty(s Store, plan *fault.Plan) *Faulty {
+	return &Faulty{inner: s, plan: plan}
+}
+
+// Underlying returns the wrapped store (chaos tests recover through it,
+// fault-free, to model a repaired disk).
+func (f *Faulty) Underlying() Store { return f.inner }
+
+// Plan returns the wired fault plan.
+func (f *Faulty) Plan() *fault.Plan { return f.plan }
+
+func (f *Faulty) Append(id string, rec Record) error {
+	inj, ok := f.plan.Decide("append")
+	if !ok {
+		return f.inner.Append(id, rec)
+	}
+	switch inj.Kind {
+	case fault.KindLatency:
+		time.Sleep(inj.Latency)
+		return f.inner.Append(id, rec)
+	case fault.KindFsync:
+		// The record lands durably; only the acknowledgement is lost.
+		if err := f.inner.Append(id, rec); err != nil {
+			return err
+		}
+		return inj.Err
+	case fault.KindTorn:
+		f.tearJournal(id, rec)
+		return inj.Err
+	default:
+		return inj.Err
+	}
+}
+
+// tearJournal simulates a crash mid-write on the file backend: the first
+// half of a framed record, without its newline, is appended raw to the
+// journal. Load's torn-tail repair must truncate it away. On non-file
+// backends there is nothing partial to write; the fault degrades to a
+// plain error.
+func (f *Faulty) tearJournal(id string, rec Record) {
+	fs, ok := f.inner.(*File)
+	if !ok {
+		return
+	}
+	line, err := frameRecord(rec)
+	if err != nil {
+		return
+	}
+	path := filepath.Join(fs.root, id, journalName)
+	j, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer j.Close()
+	j.Write(line[:len(line)/2]) //nolint:errcheck // best-effort corruption
+}
+
+func (f *Faulty) WriteSnapshot(snap Snapshot) error {
+	inj, ok := f.plan.Decide("snapshot")
+	if !ok {
+		return f.inner.WriteSnapshot(snap)
+	}
+	switch inj.Kind {
+	case fault.KindLatency:
+		time.Sleep(inj.Latency)
+		return f.inner.WriteSnapshot(snap)
+	case fault.KindFsync:
+		if err := f.inner.WriteSnapshot(snap); err != nil {
+			return err
+		}
+		return inj.Err
+	default:
+		// Torn snapshots are not representable: atomicWrite never leaves a
+		// half-written snapshot behind, so torn degrades to error here.
+		return inj.Err
+	}
+}
+
+func (f *Faulty) Load(id string) (Snapshot, []Record, error) {
+	inj, ok := f.plan.Decide("load")
+	if !ok {
+		return f.inner.Load(id)
+	}
+	if inj.Kind == fault.KindLatency {
+		time.Sleep(inj.Latency)
+		return f.inner.Load(id)
+	}
+	return Snapshot{}, nil, inj.Err
+}
+
+func (f *Faulty) List() ([]string, error) {
+	inj, ok := f.plan.Decide("list")
+	if !ok {
+		return f.inner.List()
+	}
+	if inj.Kind == fault.KindLatency {
+		time.Sleep(inj.Latency)
+		return f.inner.List()
+	}
+	return nil, inj.Err
+}
+
+func (f *Faulty) Delete(id string) error {
+	inj, ok := f.plan.Decide("delete")
+	if !ok {
+		return f.inner.Delete(id)
+	}
+	if inj.Kind == fault.KindLatency {
+		time.Sleep(inj.Latency)
+		return f.inner.Delete(id)
+	}
+	return inj.Err
+}
+
+// Close closes the wrapped store (never faulted: shutdown must not be
+// injectable, or tests could leak file handles).
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// String identifies the wrapper in logs.
+func (f *Faulty) String() string {
+	return fmt.Sprintf("faulty(%T)", f.inner)
+}

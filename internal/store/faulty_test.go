@@ -1,0 +1,214 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"ilpec/internal/fault"
+)
+
+// birthSnapshot writes the minimal snapshot a session needs before its
+// first append.
+func birthSnapshot(t *testing.T, s Store, id string) {
+	t.Helper()
+	if err := s.WriteSnapshot(Snapshot{SessionID: id, Domain: "cnf", Strategy: "fast", Problem: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultyErrorInjectionIsTransientAndLeavesNoState(t *testing.T) {
+	for _, backend := range []struct {
+		name string
+		mk   func(t *testing.T) Store
+	}{
+		{"memory", func(t *testing.T) Store { return NewMemory() }},
+		{"file", func(t *testing.T) Store {
+			s, err := NewFile(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	} {
+		t.Run(backend.name, func(t *testing.T) {
+			inner := backend.mk(t)
+			fs := NewFaulty(inner, fault.NewPlan(0, fault.Rule{Op: "append", Kind: fault.KindError, Nth: 1}))
+			birthSnapshot(t, fs, "s1")
+			err := fs.Append("s1", Record{Seq: 1, Kind: KindDiscard})
+			if err == nil {
+				t.Fatal("injected append succeeded")
+			}
+			if !IsTransient(err) {
+				t.Fatalf("injected error not transient: %v", err)
+			}
+			// Nothing landed: the same seq appends cleanly on retry.
+			if err := fs.Append("s1", Record{Seq: 1, Kind: KindDiscard}); err != nil {
+				t.Fatalf("retry after error fault: %v", err)
+			}
+			if _, tail, err := inner.Load("s1"); err != nil || len(tail) != 1 {
+				t.Fatalf("tail %d (%v), want exactly the retried record", len(tail), err)
+			}
+		})
+	}
+}
+
+// TestFaultyFailedFsync: the write lands but the ack is lost. The retry
+// contract: a second append of the same seq reports ErrSeqConflict, which
+// callers treat as "already durable".
+func TestFaultyFailedFsync(t *testing.T) {
+	inner, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaulty(inner, fault.NewPlan(0, fault.Rule{Op: "append", Kind: fault.KindFsync, Nth: 1}))
+	birthSnapshot(t, fs, "s1")
+	appendErr := fs.Append("s1", Record{Seq: 1, Kind: KindSolve, Solution: []byte(`[1]`)})
+	if appendErr == nil {
+		t.Fatal("fsync fault did not surface an error")
+	}
+	if !IsTransient(appendErr) {
+		t.Fatalf("fsync fault not transient: %v", appendErr)
+	}
+	// The record is durable despite the error.
+	if _, tail, err := inner.Load("s1"); err != nil || len(tail) != 1 || tail[0].Seq != 1 {
+		t.Fatalf("record did not land: tail %v, err %v", tail, err)
+	}
+	// A faithful retry of the same record hits the sequence conflict.
+	retryErr := fs.Append("s1", Record{Seq: 1, Kind: KindSolve, Solution: []byte(`[1]`)})
+	if !errors.Is(retryErr, ErrSeqConflict) {
+		t.Fatalf("retry error %v, want ErrSeqConflict", retryErr)
+	}
+	if IsTransient(retryErr) {
+		t.Fatal("seq conflict must not be transient (retrying cannot help)")
+	}
+	// The session continues past the healed record.
+	if err := fs.Append("s1", Record{Seq: 2, Kind: KindDiscard}); err != nil {
+		t.Fatalf("append after healed fsync: %v", err)
+	}
+}
+
+// TestFaultyENOSPC: disk-full surfaces syscall.ENOSPC through the fault
+// error and writes nothing.
+func TestFaultyENOSPC(t *testing.T) {
+	inner, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaulty(inner, fault.NewPlan(0,
+		fault.Rule{Op: "append", Kind: fault.KindENOSPC, Nth: 1},
+		fault.Rule{Op: "snapshot", Kind: fault.KindENOSPC, Nth: 2},
+	))
+	birthSnapshot(t, fs, "s1")
+	err = fs.Append("s1", Record{Seq: 1, Kind: KindDiscard})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append error %v, want ENOSPC", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("ENOSPC should be transient (space can free up)")
+	}
+	if _, tail, err := inner.Load("s1"); err != nil || len(tail) != 0 {
+		t.Fatalf("ENOSPC append left state: tail %v, err %v", tail, err)
+	}
+	// Snapshot path too (the second snapshot op fires the nth=2 rule).
+	err = fs.WriteSnapshot(Snapshot{SessionID: "s1", Domain: "cnf", Strategy: "fast", Problem: []byte(`{}`), Seq: 1})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("snapshot error %v, want ENOSPC", err)
+	}
+}
+
+// TestFaultyTornWrite: a torn append leaves garbage on the file backend's
+// journal; Load repairs it and the journal accepts the retried record.
+func TestFaultyTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaulty(inner, fault.NewPlan(0, fault.Rule{Op: "append", Kind: fault.KindTorn, Nth: 2}))
+	birthSnapshot(t, fs, "s1")
+	if err := fs.Append("s1", Record{Seq: 1, Kind: KindDiscard}); err != nil {
+		t.Fatal(err)
+	}
+	tornErr := fs.Append("s1", Record{Seq: 2, Kind: KindSolve, Solution: []byte(`[1]`)})
+	if tornErr == nil || !IsTransient(tornErr) {
+		t.Fatalf("torn append error %v, want transient failure", tornErr)
+	}
+	// The journal now physically holds a torn tail.
+	raw, err := os.ReadFile(filepath.Join(dir, "s1", journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[len(raw)-1] == '\n' {
+		t.Fatal("journal tail not torn")
+	}
+	// A fresh store (recovery) repairs the log: only seq 1 survives, and
+	// the retried append lands.
+	inner2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tail, err := inner2.Load("s1")
+	if err != nil {
+		t.Fatalf("recovery load: %v", err)
+	}
+	if len(tail) != 1 || tail[0].Seq != 1 {
+		t.Fatalf("recovered tail %v, want only seq 1", tail)
+	}
+	if err := inner2.Append("s1", Record{Seq: 2, Kind: KindSolve, Solution: []byte(`[1]`)}); err != nil {
+		t.Fatalf("append after torn repair: %v", err)
+	}
+}
+
+// TestFaultyTornDegradesOnMemory: the memory backend cannot hold partial
+// frames, so torn behaves like a clean error.
+func TestFaultyTornDegradesOnMemory(t *testing.T) {
+	inner := NewMemory()
+	fs := NewFaulty(inner, fault.NewPlan(0, fault.Rule{Op: "append", Kind: fault.KindTorn, Nth: 1}))
+	birthSnapshot(t, fs, "s1")
+	if err := fs.Append("s1", Record{Seq: 1, Kind: KindDiscard}); err == nil || !IsTransient(err) {
+		t.Fatalf("torn-on-memory error %v, want transient", err)
+	}
+	if _, tail, err := inner.Load("s1"); err != nil || len(tail) != 0 {
+		t.Fatalf("torn-on-memory left state: %v, %v", tail, err)
+	}
+}
+
+// TestFaultyLatencyStillSucceeds: latency faults delay but do not fail.
+func TestFaultyLatencyStillSucceeds(t *testing.T) {
+	inner := NewMemory()
+	fs := NewFaulty(inner, fault.NewPlan(0, fault.Rule{Op: "*", Kind: fault.KindLatency, Every: 1, Latency: time.Millisecond}))
+	birthSnapshot(t, fs, "s1")
+	if err := fs.Append("s1", Record{Seq: 1, Kind: KindDiscard}); err != nil {
+		t.Fatal(err)
+	}
+	if _, tail, err := fs.Load("s1"); err != nil || len(tail) != 1 {
+		t.Fatalf("latency-faulted ops misbehaved: %v, %v", tail, err)
+	}
+	if got := fs.Plan().Injected(); got < 3 {
+		t.Fatalf("latency injections %d, want ≥ 3", got)
+	}
+}
+
+// TestFaultyPassThrough: a nil plan injects nothing and the wrapper is
+// transparent, List/Delete included.
+func TestFaultyPassThrough(t *testing.T) {
+	inner := NewMemory()
+	fs := NewFaulty(inner, nil)
+	birthSnapshot(t, fs, "s1")
+	if ids, err := fs.List(); err != nil || len(ids) != 1 {
+		t.Fatalf("list %v, %v", ids, err)
+	}
+	if err := fs.Delete("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := inner.List(); len(ids) != 0 {
+		t.Fatalf("delete did not pass through: %v", ids)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

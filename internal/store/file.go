@@ -101,12 +101,12 @@ func (f *File) Append(id string, rec Record) error {
 		}
 	}
 	if rec.Seq <= s.lastSeq {
-		return fmt.Errorf("store: %q journal seq %d not after %d", id, rec.Seq, s.lastSeq)
+		return fmt.Errorf("store: %q journal seq %d not after %d: %w", id, rec.Seq, s.lastSeq, ErrSeqConflict)
 	}
 	if s.journal == nil {
 		j, err := os.OpenFile(filepath.Join(s.dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			return fmt.Errorf("store: open journal: %w", err)
+			return markTransient(fmt.Errorf("store: open journal: %w", err))
 		}
 		s.journal = j
 	}
@@ -115,10 +115,10 @@ func (f *File) Append(id string, rec Record) error {
 		return err
 	}
 	if _, err := s.journal.Write(line); err != nil {
-		return fmt.Errorf("store: journal append: %w", err)
+		return markTransient(fmt.Errorf("store: journal append: %w", err))
 	}
 	if err := s.journal.Sync(); err != nil {
-		return fmt.Errorf("store: journal fsync: %w", err)
+		return markTransient(fmt.Errorf("store: journal fsync: %w", err))
 	}
 	s.lastSeq = rec.Seq
 	return nil
@@ -166,7 +166,7 @@ func (f *File) WriteSnapshot(snap Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("store: create session dir: %w", err)
+		return markTransient(fmt.Errorf("store: create session dir: %w", err))
 	}
 	// Records the new snapshot has NOT folded in survive compaction (the
 	// normal service flow snapshots at the current head, so this is empty).
@@ -212,27 +212,28 @@ func (s *fileSession) resetJournalLocked(tail []Record) error {
 }
 
 // atomicWrite durably replaces path with data: temp file, fsync, rename,
-// fsync the parent directory.
+// fsync the parent directory. Its failures are all I/O (transient): the
+// target file is never left half-written, so a later retry may succeed.
 func atomicWrite(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
-		return fmt.Errorf("store: temp file: %w", err)
+		return markTransient(fmt.Errorf("store: temp file: %w", err))
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: write %s: %w", path, err)
+		return markTransient(fmt.Errorf("store: write %s: %w", path, err))
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: fsync %s: %w", path, err)
+		return markTransient(fmt.Errorf("store: fsync %s: %w", path, err))
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: close %s: %w", path, err)
+		return markTransient(fmt.Errorf("store: close %s: %w", path, err))
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("store: rename into %s: %w", path, err)
+		return markTransient(fmt.Errorf("store: rename into %s: %w", path, err))
 	}
 	return syncDir(dir)
 }
@@ -259,7 +260,7 @@ func (f *File) Load(id string) (Snapshot, []Record, error) {
 		if os.IsNotExist(err) {
 			return Snapshot{}, nil, fmt.Errorf("store: %q: %w", id, ErrNotFound)
 		}
-		return Snapshot{}, nil, fmt.Errorf("store: read snapshot: %w", err)
+		return Snapshot{}, nil, markTransient(fmt.Errorf("store: read snapshot: %w", err))
 	}
 	var snap Snapshot
 	if err := json.Unmarshal(raw, &snap); err != nil {

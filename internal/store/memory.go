@@ -40,7 +40,7 @@ func (m *Memory) Append(id string, rec Record) error {
 		return fmt.Errorf("store: append to session %q without a snapshot: %w", id, ErrNotFound)
 	}
 	if last := s.lastSeq(); rec.Seq <= last {
-		return fmt.Errorf("store: session %q journal seq %d not after %d", id, rec.Seq, last)
+		return fmt.Errorf("store: session %q journal seq %d not after %d: %w", id, rec.Seq, last, ErrSeqConflict)
 	}
 	s.tail = append(s.tail, cloneRecord(rec))
 	return nil

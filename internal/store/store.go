@@ -82,6 +82,42 @@ type Snapshot struct {
 // ErrNotFound reports a session id with no persisted state.
 var ErrNotFound = errors.New("store: session not found")
 
+// ErrSeqConflict reports a journal append whose sequence number is not
+// past the store's durable high-water mark. On a FIRST attempt this is a
+// caller bug; on a RETRY after a failed append it means the earlier
+// attempt actually landed (a failed-fsync acknowledgement was lost), so
+// the retrying caller treats it as success — the record is durable.
+var ErrSeqConflict = errors.New("store: journal sequence conflict")
+
+// transientErr marks a store error as retryable. It satisfies the
+// Transient() marker shared with injected faults (internal/fault.Error).
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string   { return e.err.Error() }
+func (e *transientErr) Unwrap() error   { return e.err }
+func (e *transientErr) Transient() bool { return true }
+
+// markTransient wraps an error as retryable (nil stays nil).
+func markTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient classifies a store error: true means a retry (or a later
+// re-probe) may succeed — I/O trouble, injected faults, disk-full — while
+// false means retrying is pointless (corruption, validation errors, a
+// closed store, sequence conflicts). The serving layer's retry/backoff
+// and quarantine paths branch on it.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
 // Store persists sessions as snapshot + journal pairs. Implementations
 // must be safe for concurrent use; appends of ONE session are expected to
 // be serialized by the caller (the service holds the session lock).
