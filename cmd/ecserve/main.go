@@ -81,6 +81,7 @@ type config struct {
 	drain       time.Duration
 	presolve    bool
 	cuts        bool
+	instance    bool
 	// Persistence (empty dataDir = memory-only, nothing survives exit).
 	dataDir       string
 	snapshotEvery int
@@ -127,6 +128,7 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget")
 	presolve := fs.Bool("presolve", true, "run the solver's presolve pass on every solve")
 	cuts := fs.Bool("cuts", true, "separate cover/clique cuts, retained per session across re-solves")
+	instance := fs.Bool("instance", true, "serve sessions through persistent kernel instances (incremental delta re-solves); false = scratch re-encode per solve")
 	dataDir := fs.String("data-dir", "", "durable session store directory (empty = in-memory only)")
 	snapshotEvery := fs.Int("snapshot-every", 64, "journal records per session between compaction snapshots")
 	maxLive := fs.Int("max-live-sessions", 0, "in-memory session bound; beyond it LRU sessions are evicted to the store (0 = no eviction; needs -data-dir)")
@@ -161,6 +163,7 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		drain:           *drain,
 		presolve:        *presolve,
 		cuts:            *cuts,
+		instance:        *instance,
 		dataDir:         *dataDir,
 		snapshotEvery:   *snapshotEvery,
 		maxLive:         *maxLive,
@@ -228,6 +231,7 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		MaxPending:      cfg.maxPending,
 		MaxBacklog:      cfg.maxBacklog,
 		RequestTimeout:  cfg.requestTimeout,
+		DisableInstance: !cfg.instance,
 	})
 	defer svc.Close()
 	if st != nil {

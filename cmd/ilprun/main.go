@@ -57,6 +57,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 1, "parallel root searchers for the exact solver (1 = serial)")
 	presolve := fs.Bool("presolve", true, "run the presolve pass (bound tightening, row/column elimination)")
 	cuts := fs.Bool("cuts", true, "separate cover and clique cuts before the search")
+	resolves := fs.Int("resolves", 1, "exact solver only: re-solve the model N times through a persistent instance and report the retained-state counters")
 	quiet := fs.Bool("quiet", false, "print only status and objective")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -109,7 +110,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(stderr, fmt.Errorf("unknown -branching %q", *branching))
 		}
 		start := time.Now()
-		res := ilp.Solve(m, opts)
+		var res ilp.Result
+		if *resolves > 1 {
+			inst := ilp.NewInstance(m)
+			for i := 0; i < *resolves; i++ {
+				res = inst.Resolve(opts)
+			}
+		} else {
+			res = ilp.Solve(m, opts)
+		}
 		fmt.Fprintf(stdout, "status: %s\n", res.Status)
 		if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
 			fmt.Fprintf(stdout, "objective: %g\n", res.Objective)
@@ -124,6 +133,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				res.LPSolves, res.LPWarmHits, res.Workers)
 			fmt.Fprintf(stdout, "presolve-fixed: %d  presolve-rows: %d  cuts-added: %d  cut-tightenings: %d\n",
 				res.PresolveFixed, res.PresolveRows, res.CutsAdded, res.CutTightenings)
+			if *resolves > 1 {
+				fmt.Fprintf(stdout, "resolves: %d  instance-reused: %d  rows-delta: %d  reseparated-rows: %d\n",
+					*resolves, res.InstanceReused, res.RowsDelta, res.ReseparatedRows)
+			}
 		}
 		switch res.Status {
 		case ilp.Optimal, ilp.Feasible:

@@ -60,27 +60,30 @@ func main() {
 
 	// Reaction 2: fast EC — recolor only the conflicted region.
 	start = time.Now()
-	fast, err := ilpec.FastRecolor(changed, col, k, opts)
+	fastSol, stats, err := ilpec.FastResolveDomain(ilpec.ColoringDomain(), &ilpec.ColoringProblem{G: changed, K: k}, col, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fast := fastSol.(ilpec.GraphColoring)
 	fmt.Printf("fast EC:     agreement %.1f%%  (%d vertices recolored, %v)\n",
-		100*fast.Coloring.Agreement(col), fast.SubVertices, time.Since(start).Round(time.Millisecond))
+		100*fast.Agreement(col), stats.SubSize, time.Since(start).Round(time.Millisecond))
 
 	// Reaction 3: preserving EC — maximize kept colors globally.
 	start = time.Now()
-	pres, _, err := ilpec.PreserveRecolor(changed, col, k, opts)
+	presSol, err := ilpec.PreserveResolveDomain(ilpec.ColoringDomain(), &ilpec.ColoringProblem{G: changed, K: k}, col, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	pres := presSol.(ilpec.GraphColoring)
 	fmt.Printf("preserving:  agreement %.1f%%  (%v)\n",
 		100*pres.Agreement(col), time.Since(start).Round(time.Millisecond))
 
 	// Enabling EC: spare colors per vertex before the change arrives.
-	enabled, _, err := ilpec.EnableColoring(g, k, false, 2, col, opts)
+	enSol, err := ilpec.EnableDomain(ilpec.ColoringDomain(), &ilpec.ColoringProblem{G: g, K: k}, ilpec.DomainEnableOptions{Weight: 2}, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	enabled := enSol.(ilpec.GraphColoring)
 	repBefore := coloring.VerifyFlexibility(g, col, k)
 	repEnabled := coloring.VerifyFlexibility(g, enabled, k)
 	fmt.Printf("\nenabling EC: vertices with a spare color %d/%d → %d/%d\n",

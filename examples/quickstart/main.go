@@ -33,12 +33,13 @@ func main() {
 	fmt.Println("\npaper's S:        ", plain)
 
 	// Enabling EC (§5): every clause 2-satisfied or safely flip-supported.
-	enabled, err := ilpec.Enable(f, ilpec.EnableOptions{Mode: ilpec.EnableConstraints})
+	sol, err := ilpec.EnableDomain(ilpec.CNFDomain(), f, ilpec.DomainEnableOptions{Hard: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("enabled solution: ", enabled.Assignment)
-	rep := ilpec.VerifyFlexibility(f, enabled.Assignment, 2)
+	enabled := sol.(ilpec.Assignment)
+	fmt.Println("enabled solution: ", enabled)
+	rep := ilpec.VerifyFlexibility(f, enabled, 2)
 	fmt.Printf("flexibility: %d/%d clauses (k-satisfied %d, flip-supported %d)\n",
 		rep.Flexible(), rep.Total, rep.KSatisfied, rep.Supported)
 
@@ -49,7 +50,7 @@ func main() {
 	sUntouched, eUntouched := 0, 0
 	for v := 1; v <= f.NumVars; v++ {
 		rp := ilpec.SimulateElimination(f, plain, v)
-		re := ilpec.SimulateElimination(f, enabled.Assignment, v)
+		re := ilpec.SimulateElimination(f, enabled, v)
 		if rp.OK && rp.Flips == 0 {
 			sUntouched++
 		}
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	ps, pt := ilpec.EliminationSurvival(f, plain)
-	es, et := ilpec.EliminationSurvival(f, enabled.Assignment)
+	es, et := ilpec.EliminationSurvival(f, enabled)
 	fmt.Printf("\npaper's S survives %d/%d eliminations (%d untouched);\n", ps, pt, sUntouched)
 	fmt.Printf("the enabled solution survives %d/%d (%d untouched)\n", es, et, eUntouched)
 }

@@ -10,6 +10,10 @@
 //     and are answered without touching the solver;
 //   - the relax fast-path: a relaxing-only batch costs no solver call.
 //
+// Each session also serves its solves through a persistent kernel
+// instance (see README "Instance lifecycle"); the closing metrics dump
+// shows the instance_* counters alongside the cache counters.
+//
 // It closes with the durability demo: a session created against a
 // file-backed store (what `ecserve -data-dir` uses) survives a full
 // service restart — the fresh server lists it and answers with the
@@ -90,8 +94,13 @@ func main() {
 		m.SessionsCreated, m.Solves, m.SolverRuns, m.CacheHits, m.RelaxFastPaths)
 	fmt.Printf("changes_queued=%d batches=%d (each batch = one EC pass)\n",
 		m.ChangesQueued, m.Batches)
+	fmt.Printf("instance_reuses=%d instance_rebuilds=%d instance_rows_delta=%d reseparated_rows=%d\n",
+		m.InstanceReuses, m.InstanceRebuilds, m.InstanceRowsDelta, m.ReseparatedRows)
 	if m.CacheHits == 0 || m.Batches >= m.ChangesQueued {
 		log.Fatal("amortization failed: expected cache hits and coalesced batches")
+	}
+	if m.InstanceRebuilds == 0 {
+		log.Fatal("instance lifecycle failed: no session ever built a persistent instance")
 	}
 
 	// ---- persistence: the session survives a process restart ----------

@@ -153,17 +153,9 @@ const (
 	EnableObjective   = core.EnableObjective
 )
 
-// EnableResult is the outcome of Enable.
+// EnableResult is the outcome of an enabling-EC solve (see
+// FlowOptions.Enable and EnableDomain).
 type EnableResult = core.EnableResult
-
-// Enable solves f under the §5 flexibility requirements.
-//
-// Deprecated: use the generic Domain path — EnableDomain(CNFDomain(), f,
-// ...) — which serves every registered domain through one engine. This
-// wrapper remains for one release.
-func Enable(f *Formula, opts EnableOptions, solve ...SolveOptions) (*EnableResult, error) {
-	return core.SolveEnable(f, opts, firstOpt(solve...))
-}
 
 // FlexReport audits a solution's flexibility.
 type FlexReport = core.FlexReport
@@ -191,7 +183,8 @@ func EliminationSurvival(f *Formula, a Assignment) (survived, total int) {
 // FastOptions configures fast EC.
 type FastOptions = core.FastOptions
 
-// FastResult is the outcome of FastResolve.
+// FastResult is the outcome of a CNF fast-EC re-solve (see
+// FlowOptions.Fast and FastResolveDomain).
 type FastResult = core.FastResult
 
 // SimplifyResult is the Figure-2 closure output.
@@ -200,15 +193,6 @@ type SimplifyResult = core.SimplifyResult
 // Simplify extracts the minimal affected sub-instance (Figure 2).
 func Simplify(fPrime *Formula, p Assignment) SimplifyResult {
 	return core.Simplify(fPrime, p)
-}
-
-// FastResolve re-solves only the affected sub-instance and merges.
-//
-// Deprecated: use FastResolveDomain(CNFDomain(), fPrime, p, ...) — the
-// generic fast-EC engine behind every registered domain. This wrapper
-// remains for one release.
-func FastResolve(fPrime *Formula, p Assignment, opts FastOptions) (*FastResult, error) {
-	return core.FastResolve(fPrime, p, opts)
 }
 
 // ---- preserving EC (§7) -----------------------------------------------------
@@ -226,19 +210,9 @@ const (
 	PreserveWeighted = core.PreserveWeighted
 )
 
-// PreserveResult is the outcome of PreserveResolve.
+// PreserveResult is the outcome of a CNF preserving-EC re-solve (see
+// FlowOptions.Preserve and PreserveResolveDomain).
 type PreserveResult = core.PreserveResult
-
-// PreserveResolve re-solves the changed instance, maximizing agreement
-// with the original solution (or hard-preserving a protected set).
-//
-// Deprecated: use PreserveResolveDomain(CNFDomain(), fPrime, p, ...) —
-// the generic preserving-EC engine behind every registered domain (hard
-// and weighted modes remain available through CNFDomainWith). This
-// wrapper remains for one release.
-func PreserveResolve(fPrime *Formula, p Assignment, opts PreserveOptions) (*PreserveResult, error) {
-	return core.PreserveResolve(fPrime, p, opts)
-}
 
 // ---- the Figure-1 flow -----------------------------------------------------
 
@@ -343,34 +317,6 @@ type ColoringProblem = coloring.Problem
 // ColoringChange is one coloring specification change (domain wire form).
 type ColoringChange = coloring.Change
 
-// FastRecolor absorbs graph changes by recoloring only the conflicted
-// region (fast EC on coloring).
-//
-// Deprecated: use FastResolveDomain(ColoringDomain(), &ColoringProblem{G:
-// g, K: k}, prev, ...). This wrapper remains for one release.
-func FastRecolor(g *Graph, prev GraphColoring, k int, opts SolveOptions) (*coloring.FastRecolorResult, error) {
-	return coloring.FastRecolor(g, prev, k, opts)
-}
-
-// PreserveRecolor re-colors maximizing agreement with prev (preserving EC
-// on coloring).
-//
-// Deprecated: use PreserveResolveDomain(ColoringDomain(), ...). This
-// wrapper remains for one release.
-func PreserveRecolor(g *Graph, prev GraphColoring, k int, opts SolveOptions) (GraphColoring, ILPResult, error) {
-	return coloring.PreserveRecolor(g, prev, k, opts)
-}
-
-// EnableColoring colors g so vertices keep spare colors (enabling EC on
-// coloring). hard requires a spare at every vertex; warm (optional) guides
-// branching.
-//
-// Deprecated: use EnableDomain(ColoringDomain(), ...). This wrapper
-// remains for one release.
-func EnableColoring(g *Graph, k int, hard bool, weight float64, warm GraphColoring, opts SolveOptions) (GraphColoring, ILPResult, error) {
-	return coloring.SolveEnable(g, k, hard, weight, warm, opts)
-}
-
 // ---- scheduling application ---------------------------------------------------
 
 // SchedProblem is a resource-constrained scheduling instance (behavioral-
@@ -396,33 +342,6 @@ func ListSchedule(p *SchedProblem) (SchedSchedule, error) { return sched.ListSch
 
 // SchedChange is one scheduling specification change (domain wire form).
 type SchedChange = sched.Change
-
-// FastReschedule re-places only the disturbed operations after a change
-// (fast EC on scheduling); it returns the schedule and the region size.
-//
-// Deprecated: use FastResolveDomain(SchedDomain(), p, prev, ...). This
-// wrapper remains for one release.
-func FastReschedule(p *SchedProblem, prev SchedSchedule, opts SolveOptions) (SchedSchedule, int, error) {
-	return sched.FastReschedule(p, prev, opts)
-}
-
-// PreserveReschedule re-solves maximizing kept control steps (preserving
-// EC on scheduling).
-//
-// Deprecated: use PreserveResolveDomain(SchedDomain(), ...). This wrapper
-// remains for one release.
-func PreserveReschedule(p *SchedProblem, prev SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
-	return sched.PreserveReschedule(p, prev, opts)
-}
-
-// EnableSchedule schedules with spare-slot rewards (enabling EC on
-// scheduling).
-//
-// Deprecated: use EnableDomain(SchedDomain(), ...). This wrapper remains
-// for one release.
-func EnableSchedule(p *SchedProblem, weight float64, warm SchedSchedule, opts SolveOptions) (SchedSchedule, ILPResult, error) {
-	return sched.SolveEnabled(p, weight, warm, opts)
-}
 
 // ---- generic problem domains ---------------------------------------------
 

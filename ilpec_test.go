@@ -52,19 +52,20 @@ func TestPublicDIMACSRoundTrip(t *testing.T) {
 
 func TestPublicEnableAndVerify(t *testing.T) {
 	f := introFormula()
-	res, err := ilpec.Enable(f, ilpec.EnableOptions{Mode: ilpec.EnableConstraints})
+	sol, err := ilpec.EnableDomain(ilpec.CNFDomain(), f, ilpec.DomainEnableOptions{Hard: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := ilpec.VerifyFlexibility(f, res.Assignment, 2)
+	a := sol.(ilpec.Assignment)
+	rep := ilpec.VerifyFlexibility(f, a, 2)
 	if len(rep.Unsupported) != 0 {
 		t.Fatalf("unsupported clauses %v", rep.Unsupported)
 	}
-	s, total := ilpec.EliminationSurvival(f, res.Assignment)
+	s, total := ilpec.EliminationSurvival(f, a)
 	if s != total {
 		t.Fatalf("survival %d/%d", s, total)
 	}
-	one := ilpec.SimulateElimination(f, res.Assignment, 3)
+	one := ilpec.SimulateElimination(f, a, 3)
 	if !one.OK {
 		t.Fatal("elimination of v3 not absorbed")
 	}
@@ -86,11 +87,11 @@ func TestPublicChangesAndFast(t *testing.T) {
 	}
 	simp := ilpec.Simplify(fPrime, p)
 	_ = simp
-	res, err := ilpec.FastResolve(fPrime, p, ilpec.FastOptions{})
+	sol, _, err := ilpec.FastResolveDomain(ilpec.CNFDomain(), fPrime, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Assignment.Satisfies(fPrime) {
+	if !sol.(ilpec.Assignment).Satisfies(fPrime) {
 		t.Fatal("fast result unsatisfying")
 	}
 	if ilpec.DropClause(0).Tightening() || !ilpec.EliminateVariable(1).Tightening() {
@@ -110,12 +111,12 @@ func TestPublicPreserve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ilpec.PreserveResolve(fPrime, p, ilpec.PreserveOptions{Mode: ilpec.PreserveMaximize})
+	sol, err := ilpec.PreserveResolveDomain(ilpec.CNFDomain(), fPrime, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Preserved < 0.8-1e-9 {
-		t.Fatalf("preserved %.2f < 0.8", res.Preserved)
+	if kept := sol.(ilpec.Assignment).PreservedFraction(p); kept < 0.8-1e-9 {
+		t.Fatalf("preserved %.2f < 0.8", kept)
 	}
 }
 
@@ -171,25 +172,25 @@ func TestPublicColoring(t *testing.T) {
 		t.Fatal("greedy invalid")
 	}
 	g.AddEdge(1, 3)
-	fast, err := ilpec.FastRecolor(g, col, 3, ilpec.SolveOptions{})
+	fastSol, _, err := ilpec.FastResolveDomain(ilpec.ColoringDomain(), &ilpec.ColoringProblem{G: g, K: 3}, col)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !fast.Coloring.Valid(g, 3) {
+	if !fastSol.(ilpec.GraphColoring).Valid(g, 3) {
 		t.Fatal("fast recolor invalid")
 	}
-	pres, _, err := ilpec.PreserveRecolor(g, col, 3, ilpec.SolveOptions{})
+	presSol, err := ilpec.PreserveResolveDomain(ilpec.ColoringDomain(), &ilpec.ColoringProblem{G: g, K: 3}, col)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !pres.Valid(g, 3) {
+	if !presSol.(ilpec.GraphColoring).Valid(g, 3) {
 		t.Fatal("preserve recolor invalid")
 	}
-	en, _, err := ilpec.EnableColoring(g, 4, false, 1, col, ilpec.SolveOptions{})
+	enSol, err := ilpec.EnableDomain(ilpec.ColoringDomain(), &ilpec.ColoringProblem{G: g, K: 4}, ilpec.DomainEnableOptions{Weight: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !en.Valid(g, 4) {
+	if !enSol.(ilpec.GraphColoring).Valid(g, 4) {
 		t.Fatal("enabled coloring invalid")
 	}
 }

@@ -337,6 +337,93 @@ func (d colorDomain) EnableTerms(enc domain.Encoding, p any, opts domain.EnableO
 	return nil
 }
 
+// edgeRowNames returns the names of the K conflict rows of edge {u,v}
+// under the NewEncoding naming scheme (endpoints ordered low-high).
+func edgeRowNames(u, v, k int) []string {
+	if u > v {
+		u, v = v, u
+	}
+	names := make([]string, k)
+	for c := 1; c <= k; c++ {
+		names[c-1] = fmt.Sprintf("e%d_%d_c%d", u, v, c)
+	}
+	return names
+}
+
+// EncodeDelta translates a change batch into row edits against the
+// previous coloring encoding: edge additions append the K conflict rows,
+// edge removals (and vertex removals, which only isolate) drop them. A
+// batch containing add-vertex cannot be expressed as a delta — it grows
+// the variable set — so it reports ok=false and the caller re-encodes.
+func (d colorDomain) EncodeDelta(prev domain.Encoding, prevProblem any, changes []any) (*domain.Delta, bool) {
+	ce, ok := prev.(*colorEncoding)
+	if !ok {
+		return nil, false
+	}
+	cp, ok := prevProblem.(*Problem)
+	if !ok || cp == nil || cp.G == nil {
+		return nil, false
+	}
+	k := ce.e.K
+	if cp.K != k || cp.G.N != ce.e.Graph.N {
+		return nil, false // problem drifted off the encoding's variable set
+	}
+	g := cp.G.Clone() // working copy: validates sequential batches
+	out := &domain.Delta{}
+	for _, raw := range changes {
+		c, ok := raw.(Change)
+		if !ok {
+			return nil, false
+		}
+		switch c.Kind {
+		case "add-edge":
+			if c.U == c.V || c.U < 1 || c.V < 1 || c.U > g.N || c.V > g.N {
+				return nil, false // invalid batch: let the rebuild path error
+			}
+			if !g.AddEdge(c.U, c.V) {
+				continue // already present: encoding unchanged
+			}
+			u, v := c.U, c.V
+			if u > v {
+				u, v = v, u
+			}
+			for col := 1; col <= k; col++ {
+				out.AddRows = append(out.AddRows, ilp.Row{
+					Name: fmt.Sprintf("e%d_%d_c%d", u, v, col),
+					Coefs: []ilp.Coef{
+						{Var: ce.e.XCol(u, col), Val: 1},
+						{Var: ce.e.XCol(v, col), Val: 1},
+					},
+					Sense: ilp.LE,
+					RHS:   1,
+				})
+			}
+		case "remove-edge":
+			if !g.RemoveEdge(c.U, c.V) {
+				return nil, false
+			}
+			for _, name := range edgeRowNames(c.U, c.V, k) {
+				out.DropRow(name)
+			}
+		case "remove-vertex":
+			if c.V < 1 || c.V > g.N {
+				return nil, false
+			}
+			for _, u := range g.Neighbors(c.V) {
+				for _, name := range edgeRowNames(u, c.V, k) {
+					out.DropRow(name)
+				}
+			}
+			g.RemoveVertex(c.V)
+		default:
+			// add-vertex (and anything unknown) grows or reshapes the
+			// variable set: not expressible as a delta.
+			return nil, false
+		}
+	}
+	return out, true
+}
+
 // colorRegion recolors the conflicted vertices with the rest frozen,
 // absorbing neighbor rings on escalation.
 type colorRegion struct {

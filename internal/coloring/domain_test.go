@@ -56,3 +56,78 @@ func TestColoringDomainFastRecolorsLocally(t *testing.T) {
 		t.Fatalf("region covered the whole graph (%d vertices)", stats.SubSize)
 	}
 }
+
+// TestColoringEncodeDelta pins the delta encoder: edge batches replayed
+// onto a live instance must build the exact model a re-encode would,
+// including in-batch add-then-remove cancellation, while vertex
+// additions fall back to a rebuild.
+func TestColoringEncodeDelta(t *testing.T) {
+	d := Domain().(colorDomain)
+	g := NewGraph(5)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	p := &Problem{G: g, K: 3}
+
+	check := func(name string, batch []any) {
+		t.Helper()
+		enc, err := d.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, ok := d.EncodeDelta(enc, p, batch)
+		if !ok {
+			t.Fatalf("%s: batch not delta-expressible", name)
+		}
+		changed, err := d.ApplyChanges(p, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := d.Encode(changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := ilp.NewInstance(enc.ILP())
+		delta.Apply(inst)
+		if got, want := inst.Fingerprint(), ilp.ModelFingerprint(fresh.ILP()); got != want {
+			t.Fatalf("%s: delta fingerprint %x, re-encode %x", name, got, want)
+		}
+		dres := inst.Resolve(ilp.Options{})
+		fres := ilp.Solve(fresh.ILP(), ilp.Options{})
+		if dres.Status != fres.Status || dres.Objective != fres.Objective {
+			t.Fatalf("%s: delta solve (%v, %v) vs re-encode (%v, %v)",
+				name, dres.Status, dres.Objective, fres.Status, fres.Objective)
+		}
+	}
+
+	check("add-edge", []any{Change{Kind: "add-edge", U: 1, V: 3}})
+	check("remove-edge", []any{Change{Kind: "remove-edge", U: 4, V: 5}})
+	check("remove-vertex", []any{Change{Kind: "remove-vertex", V: 3}})
+	check("mixed", []any{
+		Change{Kind: "add-edge", U: 2, V: 5},
+		Change{Kind: "remove-edge", U: 1, V: 2},
+	})
+	check("add-then-remove", []any{
+		Change{Kind: "add-edge", U: 1, V: 4},
+		Change{Kind: "remove-edge", U: 1, V: 4},
+	})
+	check("add-then-remove-vertex", []any{
+		Change{Kind: "add-edge", U: 1, V: 4},
+		Change{Kind: "remove-vertex", V: 4},
+	})
+
+	enc, err := d.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, batch := range map[string][]any{
+		"add-vertex":    {Change{Kind: "add-vertex"}},
+		"absent-remove": {Change{Kind: "remove-edge", U: 1, V: 5}},
+		"bad-edge":      {Change{Kind: "add-edge", U: 0, V: 9}},
+	} {
+		if _, ok := d.EncodeDelta(enc, p, batch); ok {
+			t.Fatalf("%s: expected rebuild fallback", name)
+		}
+	}
+}

@@ -312,6 +312,58 @@ func RunConformance(t *testing.T, d Domain) {
 		}
 	}
 
+	// Delta-encoder leg: when the adapter implements DeltaEncoder, each
+	// fixture batch applied as a delta onto a live instance of the
+	// previous encoding must reproduce a full re-encode of the changed
+	// problem — identical model fingerprint, identical status and
+	// objective, and a solution the changed problem accepts. ok=false is
+	// a clean skip: that batch is not delta-expressible for this adapter
+	// (e.g. it grows the variable set), and the serving layer falls back
+	// to a rebuild.
+	if de, ok := d.(DeltaEncoder); ok {
+		for name, batch := range map[string][]any{"tightening": c.Tightening, "relaxing": c.Relaxing} {
+			prevEnc, err := d.Encode(c.Problem)
+			if err != nil {
+				t.Fatalf("encode for %s delta leg: %v", name, err)
+			}
+			delta, ok := de.EncodeDelta(prevEnc, c.Problem, batch)
+			if !ok {
+				t.Logf("%s batch not delta-expressible for %s; rebuild fallback", name, d.Name())
+				continue
+			}
+			changedP, err := d.ApplyChanges(c.Problem, batch)
+			if err != nil {
+				t.Fatalf("apply %s batch for delta leg: %v", name, err)
+			}
+			freshEnc, err := d.Encode(changedP)
+			if err != nil {
+				t.Fatalf("re-encode for %s delta leg: %v", name, err)
+			}
+			inst := ilp.NewInstance(prevEnc.ILP())
+			delta.Apply(inst)
+			if got, want := inst.Fingerprint(), ilp.ModelFingerprint(freshEnc.ILP()); got != want {
+				t.Fatalf("%s delta model fingerprint %x, re-encode %x", name, got, want)
+			}
+			dres := inst.Resolve(c.Solve)
+			fres := ilp.Solve(freshEnc.ILP(), c.Solve)
+			if dres.Status != fres.Status {
+				t.Fatalf("%s delta status %v, re-encode %v", name, dres.Status, fres.Status)
+			}
+			if fres.Status == ilp.Optimal {
+				if diff := dres.Objective - fres.Objective; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("%s delta objective %v, re-encode %v", name, dres.Objective, fres.Objective)
+				}
+				sol, err := prevEnc.Decode(dres.Solution)
+				if err != nil {
+					t.Fatalf("%s delta leg: decode: %v", name, err)
+				}
+				if err := d.Verify(changedP, sol); err != nil {
+					t.Fatalf("%s delta leg: solution invalid: %v", name, err)
+				}
+			}
+		}
+	}
+
 	// The generic flow threads the same instance end to end.
 	for _, strat := range []Strategy{FastEC, PreservingEC, Replan} {
 		fl := NewFlow(d, c.Problem, FlowOptions{Solve: c.Solve, Fast: FastOptions{Solve: c.Solve}})

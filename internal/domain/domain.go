@@ -55,6 +55,88 @@ type Encoding interface {
 	WarmStart(sol any) (ws ilp.Solution, ok bool)
 }
 
+// RHSEdit is one right-hand-side edit of a Delta, addressing a named row.
+type RHSEdit struct {
+	Name string
+	RHS  float64
+}
+
+// ObjEdit is one objective-coefficient edit of a Delta.
+type ObjEdit struct {
+	Var  int
+	Coef float64
+}
+
+// Delta is a set of row/objective edits that turn the ILP encoding of a
+// problem into the encoding of its changed version — the incremental
+// alternative to a full re-encode. The edits address rows by the names
+// the adapter's Encode gave them, so adapters that emit deltas must name
+// every row a change can touch stably (content-derived names, not
+// positional ones).
+type Delta struct {
+	AddRows    []ilp.Row
+	RemoveRows []string
+	SetRHS     []RHSEdit
+	SetObj     []ObjEdit
+}
+
+// DropRow records removal of the named row. When the same batch already
+// added a row of that name, the pending add is cancelled instead —
+// Apply replays removals before adds, so an add-then-remove pair must
+// not survive into the edit lists.
+func (d *Delta) DropRow(name string) {
+	for i := range d.AddRows {
+		if d.AddRows[i].Name == name {
+			d.AddRows = append(d.AddRows[:i], d.AddRows[i+1:]...)
+			return
+		}
+	}
+	d.RemoveRows = append(d.RemoveRows, name)
+}
+
+// Empty reports whether the delta carries no edits.
+func (d *Delta) Empty() bool {
+	return d == nil || (len(d.AddRows) == 0 && len(d.RemoveRows) == 0 &&
+		len(d.SetRHS) == 0 && len(d.SetObj) == 0)
+}
+
+// Apply replays the delta onto a live solver instance.
+func (d *Delta) Apply(inst *ilp.Instance) {
+	if d == nil {
+		return
+	}
+	if len(d.RemoveRows) > 0 {
+		inst.RemoveRows(d.RemoveRows)
+	}
+	if len(d.AddRows) > 0 {
+		inst.AddRows(d.AddRows)
+	}
+	for _, e := range d.SetRHS {
+		inst.SetRHS(e.Name, e.RHS)
+	}
+	for _, e := range d.SetObj {
+		inst.SetObj(e.Var, e.Coef)
+	}
+}
+
+// DeltaEncoder is the optional Domain extension behind persistent solver
+// instances: adapters that implement it can translate a change batch into
+// row/objective edits against the previous encoding instead of
+// re-encoding the whole problem. EncodeDelta returns ok=false when the
+// batch contains a change the adapter cannot express as a delta (e.g.
+// one that grows the variable set); the caller then falls back to a full
+// re-encode and rebuilds its instance.
+//
+// prev supplies the variable mapping; prevProblem is the problem prev's
+// model CURRENTLY encodes — after earlier deltas it differs from the
+// problem prev was originally built from, so the caller (see Instance)
+// tracks it across syncs and passes it here. The returned delta, applied
+// to prev's model, must produce a model equivalent to freshly encoding
+// the changed problem (same ilp.ModelFingerprint).
+type DeltaEncoder interface {
+	EncodeDelta(prev Encoding, prevProblem any, changes []any) (*Delta, bool)
+}
+
 // Region is a fast-EC sub-instance (§6): the subset of decisions that may
 // need new values after a tightening change, with the escalation ladder
 // used when the frozen context makes the subset infeasible.

@@ -92,8 +92,10 @@ func (p *CutPool) Len() int {
 // separate returns the cut set for m in m's variable space, reusing pool
 // entries whose source rows are content-identical to a previous solve and
 // separating fresh rows only. added counts newly separated cuts, reused
-// counts cuts served from the pool.
-func (p *CutPool) separate(m *Model) (cuts []Cut, added, reused int) {
+// counts cuts served from the pool, and freshRows counts source rows that
+// had no pool entry and paid full separation — on an EC re-solve through a
+// retained pool this is exactly the set of rows the change touched.
+func (p *CutPool) separate(m *Model) (cuts []Cut, added, reused, freshRows int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.gen++
@@ -127,6 +129,7 @@ func (p *CutPool) separate(m *Model) (cuts []Cut, added, reused int) {
 			if !ok {
 				entry = &poolEntry{cuts: coverCutsForRow(le.coefs, le.rhs)}
 				p.rows[h] = entry
+				freshRows++
 			}
 			fresh := entry.gen == 0
 			entry.gen = p.gen
@@ -183,7 +186,7 @@ func (p *CutPool) separate(m *Model) (cuts []Cut, added, reused int) {
 		}
 	}
 	p.prevEdges = edges
-	return cuts, added, reused
+	return cuts, added, reused, freshRows
 }
 
 // ---- row normalization ---------------------------------------------------

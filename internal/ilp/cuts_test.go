@@ -18,7 +18,7 @@ func TestCoverCutSeparation(t *testing.T) {
 	}
 	m.AddRow("", []Coef{{0, 5}, {1, 4}, {2, 3}, {3, 2}}, LE, 8)
 	pool := NewCutPool()
-	cuts, added, reused := pool.separate(m)
+	cuts, added, reused, _ := pool.separate(m)
 	if len(cuts) == 0 || added != len(cuts) || reused != 0 {
 		t.Fatalf("cuts=%d added=%d reused=%d, want fresh cuts", len(cuts), added, reused)
 	}
@@ -48,7 +48,7 @@ func TestCoverCutSeparation(t *testing.T) {
 		}
 	}
 	// Re-separating the unchanged model serves everything from the pool.
-	_, added2, reused2 := pool.separate(m)
+	_, added2, reused2, _ := pool.separate(m)
 	if added2 != 0 || reused2 != added {
 		t.Fatalf("re-separate: added=%d reused=%d, want 0/%d", added2, reused2, added)
 	}
@@ -65,7 +65,7 @@ func TestCliqueCutSeparation(t *testing.T) {
 	m.AddRow("", []Coef{{1, 1}, {2, 1}}, LE, 1)
 	m.AddRow("", []Coef{{0, 1}, {2, 1}}, LE, 1)
 	pool := NewCutPool()
-	cuts, added, _ := pool.separate(m)
+	cuts, added, _, _ := pool.separate(m)
 	var cliqueCut *Cut
 	for i := range cuts {
 		if len(cuts[i].Coefs) == 3 && cuts[i].RHS == 1 {
@@ -76,7 +76,7 @@ func TestCliqueCutSeparation(t *testing.T) {
 		t.Fatalf("no 3-clique cut in %+v", cuts)
 	}
 	// Unchanged model: the clique is reused, not re-grown.
-	_, added2, reused2 := pool.separate(m)
+	_, added2, reused2, _ := pool.separate(m)
 	if added2 != 0 || reused2 == 0 {
 		t.Fatalf("re-separate: added=%d reused=%d", added2, reused2)
 	}
@@ -87,7 +87,7 @@ func TestCliqueCutSeparation(t *testing.T) {
 	}
 	m2.AddRow("", []Coef{{0, 1}, {1, 1}}, LE, 1)
 	m2.AddRow("", []Coef{{1, 1}, {2, 1}}, LE, 1)
-	cuts3, _, _ := pool.separate(m2)
+	cuts3, _, _, _ := pool.separate(m2)
 	for _, c := range cuts3 {
 		if len(c.Coefs) == 3 {
 			t.Fatalf("stale clique cut survived edge removal: %+v", c)
@@ -128,17 +128,23 @@ func TestCutPoolRetention(t *testing.T) {
 		return m
 	}
 	pool := NewCutPool()
-	_, added1, _ := pool.separate(build(5))
+	_, added1, _, fresh1 := pool.separate(build(5))
 	if added1 == 0 {
 		t.Fatal("no cuts separated")
 	}
+	if fresh1 != 3 {
+		t.Fatalf("first separation touched %d rows, want 3", fresh1)
+	}
 	// Change only r2's rhs: r0/r1 cuts must be reused.
-	_, added2, reused2 := pool.separate(build(4))
+	_, added2, reused2, fresh2 := pool.separate(build(4))
 	if reused2 == 0 {
 		t.Fatalf("expected reuse of unchanged-row cuts, added=%d reused=%d", added2, reused2)
 	}
 	if added2 >= added1 {
 		t.Fatalf("re-separation was not incremental: added %d then %d", added1, added2)
+	}
+	if fresh2 != 1 {
+		t.Fatalf("re-solve re-separated %d rows, want only the changed one", fresh2)
 	}
 }
 

@@ -1,0 +1,477 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Instance is a long-lived solver object wrapping one Model — the paper's
+// "same model ± a few rows" made literal. Where Solve treats every call as
+// a fresh problem, an Instance accumulates deltas (AddRows / RemoveRows /
+// SetRHS / SetObj / PinVar / UnpinVar) and Resolve reuses whatever state
+// the edits left valid:
+//
+//   - the branch-and-bound kernel (normalized rows, flat column index,
+//     trail arena, cover structure) survives RHS-only edits outright —
+//     edited right-hand sides are patched in place;
+//   - the LP relaxation basis survives with it: an RHS edit becomes a
+//     slack-bound shift in the retained simplex, so the next root solve is
+//     a dual-simplex-style reoptimization instead of a cold start (see
+//     lp.Solver);
+//   - the presolve reduction is retained while the model is unchanged and
+//     invalidated by any edit;
+//   - the cut pool is retained across all edits — content-keyed entries
+//     mean a re-solve re-separates only the rows a delta touched
+//     (Result.ReseparatedRows);
+//   - the previous solution becomes the warm start when the caller
+//     supplies none.
+//
+// Structural edits (row adds/removes, objective edits, pin changes) are
+// tracked and force the kernel to rebuild from the mutated model on the
+// next Resolve; the cut pool and warm start still carry over, so even a
+// rebuilt resolve is cheaper than a scratch solve. The Instance owns its
+// Model: callers must not mutate it behind the Instance's back.
+//
+// All methods are safe for concurrent use; Resolve serializes.
+type Instance struct {
+	mu sync.Mutex
+	m  *Model
+
+	// rowIdx maps row names to live model-row indices. Unnamed rows are
+	// not addressable by deltas (they can only be replaced by a rebuild).
+	rowIdx map[string][]int
+	// tombstones counts removed rows still occupying a model slot (they
+	// are blanked in place so live indices stay stable; compaction
+	// reclaims them once they outnumber half the live rows).
+	tombstones int
+
+	// Retained kernel (RHS-only fast path).
+	kern *solver
+	// normIdx maps each model-row index to its first normalized-row index
+	// inside kern (an EQ row owns two consecutive normalized rows).
+	normIdx []int
+	// rhsDirty lists model rows whose RHS changed since the kernel was
+	// built or last patched.
+	rhsDirty map[int]float64
+	// structDirty is set by any edit the retained kernel cannot absorb.
+	structDirty bool
+
+	// preCache retains the presolve reduction of the current (unedited)
+	// model; any edit clears it.
+	preCache presolveCache
+
+	pool *CutPool
+
+	resolves     int64 // completed Resolve calls
+	pendingDelta int64 // row edits since the previous Resolve
+
+	lastSol     Solution
+	lastRes     Result
+	hasLast     bool
+	lastOptsKey string
+	dirty       bool // any edit since the previous Resolve
+}
+
+// NewInstance wraps m (taking ownership) in a fresh Instance with an
+// empty retained cut pool.
+func NewInstance(m *Model) *Instance {
+	in := &Instance{m: m, pool: NewCutPool(), rhsDirty: make(map[int]float64)}
+	in.rebuildRowIndex()
+	return in
+}
+
+// Model returns the wrapped model. Treat it as read-only: all mutations
+// must go through the Instance's delta methods.
+func (in *Instance) Model() *Model {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.m
+}
+
+// Pool returns the instance's retained cut pool.
+func (in *Instance) Pool() *CutPool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.pool
+}
+
+// isTombstone reports whether a model row slot holds a removed row.
+func isTombstone(r Row) bool {
+	return r.Name == "" && len(r.Coefs) == 0 && r.Sense == LE && r.RHS == 0
+}
+
+func (in *Instance) rebuildRowIndex() {
+	in.rowIdx = make(map[string][]int)
+	in.tombstones = 0
+	for i := 0; i < in.m.NumRows(); i++ {
+		r := in.m.RowAt(i)
+		if isTombstone(r) {
+			in.tombstones++
+			continue
+		}
+		if r.Name != "" {
+			in.rowIdx[r.Name] = append(in.rowIdx[r.Name], i)
+		}
+	}
+}
+
+// noteEdit records bookkeeping common to every delta method.
+func (in *Instance) noteEdit(rows int, structural bool) {
+	in.pendingDelta += int64(rows)
+	in.dirty = true
+	in.preCache.pre = nil
+	if structural {
+		in.structDirty = true
+	}
+}
+
+// AddRows appends rows to the model. Named rows become addressable by
+// RemoveRows/SetRHS; coefficients must reference existing variables.
+func (in *Instance) AddRows(rows []Row) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range rows {
+		i := in.m.AddRow(r.Name, r.Coefs, r.Sense, r.RHS)
+		if r.Name != "" {
+			in.rowIdx[r.Name] = append(in.rowIdx[r.Name], i)
+		}
+	}
+	if len(rows) > 0 {
+		in.noteEdit(len(rows), true)
+	}
+}
+
+// RemoveRows removes every live row whose name appears in names and
+// returns how many rows were removed. Removed slots are blanked in place
+// (keeping other rows' indices stable) and compacted away once they
+// outnumber half the live rows.
+func (in *Instance) RemoveRows(names []string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	removed := 0
+	for _, name := range names {
+		if name == "" {
+			continue
+		}
+		for _, i := range in.rowIdx[name] {
+			in.m.rows[i] = Row{}
+			delete(in.rhsDirty, i)
+			removed++
+		}
+		if len(in.rowIdx[name]) > 0 {
+			delete(in.rowIdx, name)
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	in.tombstones += removed
+	in.noteEdit(removed, true)
+	if live := in.m.NumRows() - in.tombstones; in.tombstones > 16 && in.tombstones > live/2 {
+		in.compactLocked()
+	}
+	return removed
+}
+
+// compactLocked rewrites the model without tombstone slots.
+func (in *Instance) compactLocked() {
+	kept := in.m.rows[:0]
+	for _, r := range in.m.rows {
+		if !isTombstone(r) {
+			kept = append(kept, r)
+		}
+	}
+	in.m.rows = kept
+	in.rhsDirty = make(map[int]float64)
+	in.rebuildRowIndex()
+	in.structDirty = true
+}
+
+// SetRHS sets the right-hand side of every live row named name, returning
+// false when no such row exists. An RHS edit is the cheapest delta: the
+// retained kernel and LP basis absorb it without rebuilding.
+func (in *Instance) SetRHS(name string, rhs float64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	idx := in.rowIdx[name]
+	if len(idx) == 0 {
+		return false
+	}
+	for _, i := range idx {
+		r := &in.m.rows[i]
+		if r.RHS == rhs {
+			continue
+		}
+		// Cover-row guard: the kernel's counting bound and greedy branching
+		// key off Σx {≥,=} 1 rows, so an edit that moves a GE/EQ row onto
+		// or off RHS 1 changes the cover structure and needs a rebuild.
+		if r.Sense != LE && (r.RHS == 1 || rhs == 1) {
+			in.structDirty = true
+		}
+		r.RHS = rhs
+		in.rhsDirty[i] = rhs
+		in.noteEdit(1, false)
+	}
+	return true
+}
+
+// SetObj sets variable j's objective coefficient. Objective edits rebuild
+// the kernel on the next Resolve (the bound terms, cover negative counts,
+// and LP costs all derive from it).
+func (in *Instance) SetObj(j int, c float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.m.Obj(j) == c {
+		return
+	}
+	in.m.SetObj(j, c)
+	in.noteEdit(1, true)
+}
+
+// pinName is the reserved row-name prefix for PinVar rows.
+func pinName(j int) string { return fmt.Sprintf("__pin%d", j) }
+
+// PinVar fixes variable j to v (0 or 1) via a unit equality row until
+// UnpinVar — the linajea-style "pinned variables across many solves"
+// pattern. Re-pinning to the same value is a no-op.
+func (in *Instance) PinVar(j int, v int8) {
+	if v != 0 && v != 1 {
+		panic(fmt.Sprintf("ilp: pin value %d not 0/1", v))
+	}
+	name := pinName(j)
+	in.mu.Lock()
+	idx := in.rowIdx[name]
+	in.mu.Unlock()
+	if len(idx) > 0 {
+		in.SetRHS(name, float64(v))
+		return
+	}
+	in.AddRows([]Row{{Name: name, Coefs: []Coef{{Var: j, Val: 1}}, Sense: EQ, RHS: float64(v)}})
+}
+
+// UnpinVar removes variable j's pin row, reporting whether one existed.
+func (in *Instance) UnpinVar(j int) bool {
+	return in.RemoveRows([]string{pinName(j)}) > 0
+}
+
+// Fingerprint returns an order-insensitive content hash of the live model
+// (rows as a multiset, objective, direction). Two instances that arrived
+// at the same model through different delta orders fingerprint equal;
+// conformance tests compare delta-built instances against full re-encodes
+// with it.
+func (in *Instance) Fingerprint() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return ModelFingerprint(in.m)
+}
+
+// ModelFingerprint is Instance.Fingerprint over a bare model.
+func ModelFingerprint(m *Model) uint64 {
+	hashRow := func(r Row) uint64 {
+		h := uint64(14695981039346656037)
+		mix := func(x uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= x & 0xff
+				h *= 1099511628211
+				x >>= 8
+			}
+		}
+		for _, b := range []byte(r.Name) {
+			mix(uint64(b))
+		}
+		mix(uint64(r.Sense))
+		mix(math.Float64bits(r.RHS))
+		cs := canonCoefs(r.Coefs, false)
+		for _, c := range cs {
+			mix(uint64(c.Var))
+			mix(math.Float64bits(c.Val))
+		}
+		return h
+	}
+	var sum uint64
+	for i := 0; i < m.NumRows(); i++ {
+		r := m.RowAt(i)
+		if isTombstone(r) {
+			continue
+		}
+		sum += hashRow(r) // wrapping sum: order-insensitive, duplicates count
+	}
+	if m.Maximize {
+		sum += 1
+	}
+	for j := 0; j < m.NumVars(); j++ {
+		sum += hashRow(Row{Name: m.VarName(j), RHS: m.Obj(j), Sense: -1})
+	}
+	return sum
+}
+
+// optsKey digests the answer-relevant options for the unchanged-model
+// shortcut (Presolve/Cuts are answer-equivalent and excluded, exactly as
+// in Options.Fingerprint).
+func optsKey(o Options) string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d", o.Bounding, o.Branching, o.MaxNodes, o.TimeLimit, o.Workers)
+}
+
+// Resolve solves the instance's current model. The zero-delta case with a
+// previously proven answer returns it outright; RHS-only deltas run on
+// the retained kernel and LP basis; structural deltas rebuild the kernel
+// but keep the cut pool and warm start. When opts carries no WarmStart
+// the previous solution (if any) is used; when opts.Cuts is set without a
+// CutPool the instance's retained pool is bound in.
+func (in *Instance) Resolve(opts Options) Result {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	start := time.Now()
+
+	if opts.Cuts && opts.CutPool == nil {
+		opts.CutPool = in.pool
+	}
+	if opts.WarmStart == nil && in.lastSol != nil && len(in.lastSol) == in.m.NumVars() {
+		opts.WarmStart = in.lastSol
+	}
+	key := optsKey(opts)
+
+	// Unchanged model + same answer-relevant options + proven answer:
+	// nothing can have changed; serve the retained result.
+	if !in.dirty && in.hasLast && key == in.lastOptsKey &&
+		(in.lastRes.Status == Optimal || in.lastRes.Status == Infeasible) {
+		res := in.lastRes
+		if res.Solution != nil {
+			res.Solution = res.Solution.Clone()
+		}
+		res.InstanceReused = in.resolves
+		res.RowsDelta = 0
+		res.ReseparatedRows = 0
+		res.Runtime = time.Since(start)
+		in.resolves++
+		return res
+	}
+
+	reused := in.resolves
+	delta := in.pendingDelta
+	var res Result
+	switch kern := in.retainedKernel(opts); {
+	case kern != nil:
+		res = in.runRetained(kern)
+	case in.kernelRetainable(opts):
+		// Rebuild the kernel from the mutated model and keep it for the
+		// next RHS-only delta; warm start and cut pool already carry over.
+		in.buildKernel(opts)
+		res = in.runRetained(in.kern)
+	default:
+		if opts.Presolve {
+			opts.preCache = &in.preCache
+		}
+		res = solvePrepared(in.m, opts)
+		in.kern = nil
+	}
+	res.InstanceReused = reused
+	res.RowsDelta = delta
+	res.Runtime = time.Since(start)
+
+	in.resolves++
+	in.pendingDelta = 0
+	in.dirty = false
+	in.lastOptsKey = key
+	in.lastRes = res
+	if res.Solution != nil {
+		in.lastSol = res.Solution.Clone()
+	}
+	in.hasLast = true
+	return res
+}
+
+// kernelRetainable reports whether opts admit keeping a raw kernel
+// between resolves: presolve and cuts rewrite the working model per
+// solve, and the parallel search builds per-worker solvers, so only the
+// plain serial shape retains.
+func (in *Instance) kernelRetainable(opts Options) bool {
+	return !opts.Presolve && !opts.Cuts && opts.Workers <= 1
+}
+
+// buildKernel constructs the retained kernel and the model-row →
+// normalized-row index map from the current model.
+func (in *Instance) buildKernel(opts Options) {
+	in.kern = newSolver(in.m, opts)
+	in.normIdx = make([]int, in.m.NumRows())
+	ni := 0
+	for i := 0; i < in.m.NumRows(); i++ {
+		in.normIdx[i] = ni
+		if in.m.RowAt(i).Sense == EQ {
+			ni += 2
+		} else {
+			ni++
+		}
+	}
+	in.rhsDirty = make(map[int]float64)
+	in.structDirty = false
+}
+
+// retainedKernel returns the kernel to reuse for this resolve, or nil
+// when the pending deltas (or the options) require a rebuild. Pending RHS
+// edits are patched into the kernel's normalized rows and LP relaxation
+// before it is returned.
+func (in *Instance) retainedKernel(opts Options) *solver {
+	if in.kern == nil || in.structDirty || !in.kernelRetainable(opts) {
+		return nil
+	}
+	s := in.kern
+	// The kernel's branching auto-switch must match what newSolver would
+	// pick for these options.
+	br := opts.Branching
+	if br == BranchMaxObj && len(s.coverRows) > 0 {
+		br = BranchCoverGreedy
+	}
+	for i, rhs := range in.rhsDirty {
+		ni := in.normIdx[i]
+		switch in.m.RowAt(i).Sense {
+		case LE:
+			s.rows[ni].rhs = rhs
+			if s.lpBase != nil {
+				s.lpBase.SetRHS(ni, rhs)
+			}
+		case GE:
+			s.rows[ni].rhs = -rhs
+			if s.lpBase != nil {
+				s.lpBase.SetRHS(ni, -rhs)
+			}
+		case EQ:
+			s.rows[ni].rhs = rhs
+			s.rows[ni+1].rhs = -rhs
+			if s.lpBase != nil {
+				s.lpBase.SetRHS(ni, rhs)
+				s.lpBase.SetRHS(ni+1, -rhs)
+			}
+		}
+	}
+	in.rhsDirty = make(map[int]float64)
+	// Reset per-solve state; the trail is already unwound to the root
+	// (run() undoes every assignment before returning).
+	s.opts = opts
+	s.ctx = opts.Context
+	s.branching = br
+	s.nodes, s.lpSolves, s.props, s.scansSaved, s.cutTight = 0, 0, 0, 0, 0
+	s.hasIncumbent = false
+	s.incumbentObj = 0
+	s.timedOut, s.aborted = false, false
+	s.deadline = time.Time{}
+	s.budget, s.localCap = nil, 0
+	s.shared = nil
+	s.lpResOK = false
+	s.resyncBoundTerms()
+	return s
+}
+
+// runRetained runs one solve on the retained kernel, reporting per-solve
+// LP warm hits (the solver's counter is cumulative across resolves).
+func (in *Instance) runRetained(s *solver) Result {
+	var warmBase int64
+	if s.lpSolver != nil {
+		warmBase = s.lpSolver.WarmHits
+	}
+	res := s.run()
+	res.LPWarmHits -= warmBase
+	return res
+}

@@ -1,0 +1,79 @@
+package ilp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The EC re-solve shape: a large, settled model — a unit-cover core that
+// propagation decides outright, the bulk of a real EC instance that the
+// change batch does not touch — plus named LE budget rows whose
+// right-hand sides wobble between solves. This is the
+// engineering-change pattern Instance targets: nearly all of the model
+// survives from one solve to the next, so the per-solve cost should be
+// re-deciding, not rebuilding the carried-over structure (model
+// construction, row normalization, kernel indexes) that the scratch
+// path pays every time. LE rows are deliberate: they keep the RHS edits
+// on the retained-kernel fast path (GE/EQ rows crossing the unit
+// boundary force a kernel rebuild).
+func benchECModel(budget float64) *Model {
+	m := benchSetCover(200, 400, 1, 7) // forced core: 200 unit-cover columns
+	for w := 0; w < 3; w++ {
+		coefs := make([]Coef, 0, 10)
+		for j := w * 10; j < (w+1)*10; j++ {
+			coefs = append(coefs, Coef{j, 1})
+		}
+		m.AddRow(fmt.Sprintf("budget_%d", w), coefs, LE, budget)
+	}
+	return m
+}
+
+// benchECBudget is the alternating edit schedule both arms replay.
+func benchECBudget(i int) float64 { return 10 + float64(i%2) }
+
+// BenchmarkInstanceResolve re-solves the EC shape through one persistent
+// Instance: each iteration edits the budget rows in place and Resolve
+// reuses the retained kernel, trail, and warm start.
+func BenchmarkInstanceResolve(b *testing.B) {
+	opts := Options{}
+	inst := NewInstance(benchECModel(benchECBudget(0)))
+	if res := inst.Resolve(opts); res.Status != Optimal {
+		b.Fatalf("warmup status %s", res.Status)
+	}
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		budget := benchECBudget(i + 1)
+		for w := 0; w < 3; w++ {
+			if !inst.SetRHS(fmt.Sprintf("budget_%d", w), budget) {
+				b.Fatal("budget row lost")
+			}
+		}
+		res = inst.Resolve(opts)
+		if res.Status != Optimal {
+			b.Fatalf("status %s", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}
+
+// BenchmarkScratchResolve is the control arm: the identical edit
+// schedule served the pre-instance way — rebuild the model and solve
+// from scratch every time.
+func BenchmarkScratchResolve(b *testing.B) {
+	opts := Options{}
+	if res := Solve(benchECModel(benchECBudget(0)), opts); res.Status != Optimal {
+		b.Fatalf("warmup status %s", res.Status)
+	}
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = Solve(benchECModel(benchECBudget(i+1)), opts)
+		if res.Status != Optimal {
+			b.Fatalf("status %s", res.Status)
+		}
+	}
+	reportNodes(b, res)
+}

@@ -111,6 +111,18 @@ type Options struct {
 	// the model handed to the kernel that are cut rows (for the
 	// CutTightenings counter).
 	cutRows int
+	// preCache, set internally by Instance.Resolve, retains the presolve
+	// reduction of an unchanged model across solves: when it already holds
+	// a reduction, solvePrepared reuses it instead of recomputing the
+	// fixpoint, and when empty it is filled with the reduction computed
+	// this solve. The Instance invalidates it on every model edit.
+	preCache *presolveCache
+}
+
+// presolveCache is the Instance-retained presolve state (see
+// Options.preCache).
+type presolveCache struct {
+	pre *presolved
 }
 
 // Fingerprint writes a canonical binary digest of the answer-relevant
@@ -161,6 +173,19 @@ type Result struct {
 	// CutTightenings counts variable fixings forced by cut rows during
 	// propagation — prunings the raw row set would not have made.
 	CutTightenings int64
+	// InstanceReused counts how many prior Resolve calls' retained state
+	// (column index, trail arena, LP basis, cut pool) this solve built on.
+	// Zero for scratch solves and for the first solve of an Instance (or
+	// the first after a structural rebuild).
+	InstanceReused int64
+	// RowsDelta is the number of row edits (adds + removes + RHS changes +
+	// pin changes) applied to the Instance since its previous Resolve.
+	// Zero for scratch solves.
+	RowsDelta int64
+	// ReseparatedRows counts source rows that paid full cut separation this
+	// solve because the retained pool had no entry for their content — on
+	// an EC re-solve, the rows the change touched. Zero when Cuts is off.
+	ReseparatedRows int64
 	// Workers is the number of parallel searchers used (1 = serial).
 	Workers int
 	Runtime time.Duration
@@ -193,7 +218,14 @@ func solvePrepared(m *Model, opts Options) Result {
 
 	var pre *presolved
 	if opts.Presolve {
-		pre = presolveModel(m)
+		if opts.preCache != nil && opts.preCache.pre != nil {
+			pre = opts.preCache.pre
+		} else {
+			pre = presolveModel(m)
+			if opts.preCache != nil {
+				opts.preCache.pre = pre
+			}
+		}
 		if pre.infeasible {
 			return Result{
 				Status:        Infeasible,
@@ -208,13 +240,13 @@ func solvePrepared(m *Model, opts Options) Result {
 	// row-content keys stay stable across EC re-solves, then translated
 	// through the presolve fixings.
 	var cuts []Cut
-	var added, reused int
+	var added, reused, freshRows int
 	if opts.Cuts {
 		pool := opts.CutPool
 		if pool == nil {
 			pool = NewCutPool()
 		}
-		cuts, added, reused = pool.separate(m)
+		cuts, added, reused, freshRows = pool.separate(m)
 	}
 
 	work := m
@@ -259,6 +291,7 @@ func solvePrepared(m *Model, opts Options) Result {
 
 	res := solveCore(work, opts)
 	res.CutsAdded, res.CutsReused = int64(added), int64(reused)
+	res.ReseparatedRows = int64(freshRows)
 	if pre != nil {
 		res.PresolveFixed = int64(pre.nFixed)
 		res.PresolveRows = int64(pre.nRowsDropped)

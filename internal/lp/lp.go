@@ -93,6 +93,18 @@ func (p *Problem) SetBounds(j int, lo, hi float64) {
 	p.lower[j], p.upper[j] = lo, hi
 }
 
+// SetRHS replaces row i's right-hand side — the mutation a long-lived
+// ilp.Instance applies when an engineering change edits a bound. A
+// reusable Solver treats the edit like a bound perturbation: the retained
+// basis stays valid and the next solve reoptimizes warm (see
+// simplex.refreshBounds).
+func (p *Problem) SetRHS(i int, rhs float64) {
+	if i < 0 || i >= len(p.rows) {
+		panic(fmt.Sprintf("lp: row %d out of range [0,%d)", i, len(p.rows)))
+	}
+	p.rhs[i] = rhs
+}
+
 // NumVariables returns the number of variables added so far.
 func (p *Problem) NumVariables() int { return len(p.obj) }
 

@@ -23,11 +23,12 @@ type simplex struct {
 	m, n  int // rows, structural variables
 	ncols int // n + m
 
-	T     [][]float64 // m × ncols
-	rhs   []float64   // B⁻¹ b
-	lower []float64
-	upper []float64
-	obj   []float64 // phase-2 costs (minimization form)
+	T       [][]float64 // m × ncols
+	rhs     []float64   // B⁻¹ b
+	baseRHS []float64   // p.rhs as of the last install (warm RHS edits)
+	lower   []float64
+	upper   []float64
+	obj     []float64 // phase-2 costs (minimization form)
 
 	basis  []int // basis[i] = column basic in row i
 	status []vstat
@@ -56,14 +57,15 @@ func newSimplex(p *Problem) *simplex {
 	m, n := len(p.rows), len(p.obj)
 	s := &simplex{
 		m: m, n: n, ncols: n + m,
-		T:      make([][]float64, m),
-		rhs:    make([]float64, m),
-		lower:  make([]float64, n+m),
-		upper:  make([]float64, n+m),
-		obj:    make([]float64, n+m),
-		basis:  make([]int, m),
-		status: make([]vstat, n+m),
-		xval:   make([]float64, n+m),
+		T:       make([][]float64, m),
+		rhs:     make([]float64, m),
+		baseRHS: make([]float64, m),
+		lower:   make([]float64, n+m),
+		upper:   make([]float64, n+m),
+		obj:     make([]float64, n+m),
+		basis:   make([]int, m),
+		status:  make([]vstat, n+m),
+		xval:    make([]float64, n+m),
 	}
 	for i := 0; i < m; i++ {
 		s.T[i] = make([]float64, s.ncols)
@@ -95,6 +97,7 @@ func (s *simplex) install(p *Problem) {
 		sl := n + i
 		row[sl] = 1
 		s.rhs[i] = p.rhs[i]
+		s.baseRHS[i] = p.rhs[i]
 		switch p.senses[i] {
 		case LE:
 			s.lower[sl], s.upper[sl] = 0, Inf
@@ -123,15 +126,31 @@ func (s *simplex) install(p *Problem) {
 	s.computeBasics()
 }
 
-// refreshBounds adopts p's current variable bounds while keeping the
-// tableau and basis from the previous solve — the warm-start entry point.
-// Nonbasic variables are snapped onto a finite bound consistent with their
-// status; phase 1 then repairs whatever basic infeasibility the bound
-// changes introduced, which for small bound perturbations takes far fewer
-// pivots than restarting from the all-slack basis.
+// refreshBounds adopts p's current variable bounds and right-hand sides
+// while keeping the tableau and basis from the previous solve — the
+// warm-start entry point. An RHS edit never touches the tableau: row i was
+// installed as a_i·x + s_i = baseRHS[i], so changing b_i to p.rhs[i] is
+// equivalent to shifting slack s_i's bounds by off = baseRHS[i] − p.rhs[i]
+// (LE: s_i ∈ [off, ∞), GE: s_i ∈ (−∞, off], EQ: s_i = off). Nonbasic
+// variables are snapped onto a finite bound consistent with their status;
+// phase 1 then repairs whatever basic infeasibility the perturbation
+// introduced — a dual-simplex-style reoptimization that for small edits
+// takes far fewer pivots than restarting from the all-slack basis.
 func (s *simplex) refreshBounds(p *Problem) {
 	copy(s.lower[:s.n], p.lower)
 	copy(s.upper[:s.n], p.upper)
+	for i := 0; i < s.m; i++ {
+		sl := s.n + i
+		off := s.baseRHS[i] - p.rhs[i]
+		switch p.senses[i] {
+		case LE:
+			s.lower[sl], s.upper[sl] = off, Inf
+		case GE:
+			s.lower[sl], s.upper[sl] = -Inf, off
+		case EQ:
+			s.lower[sl], s.upper[sl] = off, off
+		}
+	}
 	for j := 0; j < s.ncols; j++ {
 		if s.status[j] == basic {
 			continue

@@ -4,12 +4,15 @@ package lp
 // many warm solves the tableau is refactorized from the problem data.
 const rebuildEvery = 64
 
-// Solver re-solves one Problem whose variable bounds change between calls
-// — the branch-and-bound node pattern. The constraint matrix never enters
-// a bound change, so the simplex tableau and basis from the previous solve
-// stay valid and each call warm-starts from them instead of the all-slack
-// basis. Mutate bounds with Problem.SetBounds between calls; do not add
-// variables or rows after the first Solve.
+// Solver re-solves one Problem whose variable bounds or right-hand sides
+// change between calls — the branch-and-bound node pattern and the
+// ilp.Instance delta pattern. Neither mutation touches the constraint
+// matrix, so the simplex tableau and basis from the previous solve stay
+// valid and each call warm-starts from them instead of the all-slack
+// basis (RHS edits are absorbed as slack-bound shifts; see
+// simplex.refreshBounds). Mutate with Problem.SetBounds / Problem.SetRHS
+// between calls. Structural edits (added variables or rows) are detected
+// by dimension and fall back to a cold reinstall on the grown problem.
 type Solver struct {
 	p       *Problem
 	s       *simplex
@@ -34,7 +37,7 @@ func (w *Solver) SetIterLimit(n int) { w.maxIter = n }
 func (w *Solver) Solve() Result {
 	warm := false
 	switch {
-	case w.s == nil:
+	case w.s == nil || w.s.m != len(w.p.rows) || w.s.n != len(w.p.obj):
 		w.s = newSimplex(w.p)
 		w.s.install(w.p)
 		w.age = 0

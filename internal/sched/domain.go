@@ -337,6 +337,92 @@ func (d schedDomain) EnableTerms(enc domain.Encoding, p any, opts domain.EnableO
 	return nil
 }
 
+// EncodeDelta translates a change batch into row edits against the
+// previous scheduling encoding: dependency additions append one
+// endpoint-named precedence row, dependency removals drop it, and
+// capacity changes rewrite the RHS of every cap_{type}_{step} row (which
+// exist only when some operation uses the type — a vacuous capacity
+// change edits nothing). add-op grows the variable set and duplicate
+// dependencies would collide by row name; both report ok=false so the
+// caller falls back to a full re-encode.
+func (d schedDomain) EncodeDelta(prev domain.Encoding, prevProblem any, changes []any) (*domain.Delta, bool) {
+	se, ok := prev.(*schedEncoding)
+	if !ok {
+		return nil, false
+	}
+	sp, ok := prevProblem.(*Problem)
+	if !ok || sp == nil {
+		return nil, false
+	}
+	if sp.NumOps != se.e.Problem.NumOps || sp.Steps != se.e.Problem.Steps ||
+		len(sp.Capacity) != len(se.e.Problem.Capacity) {
+		return nil, false // problem drifted off the encoding's variable set
+	}
+	work := sp.Clone() // working copy: validates sequential batches
+	out := &domain.Delta{}
+	for _, raw := range changes {
+		c, ok := raw.(Change)
+		if !ok {
+			return nil, false
+		}
+		switch c.Kind {
+		case "add-dep":
+			if c.From < 0 || c.From >= work.NumOps || c.To < 0 || c.To >= work.NumOps || c.From == c.To {
+				return nil, false // invalid batch: let the rebuild path error
+			}
+			if hasDep(work, c.From, c.To) {
+				return nil, false // duplicate dep: rows would collide by name
+			}
+			work.AddDep(c.From, c.To)
+			out.AddRows = append(out.AddRows, ilp.Row{
+				Name:  depRowName(c.From, c.To),
+				Coefs: se.e.depCoefs(c.From, c.To),
+				Sense: ilp.GE,
+				RHS:   1,
+			})
+		case "remove-dep":
+			if !work.RemoveDep(c.From, c.To) {
+				return nil, false
+			}
+			if hasDep(work, c.From, c.To) {
+				return nil, false // duplicated dep: removing by name drops both rows
+			}
+			out.DropRow(depRowName(c.From, c.To))
+		case "set-capacity":
+			if c.Type < 0 || c.Type >= len(work.Capacity) || c.Capacity < 1 {
+				return nil, false
+			}
+			work.Capacity[c.Type] = c.Capacity
+			for o := 0; o < work.NumOps; o++ {
+				if work.Type[o] != c.Type {
+					continue
+				}
+				for t := 0; t < work.Steps; t++ {
+					out.SetRHS = append(out.SetRHS, domain.RHSEdit{
+						Name: capRowName(c.Type, t), RHS: float64(c.Capacity),
+					})
+				}
+				break
+			}
+		default:
+			// add-op (and anything unknown) grows the variable set: not
+			// expressible as a delta.
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// hasDep reports whether the dependency pair is present.
+func hasDep(p *Problem, from, to int) bool {
+	for _, dep := range p.Deps {
+		if dep[0] == from && dep[1] == to {
+			return true
+		}
+	}
+	return false
+}
+
 // schedRegion re-places the disturbed cone with the rest frozen,
 // absorbing dependency neighborhoods on escalation.
 type schedRegion struct {

@@ -199,13 +199,8 @@ func NewEncoding(p *Problem) *Encoding {
 		m.AddRow(fmt.Sprintf("one_%d", o), coefs, ilp.EQ, 1)
 	}
 	// Precedence: Σ t·x_{from,t} + 1 ≤ Σ t·x_{to,t}.
-	for di, d := range p.Deps {
-		var coefs []ilp.Coef
-		for t := 0; t < p.Steps; t++ {
-			coefs = append(coefs, ilp.Coef{Var: e.xCol[d[1]][t], Val: float64(t)})
-			coefs = append(coefs, ilp.Coef{Var: e.xCol[d[0]][t], Val: -float64(t)})
-		}
-		m.AddRow(fmt.Sprintf("dep_%d", di), coefs, ilp.GE, 1)
+	for _, d := range p.Deps {
+		m.AddRow(depRowName(d[0], d[1]), e.depCoefs(d[0], d[1]), ilp.GE, 1)
 	}
 	// Capacity rows per (type, step).
 	for r := range p.Capacity {
@@ -217,11 +212,28 @@ func NewEncoding(p *Problem) *Encoding {
 				}
 			}
 			if len(coefs) > 0 {
-				m.AddRow(fmt.Sprintf("cap_%d_%d", r, t), coefs, ilp.LE, float64(p.Capacity[r]))
+				m.AddRow(capRowName(r, t), coefs, ilp.LE, float64(p.Capacity[r]))
 			}
 		}
 	}
 	return e
+}
+
+// depRowName keys precedence rows by their endpoints so EC deltas can
+// address them without knowing insertion order.
+func depRowName(from, to int) string { return fmt.Sprintf("dep_%d_%d", from, to) }
+
+// capRowName keys the capacity row of resource type r at step t.
+func capRowName(r, t int) string { return fmt.Sprintf("cap_%d_%d", r, t) }
+
+// depCoefs builds the precedence row body Σ t·x_{to,t} − Σ t·x_{from,t}.
+func (e *Encoding) depCoefs(from, to int) []ilp.Coef {
+	var coefs []ilp.Coef
+	for t := 0; t < e.Problem.Steps; t++ {
+		coefs = append(coefs, ilp.Coef{Var: e.xCol[to][t], Val: float64(t)})
+		coefs = append(coefs, ilp.Coef{Var: e.xCol[from][t], Val: -float64(t)})
+	}
+	return coefs
 }
 
 // Decode converts an ILP solution to a Schedule.

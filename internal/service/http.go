@@ -133,6 +133,7 @@ func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	var problem any
 	var err error
+	var legacy bool
 	switch {
 	case len(req.Problem) > 0:
 		if req.DIMACS != "" || len(req.Clauses) > 0 {
@@ -142,7 +143,13 @@ func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
 		}
 		problem, err = d.ParseProblem(req.Problem)
 	case domainName == "cnf":
+		// Legacy CNF-only create shape (top-level dimacs/vars/clauses):
+		// accepted for one more release, answered with a Deprecation
+		// header and counted in the legacy_creates metric. Migrate to the
+		// generic {"domain": "cnf", "problem": {...}} shape — see the
+		// README's "Migrating off the legacy CNF create shape" note.
 		problem, err = core.FormulaFromWire(req.DIMACS, req.Vars, req.Clauses)
+		legacy = err == nil
 	default:
 		err = fmt.Errorf("domain %q needs a problem object", domainName)
 	}
@@ -185,6 +192,13 @@ func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "create_failed", err)
 		}
 		return
+	}
+	if legacy {
+		svc.metrics.LegacyCreates.Add(1)
+		// RFC 8594-style deprecation signal: the request succeeded, but
+		// the shape it used is going away next release (see the README's
+		// migration note for the replacement).
+		w.Header().Set("Deprecation", "true")
 	}
 	writeJSON(w, http.StatusCreated, sess.Info())
 }

@@ -131,6 +131,12 @@ type Options struct {
 	// deadline propagates through the executor queue into the kernel's
 	// abort check, and an expired request returns 503 + Retry-After.
 	RequestTimeout time.Duration
+	// DisableInstance turns off the persistent-instance solve path: every
+	// session then encodes and solves from scratch on each pass, as
+	// before the incremental delta API existed. Answers are identical
+	// either way (the differential tests pin this); the switch exists for
+	// A/B comparison and as an escape hatch.
+	DisableInstance bool
 }
 
 // SessionConfig carries per-session overrides at creation time.
@@ -179,6 +185,20 @@ type Metrics struct {
 	CutsAdded      atomic.Int64
 	CutsReused     atomic.Int64
 	CutTightenings atomic.Int64
+	// InstanceReuses counts solves served from a session's live
+	// persistent instance (the drained batch synced on as row deltas);
+	// InstanceRebuilds counts instances (re)built from scratch — first
+	// solves plus batches no delta could express. InstanceRowsDelta and
+	// ReseparatedRows accumulate the kernel's per-solve row-edit and
+	// re-separation counters across instance solves.
+	InstanceReuses    atomic.Int64
+	InstanceRebuilds  atomic.Int64
+	InstanceRowsDelta atomic.Int64
+	ReseparatedRows   atomic.Int64
+	// LegacyCreates counts sessions created through the deprecated
+	// CNF-only dimacs/clauses shape (the response carries a Deprecation
+	// header; see the README's migration note).
+	LegacyCreates atomic.Int64
 	// JournalAppends / SnapshotsWritten count durable-store writes;
 	// Recoveries counts sessions found in the store at startup;
 	// Rehydrations counts evicted/recovered sessions rebuilt from the
@@ -228,6 +248,14 @@ type MetricsSnapshot struct {
 	CutsAdded       int64 `json:"cuts_added"`
 	CutsReused      int64 `json:"cuts_reused"`
 	CutTightenings  int64 `json:"cut_tightenings"`
+	// InstanceReuses / InstanceRebuilds / InstanceRowsDelta /
+	// ReseparatedRows report the persistent-instance path (see Metrics).
+	InstanceReuses    int64 `json:"instance_reuses"`
+	InstanceRebuilds  int64 `json:"instance_rebuilds"`
+	InstanceRowsDelta int64 `json:"instance_rows_delta"`
+	ReseparatedRows   int64 `json:"reseparated_rows"`
+	// LegacyCreates counts deprecated dimacs/clauses session creates.
+	LegacyCreates int64 `json:"legacy_creates"`
 	// SessionsPersisted counts sessions that live only in the store
 	// (evicted, expired, or not yet rehydrated after recovery).
 	SessionsPersisted int   `json:"sessions_persisted"`
@@ -612,6 +640,12 @@ func (s *Service) Metrics() MetricsSnapshot {
 		CutsReused:      m.CutsReused.Load(),
 		CutTightenings:  m.CutTightenings.Load(),
 
+		InstanceReuses:    m.InstanceReuses.Load(),
+		InstanceRebuilds:  m.InstanceRebuilds.Load(),
+		InstanceRowsDelta: m.InstanceRowsDelta.Load(),
+		ReseparatedRows:   m.ReseparatedRows.Load(),
+		LegacyCreates:     m.LegacyCreates.Load(),
+
 		SessionsPersisted: stored,
 		JournalAppends:    m.JournalAppends.Load(),
 		SnapshotsWritten:  m.SnapshotsWritten.Load(),
@@ -709,6 +743,8 @@ func (s *Service) noteSolverResult(res ilp.Result) {
 	s.metrics.CutsAdded.Add(res.CutsAdded)
 	s.metrics.CutsReused.Add(res.CutsReused)
 	s.metrics.CutTightenings.Add(res.CutTightenings)
+	s.metrics.InstanceRowsDelta.Add(res.RowsDelta)
+	s.metrics.ReseparatedRows.Add(res.ReseparatedRows)
 }
 
 // incumbent returns the stored solution for a problem key, if any.

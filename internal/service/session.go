@@ -40,7 +40,17 @@ type Session struct {
 	// source-row content, so an EC re-solve only pays separation for the
 	// rows the change batch touched. Solves are serialized under mu, so
 	// the pool is never shared between concurrent searches.
-	cuts  *ilp.CutPool
+	cuts *ilp.CutPool
+	// inst is the session's persistent solver instance (nil until the
+	// first instance-path solve, after an invalidation, and on a session
+	// rebuilt from the store): a live kernel whose column index, LP
+	// basis, presolve reduction, and retained cuts survive across EC
+	// re-solves. Drained change batches sync onto it as row deltas when
+	// the domain implements DeltaEncoder; batches that cannot be
+	// expressed as deltas (or any solve error) invalidate it, and the
+	// next instance-path solve rebuilds it from the committed problem.
+	// Options.DisableInstance turns the path off service-wide.
+	inst  *domain.Instance
 	stats sessionStats
 
 	// closed marks a session that was evicted, TTL-expired, or deleted:
@@ -295,13 +305,72 @@ func (s *Session) SolveContext(ctx context.Context) (*SolveResult, error) {
 		}
 		return s.solveBatch(ctx, batch, start)
 	}()
-	if err != nil && len(batch) > 0 {
-		// The batch was discarded; journal that so replay agrees with the
-		// in-memory outcome (the queued "changes" records would otherwise
-		// resurrect it as pending on rehydration).
-		s.persistDiscardLocked()
+	if err != nil {
+		// The persistent instance may have advanced past the discarded
+		// batch (or be half-built); drop it so the next solve rebuilds it
+		// from the committed problem.
+		s.inst = nil
+		if len(batch) > 0 {
+			// The batch was discarded; journal that so replay agrees with
+			// the in-memory outcome (the queued "changes" records would
+			// otherwise resurrect it as pending on rehydration).
+			s.persistDiscardLocked()
+		}
 	}
 	return res, err
+}
+
+// instanceEnabled reports whether this session serves replan-shaped
+// solves through a persistent instance (Options.DisableInstance turns
+// the path off service-wide — the scratch arm of the differential
+// tests).
+func (s *Session) instanceEnabled() bool { return !s.svc.opts.DisableInstance }
+
+// ensureInstance returns a live instance encoding problem: the session's
+// retained one when the drained batch syncs onto it as a row delta, a
+// rebuilt one otherwise. Caller holds s.mu (possibly via the executor
+// closure SolveContext is blocked on).
+func (s *Session) ensureInstance(problem any, batch []any) (*domain.Instance, error) {
+	if s.inst != nil && s.inst.Sync(s.problem, problem, batch) {
+		s.svc.metrics.InstanceReuses.Add(1)
+		return s.inst, nil
+	}
+	inst, err := domain.NewInstance(s.dom, problem)
+	if err != nil {
+		s.inst = nil
+		return nil, err
+	}
+	s.inst = inst
+	s.svc.metrics.InstanceRebuilds.Add(1)
+	return inst, nil
+}
+
+// replanSolve runs a full solve of problem — through the session's
+// persistent instance when enabled, falling back to a scratch solve when
+// the instance cannot be built.
+func (s *Session) replanSolve(ctx context.Context, problem any, batch []any, warm any) (any, ilp.Result, error) {
+	if s.instanceEnabled() {
+		if inst, err := s.ensureInstance(problem, batch); err == nil {
+			return inst.Resolve(s.solverOpts(ctx), warm)
+		}
+	}
+	return domain.Solve(s.dom, problem, s.solverOpts(ctx), warm)
+}
+
+// syncInstanceLocked keeps the retained instance tracking a commit the
+// instance path did not serve (fast/preserving/relaxed passes and
+// cache-served solves): a delta-expressible batch replays onto the live
+// model without solving; anything else invalidates the instance so the
+// next instance-path solve rebuilds it. A no-op when the instance
+// already encodes changed (the compute closure synced it). Caller holds
+// s.mu.
+func (s *Session) syncInstanceLocked(changed any, batch []any) {
+	if s.inst == nil {
+		return
+	}
+	if !s.inst.Sync(s.problem, changed, batch) {
+		s.inst = nil
+	}
 }
 
 // wrapCtxErr folds a solve failure that coincides with the request's
@@ -366,7 +435,7 @@ func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time
 		if warm != nil {
 			s.svc.metrics.IncumbentHits.Add(1)
 		}
-		a, res, err := domain.Solve(s.dom, p, s.solverOpts(ctx), warm)
+		a, res, err := s.replanSolve(ctx, p, batch, warm)
 		s.svc.noteSolverResult(res)
 		return a, err == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, err)
 	})
@@ -376,6 +445,7 @@ func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time
 	if err := s.persistSolveLocked(p, sol, len(batch)); err != nil {
 		return nil, err
 	}
+	s.syncInstanceLocked(p, batch)
 	s.commit(p, sol, pkey, len(batch), hit)
 	return s.result(&SolveResult{
 		Status:  "initial",
@@ -402,6 +472,7 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 		if err := s.persistSolveLocked(changed, next, len(batch)); err != nil {
 			return nil, err
 		}
+		s.syncInstanceLocked(changed, batch)
 		s.commit(changed, next, s.problemKey(changed), len(batch), false)
 		s.svc.metrics.RelaxFastPaths.Add(1)
 		return s.result(&SolveResult{
@@ -445,7 +516,7 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 	case domain.Replan:
 		key = s.taskKey("plain", changed, nil)
 		compute = func() (any, bool, error) {
-			next, res, rerr := domain.Solve(s.dom, changed, s.solverOpts(ctx), prev)
+			next, res, rerr := s.replanSolve(ctx, changed, batch, prev)
 			s.svc.noteSolverResult(res)
 			return next, rerr == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, rerr)
 		}
@@ -460,6 +531,7 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 	if err := s.persistSolveLocked(changed, next, len(batch)); err != nil {
 		return nil, err
 	}
+	s.syncInstanceLocked(changed, batch)
 	s.commit(changed, next, s.problemKey(changed), len(batch), hit)
 	return s.result(&SolveResult{
 		Status:     s.strategy.String(),

@@ -39,10 +39,11 @@ func TestPublicScheduling(t *testing.T) {
 	changed := p.Clone()
 	n := changed.AddOp(1)
 	changed.AddDep(a, n)
-	fast, region, err := ilpec.FastReschedule(changed, s, ilpec.SolveOptions{})
+	fastSol, stats, err := ilpec.FastResolveDomain(ilpec.SchedDomain(), changed, s, ilpec.SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	fast, region := fastSol.(ilpec.SchedSchedule), stats.SubSize
 	if !fast.Valid(changed) || region > 2 {
 		t.Fatalf("fast reschedule: valid=%v region=%d", fast.Valid(changed), region)
 	}
@@ -55,10 +56,11 @@ func TestPublicScheduling(t *testing.T) {
 	// EC: extra serialization — preserving EC keeps most steps.
 	changed2 := p.Clone()
 	changed2.AddDep(b, c)
-	pres, _, err := ilpec.PreserveReschedule(changed2, s, ilpec.SolveOptions{})
+	presSol, err := ilpec.PreserveResolveDomain(ilpec.SchedDomain(), changed2, s, ilpec.SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	pres := presSol.(ilpec.SchedSchedule)
 	if !pres.Valid(changed2) {
 		t.Fatal("preserving schedule invalid")
 	}
@@ -70,10 +72,11 @@ func TestPublicScheduling(t *testing.T) {
 	loose := ilpec.NewSchedProblem([]int{2}, 4)
 	loose.AddOp(0)
 	loose.AddOp(0)
-	en, _, err := ilpec.EnableSchedule(loose, 2, nil, ilpec.SolveOptions{})
+	enSol, err := ilpec.EnableDomain(ilpec.SchedDomain(), loose, ilpec.DomainEnableOptions{Weight: 2}, ilpec.SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	en := enSol.(ilpec.SchedSchedule)
 	if !en.Valid(loose) {
 		t.Fatal("enabled schedule invalid")
 	}
