@@ -30,8 +30,10 @@
 // Endpoints (see internal/service.NewHandler and the README walkthrough):
 //
 //	POST   /v1/sessions              create a session ("domain" + "problem",
-//	                                 or the legacy DIMACS/clause-list shape)
-//	GET    /v1/sessions              list all session ids (live + persisted)
+//	                                 or the legacy DIMACS/clause-list shape;
+//	                                 optional "id" for idempotent creates)
+//	GET    /v1/sessions              list session ids (?limit= and ?after=
+//	                                 page; "next" is the cursor)
 //	GET    /v1/sessions/{id}         session info (rehydrates if evicted)
 //	DELETE /v1/sessions/{id}         close a session (memory and store)
 //	POST   /v1/sessions/{id}/changes queue a change batch (domain wire form)
@@ -39,7 +41,17 @@
 //	GET    /v1/sessions/{id}/flex    flexibility report
 //	GET    /v1/domains               registered domain names
 //	GET    /v1/metrics               service counters
-//	GET    /healthz                  liveness probe
+//	GET    /healthz                  liveness probe (process is up)
+//	GET    /readyz                   readiness probe (503 while draining,
+//	                                 store-quarantined, or heartbeat lost)
+//
+// Clustering (see the README "Clustering" section): -cluster -node-id n1
+// joins a fleet sharing one -data-dir store. Sessions are owned via
+// store-fenced leases, auto ids are node-salted, proven solves are
+// published to a fleet-wide cache, and cmd/ecrouter consistent-hashes
+// clients onto the fleet. On SIGTERM the node flips /readyz to 503
+// (draining), finishes in-flight work, releases its leases, and
+// deregisters — a peer rehydrates its sessions from the shared store.
 //
 // Client errors return HTTP 400 with a structured body
 // {"error": {"code": "...", "message": "..."}} — e.g. code
@@ -62,6 +74,7 @@ import (
 	"syscall"
 	"time"
 
+	"ilpec/internal/cluster"
 	"ilpec/internal/core"
 	"ilpec/internal/fault"
 	"ilpec/internal/ilp"
@@ -96,6 +109,12 @@ type config struct {
 	requestTimeout  time.Duration
 	// Fault injection (testing only; needs -data-dir).
 	faultPlan *fault.Plan
+	// Clustering (needs -data-dir; see the README "Clustering" section).
+	clusterMode bool
+	nodeID      string
+	advertise   string
+	heartbeat   time.Duration
+	leaseTTL    time.Duration
 }
 
 func main() {
@@ -141,6 +160,11 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request solve deadline, propagated into the solver (0 = none)")
 	faultPlan := fs.String("fault-plan", "", "inject deterministic store faults, e.g. \"append:error:p=0.1;snapshot:enospc:nth=2\" (testing only; needs -data-dir)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for probabilistic -fault-plan triggers")
+	clusterMode := fs.Bool("cluster", false, "join the fleet sharing -data-dir: heartbeat membership, lease-owned sessions, fleet solve cache (needs -node-id)")
+	nodeID := fs.String("node-id", "", "stable unique cluster node id, e.g. n1 (required with -cluster)")
+	advertise := fs.String("advertise", "", "base URL peers and routers reach this node at (default http://<bound addr>)")
+	heartbeat := fs.Duration("heartbeat-interval", 0, "cluster heartbeat cadence (0 = default 1s; TTL is 3x)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "session ownership lease lifetime; a dead node's sessions move after this (0 = default 5s)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -149,6 +173,16 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	}
 	if *faultPlan != "" && *dataDir == "" {
 		return config{}, fmt.Errorf("-fault-plan needs -data-dir (faults are injected into the durable store)")
+	}
+	if *clusterMode {
+		if *dataDir == "" {
+			return config{}, fmt.Errorf("-cluster needs -data-dir (the fleet coordinates through the shared store)")
+		}
+		if *nodeID == "" {
+			return config{}, fmt.Errorf("-cluster needs -node-id (a stable unique name for this node)")
+		}
+	} else if *nodeID != "" {
+		return config{}, fmt.Errorf("-node-id needs -cluster")
 	}
 	if fs.NArg() != 0 {
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
@@ -174,6 +208,11 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		maxPending:      *maxPending,
 		maxBacklog:      *maxBacklog,
 		requestTimeout:  *requestTimeout,
+		clusterMode:     *clusterMode,
+		nodeID:          *nodeID,
+		advertise:       *advertise,
+		heartbeat:       *heartbeat,
+		leaseTTL:        *leaseTTL,
 	}
 	strat, err := service.ParseStrategy(*strategy)
 	if err != nil {
@@ -190,13 +229,39 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	return cfg, nil
 }
 
+// advertiseURL resolves the membership address peers dial: the -advertise
+// override verbatim, else the bound address with unspecified hosts
+// (":8080", "[::]:8080") rewritten to loopback — good for single-host
+// fleets; multi-host deployments must set -advertise.
+func advertiseURL(override, bound string) string {
+	if override != "" {
+		return override
+	}
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "http://" + bound
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 // serve runs the server until ctx is cancelled, then drains. ready, when
 // non-nil, receives the bound address once the listener is up (used by
 // tests and useful with -addr :0).
 func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr string)) error {
 	var st store.Store
 	if cfg.dataDir != "" {
-		fileStore, err := store.NewFile(cfg.dataDir)
+		var fileStore *store.File
+		var err error
+		if cfg.clusterMode {
+			// Shared mode: peers read and CAS-append concurrently, so the
+			// store re-reads durable state instead of trusting caches.
+			fileStore, err = store.NewSharedFile(cfg.dataDir)
+		} else {
+			fileStore, err = store.NewFile(cfg.dataDir)
+		}
 		if err != nil {
 			return err
 		}
@@ -206,6 +271,27 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		if cfg.faultPlan != nil {
 			st = store.NewFaulty(st, cfg.faultPlan)
 			logger.Printf("WARNING: fault injection armed — store faults will be injected deterministically")
+		}
+	}
+
+	// The listener comes up before the cluster node so the advertised URL
+	// can default to the actual bound address (-addr :0 included).
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	var node *cluster.Node
+	if cfg.clusterMode {
+		node, err = cluster.NewNode(cluster.Config{
+			ID:                cfg.nodeID,
+			Addr:              advertiseURL(cfg.advertise, ln.Addr().String()),
+			Store:             st,
+			HeartbeatInterval: cfg.heartbeat,
+			LeaseTTL:          cfg.leaseTTL,
+		})
+		if err != nil {
+			ln.Close()
+			return err
 		}
 	}
 	svc := service.New(service.Options{
@@ -232,6 +318,7 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		MaxBacklog:      cfg.maxBacklog,
 		RequestTimeout:  cfg.requestTimeout,
 		DisableInstance: !cfg.instance,
+		Cluster:         node,
 	})
 	defer svc.Close()
 	if st != nil {
@@ -239,11 +326,20 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 			logger.Printf("recovered %d persisted sessions", m.Recoveries)
 		}
 	}
-
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		return err
+	if node != nil {
+		// Synchronous first heartbeat: the node is in the membership (and
+		// on every router's ring) before the first request is served.
+		if err := node.Start(); err != nil {
+			ln.Close()
+			return fmt.Errorf("cluster join: %w", err)
+		}
+		// LIFO with defer svc.Close(): the heartbeat deregisters first
+		// (routers stop placing here), then Close releases the leases.
+		defer node.Stop()
+		logger.Printf("cluster node %s advertising %s (lease-ttl=%v)",
+			node.ID(), node.Addr(), node.LeaseTTL())
 	}
+
 	srv := &http.Server{
 		Handler:           service.NewHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -263,6 +359,9 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down (drain %v)", cfg.drain)
+	// Flip /readyz to 503 first: routers stop placing new work here while
+	// the in-flight requests below drain.
+	svc.StartDraining()
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -1,0 +1,165 @@
+// Cluster walkthrough: a three-node ecserve fleet behind ecrouter, in
+// process — including the kill-one-node failover demo.
+//
+// What it shows, end to end:
+//
+//   - three nodes share ONE store directory (what `ecserve -cluster
+//     -node-id nX -data-dir DIR` does); membership is heartbeat records
+//     in that store, no extra coordination service;
+//   - the router consistent-hashes session ids onto live, ready nodes
+//     and proxies the ordinary HTTP/JSON API unchanged;
+//   - a solve proven on one node answers the identical problem on
+//     another node from the fleet-wide cache (cluster_peek_hits);
+//   - killing a node mid-batch loses nothing: its sessions' leases
+//     expire, the ring successor rehydrates them from the shared
+//     journal, and a retrying client rides through on 502/503 +
+//     Retry-After responses.
+//
+// Lease fencing semantics (the correctness core, see README
+// "Clustering"): ownership is a lease in the shared store, and every
+// journal append both re-proves the lease and lands through a
+// compare-and-swap on the sequence number. A stale owner — wrong about
+// time, partitioned, or half-dead — either notices the lease moved
+// (refuses up front) or loses the CAS (its write never lands). Both
+// surface as 503 "not_owner" + Retry-After; a double commit is
+// impossible no matter how stale a router's ring view is.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"ilpec"
+	"ilpec/internal/cluster"
+	"ilpec/internal/ecclient"
+)
+
+// node bundles one fleet member's moving parts.
+type node struct {
+	id  string
+	n   *ilpec.ClusterNode
+	svc *ilpec.Service
+	srv *httptest.Server
+}
+
+func startNode(dir, id string) *node {
+	st, err := ilpec.NewSharedFileSessionStore(dir)
+	check(err)
+	srv := httptest.NewUnstartedServer(nil)
+	cn, err := ilpec.NewClusterNode(ilpec.ClusterNodeConfig{
+		ID:                id,
+		Addr:              "http://" + srv.Listener.Addr().String(),
+		Store:             st,
+		HeartbeatInterval: 100 * time.Millisecond,
+		LeaseTTL:          500 * time.Millisecond,
+	})
+	check(err)
+	svc := ilpec.NewService(ilpec.ServiceOptions{Store: st, Cluster: cn})
+	srv.Config.Handler = ilpec.NewServiceHandler(svc)
+	check(cn.Start())
+	srv.Start()
+	fmt.Printf("  %s serving at %s\n", id, srv.URL)
+	return &node{id: id, n: cn, svc: svc, srv: srv}
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "ecfleet-*")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	fmt.Println("== three nodes, one shared store ==")
+	nodes := map[string]*node{}
+	var ids []string
+	for _, id := range []string{"n1", "n2", "n3"} {
+		nodes[id] = startNode(dir, id)
+		ids = append(ids, id)
+	}
+
+	rtStore, err := ilpec.NewSharedFileSessionStore(dir)
+	check(err)
+	rt, err := ilpec.NewClusterRouter(ilpec.ClusterRouterOptions{
+		Store:   rtStore,
+		Refresh: 100 * time.Millisecond,
+	})
+	check(err)
+	check(rt.Start())
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	fmt.Println("  router at", front.URL)
+
+	// The retrying client every consumer should use: it honors the
+	// Retry-After hints the fleet answers during failover.
+	client := &ecclient.Client{Base: front.URL, Retries: 60, Backoff: 50 * time.Millisecond, MaxWait: 300 * time.Millisecond}
+	ctx := context.Background()
+	do := func(method, path string, in any) map[string]any {
+		var out map[string]any
+		check(client.DoJSON(ctx, method, path, in, &out))
+		return out
+	}
+
+	fmt.Println("\n== sessions through the router (ids consistent-hashed) ==")
+	problem := map[string]any{"dimacs": "p cnf 3 3\n1 2 0\n-1 3 0\n2 3 0\n"}
+	ring := cluster.BuildRing(ids, cluster.DefaultVirtualNodes)
+	var sids []string
+	for i := 0; i < 4; i++ {
+		resp := do(http.MethodPost, "/v1/sessions", map[string]any{"id": fmt.Sprintf("job-%d", i), "domain": "cnf", "problem": problem})
+		sid := resp["id"].(string)
+		owner, _ := ring.Owner(sid)
+		sids = append(sids, sid)
+		solve := do(http.MethodPost, "/v1/sessions/"+sid+"/solve", map[string]any{})
+		fmt.Printf("  %s -> owner %s  solved status=%v cached=%v\n", sid, owner, solve["status"], solve["cached"])
+	}
+	fmt.Println("  (identical problems after the first: answered fleet-wide, no extra solver runs)")
+	for id, n := range nodes {
+		m := n.svc.Metrics()
+		fmt.Printf("  %s metrics: solver_runs=%d cluster_peek_hits=%d cluster_peek_stores=%d\n",
+			id, m.SolverRuns, m.ClusterPeekHits, m.ClusterPeekStores)
+	}
+
+	fmt.Println("\n== kill one node mid-batch ==")
+	// Queue a tightening change on every session, then crash the owner of
+	// job-0 BEFORE the batch is solved.
+	change := map[string]any{"changes": []any{map[string]any{"kind": "add-clause", "lits": []int{1, 3}}}}
+	for _, sid := range sids {
+		do(http.MethodPost, "/v1/sessions/"+sid+"/changes", change)
+	}
+	victimID, _ := ring.Owner("job-0")
+	victim := nodes[victimID]
+	victim.srv.CloseClientConnections()
+	victim.srv.Close() // crash: no drain, no lease release
+	victim.n.Stop()
+	delete(nodes, victimID)
+	fmt.Printf("  killed %s (owner of job-0) with its change batch still queued\n", victimID)
+
+	start := time.Now()
+	for _, sid := range sids {
+		solve := do(http.MethodPost, "/v1/sessions/"+sid+"/solve", map[string]any{})
+		fmt.Printf("  %s solved after kill: status=%v batched=%v\n", sid, solve["status"], solve["batched"])
+	}
+	fmt.Printf("  fleet converged in %v — the successor rehydrated job-0 from the shared journal\n", time.Since(start).Round(time.Millisecond))
+
+	view := do(http.MethodGet, "/v1/cluster", nil)
+	fmt.Printf("  /v1/cluster now sees %v node(s); router metrics: %+v\n", view["ring_nodes"], rt.Metrics())
+
+	fmt.Println("\n== graceful teardown of the survivors ==")
+	for id, n := range nodes {
+		n.svc.Close() // releases the node's session leases
+		n.n.Stop()    // deregisters from membership
+		n.srv.Close()
+		fmt.Printf("  %s drained and left\n", id)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

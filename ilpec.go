@@ -31,6 +31,7 @@ import (
 	"io"
 	"net/http"
 
+	"ilpec/internal/cluster"
 	"ilpec/internal/cnf"
 	"ilpec/internal/coloring"
 	"ilpec/internal/core"
@@ -41,6 +42,7 @@ import (
 	"ilpec/internal/heurilp"
 	"ilpec/internal/ilp"
 	"ilpec/internal/partition"
+	"ilpec/internal/router"
 	"ilpec/internal/sched"
 	"ilpec/internal/service"
 	"ilpec/internal/store"
@@ -538,6 +540,48 @@ func NewMemorySessionStore() SessionStore { return store.NewMemory() }
 // CRC-framed, fsync'd journal.jsonl with torn-tail repair on recovery —
 // what cmd/ecserve -data-dir uses.
 func NewFileSessionStore(dir string) (SessionStore, error) { return store.NewFile(dir) }
+
+// ---- clustering ----------------------------------------------------------
+
+// NewSharedFileSessionStore opens the file backend in shared mode: safe
+// for several processes (an ecserve fleet plus routers) over one
+// directory, re-reading durable state instead of trusting per-process
+// caches. This is what cmd/ecserve -cluster and cmd/ecrouter use; see
+// the README "Clustering" section.
+func NewSharedFileSessionStore(dir string) (SessionStore, error) { return store.NewSharedFile(dir) }
+
+// ClusterNode is one member of an ecserve fleet: it heartbeats
+// membership into the shared store and scopes session-ownership leases
+// and the fleet-wide solve cache. Plug one into ServiceOptions.Cluster
+// (with the same shared store) and start/stop it around the service.
+type ClusterNode = cluster.Node
+
+// ClusterNodeConfig configures a ClusterNode (id, advertised address,
+// shared store, heartbeat cadence, lease TTL).
+type ClusterNodeConfig = cluster.Config
+
+// NewClusterNode validates cfg and builds a fleet member; call Start to
+// join (synchronous first heartbeat) and Stop to deregister.
+func NewClusterNode(cfg ClusterNodeConfig) (*ClusterNode, error) { return cluster.NewNode(cfg) }
+
+// ClusterRouter is the stateless front door of a fleet: it consistent-
+// hashes session ids onto live, ready nodes and reverse-proxies the
+// HTTP/JSON API unchanged (cmd/ecrouter wraps it; see internal/router
+// for the routing and failover rules).
+type ClusterRouter = router.Router
+
+// ClusterRouterOptions configures a ClusterRouter over the fleet's
+// shared store.
+type ClusterRouterOptions = router.Options
+
+// NewClusterRouter builds a router; Start begins membership refresh and
+// Handler serves the proxied API.
+func NewClusterRouter(opts ClusterRouterOptions) (*ClusterRouter, error) { return router.New(opts) }
+
+// ErrSessionNotOwned reports an operation refused because another fleet
+// node holds the session's lease (HTTP 503 "not_owner" + Retry-After on
+// the wire). Clients retry; the router lands them on the owner.
+var ErrSessionNotOwned = service.ErrNotOwner
 
 // ---- fault injection & resilience ----------------------------------------
 

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"encoding/json"
+
+	"ilpec/internal/store"
+)
+
+// FleetCache is the cluster-wide solve cache: proven-optimal solutions
+// keyed by the service's content hash (problem + prior solution +
+// ilp.Options.Fingerprint, sha256 hex), stored as `_cluster_cache_<hash>`
+// snapshots in the shared store. A node that misses its in-process LRU
+// peeks here before running the solver, so identical subproblems dedupe
+// fleet-wide, not just per process.
+//
+// Entries are immutable in value (same key ⇒ same solve output for a
+// deterministic solver), so last-write-wins snapshot semantics are safe:
+// concurrent Puts of one key write equivalent payloads. The cache is
+// best-effort by design — every error degrades to a miss.
+type FleetCache struct {
+	st store.Store
+}
+
+// NewFleetCache wraps the shared store.
+func NewFleetCache(st store.Store) *FleetCache { return &FleetCache{st: st} }
+
+// Put publishes a solved entry. The caller guarantees key is the
+// service's hex content hash and solution is the domain wire form.
+func (c *FleetCache) Put(key, domain string, solution json.RawMessage) error {
+	if err := store.ValidateID(cacheMetaID(key)); err != nil {
+		return err
+	}
+	return c.st.WriteSnapshot(store.Snapshot{
+		SessionID: cacheMetaID(key),
+		Domain:    domain,
+		Solution:  solution,
+	})
+}
+
+// Peek looks a key up; ok is false on miss or any store trouble.
+func (c *FleetCache) Peek(key string) (domain string, solution json.RawMessage, ok bool) {
+	if store.ValidateID(cacheMetaID(key)) != nil {
+		return "", nil, false
+	}
+	snap, _, err := c.st.Load(cacheMetaID(key))
+	if err != nil || len(snap.Solution) == 0 {
+		return "", nil, false
+	}
+	return snap.Domain, snap.Solution, true
+}

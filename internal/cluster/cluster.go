@@ -1,0 +1,43 @@
+// Package cluster is the multi-node serving tier behind cmd/ecrouter and
+// cmd/ecserve -cluster: consistent-hash session placement, lease-based
+// session ownership, node membership, and a fleet-wide solve cache — all
+// coordinated through the shared store.Store the nodes already use for
+// session durability, so the cluster needs no extra infrastructure (no
+// etcd, no gossip): a shared directory IS the control plane.
+//
+// The coordination substrate is "meta sessions": pseudo session ids with
+// the `_cluster_` prefix that reuse the snapshot + CAS journal machinery.
+//
+//	_cluster_node_<node>    membership heartbeats (single writer: the node)
+//	_cluster_lease_<sid>    session ownership lease (multi-writer via CAS)
+//	_cluster_cache_<hash>   fleet solve-cache entries (last write wins)
+//
+// Lease safety rests on the store's CAS append contract: an append whose
+// sequence number is not exactly one past the durable high-water mark
+// fails with store.ErrSeqConflict. Two nodes racing for an expired lease
+// both observe the same last sequence; only one append lands. The same
+// contract fences a stale owner's session journal appends — see
+// internal/service's fencing path.
+package cluster
+
+import "strings"
+
+// metaPrefix namespaces cluster pseudo-sessions inside the shared store.
+// internal/service filters these ids out of session recovery and listing.
+const (
+	metaPrefix   = "_cluster_"
+	nodePrefix   = metaPrefix + "node_"
+	leasePrefix  = metaPrefix + "lease_"
+	cachePrefix  = metaPrefix + "cache_"
+	maxLeaseTail = 16 // lease journal records kept before the holder compacts
+)
+
+// IsMetaID reports whether id is cluster metadata rather than a real
+// session (session recovery, listing, and sweeping must skip these).
+func IsMetaID(id string) bool { return strings.HasPrefix(id, metaPrefix) }
+
+func nodeMetaID(node string) string   { return nodePrefix + node }
+func leaseMetaID(sid string) string   { return leasePrefix + sid }
+func cacheMetaID(hash string) string  { return cachePrefix + hash }
+func isNodeMetaID(id string) bool     { return strings.HasPrefix(id, nodePrefix) }
+func nodeFromMetaID(id string) string { return strings.TrimPrefix(id, nodePrefix) }

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ilpec/internal/store"
+)
+
+var t0 = time.UnixMilli(1_700_000_000_000)
+
+func TestIsMetaID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"_cluster_node_n1":   true,
+		"_cluster_lease_s1":  true,
+		"_cluster_cache_abc": true,
+		"s1":                 false,
+		"n1-s3":              false,
+	} {
+		if got := IsMetaID(id); got != want {
+			t.Errorf("IsMetaID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestLeaseAcquireHeldExpiredSteal(t *testing.T) {
+	st := store.NewMemory()
+	l := NewLeases(st)
+	ttl := 5 * time.Second
+
+	ls, err := l.Acquire("s1", "n1", ttl, t0)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if ls.Holder != "n1" || !ls.Expiry.Equal(t0.Add(ttl)) {
+		t.Fatalf("lease = %+v", ls)
+	}
+	// Unexpired: a different node is refused with the holder's identity.
+	_, err = l.Acquire("s1", "n2", ttl, t0.Add(time.Second))
+	if !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("acquire while held: %v, want ErrLeaseHeld", err)
+	}
+	var held *HeldError
+	if !errors.As(err, &held) || held.Holder != "n1" {
+		t.Fatalf("held error = %+v, want holder n1", err)
+	}
+	// Re-acquire by the holder extends.
+	if _, err := l.Acquire("s1", "n1", ttl, t0.Add(time.Second)); err != nil {
+		t.Fatalf("re-acquire by holder: %v", err)
+	}
+	// Expired: anyone may steal.
+	stolen, err := l.Acquire("s1", "n2", ttl, t0.Add(ttl+2*time.Second))
+	if err != nil {
+		t.Fatalf("steal expired: %v", err)
+	}
+	if stolen.Holder != "n2" {
+		t.Fatalf("stolen lease holder = %s", stolen.Holder)
+	}
+	// The old holder's renew must now fail — its cached seq is stale.
+	if _, err := l.Renew(ls, ttl, t0.Add(ttl+3*time.Second)); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("stale renew: %v, want ErrLeaseHeld", err)
+	}
+}
+
+func TestLeaseRenewReleaseHolder(t *testing.T) {
+	st := store.NewMemory()
+	l := NewLeases(st)
+	ttl := 2 * time.Second
+
+	ls, err := l.Acquire("s1", "n1", ttl, t0)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ls, err = l.Renew(ls, ttl, t0.Add(time.Second))
+	if err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if want := t0.Add(3 * time.Second); !ls.Expiry.Equal(want) {
+		t.Fatalf("renewed expiry = %v, want %v", ls.Expiry, want)
+	}
+	got, held, err := l.Holder("s1", t0.Add(2*time.Second))
+	if err != nil || !held || got.Holder != "n1" {
+		t.Fatalf("Holder = %+v held=%v err=%v", got, held, err)
+	}
+	if err := l.Release(ls); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, held, _ := l.Holder("s1", t0.Add(2*time.Second)); held {
+		t.Fatal("lease still held after release")
+	}
+	if _, err := l.Acquire("s1", "n2", ttl, t0.Add(2*time.Second)); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+// N nodes race for one free lease; the store CAS must pick exactly one.
+func TestLeaseRaceSingleWinner(t *testing.T) {
+	st := store.NewMemory()
+	const racers = 8
+	var wg sync.WaitGroup
+	wins := make([]bool, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := NewLeases(st) // each racer models a separate process
+			if _, err := l.Acquire("s1", string(rune('a'+i)), time.Minute, t0); err == nil {
+				wins[i] = true
+			} else if !errors.Is(err, ErrLeaseHeld) {
+				t.Errorf("racer %d unexpected error: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	won := 0
+	for _, w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d racers won the lease, want exactly 1", won)
+	}
+}
+
+// The lease journal must not grow without bound under steady renewal.
+func TestLeaseCompaction(t *testing.T) {
+	st := store.NewMemory()
+	l := NewLeases(st)
+	ls, err := l.Acquire("s1", "n1", time.Minute, t0)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	for i := 0; i < 3*maxLeaseTail; i++ {
+		if ls, err = l.Renew(ls, time.Minute, t0.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	_, tail, err := st.Load(leaseMetaID("s1"))
+	if err != nil {
+		t.Fatalf("load lease meta: %v", err)
+	}
+	if len(tail) > maxLeaseTail {
+		t.Fatalf("lease journal tail has %d records after compaction, want ≤ %d", len(tail), maxLeaseTail)
+	}
+	if got, held, _ := l.Holder("s1", t0.Add(80*time.Second)); !held || got.Holder != "n1" {
+		t.Fatalf("holder after compaction = %+v held=%v", got, held)
+	}
+}
+
+// Shared-file leases: the cross-process CAS backstop. Two store handles
+// on one directory model two ecserve processes.
+func TestLeaseSharedFileCrossProcess(t *testing.T) {
+	dir := t.TempDir()
+	stA, err := store.NewSharedFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := store.NewSharedFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	defer stB.Close()
+
+	la, lb := NewLeases(stA), NewLeases(stB)
+	ls, err := la.Acquire("s1", "n1", 5*time.Second, t0)
+	if err != nil {
+		t.Fatalf("acquire via A: %v", err)
+	}
+	if _, err := lb.Acquire("s1", "n2", 5*time.Second, t0.Add(time.Second)); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("acquire via B while held: %v, want ErrLeaseHeld", err)
+	}
+	if _, err := lb.Acquire("s1", "n2", 5*time.Second, t0.Add(10*time.Second)); err != nil {
+		t.Fatalf("steal expired via B: %v", err)
+	}
+	// A's fenced renew: B's transition advanced the sequence.
+	if _, err := la.Renew(ls, 5*time.Second, t0.Add(11*time.Second)); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("stale renew via A: %v, want ErrLeaseHeld", err)
+	}
+}
+
+func TestMembershipHeartbeatExpiryDeregister(t *testing.T) {
+	st := store.NewMemory()
+	m := NewMembership(st)
+	ttl := 3 * time.Second
+	if err := m.Heartbeat("n1", "http://a", ttl, t0); err != nil {
+		t.Fatalf("heartbeat n1: %v", err)
+	}
+	if err := m.Heartbeat("n2", "http://b", ttl, t0.Add(time.Second)); err != nil {
+		t.Fatalf("heartbeat n2: %v", err)
+	}
+	alive, err := m.Alive(t0.Add(2 * time.Second))
+	if err != nil {
+		t.Fatalf("alive: %v", err)
+	}
+	if len(alive) != 2 || alive[0].ID != "n1" || alive[0].Addr != "http://a" || alive[1].ID != "n2" {
+		t.Fatalf("alive = %+v, want n1+n2", alive)
+	}
+	// n1's beat lapses; n2 is still covered.
+	alive, _ = m.Alive(t0.Add(3500 * time.Millisecond))
+	if len(alive) != 1 || alive[0].ID != "n2" {
+		t.Fatalf("alive after n1 expiry = %+v, want just n2", alive)
+	}
+	if err := m.Deregister("n2"); err != nil {
+		t.Fatalf("deregister: %v", err)
+	}
+	if alive, _ = m.Alive(t0.Add(2 * time.Second)); len(alive) != 1 || alive[0].ID != "n1" {
+		t.Fatalf("alive after n2 deregister = %+v, want just n1", alive)
+	}
+}
+
+// A restarted node (fresh Membership over existing state) must resume
+// heartbeating without manual cleanup.
+func TestMembershipRestartResumes(t *testing.T) {
+	st := store.NewMemory()
+	if err := NewMembership(st).Heartbeat("n1", "http://a", time.Second, t0); err != nil {
+		t.Fatalf("first incarnation: %v", err)
+	}
+	m2 := NewMembership(st)
+	if err := m2.Heartbeat("n1", "http://a", time.Second, t0.Add(5*time.Second)); err != nil {
+		t.Fatalf("restarted incarnation: %v", err)
+	}
+	alive, _ := m2.Alive(t0.Add(5500 * time.Millisecond))
+	if len(alive) != 1 {
+		t.Fatalf("alive = %+v, want resumed n1", alive)
+	}
+}
+
+func TestMembershipCompaction(t *testing.T) {
+	st := store.NewMemory()
+	m := NewMembership(st)
+	for i := 0; i < 3*maxLeaseTail; i++ {
+		if err := m.Heartbeat("n1", "http://a", time.Minute, t0.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	_, tail, err := st.Load(nodeMetaID("n1"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(tail) > maxLeaseTail {
+		t.Fatalf("heartbeat journal tail = %d records, want ≤ %d", len(tail), maxLeaseTail)
+	}
+}
+
+func TestFleetCacheRoundTrip(t *testing.T) {
+	st := store.NewMemory()
+	c := NewFleetCache(st)
+	key := "ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34"
+	if _, _, ok := c.Peek(key); ok {
+		t.Fatal("peek before put hit")
+	}
+	sol := json.RawMessage(`{"assignment":[1,0,1]}`)
+	if err := c.Put(key, "cnf", sol); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	dom, got, ok := c.Peek(key)
+	if !ok || dom != "cnf" || string(got) != string(sol) {
+		t.Fatalf("peek = (%s, %s, %v)", dom, got, ok)
+	}
+}
+
+func TestNodeLifecycle(t *testing.T) {
+	st := store.NewMemory()
+	var mu sync.Mutex
+	now := t0
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	n, err := NewNode(Config{
+		ID: "n1", Addr: "http://a", Store: st,
+		HeartbeatInterval: 10 * time.Millisecond, Clock: clock,
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	if n.Ready() {
+		t.Fatal("ready before Start")
+	}
+	if err := n.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if !n.Ready() {
+		t.Fatal("not ready after successful Start")
+	}
+	alive, err := n.Membership().Alive(clock())
+	if err != nil || len(alive) != 1 || alive[0].ID != "n1" {
+		t.Fatalf("alive = %+v err=%v, want registered n1", alive, err)
+	}
+	n.Stop()
+	if n.Ready() {
+		t.Fatal("ready after Stop")
+	}
+	if alive, _ := n.Membership().Alive(clock()); len(alive) != 0 {
+		t.Fatalf("alive after Stop = %+v, want deregistered", alive)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := NewNode(Config{Addr: "x", Store: store.NewMemory()}); err == nil {
+		t.Fatal("missing id accepted")
+	}
+	if _, err := NewNode(Config{ID: "n1"}); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	if _, err := NewNode(Config{ID: "a/b", Store: store.NewMemory()}); err == nil {
+		t.Fatal("unsafe id accepted")
+	}
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ilpec/internal/store"
+)
+
+// ErrLeaseHeld reports an acquire attempt on a lease currently held,
+// unexpired, by a different node. Match with errors.Is; the concrete
+// *HeldError carries the holder for diagnostics.
+var ErrLeaseHeld = errors.New("cluster: lease held by another node")
+
+// HeldError is the concrete ErrLeaseHeld with holder details.
+type HeldError struct {
+	SessionID string
+	Holder    string
+	Expiry    time.Time
+}
+
+func (e *HeldError) Error() string {
+	return fmt.Sprintf("cluster: lease for %q held by %q until %s", e.SessionID, e.Holder, e.Expiry.Format(time.RFC3339Nano))
+}
+
+// Is makes errors.Is(err, ErrLeaseHeld) match.
+func (e *HeldError) Is(target error) bool { return target == ErrLeaseHeld }
+
+// Lease is a granted (or observed) ownership claim on one session.
+type Lease struct {
+	SessionID string
+	Holder    string
+	Expiry    time.Time
+	// seq is the journal sequence of the record establishing this state;
+	// Renew/Release CAS against it, which is what detects a stolen lease.
+	seq uint64
+}
+
+// leaseMeta is the wire form of lease state (Record.Meta). An empty
+// holder means released/free.
+type leaseMeta struct {
+	Holder   string `json:"holder,omitempty"`
+	ExpiryMS int64  `json:"expiry_ms,omitempty"`
+}
+
+// Leases implements lease-based session ownership over the shared store.
+//
+// Protocol: the lease state of session sid lives in meta session
+// `_cluster_lease_<sid>` — the latest journal record (or the snapshot if
+// the journal is empty) is authoritative. Every transition is a CAS
+// append at exactly observed-seq+1; the store's sequence check makes two
+// racing transitions resolve to one winner, atomically, in any backend
+// (Memory, File, shared File across processes).
+//
+// A lease may be acquired when it is free, expired, or already held by
+// the requesting node (re-acquire extends). Expiry comparisons assume
+// loosely synchronized clocks across nodes — the TTL must comfortably
+// exceed worst-case clock skew. Fencing does NOT rest on clocks: even if
+// a stale owner believes its lease valid, its first journal append for
+// the session fails the store's CAS check (the new owner has appended
+// past it) and the service drops the session.
+type Leases struct {
+	st store.Store
+
+	mu   sync.Mutex
+	tail map[string]int // appends since last compaction, per meta id
+}
+
+// NewLeases wraps the shared store for lease transitions.
+func NewLeases(st store.Store) *Leases {
+	return &Leases{st: st, tail: make(map[string]int)}
+}
+
+// read loads the authoritative lease state of sid. found is false when
+// the meta session does not exist yet.
+func (l *Leases) read(sid string) (state leaseMeta, seq uint64, found bool, err error) {
+	snap, tail, err := l.st.Load(leaseMetaID(sid))
+	if errors.Is(err, store.ErrNotFound) {
+		return leaseMeta{}, 0, false, nil
+	}
+	if err != nil {
+		return leaseMeta{}, 0, false, err
+	}
+	seq = snap.Seq
+	meta := snap.Meta
+	if len(tail) > 0 {
+		seq = tail[len(tail)-1].Seq
+		meta = tail[len(tail)-1].Meta
+	}
+	if len(meta) > 0 {
+		if err := json.Unmarshal(meta, &state); err != nil {
+			return leaseMeta{}, 0, false, fmt.Errorf("cluster: corrupt lease state for %q: %w", sid, err)
+		}
+	}
+	return state, seq, true, nil
+}
+
+// Acquire claims the lease on sid for node until now+ttl. It succeeds
+// when the lease is free, expired, or already ours; otherwise it returns
+// a *HeldError (errors.Is ErrLeaseHeld). Store trouble propagates with
+// its transience intact so callers can retry or degrade.
+func (l *Leases) Acquire(sid, node string, ttl time.Duration, now time.Time) (Lease, error) {
+	if err := store.ValidateID(leaseMetaID(sid)); err != nil {
+		return Lease{}, err
+	}
+	state, seq, found, err := l.read(sid)
+	if err != nil {
+		return Lease{}, err
+	}
+	if !found {
+		// Birth snapshot for the meta session. Racing creators both write
+		// an empty seq-0 snapshot (idempotent: compaction preserves any
+		// record a faster racer already appended), then race the CAS below.
+		if err := l.st.WriteSnapshot(store.Snapshot{SessionID: leaseMetaID(sid)}); err != nil {
+			return Lease{}, err
+		}
+	}
+	if state.Holder != "" && state.Holder != node {
+		if exp := time.UnixMilli(state.ExpiryMS); exp.After(now) {
+			return Lease{}, &HeldError{SessionID: sid, Holder: state.Holder, Expiry: exp}
+		}
+	}
+	return l.transition(sid, node, seq, ttl, now)
+}
+
+// transition CAS-appends the new lease state at seq+1.
+func (l *Leases) transition(sid, node string, seq uint64, ttl time.Duration, now time.Time) (Lease, error) {
+	exp := now.Add(ttl)
+	meta, err := json.Marshal(leaseMeta{Holder: node, ExpiryMS: exp.UnixMilli()})
+	if err != nil {
+		return Lease{}, err
+	}
+	rec := store.Record{Seq: seq + 1, Kind: store.KindLease, Meta: meta}
+	if err := l.st.Append(leaseMetaID(sid), rec); err != nil {
+		if errors.Is(err, store.ErrSeqConflict) {
+			// Lost the race. Report the winner if it holds a live lease;
+			// otherwise surface a retryable held error with what we know.
+			if state, _, _, rerr := l.read(sid); rerr == nil && state.Holder != "" {
+				return Lease{}, &HeldError{SessionID: sid, Holder: state.Holder, Expiry: time.UnixMilli(state.ExpiryMS)}
+			}
+			return Lease{}, &HeldError{SessionID: sid}
+		}
+		return Lease{}, err
+	}
+	l.compactMaybe(sid, rec.Seq, meta)
+	return Lease{SessionID: sid, Holder: node, Expiry: exp, seq: rec.Seq}, nil
+}
+
+// Renew extends ls by ttl from now. The CAS at ls.seq+1 doubles as the
+// held-by-us check: if any other transition landed since ls was granted,
+// the renew conflicts and resolves through a full Acquire (which fails
+// ErrLeaseHeld when the lease was genuinely stolen).
+func (l *Leases) Renew(ls Lease, ttl time.Duration, now time.Time) (Lease, error) {
+	exp := now.Add(ttl)
+	meta, err := json.Marshal(leaseMeta{Holder: ls.Holder, ExpiryMS: exp.UnixMilli()})
+	if err != nil {
+		return Lease{}, err
+	}
+	rec := store.Record{Seq: ls.seq + 1, Kind: store.KindLease, Meta: meta}
+	if err := l.st.Append(leaseMetaID(ls.SessionID), rec); err != nil {
+		if errors.Is(err, store.ErrSeqConflict) {
+			return l.Acquire(ls.SessionID, ls.Holder, ttl, now)
+		}
+		return Lease{}, err
+	}
+	l.compactMaybe(ls.SessionID, rec.Seq, meta)
+	return Lease{SessionID: ls.SessionID, Holder: ls.Holder, Expiry: exp, seq: rec.Seq}, nil
+}
+
+// Release frees ls (drain, session close). A sequence conflict means the
+// lease already moved on — released either way, so it is not an error.
+func (l *Leases) Release(ls Lease) error {
+	meta, err := json.Marshal(leaseMeta{})
+	if err != nil {
+		return err
+	}
+	rec := store.Record{Seq: ls.seq + 1, Kind: store.KindLease, Meta: meta}
+	if err := l.st.Append(leaseMetaID(ls.SessionID), rec); err != nil {
+		if errors.Is(err, store.ErrSeqConflict) {
+			return nil
+		}
+		return err
+	}
+	l.compactMaybe(ls.SessionID, rec.Seq, meta)
+	return nil
+}
+
+// Holder reports the current lease state of sid: held is true when an
+// unexpired claim exists.
+func (l *Leases) Holder(sid string, now time.Time) (Lease, bool, error) {
+	state, seq, found, err := l.read(sid)
+	if err != nil || !found || state.Holder == "" {
+		return Lease{}, false, err
+	}
+	exp := time.UnixMilli(state.ExpiryMS)
+	if !exp.After(now) {
+		return Lease{}, false, nil
+	}
+	return Lease{SessionID: sid, Holder: state.Holder, Expiry: exp, seq: seq}, true, nil
+}
+
+// Drop removes all persisted lease state of sid (session deletion).
+func (l *Leases) Drop(sid string) error {
+	l.mu.Lock()
+	delete(l.tail, leaseMetaID(sid))
+	l.mu.Unlock()
+	return l.st.Delete(leaseMetaID(sid))
+}
+
+// compactMaybe folds the lease journal into its snapshot once the tail
+// grows past maxLeaseTail appends. Safe under races: a competitor's
+// append carries a higher sequence than the snapshot and survives
+// compaction in every backend. Best effort — failure just defers it.
+func (l *Leases) compactMaybe(sid string, seq uint64, meta json.RawMessage) {
+	mid := leaseMetaID(sid)
+	l.mu.Lock()
+	l.tail[mid]++
+	due := l.tail[mid] >= maxLeaseTail
+	if due {
+		l.tail[mid] = 0
+	}
+	l.mu.Unlock()
+	if due {
+		l.st.WriteSnapshot(store.Snapshot{SessionID: mid, Seq: seq, Meta: meta}) //nolint:errcheck // best effort
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ilpec/internal/store"
+)
+
+// NodeInfo is one live cluster member as recorded in the shared store.
+type NodeInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Expiry is when the last heartbeat lapses; a node past it is
+	// treated as departed even though it never deregistered (crash,
+	// partition from the shared store).
+	Expiry time.Time `json:"expiry"`
+}
+
+// beatMeta is the wire form of one heartbeat (Record.Meta / Snapshot.Meta).
+type beatMeta struct {
+	Addr     string `json:"addr"`
+	ExpiryMS int64  `json:"expiry_ms"`
+}
+
+// Membership tracks the node roster through `_cluster_node_<id>` meta
+// sessions. Each node is the single writer of its own record (appends of
+// KindHeartbeat, compacted by the node itself), so there is no write
+// contention; readers (the router, peers) list and load.
+type Membership struct {
+	st store.Store
+
+	mu   sync.Mutex
+	seqs map[string]uint64 // next-append bookkeeping for ids we write
+	tail map[string]int    // appends since last compaction
+}
+
+// NewMembership wraps the shared store for roster reads and writes.
+func NewMembership(st store.Store) *Membership {
+	return &Membership{st: st, seqs: make(map[string]uint64), tail: make(map[string]int)}
+}
+
+// Heartbeat records that node id serves at addr until now+ttl. The first
+// beat creates the meta session; every maxLeaseTail beats the journal is
+// compacted into the snapshot. A sequence conflict means another process
+// is writing the same node id — a deployment error worth surfacing.
+func (m *Membership) Heartbeat(id, addr string, ttl time.Duration, now time.Time) error {
+	if err := store.ValidateID(nodeMetaID(id)); err != nil {
+		return fmt.Errorf("cluster: node id: %w", err)
+	}
+	meta, err := json.Marshal(beatMeta{Addr: addr, ExpiryMS: now.Add(ttl).UnixMilli()})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mid := nodeMetaID(id)
+	seq, known := m.seqs[mid]
+	if !known {
+		snap, tail, err := m.st.Load(mid)
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			if err := m.st.WriteSnapshot(store.Snapshot{SessionID: mid, Meta: meta}); err != nil {
+				return err
+			}
+			seq = 0
+		case err != nil:
+			return err
+		default:
+			seq = snap.Seq
+			if len(tail) > 0 {
+				seq = tail[len(tail)-1].Seq
+			}
+		}
+	}
+	rec := store.Record{Seq: seq + 1, Kind: store.KindHeartbeat, Meta: meta}
+	if err := m.st.Append(mid, rec); err != nil {
+		// Re-derive once: a restart of this node id (or shared-mode
+		// compaction by our own earlier incarnation) legitimately moves
+		// the sequence; persistent conflict = two live writers.
+		if errors.Is(err, store.ErrSeqConflict) {
+			delete(m.seqs, mid)
+		}
+		return err
+	}
+	m.seqs[mid] = rec.Seq
+	m.tail[mid]++
+	if m.tail[mid] >= maxLeaseTail {
+		// Single-writer compaction: fold the latest beat into the snapshot
+		// and drop the journal. Best effort — the journal just grows a
+		// little longer if it fails.
+		if err := m.st.WriteSnapshot(store.Snapshot{SessionID: mid, Seq: rec.Seq, Meta: meta}); err == nil {
+			m.tail[mid] = 0
+		}
+	}
+	return nil
+}
+
+// Alive returns the members whose heartbeat has not expired at now,
+// sorted by id (store.List is sorted). Unreadable member records are
+// skipped — one corrupt node entry must not hide the rest of the fleet.
+func (m *Membership) Alive(now time.Time) ([]NodeInfo, error) {
+	ids, err := m.st.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []NodeInfo
+	for _, id := range ids {
+		if !isNodeMetaID(id) {
+			continue
+		}
+		snap, tail, err := m.st.Load(id)
+		if err != nil {
+			continue
+		}
+		meta := snap.Meta
+		if len(tail) > 0 {
+			meta = tail[len(tail)-1].Meta
+		}
+		var b beatMeta
+		if json.Unmarshal(meta, &b) != nil {
+			continue
+		}
+		exp := time.UnixMilli(b.ExpiryMS)
+		if !exp.After(now) {
+			continue
+		}
+		out = append(out, NodeInfo{ID: nodeFromMetaID(id), Addr: b.Addr, Expiry: exp})
+	}
+	return out, nil
+}
+
+// Deregister removes node id from the roster (clean shutdown). Expiry
+// handles the unclean case.
+func (m *Membership) Deregister(id string) error {
+	m.mu.Lock()
+	delete(m.seqs, nodeMetaID(id))
+	delete(m.tail, nodeMetaID(id))
+	m.mu.Unlock()
+	return m.st.Delete(nodeMetaID(id))
+}

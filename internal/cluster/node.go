@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ilpec/internal/store"
+)
+
+// Config shapes one cluster node (an ecserve process joining the fleet).
+type Config struct {
+	// ID uniquely names this node in the cluster ("n1"). Two live
+	// processes must never share an id; membership appends will conflict
+	// loudly if they do.
+	ID string
+	// Addr is the node's serving base URL as routers should dial it
+	// ("http://10.0.0.5:8080").
+	Addr string
+	// Store is the SHARED store all cluster nodes point at (the same
+	// directory via store.NewSharedFile, or one store.Memory instance for
+	// in-process tests).
+	Store store.Store
+	// HeartbeatInterval is how often the node re-registers (default 1s).
+	HeartbeatInterval time.Duration
+	// HeartbeatTTL is how long a beat keeps the node in the roster
+	// (default 3×interval). It bounds how long routers keep hashing
+	// sessions onto a crashed node.
+	HeartbeatTTL time.Duration
+	// LeaseTTL is the session-ownership lease duration (default 5s). It
+	// bounds the failover gap: a successor can claim a dead node's
+	// session at most LeaseTTL after its last commit or lookup.
+	LeaseTTL time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (c *Config) withDefaults() error {
+	if c.ID == "" {
+		return fmt.Errorf("cluster: node id required")
+	}
+	if err := store.ValidateID(nodeMetaID(c.ID)); err != nil {
+		return fmt.Errorf("cluster: node id: %w", err)
+	}
+	if c.Store == nil {
+		return fmt.Errorf("cluster: shared store required")
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.HeartbeatTTL <= 0 {
+		c.HeartbeatTTL = 3 * c.HeartbeatInterval
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return nil
+}
+
+// Node bundles a member's view of the cluster: its own registration
+// loop plus handles on the lease table and fleet cache. internal/service
+// consumes it through Options.Cluster.
+type Node struct {
+	cfg     Config
+	members *Membership
+	leases  *Leases
+	cache   *FleetCache
+
+	// ready is true while the latest heartbeat landed: the node is
+	// registered and the shared store is reachable. /readyz keys off it.
+	ready atomic.Bool
+
+	mu      sync.Mutex
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewNode validates cfg and builds the node. Call Start to join the
+// cluster.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:     cfg,
+		members: NewMembership(cfg.Store),
+		leases:  NewLeases(cfg.Store),
+		cache:   NewFleetCache(cfg.Store),
+	}, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Addr returns the node's advertised serving address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// LeaseTTL returns the configured session lease duration.
+func (n *Node) LeaseTTL() time.Duration { return n.cfg.LeaseTTL }
+
+// Now returns the node's clock reading (overridable in tests).
+func (n *Node) Now() time.Time { return n.cfg.Clock() }
+
+// Leases exposes the lease table (internal/service's ownership guard).
+func (n *Node) Leases() *Leases { return n.leases }
+
+// Cache exposes the fleet solve cache.
+func (n *Node) Cache() *FleetCache { return n.cache }
+
+// Membership exposes the roster (routers build rings from it).
+func (n *Node) Membership() *Membership { return n.members }
+
+// Start registers the node (one synchronous heartbeat, so a nil return
+// means the fleet can see us) and launches the re-registration loop.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return nil
+	}
+	n.started = true
+	n.stop = make(chan struct{})
+	n.done = make(chan struct{})
+	n.mu.Unlock()
+	if err := n.beat(); err != nil {
+		n.ready.Store(false)
+		close(n.done)
+		n.mu.Lock()
+		n.started = false
+		n.mu.Unlock()
+		return err
+	}
+	go n.loop()
+	return nil
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.beat() //nolint:errcheck // outcome lands in ready
+		}
+	}
+}
+
+func (n *Node) beat() error {
+	err := n.members.Heartbeat(n.cfg.ID, n.cfg.Addr, n.cfg.HeartbeatTTL, n.Now())
+	n.ready.Store(err == nil)
+	return err
+}
+
+// Ready reports whether the node's latest heartbeat landed — i.e. it is
+// registered in the roster and the shared store answers.
+func (n *Node) Ready() bool { return n.ready.Load() }
+
+// Stop halts the heartbeat loop and deregisters (best effort: TTL
+// expiry covers a store that will not answer). Idempotent.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = false
+	close(n.stop)
+	n.mu.Unlock()
+	<-n.done
+	n.ready.Store(false)
+	n.members.Deregister(n.cfg.ID) //nolint:errcheck // best effort
+}

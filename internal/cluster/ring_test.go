@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("s%d", i+1)
+	}
+	return keys
+}
+
+func ownersOf(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) not ok on %d-node ring", k, r.Len())
+		}
+		owners[k] = o
+	}
+	return owners
+}
+
+// Distribution skew over 10k ids: with DefaultVirtualNodes points per
+// node, every node's share must stay within ±35% of fair share. The
+// hash is deterministic, so this pins a concrete distribution — if a
+// hash or vnode change regresses placement uniformity, this fails.
+func TestRingDistributionSkew(t *testing.T) {
+	const K = 10000
+	for _, n := range []int{2, 3, 5, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i+1)
+		}
+		r := BuildRing(nodes, 0)
+		counts := make(map[string]int, n)
+		for _, k := range testKeys(K) {
+			o, _ := r.Owner(k)
+			counts[o]++
+		}
+		fair := float64(K) / float64(n)
+		for _, node := range nodes {
+			c := counts[node]
+			if fc := float64(c); fc > 1.35*fair || fc < 0.65*fair {
+				t.Errorf("%d nodes: %s owns %d keys, outside ±35%% of fair share %.0f", n, node, c, fair)
+			}
+		}
+	}
+}
+
+// Minimal movement: when a node joins an N-node ring, at most
+// ceil(K/N) of K keys change owner, and every moved key lands on the
+// new node (no shuffling between surviving nodes). Symmetrically on
+// leave: only the departing node's keys move.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	const K = 10000
+	keys := testKeys(K)
+	for _, n := range []int{2, 3, 5} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i+1)
+		}
+		before := ownersOf(t, BuildRing(nodes, 0), keys)
+		joined := "node-new"
+		after := ownersOf(t, BuildRing(append(append([]string{}, nodes...), joined), 0), keys)
+		moved := 0
+		for _, k := range keys {
+			if before[k] != after[k] {
+				moved++
+				if after[k] != joined {
+					t.Fatalf("%d nodes: key %q moved %s→%s, not to the joining node", n, k, before[k], after[k])
+				}
+			}
+		}
+		bound := (K + n - 1) / n // ceil(K/N)
+		if moved > bound {
+			t.Errorf("%d nodes: %d keys moved on join, want ≤ ceil(K/N)=%d", n, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("%d nodes: no keys moved on join — new node owns nothing", n)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	const K = 10000
+	keys := testKeys(K)
+	for _, n := range []int{3, 4, 6} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i+1)
+		}
+		before := ownersOf(t, BuildRing(nodes, 0), keys)
+		departed := nodes[n-1]
+		after := ownersOf(t, BuildRing(nodes[:n-1], 0), keys)
+		moved := 0
+		for _, k := range keys {
+			if before[k] != after[k] {
+				moved++
+				if before[k] != departed {
+					t.Fatalf("%d nodes: key %q moved %s→%s though its owner stayed", n, k, before[k], after[k])
+				}
+			}
+		}
+		bound := (K + n - 2) / (n - 1) // ceil(K/N) for the surviving fleet size
+		if moved > bound {
+			t.Errorf("%d nodes: %d keys moved on leave, want ≤ %d", n, moved, bound)
+		}
+	}
+}
+
+// Ownership must not depend on the order membership happened to be
+// listed in — routers and nodes rebuild rings independently.
+func TestRingOrderIndependent(t *testing.T) {
+	a := BuildRing([]string{"n1", "n2", "n3"}, 64)
+	b := BuildRing([]string{"n3", "n1", "n2", "n2"}, 64)
+	for _, k := range testKeys(500) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("owner of %q differs by build order: %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	r := BuildRing([]string{"n1", "n2", "n3"}, 64)
+	for _, k := range testKeys(100) {
+		owner, _ := r.Owner(k)
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q,3) = %v, want 3 distinct nodes", k, succ)
+		}
+		if succ[0] != owner {
+			t.Fatalf("Successors(%q)[0] = %s, want owner %s", k, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%q) = %v has duplicates", k, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// The first successor after the owner is where the key lands if the
+// owner leaves — the router's failover target must agree with the
+// rebalanced ring, or failover and rebalance would fight.
+func TestRingSuccessorMatchesLeaveRebalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := BuildRing(nodes, 0)
+	for _, k := range testKeys(1000) {
+		owner, _ := r.Owner(k)
+		var survivors []string
+		for _, n := range nodes {
+			if n != owner {
+				survivors = append(survivors, n)
+			}
+		}
+		after, _ := BuildRing(survivors, 0).Owner(k)
+		if succ := r.Successors(k, 2); succ[1] != after {
+			t.Fatalf("key %q: successor %s, but leave-rebalance owner %s", k, succ[1], after)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := BuildRing(nil, 0)
+	if _, ok := r.Owner("s1"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if s := r.Successors("s1", 2); s != nil {
+		t.Fatalf("empty ring successors = %v, want nil", s)
+	}
+}

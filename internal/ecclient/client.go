@@ -1,0 +1,221 @@
+// Package ecclient is a small retrying HTTP/JSON client for the ecserve
+// (and ecrouter) API. It encodes the client half of the server's
+// admission and failover contract:
+//
+//   - 429 and 5xx responses carrying a Retry-After header are backed off
+//     exactly as instructed (integer seconds or HTTP-date) and retried;
+//   - transport errors and retryable statuses without a hint use a small
+//     default backoff;
+//   - everything else surfaces as an *APIError with the server's
+//     structured {"error": {"code", "message"}} body decoded.
+//
+// Requests are replayable: the JSON body is buffered once and re-sent on
+// every attempt, so retries are safe for the idempotent operations the
+// cluster tier relies on (create-with-id replays land on 409, journal
+// appends are CAS-fenced server-side).
+package ecclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client issues JSON requests against Base with bounded retries.
+// The zero value is not usable; set at least Base.
+type Client struct {
+	// Base is the server URL prefix, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// Retries is the total attempt budget (0 = default 8, 1 = no retries).
+	Retries int
+	// Backoff is the sleep before a retry when the server sent no
+	// Retry-After hint (0 = default 50ms).
+	Backoff time.Duration
+	// MaxWait caps a single Retry-After-directed sleep so a hostile or
+	// confused server cannot stall the client (0 = default 5s).
+	MaxWait time.Duration
+	// Sleep is the sleep hook (nil = time.Sleep); tests inject a recorder.
+	Sleep func(time.Duration)
+}
+
+// APIError is a non-retryable (or retry-exhausted) server response.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ecclient: server status %d: %s: %s", e.Status, e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 8
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *Client) maxWait() time.Duration {
+	if c.MaxWait > 0 {
+		return c.MaxWait
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// retryableStatus reports whether a response status invites a retry:
+// overload shedding (429), upstream unreachable at the router (502), and
+// not-ready / not-owner / store-unavailable conditions (503).
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable
+}
+
+// DoJSON sends one JSON request (in may be nil) and decodes the JSON
+// response into out (out may be nil). Retryable failures are re-sent
+// honoring Retry-After until the attempt budget runs out.
+func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("ecclient: encode request: %w", err)
+		}
+	}
+	url := strings.TrimRight(c.Base, "/") + path
+	var lastErr error
+	for attempt := 1; attempt <= c.retries(); attempt++ {
+		if attempt > 1 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			c.sleep(c.backoff())
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			c.sleep(c.backoff())
+			continue
+		}
+		if resp.StatusCode < 300 {
+			if out == nil || len(data) == 0 {
+				return nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("ecclient: decode response: %w", err)
+			}
+			return nil
+		}
+		apiErr := decodeAPIError(resp.StatusCode, data)
+		if !retryableStatus(resp.StatusCode) {
+			return apiErr
+		}
+		lastErr = apiErr
+		wait := c.backoff()
+		if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			if d > c.maxWait() {
+				d = c.maxWait()
+			}
+			wait = d
+		}
+		c.sleep(wait)
+	}
+	return fmt.Errorf("ecclient: %d attempts exhausted: %w", c.retries(), lastErr)
+}
+
+// decodeAPIError extracts the server's structured error envelope, falling
+// back to the raw body for non-conforming responses.
+func decodeAPIError(status int, data []byte) *APIError {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err == nil && env.Error.Code != "" {
+		return &APIError{Status: status, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	msg := strings.TrimSpace(string(data))
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return &APIError{Status: status, Code: "http_error", Message: msg}
+}
+
+// ParseRetryAfter parses a Retry-After header value per RFC 9110: either
+// a non-negative integer delay in seconds or an HTTP-date (whose delay is
+// measured from now, clamped at zero for dates already past). ok is false
+// for an absent or malformed value.
+func ParseRetryAfter(v string, now time.Time) (d time.Duration, ok bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	when, err := http.ParseTime(v)
+	if err != nil {
+		return 0, false
+	}
+	if d = when.Sub(now); d < 0 {
+		d = 0
+	}
+	return d, true
+}

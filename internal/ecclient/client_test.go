@@ -1,0 +1,107 @@
+package ecclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Pins the Retry-After grammar: integer seconds and HTTP-date, with
+// malformed and negative values rejected.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"2", 2 * time.Second, true},
+		{" 2 ", 2 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"", 0, false},
+		{"soon", 0, false},
+		{"1.5", 0, false},
+		{now.Add(3 * time.Second).Format(http.TimeFormat), 3 * time.Second, true},
+		{now.Add(-10 * time.Second).Format(http.TimeFormat), 0, true}, // past date = retry now
+	}
+	for _, c := range cases {
+		got, ok := ParseRetryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// A 503 with Retry-After: 2 must produce exactly one 2s sleep before the
+// retry that succeeds.
+func TestDoJSONHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"not_owner","message":"moving"}}`))
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{Base: srv.URL, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.DoJSON(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || calls.Load() != 2 {
+		t.Fatalf("out=%+v calls=%d", out, calls.Load())
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("sleeps = %v, want exactly [2s] from the Retry-After header", slept)
+	}
+}
+
+// Non-retryable statuses surface immediately as *APIError with the
+// decoded envelope; no sleeping, no extra attempts.
+func TestDoJSONNonRetryable(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":{"code":"session_exists","message":"dup"}}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Sleep: func(time.Duration) { t.Fatal("slept on non-retryable error") }}
+	err := c.DoJSON(context.Background(), http.MethodPost, "/x", map[string]any{"a": 1}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 409 || apiErr.Code != "session_exists" {
+		t.Fatalf("err = %v, want 409 session_exists APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+}
+
+// The attempt budget is honored and the last retryable error is wrapped.
+func TestDoJSONExhaustsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"busy"}}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Retries: 3, Sleep: func(time.Duration) {}}
+	err := c.DoJSON(context.Background(), http.MethodGet, "/x", nil, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "overloaded" {
+		t.Fatalf("err = %v, want wrapped overloaded APIError", err)
+	}
+}

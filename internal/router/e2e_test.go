@@ -1,0 +1,295 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"ilpec/internal/cluster"
+	"ilpec/internal/domain"
+	"ilpec/internal/ecclient"
+	"ilpec/internal/service"
+	"ilpec/internal/store"
+)
+
+// This file is the cluster chaos differential (the PR's acceptance bar,
+// extending the PR 5/6 single-node differentials): three ecserve-style
+// nodes over ONE shared file store behind a router, a session script per
+// domain, the owner of one session killed mid-batch (queued but not yet
+// solved), and the surviving fleet must converge to EXACTLY the state an
+// uninterrupted single-node control produces — with the journal gapless
+// and free of double commits.
+
+// e2eDomains mirrors the service test matrix: every registered adapter.
+var e2eDomains = []string{"cnf", "coloring", "sched", "partition"}
+
+// fleetNode is one in-process "ecserve -cluster" replica.
+type fleetNode struct {
+	id   string
+	st   store.Store
+	node *cluster.Node
+	svc  *service.Service
+	srv  *httptest.Server
+}
+
+// startFleetNode brings up one node over the shared dir: its own shared
+// file store handle, cluster node (fast heartbeats and a short lease TTL
+// so failover fits in a test), service, and HTTP server — the same
+// assembly cmd/ecserve performs with -cluster.
+func startFleetNode(t *testing.T, dir, id string) *fleetNode {
+	t.Helper()
+	st, err := store.NewSharedFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewUnstartedServer(nil)
+	node, err := cluster.NewNode(cluster.Config{
+		ID:                id,
+		Addr:              "http://" + srv.Listener.Addr().String(),
+		Store:             st,
+		HeartbeatInterval: 50 * time.Millisecond,
+		LeaseTTL:          400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Options{Store: st, Cluster: node})
+	srv.Config.Handler = service.NewHandler(svc)
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	return &fleetNode{id: id, st: st, node: node, svc: svc, srv: srv}
+}
+
+// kill simulates a crash: the HTTP listener dies and heartbeats stop.
+// The service object is ABANDONED, never closed — a real crash does not
+// run the drain path, so its leases must expire rather than be released,
+// and nothing may flush memory state to the store.
+func (n *fleetNode) kill() {
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+	n.node.Stop()
+}
+
+// scriptStep drives one request through the retrying client and decodes
+// the response body generically.
+func doJSON(t *testing.T, c *ecclient.Client, method, path string, in any) map[string]any {
+	t.Helper()
+	var out map[string]any
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.DoJSON(ctx, method, path, in, &out); err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	return out
+}
+
+// normalize strips the run-varying fields of a solve response so the
+// differential compares only state: the rendered solution, the solver
+// status, and the don't-care count.
+func normalize(resp map[string]any) map[string]any {
+	out := map[string]any{}
+	for _, k := range []string{"solution", "status", "dont_cares", "batched"} {
+		out[k] = resp[k]
+	}
+	return out
+}
+
+func wireFixture(t *testing.T, name string) (problem any, changes []json.RawMessage) {
+	t.Helper()
+	d, ok := domain.Get(name)
+	if !ok {
+		t.Fatalf("domain %q not registered", name)
+	}
+	fx, ok := d.(domain.Fixtured)
+	if !ok {
+		t.Fatalf("domain %q has no fixture", name)
+	}
+	c := fx.Conformance()
+	for _, ch := range c.Tightening {
+		raw, err := json.Marshal(d.RenderChange(ch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		changes = append(changes, raw)
+	}
+	return d.RenderProblem(c.Problem), changes
+}
+
+func TestKillNodeChaosDifferential(t *testing.T) {
+	if testing.Short() && testing.Verbose() {
+		t.Log("running cluster kill-node differential under -short (CI race job)")
+	}
+	dir := t.TempDir()
+	nodes := make([]*fleetNode, 3)
+	ids := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startFleetNode(t, dir, fmt.Sprintf("n%d", i+1))
+		ids[i] = nodes[i].id
+	}
+	alive := map[string]*fleetNode{}
+	for _, n := range nodes {
+		alive[n.id] = n
+	}
+
+	rtStore, err := store.NewSharedFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Options{
+		Store:        rtStore,
+		Refresh:      50 * time.Millisecond,
+		ProbeTimeout: 500 * time.Millisecond,
+		Retries:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// The retrying client of the chaos suite: Retry-After hints honored,
+	// capped so lease-expiry waits poll quickly instead of sleeping 1s.
+	client := &ecclient.Client{
+		Base:    front.URL,
+		Retries: 60,
+		Backoff: 25 * time.Millisecond,
+		MaxWait: 200 * time.Millisecond,
+	}
+
+	// Control fleet-of-one: the uninterrupted reference run.
+	ctlSvc := service.New(service.Options{})
+	defer ctlSvc.Close()
+	ctlSrv := httptest.NewServer(service.NewHandler(ctlSvc))
+	defer ctlSrv.Close()
+	control := &ecclient.Client{Base: ctlSrv.URL, Retries: 3}
+
+	// Phase 1 (pre-kill): per domain, create + initial solve + queue the
+	// tightening batch. The batch is journaled but NOT yet solved — the
+	// kill lands mid-batch.
+	firstSolve := map[string]map[string]any{}
+	for _, name := range e2eDomains {
+		problem, changes := wireFixture(t, name)
+		id := "chaos-" + name
+		doJSON(t, client, http.MethodPost, "/v1/sessions",
+			map[string]any{"id": id, "domain": name, "problem": problem})
+		firstSolve[name] = normalize(doJSON(t, client, http.MethodPost, "/v1/sessions/"+id+"/solve", map[string]any{}))
+		doJSON(t, client, http.MethodPost, "/v1/sessions/"+id+"/changes",
+			map[string]any{"changes": changes})
+
+		doJSON(t, control, http.MethodPost, "/v1/sessions",
+			map[string]any{"id": id, "domain": name, "problem": problem})
+		ctlFirst := normalize(doJSON(t, control, http.MethodPost, "/v1/sessions/"+id+"/solve", map[string]any{}))
+		if !reflect.DeepEqual(firstSolve[name], ctlFirst) {
+			t.Fatalf("%s: pre-kill solve diverges from control:\n fleet  %v\n control %v", name, firstSolve[name], ctlFirst)
+		}
+		doJSON(t, control, http.MethodPost, "/v1/sessions/"+id+"/changes",
+			map[string]any{"changes": changes})
+	}
+
+	// Kill the node that owns the CNF session — at least that session is
+	// guaranteed to fail over; sessions owned by survivors double as the
+	// no-disruption control.
+	ring := cluster.BuildRing(ids, cluster.DefaultVirtualNodes)
+	victimID, _ := ring.Owner("chaos-cnf")
+	victim := alive[victimID]
+	victim.kill()
+	delete(alive, victimID)
+	t.Logf("killed %s (owner of chaos-cnf) mid-batch", victimID)
+
+	// Phase 2: drain the queued batch on every session. For the victim's
+	// sessions this exercises the whole failover path — 502s while the
+	// ring converges, 503 not_owner while the dead node's lease runs out,
+	// then rehydration from the shared journal on the successor.
+	for _, name := range e2eDomains {
+		id := "chaos-" + name
+		got := normalize(doJSON(t, client, http.MethodPost, "/v1/sessions/"+id+"/solve", map[string]any{}))
+		want := normalize(doJSON(t, control, http.MethodPost, "/v1/sessions/"+id+"/solve", map[string]any{}))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: post-failover solve diverges from control:\n fleet  %v\n control %v", name, got, want)
+		}
+		// The session must also agree on the observable problem state.
+		gotInfo := doJSON(t, client, http.MethodGet, "/v1/sessions/"+id, nil)
+		wantInfo := doJSON(t, control, http.MethodGet, "/v1/sessions/"+id, nil)
+		// Stats counters (changes_queued, solves, ...) are per-instance,
+		// not durable state — only the problem/solution shape must agree.
+		for _, k := range []string{"vars", "clauses", "pending", "solved", "dont_cares"} {
+			if !reflect.DeepEqual(gotInfo[k], wantInfo[k]) {
+				t.Fatalf("%s: info[%q] = %v, control %v", name, k, gotInfo[k], wantInfo[k])
+			}
+		}
+	}
+
+	// No double commit, no gaps: each session's durable history must be
+	// exactly one birth snapshot + solve, changes, solve — regardless of
+	// which node wrote which record. A stale-owner replay would show as a
+	// duplicate or out-of-sequence record here.
+	auditStore, err := store.NewSharedFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auditStore.Close()
+	for _, name := range e2eDomains {
+		snap, tail, err := auditStore.Load("chaos-" + name)
+		if err != nil {
+			t.Fatalf("%s: audit load: %v", name, err)
+		}
+		seq := snap.Seq
+		kinds := map[string]int{}
+		for _, rec := range tail {
+			if rec.Seq != seq+1 {
+				t.Fatalf("%s: journal gap or replay: record seq %d after %d", name, rec.Seq, seq)
+			}
+			seq = rec.Seq
+			kinds[rec.Kind]++
+		}
+		if kinds[store.KindChanges] != 1 || kinds[store.KindSolve] != 2 {
+			t.Fatalf("%s: journal kinds = %v, want exactly 1 changes + 2 solves (double commit?)", name, kinds)
+		}
+	}
+
+	// The fleet view converges: the victim is gone from membership, and
+	// the merged session list still shows every session.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		view := doJSON(t, client, http.MethodGet, "/v1/cluster", nil)
+		if nodesAny, ok := view["nodes"].([]any); ok && len(nodesAny) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("membership never converged to 2 nodes: %v", doJSON(t, client, http.MethodGet, "/v1/cluster", nil))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	list := doJSON(t, client, http.MethodGet, "/v1/sessions", nil)
+	gotIDs := map[string]bool{}
+	if arr, ok := list["sessions"].([]any); ok {
+		for _, v := range arr {
+			gotIDs[v.(string)] = true
+		}
+	}
+	for _, name := range e2eDomains {
+		if !gotIDs["chaos-"+name] {
+			t.Fatalf("merged session list lost chaos-%s: %v", name, list["sessions"])
+		}
+	}
+
+	// Graceful teardown of the SURVIVORS only (the victim stays abandoned,
+	// as after a real crash). Survivor shutdown releases leases and must
+	// not disturb the audited journals.
+	for _, n := range alive {
+		n.svc.Close()
+		n.node.Stop()
+		n.srv.Close()
+	}
+}

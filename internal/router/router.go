@@ -1,0 +1,668 @@
+// Package router implements the stateless cluster front door for a fleet
+// of ecserve nodes (command ecrouter wraps it). It keeps NO session
+// state of its own: membership comes from the shared store's heartbeat
+// records, placement from the same consistent-hash ring every node
+// agrees on (internal/cluster.Ring), and correctness under stale views
+// from the servers' lease fencing — the worst a misrouted request gets
+// is a retryable 503 "not_owner", never a double commit.
+//
+// Routing rules:
+//
+//   - /v1/sessions/{id}... is consistent-hashed on the session id and
+//     proxied to the ring owner among live, ready nodes;
+//   - idempotent methods (GET, DELETE) fail over to ring successors on
+//     transport errors, marking the unreachable node suspect;
+//   - non-idempotent methods (POST changes/solve) are never replayed by
+//     the router — a transport failure answers 502 + Retry-After and the
+//     client retries, by which time the ring has converged;
+//   - POST /v1/sessions mints a session id when the client did not send
+//     one, so the create itself can be consistent-hashed; create is
+//     retried on successors because the injected id makes replays safe
+//     (a duplicate lands on 409 session_exists);
+//   - GET /v1/sessions merges the per-node pages (k-way, cursor-safe);
+//     GET /v1/metrics returns the router's counters plus every node's;
+//     GET /v1/cluster exposes the membership/ring view for operators.
+//
+// Readiness, not liveness, drives placement: nodes are probed on
+// /readyz each refresh, so a draining or store-quarantined node stops
+// receiving new placements while it still answers in-flight work.
+package router
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ilpec/internal/cluster"
+	"ilpec/internal/store"
+)
+
+// maxBody mirrors the ecserve request cap: the router buffers bodies to
+// make retries replayable, so it enforces the same bound up front.
+const maxBody = 8 << 20
+
+// Options configures a Router.
+type Options struct {
+	// Store is the cluster's shared store; the router only reads the
+	// membership heartbeat records from it. The caller owns its lifecycle.
+	Store store.Store
+	// VirtualNodes is the ring's vnode count per node
+	// (0 = cluster.DefaultVirtualNodes). Every router and every node must
+	// agree on this number or placements diverge.
+	VirtualNodes int
+	// Refresh is the membership poll + health probe cadence (0 = 1s).
+	Refresh time.Duration
+	// ProbeTimeout bounds one /readyz probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// Retries is how many ring successors are tried after the owner for
+	// idempotent requests (0 = 2, negative = none).
+	Retries int
+	// HTTP is the proxy transport (nil = a client with sane timeouts).
+	HTTP *http.Client
+	// Logger receives membership transitions (nil = discard).
+	Logger *log.Logger
+	// Now is the clock used against heartbeat TTLs (nil = time.Now).
+	Now func() time.Time
+}
+
+// Metrics are the router's own counters (snapshot via Router.Metrics).
+type Metrics struct {
+	Refreshes    int64 `json:"refreshes"`
+	Proxied      int64 `json:"proxied"`
+	Failovers    int64 `json:"failovers"`
+	Suspected    int64 `json:"suspected"`
+	MintedIDs    int64 `json:"minted_ids"`
+	NoReadyNodes int64 `json:"no_ready_nodes"`
+}
+
+// Router is the reverse proxy. Create with New, drive membership either
+// with Start/Stop (background loop) or explicit Refresh calls (tests).
+type Router struct {
+	opts    Options
+	members *cluster.Membership
+
+	mu       sync.RWMutex
+	ring     *cluster.Ring
+	addrs    map[string]string // node id -> base URL, ready nodes only
+	suspects map[string]bool   // unreachable since the last refresh
+
+	refreshes    atomic.Int64
+	proxied      atomic.Int64
+	failovers    atomic.Int64
+	suspected    atomic.Int64
+	mintedIDs    atomic.Int64
+	noReadyNodes atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a Router over the shared store. Call Start (or Refresh) to
+// populate the ring before serving.
+func New(opts Options) (*Router, error) {
+	if opts.Store == nil {
+		return nil, errors.New("router: Options.Store is required")
+	}
+	if opts.VirtualNodes == 0 {
+		opts.VirtualNodes = cluster.DefaultVirtualNodes
+	}
+	if opts.Refresh <= 0 {
+		opts.Refresh = time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.HTTP == nil {
+		opts.HTTP = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.New(io.Discard, "", 0)
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Router{
+		opts:     opts,
+		members:  cluster.NewMembership(opts.Store),
+		ring:     cluster.BuildRing(nil, opts.VirtualNodes),
+		addrs:    map[string]string{},
+		suspects: map[string]bool{},
+	}, nil
+}
+
+// Start runs one synchronous refresh (so the first request already has a
+// ring) and then polls membership until Stop.
+func (rt *Router) Start() error {
+	if err := rt.Refresh(); err != nil {
+		return err
+	}
+	rt.stop = make(chan struct{})
+	rt.done = make(chan struct{})
+	go rt.loop()
+	return nil
+}
+
+// Stop halts the refresh loop.
+func (rt *Router) Stop() {
+	if rt.stop == nil {
+		return
+	}
+	close(rt.stop)
+	<-rt.done
+	rt.stop = nil
+}
+
+func (rt *Router) loop() {
+	defer close(rt.done)
+	ticker := time.NewTicker(rt.opts.Refresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			if err := rt.Refresh(); err != nil {
+				rt.opts.Logger.Printf("membership refresh: %v", err)
+			}
+		}
+	}
+}
+
+// Refresh re-reads membership and probes every live node's /readyz,
+// rebuilding the ring from the nodes that answered ready. A node that
+// passes its probe sheds any suspect mark.
+func (rt *Router) Refresh() error {
+	rt.refreshes.Add(1)
+	infos, err := rt.members.Alive(rt.opts.Now())
+	if err != nil {
+		return err
+	}
+	type probe struct {
+		info  cluster.NodeInfo
+		ready bool
+	}
+	probes := make([]probe, len(infos))
+	var wg sync.WaitGroup
+	for i, info := range infos {
+		wg.Add(1)
+		go func(i int, info cluster.NodeInfo) {
+			defer wg.Done()
+			probes[i] = probe{info: info, ready: rt.probeReady(info.Addr)}
+		}(i, info)
+	}
+	wg.Wait()
+
+	ready := make([]string, 0, len(probes))
+	addrs := make(map[string]string, len(probes))
+	for _, p := range probes {
+		if p.ready {
+			ready = append(ready, p.info.ID)
+			addrs[p.info.ID] = p.info.Addr
+		}
+	}
+	sort.Strings(ready)
+
+	rt.mu.Lock()
+	prev := rt.ring.Nodes()
+	for _, id := range ready {
+		delete(rt.suspects, id) // probe succeeded: reachable again
+	}
+	rt.ring = cluster.BuildRing(ready, rt.opts.VirtualNodes)
+	rt.addrs = addrs
+	rt.mu.Unlock()
+	if fmt.Sprint(prev) != fmt.Sprint(ready) {
+		rt.opts.Logger.Printf("ring now %v (was %v)", ready, prev)
+	}
+	return nil
+}
+
+func (rt *Router) probeReady(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	client := &http.Client{Timeout: rt.opts.ProbeTimeout, Transport: rt.opts.HTTP.Transport}
+	resp, err := client.Get(addr + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Metrics snapshots the router counters.
+func (rt *Router) Metrics() Metrics {
+	return Metrics{
+		Refreshes:    rt.refreshes.Load(),
+		Proxied:      rt.proxied.Load(),
+		Failovers:    rt.failovers.Load(),
+		Suspected:    rt.suspected.Load(),
+		MintedIDs:    rt.mintedIDs.Load(),
+		NoReadyNodes: rt.noReadyNodes.Load(),
+	}
+}
+
+// candidates returns the proxy targets for a session id: the ring owner
+// first, then up to Retries successors, suspects filtered out (unless
+// that would leave nothing — a suspect beats an instant 503).
+func (rt *Router) candidates(id string) []string {
+	n := 1
+	if rt.opts.Retries > 0 {
+		n += rt.opts.Retries
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	all := rt.ring.Successors(id, n)
+	fresh := make([]string, 0, len(all))
+	for _, node := range all {
+		if !rt.suspects[node] {
+			fresh = append(fresh, node)
+		}
+	}
+	if len(fresh) == 0 {
+		fresh = all
+	}
+	return fresh
+}
+
+func (rt *Router) addrOf(node string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.addrs[node]
+}
+
+func (rt *Router) markSuspect(node string) {
+	rt.mu.Lock()
+	if !rt.suspects[node] {
+		rt.suspects[node] = true
+		rt.suspected.Add(1)
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *Router) readyNodes() (ids []string, addrs map[string]string) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	addrs = make(map[string]string, len(rt.addrs))
+	for id, addr := range rt.addrs {
+		if !rt.suspects[id] {
+			ids = append(ids, id)
+			addrs[id] = addr
+		}
+	}
+	sort.Strings(ids)
+	return ids, addrs
+}
+
+// ---- HTTP ------------------------------------------------------------------
+
+// Handler returns the router's HTTP surface: the ecserve API proxied by
+// session placement, plus /v1/cluster and the router's own probes.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ids, _ := rt.readyNodes(); len(ids) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "no_ready_nodes"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
+	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	mux.HandleFunc("GET /v1/metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/domains", rt.handleAny)
+	mux.HandleFunc("GET /v1/sessions", rt.handleList)
+	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
+	mux.HandleFunc("/v1/sessions/{id}", rt.handleSession)
+	mux.HandleFunc("/v1/sessions/{id}/{op}", rt.handleSession)
+	return mux
+}
+
+// handleCluster reports the operator view: every live heartbeat plus
+// whether the router currently routes to it.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	infos, err := rt.members.Alive(rt.opts.Now())
+	if err != nil {
+		writeRouterError(w, http.StatusServiceUnavailable, "membership_unavailable", err, true)
+		return
+	}
+	_, addrs := rt.readyNodes()
+	nodes := make([]map[string]any, 0, len(infos))
+	for _, info := range infos {
+		_, routed := addrs[info.ID]
+		nodes = append(nodes, map[string]any{
+			"id":     info.ID,
+			"addr":   info.Addr,
+			"ready":  routed,
+			"expiry": info.Expiry,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": nodes, "ring_nodes": len(addrs)})
+}
+
+// handleMetrics merges the router's counters with every ready node's
+// /v1/metrics, keyed by node id.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ids, addrs := rt.readyNodes()
+	perNode := make(map[string]json.RawMessage, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id, addr string) {
+			defer wg.Done()
+			resp, err := rt.opts.HTTP.Get(addr + "/v1/metrics")
+			if err != nil {
+				return
+			}
+			data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK || !json.Valid(data) {
+				return
+			}
+			mu.Lock()
+			perNode[id] = data
+			mu.Unlock()
+		}(id, addrs[id])
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{"router": rt.Metrics(), "nodes": perNode})
+}
+
+// handleAny proxies a read to any ready node (domain registry is
+// identical fleet-wide).
+func (rt *Router) handleAny(w http.ResponseWriter, r *http.Request) {
+	ids, addrs := rt.readyNodes()
+	for _, id := range ids {
+		if rt.forward(w, r, id, addrs[id], nil) {
+			return
+		}
+	}
+	rt.noReadyNodes.Add(1)
+	writeRouterError(w, http.StatusServiceUnavailable, "no_ready_nodes", errors.New("no ready nodes"), true)
+}
+
+// listResponse is the slice of the node list body the merge needs.
+type listResponse struct {
+	Sessions []string `json:"sessions"`
+	Live     []string `json:"live"`
+	Degraded []string `json:"degraded"`
+	Next     string   `json:"next"`
+}
+
+// handleList fans GET /v1/sessions out to every ready node and k-way
+// merges the pages. Cursor safety: if any node truncated its page, ids
+// past the smallest per-node cursor are dropped (that node might own
+// unseen ids below them), and the merged cursor is re-emitted from the
+// merged page.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	ids, addrs := rt.readyNodes()
+	if len(ids) == 0 {
+		rt.noReadyNodes.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable, "no_ready_nodes", errors.New("no ready nodes"), true)
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			writeRouterError(w, http.StatusBadRequest, "bad_limit", fmt.Errorf("bad limit %q", raw), false)
+			return
+		}
+		limit = parsed
+	}
+	type result struct {
+		resp listResponse
+		ok   bool
+	}
+	results := make([]result, len(ids))
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			u := addr + "/v1/sessions"
+			if q := r.URL.RawQuery; q != "" {
+				u += "?" + q
+			}
+			resp, err := rt.opts.HTTP.Get(u)
+			if err != nil {
+				return
+			}
+			data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			if json.Unmarshal(data, &results[i].resp) == nil {
+				results[i].ok = true
+			}
+		}(i, addrs[ids[i]])
+	}
+	wg.Wait()
+
+	sessions := map[string]bool{}
+	liveSet := map[string]bool{}
+	degradedSet := map[string]bool{}
+	bound := "" // smallest cursor among truncated nodes
+	anyOK := false
+	for _, res := range results {
+		if !res.ok {
+			continue
+		}
+		anyOK = true
+		for _, id := range res.resp.Sessions {
+			sessions[id] = true
+		}
+		for _, id := range res.resp.Live {
+			liveSet[id] = true
+		}
+		for _, id := range res.resp.Degraded {
+			degradedSet[id] = true
+		}
+		if res.resp.Next != "" && (bound == "" || res.resp.Next < bound) {
+			bound = res.resp.Next
+		}
+	}
+	if !anyOK {
+		rt.noReadyNodes.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable, "no_ready_nodes", errors.New("all node list requests failed"), true)
+		return
+	}
+	merged := setToSorted(sessions)
+	next := ""
+	if bound != "" {
+		cut := sort.SearchStrings(merged, bound)
+		if cut < len(merged) && merged[cut] == bound {
+			cut++
+		}
+		merged = merged[:cut]
+		next = bound
+	}
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+		next = merged[len(merged)-1]
+	}
+	out := map[string]any{
+		"sessions": merged,
+		"live":     setToSorted(liveSet),
+		"degraded": setToSorted(degradedSet),
+	}
+	if next != "" {
+		out["next"] = next
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func setToSorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// handleCreate consistent-hashes a create onto the owner of its session
+// id, minting one when the client did not choose. The injected id makes
+// the create idempotent, so transport failures fail over to successors.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeRouterError(w, http.StatusRequestEntityTooLarge, "body_too_large", err, false)
+		return
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(body, &fields); err != nil {
+		writeRouterError(w, http.StatusBadRequest, "bad_json", err, false)
+		return
+	}
+	id := ""
+	if raw, ok := fields["id"]; ok {
+		if json.Unmarshal(raw, &id) != nil || id == "" {
+			writeRouterError(w, http.StatusBadRequest, "bad_id", errors.New("id must be a non-empty string"), false)
+			return
+		}
+	} else {
+		id = mintID()
+		fields["id"] = json.RawMessage(strconv.Quote(id))
+		if body, err = json.Marshal(fields); err != nil {
+			writeRouterError(w, http.StatusInternalServerError, "encode_failed", err, false)
+			return
+		}
+		rt.mintedIDs.Add(1)
+	}
+	rt.proxy(w, r, id, body, true)
+}
+
+// handleSession routes everything under /v1/sessions/{id} by ring
+// placement. GETs and DELETEs fail over across successors; POSTs
+// (changes, solve) are delivered at most once by the router and answer
+// 502 + Retry-After on transport failure.
+func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet && r.Method != http.MethodHead {
+		var err error
+		if body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
+			writeRouterError(w, http.StatusRequestEntityTooLarge, "body_too_large", err, false)
+			return
+		}
+	}
+	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead || r.Method == http.MethodDelete
+	rt.proxy(w, r, id, body, idempotent)
+}
+
+// proxy forwards to the id's candidates in ring order. retry=false stops
+// after the first transport failure (non-idempotent request bodies must
+// not be replayed across nodes).
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body []byte, retry bool) {
+	cands := rt.candidates(id)
+	if len(cands) == 0 {
+		rt.noReadyNodes.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable, "no_ready_nodes", errors.New("no ready nodes"), true)
+		return
+	}
+	for i, node := range cands {
+		addr := rt.addrOf(node)
+		if addr == "" {
+			continue
+		}
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		if rt.forward(w, r, node, addr, body) {
+			return
+		}
+		if !retry {
+			writeRouterError(w, http.StatusBadGateway, "upstream_unreachable",
+				fmt.Errorf("node %s unreachable; request not replayed", node), true)
+			return
+		}
+	}
+	writeRouterError(w, http.StatusBadGateway, "upstream_unreachable",
+		errors.New("every candidate node unreachable"), true)
+}
+
+// forward sends one upstream attempt and, on any HTTP response at all,
+// relays it verbatim (status, JSON body, Retry-After) and reports true.
+// A transport error marks the node suspect and reports false — the
+// caller decides whether failing over is safe.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node, addr string, body []byte) bool {
+	u := addr + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		u += "?" + q
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
+	if err != nil {
+		return false
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.opts.HTTP.Do(req)
+	if err != nil {
+		if r.Context().Err() == nil {
+			rt.markSuspect(node)
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	rt.proxied.Add(1)
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, io.LimitReader(resp.Body, maxBody))
+	return true
+}
+
+// mintID returns a random router-minted session id. Random (not
+// sequential) so concurrent routers cannot collide and ids spread evenly
+// over the ring.
+func mintID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("router: crypto/rand failed: %v", err))
+	}
+	return "r-" + hex.EncodeToString(buf[:])
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeRouterError mirrors the ecserve error envelope so clients see one
+// error shape end to end; retryable adds the Retry-After hint.
+func writeRouterError(w http.ResponseWriter, status int, code string, err error, retryable bool) {
+	if retryable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]any{
+		"error": map[string]any{"code": code, "message": err.Error()},
+	})
+}

@@ -1,0 +1,315 @@
+package router
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ilpec/internal/cluster"
+	"ilpec/internal/store"
+)
+
+// fakeNode is a recording upstream: ready on /readyz, and for anything
+// else it captures the request and answers {"node": id} (or a canned
+// body when reply is set).
+type fakeNode struct {
+	id  string
+	srv *httptest.Server
+
+	mu     sync.Mutex
+	paths  []string
+	bodies []string
+	reply  func(path string) (int, string)
+}
+
+func newFakeNode(t *testing.T, id string) *fakeNode {
+	n := &fakeNode{id: id}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.Write([]byte(`{"ready":true}`))
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		n.mu.Lock()
+		n.paths = append(n.paths, r.Method+" "+r.URL.Path)
+		n.bodies = append(n.bodies, string(body))
+		reply := n.reply
+		n.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if reply != nil {
+			status, resp := reply(r.URL.Path)
+			w.WriteHeader(status)
+			w.Write([]byte(resp))
+			return
+		}
+		w.Write([]byte(`{"node":"` + id + `"}`))
+	}))
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func (n *fakeNode) hits() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.paths...)
+}
+
+// newTestRouter heartbeats every fake node into a shared memory store
+// and returns a refreshed router plus its HTTP front end.
+func newTestRouter(t *testing.T, nodes ...*fakeNode) (*Router, *httptest.Server) {
+	t.Helper()
+	st := store.NewMemory()
+	members := cluster.NewMembership(st)
+	for _, n := range nodes {
+		if err := members.Heartbeat(n.id, n.srv.URL, time.Minute, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := New(Options{Store: st, Refresh: time.Hour, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	return rt, srv
+}
+
+// Every session request must land on the id's ring owner — the same
+// owner a node-side ring computes, or placements would diverge.
+func TestRoutesSessionsByRingOwner(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	_, front := newTestRouter(t, n1, n2)
+	ring := cluster.BuildRing([]string{"n1", "n2"}, cluster.DefaultVirtualNodes)
+
+	byID := map[string]*fakeNode{"n1": n1, "n2": n2}
+	for _, id := range []string{"alpha", "beta", "gamma", "delta", "epsilon"} {
+		resp, err := http.Get(front.URL + "/v1/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Node string `json:"node"`
+		}
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		owner, _ := ring.Owner(id)
+		if out.Node != owner {
+			t.Fatalf("id %q served by %q, ring owner is %q", id, out.Node, owner)
+		}
+		_ = byID
+	}
+}
+
+// A create without an id gets one minted and injected, and is routed to
+// that id's ring owner.
+func TestCreateMintsAndRoutesID(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	rt, front := newTestRouter(t, n1, n2)
+
+	resp, err := http.Post(front.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"domain":"cnf","dimacs":"p cnf 1 1\n1 0\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var got *fakeNode
+	for _, n := range []*fakeNode{n1, n2} {
+		if len(n.hits()) == 1 {
+			got = n
+		}
+	}
+	if got == nil {
+		t.Fatal("create reached no upstream exactly once")
+	}
+	got.mu.Lock()
+	body := got.bodies[0]
+	got.mu.Unlock()
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &req); err != nil || !strings.HasPrefix(req.ID, "r-") {
+		t.Fatalf("upstream body %q lacks a minted r- id", body)
+	}
+	ring := cluster.BuildRing([]string{"n1", "n2"}, cluster.DefaultVirtualNodes)
+	if owner, _ := ring.Owner(req.ID); owner != got.id {
+		t.Fatalf("minted id %q routed to %q, ring owner is %q", req.ID, got.id, owner)
+	}
+	if rt.Metrics().MintedIDs != 1 {
+		t.Fatalf("minted_ids = %d, want 1", rt.Metrics().MintedIDs)
+	}
+	// A client-chosen id is preserved, not replaced.
+	resp, err = http.Post(front.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"id":"mine","domain":"cnf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rt.Metrics().MintedIDs != 1 {
+		t.Fatal("router minted an id the client had already chosen")
+	}
+}
+
+// When the owner is unreachable, idempotent requests fail over to the
+// ring successor and the owner is marked suspect; non-idempotent ones
+// answer 502 + Retry-After without being replayed.
+func TestFailoverSemantics(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	rt, front := newTestRouter(t, n1, n2)
+	ring := cluster.BuildRing([]string{"n1", "n2"}, cluster.DefaultVirtualNodes)
+
+	// Find an id owned by n1 and kill n1.
+	id := "alpha"
+	for i := 0; ; i++ {
+		if owner, _ := ring.Owner(id); owner == "n1" {
+			break
+		}
+		id = "alpha" + strings.Repeat("x", i+1)
+	}
+	n1.srv.Close()
+
+	resp, err := http.Get(front.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Node string `json:"node"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out.Node != "n2" {
+		t.Fatalf("GET after owner death served by %q, want failover to n2", out.Node)
+	}
+	m := rt.Metrics()
+	if m.Failovers == 0 || m.Suspected == 0 {
+		t.Fatalf("metrics = %+v, want failovers and suspected counted", m)
+	}
+
+	// Suspect marking: the next idempotent request skips n1 entirely.
+	before := len(n2.hits())
+	resp, err = http.Get(front.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(n2.hits()) != before+1 {
+		t.Fatal("suspect owner was not skipped on the follow-up request")
+	}
+
+	_ = rt
+}
+
+// A POST (changes/solve) must never be replayed by the router: with the
+// owner dead but not yet refreshed away, the answer is 502 + Retry-After
+// and the successor sees nothing.
+func TestNoReplayNonIdempotent(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	_, front := newTestRouter(t, n1, n2)
+	ring := cluster.BuildRing([]string{"n1", "n2"}, cluster.DefaultVirtualNodes)
+	id := "alpha"
+	for i := 0; ; i++ {
+		if owner, _ := ring.Owner(id); owner == "n1" {
+			break
+		}
+		id = "alpha" + strings.Repeat("x", i+1)
+	}
+	// Killed AFTER the refresh: the router still believes n1 is ready.
+	n1.srv.Close()
+	before := len(n2.hits())
+	resp, err := http.Post(front.URL+"/v1/sessions/"+id+"/solve", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("POST solve to dead owner = %d, want 502", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("502 missing Retry-After hint")
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	if env.Error.Code != "upstream_unreachable" {
+		t.Fatalf("error code %q, want upstream_unreachable", env.Error.Code)
+	}
+	if got := len(n2.hits()); got != before {
+		t.Fatalf("non-idempotent request was replayed onto n2 (%d hits, want %d)", got, before)
+	}
+}
+
+// The list fan-out merges per-node pages cursor-safely: ids past the
+// smallest truncated node's cursor are dropped so no id can be skipped.
+func TestListMergeCursorSafe(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	n1.reply = func(path string) (int, string) {
+		return 200, `{"sessions":["a","c"],"live":["a"],"degraded":[],"next":"c"}`
+	}
+	n2.reply = func(path string) (int, string) {
+		return 200, `{"sessions":["b","d"],"live":[],"degraded":["d"]}`
+	}
+	_, front := newTestRouter(t, n1, n2)
+
+	resp, err := http.Get(front.URL + "/v1/sessions?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Sessions []string `json:"sessions"`
+		Live     []string `json:"live"`
+		Degraded []string `json:"degraded"`
+		Next     string   `json:"next"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// n1 truncated at "c": "d" must be dropped (n1 may own unseen ids
+	// before it), then limit=2 truncates to [a b] with cursor b.
+	want := []string{"a", "b"}
+	if len(out.Sessions) != 2 || out.Sessions[0] != want[0] || out.Sessions[1] != want[1] {
+		t.Fatalf("merged sessions = %v, want %v", out.Sessions, want)
+	}
+	if out.Next != "b" {
+		t.Fatalf("next = %q, want b", out.Next)
+	}
+	if len(out.Live) != 1 || len(out.Degraded) != 1 {
+		t.Fatalf("live=%v degraded=%v, want unions", out.Live, out.Degraded)
+	}
+}
+
+// The router's readyz reflects whether anything is routable.
+func TestRouterReadyz(t *testing.T) {
+	n1 := newFakeNode(t, "n1")
+	rt, front := newTestRouter(t, n1)
+	resp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with a live node = %d", resp.StatusCode)
+	}
+	n1.srv.Close()
+	if err := rt.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no nodes = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,359 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ilpec/internal/cluster"
+	"ilpec/internal/store"
+)
+
+// fleetClock is a shared fake clock: every node of a test fleet reads
+// the same (advanceable) time, so lease expiry is deterministic.
+type fleetClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFleetClock() *fleetClock {
+	return &fleetClock{now: time.UnixMilli(1_700_000_000_000)}
+}
+
+func (c *fleetClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fleetClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// newFleet builds n services sharing one store, each its own cluster
+// node ("n1".."n9") on the shared clock. Nodes are not started — lease
+// and fleet-cache logic needs no heartbeat loop.
+func newFleet(t *testing.T, st store.Store, clk *fleetClock, ttl time.Duration, n int) []*Service {
+	t.Helper()
+	svcs := make([]*Service, n)
+	for i := range svcs {
+		node, err := cluster.NewNode(cluster.Config{
+			ID:       "n" + string(rune('1'+i)),
+			Store:    st,
+			LeaseTTL: ttl,
+			Clock:    clk.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs[i] = New(Options{Store: st, Cluster: node})
+	}
+	return svcs
+}
+
+func TestClusterLeaseOwnershipAndSteal(t *testing.T) {
+	st := store.NewMemory()
+	clk := newFleetClock()
+	svcs := newFleet(t, st, clk, 5*time.Second, 2)
+	a, b := svcs[0], svcs[1]
+	defer b.Close()
+
+	_, c := fixtureFor(t, a, "cnf")
+	sessA, err := a.CreateDomainSessionWithID("job-1", "cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatalf("create on A: %v", err)
+	}
+	if _, err := sessA.Solve(); err != nil {
+		t.Fatalf("solve on A: %v", err)
+	}
+
+	// While A's lease is live, B must refuse the session.
+	if _, err := b.LookupSession("job-1"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("lookup on B while A holds the lease: %v, want ErrNotOwner", err)
+	}
+	if got := b.Metrics().ClusterNotOwner; got == 0 {
+		t.Fatal("B's refused lookup not counted in cluster_not_owner")
+	}
+
+	// A stops renewing (crash model); past the TTL, B takes over with the
+	// full durable state.
+	clk.Advance(6 * time.Second)
+	sessB, err := b.LookupSession("job-1")
+	if err != nil {
+		t.Fatalf("steal on B after expiry: %v", err)
+	}
+	if fp := solFP(sessB.dom, sessB.SolutionValue()); fp != solFP(sessA.dom, sessA.SolutionValue()) {
+		t.Fatal("B's rehydrated solution diverges from A's committed one")
+	}
+
+	// A's stale copy must fence on its next write: the clock guard sees
+	// B's unexpired lease and refuses before anything lands.
+	if _, err := sessA.QueueChanges(c.Tightening...); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("stale queue on A: %v, want ErrNotOwner", err)
+	}
+	if got := a.Metrics().ClusterFenced; got != 1 {
+		t.Fatalf("cluster_fenced on A = %d, want 1", got)
+	}
+	if _, err := a.LookupSession("job-1"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("lookup on A after fence: %v, want ErrNotOwner (B holds the lease)", err)
+	}
+	a.Close()
+}
+
+// The CAS fence: even when the stale owner's clock claims its lease is
+// valid, an append behind the new owner's writes must conflict, fence,
+// and commit NOTHING — across all four domains, with the journal staying
+// gapless and replayable to the same state as an uninterrupted control.
+func TestClusterFencedAppendNoDoubleCommit(t *testing.T) {
+	for _, name := range allDomains {
+		t.Run(name, func(t *testing.T) {
+			st := store.NewMemory()
+			clk := newFleetClock()
+			svcs := newFleet(t, st, clk, 5*time.Second, 2)
+			a, b := svcs[0], svcs[1]
+
+			_, c := fixtureFor(t, a, name)
+			sessA, err := a.CreateDomainSessionWithID("job-1", name, c.Problem, SessionConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sessA.Solve(); err != nil {
+				t.Fatal(err)
+			}
+
+			clk.Advance(6 * time.Second)
+			sessB, err := b.LookupSession("job-1")
+			if err != nil {
+				t.Fatalf("steal on B: %v", err)
+			}
+			if _, err := sessB.QueueChanges(c.Tightening...); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sessB.Solve(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Sabotage A's clock guard so only the store's CAS stands between
+			// its stale copy and a double commit.
+			sessA.mu.Lock()
+			sessA.lease.Expiry = clk.Now().Add(time.Hour)
+			sessA.mu.Unlock()
+			if _, err := sessA.QueueChanges(c.Tightening...); !errors.Is(err, ErrNotOwner) {
+				t.Fatalf("stale append on A: %v, want ErrNotOwner via CAS fence", err)
+			}
+			if got := a.Metrics().ClusterFenced; got != 1 {
+				t.Fatalf("cluster_fenced on A = %d, want 1", got)
+			}
+
+			// The journal must show exactly one history: gapless seqs, one
+			// changes record, two solves, nothing from A's fenced attempt.
+			snap, tail, err := st.Load("job-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := snap.Seq
+			kinds := map[string]int{}
+			for _, rec := range tail {
+				if rec.Seq != seq+1 {
+					t.Fatalf("journal gap: record seq %d after %d", rec.Seq, seq)
+				}
+				seq = rec.Seq
+				kinds[rec.Kind]++
+			}
+			if kinds[store.KindChanges] != 1 || kinds[store.KindSolve] != 2 || kinds[store.KindDiscard] != 0 {
+				t.Fatalf("journal kinds = %v, want exactly 1 changes + 2 solves", kinds)
+			}
+
+			// Differential: B's state equals an uninterrupted single-node
+			// control run of the same script.
+			ctl := New(Options{})
+			defer ctl.Close()
+			ctlSess := runScript(t, ctl, name)
+			if fp := solFP(sessB.dom, sessB.SolutionValue()); fp != solFP(ctlSess.dom, ctlSess.SolutionValue()) {
+				t.Fatal("post-failover solution diverges from uninterrupted control")
+			}
+			if fp := probFP(sessB.dom, sessB.Problem()); fp != probFP(ctlSess.dom, ctlSess.Problem()) {
+				t.Fatal("post-failover problem diverges from uninterrupted control")
+			}
+			a.Close()
+			b.Close()
+		})
+	}
+}
+
+// A proven solve on one node must be served to a peer's identical task
+// through the fleet cache, without the peer running the solver.
+func TestClusterFleetCachePeek(t *testing.T) {
+	st := store.NewMemory()
+	clk := newFleetClock()
+	svcs := newFleet(t, st, clk, time.Minute, 2)
+	a, b := svcs[0], svcs[1]
+	defer a.Close()
+	defer b.Close()
+
+	_, c := fixtureFor(t, a, "cnf")
+	sessA, err := a.CreateDomainSession("cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessA.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Metrics().ClusterPeekStores; got == 0 {
+		t.Fatal("A's proven solve was not published to the fleet cache")
+	}
+
+	sessB, err := b.CreateDomainSession("cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sessB.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("B's identical solve not served as cached via fleet peek")
+	}
+	m := b.Metrics()
+	if m.ClusterPeekHits != 1 {
+		t.Fatalf("cluster_peek_hits on B = %d, want 1", m.ClusterPeekHits)
+	}
+	if m.SolverRuns != 0 {
+		t.Fatalf("solver_runs on B = %d, want 0 (answer came from the fleet)", m.SolverRuns)
+	}
+	if fp := solFP(sessB.dom, sessB.SolutionValue()); fp != solFP(sessA.dom, sessA.SolutionValue()) {
+		t.Fatal("peeked solution differs from the publisher's")
+	}
+}
+
+// Auto ids must be node-salted in cluster mode (no cross-node collisions)
+// and restart-stable (a restarted node resumes past its own ids).
+func TestClusterAutoIDsSaltedAndRestartSafe(t *testing.T) {
+	st := store.NewMemory()
+	clk := newFleetClock()
+	svcs := newFleet(t, st, clk, time.Minute, 2)
+	a, b := svcs[0], svcs[1]
+
+	_, c := fixtureFor(t, a, "cnf")
+	sa, err := a.CreateDomainSession("cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.CreateDomainSession("cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.ID() != "n1-s1" || sb.ID() != "n2-s1" {
+		t.Fatalf("auto ids = %q, %q; want n1-s1, n2-s1", sa.ID(), sb.ID())
+	}
+	a.Close()
+
+	// Restart n1 over the same store: its counter must advance past n1-s1.
+	a2 := newFleet(t, st, clk, time.Minute, 1)[0]
+	defer a2.Close()
+	defer b.Close()
+	s2, err := a2.CreateDomainSession("cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ID() != "n1-s2" {
+		t.Fatalf("auto id after restart = %q, want n1-s2", s2.ID())
+	}
+}
+
+func TestCreateWithIDValidation(t *testing.T) {
+	svc := New(Options{Store: store.NewMemory()})
+	defer svc.Close()
+	_, c := fixtureFor(t, svc, "cnf")
+	if _, err := svc.CreateDomainSessionWithID("job-1", "cnf", c.Problem, SessionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateDomainSessionWithID("job-1", "cnf", c.Problem, SessionConfig{}); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate id: %v, want ErrSessionExists", err)
+	}
+	for _, bad := range []string{"", "a/b", "_cluster_lease_x", ".."} {
+		if _, err := svc.CreateDomainSessionWithID(bad, "cnf", c.Problem, SessionConfig{}); err == nil {
+			t.Fatalf("id %q accepted", bad)
+		}
+	}
+}
+
+func TestSessionPage(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	_, c := fixtureFor(t, svc, "cnf")
+	for i := 0; i < 5; i++ {
+		if _, err := svc.CreateDomainSession("cnf", c.Problem, SessionConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, next := svc.SessionPage("", 2)
+	if !reflect.DeepEqual(page, []string{"s1", "s2"}) || next != "s2" {
+		t.Fatalf("page 1 = %v next %q", page, next)
+	}
+	page, next = svc.SessionPage(next, 2)
+	if !reflect.DeepEqual(page, []string{"s3", "s4"}) || next != "s4" {
+		t.Fatalf("page 2 = %v next %q", page, next)
+	}
+	page, next = svc.SessionPage(next, 2)
+	if !reflect.DeepEqual(page, []string{"s5"}) || next != "" {
+		t.Fatalf("page 3 = %v next %q", page, next)
+	}
+	if page, next = svc.SessionPage("", 0); len(page) != 5 || next != "" {
+		t.Fatalf("default page = %v next %q, want all 5", page, next)
+	}
+}
+
+func TestReadyzSplitFromHealthz(t *testing.T) {
+	st := store.NewMemory()
+	node, err := cluster.NewNode(cluster.Config{ID: "n1", Store: st, Clock: newFleetClock().Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	svc := New(Options{Store: st, Cluster: node})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz = %d", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200 while healthy", got)
+	}
+	svc.StartDraining()
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (still live)", got)
+	}
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		// readyz is a probe, not a client endpoint; no retry hint expected.
+		t.Log("unexpected Retry-After on readyz (informational)")
+	}
+}

@@ -21,7 +21,7 @@ const maxBodyBytes = 8 << 20
 // NewHandler exposes a Service over HTTP/JSON:
 //
 //	POST   /v1/sessions              create a session (any registered domain)
-//	GET    /v1/sessions              list all session ids (live + persisted)
+//	GET    /v1/sessions              list session ids (?limit=&after= pages)
 //	GET    /v1/sessions/{id}         session info (rehydrates if evicted)
 //	DELETE /v1/sessions/{id}         close a session (memory and store)
 //	POST   /v1/sessions/{id}/changes queue a change batch (domain wire form)
@@ -29,7 +29,9 @@ const maxBodyBytes = 8 << 20
 //	GET    /v1/sessions/{id}/flex?k= flexibility report (§5 audit)
 //	GET    /v1/domains               registered domain names
 //	GET    /v1/metrics               service counters
-//	GET    /healthz                  liveness probe
+//	GET    /healthz                  liveness probe (the process answers)
+//	GET    /readyz                   readiness probe (503 while draining,
+//	                                 store-quarantined, or cluster-partitioned)
 //
 // Sessions default to the CNF domain (the legacy dimacs/clauses create
 // shape); pass "domain" plus a domain-specific "problem" object to serve
@@ -43,14 +45,7 @@ func NewHandler(svc *Service) http.Handler {
 		handleCreate(svc, w, r)
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		// "sessions" spans live AND persisted (evicted / recovered-but-
-		// untouched) sessions; "live" is the in-memory subset; "degraded"
-		// lists quarantined sessions currently served memory-only.
-		writeJSON(w, http.StatusOK, map[string]any{
-			"sessions": svc.Sessions(),
-			"live":     svc.LiveSessions(),
-			"degraded": svc.DegradedSessions(),
-		})
+		handleSessionList(svc, w, r)
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}", withSession(svc, func(sess *Session, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, sess.Info())
@@ -71,7 +66,46 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness (/healthz) says the process answers; readiness says it
+		// should receive NEW work. Routers health-check this endpoint, so a
+		// draining, quarantined, or cluster-partitioned node drops out of
+		// rotation without being restarted.
+		ok, reason := svc.Ready()
+		if !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
 	return mux
+}
+
+// handleSessionList serves GET /v1/sessions with optional keyset paging:
+// ?limit= bounds the page (default 1000, max 10000) and ?after= resumes
+// after the given id; "next" in the response (present only on a
+// truncated page) is the ?after= cursor of the following page. "live"
+// and "degraded" are point-in-time service-wide summaries, not paged.
+func handleSessionList(svc *Service, w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, "bad_limit", fmt.Errorf("bad limit %q", raw))
+			return
+		}
+		limit = parsed
+	}
+	page, next := svc.SessionPage(r.URL.Query().Get("after"), limit)
+	out := map[string]any{
+		"sessions": page,
+		"live":     svc.LiveSessions(),
+		"degraded": svc.DegradedSessions(),
+	}
+	if next != "" {
+		out["next"] = next
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ---- requests ------------------------------------------------------------
@@ -80,6 +114,11 @@ func NewHandler(svc *Service) http.Handler {
 // domain's Problem wire form, or use the legacy CNF shape (a DIMACS
 // string or a clause list).
 type createRequest struct {
+	// ID optionally names the session instead of letting the service mint
+	// an id. cmd/ecrouter injects it so a create can be consistent-hashed
+	// onto its ring owner; direct clients may use it for idempotent
+	// creates (a taken id answers 409 session_exists).
+	ID string `json:"id,omitempty"`
 	// Domain selects the problem domain (default "cnf").
 	Domain string `json:"domain,omitempty"`
 	// Problem is the domain-specific problem description.
@@ -184,11 +223,21 @@ func handleCreate(svc *Service, w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Solve = &solve
 	}
-	sess, err := svc.CreateDomainSession(domainName, problem, cfg)
+	var sess *Session
+	if req.ID != "" {
+		sess, err = svc.CreateDomainSessionWithID(req.ID, domainName, problem, cfg)
+	} else {
+		sess, err = svc.CreateDomainSession(domainName, problem, cfg)
+	}
 	if err != nil {
-		if store.IsTransient(err) {
+		switch {
+		case errors.Is(err, ErrSessionExists):
+			writeError(w, http.StatusConflict, "session_exists", err)
+		case errors.Is(err, ErrNotOwner):
+			writeRetryableError(w, http.StatusServiceUnavailable, "not_owner", err)
+		case store.IsTransient(err):
 			writeRetryableError(w, http.StatusServiceUnavailable, "create_failed", err)
-		} else {
+		default:
 			writeError(w, http.StatusServiceUnavailable, "create_failed", err)
 		}
 		return
@@ -233,6 +282,10 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			writeRetryableError(w, http.StatusTooManyRequests, "queue_full", err)
+		case errors.Is(err, ErrNotOwner):
+			// The session's lease moved to another node mid-request; the
+			// router re-routes the client's retry to the new owner.
+			writeRetryableError(w, http.StatusServiceUnavailable, "not_owner", err)
 		case store.IsTransient(err):
 			writeRetryableError(w, http.StatusServiceUnavailable, "store_unavailable", err)
 		default:
@@ -263,6 +316,8 @@ func handleSolve(sess *Session, w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusRequestTimeout, "cancelled", err)
 		case errors.Is(err, ErrOverloaded):
 			writeRetryableError(w, http.StatusServiceUnavailable, "overloaded", err)
+		case errors.Is(err, ErrNotOwner):
+			writeRetryableError(w, http.StatusServiceUnavailable, "not_owner", err)
 		case ctx.Err() != nil:
 			// Our RequestTimeout fired, not the client: the service shed the
 			// request to protect the pool. Retryable.
@@ -329,9 +384,18 @@ func (s *Session) problemRef() any {
 func withSession(svc *Service, h func(*Session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		sess, ok := svc.Session(id)
-		if !ok {
-			writeError(w, http.StatusNotFound, "unknown_session", fmt.Errorf("unknown session %q", id))
+		sess, err := svc.LookupSession(id)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrNotOwner):
+				// Another node holds the session's lease: retryable, and the
+				// router's retry lands on the owner.
+				writeRetryableError(w, http.StatusServiceUnavailable, "not_owner", err)
+			case store.IsTransient(err):
+				writeRetryableError(w, http.StatusServiceUnavailable, "store_unavailable", err)
+			default:
+				writeError(w, http.StatusNotFound, "unknown_session", fmt.Errorf("unknown session %q", id))
+			}
 			return
 		}
 		h(sess, w, r)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"ilpec/internal/cluster"
 	"ilpec/internal/domain"
 	"ilpec/internal/ilp"
 	"ilpec/internal/store"
@@ -122,6 +123,12 @@ func (sess *Session) persistSnapshotLocked() error {
 	if !sess.svc.hasStore() {
 		return nil
 	}
+	if sess.fenced.Load() {
+		// A fenced session's durable state belongs to the new owner;
+		// writing a snapshot from this stale copy would clobber it
+		// (WriteSnapshot is last-write-wins, not CAS-guarded).
+		return nil
+	}
 	snap, err := sess.snapshotLocked()
 	if err != nil {
 		return err
@@ -157,6 +164,16 @@ func (sess *Session) appendLocked(rec store.Record) error {
 	if !sess.svc.hasStore() {
 		return nil
 	}
+	if sess.fenced.Load() {
+		return notOwnerErr(sess.id, "")
+	}
+	// Cluster mode: prove ownership before writing (and renew the lease
+	// when it nears expiry — "renew on commit"). A definitive loss fences
+	// the session BEFORE anything lands in the journal, so the client's
+	// retry at the new owner is not a double commit.
+	if err := sess.ensureLeaseLocked(); err != nil {
+		return err
+	}
 	if sess.degraded.Load() {
 		sess.seq++
 		return nil
@@ -169,9 +186,20 @@ func (sess *Session) appendLocked(rec store.Record) error {
 		// the write). The slot is durably occupied, and only this session
 		// writes it, so accept the append; forceCompact schedules a prompt
 		// snapshot so the durable record is superseded even if its payload
-		// predates this retry.
+		// predates this retry. In cluster mode the "only this session
+		// writes it" premise holds because appends happen under a valid
+		// lease: a peer can only write this journal after stealing the
+		// lease, which the check above turns into a fence first.
 		sess.forceCompact = true
 		err = nil
+	}
+	if err != nil && errors.Is(err, store.ErrSeqConflict) && sess.svc.clustered() {
+		// CAS fence: the journal advanced under us, so another node owns
+		// this session now (it rehydrated and appended after winning the
+		// lease — the clock-based check above can lag reality). Nothing of
+		// this operation landed; refuse it and retire this stale copy.
+		sess.fenceLocked()
+		return notOwnerErr(sess.id, "")
 	}
 	if err != nil {
 		if store.IsTransient(err) {
@@ -265,13 +293,18 @@ func (s *Service) recoverSessions() {
 	if err != nil {
 		return // an unreadable store serves as empty; writes will surface the fault
 	}
+	recovered := 0
 	for _, id := range ids {
+		if cluster.IsMetaID(id) {
+			continue // heartbeat/lease/fleet-cache bookkeeping, not a session
+		}
 		s.persisted[id] = true
-		if n, ok := numericID(id); ok && n > s.nextID {
+		recovered++
+		if n, ok := s.ownNumericID(id); ok && n > s.nextID {
 			s.nextID = n
 		}
 	}
-	s.metrics.Recoveries.Add(int64(len(ids)))
+	s.metrics.Recoveries.Add(int64(recovered))
 }
 
 // numericID extracts k from the service's "s<k>" id scheme.
@@ -281,6 +314,20 @@ func numericID(id string) (int64, bool) {
 	}
 	n, err := strconv.ParseInt(id[1:], 10, 64)
 	return n, err == nil
+}
+
+// ownNumericID extracts k from this service's auto-id scheme — "s<k>"
+// standalone, "<node>-s<k>" in cluster mode (a restarted node must
+// advance past its own prior ids; peers' counters are not ours to bump).
+func (s *Service) ownNumericID(id string) (int64, bool) {
+	if s.clustered() {
+		rest, ok := strings.CutPrefix(id, s.opts.Cluster.ID()+"-")
+		if !ok {
+			return 0, false
+		}
+		return numericID(rest)
+	}
+	return numericID(id)
 }
 
 // rehydrate reconstructs a session from its snapshot and journal tail.
@@ -451,6 +498,24 @@ func (s *Service) lruLocked() *Session {
 func (s *Service) retire(sess *Session) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if sess.fenced.Load() {
+		// The new owner's copy is authoritative; persisting (or healing)
+		// from here would clobber it.
+		sess.closed = true
+		return
+	}
+	if s.clustered() {
+		// Re-prove ownership before the final write: a slow drain can
+		// outlive the lease TTL, and a peer that took the session over in
+		// the meantime must not have its state clobbered by our snapshot
+		// (WriteSnapshot is last-write-wins, not CAS). On any doubt —
+		// stolen, or transient store trouble past an expired lease — skip
+		// the snapshot; the journal already holds every committed record.
+		if err := sess.ensureLeaseLocked(); err != nil {
+			sess.closed = true
+			return
+		}
+	}
 	if sess.degraded.Load() {
 		// Last-chance heal: if the store has recovered, one full snapshot at
 		// the session's logical seq makes the replica exact again.
@@ -458,6 +523,8 @@ func (s *Service) retire(sess *Session) {
 	} else {
 		sess.persistSnapshotLocked() //nolint:errcheck // counted above; journal holds the state
 	}
+	// Hand the lease back so a successor node need not wait out the TTL.
+	sess.releaseLeaseLocked()
 	sess.closed = true
 }
 

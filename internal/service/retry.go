@@ -73,7 +73,10 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 //   - a store.ErrSeqConflict on a RETRY (never on the first attempt)
 //     means the previous attempt actually landed — a failed-fsync
 //     acknowledgement was lost — so the record is durable and the retry
-//     loop reports success;
+//     loop reports success. In cluster mode this "only we write this
+//     journal" inference stays sound because appends run under a valid
+//     session lease (appendLocked re-proves ownership first), so no peer
+//     can interleave an append mid-retry-loop;
 //   - non-transient errors (corruption, closed store, validation) return
 //     immediately: backing off cannot help.
 func (s *Service) retryStore(op func() error) error {
@@ -128,6 +131,11 @@ func (s *Session) Degraded() bool { return s.degraded.Load() }
 // holds sess.mu.
 func (sess *Session) healLocked() bool {
 	svc := sess.svc
+	if sess.fenced.Load() {
+		// A fenced session must never write: its durable state belongs to
+		// the node that took the lease over.
+		return false
+	}
 	svc.metrics.QuarantineProbes.Add(1)
 	snap, err := sess.snapshotLocked()
 	if err == nil {

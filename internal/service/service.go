@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ilpec/internal/cluster"
 	"ilpec/internal/cnf"
 	"ilpec/internal/core"
 	"ilpec/internal/domain"
@@ -137,6 +138,15 @@ type Options struct {
 	// either way (the differential tests pin this); the switch exists for
 	// A/B comparison and as an escape hatch.
 	DisableInstance bool
+	// Cluster, when set, runs this service as one node of a multi-node
+	// fleet sharing Store: session lookups and journal appends are guarded
+	// by per-session leases (see cluster.Leases and this package's
+	// cluster.go), auto-generated session ids are salted with the node id,
+	// and solve-cache misses peek the fleet-wide cache before running the
+	// solver. Requires Store — and for a multi-PROCESS fleet the store
+	// must be cross-process safe (store.NewSharedFile). The service does
+	// not start or stop the node; cmd/ecserve owns its lifecycle.
+	Cluster *cluster.Node
 }
 
 // SessionConfig carries per-session overrides at creation time.
@@ -226,6 +236,20 @@ type Metrics struct {
 	// BacklogRejections counts solves shed at MaxBacklog (503).
 	QueueRejections   atomic.Int64
 	BacklogRejections atomic.Int64
+	// ClusterLeaseAcquired / ClusterLeaseRenewals count session-ownership
+	// lease operations; ClusterNotOwner counts lookups refused because
+	// another node holds the lease; ClusterFenced counts sessions fenced
+	// after a definitive ownership loss (the split-brain guard firing).
+	ClusterLeaseAcquired atomic.Int64
+	ClusterLeaseRenewals atomic.Int64
+	ClusterNotOwner      atomic.Int64
+	ClusterFenced        atomic.Int64
+	// ClusterPeekHits / ClusterPeekMisses count fleet-cache lookups on
+	// local-cache misses; ClusterPeekStores counts proven results
+	// published for peers.
+	ClusterPeekHits   atomic.Int64
+	ClusterPeekMisses atomic.Int64
+	ClusterPeekStores atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics for reporting.
@@ -276,6 +300,15 @@ type MetricsSnapshot struct {
 	QuarantineHeals   int64 `json:"quarantine_heals"`
 	QueueRejections   int64 `json:"queue_rejections"`
 	BacklogRejections int64 `json:"backlog_rejections"`
+	// Cluster-mode counters (all zero when Options.Cluster is unset); see
+	// Metrics for their meaning.
+	ClusterLeaseAcquired int64 `json:"cluster_lease_acquired"`
+	ClusterLeaseRenewals int64 `json:"cluster_lease_renewals"`
+	ClusterNotOwner      int64 `json:"cluster_not_owner"`
+	ClusterFenced        int64 `json:"cluster_fenced"`
+	ClusterPeekHits      int64 `json:"cluster_peek_hits"`
+	ClusterPeekMisses    int64 `json:"cluster_peek_misses"`
+	ClusterPeekStores    int64 `json:"cluster_peek_stores"`
 }
 
 // Service manages long-lived EC sessions sharing a solve cache, an
@@ -301,6 +334,10 @@ type Service struct {
 	// a rehydration can never race a detaching instance's last journal
 	// appends (which would fork the session).
 	evicting map[string]chan struct{}
+	// creating reserves explicit ids between the duplicate check and the
+	// session's registration, so two concurrent creates of one id cannot
+	// both succeed.
+	creating map[string]bool
 	nextID   int64
 
 	// sweepStop/sweepDone bracket the TTL sweeper goroutine;
@@ -312,6 +349,10 @@ type Service struct {
 
 	imu        sync.Mutex
 	incumbents map[string]incumbent
+
+	// draining flips /readyz to 503 ahead of graceful shutdown (see
+	// StartDraining in cluster.go).
+	draining atomic.Bool
 
 	metrics Metrics
 }
@@ -363,6 +404,7 @@ func New(opts Options) *Service {
 		sessions:   make(map[string]*Session),
 		persisted:  make(map[string]bool),
 		evicting:   make(map[string]chan struct{}),
+		creating:   make(map[string]bool),
 		incumbents: make(map[string]incumbent),
 	}
 	if s.hasStore() {
@@ -415,6 +457,30 @@ func (s *Service) CreateSession(f *cnf.Formula, cfg SessionConfig) (*Session, er
 // domain (deep-copied; the caller keeps ownership). cfg carries optional
 // per-session overrides.
 func (s *Service) CreateDomainSession(domainName string, problem any, cfg SessionConfig) (*Session, error) {
+	return s.createSession("", domainName, problem, cfg)
+}
+
+// CreateDomainSessionWithID is CreateDomainSession with a caller-chosen
+// session id — cmd/ecrouter mints ids up front so a create can be
+// consistent-hashed onto its ring owner before the session exists. The
+// id must satisfy store.ValidateID, must not use the reserved _cluster_
+// prefix, and must be free (ErrSessionExists otherwise; in cluster mode
+// the check runs under the freshly acquired session lease, so racing
+// creates of one id across nodes serialize through the store's CAS).
+func (s *Service) CreateDomainSessionWithID(id, domainName string, problem any, cfg SessionConfig) (*Session, error) {
+	if id == "" {
+		return nil, fmt.Errorf("service: empty session id")
+	}
+	if err := store.ValidateID(id); err != nil {
+		return nil, fmt.Errorf("service: session id: %w", err)
+	}
+	if cluster.IsMetaID(id) {
+		return nil, fmt.Errorf("service: session id %q uses a reserved prefix", id)
+	}
+	return s.createSession(id, domainName, problem, cfg)
+}
+
+func (s *Service) createSession(id, domainName string, problem any, cfg SessionConfig) (*Session, error) {
 	d, ok := s.DomainByName(domainName)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown domain %q (have %v)", domainName, s.Domains())
@@ -433,6 +499,7 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 	if cfg.Solve != nil {
 		solve = *cfg.Solve
 	}
+	explicit := id != ""
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -442,9 +509,64 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 		s.mu.Unlock()
 		return nil, fmt.Errorf("service: session limit (%d) reached", s.opts.MaxSessions)
 	}
-	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
+	if explicit {
+		_, live := s.sessions[id]
+		_, ev := s.evicting[id]
+		if live || ev || s.persisted[id] || s.creating[id] {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+		}
+		s.creating[id] = true
+		defer func() {
+			s.mu.Lock()
+			delete(s.creating, id)
+			s.mu.Unlock()
+		}()
+	} else {
+		s.nextID++
+		if s.clustered() {
+			// Node-salted auto ids: every node starts counting at 1, so bare
+			// "s<n>" ids would collide in the shared store.
+			id = fmt.Sprintf("%s-s%d", s.opts.Cluster.ID(), s.nextID)
+		} else {
+			id = fmt.Sprintf("s%d", s.nextID)
+		}
+	}
 	s.mu.Unlock()
+
+	var lease cluster.Lease
+	if s.clustered() {
+		node := s.opts.Cluster
+		ls, err := node.Leases().Acquire(id, node.ID(), node.LeaseTTL(), node.Now())
+		switch {
+		case err == nil:
+			lease = ls
+			s.metrics.ClusterLeaseAcquired.Add(1)
+		case errors.Is(err, cluster.ErrLeaseHeld):
+			s.metrics.ClusterNotOwner.Add(1)
+			return nil, notOwnerErr(id, leaseHolderOf(err))
+		case store.IsTransient(err):
+			// Store outage: proceed lease-less — the session is born
+			// quarantined below and the first healthy touch acquires the
+			// lease (nobody else can acquire it during the outage either).
+		default:
+			return nil, err
+		}
+		if explicit && lease.Holder != "" {
+			// Under our lease, check for a session a peer already created.
+			if _, _, err := s.opts.Store.Load(id); err == nil {
+				node.Leases().Release(lease) //nolint:errcheck // best effort
+				return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+			} else if !errors.Is(err, store.ErrNotFound) && !store.IsTransient(err) {
+				node.Leases().Release(lease) //nolint:errcheck // best effort
+				return nil, err
+			}
+		}
+	} else if explicit && s.hasStore() {
+		if _, _, err := s.opts.Store.Load(id); err == nil {
+			return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+		}
+	}
 
 	sess := &Session{
 		id:       id,
@@ -459,6 +581,7 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 		// fingerprint implicitly invalidates exactly the touched rows).
 		cuts: ilp.NewCutPool(),
 	}
+	sess.lease = lease
 	s.touch(sess)
 	// Durable birth: the initial snapshot must land before the session is
 	// acknowledged, so a crash right after creation still recovers it.
@@ -489,6 +612,9 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 		if s.hasStore() {
 			s.opts.Store.Delete(id) //nolint:errcheck // undo the orphaned birth snapshot
 		}
+		sess.mu.Lock()
+		sess.releaseLeaseLocked()
+		sess.mu.Unlock()
 		return nil, fmt.Errorf("service: closed")
 	}
 	s.sessions[id] = sess
@@ -502,13 +628,52 @@ func (s *Service) CreateDomainSession(domainName string, problem any, cfg Sessio
 // a persisted-but-evicted (or freshly recovered) session is transparently
 // rehydrated from the store — snapshot loaded, journal tail replayed, the
 // persisted solution installed as warm-start material — and re-registered
-// as live.
+// as live. In cluster mode ownership is additionally enforced; use
+// LookupSession when the reason for a miss matters.
 func (s *Service) Session(id string) (*Session, bool) {
+	sess, err := s.LookupSession(id)
+	return sess, err == nil
+}
+
+// ErrUnknownSession reports a lookup of an id the service has never seen
+// (or whose session was deleted).
+var ErrUnknownSession = errors.New("service: unknown session")
+
+// LookupSession is Session with a typed error: ErrUnknownSession for a
+// genuinely missing session, ErrNotOwner when another cluster node holds
+// the session's lease (retryable — the router re-routes), or a transient
+// store error. In cluster mode the lookup proves ownership: the cached
+// lease is validated (and renewed near expiry), and a session found only
+// in the shared store is rehydrated strictly AFTER its lease is won.
+func (s *Service) LookupSession(id string) (*Session, error) {
+	if cluster.IsMetaID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
 	s.mu.Lock()
 	if sess, ok := s.sessions[id]; ok {
-		s.touch(sess)
-		s.mu.Unlock()
-		return sess, true
+		if !sess.fenced.Load() {
+			s.touch(sess)
+			s.mu.Unlock()
+			if s.clustered() {
+				sess.mu.Lock()
+				err := sess.ensureLeaseLocked()
+				sess.mu.Unlock()
+				if err != nil {
+					if errors.Is(err, ErrNotOwner) {
+						s.metrics.ClusterNotOwner.Add(1)
+						s.dropFenced(id, sess)
+					}
+					return nil, err
+				}
+			}
+			return sess, nil
+		}
+		// Fenced: the durable state belongs to the new owner. Drop our
+		// stale copy and fall through to the ownership path below.
+		delete(s.sessions, id)
+		if s.hasStore() {
+			s.persisted[id] = true
+		}
 	}
 	if ch, ok := s.evicting[id]; ok {
 		// Mid-eviction: wait for the final snapshot to land, then retry —
@@ -516,33 +681,62 @@ func (s *Service) Session(id string) (*Session, bool) {
 		// journal appends.
 		s.mu.Unlock()
 		<-ch
-		return s.Session(id)
+		return s.LookupSession(id)
 	}
-	if s.closed || !s.persisted[id] {
-		s.mu.Unlock()
-		return nil, false
-	}
+	known := s.persisted[id]
+	closed := s.closed
 	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if !known && !(s.clustered() && s.hasStore()) {
+		// Single-node: the startup recovery scan is authoritative. In
+		// cluster mode a peer may have created the session after our scan,
+		// so fall through and let the shared store decide.
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
 
+	var lease cluster.Lease
+	if s.clustered() {
+		ls, err := s.acquireForRehydrate(id)
+		if err != nil {
+			return nil, err
+		}
+		lease = ls
+	}
+	releaseLease := func() {
+		if s.clustered() && lease.Holder != "" {
+			s.opts.Cluster.Leases().Release(lease) //nolint:errcheck // best effort
+		}
+	}
 	sess, err := s.rehydrate(id)
 	if err != nil {
-		return nil, false
+		releaseLease()
+		if store.IsTransient(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %q (%v)", ErrUnknownSession, id, err)
 	}
+	sess.lease = lease // pre-publication; no lock needed
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, false
+		releaseLease()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
 	if live, ok := s.sessions[id]; ok {
 		// A concurrent touch won the rehydration race; both rebuilt the
-		// same durable state, so ours is simply dropped.
+		// same durable state (and in cluster mode both hold OUR node's
+		// lease — Acquire is idempotent for the holder), so ours is
+		// simply dropped.
 		s.touch(live)
 		s.mu.Unlock()
-		return live, true
+		return live, nil
 	}
-	if !s.persisted[id] {
+	if known && !s.persisted[id] {
 		s.mu.Unlock() // deleted while we were loading
-		return nil, false
+		releaseLease()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
 	delete(s.persisted, id)
 	s.sessions[id] = sess
@@ -550,7 +744,21 @@ func (s *Service) Session(id string) (*Session, bool) {
 	s.metrics.Rehydrations.Add(1)
 	s.mu.Unlock()
 	s.enforceLiveLimit()
-	return sess, true
+	return sess, nil
+}
+
+// dropFenced removes a fenced session from the live map (its id stays
+// reachable through the persisted map so a later lease win rehydrates
+// the successor's state).
+func (s *Service) dropFenced(id string, sess *Session) {
+	s.mu.Lock()
+	if cur, ok := s.sessions[id]; ok && cur == sess {
+		delete(s.sessions, id)
+		if s.hasStore() {
+			s.persisted[id] = true
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Sessions returns the ids of all sessions — live and persisted — sorted.
@@ -569,6 +777,38 @@ func (s *Service) Sessions() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+const (
+	defaultSessionPage = 1000
+	maxSessionPage     = 10000
+)
+
+// SessionPage returns one page of session ids in sorted order, starting
+// strictly after the `after` cursor ("" starts at the beginning). limit
+// ≤ 0 takes the default page size (1000); it is capped at 10000. When
+// the page was truncated, next is the cursor of the following page (its
+// last returned id); next == "" means this was the final page.
+func (s *Service) SessionPage(after string, limit int) (ids []string, next string) {
+	if limit <= 0 {
+		limit = defaultSessionPage
+	}
+	if limit > maxSessionPage {
+		limit = maxSessionPage
+	}
+	all := s.Sessions()
+	if after != "" {
+		i := sort.SearchStrings(all, after)
+		if i < len(all) && all[i] == after {
+			i++
+		}
+		all = all[i:]
+	}
+	if len(all) > limit {
+		all = all[:limit]
+		next = all[limit-1]
+	}
+	return all, next
 }
 
 // LiveSessions returns the ids currently held in memory, sorted.
@@ -607,6 +847,10 @@ func (s *Service) CloseSession(id string) bool {
 	}
 	if s.hasStore() {
 		s.opts.Store.Delete(id) //nolint:errcheck // best effort; List re-reads the disk
+	}
+	if s.clustered() {
+		// The session is gone; its lease bookkeeping goes with it.
+		s.opts.Cluster.Leases().Drop(id) //nolint:errcheck // best effort; TTL expiry covers failure
 	}
 	s.metrics.SessionsClosed.Add(1)
 	return true
@@ -662,6 +906,14 @@ func (s *Service) Metrics() MetricsSnapshot {
 		QuarantineHeals:   m.QuarantineHeals.Load(),
 		QueueRejections:   m.QueueRejections.Load(),
 		BacklogRejections: m.BacklogRejections.Load(),
+
+		ClusterLeaseAcquired: m.ClusterLeaseAcquired.Load(),
+		ClusterLeaseRenewals: m.ClusterLeaseRenewals.Load(),
+		ClusterNotOwner:      m.ClusterNotOwner.Load(),
+		ClusterFenced:        m.ClusterFenced.Load(),
+		ClusterPeekHits:      m.ClusterPeekHits.Load(),
+		ClusterPeekMisses:    m.ClusterPeekMisses.Load(),
+		ClusterPeekStores:    m.ClusterPeekStores.Load(),
 	}
 }
 

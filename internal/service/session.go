@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ilpec/internal/cluster"
 	"ilpec/internal/cnf"
 	"ilpec/internal/core"
 	"ilpec/internal/domain"
@@ -79,6 +80,14 @@ type Session struct {
 	// lastUsed is the unix-nano last-touch stamp driving LRU eviction and
 	// the TTL sweep.
 	lastUsed atomic.Int64
+	// lease is this node's ownership claim on the session (cluster mode;
+	// zero otherwise). Guarded by mu except during construction.
+	lease cluster.Lease
+	// fenced marks a session whose lease was definitively lost to another
+	// node: its durable state belongs to the new owner, so every further
+	// operation is refused with ErrNotOwner and nothing may be persisted
+	// from this copy again. Atomic so lookups can test it without mu.
+	fenced atomic.Bool
 }
 
 type sessionStats struct {
@@ -430,7 +439,7 @@ func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time
 	// or infeasible-as-error which is never cached) may be replayed for
 	// this key; a limit-truncated Feasible answer is served once and
 	// re-attempted on the next request.
-	sol, hit, err := s.svc.cachedSolve(ctx, key, s.dom.CloneSolution, func() (any, bool, error) {
+	sol, hit, err := s.cachedSolveFleet(ctx, key, p, func() (any, bool, error) {
 		warm := s.svc.incumbent(pkey)
 		if warm != nil {
 			s.svc.metrics.IncumbentHits.Add(1)
@@ -524,7 +533,7 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 		return nil, fmt.Errorf("service: unknown strategy %d", s.strategy)
 	}
 
-	next, hit, err := s.svc.cachedSolve(ctx, key, s.dom.CloneSolution, compute)
+	next, hit, err := s.cachedSolveFleet(ctx, key, changed, compute)
 	if err != nil {
 		return nil, err
 	}

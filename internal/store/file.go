@@ -31,6 +31,10 @@ import (
 // folded in (normally none).
 type File struct {
 	root string
+	// shared marks a store opened with NewSharedFile: the directory is
+	// concurrently mutated by OTHER processes, so the in-memory sequence
+	// cache and append handle cannot be trusted between operations.
+	shared bool
 
 	mu       sync.Mutex
 	closed   bool
@@ -38,24 +42,57 @@ type File struct {
 }
 
 // fileSession serializes access to one session's files and caches the
-// open append handle between writes.
+// open append handle between writes (exclusive mode only).
 type fileSession struct {
 	mu      sync.Mutex
 	dir     string
+	shared  bool
 	journal *os.File
 	// lastSeq is the highest durable sequence number (snapshot or journal),
 	// lazily derived from disk on first use; appends must stay above it.
+	// In shared mode it is re-derived from disk under the directory lock
+	// on every mutation instead of being cached.
 	lastSeq uint64
 	seqInit bool
 }
 
-// NewFile opens (creating if needed) a file store rooted at dir.
+// NewFile opens (creating if needed) a file store rooted at dir. The
+// store assumes it is the only writer of dir: sequence numbers and append
+// handles are cached in memory between operations.
 func NewFile(dir string) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create root: %w", err)
 	}
 	return &File{root: dir, sessions: make(map[string]*fileSession)}, nil
 }
+
+// NewSharedFile opens a file store rooted at dir for MULTI-PROCESS use:
+// every ecserve node of a cluster points at the same directory (a local
+// path or a shared mount). Correctness over the exclusive mode costs a
+// little speed:
+//
+//   - each mutation takes an advisory flock on <root>/<id>/.lock and
+//     re-derives the durable high-water sequence from disk, so the CAS
+//     append contract (ErrSeqConflict for stale sequence numbers) holds
+//     across processes — the property cluster lease fencing rests on;
+//   - append handles are not cached, so another process compacting the
+//     journal (rename) cannot orphan a cached file handle;
+//   - a torn tail left by a crashed sibling process is repaired before
+//     the next append, not just on Load.
+//
+// On platforms without flock support (non-unix builds) locking degrades
+// to in-process serialization only.
+func NewSharedFile(dir string) (*File, error) {
+	f, err := NewFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	f.shared = true
+	return f, nil
+}
+
+// Shared reports whether the store runs in multi-process shared mode.
+func (f *File) Shared() bool { return f.shared }
 
 // Dir returns the store root directory.
 func (f *File) Dir() string { return f.root }
@@ -78,7 +115,7 @@ func (f *File) session(id string, create bool) (*fileSession, error) {
 			return nil, fmt.Errorf("store: %q: %w", id, ErrNotFound)
 		}
 	}
-	s := &fileSession{dir: dir}
+	s := &fileSession{dir: dir, shared: f.shared}
 	f.sessions[id] = s
 	return s, nil
 }
@@ -86,6 +123,7 @@ func (f *File) session(id string, create bool) (*fileSession, error) {
 const (
 	snapshotName = "snapshot.json"
 	journalName  = "journal.jsonl"
+	lockName     = ".lock"
 )
 
 func (f *File) Append(id string, rec Record) error {
@@ -95,7 +133,26 @@ func (f *File) Append(id string, rec Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.seqInit {
+	if s.shared {
+		unlock, err := lockDir(s.dir)
+		if err != nil {
+			return markTransient(fmt.Errorf("store: lock session dir: %w", err))
+		}
+		defer unlock()
+		// Another process may have appended, compacted, or torn the
+		// journal since we last looked: rederive the high-water mark from
+		// disk (repairing any torn tail) and drop the cached handle when
+		// done so a sibling's compaction rename cannot orphan it.
+		if err := s.refreshSeqLocked(); err != nil {
+			return err
+		}
+		defer func() {
+			if s.journal != nil {
+				s.journal.Close()
+				s.journal = nil
+			}
+		}()
+	} else if !s.seqInit {
 		if err := s.initSeqLocked(); err != nil {
 			return err
 		}
@@ -145,6 +202,34 @@ func (s *fileSession) initSeqLocked() error {
 	return nil
 }
 
+// refreshSeqLocked is the shared-mode variant of initSeqLocked: it always
+// rereads the snapshot and journal from disk (the caller holds the
+// directory flock) and repairs a torn tail in place, so the subsequent
+// append lands after the last acknowledged record of ANY process.
+func (s *fileSession) refreshSeqLocked() error {
+	last := uint64(0)
+	if raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName)); err == nil {
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err == nil {
+			last = snap.Seq
+		}
+	}
+	tail, truncateAt, err := s.readJournalLocked(last)
+	if err != nil {
+		return err
+	}
+	if truncateAt >= 0 {
+		if err := s.truncateJournalLocked(truncateAt); err != nil {
+			return err
+		}
+	}
+	if len(tail) > 0 && tail[len(tail)-1].Seq > last {
+		last = tail[len(tail)-1].Seq
+	}
+	s.lastSeq, s.seqInit = last, true
+	return nil
+}
+
 // frameRecord renders one journal line: 8 hex CRC32 digits, a space, the
 // JSON payload, a newline.
 func frameRecord(rec Record) ([]byte, error) {
@@ -167,6 +252,13 @@ func (f *File) WriteSnapshot(snap Snapshot) error {
 	defer s.mu.Unlock()
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return markTransient(fmt.Errorf("store: create session dir: %w", err))
+	}
+	if s.shared {
+		unlock, err := lockDir(s.dir)
+		if err != nil {
+			return markTransient(fmt.Errorf("store: lock session dir: %w", err))
+		}
+		defer unlock()
 	}
 	// Records the new snapshot has NOT folded in survive compaction (the
 	// normal service flow snapshots at the current head, so this is empty).
@@ -255,6 +347,13 @@ func (f *File) Load(id string) (Snapshot, []Record, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.shared {
+		unlock, lockErr := lockDir(s.dir)
+		if lockErr != nil {
+			return Snapshot{}, nil, markTransient(fmt.Errorf("store: lock session dir: %w", lockErr))
+		}
+		defer unlock()
+	}
 	raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
 	if err != nil {
 		if os.IsNotExist(err) {

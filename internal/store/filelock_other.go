@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+// lockDir on platforms without flock support degrades to a no-op:
+// shared-mode stores are serialized within the process only, and
+// cross-process writers race (documented on NewSharedFile).
+func lockDir(dir string) (func(), error) {
+	_ = dir
+	return func() {}, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on <dir>/.lock, serializing
+// shared-mode mutations of one session directory across processes. The
+// returned func releases the lock. flock (not fcntl) is deliberate: the
+// lock is held for the duration of one open file handle, so it cannot be
+// lost to the classic close-releases-fcntl-locks footgun when the store
+// opens and closes other files in the same directory mid-critical-section.
+func lockDir(dir string) (func(), error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN) //nolint:errcheck // released on close anyway
+		f.Close()
+	}, nil
+}

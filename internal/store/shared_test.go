@@ -1,0 +1,136 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Two NewSharedFile handles on the same directory model two ecserve
+// processes sharing a store. The exclusive-mode backend caches the
+// durable high-water sequence per process, which silently breaks the CAS
+// append contract across processes; shared mode must uphold it.
+
+func openSharedPair(t *testing.T) (*File, *File, string) {
+	t.Helper()
+	dir := t.TempDir()
+	a, err := NewSharedFile(dir)
+	if err != nil {
+		t.Fatalf("NewSharedFile a: %v", err)
+	}
+	b, err := NewSharedFile(dir)
+	if err != nil {
+		t.Fatalf("NewSharedFile b: %v", err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, dir
+}
+
+func TestSharedFileCrossProcessSeqConflict(t *testing.T) {
+	a, b, _ := openSharedPair(t)
+	if err := a.WriteSnapshot(Snapshot{SessionID: "s1", Domain: "d", Problem: json.RawMessage(`{}`)}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := a.Append("s1", Record{Seq: 1, Kind: KindChanges}); err != nil {
+		t.Fatalf("append a: %v", err)
+	}
+	// Process B never saw A's append; a stale CAS append at seq 1 must
+	// conflict, not land as a duplicate.
+	err := b.Append("s1", Record{Seq: 1, Kind: KindChanges})
+	if !errors.Is(err, ErrSeqConflict) {
+		t.Fatalf("stale cross-process append: got %v, want ErrSeqConflict", err)
+	}
+	// And the successor sequence number goes through.
+	if err := b.Append("s1", Record{Seq: 2, Kind: KindSolve}); err != nil {
+		t.Fatalf("append b seq 2: %v", err)
+	}
+	_, tail, err := a.Load("s1")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(tail) != 2 || tail[0].Seq != 1 || tail[1].Seq != 2 {
+		t.Fatalf("tail = %+v, want seqs 1,2", tail)
+	}
+}
+
+func TestSharedFileCompactionByPeerDoesNotOrphanAppends(t *testing.T) {
+	a, b, _ := openSharedPair(t)
+	if err := a.WriteSnapshot(Snapshot{SessionID: "s1", Domain: "d", Problem: json.RawMessage(`{}`)}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := a.Append("s1", Record{Seq: seq, Kind: KindChanges}); err != nil {
+			t.Fatalf("append seq %d: %v", seq, err)
+		}
+	}
+	// B compacts (snapshot at the head, journal reset via rename) — in
+	// exclusive mode A's cached append handle would now point at an
+	// unlinked file and its next append would vanish.
+	if err := b.WriteSnapshot(Snapshot{SessionID: "s1", Domain: "d", Problem: json.RawMessage(`{}`), Seq: 3}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := a.Append("s1", Record{Seq: 4, Kind: KindSolve}); err != nil {
+		t.Fatalf("append after peer compaction: %v", err)
+	}
+	snap, tail, err := b.Load("s1")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if snap.Seq != 3 || len(tail) != 1 || tail[0].Seq != 4 {
+		t.Fatalf("snap.Seq=%d tail=%+v, want snapshot 3 + tail seq 4", snap.Seq, tail)
+	}
+}
+
+func TestSharedFileAppendRepairsPeerTornTail(t *testing.T) {
+	a, b, dir := openSharedPair(t)
+	if err := a.WriteSnapshot(Snapshot{SessionID: "s1", Domain: "d", Problem: json.RawMessage(`{}`)}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := a.Append("s1", Record{Seq: 1, Kind: KindChanges}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// A crashed sibling left half an unacknowledged record at the tail.
+	j, err := os.OpenFile(filepath.Join(dir, "s1", journalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if _, err := j.WriteString("deadbeef {torn"); err != nil {
+		t.Fatalf("tear journal: %v", err)
+	}
+	j.Close()
+	// The next shared-mode append repairs the tail before writing, so the
+	// new record is recoverable.
+	if err := b.Append("s1", Record{Seq: 2, Kind: KindSolve}); err != nil {
+		t.Fatalf("append over torn tail: %v", err)
+	}
+	_, tail, err := a.Load("s1")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(tail) != 2 || tail[1].Seq != 2 {
+		t.Fatalf("tail = %+v, want clean seqs 1,2", tail)
+	}
+}
+
+func TestSharedFileMetaRoundTrip(t *testing.T) {
+	a, b, _ := openSharedPair(t)
+	meta := json.RawMessage(`{"holder":"n1","expiry":123}`)
+	if err := a.WriteSnapshot(Snapshot{SessionID: "_cluster_lease_s1", Meta: meta}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := a.Append("_cluster_lease_s1", Record{Seq: 1, Kind: KindLease, Meta: meta}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	snap, tail, err := b.Load("_cluster_lease_s1")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if string(snap.Meta) != string(meta) {
+		t.Fatalf("snapshot meta = %s, want %s", snap.Meta, meta)
+	}
+	if len(tail) != 1 || tail[0].Kind != KindLease || string(tail[0].Meta) != string(meta) {
+		t.Fatalf("tail = %+v, want one lease record with meta", tail)
+	}
+}

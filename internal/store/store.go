@@ -38,6 +38,15 @@ const (
 	// KindDiscard journals a failed solve: the pending batch was dropped
 	// and the session kept its previous problem and solution.
 	KindDiscard = "discard"
+	// KindLease journals a cluster lease transition (acquire, renew,
+	// release) on a `_cluster_lease_*` pseudo-session. The CAS append
+	// contract (Seq must be exactly one past the durable high-water mark)
+	// is what makes lease acquisition atomic across nodes.
+	KindLease = "lease"
+	// KindHeartbeat journals one node liveness beat on a
+	// `_cluster_node_*` pseudo-session; the payload carries the node's
+	// serving address and the beat's expiry.
+	KindHeartbeat = "heartbeat"
 )
 
 // Record is one write-ahead journal entry of a session.
@@ -54,6 +63,9 @@ type Record struct {
 	// Batched is the number of pending changes folded into the solve
 	// (KindSolve; used as a replay cross-check).
 	Batched int `json:"batched,omitempty"`
+	// Meta carries the payload of cluster records (KindLease,
+	// KindHeartbeat): an opaque JSON document owned by internal/cluster.
+	Meta json.RawMessage `json:"meta,omitempty"`
 }
 
 // Snapshot is the full persisted state of one session at a sequence
@@ -77,6 +89,9 @@ type Snapshot struct {
 	ChangesQueued int64 `json:"changes_queued,omitempty"`
 	Batches       int64 `json:"batches,omitempty"`
 	Solves        int64 `json:"solves,omitempty"`
+	// Meta carries the compacted state of cluster pseudo-sessions
+	// (lease holder, node heartbeat, fleet cache entries).
+	Meta json.RawMessage `json:"meta,omitempty"`
 }
 
 // ErrNotFound reports a session id with no persisted state.
@@ -172,6 +187,7 @@ func cloneRaws(ms []json.RawMessage) []json.RawMessage {
 func cloneRecord(r Record) Record {
 	r.Changes = cloneRaws(r.Changes)
 	r.Solution = cloneRaw(r.Solution)
+	r.Meta = cloneRaw(r.Meta)
 	return r
 }
 
@@ -179,5 +195,6 @@ func cloneSnapshot(s Snapshot) Snapshot {
 	s.Problem = cloneRaw(s.Problem)
 	s.Solution = cloneRaw(s.Solution)
 	s.Pending = cloneRaws(s.Pending)
+	s.Meta = cloneRaw(s.Meta)
 	return s
 }
