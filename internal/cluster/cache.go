@@ -2,9 +2,18 @@ package cluster
 
 import (
 	"encoding/json"
+	"strings"
+	"sync"
 
 	"ilpec/internal/store"
 )
+
+// DefaultCacheMaxEntries bounds the fleet cache's shared-store footprint.
+// The workload is content-hashed solver results, so thousands of distinct
+// live keys are already unusual; the bound exists to stop a pathological
+// or adversarial stream of unique problems from growing the store without
+// limit.
+const DefaultCacheMaxEntries = 4096
 
 // FleetCache is the cluster-wide solve cache: proven-optimal solutions
 // keyed by the service's content hash (problem + prior solution +
@@ -17,12 +26,33 @@ import (
 // deterministic solver), so last-write-wins snapshot semantics are safe:
 // concurrent Puts of one key write equivalent payloads. The cache is
 // best-effort by design — every error degrades to a miss.
+//
+// The entry count is bounded (SetMaxEntries, default
+// DefaultCacheMaxEntries): every few Puts the publisher sweeps the
+// store's `_cluster_cache_` ids and deletes the excess. Store snapshots
+// carry no access times, so the sweep's victim choice is arbitrary
+// (sorted-first) rather than LRU — acceptable for a cache whose worst
+// case is a re-solve.
 type FleetCache struct {
 	st store.Store
+
+	mu   sync.Mutex
+	max  int
+	puts int // Puts since the last sweep
 }
 
 // NewFleetCache wraps the shared store.
-func NewFleetCache(st store.Store) *FleetCache { return &FleetCache{st: st} }
+func NewFleetCache(st store.Store) *FleetCache {
+	return &FleetCache{st: st, max: DefaultCacheMaxEntries}
+}
+
+// SetMaxEntries overrides the fleet-wide entry bound (0 or negative
+// disables sweeping entirely).
+func (c *FleetCache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	c.max = n
+	c.mu.Unlock()
+}
 
 // Put publishes a solved entry. The caller guarantees key is the
 // service's hex content hash and solution is the domain wire form.
@@ -30,11 +60,15 @@ func (c *FleetCache) Put(key, domain string, solution json.RawMessage) error {
 	if err := store.ValidateID(cacheMetaID(key)); err != nil {
 		return err
 	}
-	return c.st.WriteSnapshot(store.Snapshot{
+	err := c.st.WriteSnapshot(store.Snapshot{
 		SessionID: cacheMetaID(key),
 		Domain:    domain,
 		Solution:  solution,
 	})
+	if err == nil {
+		c.sweepMaybe()
+	}
+	return err
 }
 
 // Peek looks a key up; ok is false on miss or any store trouble.
@@ -47,4 +81,50 @@ func (c *FleetCache) Peek(key string) (domain string, solution json.RawMessage, 
 		return "", nil, false
 	}
 	return snap.Domain, snap.Solution, true
+}
+
+// sweepMaybe enforces the entry bound every max/4 Puts (clamped to
+// [1,64] so small bounds still sweep and large ones don't List the store
+// on every publish). Best effort: list or delete trouble just defers the
+// sweep, and a concurrent Put re-adding a victim is only a cache miss.
+func (c *FleetCache) sweepMaybe() {
+	c.mu.Lock()
+	max := c.max
+	if max <= 0 {
+		c.mu.Unlock()
+		return
+	}
+	every := max / 4
+	if every < 1 {
+		every = 1
+	}
+	if every > 64 {
+		every = 64
+	}
+	c.puts++
+	due := c.puts >= every
+	if due {
+		c.puts = 0
+	}
+	c.mu.Unlock()
+	if !due {
+		return
+	}
+	ids, err := c.st.List()
+	if err != nil {
+		return
+	}
+	var keys []string
+	for _, id := range ids {
+		if strings.HasPrefix(id, cachePrefix) {
+			keys = append(keys, id)
+		}
+	}
+	// List is sorted; dropping from the front picks deterministic victims
+	// so concurrent sweepers on different nodes converge instead of
+	// thrashing each other's survivors.
+	for len(keys) > max {
+		c.st.Delete(keys[0]) //nolint:errcheck // best effort
+		keys = keys[1:]
+	}
 }

@@ -29,6 +29,12 @@ func (e *HeldError) Error() string {
 // Is makes errors.Is(err, ErrLeaseHeld) match.
 func (e *HeldError) Is(target error) bool { return target == ErrLeaseHeld }
 
+// ErrSessionDeleted reports an acquire attempt on a session whose lease
+// state carries a deletion tombstone: the session was deliberately
+// closed cluster-wide and must not be resurrected from stale data. Only
+// AcquireForCreate (an explicit re-create) clears the tombstone.
+var ErrSessionDeleted = errors.New("cluster: session deleted")
+
 // Lease is a granted (or observed) ownership claim on one session.
 type Lease struct {
 	SessionID string
@@ -40,10 +46,13 @@ type Lease struct {
 }
 
 // leaseMeta is the wire form of lease state (Record.Meta). An empty
-// holder means released/free.
+// holder means released/free. Deleted is a tombstone: the session data
+// was removed on purpose, so ordinary acquires must refuse rather than
+// rehydrate whatever stale remnants a lagging node still sees.
 type leaseMeta struct {
 	Holder   string `json:"holder,omitempty"`
 	ExpiryMS int64  `json:"expiry_ms,omitempty"`
+	Deleted  bool   `json:"deleted,omitempty"`
 }
 
 // Leases implements lease-based session ownership over the shared store.
@@ -110,6 +119,9 @@ func (l *Leases) Acquire(sid, node string, ttl time.Duration, now time.Time) (Le
 	if err != nil {
 		return Lease{}, err
 	}
+	if state.Deleted {
+		return Lease{}, fmt.Errorf("cluster: lease for %q: %w", sid, ErrSessionDeleted)
+	}
 	if !found {
 		// Birth snapshot for the meta session. Racing creators both write
 		// an empty seq-0 snapshot (idempotent: compaction preserves any
@@ -124,6 +136,37 @@ func (l *Leases) Acquire(sid, node string, ttl time.Duration, now time.Time) (Le
 		}
 	}
 	return l.transition(sid, node, seq, ttl, now)
+}
+
+// AcquireForCreate is Acquire for an explicit session create: a deletion
+// tombstone does not refuse the claim, it is reclaimed (the id is being
+// reused on purpose). reclaimed reports that a tombstone was cleared, so
+// the creator knows to scrub any orphaned session data before writing
+// fresh state — the lease it now holds serializes that cleanup against
+// every other node.
+func (l *Leases) AcquireForCreate(sid, node string, ttl time.Duration, now time.Time) (ls Lease, reclaimed bool, err error) {
+	if err := store.ValidateID(leaseMetaID(sid)); err != nil {
+		return Lease{}, false, err
+	}
+	state, seq, found, err := l.read(sid)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	if !found {
+		if err := l.st.WriteSnapshot(store.Snapshot{SessionID: leaseMetaID(sid)}); err != nil {
+			return Lease{}, false, err
+		}
+	}
+	if !state.Deleted && state.Holder != "" && state.Holder != node {
+		if exp := time.UnixMilli(state.ExpiryMS); exp.After(now) {
+			return Lease{}, false, &HeldError{SessionID: sid, Holder: state.Holder, Expiry: exp}
+		}
+	}
+	ls, err = l.transition(sid, node, seq, ttl, now)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	return ls, state.Deleted, nil
 }
 
 // transition CAS-appends the new lease state at seq+1.
@@ -200,6 +243,55 @@ func (l *Leases) Holder(sid string, now time.Time) (Lease, bool, error) {
 		return Lease{}, false, nil
 	}
 	return Lease{SessionID: sid, Holder: state.Holder, Expiry: exp, seq: seq}, true, nil
+}
+
+// MarkDeleted writes a deletion tombstone into sid's lease state on
+// behalf of node (which should hold the lease — a live claim by anyone
+// else refuses with *HeldError). The tombstone outlives the session
+// data: after the store delete, a stale former owner re-acquiring the
+// expired lease sees Deleted and fails ErrSessionDeleted instead of
+// resurrecting the session from its in-memory copy. A bounded CAS retry
+// absorbs benign conflicts (our own renewer racing the close).
+func (l *Leases) MarkDeleted(sid, node string, now time.Time) error {
+	meta, err := json.Marshal(leaseMeta{Deleted: true})
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		state, seq, found, err := l.read(sid)
+		if err != nil {
+			return err
+		}
+		if state.Deleted {
+			return nil
+		}
+		if state.Holder != "" && state.Holder != node {
+			if exp := time.UnixMilli(state.ExpiryMS); exp.After(now) {
+				return &HeldError{SessionID: sid, Holder: state.Holder, Expiry: exp}
+			}
+		}
+		if !found {
+			if err := l.st.WriteSnapshot(store.Snapshot{SessionID: leaseMetaID(sid)}); err != nil {
+				return err
+			}
+		}
+		rec := store.Record{Seq: seq + 1, Kind: store.KindLease, Meta: meta}
+		if err := l.st.Append(leaseMetaID(sid), rec); err != nil {
+			if errors.Is(err, store.ErrSeqConflict) {
+				continue
+			}
+			return err
+		}
+		// Compact immediately: the tombstone is the terminal state, so
+		// folding it into the snapshot keeps the meta session at its
+		// minimum footprint forever after. Best effort.
+		l.st.WriteSnapshot(store.Snapshot{SessionID: leaseMetaID(sid), Seq: rec.Seq, Meta: meta}) //nolint:errcheck
+		l.mu.Lock()
+		l.tail[leaseMetaID(sid)] = 0
+		l.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("cluster: tombstone %q: CAS retries exhausted", sid)
 }
 
 // Drop removes all persisted lease state of sid (session deletion).

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ilpec/internal/store"
+)
+
+// Tombstone protocol: MarkDeleted makes ordinary acquires fail
+// ErrSessionDeleted for every node (including the deleter), while
+// AcquireForCreate reclaims the id and restores normal lease semantics.
+func TestLeaseTombstone(t *testing.T) {
+	st := store.NewMemory()
+	l := NewLeases(st)
+	now := time.UnixMilli(1_700_000_000_000)
+	ttl := 5 * time.Second
+
+	if _, err := l.Acquire("s1", "n1", ttl, now); err != nil {
+		t.Fatal(err)
+	}
+	// A non-holder may not tombstone a live lease.
+	if err := l.MarkDeleted("s1", "n2", now); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("MarkDeleted by non-holder: %v, want ErrLeaseHeld", err)
+	}
+	if err := l.MarkDeleted("s1", "n1", now); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MarkDeleted("s1", "n1", now); err != nil {
+		t.Fatalf("MarkDeleted must be idempotent: %v", err)
+	}
+
+	for _, node := range []string{"n1", "n2"} {
+		if _, err := l.Acquire("s1", node, ttl, now); !errors.Is(err, ErrSessionDeleted) {
+			t.Fatalf("Acquire by %s on tombstone: %v, want ErrSessionDeleted", node, err)
+		}
+	}
+	// The tombstone holds past any TTL — it is not a lease that expires.
+	if _, err := l.Acquire("s1", "n2", ttl, now.Add(time.Hour)); !errors.Is(err, ErrSessionDeleted) {
+		t.Fatalf("Acquire much later: %v, want ErrSessionDeleted", err)
+	}
+
+	ls, reclaimed, err := l.AcquireForCreate("s1", "n2", ttl, now)
+	if err != nil || !reclaimed {
+		t.Fatalf("AcquireForCreate on tombstone: lease=%+v reclaimed=%v err=%v", ls, reclaimed, err)
+	}
+	// Normal semantics are back: the holder re-acquires, others are held out.
+	if _, err := l.Acquire("s1", "n2", ttl, now); err != nil {
+		t.Fatalf("holder re-acquire after reclaim: %v", err)
+	}
+	if _, err := l.Acquire("s1", "n3", ttl, now); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("competitor after reclaim: %v, want ErrLeaseHeld", err)
+	}
+	// A plain create of a never-deleted id reports reclaimed=false.
+	if _, reclaimed, err := l.AcquireForCreate("fresh", "n1", ttl, now); err != nil || reclaimed {
+		t.Fatalf("AcquireForCreate on fresh id: reclaimed=%v err=%v", reclaimed, err)
+	}
+}
+
+// A tombstone fences a stale owner's Renew too: the CAS conflict resolves
+// through Acquire, which must refuse rather than resurrect.
+func TestLeaseTombstoneFencesRenew(t *testing.T) {
+	st := store.NewMemory()
+	l := NewLeases(st)
+	now := time.UnixMilli(1_700_000_000_000)
+	ttl := 5 * time.Second
+
+	stale, err := l.Acquire("s1", "n1", ttl, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n1's lease lapses; n2 takes over and deletes.
+	later := now.Add(6 * time.Second)
+	if _, err := l.Acquire("s1", "n2", ttl, later); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MarkDeleted("s1", "n2", later); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Renew(stale, ttl, later.Add(6*time.Second)); !errors.Is(err, ErrSessionDeleted) {
+		t.Fatalf("stale renew after tombstone: %v, want ErrSessionDeleted", err)
+	}
+}
+
+// The fleet cache must hold its shared-store footprint near the
+// configured bound no matter how many distinct keys stream through.
+func TestFleetCacheBounded(t *testing.T) {
+	st := store.NewMemory()
+	c := NewFleetCache(st)
+	c.SetMaxEntries(8)
+
+	for i := 0; i < 100; i++ {
+		if err := c.Put(fmt.Sprintf("k%03d", i), "cnf", json.RawMessage(`{"v":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, id := range ids {
+		if strings.HasPrefix(id, "_cluster_cache_") {
+			n++
+		}
+	}
+	// The sweep runs every max/4 Puts, so the count may overshoot by one
+	// sweep interval but never grow unbounded.
+	if n > 8+2 {
+		t.Fatalf("fleet cache holds %d entries, want <= 10 under a bound of 8", n)
+	}
+	// Recent keys survive (victims are sorted-first = oldest-sorted here).
+	if _, _, ok := c.Peek("k099"); !ok {
+		t.Fatal("most recent key swept; victim choice should drop the sorted front")
+	}
+}

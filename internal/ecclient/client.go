@@ -10,14 +10,20 @@
 //     structured {"error": {"code", "message"}} body decoded.
 //
 // Requests are replayable: the JSON body is buffered once and re-sent on
-// every attempt, so retries are safe for the idempotent operations the
-// cluster tier relies on (create-with-id replays land on 409, journal
-// appends are CAS-fenced server-side).
+// every attempt, and every POST carries an Idempotency-Key header minted
+// once per DoJSON call and held constant across attempts. The server
+// dedupes change batches by that key, so a retry after a lost response
+// (the request committed but the 202 never arrived) is acknowledged
+// without being applied twice. Create replays are absorbed by the fixed
+// session id and solve replays by the empty pending queue, so the whole
+// API is safe to retry through 429/502/503.
 package ecclient
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -114,6 +120,14 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) e
 		}
 	}
 	url := strings.TrimRight(c.Base, "/") + path
+	// One key per logical request, shared by every attempt: the server
+	// uses it to recognize a replayed batch whose first response was lost
+	// in flight. Only POSTs mutate in a non-idempotent way, so only they
+	// carry the header.
+	idemKey := ""
+	if method == http.MethodPost {
+		idemKey = mintIdempotencyKey()
+	}
 	var lastErr error
 	for attempt := 1; attempt <= c.retries(); attempt++ {
 		if attempt > 1 {
@@ -133,6 +147,9 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) e
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
@@ -174,6 +191,17 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) e
 		c.sleep(wait)
 	}
 	return fmt.Errorf("ecclient: %d attempts exhausted: %w", c.retries(), lastErr)
+}
+
+// mintIdempotencyKey returns a random key identifying one logical POST
+// across its retry attempts. Random (not derived from the body) so two
+// deliberate identical batches are not conflated.
+func mintIdempotencyKey() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("ecclient: crypto/rand failed: %v", err))
+	}
+	return hex.EncodeToString(buf[:])
 }
 
 // decodeAPIError extracts the server's structured error envelope, falling

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -103,5 +104,57 @@ func TestDoJSONExhaustsRetries(t *testing.T) {
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Code != "overloaded" {
 		t.Fatalf("err = %v, want wrapped overloaded APIError", err)
+	}
+}
+
+// Every attempt of one POST must carry the SAME Idempotency-Key (that is
+// what lets the server recognize a replay after a lost response), and a
+// second DoJSON call must mint a fresh key. GETs carry none.
+func TestDoJSONIdempotencyKeyStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var postKeys []string
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			if k := r.Header.Get("Idempotency-Key"); k != "" {
+				t.Errorf("GET carried Idempotency-Key %q, want none", k)
+			}
+			w.Write([]byte(`{}`))
+			return
+		}
+		mu.Lock()
+		postKeys = append(postKeys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusBadGateway)
+			w.Write([]byte(`{"error":{"code":"upstream_unreachable","message":"boom"}}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Sleep: func(time.Duration) {}}
+	if err := c.DoJSON(context.Background(), http.MethodPost, "/x", map[string]int{"a": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DoJSON(context.Background(), http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DoJSON(context.Background(), http.MethodPost, "/x", map[string]int{"a": 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(postKeys) != 3 {
+		t.Fatalf("saw %d POST attempts, want 3 (retry + fresh call): %v", len(postKeys), postKeys)
+	}
+	if postKeys[0] == "" || postKeys[0] != postKeys[1] {
+		t.Fatalf("retry attempts carried keys %q vs %q, want one identical non-empty key", postKeys[0], postKeys[1])
+	}
+	if postKeys[2] == postKeys[0] {
+		t.Fatalf("second logical POST reused key %q; each call must mint its own", postKeys[2])
 	}
 }

@@ -30,6 +30,7 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -84,6 +85,13 @@ type Metrics struct {
 	Suspected    int64 `json:"suspected"`
 	MintedIDs    int64 `json:"minted_ids"`
 	NoReadyNodes int64 `json:"no_ready_nodes"`
+	// PartialLists counts GET /v1/sessions fan-outs rejected with 503
+	// because at least one ready node could not be listed.
+	PartialLists int64 `json:"partial_lists"`
+	// ConflictRecoveries counts create failovers where a replayed
+	// create-with-id hit 409 and the router recovered the existing
+	// session instead of surfacing the conflict.
+	ConflictRecoveries int64 `json:"conflict_recoveries"`
 }
 
 // Router is the reverse proxy. Create with New, drive membership either
@@ -103,6 +111,8 @@ type Router struct {
 	suspected    atomic.Int64
 	mintedIDs    atomic.Int64
 	noReadyNodes atomic.Int64
+	partialLists atomic.Int64
+	conflictRecs atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -247,12 +257,14 @@ func (rt *Router) probeReady(addr string) bool {
 // Metrics snapshots the router counters.
 func (rt *Router) Metrics() Metrics {
 	return Metrics{
-		Refreshes:    rt.refreshes.Load(),
-		Proxied:      rt.proxied.Load(),
-		Failovers:    rt.failovers.Load(),
-		Suspected:    rt.suspected.Load(),
-		MintedIDs:    rt.mintedIDs.Load(),
-		NoReadyNodes: rt.noReadyNodes.Load(),
+		Refreshes:          rt.refreshes.Load(),
+		Proxied:            rt.proxied.Load(),
+		Failovers:          rt.failovers.Load(),
+		Suspected:          rt.suspected.Load(),
+		MintedIDs:          rt.mintedIDs.Load(),
+		NoReadyNodes:       rt.noReadyNodes.Load(),
+		PartialLists:       rt.partialLists.Load(),
+		ConflictRecoveries: rt.conflictRecs.Load(),
 	}
 }
 
@@ -461,12 +473,12 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	liveSet := map[string]bool{}
 	degradedSet := map[string]bool{}
 	bound := "" // smallest cursor among truncated nodes
-	anyOK := false
+	failed := 0
 	for _, res := range results {
 		if !res.ok {
+			failed++
 			continue
 		}
-		anyOK = true
 		for _, id := range res.resp.Sessions {
 			sessions[id] = true
 		}
@@ -480,9 +492,14 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 			bound = res.resp.Next
 		}
 	}
-	if !anyOK {
-		rt.noReadyNodes.Add(1)
-		writeRouterError(w, http.StatusServiceUnavailable, "no_ready_nodes", errors.New("all node list requests failed"), true)
+	if failed > 0 {
+		// A partial merge is worse than an error: the failed node's
+		// sessions would be silently absent, indistinguishable from deleted
+		// ones. Retryable — by the next attempt the refresh loop has
+		// dropped (or re-probed) the unreachable node.
+		rt.partialLists.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable, "partial_listing",
+			fmt.Errorf("%d of %d node list requests failed", failed, len(ids)), true)
 		return
 	}
 	merged := setToSorted(sessions)
@@ -548,7 +565,77 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		rt.mintedIDs.Add(1)
 	}
-	rt.proxy(w, r, id, body, true)
+	rt.proxyCreate(w, r, id, body)
+}
+
+// proxyCreate forwards a create to the id's candidates in ring order.
+// The injected id makes creates replay-safe, with one wrinkle: when an
+// attempt's response is lost after the create committed, the replay on
+// the next candidate lands 409. On a failover attempt that conflict
+// means "already created", so the router recovers the existing session
+// and answers 200 instead of surfacing an error the client never
+// caused. A first-attempt 409 (a genuinely duplicate id) still relays
+// as 409.
+func (rt *Router) proxyCreate(w http.ResponseWriter, r *http.Request, id string, body []byte) {
+	cands := rt.candidates(id)
+	if len(cands) == 0 {
+		rt.noReadyNodes.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable, "no_ready_nodes", errors.New("no ready nodes"), true)
+		return
+	}
+	for i, node := range cands {
+		addr := rt.addrOf(node)
+		if addr == "" {
+			continue
+		}
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		resp := rt.try(r, node, addr, body)
+		if resp == nil {
+			continue
+		}
+		rt.proxied.Add(1)
+		if i > 0 && resp.StatusCode == http.StatusConflict {
+			if got := rt.fetchSession(r.Context(), id); got != nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				rt.conflictRecs.Add(1)
+				relay(w, got)
+				return
+			}
+		}
+		relay(w, resp)
+		return
+	}
+	writeRouterError(w, http.StatusBadGateway, "upstream_unreachable",
+		errors.New("every candidate node unreachable"), true)
+}
+
+// fetchSession GETs /v1/sessions/{id} through the id's candidates and
+// returns the first 200 response (the caller owns its Body), or nil if
+// no candidate can produce the session.
+func (rt *Router) fetchSession(ctx context.Context, id string) *http.Response {
+	greq, err := http.NewRequestWithContext(ctx, http.MethodGet, "/v1/sessions/"+id, nil)
+	if err != nil {
+		return nil
+	}
+	for _, node := range rt.candidates(id) {
+		addr := rt.addrOf(node)
+		if addr == "" {
+			continue
+		}
+		resp := rt.try(greq, node, addr, nil)
+		if resp == nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+	return nil
 }
 
 // handleSession routes everything under /v1/sessions/{id} by ring
@@ -605,6 +692,19 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 // A transport error marks the node suspect and reports false — the
 // caller decides whether failing over is safe.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node, addr string, body []byte) bool {
+	resp := rt.try(r, node, addr, body)
+	if resp == nil {
+		return false
+	}
+	rt.proxied.Add(1)
+	relay(w, resp)
+	return true
+}
+
+// try sends one upstream attempt and returns the response, or nil on a
+// transport error (the node is marked suspect). Callers that get a
+// response own its Body — relay closes it.
+func (rt *Router) try(r *http.Request, node, addr string, body []byte) *http.Response {
 	u := addr + r.URL.Path
 	if q := r.URL.RawQuery; q != "" {
 		u += "?" + q
@@ -615,20 +715,31 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node, addr str
 	}
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
 	if err != nil {
-		return false
+		return nil
 	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
+	// Idempotency-Key must survive the proxy hop: the server dedupes
+	// replayed change batches by it, which is what makes the CLIENT's
+	// retries through 502s safe even though the router itself never
+	// replays non-idempotent requests.
+	for _, h := range []string{"Content-Type", "Idempotency-Key"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
 	}
 	resp, err := rt.opts.HTTP.Do(req)
 	if err != nil {
 		if r.Context().Err() == nil {
 			rt.markSuspect(node)
 		}
-		return false
+		return nil
 	}
+	return resp
+}
+
+// relay writes one upstream response downstream verbatim (status, JSON
+// body, the headers clients act on). It closes resp.Body.
+func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	rt.proxied.Add(1)
 	for _, h := range []string{"Content-Type", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -636,7 +747,6 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node, addr str
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, io.LimitReader(resp.Body, maxBody))
-	return true
 }
 
 // mintID returns a random router-minted session id. Random (not

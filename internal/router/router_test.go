@@ -313,3 +313,113 @@ func TestRouterReadyz(t *testing.T) {
 		t.Fatalf("readyz with no nodes = %d, want 503", resp.StatusCode)
 	}
 }
+
+// A list fan-out with any node unreachable must answer a retryable 503,
+// not a silently partial 200 (the dead node's sessions would otherwise
+// be indistinguishable from deleted ones).
+func TestListPartialFailureIs503(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	n2.reply = func(path string) (int, string) {
+		return 200, `{"sessions":["b"],"live":[],"degraded":[]}`
+	}
+	rt, front := newTestRouter(t, n1, n2)
+	// Killed AFTER the refresh, so the router still fans out to n1.
+	n1.srv.Close()
+
+	resp, err := http.Get(front.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("partial list = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("partial-list 503 missing Retry-After hint")
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	if env.Error.Code != "partial_listing" {
+		t.Fatalf("error code %q, want partial_listing", env.Error.Code)
+	}
+	if rt.Metrics().PartialLists != 1 {
+		t.Fatalf("partial_lists = %d, want 1", rt.Metrics().PartialLists)
+	}
+}
+
+// Create failover through a lost response: the create commits on the
+// owner but the reply is lost, the replay on the successor answers 409
+// session_exists, and the router must recover the existing session as a
+// 200 instead of surfacing a conflict the client never caused.
+func TestCreateFailover409RecoversSession(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	ring := cluster.BuildRing([]string{"n1", "n2"}, cluster.DefaultVirtualNodes)
+	id := "alpha"
+	for i := 0; ; i++ {
+		if owner, _ := ring.Owner(id); owner == "n1" {
+			break
+		}
+		id = "alpha" + strings.Repeat("x", i+1)
+	}
+	// The successor: replayed create conflicts, but the info GET succeeds.
+	n2.reply = func(path string) (int, string) {
+		if path == "/v1/sessions" {
+			return http.StatusConflict, `{"error":{"code":"session_exists","message":"dup"}}`
+		}
+		return http.StatusOK, `{"id":"` + id + `","domain":"cnf"}`
+	}
+	rt, front := newTestRouter(t, n1, n2)
+	// Owner dies after refresh: the create fails over to n2.
+	n1.srv.Close()
+
+	resp, err := http.Post(front.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"id":"`+id+`","domain":"cnf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover create landing on 409 = %d, want recovered 200", resp.StatusCode)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID != id {
+		t.Fatalf("recovered body id=%q err=%v, want the existing session %q", out.ID, err, id)
+	}
+	if rt.Metrics().ConflictRecoveries != 1 {
+		t.Fatalf("conflict_recoveries = %d, want 1", rt.Metrics().ConflictRecoveries)
+	}
+}
+
+// A FIRST-attempt 409 is a genuine duplicate id chosen by the client and
+// must stay a 409.
+func TestCreateFirstAttempt409Relayed(t *testing.T) {
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	for _, n := range []*fakeNode{n1, n2} {
+		n.reply = func(path string) (int, string) {
+			if path == "/v1/sessions" {
+				return http.StatusConflict, `{"error":{"code":"session_exists","message":"dup"}}`
+			}
+			return http.StatusOK, `{}`
+		}
+	}
+	rt, front := newTestRouter(t, n1, n2)
+
+	resp, err := http.Post(front.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"id":"dup-id","domain":"cnf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("first-attempt duplicate = %d, want 409 relayed", resp.StatusCode)
+	}
+	if rt.Metrics().ConflictRecoveries != 0 {
+		t.Fatal("a genuine duplicate was miscounted as a conflict recovery")
+	}
+}

@@ -120,6 +120,12 @@ func (sess *Session) ensureLeaseLocked() error {
 	case errors.Is(err, cluster.ErrLeaseHeld):
 		sess.fenceLocked()
 		return notOwnerErr(sess.id, leaseHolderOf(err))
+	case errors.Is(err, cluster.ErrSessionDeleted):
+		// The session was deleted cluster-wide while our lease lapsed. Our
+		// in-memory copy is a ghost: fence it so nothing here is ever
+		// persisted again (which would resurrect the deleted session).
+		sess.fenceLocked()
+		return notOwnerErr(sess.id, "")
 	case store.IsTransient(err) && sess.lease.Holder == node.ID() && remaining > 0:
 		// Store hiccup mid-renewal with an unexpired claim: keep serving.
 		// The CAS backstop fences us if ownership truly moved.

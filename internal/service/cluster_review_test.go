@@ -1,0 +1,204 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ilpec/internal/store"
+)
+
+// countKind tallies the journal records of one kind for a session.
+func countKind(t *testing.T, st store.Store, id, kind string) int {
+	t.Helper()
+	_, tail, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, rec := range tail {
+		if rec.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// An Idempotency-Keyed batch must be applied exactly once: a same-key
+// replay on the same node is acknowledged as a duplicate without a
+// second journal record, and — the failure mode behind lost-response
+// client retries — so is a replay against a failover successor that
+// rebuilt the dedup window from the journal.
+func TestClusterBatchDedupAcrossFailover(t *testing.T) {
+	st := store.NewMemory()
+	clk := newFleetClock()
+	svcs := newFleet(t, st, clk, 5*time.Second, 2)
+	a, b := svcs[0], svcs[1]
+	defer a.Close()
+	defer b.Close()
+
+	_, c := fixtureFor(t, a, "cnf")
+	sessA, err := a.CreateDomainSessionWithID("job-1", "cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, dup, err := sessA.QueueChangesKeyed("batch-1", c.Tightening...)
+	if err != nil || dup {
+		t.Fatalf("first keyed queue: pending=%d dup=%v err=%v", pending, dup, err)
+	}
+
+	// Same key, same node: the retry of a lost 202.
+	pending2, dup, err := sessA.QueueChangesKeyed("batch-1", c.Tightening...)
+	if err != nil || !dup || pending2 != pending {
+		t.Fatalf("same-node replay: pending=%d dup=%v err=%v, want duplicate with pending unchanged (%d)", pending2, dup, err, pending)
+	}
+	if got := countKind(t, st, "job-1", store.KindChanges); got != 1 {
+		t.Fatalf("journal has %d changes records after same-node replay, want 1", got)
+	}
+	if got := a.Metrics().DuplicateBatches; got != 1 {
+		t.Fatalf("duplicate_batches on A = %d, want 1", got)
+	}
+
+	// A dies; B takes over past the TTL and must rebuild the dedup window
+	// from the journal's BatchID column.
+	clk.Advance(6 * time.Second)
+	sessB, err := b.LookupSession("job-1")
+	if err != nil {
+		t.Fatalf("steal on B: %v", err)
+	}
+	pendingB, dup, err := sessB.QueueChangesKeyed("batch-1", c.Tightening...)
+	if err != nil || !dup || pendingB != pending {
+		t.Fatalf("cross-node replay: pending=%d dup=%v err=%v, want duplicate with pending %d", pendingB, dup, err, pending)
+	}
+	if got := countKind(t, st, "job-1", store.KindChanges); got != 1 {
+		t.Fatalf("journal has %d changes records after failover replay, want exactly 1 (double apply!)", got)
+	}
+
+	// A genuinely new key still queues.
+	if _, dup, err := sessB.QueueChangesKeyed("batch-2", c.Tightening...); err != nil || dup {
+		t.Fatalf("fresh key on B: dup=%v err=%v", dup, err)
+	}
+	if got := countKind(t, st, "job-1", store.KindChanges); got != 2 {
+		t.Fatalf("journal has %d changes records after fresh batch, want 2", got)
+	}
+}
+
+// The dedup window must also survive compaction: once the journal is
+// folded into a snapshot, the keys ride Snapshot.RecentBatches.
+func TestClusterBatchDedupSurvivesSnapshot(t *testing.T) {
+	st := store.NewMemory()
+	clk := newFleetClock()
+	svcs := newFleet(t, st, clk, 5*time.Second, 2)
+	a, b := svcs[0], svcs[1]
+	defer a.Close()
+	defer b.Close()
+
+	_, c := fixtureFor(t, a, "cnf")
+	sessA, err := a.CreateDomainSessionWithID("job-1", "cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sessA.QueueChangesKeyed("batch-1", c.Tightening...); err != nil {
+		t.Fatal(err)
+	}
+	// Force the journal into the snapshot.
+	sessA.mu.Lock()
+	err = sessA.persistSnapshotLocked()
+	sessA.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(6 * time.Second)
+	sessB, err := b.LookupSession("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dup, err := sessB.QueueChangesKeyed("batch-1", c.Tightening...); err != nil || !dup {
+		t.Fatalf("replay after compaction: dup=%v err=%v, want duplicate", dup, err)
+	}
+}
+
+// Deleting a session must stick cluster-wide: a stale former owner whose
+// lease lapsed mid-delete may neither write its in-memory copy back nor
+// re-acquire the lease — the deletion tombstone fences it. An explicit
+// re-create of the id, by contrast, reclaims the tombstone.
+func TestClusterDeleteTombstoneNoResurrection(t *testing.T) {
+	st := store.NewMemory()
+	clk := newFleetClock()
+	svcs := newFleet(t, st, clk, 5*time.Second, 2)
+	a, b := svcs[0], svcs[1]
+	defer a.Close()
+	defer b.Close()
+
+	_, c := fixtureFor(t, a, "cnf")
+	sessA, err := a.CreateDomainSessionWithID("job-1", "cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessA.Solve(); err != nil {
+		t.Fatal(err)
+	}
+
+	// B steals the lapsed session and deletes it for good.
+	clk.Advance(6 * time.Second)
+	if _, err := b.LookupSession("job-1"); err != nil {
+		t.Fatalf("steal on B: %v", err)
+	}
+	if !b.CloseSession("job-1") {
+		t.Fatal("close on B reported not found")
+	}
+	if _, _, err := st.Load("job-1"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("store still has job-1 after delete: %v", err)
+	}
+
+	// A's stale in-memory copy tries to write: its lease renewal must see
+	// the tombstone and fence WITHOUT persisting anything.
+	if _, err := sessA.QueueChanges(c.Tightening...); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("stale write on A after delete: %v, want ErrNotOwner", err)
+	}
+	if _, _, err := st.Load("job-1"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatal("stale owner resurrected the deleted session in the store")
+	}
+
+	// A's lookups converge on unknown (first drops the fenced ghost).
+	a.LookupSession("job-1") //nolint:errcheck
+	if _, err := a.LookupSession("job-1"); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("lookup on A after delete: %v, want ErrUnknownSession", err)
+	}
+
+	// Deliberate reuse of the id is allowed: create reclaims the tombstone.
+	sess2, err := b.CreateDomainSessionWithID("job-1", "cnf", c.Problem, SessionConfig{})
+	if err != nil {
+		t.Fatalf("re-create of deleted id: %v", err)
+	}
+	if _, err := sess2.Solve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Probing lookups for ids that never existed must not mint durable
+// _cluster_lease_ metadata: before the fix every bogus id leaked one
+// meta session into the shared store forever.
+func TestClusterLookupUnknownIDMintsNoLeaseMeta(t *testing.T) {
+	st := store.NewMemory()
+	clk := newFleetClock()
+	svc := newFleet(t, st, clk, 5*time.Second, 1)[0]
+	defer svc.Close()
+
+	for _, id := range []string{"ghost-1", "ghost-2", "ghost-3"} {
+		if _, err := svc.LookupSession(id); !errors.Is(err, ErrUnknownSession) {
+			t.Fatalf("lookup %q: %v, want ErrUnknownSession", id, err)
+		}
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if strings.HasPrefix(id, "_cluster_lease_ghost") {
+			t.Fatalf("probing lookup minted durable lease meta %q", id)
+		}
+	}
+}

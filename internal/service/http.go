@@ -18,6 +18,10 @@ import (
 // maxBodyBytes bounds request bodies (DIMACS payloads included).
 const maxBodyBytes = 8 << 20
 
+// maxIdempotencyKey bounds the Idempotency-Key header so the per-session
+// dedup window cannot be bloated by pathological keys.
+const maxIdempotencyKey = 200
+
 // NewHandler exposes a Service over HTTP/JSON:
 //
 //	POST   /v1/sessions              create a session (any registered domain)
@@ -271,9 +275,20 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 		}
 		changes = append(changes, c)
 	}
+	// Idempotency-Key makes the batch replay-safe: a retry carrying the
+	// same key (the ecclient sends one on every POST) is acknowledged
+	// without being applied again, even when the first attempt's response
+	// was lost — or when the retry lands on a failover successor, which
+	// rebuilds the dedup window from the shared journal.
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > maxIdempotencyKey {
+		writeError(w, http.StatusBadRequest, "bad_idempotency_key",
+			fmt.Errorf("Idempotency-Key longer than %d bytes", maxIdempotencyKey))
+		return
+	}
 	// The 202 is only sent after the batch is durably journaled (on a
 	// store-backed service): an acknowledged change survives a crash.
-	pending, err := sess.QueueChanges(changes...)
+	pending, duplicate, err := sess.QueueChangesKeyed(key, changes...)
 	if err != nil {
 		// Retryable conditions get retryable statuses: a full queue is the
 		// client's backpressure signal (429), a transient store fault will
@@ -293,7 +308,11 @@ func handleChanges(sess *Session, w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"id": sess.ID(), "pending": pending})
+	resp := map[string]any{"id": sess.ID(), "pending": pending}
+	if duplicate {
+		resp["duplicate"] = true
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func handleSolve(sess *Session, w http.ResponseWriter, r *http.Request) {

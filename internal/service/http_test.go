@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -329,5 +330,64 @@ func TestAssignmentLits(t *testing.T) {
 	want := []int{1, -3}
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("lits %v, want %v", got, want)
+	}
+}
+
+// The HTTP wire contract of change-batch idempotency: a replay carrying
+// the same Idempotency-Key is acknowledged 202 with "duplicate": true
+// and pending unchanged, and an oversized key is rejected up front.
+func TestHTTPChangesIdempotencyKey(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var info SessionInfo
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+		"clauses": [][]int{{1, 2}, {-1, 3}},
+	}, &info); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	post := func(key string) (int, string) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{
+			"changes": []map[string]any{{"kind": "add-clause", "lits": []int{-2, 3}}},
+		})
+		req, err := http.NewRequest("POST", base+"/changes", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	var ack struct {
+		Pending   int  `json:"pending"`
+		Duplicate bool `json:"duplicate"`
+	}
+	code, raw := post("key-1")
+	if json.Unmarshal([]byte(raw), &ack); code != http.StatusAccepted || ack.Duplicate || ack.Pending != 1 {
+		t.Fatalf("first keyed batch: %d %s", code, raw)
+	}
+	ack.Duplicate = false
+	code, raw = post("key-1")
+	if json.Unmarshal([]byte(raw), &ack); code != http.StatusAccepted || !ack.Duplicate || ack.Pending != 1 {
+		t.Fatalf("replayed batch: %d %s, want 202 duplicate with pending still 1", code, raw)
+	}
+	// Unkeyed batches never dedup.
+	ack.Duplicate = false
+	code, raw = post("")
+	if json.Unmarshal([]byte(raw), &ack); code != http.StatusAccepted || ack.Duplicate || ack.Pending != 2 {
+		t.Fatalf("unkeyed batch: %d %s", code, raw)
+	}
+	if code, raw := post(strings.Repeat("k", maxIdempotencyKey+1)); code != http.StatusBadRequest || !strings.Contains(raw, "bad_idempotency_key") {
+		t.Fatalf("oversized key: %d %s, want 400 bad_idempotency_key", code, raw)
 	}
 }

@@ -112,6 +112,9 @@ func (sess *Session) snapshotLocked() (store.Snapshot, error) {
 	if snap.Pending, err = renderChanges(sess.dom, sess.pending); err != nil {
 		return store.Snapshot{}, err
 	}
+	if len(sess.recentBatches) > 0 {
+		snap.RecentBatches = append([]string(nil), sess.recentBatches...)
+	}
 	return snap, nil
 }
 
@@ -241,8 +244,10 @@ func (sess *Session) maybeCompactLocked() {
 }
 
 // persistQueueLocked journals a queued change batch (before it enters the
-// in-memory pending queue).
-func (sess *Session) persistQueueLocked(changes []any) error {
+// in-memory pending queue). key is the batch's idempotency key ("" when
+// the client sent none); journaling it lets a rehydration — here or on a
+// failover successor — rebuild the dedup window from the tail.
+func (sess *Session) persistQueueLocked(key string, changes []any) error {
 	if !sess.svc.hasStore() {
 		return nil
 	}
@@ -250,7 +255,7 @@ func (sess *Session) persistQueueLocked(changes []any) error {
 	if err != nil {
 		return err
 	}
-	return sess.appendLocked(store.Record{Kind: store.KindChanges, Changes: wire})
+	return sess.appendLocked(store.Record{Kind: store.KindChanges, Changes: wire, BatchID: key})
 }
 
 // persistSolveLocked journals a committed solve (problem = previous
@@ -363,8 +368,11 @@ func (s *Service) rehydrate(id string) (*Session, error) {
 
 	// Replay the journal tail: changes queue up, a solve folds the queue
 	// into the problem and installs the journaled solution, a discard
-	// drops the queue.
+	// drops the queue. Batch idempotency keys accumulate from the snapshot
+	// and the tail, so a client retry that lands after a failover still
+	// dedupes against the batch the previous owner committed.
 	seq := snap.Seq
+	recentBatches := append([]string(nil), snap.RecentBatches...)
 	for _, rec := range tail {
 		seq = rec.Seq
 		switch rec.Kind {
@@ -374,6 +382,7 @@ func (s *Service) rehydrate(id string) (*Session, error) {
 				return nil, fmt.Errorf("service: session %s seq %d: %w", id, rec.Seq, err)
 			}
 			pending = append(pending, batch...)
+			recentBatches = appendBatchKey(recentBatches, rec.BatchID)
 		case store.KindSolve:
 			if len(pending) > 0 {
 				if problem, err = d.ApplyChanges(problem, pending); err != nil {
@@ -392,17 +401,18 @@ func (s *Service) rehydrate(id string) (*Session, error) {
 	}
 
 	sess := &Session{
-		id:       id,
-		svc:      s,
-		dom:      d,
-		problem:  problem,
-		solution: solution,
-		pending:  pending,
-		strategy: strategy,
-		solve:    s.opts.Solve,
-		cuts:     ilp.NewCutPool(),
-		seq:      seq,
-		tailLen:  len(tail),
+		id:            id,
+		svc:           s,
+		dom:           d,
+		problem:       problem,
+		solution:      solution,
+		pending:       pending,
+		strategy:      strategy,
+		solve:         s.opts.Solve,
+		cuts:          ilp.NewCutPool(),
+		seq:           seq,
+		tailLen:       len(tail),
+		recentBatches: recentBatches,
 		stats: sessionStats{
 			changesQueued: snap.ChangesQueued,
 			batches:       snap.Batches,

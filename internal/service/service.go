@@ -166,6 +166,10 @@ type Metrics struct {
 	// Batches counts change batches resolved (each coalesces ≥1 changes
 	// into a single pass; Batches < ChangesQueued measures coalescing).
 	Batches atomic.Int64
+	// DuplicateBatches counts change batches acknowledged without being
+	// applied because their idempotency key matched an already-accepted
+	// batch — a client replay after a lost response.
+	DuplicateBatches atomic.Int64
 	// Solves counts Session.Solve calls that produced a solution
 	// (initial solves, batch re-solves, and relax fast-paths).
 	Solves atomic.Int64
@@ -254,24 +258,25 @@ type Metrics struct {
 
 // MetricsSnapshot is a plain-value copy of Metrics for reporting.
 type MetricsSnapshot struct {
-	SessionsLive    int   `json:"sessions_live"`
-	SessionsCreated int64 `json:"sessions_created"`
-	SessionsClosed  int64 `json:"sessions_closed"`
-	ChangesQueued   int64 `json:"changes_queued"`
-	Batches         int64 `json:"batches"`
-	Solves          int64 `json:"solves"`
-	SolverRuns      int64 `json:"solver_runs"`
-	CacheHits       int64 `json:"cache_hits"`
-	CacheMisses     int64 `json:"cache_misses"`
-	CacheEntries    int   `json:"cache_entries"`
-	RelaxFastPaths  int64 `json:"relax_fast_paths"`
-	IncumbentHits   int64 `json:"incumbent_hits"`
-	TruncatedSolves int64 `json:"truncated_solves"`
-	PresolveFixed   int64 `json:"presolve_fixed"`
-	PresolveRows    int64 `json:"presolve_rows"`
-	CutsAdded       int64 `json:"cuts_added"`
-	CutsReused      int64 `json:"cuts_reused"`
-	CutTightenings  int64 `json:"cut_tightenings"`
+	SessionsLive     int   `json:"sessions_live"`
+	SessionsCreated  int64 `json:"sessions_created"`
+	SessionsClosed   int64 `json:"sessions_closed"`
+	ChangesQueued    int64 `json:"changes_queued"`
+	Batches          int64 `json:"batches"`
+	DuplicateBatches int64 `json:"duplicate_batches"`
+	Solves           int64 `json:"solves"`
+	SolverRuns       int64 `json:"solver_runs"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	CacheEntries     int   `json:"cache_entries"`
+	RelaxFastPaths   int64 `json:"relax_fast_paths"`
+	IncumbentHits    int64 `json:"incumbent_hits"`
+	TruncatedSolves  int64 `json:"truncated_solves"`
+	PresolveFixed    int64 `json:"presolve_fixed"`
+	PresolveRows     int64 `json:"presolve_rows"`
+	CutsAdded        int64 `json:"cuts_added"`
+	CutsReused       int64 `json:"cuts_reused"`
+	CutTightenings   int64 `json:"cut_tightenings"`
 	// InstanceReuses / InstanceRebuilds / InstanceRowsDelta /
 	// ReseparatedRows report the persistent-instance path (see Metrics).
 	InstanceReuses    int64 `json:"instance_reuses"`
@@ -537,11 +542,24 @@ func (s *Service) createSession(id, domainName string, problem any, cfg SessionC
 	var lease cluster.Lease
 	if s.clustered() {
 		node := s.opts.Cluster
-		ls, err := node.Leases().Acquire(id, node.ID(), node.LeaseTTL(), node.Now())
+		// AcquireForCreate, not Acquire: a create deliberately reuses an id,
+		// so a deletion tombstone on it is reclaimed rather than refused.
+		ls, reclaimed, err := node.Leases().AcquireForCreate(id, node.ID(), node.LeaseTTL(), node.Now())
 		switch {
 		case err == nil:
 			lease = ls
 			s.metrics.ClusterLeaseAcquired.Add(1)
+			if reclaimed && s.hasStore() {
+				// The id carried a tombstone: scrub any orphaned session data
+				// a failed delete left behind, under the fresh lease so no
+				// other node can race the cleanup, and before the existence
+				// check below so the orphan cannot masquerade as a live
+				// duplicate.
+				if derr := s.opts.Store.Delete(id); derr != nil && !errors.Is(derr, store.ErrNotFound) {
+					node.Leases().Release(lease) //nolint:errcheck // best effort
+					return nil, derr
+				}
+			}
 		case errors.Is(err, cluster.ErrLeaseHeld):
 			s.metrics.ClusterNotOwner.Add(1)
 			return nil, notOwnerErr(id, leaseHolderOf(err))
@@ -696,10 +714,29 @@ func (s *Service) LookupSession(id string) (*Session, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
 
+	if s.clustered() && !known && s.hasStore() {
+		// The id is unknown locally, so prove it exists in the shared store
+		// BEFORE touching the lease layer: acquiring first would durably
+		// mint a _cluster_lease_ meta session per probed id, an unbounded
+		// write amplification for garbage lookups. Transient store trouble
+		// falls through — the acquire surfaces it with transience intact.
+		if _, _, err := s.opts.Store.Load(id); errors.Is(err, store.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+		}
+	}
+
 	var lease cluster.Lease
 	if s.clustered() {
 		ls, err := s.acquireForRehydrate(id)
 		if err != nil {
+			if errors.Is(err, cluster.ErrSessionDeleted) {
+				// Deleted cluster-wide. Unregister locally; leave the store
+				// and tombstone alone (an explicit re-create owns them now).
+				s.mu.Lock()
+				delete(s.persisted, id)
+				s.mu.Unlock()
+				return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+			}
 			return nil, err
 		}
 		lease = ls
@@ -711,9 +748,17 @@ func (s *Service) LookupSession(id string) (*Session, error) {
 	}
 	sess, err := s.rehydrate(id)
 	if err != nil {
-		releaseLease()
 		if store.IsTransient(err) {
+			releaseLease()
 			return nil, err
+		}
+		if s.clustered() && lease.Holder != "" && errors.Is(err, store.ErrNotFound) {
+			// No durable state after all (the existence probe raced a
+			// delete): drop the freshly minted lease meta instead of
+			// leaking it forever.
+			s.opts.Cluster.Leases().Drop(id) //nolint:errcheck // best effort
+		} else {
+			releaseLease()
 		}
 		return nil, fmt.Errorf("%w: %q (%v)", ErrUnknownSession, id, err)
 	}
@@ -845,12 +890,19 @@ func (s *Service) CloseSession(id string) bool {
 		sess.closed = true
 		sess.mu.Unlock()
 	}
+	if s.clustered() {
+		// Tombstone the lease BEFORE deleting the data: once the data is
+		// gone, a stale former owner re-acquiring the lapsed lease would
+		// otherwise resurrect the session from its in-memory copy (its next
+		// snapshot recreates the store state). With the tombstone in place
+		// that acquire fails ErrSessionDeleted instead. Best effort — if
+		// another node holds a live lease the delete proceeds as before and
+		// CAS fencing bounds the damage.
+		node := s.opts.Cluster
+		node.Leases().MarkDeleted(id, node.ID(), node.Now()) //nolint:errcheck // best effort
+	}
 	if s.hasStore() {
 		s.opts.Store.Delete(id) //nolint:errcheck // best effort; List re-reads the disk
-	}
-	if s.clustered() {
-		// The session is gone; its lease bookkeeping goes with it.
-		s.opts.Cluster.Leases().Drop(id) //nolint:errcheck // best effort; TTL expiry covers failure
 	}
 	s.metrics.SessionsClosed.Add(1)
 	return true
@@ -865,24 +917,25 @@ func (s *Service) Metrics() MetricsSnapshot {
 	degraded := len(s.DegradedSessions())
 	m := &s.metrics
 	return MetricsSnapshot{
-		SessionsLive:    live,
-		SessionsCreated: m.SessionsCreated.Load(),
-		SessionsClosed:  m.SessionsClosed.Load(),
-		ChangesQueued:   m.ChangesQueued.Load(),
-		Batches:         m.Batches.Load(),
-		Solves:          m.Solves.Load(),
-		SolverRuns:      m.SolverRuns.Load(),
-		CacheHits:       m.CacheHits.Load(),
-		CacheMisses:     m.CacheMisses.Load(),
-		CacheEntries:    s.cache.len(),
-		RelaxFastPaths:  m.RelaxFastPaths.Load(),
-		IncumbentHits:   m.IncumbentHits.Load(),
-		TruncatedSolves: m.TruncatedSolves.Load(),
-		PresolveFixed:   m.PresolveFixed.Load(),
-		PresolveRows:    m.PresolveRows.Load(),
-		CutsAdded:       m.CutsAdded.Load(),
-		CutsReused:      m.CutsReused.Load(),
-		CutTightenings:  m.CutTightenings.Load(),
+		SessionsLive:     live,
+		SessionsCreated:  m.SessionsCreated.Load(),
+		SessionsClosed:   m.SessionsClosed.Load(),
+		ChangesQueued:    m.ChangesQueued.Load(),
+		Batches:          m.Batches.Load(),
+		DuplicateBatches: m.DuplicateBatches.Load(),
+		Solves:           m.Solves.Load(),
+		SolverRuns:       m.SolverRuns.Load(),
+		CacheHits:        m.CacheHits.Load(),
+		CacheMisses:      m.CacheMisses.Load(),
+		CacheEntries:     s.cache.len(),
+		RelaxFastPaths:   m.RelaxFastPaths.Load(),
+		IncumbentHits:    m.IncumbentHits.Load(),
+		TruncatedSolves:  m.TruncatedSolves.Load(),
+		PresolveFixed:    m.PresolveFixed.Load(),
+		PresolveRows:     m.PresolveRows.Load(),
+		CutsAdded:        m.CutsAdded.Load(),
+		CutsReused:       m.CutsReused.Load(),
+		CutTightenings:   m.CutTightenings.Load(),
 
 		InstanceReuses:    m.InstanceReuses.Load(),
 		InstanceRebuilds:  m.InstanceRebuilds.Load(),

@@ -77,6 +77,14 @@ type Session struct {
 	// snapshot so the journal record is superseded either way.
 	ackLostSeq   uint64
 	forceCompact bool
+	// recentBatches holds the idempotency keys of the most recently
+	// accepted change batches (oldest first, bounded at maxRecentBatches).
+	// A QueueChangesKeyed call whose key is present is a client replay —
+	// the batch is already journaled — and is acknowledged without being
+	// applied again. The keys are persisted (Record.BatchID on the journal
+	// record, Snapshot.RecentBatches on compaction) so dedup survives
+	// rehydration on this node or a failover successor.
+	recentBatches []string
 	// lastUsed is the unix-nano last-touch stamp driving LRU eviction and
 	// the TTL sweep.
 	lastUsed atomic.Int64
@@ -174,24 +182,72 @@ func (s *Session) Queue(changes ...core.Change) (int, error) {
 // accepted change survives a crash; the error reports a detached session
 // or a failed journal append, and in either case nothing was queued.
 func (s *Session) QueueChanges(changes ...any) (int, error) {
+	pending, _, err := s.QueueChangesKeyed("", changes...)
+	return pending, err
+}
+
+// maxRecentBatches bounds the idempotency keys a session remembers (in
+// memory and in its snapshot). A retrying client replays a batch within
+// a handful of attempts, so the window only needs to outlast one retry
+// storm — 128 batches is orders of magnitude past that.
+const maxRecentBatches = 128
+
+// QueueChangesKeyed is QueueChanges with a client-supplied idempotency
+// key. A non-empty key that matches an already-accepted batch means the
+// call is a retry of a request whose response was lost (the router never
+// replays non-idempotent requests, but the CLIENT retries through 502s):
+// the batch is acknowledged as duplicate=true without being queued
+// again, keeping replays exactly-once. An empty key disables dedup.
+func (s *Session) QueueChangesKeyed(key string, changes ...any) (pending int, duplicate bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, fmt.Errorf("service: session %s is closed (re-fetch it by id)", s.id)
+		return 0, false, fmt.Errorf("service: session %s is closed (re-fetch it by id)", s.id)
+	}
+	if key != "" && s.seenBatchLocked(key) {
+		s.svc.metrics.DuplicateBatches.Add(1)
+		s.svc.touch(s)
+		return len(s.pending), true, nil
 	}
 	if max := s.svc.opts.MaxPending; max > 0 && len(s.pending)+len(changes) > max {
 		s.svc.metrics.QueueRejections.Add(1)
-		return len(s.pending), fmt.Errorf("%w (%d pending, limit %d)", ErrQueueFull, len(s.pending), max)
+		return len(s.pending), false, fmt.Errorf("%w (%d pending, limit %d)", ErrQueueFull, len(s.pending), max)
 	}
-	if err := s.persistQueueLocked(changes); err != nil {
-		return len(s.pending), err
+	if err := s.persistQueueLocked(key, changes); err != nil {
+		return len(s.pending), false, err
 	}
 	s.pending = append(s.pending, changes...)
+	s.recentBatches = appendBatchKey(s.recentBatches, key)
 	s.stats.changesQueued += int64(len(changes))
 	s.svc.metrics.ChangesQueued.Add(int64(len(changes)))
 	s.svc.touch(s)
 	s.maybeCompactLocked()
-	return len(s.pending), nil
+	return len(s.pending), false, nil
+}
+
+// seenBatchLocked reports whether key identifies an already-accepted
+// batch. Linear scan: the window is small (maxRecentBatches). Caller
+// holds s.mu.
+func (s *Session) seenBatchLocked(key string) bool {
+	for _, k := range s.recentBatches {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// appendBatchKey records one accepted batch key, keeping the window
+// bounded (empty keys are not recorded).
+func appendBatchKey(keys []string, key string) []string {
+	if key == "" {
+		return keys
+	}
+	keys = append(keys, key)
+	if len(keys) > maxRecentBatches {
+		keys = keys[len(keys)-maxRecentBatches:]
+	}
+	return keys
 }
 
 // Pending returns the number of queued, not yet applied changes.

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -350,6 +352,11 @@ func (f *File) Load(id string) (Snapshot, []Record, error) {
 	if s.shared {
 		unlock, lockErr := lockDir(s.dir)
 		if lockErr != nil {
+			if errors.Is(lockErr, fs.ErrNotExist) {
+				// The session directory itself is gone (deleted by a peer, or
+				// never created): that is a miss, not an I/O fault.
+				return Snapshot{}, nil, fmt.Errorf("store: %q: %w", id, ErrNotFound)
+			}
 			return Snapshot{}, nil, markTransient(fmt.Errorf("store: lock session dir: %w", lockErr))
 		}
 		defer unlock()
@@ -491,7 +498,24 @@ func (f *File) Delete(id string) error {
 		}
 		s.mu.Unlock()
 	}
-	if err := os.RemoveAll(filepath.Join(f.root, id)); err != nil {
+	dir := filepath.Join(f.root, id)
+	if f.shared {
+		// Serialize against a concurrent writer on another node: an append
+		// or snapshot mid-flight while we RemoveAll would leave a half
+		// directory that a later rehydrate resurrects. Holding the same
+		// flock writers take makes the removal atomic with respect to them.
+		unlock, err := lockDir(dir)
+		switch {
+		case err == nil:
+			defer unlock()
+		case errors.Is(err, fs.ErrNotExist):
+			// Directory already gone — deletion is idempotent.
+			return nil
+		default:
+			return markTransient(fmt.Errorf("store: lock session dir for delete: %w", err))
+		}
+	}
+	if err := os.RemoveAll(dir); err != nil {
 		return fmt.Errorf("store: delete %q: %w", id, err)
 	}
 	return syncDir(f.root)

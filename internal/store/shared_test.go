@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // Two NewSharedFile handles on the same directory model two ecserve
@@ -132,5 +133,50 @@ func TestSharedFileMetaRoundTrip(t *testing.T) {
 	}
 	if len(tail) != 1 || tail[0].Kind != KindLease || string(tail[0].Meta) != string(meta) {
 		t.Fatalf("tail = %+v, want one lease record with meta", tail)
+	}
+}
+
+// Shared-mode Delete serializes with writers through the same directory
+// flock appends take: a delete cannot tear a peer's in-flight append,
+// and deleting an already-gone session is a clean no-op, not an error.
+func TestSharedFileDeleteLocksAndIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewSharedFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewSharedFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.WriteSnapshot(Snapshot{SessionID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the session dir's lock as a writer would, and prove Delete on
+	// the peer handle waits for it instead of racing the removal.
+	unlock, err := lockDir(filepath.Join(dir, "s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Delete("s1") }()
+	select {
+	case err := <-done:
+		t.Fatalf("Delete completed under a held writer lock: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("Delete after lock release: %v", err)
+	}
+	if _, _, err := a.Load("s1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load after delete: %v, want ErrNotFound", err)
+	}
+	// Idempotent: the directory (and its .lock) are gone.
+	if err := b.Delete("s1"); err != nil {
+		t.Fatalf("repeat delete: %v", err)
 	}
 }

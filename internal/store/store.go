@@ -63,6 +63,11 @@ type Record struct {
 	// Batched is the number of pending changes folded into the solve
 	// (KindSolve; used as a replay cross-check).
 	Batched int `json:"batched,omitempty"`
+	// BatchID is the client-supplied idempotency key of a queued change
+	// batch (KindChanges only, optional). The serving layer dedupes a
+	// replayed batch against the journal by this key, so a client retry
+	// after a lost response cannot apply the same batch twice.
+	BatchID string `json:"batch_id,omitempty"`
 	// Meta carries the payload of cluster records (KindLease,
 	// KindHeartbeat): an opaque JSON document owned by internal/cluster.
 	Meta json.RawMessage `json:"meta,omitempty"`
@@ -89,6 +94,11 @@ type Snapshot struct {
 	ChangesQueued int64 `json:"changes_queued,omitempty"`
 	Batches       int64 `json:"batches,omitempty"`
 	Solves        int64 `json:"solves,omitempty"`
+	// RecentBatches carries the most recent change-batch idempotency keys
+	// (oldest first), so batch dedup survives compaction, eviction, and
+	// failover rehydration — a retry that lands on the successor node
+	// still dedupes against the batch the dead owner committed.
+	RecentBatches []string `json:"recent_batches,omitempty"`
 	// Meta carries the compacted state of cluster pseudo-sessions
 	// (lease holder, node heartbeat, fleet cache entries).
 	Meta json.RawMessage `json:"meta,omitempty"`
@@ -196,5 +206,8 @@ func cloneSnapshot(s Snapshot) Snapshot {
 	s.Solution = cloneRaw(s.Solution)
 	s.Pending = cloneRaws(s.Pending)
 	s.Meta = cloneRaw(s.Meta)
+	if s.RecentBatches != nil {
+		s.RecentBatches = append([]string(nil), s.RecentBatches...)
+	}
 	return s
 }
