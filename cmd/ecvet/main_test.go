@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ilpec/internal/analysis"
+)
+
+// TestRunCleanPackageJSON drives the whole binary path — load, analyze,
+// JSON output — over a package that must be ecvet-clean.
+func TestRunCleanPackageJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "ilpec/internal/analysis"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s stdout: %s", code, stderr.String(), stdout.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected no findings, got %v", diags)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr %q lacks unknown-analyzer error", stderr.String())
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	sel, err := selectAnalyzers("lockguard, walfirst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "lockguard" || sel[1].Name != "walfirst" {
+		t.Errorf("unexpected selection: %v", sel)
+	}
+	if sel, err := selectAnalyzers(""); err != nil || len(sel) != len(all) {
+		t.Errorf("empty -only should select all analyzers, got %d (%v)", len(sel), err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, just large enough to host the
+// ecvet analyzers (cmd/ecvet). The build environment vendors nothing and
+// reaches no module proxy, so the real x/tools framework cannot be
+// imported; the subset here — Analyzer, Pass, Diagnostic, a package loader
+// built on `go list -export` plus the gc export-data importer, and an
+// analysistest-style harness (internal/analysis/analysistest) — is what
+// the project invariants need and nothing more.
+//
+// The analyzers themselves live in subpackages (lockguard, walfirst,
+// leasefence, transientclass, ctxflow, nilness, shadow); each documents
+// the invariant it enforces. Suppressions use
+//
+//	//ecvet:ignore <analyzer> <reason>
+//
+// on the offending line (or the line directly above). The reason is
+// mandatory: an ignore without one is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package via the Pass and reports findings with
+// Pass.Reportf; returning an error aborts the whole ecvet run (reserved
+// for internal failures, not findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, in a shape that marshals directly to the
+// cmd/ecvet -json output.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package, filters
+// //ecvet:ignore suppressions, and returns the surviving diagnostics in
+// (file, line, col, analyzer) order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		out = append(out, FilterIgnores(pkg.Fset, pkg.Files, diags)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// NewPass builds a standalone Pass whose diagnostics accumulate into
+// diags; the analysistest harness uses it to run one analyzer against a
+// hand-loaded package.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, diags *[]Diagnostic) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, diags: diags}
+}

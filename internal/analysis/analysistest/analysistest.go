@@ -1,0 +1,176 @@
+// Package analysistest is a golden-file harness for the ecvet analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a testdata
+// package is parsed and type-checked, the analyzer runs over it, and its
+// diagnostics are matched against `// want "regexp"` comments on the
+// offending lines. Suppression comments (//ecvet:ignore) are applied
+// before matching, so suppression behaviour is testable the same way.
+//
+// Testdata packages may import the standard library; imports are
+// resolved through the same `go list -export` + gc-importer path the
+// real driver uses.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ilpec/internal/analysis"
+)
+
+// Run analyzes the single package in dir (e.g. "testdata/src/a") with a
+// and reports any mismatch between its diagnostics and the `// want`
+// expectations to t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	imports := importPaths(files)
+	exports, err := analysis.ExportData(imports)
+	if err != nil {
+		t.Fatalf("resolve imports %v: %v", imports, err)
+	}
+	pkgPath := "ecvet.test/" + filepath.Base(dir)
+	tpkg, info, err := analysis.TypeCheck(fset, pkgPath, files, analysis.NewImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, files, tpkg, info, &diags)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	diags = analysis.FilterIgnores(fset, files, diags)
+
+	match(t, fset, files, diags)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func importPaths(files []*ast.File) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expectation is one `// want` comment: the regexps diagnostics on that
+// line must match.
+type expectation struct {
+	file string
+	line int
+	res  []*regexp.Regexp
+	raw  []string
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func parseExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				exp := &expectation{file: pos.Filename, line: pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, q)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					exp.res = append(exp.res, re)
+					exp.raw = append(exp.raw, pattern)
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+				out = append(out, exp)
+			}
+		}
+	}
+	return out
+}
+
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	expects := parseExpectations(t, fset, files)
+	byLine := make(map[string]*expectation)
+	lineKey := func(file string, line int) string { return file + ":" + strconv.Itoa(line) }
+	for _, e := range expects {
+		byLine[lineKey(e.file, e.line)] = e
+	}
+
+	matched := make(map[*expectation]int)
+	for _, d := range diags {
+		e := byLine[lineKey(d.File, d.Line)]
+		if e == nil {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+			continue
+		}
+		found := false
+		for _, re := range e.res {
+			if re.MatchString(d.Message) {
+				found = true
+				matched[e]++
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d:%d: diagnostic %q matches no want pattern %q", d.File, d.Line, d.Col, d.Message, e.raw)
+		}
+	}
+	for _, e := range expects {
+		if matched[e] < len(e.res) {
+			t.Errorf("%s:%d: want %d diagnostic(s) matching %q, got %d", e.file, e.line, len(e.res), e.raw, matched[e])
+		}
+	}
+}

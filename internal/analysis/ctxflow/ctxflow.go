@@ -1,0 +1,214 @@
+// Package ctxflow enforces context threading on the request path. A
+// function that receives a context.Context (or an *http.Request, whose
+// Context() is the request's) is a request-path function; inside it:
+//
+//   - context.Background()/context.TODO() are flagged — a fresh root
+//     context detaches the work from the caller's deadline and
+//     cancellation. The nil-defaulting idiom
+//     `if ctx == nil { ctx = context.Background() }` on the function's
+//     own ctx parameter is the one sanctioned use;
+//   - the context-less HTTP convenience calls (http.Get/Post/PostForm/
+//     Head and the same methods on *http.Client) are flagged — use
+//     http.NewRequestWithContext;
+//   - passing a literal nil where the callee expects a context.Context
+//     is flagged.
+//
+// Functions without a context parameter (main, background loops with
+// their own lifecycles) are out of scope.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ilpec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check that request-path functions thread their context instead of minting context.Background()",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxParams := requestPathParams(pass, fn)
+			if ctxParams == nil {
+				continue
+			}
+			checkFunc(pass, fn, ctxParams)
+		}
+	}
+	return nil
+}
+
+// isNamed reports whether t (after pointer unwrapping) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func isContextType(t types.Type) bool { return isNamed(t, "context", "Context") }
+
+// requestPathParams returns the objects of fn's context.Context
+// parameters when fn is a request-path function (has a ctx or
+// *http.Request parameter); nil otherwise.
+func requestPathParams(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	requestPath := false
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContextType(tv.Type) {
+			requestPath = true
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+		if isNamed(tv.Type, "net/http", "Request") {
+			requestPath = true
+		}
+	}
+	if !requestPath {
+		return nil
+	}
+	return params
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, ctxParams map[types.Object]bool) {
+	exemptDefaulting := defaultingCalls(pass, fn, ctxParams)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if pkg, fnName, ok := packageCall(pass, sel); ok && pkg == "context" && (fnName == "Background" || fnName == "TODO") {
+				if !exemptDefaulting[call] {
+					pass.Reportf(call.Pos(), "context.%s below the request path: thread the caller's context instead", fnName)
+				}
+				return true
+			}
+			if bare, ok := contextlessHTTP(pass, sel); ok {
+				pass.Reportf(call.Pos(), "%s drops the request context: use http.NewRequestWithContext", bare)
+				return true
+			}
+		}
+		// nil where the callee wants a context.Context.
+		sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() && !sig.Variadic() {
+				break
+			}
+			idx := i
+			if idx >= sig.Params().Len() {
+				idx = sig.Params().Len() - 1
+			}
+			if isContextType(sig.Params().At(idx).Type()) && analysis.IsNilExpr(pass.TypesInfo, arg) {
+				pass.Reportf(arg.Pos(), "nil passed as context.Context on the request path: pass the caller's context")
+			}
+		}
+		return true
+	})
+}
+
+// packageCall resolves sel as a package-level call pkg.Fn, returning the
+// package path and function name.
+func packageCall(pass *analysis.Pass, sel *ast.SelectorExpr) (pkgPath, fnName string, ok bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// contextlessHTTP matches the context-less convenience entry points:
+// http.Get/Post/PostForm/Head and the same methods on *http.Client.
+func contextlessHTTP(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	switch sel.Sel.Name {
+	case "Get", "Post", "PostForm", "Head":
+	default:
+		return "", false
+	}
+	if pkg, fnName, ok := packageCall(pass, sel); ok {
+		if pkg == "net/http" {
+			return "http." + fnName, true
+		}
+		return "", false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	if isNamed(selection.Recv(), "net/http", "Client") {
+		return "(*http.Client)." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// defaultingCalls returns the context.Background() calls that implement
+// the sanctioned `if ctx == nil { ctx = context.Background() }` idiom on
+// one of fn's own context parameters.
+func defaultingCalls(pass *analysis.Pass, fn *ast.FuncDecl, ctxParams map[types.Object]bool) map[*ast.CallExpr]bool {
+	exempt := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		var condID *ast.Ident
+		switch {
+		case analysis.IsNilExpr(pass.TypesInfo, cond.Y):
+			condID, _ = ast.Unparen(cond.X).(*ast.Ident)
+		case analysis.IsNilExpr(pass.TypesInfo, cond.X):
+			condID, _ = ast.Unparen(cond.Y).(*ast.Ident)
+		}
+		if condID == nil || !ctxParams[pass.TypesInfo.Uses[condID]] {
+			return true
+		}
+		for _, stmt := range ifs.Body.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[lhs] != pass.TypesInfo.Uses[condID] {
+				continue
+			}
+			if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+				exempt[call] = true
+			}
+		}
+		return true
+	})
+	return exempt
+}

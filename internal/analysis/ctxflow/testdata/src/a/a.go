@@ -1,0 +1,65 @@
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context.Background below the request path`
+	_ = ctx
+	resp, err := http.Get("http://backend/v1/metrics") // want `http\.Get drops the request context`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, "http://backend/v1/metrics", nil) // ok
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req) // ok: Do takes the request's context
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func clientFanout(ctx context.Context, c *http.Client) error {
+	resp, err := c.Get("http://backend/x") // want `\(\*http\.Client\)\.Get drops the request context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func todoBelow(ctx context.Context) context.Context {
+	return context.TODO() // want `context.TODO below the request path`
+}
+
+func defaulted(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // ok: sanctioned defaulting idiom
+	}
+	return ctx
+}
+
+func doReq(ctx context.Context, q string) error { return nil }
+
+func nilArg(ctx context.Context) error {
+	return doReq(nil, "x") // want `nil passed as context.Context`
+}
+
+func threaded(ctx context.Context) error {
+	return doReq(ctx, "x") // ok
+}
+
+func backgroundLoop() {
+	ctx := context.Background() // ok: not a request-path function
+	_ = ctx
+}
+
+func audited(ctx context.Context) {
+	span := context.Background() //ecvet:ignore ctxflow detached span must outlive the request
+	_ = span
+}

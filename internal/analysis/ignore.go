@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//ecvet:ignore"
+
+// FilterIgnores drops diagnostics suppressed by an
+//
+//	//ecvet:ignore <analyzer> <reason>
+//
+// comment on the diagnostic's line or the line directly above it. The
+// reason is mandatory — a directive without one is replaced by a
+// diagnostic of its own (analyzer "ecvet"), so the escape hatch cannot be
+// used silently.
+func FilterIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	ignored := make(map[key]bool)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) < 2 {
+					out = append(out, Diagnostic{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: "ecvet",
+						Message:  "malformed //ecvet:ignore: want \"//ecvet:ignore <analyzer> <reason>\" (reason is mandatory)",
+					})
+					continue
+				}
+				ignored[key{pos.Filename, pos.Line, fields[0]}] = true
+				ignored[key{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		if ignored[key{d.File, d.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{file}
+}
+
+func TestFilterIgnores(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //ecvet:ignore demo checked by hand
+	//ecvet:ignore demo the next line is audited
+	_ = 2
+	_ = 3
+	_ = 4 //ecvet:ignore demo wrong analyzer should not suppress other
+}
+`
+	fset, files := parseSrc(t, src)
+	diags := []Diagnostic{
+		{File: "p.go", Line: 4, Col: 2, Analyzer: "demo", Message: "finding on an ignored line"},
+		{File: "p.go", Line: 6, Col: 2, Analyzer: "demo", Message: "finding below a standalone ignore"},
+		{File: "p.go", Line: 7, Col: 2, Analyzer: "demo", Message: "unrelated finding"},
+		{File: "p.go", Line: 8, Col: 2, Analyzer: "other", Message: "ignore names a different analyzer"},
+	}
+	out := FilterIgnores(fset, files, diags)
+	want := []string{
+		"p.go:7:2: demo: unrelated finding",
+		"p.go:8:2: other: ignore names a different analyzer",
+	}
+	if len(out) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(out), len(want), out)
+	}
+	for i, d := range out {
+		if d.String() != want[i] {
+			t.Errorf("diag %d = %q, want %q", i, d.String(), want[i])
+		}
+	}
+}
+
+func TestFilterIgnoresMalformed(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //ecvet:ignore demo
+}
+`
+	fset, files := parseSrc(t, src)
+	diags := []Diagnostic{
+		{File: "p.go", Line: 4, Col: 2, Analyzer: "demo", Message: "reasonless ignore must not suppress"},
+	}
+	out := FilterIgnores(fset, files, diags)
+	var sawMalformed, sawOriginal bool
+	for _, d := range out {
+		if d.Analyzer == "ecvet" && strings.Contains(d.Message, "malformed") {
+			sawMalformed = true
+		}
+		if d.Analyzer == "demo" {
+			sawOriginal = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("expected a malformed-ignore diagnostic, got %v", out)
+	}
+	if !sawOriginal {
+		t.Errorf("reasonless ignore suppressed the original diagnostic: %v", out)
+	}
+}

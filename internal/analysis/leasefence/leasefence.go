@@ -1,0 +1,116 @@
+// Package leasefence enforces the cluster ownership rule from the
+// multi-node tier: every journal append to the shared store must happen
+// under a freshly re-proven lease. Concretely, a call to the Append
+// method of a Store interface is flagged unless one of:
+//
+//   - the enclosing function's doc comment carries "ecvet:fenced" — it
+//     is (or implements) the lease re-prove protocol itself;
+//   - the enclosing function calls an "ecvet:fenced" function earlier in
+//     its body (the service's appendLocked re-proves via
+//     ensureLeaseLocked before its store write);
+//   - the enclosing function is itself a method named Append — a
+//     transparent Store wrapper (fault injection, middleware) that adds
+//     no new append site.
+//
+// This makes "who may write the journal" a compile-time property instead
+// of a chaos-suite discovery.
+package leasefence
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ilpec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "leasefence",
+	Doc:  "check that store Append calls happen inside (or after a call to) an ecvet:fenced lease re-prove function",
+	Run:  run,
+}
+
+const fencedMarker = "ecvet:fenced"
+
+func run(pass *analysis.Pass) error {
+	decls := analysis.FuncDeclsByObject(pass.TypesInfo, pass.Files)
+	fenced := make(map[types.Object]bool)
+	for obj, fn := range decls {
+		if analysis.CommentHas(fn.Doc, fencedMarker) {
+			fenced[obj] = true
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if analysis.CommentHas(fn.Doc, fencedMarker) {
+				continue
+			}
+			if fn.Recv != nil && fn.Name.Name == "Append" {
+				continue // transparent Store wrapper
+			}
+			checkFunc(pass, fn, fenced)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, fenced map[types.Object]bool) {
+	var fencedPos []token.Pos
+	var appends []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := analysis.CalleeObject(pass.TypesInfo, call); obj != nil && fenced[obj] {
+			fencedPos = append(fencedPos, call.Pos())
+		}
+		if isStoreAppend(pass, call) {
+			appends = append(appends, call)
+		}
+		return true
+	})
+	for _, call := range appends {
+		ok := false
+		for _, fp := range fencedPos {
+			if fp < call.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(call.Pos(), "store Append outside the lease fence: annotate the enclosing function ecvet:fenced or re-prove ownership (ensureLeaseLocked) before appending")
+		}
+	}
+}
+
+// isStoreAppend reports whether call invokes the Append method of an
+// interface type named "Store" (the journal's write entry point). Calls
+// on concrete implementations inside the store package itself are not
+// fence-relevant; the service and cluster layers only ever hold the
+// interface.
+func isStoreAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Append" {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Store" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}

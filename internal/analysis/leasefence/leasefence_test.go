@@ -1,0 +1,12 @@
+package leasefence_test
+
+import (
+	"testing"
+
+	"ilpec/internal/analysis/analysistest"
+	"ilpec/internal/analysis/leasefence"
+)
+
+func TestLeasefence(t *testing.T) {
+	analysistest.Run(t, leasefence.Analyzer, "testdata/src/a")
+}

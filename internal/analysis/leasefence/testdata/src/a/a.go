@@ -1,0 +1,55 @@
+package a
+
+type Record struct{ Kind string }
+
+// Store is the journal interface, mirroring ilpec/internal/store.Store.
+type Store interface {
+	Append(id string, rec Record) error
+}
+
+type node struct {
+	st Store
+}
+
+// ensureLease re-proves lease ownership against the shared store.
+//
+//ecvet:fenced
+func (n *node) ensureLease() error { return nil }
+
+// appendLocked journals one record under the fence.
+func (n *node) appendLocked(rec Record) error {
+	if err := n.ensureLease(); err != nil {
+		return err
+	}
+	return n.st.Append("s", rec) // ok: fenced re-prove call above
+}
+
+func (n *node) rogue(rec Record) error {
+	return n.st.Append("s", rec) // want `store Append outside the lease fence`
+}
+
+func (n *node) rogueOrder(rec Record) error {
+	err := n.st.Append("s", rec) // want `store Append outside the lease fence`
+	if err != nil {
+		return err
+	}
+	return n.ensureLease()
+}
+
+// heartbeat writes liveness records; it IS the lease protocol.
+//
+//ecvet:fenced
+func (n *node) heartbeat() error {
+	return n.st.Append("hb", Record{Kind: "heartbeat"}) // ok: fenced function
+}
+
+// wrapper forwards to an inner Store without adding an append site.
+type wrapper struct{ inner Store }
+
+func (w *wrapper) Append(id string, rec Record) error {
+	return w.inner.Append(id, rec) // ok: transparent Store wrapper
+}
+
+func (n *node) audited(rec Record) error {
+	return n.st.Append("s", rec) //ecvet:ignore leasefence single-node path with no lease protocol
+}

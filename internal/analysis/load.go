@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") with the go tool and type-checks
+// every matched non-test package. Dependencies are not re-parsed: their
+// compiled export data (produced by `go list -export`) feeds the gc
+// importer, which keeps a whole-repo load to one compile plus one parse
+// of the target sources. Test files are outside ecvet's scope — `go
+// list`'s GoFiles excludes them by construction.
+func Load(patterns []string) ([]*Package, error) {
+	pkgs, err := goList(append([]string{"-export", "-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", t.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		tpkg, info, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	return out, nil
+}
+
+// goList runs `go list -json=<fields> <args...>` and decodes the package
+// stream.
+func goList(args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list: %s", msg)
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData resolves the export-data files for the given import paths
+// (and their dependencies). The analysistest harness uses it to satisfy
+// testdata imports without a full build-system integration.
+func ExportData(importPaths []string) (map[string]string, error) {
+	if len(importPaths) == 0 {
+		return map[string]string{}, nil
+	}
+	pkgs, err := goList(append([]string{"-export", "-deps", "--"}, importPaths...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter builds a gc-export-data importer over the path→file map
+// produced by Load/ExportData.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// TypeCheck type-checks one parsed package against the importer and
+// returns its types plus a fully populated types.Info.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}

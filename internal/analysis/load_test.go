@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+// TestLoadTypechecks exercises the whole loader path — go list -export,
+// export-data import, full type-check — against this very package.
+func TestLoadTypechecks(t *testing.T) {
+	pkgs, err := Load([]string{"ilpec/internal/analysis"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "ilpec/internal/analysis" {
+		t.Errorf("path = %q", p.Path)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Analyzer") == nil {
+		t.Errorf("type information incomplete: no Analyzer in package scope")
+	}
+	if len(p.Files) == 0 || len(p.Info.Defs) == 0 {
+		t.Errorf("files or defs missing: %d files, %d defs", len(p.Files), len(p.Info.Defs))
+	}
+}

@@ -1,0 +1,390 @@
+// Package lockguard enforces the project's mutex annotations: a struct
+// field whose comment says "guarded by <mu>" may only be accessed in
+// functions that visibly hold that lock, and a method that acquires a
+// mutex must not call another method that acquires the same mutex on the
+// same receiver (self-deadlock, sync.Mutex being non-reentrant).
+//
+// A guarded access is accepted when any of the following holds:
+//
+//   - the enclosing function's name ends in "Locked" — the project
+//     convention for "caller holds the lock";
+//   - the enclosing function contains a <root>.<mu>.Lock() or .RLock()
+//     call on the same root expression as the access;
+//   - the accessed value is a local built from a composite literal in the
+//     same function (construction before publication needs no lock).
+//
+// The analyzer is annotation-driven: structs without "guarded by"
+// comments are not checked.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ilpec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that 'guarded by mu' fields are accessed with the lock held and that lock-acquiring methods do not nest",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`(?i)\bguarded by (\w+)`)
+
+// guards maps struct type name -> guarded field name -> mutex field name.
+type guards map[string]map[string]string
+
+func run(pass *analysis.Pass) error {
+	gs := collectGuards(pass.Files)
+	if len(gs) == 0 {
+		return nil
+	}
+	acquirers := collectAcquirers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccess(pass, fn, gs)
+			checkSelfDeadlock(pass, fn, acquirers)
+		}
+	}
+	return nil
+}
+
+func collectGuards(files []*ast.File) guards {
+	gs := make(guards)
+	analysis.ForEachStructField(files, func(structName string, f *ast.Field, comment string) {
+		m := guardedRe.FindStringSubmatch(comment)
+		if m == nil {
+			return
+		}
+		if gs[structName] == nil {
+			gs[structName] = make(map[string]string)
+		}
+		for _, name := range f.Names {
+			gs[structName][name.Name] = m[1]
+		}
+	})
+	return gs
+}
+
+// guardedField resolves sel to (struct type name, field, mutex) when sel
+// selects a guarded field of an annotated struct declared in this
+// package.
+func guardedField(pass *analysis.Pass, gs guards, sel *ast.SelectorExpr) (muName string, ok bool) {
+	tv, found := pass.TypesInfo.Types[sel.X]
+	if !found {
+		return "", false
+	}
+	named, _ := analysis.BaseStruct(tv.Type)
+	if named == nil || named.Obj().Pkg() != pass.Pkg {
+		return "", false
+	}
+	fields := gs[named.Obj().Name()]
+	if fields == nil {
+		return "", false
+	}
+	mu, ok := fields[sel.Sel.Name]
+	return mu, ok
+}
+
+func checkGuardedAccess(pass *analysis.Pass, fn *ast.FuncDecl, gs guards) {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	locked := lockedRoots(fn)
+	ctors := analysis.ConstructorLocals(pass.TypesInfo, fn, func(n *types.Named) bool {
+		return n.Obj().Pkg() == pass.Pkg && gs[n.Obj().Name()] != nil
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		mu, ok := guardedField(pass, gs, sel)
+		if !ok {
+			return true
+		}
+		root, ok := analysis.ExprPath(sel.X)
+		if !ok {
+			return true // computed base: cannot name a lock root, leave to review
+		}
+		if locked[root+"."+mu] {
+			return true
+		}
+		if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && ctors[obj] {
+				return true
+			}
+		}
+		named, _ := analysis.BaseStruct(pass.TypesInfo.Types[sel.X].Type)
+		pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s, but %s.%s is accessed without %s.%s held",
+			named.Obj().Name(), sel.Sel.Name, mu, root, sel.Sel.Name, root, mu)
+		return true
+	})
+}
+
+// lockedRoots returns the set of "<root>.<mu>" strings for which the
+// function contains a Lock or RLock call.
+func lockedRoots(fn *ast.FuncDecl) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, kind := lockCall(call); kind == lockAcquire {
+			locked[path] = true
+		}
+		return true
+	})
+	return locked
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCall classifies a call as <path>.Lock/RLock (acquire) or
+// <path>.Unlock/RUnlock (release), returning the "<root>.<mu>" path.
+func lockCall(call *ast.CallExpr) (path string, kind lockKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	p, ok := analysis.ExprPath(sel.X)
+	if !ok {
+		return "", lockNone
+	}
+	return p, kind
+}
+
+// ---- self-deadlock ---------------------------------------------------------
+
+// acquirer identifies a method that acquires "<recv>.<mu>" somewhere in
+// its body (with the receiver name normalized away).
+type acquirer struct {
+	typeName string
+	method   string
+}
+
+// collectAcquirers finds, for each method, the set of receiver-rooted
+// mutex paths it acquires ("mu", "svc.mu", ...).
+func collectAcquirers(pass *analysis.Pass) map[acquirer]map[string]bool {
+	acq := make(map[acquirer]map[string]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			recv, typeName, ok := analysis.ReceiverInfo(fn)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false // deferred/async bodies run elsewhere
+				}
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if path, kind := lockCall(call); kind == lockAcquire && strings.HasPrefix(path, recv+".") {
+					key := acquirer{typeName, fn.Name.Name}
+					if acq[key] == nil {
+						acq[key] = make(map[string]bool)
+					}
+					acq[key][strings.TrimPrefix(path, recv+".")] = true
+				}
+				return true
+			})
+		}
+	}
+	return acq
+}
+
+// checkSelfDeadlock walks fn's statements in source order with a
+// held-lock counter per receiver-rooted mutex, flagging calls
+// recv.M(...) where M also acquires a mutex currently held. Branch bodies
+// are explored with copies of the state, so a lock balanced inside one
+// arm does not leak into the next statement.
+func checkSelfDeadlock(pass *analysis.Pass, fn *ast.FuncDecl, acq map[acquirer]map[string]bool) {
+	recv, typeName, ok := analysis.ReceiverInfo(fn)
+	if !ok {
+		return
+	}
+	w := &deadlockWalker{pass: pass, recv: recv, typeName: typeName, acq: acq}
+	w.stmts(fn.Body.List, map[string]int{})
+}
+
+type deadlockWalker struct {
+	pass     *analysis.Pass
+	recv     string
+	typeName string
+	acq      map[acquirer]map[string]bool
+}
+
+func (w *deadlockWalker) stmts(list []ast.Stmt, held map[string]int) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]int) map[string]int {
+	c := make(map[string]int, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *deadlockWalker) stmt(s ast.Stmt, held map[string]int) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(s.Cond, held, false)
+		w.stmt(s.Body, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.exprs(s.Cond, held, false)
+		}
+		body := copyHeld(held)
+		w.stmt(s.Body, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.exprs(s.X, held, false)
+		w.stmt(s.Body, copyHeld(held))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		for _, clause := range clauseBodies(s) {
+			w.stmts(clause, copyHeld(held))
+		}
+	case *ast.CaseClause:
+		w.stmts(s.Body, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock does not release the lock at this point in
+		// the walk; a deferred acquiring call is still checked, since it
+		// runs before earlier-registered deferred unlocks.
+		w.call(s.Call, held, true)
+	case *ast.GoStmt:
+		// Runs on another goroutine: no self-deadlock with our stack.
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	default:
+		w.exprsInStmt(s, held)
+	}
+}
+
+func clauseBodies(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	var list []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		list = s.Body.List
+	case *ast.TypeSwitchStmt:
+		list = s.Body.List
+	case *ast.SelectStmt:
+		list = s.Body.List
+	}
+	for _, c := range list {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// exprsInStmt scans a simple statement's expressions for calls, in
+// source order.
+func (w *deadlockWalker) exprsInStmt(s ast.Stmt, held map[string]int) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(n, held, false)
+			return false // call() recurses into arguments itself
+		}
+		return true
+	})
+}
+
+func (w *deadlockWalker) exprs(e ast.Expr, held map[string]int, _ bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(n, held, false)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *deadlockWalker) call(call *ast.CallExpr, held map[string]int, deferred bool) {
+	// Arguments evaluate before the call itself.
+	for _, arg := range call.Args {
+		w.exprs(arg, held, false)
+	}
+	if path, kind := lockCall(call); kind != lockNone && strings.HasPrefix(path, w.recv+".") {
+		mu := strings.TrimPrefix(path, w.recv+".")
+		switch kind {
+		case lockAcquire:
+			held[mu]++
+		case lockRelease:
+			if !deferred && held[mu] > 0 {
+				held[mu]--
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || base.Name != w.recv {
+		return
+	}
+	callee := acquirer{w.typeName, sel.Sel.Name}
+	for mu := range w.acq[callee] {
+		if held[mu] > 0 {
+			w.pass.Reportf(call.Pos(), "%s.%s is called with %s.%s held, but it acquires %s.%s itself (self-deadlock)",
+				w.recv, sel.Sel.Name, w.recv, mu, w.recv, mu)
+			return
+		}
+	}
+}

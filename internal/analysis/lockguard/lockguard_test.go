@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"ilpec/internal/analysis/analysistest"
+	"ilpec/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,74 @@
+package a
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	stats map[string]int // guarded by mu
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // ok: mu held
+}
+
+func (c *Counter) ReadBoth() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n, c.stats["x"] // ok: mu held
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want `Counter\.n is guarded by mu`
+}
+
+func (c *Counter) BadStats() int {
+	return c.stats["x"] // want `Counter\.stats is guarded by mu`
+}
+
+func (c *Counter) incLocked() {
+	c.n++ // ok: Locked suffix, caller holds mu
+}
+
+func NewCounter() *Counter {
+	c := &Counter{stats: map[string]int{}}
+	c.n = 1 // ok: construction before publication
+	return c
+}
+
+func (c *Counter) Audited() int {
+	return c.n //ecvet:ignore lockguard racy-by-design metrics read
+}
+
+// ---- self-deadlock ---------------------------------------------------------
+
+func (c *Counter) Nested() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acquiring() // want `self-deadlock`
+}
+
+func (c *Counter) acquiring() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Sequential() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.acquiring() // ok: mu released before the call
+}
+
+func (c *Counter) Branchy(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.acquiring() // ok: branch state does not leak past the if
+}

@@ -1,0 +1,165 @@
+// Package nilness is a pattern-based reimplementation of the core of the
+// x/tools "nilness" analyzer (the original is SSA-based and cannot be
+// vendored in this build environment). It flags dereferences of a
+// variable on a path where a dominating nil check has just proven it
+// nil:
+//
+//	if x == nil { ... x.f ... }        // then-branch deref
+//	if x != nil { ... } else { x.f }   // else-branch deref
+//
+// The facts are abandoned as soon as the branch reassigns the variable
+// or takes its address, and function literals are not entered (they run
+// later, under different facts).
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ilpec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "check for dereferences of values a dominating branch has proven nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, op := nilCheck(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			switch op {
+			case token.EQL: // x == nil → x is nil in the then-branch
+				checkBlock(pass, ifs.Body, obj)
+			case token.NEQ: // x != nil → x is nil in the else-branch
+				if block, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkBlock(pass, block, obj)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheck matches `x == nil` / `x != nil` (either operand order) where
+// x is a variable of a nilable type, returning its object and the
+// operator.
+func nilCheck(pass *analysis.Pass, cond ast.Expr) (types.Object, token.Token) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, token.ILLEGAL
+	}
+	var target ast.Expr
+	switch {
+	case analysis.IsNilExpr(pass.TypesInfo, bin.Y):
+		target = bin.X
+	case analysis.IsNilExpr(pass.TypesInfo, bin.X):
+		target = bin.Y
+	default:
+		return nil, token.ILLEGAL
+	}
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return nil, token.ILLEGAL
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !nilable(obj.Type()) {
+		return nil, token.ILLEGAL
+	}
+	return obj, bin.Op
+}
+
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// checkBlock flags dereferences of obj inside block, up to the first
+// statement that invalidates the nil fact (reassignment or
+// address-taking anywhere in the block, conservatively by position).
+func checkBlock(pass *analysis.Pass, block *ast.BlockStmt, obj types.Object) {
+	invalidated := invalidationPos(pass, block, obj)
+	ast.Inspect(block, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if invalidated.IsValid() && n.Pos() >= invalidated {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !usesObj(pass, n.X, obj) {
+				return true
+			}
+			// Field access through a nil pointer or method call on a nil
+			// interface always panics; method calls on a nil pointer may
+			// be legal (pointer receiver), so only flag field selections
+			// for pointers.
+			switch obj.Type().Underlying().(type) {
+			case *types.Pointer:
+				if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					pass.Reportf(n.Pos(), "field access %s.%s: %s is nil on this path", obj.Name(), n.Sel.Name, obj.Name())
+				}
+			case *types.Interface:
+				pass.Reportf(n.Pos(), "use of %s.%s: %s is nil on this path", obj.Name(), n.Sel.Name, obj.Name())
+			}
+		case *ast.StarExpr:
+			if usesObj(pass, n.X, obj) {
+				pass.Reportf(n.Pos(), "dereference of %s: %s is nil on this path", obj.Name(), obj.Name())
+			}
+		case *ast.CallExpr:
+			if usesObj(pass, n.Fun, obj) {
+				pass.Reportf(n.Pos(), "call of %s: %s is nil on this path", obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func usesObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// invalidationPos returns the position of the first reassignment of obj
+// (or &obj) inside block, or NoPos.
+func invalidationPos(pass *analysis.Pass, block *ast.BlockStmt, obj types.Object) token.Pos {
+	pos := token.NoPos
+	note := func(p token.Pos) {
+		if !pos.IsValid() || p < pos {
+			pos = p
+		}
+	}
+	ast.Inspect(block, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if usesObj(pass, lhs, obj) {
+					note(n.Pos())
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && usesObj(pass, n.X, obj) {
+				note(n.Pos())
+			}
+		}
+		return true
+	})
+	return pos
+}

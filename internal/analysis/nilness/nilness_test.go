@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"ilpec/internal/analysis/analysistest"
+	"ilpec/internal/analysis/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, nilness.Analyzer, "testdata/src/a")
+}

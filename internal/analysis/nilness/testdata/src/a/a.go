@@ -1,0 +1,64 @@
+package a
+
+type T struct{ f int }
+
+func (t *T) handleNil() int { return 0 }
+
+type I interface{ M() }
+
+func thenBranch(p *T) int {
+	if p == nil {
+		return p.f // want `p is nil on this path`
+	}
+	return p.f // ok: p proven non-nil
+}
+
+func elseBranch(p *T) int {
+	if p != nil {
+		return p.f // ok
+	} else {
+		return p.f // want `p is nil on this path`
+	}
+}
+
+func starDeref(p *int) int {
+	if p == nil {
+		return *p // want `dereference of p`
+	}
+	return *p
+}
+
+func funcCall(f func() int) int {
+	if f == nil {
+		return f() // want `call of f`
+	}
+	return f()
+}
+
+func ifaceCall(i I) {
+	if i == nil {
+		i.M() // want `i is nil on this path`
+	}
+}
+
+func reassigned(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.f // ok: reassigned before the access
+	}
+	return p.f
+}
+
+func nilReceiverMethod(p *T) int {
+	if p == nil {
+		return p.handleNil() // ok: pointer-receiver method may handle nil
+	}
+	return p.f
+}
+
+func audited(p *T) int {
+	if p == nil {
+		return p.f //ecvet:ignore nilness caller guarantees non-nil, branch is defensive
+	}
+	return p.f
+}

@@ -1,0 +1,96 @@
+// Package shadow is a conservative reimplementation of the vet "shadow"
+// analyzer (the x/tools original cannot be vendored in this build
+// environment). It flags an inner declaration of a variable that shadows
+// an outer function-local variable of the identical type when the outer
+// variable is still used after the inner scope ends — the combination
+// where a stray := instead of = silently splits one variable into two.
+//
+// Package-level shadows and different-type shadows are ignored, matching
+// the upstream analyzer's low-noise defaults. Going beyond upstream,
+// three idiomatic shadow shapes are also exempt, because flagging them
+// would drown the real findings:
+//
+//   - declarations in the init clause of an if/for/switch statement
+//     (`if v, ok := m[k]; ok {...}`);
+//   - function and function-literal parameters/results shadowing outer
+//     variables (`go func(i int) {...}(i)` — the capture idiom);
+//   - error-typed variables named err (`x, err := f()` re-declared per
+//     block is how Go is written; each err is checked on the next line).
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ilpec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "check for shadowed variables that are still used in the outer scope afterwards",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	uses := make(map[types.Object][]token.Pos)
+	for id, obj := range pass.TypesInfo.Uses {
+		uses[obj] = append(uses[obj], id.Pos())
+	}
+
+	// Scopes outside any function body: the climb from an inner
+	// declaration stops there, keeping the check function-local. Also
+	// record which scopes belong to statements with init clauses, whose
+	// declarations are idiomatic shadows.
+	nonLocal := map[*types.Scope]bool{pass.Pkg.Scope(): true}
+	initClause := make(map[*types.Scope]bool)
+	for node, scope := range pass.TypesInfo.Scopes {
+		if scope.Parent() == pass.Pkg.Scope() {
+			nonLocal[scope] = true // file scopes
+		}
+		switch node.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			initClause[scope] = true
+		case *ast.FuncType:
+			initClause[scope] = true // parameters and results
+		}
+	}
+
+	for id, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" {
+			continue
+		}
+		if id.Name == "err" && analysis.ImplementsError(v.Type()) {
+			continue // the per-block err := idiom
+		}
+		inner := v.Parent()
+		if inner == nil || nonLocal[inner] || initClause[inner] {
+			continue
+		}
+		for outer := inner.Parent(); outer != nil && !nonLocal[outer]; outer = outer.Parent() {
+			shadowed, ok := outer.Lookup(id.Name).(*types.Var)
+			if !ok || shadowed == v || shadowed.IsField() {
+				continue
+			}
+			if shadowed.Pos() >= v.Pos() || !types.Identical(shadowed.Type(), v.Type()) {
+				break
+			}
+			// Only a shadow that can bite: the outer variable is read or
+			// written again after the inner scope has ended.
+			liveAfter := false
+			for _, use := range uses[shadowed] {
+				if use > inner.End() {
+					liveAfter = true
+					break
+				}
+			}
+			if liveAfter {
+				pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer variable is used after this scope",
+					id.Name, pass.Fset.Position(shadowed.Pos()))
+			}
+			break
+		}
+	}
+	return nil
+}

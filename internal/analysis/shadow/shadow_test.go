@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"ilpec/internal/analysis/analysistest"
+	"ilpec/internal/analysis/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, shadow.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,89 @@
+package a
+
+import "errors"
+
+func work() int      { return 1 }
+func other() int     { return 2 }
+func mayFail() error { return nil }
+
+func shadowed(b bool) int {
+	n := work()
+	if b {
+		n := other() // want `shadows declaration`
+		_ = n
+	}
+	return n // the outer n is still live here
+}
+
+func differentType(b bool) int {
+	n := work()
+	if b {
+		n := "not an int" // ok: different type, deliberate reuse
+		_ = n
+	}
+	return n
+}
+
+func notLiveAfter(b bool) {
+	n := work()
+	_ = n
+	if b {
+		n := other() // ok: outer n never used again
+		_ = n
+	}
+}
+
+func declaredLater(b bool) int {
+	if b {
+		n := work() // ok: nothing shadowed, outer n comes later
+		_ = n
+	}
+	n := other()
+	return n
+}
+
+func initClauseShadow(b bool) int {
+	n := work()
+	if n := other(); b { // ok: init-clause shadowing is the idiom
+		_ = n
+	}
+	return n
+}
+
+func funcLitParam(xs []int) int {
+	i := work()
+	f := func(i int) int { return i + 1 } // ok: parameter shadowing is the capture idiom
+	for range xs {
+		i = f(i)
+	}
+	return i
+}
+
+func errIdiom(b bool) error {
+	err := mayFail()
+	if b {
+		err := mayFail() // ok: the per-block err := idiom is exempt
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+func errOtherName(b bool) error {
+	failure := mayFail()
+	if b {
+		failure := errors.New("inner") // want `shadows declaration`
+		_ = failure
+	}
+	return failure
+}
+
+func audited(b bool) int {
+	n := work()
+	if b {
+		n := other() //ecvet:ignore shadow deliberate rebinding in this arm
+		_ = n
+	}
+	return n
+}

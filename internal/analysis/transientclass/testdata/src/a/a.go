@@ -1,0 +1,64 @@
+package a
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+var ErrGone = errors.New("gone")
+
+func badEq(err error) bool {
+	return err == io.EOF // want `wrapped errors defeat identity`
+}
+
+func badNeq(err error) bool {
+	if err != ErrGone { // want `wrapped errors defeat identity`
+		return false
+	}
+	return true
+}
+
+func goodNil(err error) bool {
+	return err == nil // ok: nil check, not classification
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, io.EOF) // ok
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case nil: // ok: nil case
+		return "ok"
+	case io.EOF: // want `switch on error identity`
+		return "eof"
+	}
+	return ""
+}
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "gone") // want `strings.Contains on err.Error`
+}
+
+func badStringEq(err error) bool {
+	return err.Error() == "gone" // want `string comparison on err.Error`
+}
+
+func goodLogging(err error) string {
+	return "failed: " + err.Error() // ok: formatting, not branching
+}
+
+type myErr struct{}
+
+func (myErr) Error() string { return "my" }
+
+// Is implements the errors.Is protocol; identity comparison against the
+// target is the point here.
+func (myErr) Is(target error) bool {
+	return target == ErrGone // ok: inside an Is method
+}
+
+func audited(err error) bool {
+	return err == io.EOF //ecvet:ignore transientclass this reader never wraps io.EOF
+}

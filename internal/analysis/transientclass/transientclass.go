@@ -1,0 +1,126 @@
+// Package transientclass enforces the error-classification discipline:
+// code that branches on a store (or any) error must go through
+// errors.Is/errors.As or the store.IsTransient classifier, never through
+// identity comparison or string matching. Wrapped errors defeat ==, and
+// message matching breaks the moment a message is reworded — both were
+// real failure classes the retry/quarantine machinery depends on
+// avoiding.
+//
+// Flagged:
+//
+//   - err1 == err2 / err1 != err2 where both operands are error-typed
+//     and neither is nil (nil checks are the idiom, not classification);
+//   - switch on an error value with non-nil case values;
+//   - string matching on err.Error(): strings.Contains/HasPrefix/
+//     HasSuffix/EqualFold over it, or ==/!= against a string.
+//
+// Methods named Is or As are exempt: the errors.Is protocol requires the
+// target identity comparison inside them.
+package transientclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ilpec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "transientclass",
+	Doc:  "check that error branching uses errors.Is/store.IsTransient, not == or string matching",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Recv != nil && (fn.Name.Name == "Is" || fn.Name.Name == "As") {
+				continue // errors.Is/As protocol implementations
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	if analysis.IsNilExpr(pass.TypesInfo, e) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && analysis.ImplementsError(tv.Type)
+}
+
+// errorString reports whether e is a call to the Error method of an
+// error value (the raw message).
+func errorString(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isErrorExpr(pass, sel.X)
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if errorString(pass, n.X) || errorString(pass, n.Y) {
+				pass.Reportf(n.OpPos, "string comparison on err.Error(): classify with errors.Is or store.IsTransient")
+				return true
+			}
+			if isErrorExpr(pass, n.X) && isErrorExpr(pass, n.Y) {
+				pass.Reportf(n.OpPos, "error values compared with %s: wrapped errors defeat identity — use errors.Is (or store.IsTransient)", n.Op)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !isErrorExpr(pass, n.Tag) {
+				return true
+			}
+			for _, c := range n.Body.List {
+				clause := c.(*ast.CaseClause)
+				for _, v := range clause.List {
+					if !analysis.IsNilExpr(pass.TypesInfo, v) {
+						pass.Reportf(v.Pos(), "switch on error identity: wrapped errors defeat case matching — use errors.Is (or store.IsTransient)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "strings" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+			default:
+				return true
+			}
+			for _, arg := range n.Args {
+				if errorString(pass, arg) {
+					pass.Reportf(n.Pos(), "strings.%s on err.Error(): classify with errors.Is or store.IsTransient", sel.Sel.Name)
+					break
+				}
+			}
+		}
+		return true
+	})
+}

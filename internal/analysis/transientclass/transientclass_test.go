@@ -1,0 +1,12 @@
+package transientclass_test
+
+import (
+	"testing"
+
+	"ilpec/internal/analysis/analysistest"
+	"ilpec/internal/analysis/transientclass"
+)
+
+func TestTransientclass(t *testing.T) {
+	analysistest.Run(t, transientclass.Analyzer, "testdata/src/a")
+}

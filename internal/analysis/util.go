@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ExprPath renders a pure identifier/selector chain ("s", "sess.svc",
+// "c.inner") for structural comparison of lock roots and guarded-field
+// bases. ok is false for anything with calls, indexing, or other
+// computation — those are never treated as the same root.
+func ExprPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := ExprPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return ExprPath(e.X)
+	}
+	return "", false
+}
+
+// BaseStruct unwraps pointers and returns the named struct type behind t,
+// or nil when t is not a (pointer to a) named struct.
+func BaseStruct(t types.Type) (*types.Named, *types.Struct) {
+	if t == nil {
+		return nil, nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// CommentHas reports whether any line of the comment group contains
+// marker.
+func CommentHas(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldComment joins a struct field's doc and trailing line comment.
+func FieldComment(f *ast.Field) string {
+	var parts []string
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg != nil {
+			parts = append(parts, cg.Text())
+		}
+	}
+	return strings.Join(parts, "\n")
+}
+
+// ForEachStructField visits every named struct field declared in the
+// files, passing the struct's type name, the field, and its combined
+// comment text.
+func ForEachStructField(files []*ast.File, visit func(structName string, f *ast.Field, comment string)) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					visit(ts.Name.Name, f, FieldComment(f))
+				}
+			}
+		}
+	}
+}
+
+// ReceiverInfo returns the receiver identifier and base type name of a
+// method declaration; ok is false for plain functions and anonymous
+// receivers.
+func ReceiverInfo(fn *ast.FuncDecl) (recv string, typeName string, ok bool) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return "", "", false
+	}
+	t := fn.Recv.List[0].Type
+	if star, isStar := t.(*ast.StarExpr); isStar {
+		t = star.X
+	}
+	if idx, isIdx := t.(*ast.IndexExpr); isIdx { // generic receiver
+		t = idx.X
+	}
+	id, isIdent := t.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	return fn.Recv.List[0].Names[0].Name, id.Name, true
+}
+
+// IsNilExpr reports whether e is the predeclared nil (possibly
+// parenthesized).
+func IsNilExpr(info *types.Info, e ast.Expr) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return IsNilExpr(info, p.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	_, isNil := obj.(*types.Nil)
+	return isNil
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// ImplementsError reports whether t satisfies the built-in error
+// interface.
+func ImplementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// ConstructorLocals returns the local variables in fn that are
+// initialized from a composite literal (or &literal) of a struct accepted
+// by isTarget. Code building a fresh value owns it exclusively until it
+// is published, so guarded-field and WAL rules do not apply yet.
+func ConstructorLocals(info *types.Info, fn *ast.FuncDecl, isTarget func(*types.Named) bool) map[types.Object]bool {
+	locals := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := assign.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = u.X
+			}
+			lit, ok := rhs.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			named, _ := BaseStruct(info.Types[lit].Type)
+			if named == nil || !isTarget(named) {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				locals[obj] = true
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// CalleeObject resolves the object a call expression invokes: the
+// function or method behind f(...) / x.M(...), nil when the callee is
+// dynamic (a func value) or unresolved.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// FuncDeclsByObject maps every declared function/method in the files to
+// its declaration, keyed by types object, so callee annotations can be
+// looked up from call sites.
+func FuncDeclsByObject(info *types.Info, files []*ast.File) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if obj := info.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	return decls
+}

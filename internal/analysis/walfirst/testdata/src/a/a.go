@@ -1,0 +1,70 @@
+package a
+
+type sess struct {
+	recs []string
+
+	problem  string // wal:committed
+	solution string // wal:committed
+	pending  []int  // wal:committed queued-but-unsolved changes
+}
+
+// persistLocked journals one record before state changes.
+//
+//ecvet:walhelper
+func (s *sess) persistLocked(rec string) error {
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+// commitLocked installs solved state; callers have already journaled.
+//
+//ecvet:walcommit
+func (s *sess) commitLocked(p, sol string) {
+	s.problem = p // ok: walcommit body is the install point
+	s.solution = sol
+}
+
+func (s *sess) Good(p string) error {
+	if err := s.persistLocked("queue"); err != nil {
+		return err
+	}
+	s.pending = append(s.pending, 1) // ok: journaled above
+	s.problem = p                    // ok: journaled above
+	return nil
+}
+
+func (s *sess) GoodCommit(p string) error {
+	if err := s.persistLocked("solve"); err != nil {
+		return err
+	}
+	s.commitLocked(p, "sol") // ok: journaled above
+	return nil
+}
+
+func (s *sess) Bad(p string) {
+	s.problem = p // want `wal:committed state, but is assigned before any journaling helper`
+}
+
+func (s *sess) BadOrder(p string) error {
+	s.pending = nil // want `wal:committed state, but is assigned before any journaling helper`
+	return s.persistLocked("late")
+}
+
+func (s *sess) BadCommit(p string) {
+	s.commitLocked(p, "x") // want `no journaling helper was called first`
+}
+
+func newSess(p string) *sess {
+	s := &sess{}
+	s.problem = p // ok: construction before publication
+	return s
+}
+
+func rehydrate(p, sol string) *sess {
+	s := &sess{problem: p, solution: sol} // ok: composite literal
+	return s
+}
+
+func (s *sess) Drain() {
+	s.pending = nil //ecvet:ignore walfirst drain is journaled by the record that followed
+}

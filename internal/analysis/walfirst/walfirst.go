@@ -1,0 +1,154 @@
+// Package walfirst enforces the write-ahead discipline on committed
+// session state: a field annotated "wal:committed" may only be assigned
+// after the enclosing function has called a journaling helper (a function
+// whose doc comment carries "ecvet:walhelper"), so every externally
+// visible state change is journal-append-before-ack. A function annotated
+// "ecvet:walcommit" is an install point — calls to it are checked like
+// committed-field assignments, while its own body is exempt (the caller
+// already journaled).
+//
+// Construction is exempt: locals built from composite literals (session
+// rehydration, constructors) own their value exclusively and may fill
+// committed fields freely before publication.
+package walfirst
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ilpec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walfirst",
+	Doc:  "check that wal:committed state is only mutated after a journaling helper call (append-before-ack)",
+	Run:  run,
+}
+
+const (
+	committedMarker = "wal:committed"
+	helperMarker    = "ecvet:walhelper"
+	commitMarker    = "ecvet:walcommit"
+)
+
+func run(pass *analysis.Pass) error {
+	// committed: struct type name -> committed field names.
+	committed := make(map[string]map[string]bool)
+	analysis.ForEachStructField(pass.Files, func(structName string, f *ast.Field, comment string) {
+		if !strings.Contains(comment, committedMarker) {
+			return
+		}
+		if committed[structName] == nil {
+			committed[structName] = make(map[string]bool)
+		}
+		for _, name := range f.Names {
+			committed[structName][name.Name] = true
+		}
+	})
+	if len(committed) == 0 {
+		return nil
+	}
+
+	helpers := make(map[types.Object]bool)
+	commits := make(map[types.Object]bool)
+	exempt := make(map[*ast.FuncDecl]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if analysis.CommentHas(fn.Doc, helperMarker) {
+				helpers[obj] = true
+				exempt[fn] = true
+			}
+			if analysis.CommentHas(fn.Doc, commitMarker) {
+				commits[obj] = true
+				exempt[fn] = true
+			}
+		}
+	}
+
+	isTarget := func(n *types.Named) bool {
+		return n.Obj().Pkg() == pass.Pkg && committed[n.Obj().Name()] != nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || exempt[fn] {
+				continue
+			}
+			checkFunc(pass, fn, committed, helpers, commits, isTarget)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, committed map[string]map[string]bool, helpers, commits map[types.Object]bool, isTarget func(*types.Named) bool) {
+	// Positions of journaling-helper calls in this function.
+	var helperPos []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := analysis.CalleeObject(pass.TypesInfo, call); obj != nil && helpers[obj] {
+			helperPos = append(helperPos, call.Pos())
+		}
+		return true
+	})
+	journaledBefore := func(p token.Pos) bool {
+		for _, hp := range helperPos {
+			if hp < p {
+				return true
+			}
+		}
+		return false
+	}
+
+	ctors := analysis.ConstructorLocals(pass.TypesInfo, fn, isTarget)
+	fromCtor := func(base ast.Expr) bool {
+		id, ok := ast.Unparen(base).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		return obj != nil && ctors[obj]
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				named, _ := analysis.BaseStruct(pass.TypesInfo.Types[sel.X].Type)
+				if named == nil || !isTarget(named) || !committed[named.Obj().Name()][sel.Sel.Name] {
+					continue
+				}
+				if fromCtor(sel.X) || journaledBefore(sel.Pos()) {
+					continue
+				}
+				pass.Reportf(sel.Pos(), "%s.%s is wal:committed state, but is assigned before any journaling helper call (append-before-ack)",
+					named.Obj().Name(), sel.Sel.Name)
+			}
+		case *ast.CallExpr:
+			obj := analysis.CalleeObject(pass.TypesInfo, n)
+			if obj == nil || !commits[obj] {
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && fromCtor(sel.X) {
+				return true
+			}
+			if !journaledBefore(n.Pos()) {
+				pass.Reportf(n.Pos(), "%s installs wal:committed state, but no journaling helper was called first (append-before-ack)", obj.Name())
+			}
+		}
+		return true
+	})
+}

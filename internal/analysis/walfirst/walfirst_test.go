@@ -1,0 +1,12 @@
+package walfirst_test
+
+import (
+	"testing"
+
+	"ilpec/internal/analysis/analysistest"
+	"ilpec/internal/analysis/walfirst"
+)
+
+func TestWalfirst(t *testing.T) {
+	analysistest.Run(t, walfirst.Analyzer, "testdata/src/a")
+}
