@@ -379,7 +379,11 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(id, addr string) {
 			defer wg.Done()
-			resp, err := rt.opts.HTTP.Get(addr + "/v1/metrics")
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, addr+"/v1/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.opts.HTTP.Do(req)
 			if err != nil {
 				return
 			}
@@ -453,7 +457,11 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 			if q := r.URL.RawQuery; q != "" {
 				u += "?" + q
 			}
-			resp, err := rt.opts.HTTP.Get(u)
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.opts.HTTP.Do(req)
 			if err != nil {
 				return
 			}

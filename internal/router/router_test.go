@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -421,5 +422,64 @@ func TestCreateFirstAttempt409Relayed(t *testing.T) {
 	}
 	if rt.Metrics().ConflictRecoveries != 0 {
 		t.Fatal("a genuine duplicate was miscounted as a conflict recovery")
+	}
+}
+
+// The metrics and list fan-outs run inside a client request; when that
+// client disconnects, the upstream node requests must be cancelled too,
+// not keep running on a detached context.
+func TestFanoutThreadsRequestContext(t *testing.T) {
+	for _, path := range []string{"/v1/metrics", "/v1/sessions"} {
+		t.Run(path, func(t *testing.T) {
+			sawCancel := make(chan bool, 4)
+			up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/readyz" {
+					w.Write([]byte(`{"ready":true}`))
+					return
+				}
+				select {
+				case <-r.Context().Done():
+					sawCancel <- true
+				case <-time.After(5 * time.Second):
+					sawCancel <- false
+				}
+			}))
+			defer up.Close()
+
+			st := store.NewMemory()
+			members := cluster.NewMembership(st)
+			if err := members.Heartbeat("n1", up.URL, time.Minute, time.Now()); err != nil {
+				t.Fatal(err)
+			}
+			rt, err := New(Options{Store: st, Refresh: time.Hour, Retries: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+			front := httptest.NewServer(rt.Handler())
+			defer front.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, front.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() {
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+				close(done)
+			}()
+			time.Sleep(50 * time.Millisecond) // let the fan-out reach the upstream
+			cancel()
+			if !<-sawCancel {
+				t.Fatal("upstream fan-out request was not cancelled with the client request")
+			}
+			<-done
+		})
 	}
 }
