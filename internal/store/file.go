@@ -409,7 +409,7 @@ func (s *fileSession) readJournalLocked(afterSeq uint64) (tail []Record, truncat
 	r := bufio.NewReader(file)
 	for {
 		line, err := r.ReadBytes('\n')
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			if len(line) > 0 {
 				truncateAt = offset // torn final append (no newline)
 			}
