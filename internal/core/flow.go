@@ -107,14 +107,14 @@ func NewFlow(f *cnf.Formula, opts FlowOptions) *Flow {
 	case opts.InitialSolver == HeuristicILP:
 		heur := opts.Heuristic
 		dopts.InitialSolve = func(_ domain.Domain, p any) (any, string, error) {
-			f := p.(*cnf.Formula)
-			e := encode.New(f)
+			spec := p.(*cnf.Formula)
+			e := encode.New(spec)
 			res := heurilp.Solve(e.Model, heur)
 			if !res.Feasible {
 				return nil, "solve", fmt.Errorf("core: flow heuristic solve found no solution")
 			}
 			a := e.Decode(res.Solution)
-			if !a.Satisfies(f) {
+			if !a.Satisfies(spec) {
 				return nil, "solve", fmt.Errorf("core: heuristic solution does not satisfy the formula (internal error)")
 			}
 			return a, "solve", nil
