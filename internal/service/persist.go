@@ -298,6 +298,8 @@ func (s *Service) recoverSessions() {
 	if err != nil {
 		return // an unreadable store serves as empty; writes will surface the fault
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	recovered := 0
 	for _, id := range ids {
 		if cluster.IsMetaID(id) {
