@@ -145,6 +145,7 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down (drain %v)", cfg.drain)
+	//ecvet:ignore ctxflow ctx is already cancelled here; the drain needs a fresh deadline
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -362,6 +362,7 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	// Flip /readyz to 503 first: routers stop placing new work here while
 	// the in-flight requests below drain.
 	svc.StartDraining()
+	//ecvet:ignore ctxflow ctx is already cancelled here; the drain needs a fresh deadline
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -169,7 +169,10 @@ func (l *Leases) AcquireForCreate(sid, node string, ttl time.Duration, now time.
 	return ls, state.Deleted, nil
 }
 
-// transition CAS-appends the new lease state at seq+1.
+// transition CAS-appends the new lease state at seq+1. This IS the
+// fence: the CAS at seq+1 proves no competing transition landed first.
+//
+//ecvet:fenced
 func (l *Leases) transition(sid, node string, seq uint64, ttl time.Duration, now time.Time) (Lease, error) {
 	exp := now.Add(ttl)
 	meta, err := json.Marshal(leaseMeta{Holder: node, ExpiryMS: exp.UnixMilli()})
@@ -196,6 +199,8 @@ func (l *Leases) transition(sid, node string, seq uint64, ttl time.Duration, now
 // held-by-us check: if any other transition landed since ls was granted,
 // the renew conflicts and resolves through a full Acquire (which fails
 // ErrLeaseHeld when the lease was genuinely stolen).
+//
+//ecvet:fenced
 func (l *Leases) Renew(ls Lease, ttl time.Duration, now time.Time) (Lease, error) {
 	exp := now.Add(ttl)
 	meta, err := json.Marshal(leaseMeta{Holder: ls.Holder, ExpiryMS: exp.UnixMilli()})
@@ -215,6 +220,8 @@ func (l *Leases) Renew(ls Lease, ttl time.Duration, now time.Time) (Lease, error
 
 // Release frees ls (drain, session close). A sequence conflict means the
 // lease already moved on — released either way, so it is not an error.
+//
+//ecvet:fenced
 func (l *Leases) Release(ls Lease) error {
 	meta, err := json.Marshal(leaseMeta{})
 	if err != nil {
@@ -252,6 +259,8 @@ func (l *Leases) Holder(sid string, now time.Time) (Lease, bool, error) {
 // expired lease sees Deleted and fails ErrSessionDeleted instead of
 // resurrecting the session from its in-memory copy. A bounded CAS retry
 // absorbs benign conflicts (our own renewer racing the close).
+//
+//ecvet:fenced
 func (l *Leases) MarkDeleted(sid, node string, now time.Time) error {
 	meta, err := json.Marshal(leaseMeta{Deleted: true})
 	if err != nil {

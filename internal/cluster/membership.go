@@ -47,6 +47,8 @@ func NewMembership(st store.Store) *Membership {
 // beat creates the meta session; every maxLeaseTail beats the journal is
 // compacted into the snapshot. A sequence conflict means another process
 // is writing the same node id — a deployment error worth surfacing.
+//
+//ecvet:fenced
 func (m *Membership) Heartbeat(id, addr string, ttl time.Duration, now time.Time) error {
 	if err := store.ValidateID(nodeMetaID(id)); err != nil {
 		return fmt.Errorf("cluster: node id: %w", err)

@@ -30,9 +30,9 @@ func ownerCancelled(err error) bool {
 type solveCache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used
-	entries  map[string]*list.Element
-	inflight map[string]*inflightSolve
+	ll       *list.List                // front = most recently used; guarded by mu
+	entries  map[string]*list.Element  // guarded by mu
+	inflight map[string]*inflightSolve // guarded by mu
 }
 
 type cacheEntry struct {

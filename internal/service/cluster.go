@@ -81,52 +81,54 @@ func leaseHolderOf(err error) string {
 // re-acquiring the lease as needed. On a definitive loss the session is
 // fenced and ErrNotOwner returned; on transient store trouble the node
 // proceeds on its cached claim (see the file comment). Caller holds
-// sess.mu.
-func (sess *Session) ensureLeaseLocked() error {
-	svc := sess.svc
+// s.mu.
+//
+//ecvet:fenced
+func (s *Session) ensureLeaseLocked() error {
+	svc := s.svc
 	if !svc.clustered() {
 		return nil
 	}
-	if sess.fenced.Load() {
-		return notOwnerErr(sess.id, "")
+	if s.fenced.Load() {
+		return notOwnerErr(s.id, "")
 	}
 	node := svc.opts.Cluster
 	now := node.Now()
 	ttl := node.LeaseTTL()
-	remaining := sess.lease.Expiry.Sub(now)
-	if sess.lease.Holder == node.ID() && remaining > ttl/2 {
+	remaining := s.lease.Expiry.Sub(now)
+	if s.lease.Holder == node.ID() && remaining > ttl/2 {
 		return nil
 	}
 	var (
 		ls  cluster.Lease
 		err error
 	)
-	if sess.lease.Holder == node.ID() && remaining > 0 {
+	if s.lease.Holder == node.ID() && remaining > 0 {
 		// Renew on commit: still ours, but past the half-TTL mark.
-		ls, err = node.Leases().Renew(sess.lease, ttl, now)
+		ls, err = node.Leases().Renew(s.lease, ttl, now)
 		if err == nil {
 			svc.metrics.ClusterLeaseRenewals.Add(1)
 		}
 	} else {
-		ls, err = node.Leases().Acquire(sess.id, node.ID(), ttl, now)
+		ls, err = node.Leases().Acquire(s.id, node.ID(), ttl, now)
 		if err == nil {
 			svc.metrics.ClusterLeaseAcquired.Add(1)
 		}
 	}
 	switch {
 	case err == nil:
-		sess.lease = ls
+		s.lease = ls
 		return nil
 	case errors.Is(err, cluster.ErrLeaseHeld):
-		sess.fenceLocked()
-		return notOwnerErr(sess.id, leaseHolderOf(err))
+		s.fenceLocked()
+		return notOwnerErr(s.id, leaseHolderOf(err))
 	case errors.Is(err, cluster.ErrSessionDeleted):
 		// The session was deleted cluster-wide while our lease lapsed. Our
 		// in-memory copy is a ghost: fence it so nothing here is ever
 		// persisted again (which would resurrect the deleted session).
-		sess.fenceLocked()
-		return notOwnerErr(sess.id, "")
-	case store.IsTransient(err) && sess.lease.Holder == node.ID() && remaining > 0:
+		s.fenceLocked()
+		return notOwnerErr(s.id, "")
+	case store.IsTransient(err) && s.lease.Holder == node.ID() && remaining > 0:
 		// Store hiccup mid-renewal with an unexpired claim: keep serving.
 		// The CAS backstop fences us if ownership truly moved.
 		return nil
@@ -138,14 +140,14 @@ func (sess *Session) ensureLeaseLocked() error {
 // fenceLocked marks the session as no longer ours: closed to all further
 // operations and flagged so the next lookup drops it from the live map
 // (the durable state belongs to the new owner; nothing here may be
-// persisted again). Caller holds sess.mu.
-func (sess *Session) fenceLocked() {
-	if sess.fenced.Swap(true) {
+// persisted again). Caller holds s.mu.
+func (s *Session) fenceLocked() {
+	if s.fenced.Swap(true) {
 		return
 	}
-	sess.closed = true
-	sess.inst = nil
-	sess.svc.metrics.ClusterFenced.Add(1)
+	s.closed = true
+	s.inst = nil
+	s.svc.metrics.ClusterFenced.Add(1)
 }
 
 // acquireForRehydrate claims the lease before a session is materialized
@@ -166,18 +168,18 @@ func (s *Service) acquireForRehydrate(id string) (cluster.Lease, error) {
 
 // releaseLeaseLocked hands the session's lease back (drain, eviction,
 // close) so a successor need not wait out the TTL. Best effort; a fenced
-// session has nothing to release. Caller holds sess.mu.
-func (sess *Session) releaseLeaseLocked() {
-	svc := sess.svc
-	if !svc.clustered() || sess.fenced.Load() {
+// session has nothing to release. Caller holds s.mu.
+func (s *Session) releaseLeaseLocked() {
+	svc := s.svc
+	if !svc.clustered() || s.fenced.Load() {
 		return
 	}
 	node := svc.opts.Cluster
-	if sess.lease.Holder != node.ID() {
+	if s.lease.Holder != node.ID() {
 		return
 	}
-	node.Leases().Release(sess.lease) //nolint:errcheck // best effort; TTL expiry covers failure
-	sess.lease = cluster.Lease{}
+	node.Leases().Release(s.lease) //nolint:errcheck // best effort; TTL expiry covers failure
+	s.lease = cluster.Lease{}
 }
 
 // ---- fleet solve cache -----------------------------------------------------

@@ -82,38 +82,38 @@ func parseChanges(d domain.Domain, raws []json.RawMessage) ([]any, error) {
 }
 
 // snapshotLocked captures the session's full state in wire form. Caller
-// holds sess.mu (or exclusively owns the session).
-func (sess *Session) snapshotLocked() (store.Snapshot, error) {
-	wire := sess.dom.RenderProblem(sess.problem)
+// holds s.mu (or exclusively owns the session).
+func (s *Session) snapshotLocked() (store.Snapshot, error) {
+	wire := s.dom.RenderProblem(s.problem)
 	if wire == nil {
-		return store.Snapshot{}, fmt.Errorf("service: problem of domain %q has no wire form", sess.dom.Name())
+		return store.Snapshot{}, fmt.Errorf("service: problem of domain %q has no wire form", s.dom.Name())
 	}
 	problem, err := json.Marshal(wire)
 	if err != nil {
 		return store.Snapshot{}, fmt.Errorf("service: encode problem: %w", err)
 	}
 	snap := store.Snapshot{
-		SessionID:     sess.id,
-		Domain:        sess.dom.Name(),
-		Strategy:      sess.strategy.String(),
+		SessionID:     s.id,
+		Domain:        s.dom.Name(),
+		Strategy:      s.strategy.String(),
 		Problem:       problem,
-		Seq:           sess.seq,
-		ChangesQueued: sess.stats.changesQueued,
-		Batches:       sess.stats.batches,
-		Solves:        sess.stats.solves,
+		Seq:           s.seq,
+		ChangesQueued: s.stats.changesQueued,
+		Batches:       s.stats.batches,
+		Solves:        s.stats.solves,
 	}
-	if sess.solution != nil {
-		raw, err := json.Marshal(sess.dom.Render(sess.problem, sess.solution))
+	if s.solution != nil {
+		raw, err := json.Marshal(s.dom.Render(s.problem, s.solution))
 		if err != nil {
 			return store.Snapshot{}, fmt.Errorf("service: encode solution: %w", err)
 		}
 		snap.Solution = raw
 	}
-	if snap.Pending, err = renderChanges(sess.dom, sess.pending); err != nil {
+	if snap.Pending, err = renderChanges(s.dom, s.pending); err != nil {
 		return store.Snapshot{}, err
 	}
-	if len(sess.recentBatches) > 0 {
-		snap.RecentBatches = append([]string(nil), sess.recentBatches...)
+	if len(s.recentBatches) > 0 {
+		snap.RecentBatches = append([]string(nil), s.recentBatches...)
 	}
 	return snap, nil
 }
@@ -121,31 +121,31 @@ func (sess *Session) snapshotLocked() (store.Snapshot, error) {
 // persistSnapshotLocked writes a compaction snapshot, retrying transient
 // faults under the service's backoff policy. Failures are never silent:
 // they count in SnapshotFailures and feed the session's quarantine
-// heuristic. Caller holds sess.mu.
-func (sess *Session) persistSnapshotLocked() error {
-	if !sess.svc.hasStore() {
+// heuristic. Caller holds s.mu.
+func (s *Session) persistSnapshotLocked() error {
+	if !s.svc.hasStore() {
 		return nil
 	}
-	if sess.fenced.Load() {
+	if s.fenced.Load() {
 		// A fenced session's durable state belongs to the new owner;
 		// writing a snapshot from this stale copy would clobber it
 		// (WriteSnapshot is last-write-wins, not CAS-guarded).
 		return nil
 	}
-	snap, err := sess.snapshotLocked()
+	snap, err := s.snapshotLocked()
 	if err != nil {
 		return err
 	}
-	if err := sess.svc.retryStore(func() error { return sess.svc.opts.Store.WriteSnapshot(snap) }); err != nil {
-		sess.svc.metrics.SnapshotFailures.Add(1)
+	if err := s.svc.retryStore(func() error { return s.svc.opts.Store.WriteSnapshot(snap) }); err != nil {
+		s.svc.metrics.SnapshotFailures.Add(1)
 		if store.IsTransient(err) {
-			sess.noteStoreFailureLocked()
+			s.noteStoreFailureLocked()
 		}
 		return err
 	}
-	sess.tailLen = 0
-	sess.forceCompact = false
-	sess.svc.metrics.SnapshotsWritten.Add(1)
+	s.tailLen = 0
+	s.forceCompact = false
+	s.svc.metrics.SnapshotsWritten.Add(1)
 	return nil
 }
 
@@ -153,7 +153,7 @@ func (sess *Session) persistSnapshotLocked() error {
 // before the in-memory commit of the operation it describes, so a
 // snapshot here would capture mid-transition state while compacting the
 // record away. Compaction happens via maybeCompactLocked once memory
-// has caught up. Caller holds sess.mu.
+// has caught up. Caller holds s.mu.
 //
 // Failure handling: transient store faults are retried with backoff; if
 // retries exhaust, the failure feeds the quarantine heuristic. Once the
@@ -162,28 +162,28 @@ func (sess *Session) persistSnapshotLocked() error {
 // has moved past the stale journal, so the heal snapshot supersedes
 // every stale record — and the request succeeds memory-only. Below the
 // quarantine threshold the (transient) error is returned, mapping to a
-// retryable 503. Caller holds sess.mu.
-func (sess *Session) appendLocked(rec store.Record) error {
-	if !sess.svc.hasStore() {
+// retryable 503. Caller holds s.mu.
+func (s *Session) appendLocked(rec store.Record) error {
+	if !s.svc.hasStore() {
 		return nil
 	}
-	if sess.fenced.Load() {
-		return notOwnerErr(sess.id, "")
+	if s.fenced.Load() {
+		return notOwnerErr(s.id, "")
 	}
 	// Cluster mode: prove ownership before writing (and renew the lease
 	// when it nears expiry — "renew on commit"). A definitive loss fences
 	// the session BEFORE anything lands in the journal, so the client's
 	// retry at the new owner is not a double commit.
-	if err := sess.ensureLeaseLocked(); err != nil {
+	if err := s.ensureLeaseLocked(); err != nil {
 		return err
 	}
-	if sess.degraded.Load() {
-		sess.seq++
+	if s.degraded.Load() {
+		s.seq++
 		return nil
 	}
-	rec.Seq = sess.seq + 1
-	err := sess.svc.retryStore(func() error { return sess.svc.opts.Store.Append(sess.id, rec) })
-	if err != nil && rec.Seq == sess.ackLostSeq && errors.Is(err, store.ErrSeqConflict) {
+	rec.Seq = s.seq + 1
+	err := s.svc.retryStore(func() error { return s.svc.opts.Store.Append(s.id, rec) })
+	if err != nil && rec.Seq == s.ackLostSeq && errors.Is(err, store.ErrSeqConflict) {
 		// A previously failed append for this very seq actually landed — its
 		// acknowledgement was lost (failed fsync, or an injected fault after
 		// the write). The slot is durably occupied, and only this session
@@ -193,35 +193,35 @@ func (sess *Session) appendLocked(rec store.Record) error {
 		// writes it" premise holds because appends happen under a valid
 		// lease: a peer can only write this journal after stealing the
 		// lease, which the check above turns into a fence first.
-		sess.forceCompact = true
+		s.forceCompact = true
 		err = nil
 	}
-	if err != nil && errors.Is(err, store.ErrSeqConflict) && sess.svc.clustered() {
+	if err != nil && errors.Is(err, store.ErrSeqConflict) && s.svc.clustered() {
 		// CAS fence: the journal advanced under us, so another node owns
 		// this session now (it rehydrated and appended after winning the
 		// lease — the clock-based check above can lag reality). Nothing of
 		// this operation landed; refuse it and retire this stale copy.
-		sess.fenceLocked()
-		return notOwnerErr(sess.id, "")
+		s.fenceLocked()
+		return notOwnerErr(s.id, "")
 	}
 	if err != nil {
 		if store.IsTransient(err) {
 			// The attempt may or may not have landed (retryStore cannot always
 			// tell); remember the seq so a later retry can resolve an
 			// ErrSeqConflict for it as "already durable".
-			sess.ackLostSeq = rec.Seq
-			if sess.noteStoreFailureLocked() {
-				sess.seq++ // quarantined: absorb and serve memory-only
+			s.ackLostSeq = rec.Seq
+			if s.noteStoreFailureLocked() {
+				s.seq++ // quarantined: absorb and serve memory-only
 				return nil
 			}
 		}
 		return fmt.Errorf("service: journal append: %w", err)
 	}
-	sess.ackLostSeq = 0
-	sess.persistFails = 0
-	sess.seq = rec.Seq
-	sess.tailLen++
-	sess.svc.metrics.JournalAppends.Add(1)
+	s.ackLostSeq = 0
+	s.persistFails = 0
+	s.seq = rec.Seq
+	s.tailLen++
+	s.svc.metrics.JournalAppends.Add(1)
 	return nil
 }
 
@@ -232,58 +232,64 @@ func (sess *Session) appendLocked(rec store.Record) error {
 // already holds the state, so a failed compaction only defers truncation
 // — but the failure is counted (SnapshotFailures) and feeds the
 // quarantine heuristic inside persistSnapshotLocked. Caller holds
-// sess.mu.
-func (sess *Session) maybeCompactLocked() {
-	if !sess.svc.hasStore() || sess.degraded.Load() {
+// s.mu.
+func (s *Session) maybeCompactLocked() {
+	if !s.svc.hasStore() || s.degraded.Load() {
 		return
 	}
-	if !sess.forceCompact && sess.tailLen < sess.svc.opts.SnapshotEvery {
+	if !s.forceCompact && s.tailLen < s.svc.opts.SnapshotEvery {
 		return
 	}
-	sess.persistSnapshotLocked() //nolint:errcheck // deferred, not dropped: counted + quarantine-fed above
+	s.persistSnapshotLocked() //nolint:errcheck // deferred, not dropped: counted + quarantine-fed above
 }
 
 // persistQueueLocked journals a queued change batch (before it enters the
 // in-memory pending queue). key is the batch's idempotency key ("" when
 // the client sent none); journaling it lets a rehydration — here or on a
 // failover successor — rebuild the dedup window from the tail.
-func (sess *Session) persistQueueLocked(key string, changes []any) error {
-	if !sess.svc.hasStore() {
+//
+//ecvet:walhelper
+func (s *Session) persistQueueLocked(key string, changes []any) error {
+	if !s.svc.hasStore() {
 		return nil
 	}
-	wire, err := renderChanges(sess.dom, changes)
+	wire, err := renderChanges(s.dom, changes)
 	if err != nil {
 		return err
 	}
-	return sess.appendLocked(store.Record{Kind: store.KindChanges, Changes: wire, BatchID: key})
+	return s.appendLocked(store.Record{Kind: store.KindChanges, Changes: wire, BatchID: key})
 }
 
 // persistSolveLocked journals a committed solve (problem = previous
 // problem ⊕ all pending changes, solution = sol) before the in-memory
 // commit.
-func (sess *Session) persistSolveLocked(problem, sol any, batched int) error {
-	if !sess.svc.hasStore() {
+//
+//ecvet:walhelper
+func (s *Session) persistSolveLocked(problem, sol any, batched int) error {
+	if !s.svc.hasStore() {
 		return nil
 	}
-	raw, err := json.Marshal(sess.dom.Render(problem, sol))
+	raw, err := json.Marshal(s.dom.Render(problem, sol))
 	if err != nil {
 		return fmt.Errorf("service: encode solution: %w", err)
 	}
-	return sess.appendLocked(store.Record{Kind: store.KindSolve, Solution: raw, Batched: batched})
+	return s.appendLocked(store.Record{Kind: store.KindSolve, Solution: raw, Batched: batched})
 }
 
 // persistDiscardLocked journals a dropped batch (best effort — the same
 // store trouble that fails a solve append will usually fail this too, and
 // replay treats a trailing unresolved batch as pending, which a later
 // solve or discard record supersedes).
-func (sess *Session) persistDiscardLocked() {
-	if !sess.svc.hasStore() {
+//
+//ecvet:walhelper
+func (s *Session) persistDiscardLocked() {
+	if !s.svc.hasStore() {
 		return
 	}
 	// Memory already reflects the discard (the batch was drained at solve
 	// entry and not restored), so compaction is safe right away.
-	if sess.appendLocked(store.Record{Kind: store.KindDiscard}) == nil {
-		sess.maybeCompactLocked()
+	if s.appendLocked(store.Record{Kind: store.KindDiscard}) == nil {
+		s.maybeCompactLocked()
 	}
 }
 

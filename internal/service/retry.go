@@ -104,17 +104,17 @@ func (s *Service) retryStore(op func() error) error {
 // failure into the session's quarantine heuristic. It reports whether the
 // session is (now) quarantined — in which case the caller absorbs the
 // failure and serves memory-only instead of failing the request. Caller
-// holds sess.mu.
-func (sess *Session) noteStoreFailureLocked() bool {
-	if sess.degraded.Load() {
+// holds s.mu.
+func (s *Session) noteStoreFailureLocked() bool {
+	if s.degraded.Load() {
 		return true
 	}
-	sess.persistFails++
-	if sess.persistFails < sess.svc.opts.QuarantineAfter {
+	s.persistFails++
+	if s.persistFails < s.svc.opts.QuarantineAfter {
 		return false
 	}
-	sess.degraded.Store(true)
-	sess.svc.metrics.Quarantines.Add(1)
+	s.degraded.Store(true)
+	s.svc.metrics.Quarantines.Add(1)
 	return true
 }
 
@@ -128,16 +128,16 @@ func (s *Session) Degraded() bool { return s.degraded.Load() }
 // healLocked attempts to end a session's quarantine: one full snapshot at
 // the session's logical sequence — which supersedes every stale journal
 // record via compaction — restores the store to an exact replica. Caller
-// holds sess.mu.
-func (sess *Session) healLocked() bool {
-	svc := sess.svc
-	if sess.fenced.Load() {
+// holds s.mu.
+func (s *Session) healLocked() bool {
+	svc := s.svc
+	if s.fenced.Load() {
 		// A fenced session must never write: its durable state belongs to
 		// the node that took the lease over.
 		return false
 	}
 	svc.metrics.QuarantineProbes.Add(1)
-	snap, err := sess.snapshotLocked()
+	snap, err := s.snapshotLocked()
 	if err == nil {
 		err = svc.opts.Store.WriteSnapshot(snap)
 	}
@@ -145,11 +145,11 @@ func (sess *Session) healLocked() bool {
 		svc.metrics.SnapshotFailures.Add(1)
 		return false
 	}
-	sess.degraded.Store(false)
-	sess.persistFails = 0
-	sess.tailLen = 0
-	sess.ackLostSeq = 0
-	sess.forceCompact = false
+	s.degraded.Store(false)
+	s.persistFails = 0
+	s.tailLen = 0
+	s.ackLostSeq = 0
+	s.forceCompact = false
 	svc.metrics.SnapshotsWritten.Add(1)
 	svc.metrics.QuarantineHeals.Add(1)
 	return true

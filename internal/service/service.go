@@ -328,22 +328,22 @@ type Service struct {
 	cnf domain.Domain
 
 	mu       sync.Mutex
-	closed   bool
-	sessions map[string]*Session
+	closed   bool                // guarded by mu
+	sessions map[string]*Session // guarded by mu
 	// persisted holds the ids that live only in the store (recovered at
 	// startup, evicted, or TTL-expired); a touch rehydrates them back
-	// into sessions. The two maps are disjoint.
+	// into sessions. The two maps are disjoint. Guarded by mu.
 	persisted map[string]bool
 	// evicting holds ids mid-detachment: removed from sessions but whose
 	// final snapshot is still being cut. Lookups wait on the channel, so
 	// a rehydration can never race a detaching instance's last journal
-	// appends (which would fork the session).
+	// appends (which would fork the session). Guarded by mu.
 	evicting map[string]chan struct{}
 	// creating reserves explicit ids between the duplicate check and the
 	// session's registration, so two concurrent creates of one id cannot
-	// both succeed.
+	// both succeed. Guarded by mu, as is nextID.
 	creating map[string]bool
-	nextID   int64
+	nextID   int64 // guarded by mu
 
 	// sweepStop/sweepDone bracket the TTL sweeper goroutine;
 	// probeStop/probeDone bracket the quarantine re-probe loop.
@@ -353,7 +353,7 @@ type Service struct {
 	probeDone chan struct{}
 
 	imu        sync.Mutex
-	incumbents map[string]incumbent
+	incumbents map[string]incumbent // guarded by imu
 
 	// draining flips /readyz to 503 ahead of graceful shutdown (see
 	// StartDraining in cluster.go).

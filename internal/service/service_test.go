@@ -419,7 +419,7 @@ func TestKeyHasherDistinguishes(t *testing.T) {
 	f := testFormula()
 	g := testFormula()
 	g.AddClause(cnf.Clause{1})
-	if sess.taskKey("plain", f, nil) == sess.taskKey("plain", g, nil) {
+	if sess.taskKeyLocked("plain", f, nil) == sess.taskKeyLocked("plain", g, nil) {
 		t.Fatal("different formulas share a key")
 	}
 	lp := ilp.Options{Bounding: ilp.LPBound}
@@ -427,7 +427,7 @@ func TestKeyHasherDistinguishes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.taskKey("plain", f, nil) == lpSess.taskKey("plain", f, nil) {
+	if sess.taskKeyLocked("plain", f, nil) == lpSess.taskKeyLocked("plain", f, nil) {
 		t.Fatal("different options share a key")
 	}
 	warm := ilp.Options{WarmStart: ilp.Solution{1}}
@@ -435,17 +435,17 @@ func TestKeyHasherDistinguishes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.taskKey("plain", f, nil) != warmSess.taskKey("plain", f, nil) {
+	if sess.taskKeyLocked("plain", f, nil) != warmSess.taskKeyLocked("plain", f, nil) {
 		t.Fatal("warm start leaked into the plain key")
 	}
 	p := cnf.NewAssignment(f.NumVars)
 	p.Set(1, cnf.True)
 	q := p.Clone()
 	q.Set(1, cnf.False)
-	if sess.taskKey("fast", f, p) == sess.taskKey("fast", f, q) {
+	if sess.taskKeyLocked("fast", f, p) == sess.taskKeyLocked("fast", f, q) {
 		t.Fatal("fast keys ignore the previous solution")
 	}
-	if sess.taskKey("plain", f, nil) == sess.taskKey("fast", f, p) {
+	if sess.taskKeyLocked("plain", f, nil) == sess.taskKeyLocked("fast", f, p) {
 		t.Fatal("task kinds share a key")
 	}
 	// Another domain with an identical byte layout must not collide: the
@@ -454,7 +454,7 @@ func TestKeyHasherDistinguishes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.taskKey("plain", f, nil) == colSess.taskKey("plain", colTestProblem(), nil) {
+	if sess.taskKeyLocked("plain", f, nil) == colSess.taskKeyLocked("plain", colTestProblem(), nil) {
 		t.Fatal("domains share a key")
 	}
 }

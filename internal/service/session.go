@@ -31,16 +31,16 @@ type Session struct {
 	// mu is the per-session lock: it serializes this session's queue and
 	// solve operations while independent sessions run in parallel.
 	mu       sync.Mutex
-	problem  any
-	solution any
-	pending  []any
-	strategy domain.Strategy
-	solve    ilp.Options
+	problem  any             // guarded by mu; wal:committed
+	solution any             // guarded by mu; wal:committed
+	pending  []any           // guarded by mu; wal:committed
+	strategy domain.Strategy // guarded by mu
+	solve    ilp.Options     // guarded by mu
 	// cuts is the session's retained cut pool (used when the session's
 	// solver options enable Cuts): separated cutting planes keyed by
 	// source-row content, so an EC re-solve only pays separation for the
 	// rows the change batch touched. Solves are serialized under mu, so
-	// the pool is never shared between concurrent searches.
+	// the pool is never shared between concurrent searches. Guarded by mu.
 	cuts *ilp.CutPool
 	// inst is the session's persistent solver instance (nil until the
 	// first instance-path solve, after an invalidation, and on a session
@@ -51,15 +51,17 @@ type Session struct {
 	// expressed as deltas (or any solve error) invalidate it, and the
 	// next instance-path solve rebuilds it from the committed problem.
 	// Options.DisableInstance turns the path off service-wide.
+	// Guarded by mu.
 	inst  *domain.Instance
-	stats sessionStats
+	stats sessionStats // guarded by mu
 
 	// closed marks a session that was evicted, TTL-expired, or deleted:
 	// stale pointers error instead of mutating a detached copy (the live
-	// state is in the store; Service.Session rehydrates it).
+	// state is in the store; Service.Session rehydrates it). Guarded by mu.
 	closed bool
 	// seq is the last write-ahead journal sequence number; tailLen counts
 	// journal records since the last snapshot (SnapshotEvery compaction).
+	// Both guarded by mu.
 	seq     uint64
 	tailLen int
 	// persistFails counts consecutive exhausted-retries store failures; at
@@ -67,14 +69,15 @@ type Session struct {
 	// (degraded), keeping seq advancing logically so the heal snapshot
 	// supersedes the stale journal. degraded is atomic so read-side paths
 	// (Info, metrics, the probe loop's scan) need not take mu.
-	persistFails int
+	persistFails int // guarded by mu
 	degraded     atomic.Bool
 	// ackLostSeq is the journal seq of the most recent append that failed
 	// with its durability UNKNOWN (e.g. a failed fsync: the write may have
 	// landed while the acknowledgement was lost). A later append for that
 	// seq that hits ErrSeqConflict is thereby recognized as "the earlier
 	// attempt did land" and accepted; forceCompact then schedules a prompt
-	// snapshot so the journal record is superseded either way.
+	// snapshot so the journal record is superseded either way. Both
+	// guarded by mu.
 	ackLostSeq   uint64
 	forceCompact bool
 	// recentBatches holds the idempotency keys of the most recently
@@ -83,7 +86,7 @@ type Session struct {
 	// the batch is already journaled — and is acknowledged without being
 	// applied again. The keys are persisted (Record.BatchID on the journal
 	// record, Snapshot.RecentBatches on compaction) so dedup survives
-	// rehydration on this node or a failover successor.
+	// rehydration on this node or a failover successor. Guarded by mu.
 	recentBatches []string
 	// lastUsed is the unix-nano last-touch stamp driving LRU eviction and
 	// the TTL sweep.
@@ -359,16 +362,17 @@ func (s *Session) SolveContext(ctx context.Context) (*SolveResult, error) {
 	s.svc.touch(s)
 	start := time.Now()
 	batch := s.pending
+	//ecvet:ignore walfirst the drain is journaled by the solve/discard record that every path below appends; a crash in between replays the queued records as pending again
 	s.pending = nil
 
 	res, err := func() (*SolveResult, error) {
 		if s.solution == nil {
-			return s.solveInitial(ctx, batch, start)
+			return s.solveInitialLocked(ctx, batch, start)
 		}
 		if len(batch) == 0 {
-			return s.result(&SolveResult{Status: "noop"}, start), nil
+			return s.resultLocked(&SolveResult{Status: "noop"}, start), nil
 		}
-		return s.solveBatch(ctx, batch, start)
+		return s.solveBatchLocked(ctx, batch, start)
 	}()
 	if err != nil {
 		// The persistent instance may have advanced past the discarded
@@ -391,11 +395,11 @@ func (s *Session) SolveContext(ctx context.Context) (*SolveResult, error) {
 // tests).
 func (s *Session) instanceEnabled() bool { return !s.svc.opts.DisableInstance }
 
-// ensureInstance returns a live instance encoding problem: the session's
+// ensureInstanceLocked returns a live instance encoding problem: the session's
 // retained one when the drained batch syncs onto it as a row delta, a
 // rebuilt one otherwise. Caller holds s.mu (possibly via the executor
 // closure SolveContext is blocked on).
-func (s *Session) ensureInstance(problem any, batch []any) (*domain.Instance, error) {
+func (s *Session) ensureInstanceLocked(problem any, batch []any) (*domain.Instance, error) {
 	if s.inst != nil && s.inst.Sync(s.problem, problem, batch) {
 		s.svc.metrics.InstanceReuses.Add(1)
 		return s.inst, nil
@@ -410,16 +414,16 @@ func (s *Session) ensureInstance(problem any, batch []any) (*domain.Instance, er
 	return inst, nil
 }
 
-// replanSolve runs a full solve of problem — through the session's
+// replanSolveLocked runs a full solve of problem — through the session's
 // persistent instance when enabled, falling back to a scratch solve when
 // the instance cannot be built.
-func (s *Session) replanSolve(ctx context.Context, problem any, batch []any, warm any) (any, ilp.Result, error) {
+func (s *Session) replanSolveLocked(ctx context.Context, problem any, batch []any, warm any) (any, ilp.Result, error) {
 	if s.instanceEnabled() {
-		if inst, err := s.ensureInstance(problem, batch); err == nil {
-			return inst.Resolve(s.solverOpts(ctx), warm)
+		if inst, err := s.ensureInstanceLocked(problem, batch); err == nil {
+			return inst.Resolve(s.solverOptsLocked(ctx), warm)
 		}
 	}
-	return domain.Solve(s.dom, problem, s.solverOpts(ctx), warm)
+	return domain.Solve(s.dom, problem, s.solverOptsLocked(ctx), warm)
 }
 
 // syncInstanceLocked keeps the retained instance tracking a commit the
@@ -450,9 +454,9 @@ func wrapCtxErr(ctx context.Context, err error) error {
 	return err
 }
 
-// solverOpts binds the session's solver options to one call: the request
+// solverOptsLocked binds the session's solver options to one call: the request
 // context for aborts and the session's retained cut pool.
-func (s *Session) solverOpts(ctx context.Context) ilp.Options {
+func (s *Session) solverOptsLocked(ctx context.Context) ilp.Options {
 	opts := s.solve
 	opts.Context = ctx
 	if opts.Cuts {
@@ -461,9 +465,9 @@ func (s *Session) solverOpts(ctx context.Context) ilp.Options {
 	return opts
 }
 
-// result finalizes a SolveResult from the committed session state.
+// resultLocked finalizes a SolveResult from the committed session state.
 // Caller holds s.mu.
-func (s *Session) result(res *SolveResult, start time.Time) *SolveResult {
+func (s *Session) resultLocked(res *SolveResult, start time.Time) *SolveResult {
 	res.Solution = s.dom.CloneSolution(s.solution)
 	if a, ok := res.Solution.(cnf.Assignment); ok {
 		res.Assignment = a
@@ -473,9 +477,9 @@ func (s *Session) result(res *SolveResult, start time.Time) *SolveResult {
 	return res
 }
 
-// solveInitial runs the first solve, folding any pending batch into the
+// solveInitialLocked runs the first solve, folding any pending batch into the
 // starting problem. Caller holds s.mu.
-func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time) (*SolveResult, error) {
+func (s *Session) solveInitialLocked(ctx context.Context, batch []any, start time.Time) (*SolveResult, error) {
 	p := s.problem
 	if len(batch) > 0 {
 		applied, err := s.dom.ApplyChanges(s.problem, batch)
@@ -487,7 +491,7 @@ func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time
 	if err := s.dom.Validate(p); err != nil {
 		return nil, fmt.Errorf("service: batch discarded: %w", err)
 	}
-	key := s.taskKey("plain", p, nil)
+	key := s.taskKeyLocked("plain", p, nil)
 	pkey := s.problemKey(p)
 	// The encoding is built inside the compute closure so a cache hit —
 	// the common case across identical sessions — pays nothing. The
@@ -500,7 +504,7 @@ func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time
 		if warm != nil {
 			s.svc.metrics.IncumbentHits.Add(1)
 		}
-		a, res, err := s.replanSolve(ctx, p, batch, warm)
+		a, res, err := s.replanSolveLocked(ctx, p, batch, warm)
 		s.svc.noteSolverResult(res)
 		return a, err == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, err)
 	})
@@ -511,17 +515,17 @@ func (s *Session) solveInitial(ctx context.Context, batch []any, start time.Time
 		return nil, err
 	}
 	s.syncInstanceLocked(p, batch)
-	s.commit(p, sol, pkey, len(batch), hit)
-	return s.result(&SolveResult{
+	s.commitLocked(p, sol, pkey, len(batch), hit)
+	return s.resultLocked(&SolveResult{
 		Status:  "initial",
 		Batched: len(batch),
 		Cached:  hit,
 	}, start), nil
 }
 
-// solveBatch resolves a non-empty tightening-or-relaxing batch against
+// solveBatchLocked resolves a non-empty tightening-or-relaxing batch against
 // the current solution in one pass. Caller holds s.mu.
-func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) (*SolveResult, error) {
+func (s *Session) solveBatchLocked(ctx context.Context, batch []any, start time.Time) (*SolveResult, error) {
 	changed, err := s.dom.ApplyChanges(s.problem, batch)
 	if err != nil {
 		return nil, fmt.Errorf("service: batch discarded: %w", err)
@@ -538,9 +542,9 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 			return nil, err
 		}
 		s.syncInstanceLocked(changed, batch)
-		s.commit(changed, next, s.problemKey(changed), len(batch), false)
+		s.commitLocked(changed, next, s.problemKey(changed), len(batch), false)
 		s.svc.metrics.RelaxFastPaths.Add(1)
-		return s.result(&SolveResult{
+		return s.resultLocked(&SolveResult{
 			Status:    "relaxed",
 			Batched:   len(batch),
 			Preserved: 1,
@@ -555,8 +559,8 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 	var compute func() (any, bool, error)
 	switch s.strategy {
 	case domain.FastEC:
-		fopts := domain.FastOptions{Solve: s.solverOpts(ctx), MaxEscalations: s.svc.opts.Fast.MaxEscalations}
-		key = s.taskKey("fast", changed, prev)
+		fopts := domain.FastOptions{Solve: s.solverOptsLocked(ctx), MaxEscalations: s.svc.opts.Fast.MaxEscalations}
+		key = s.taskKeyLocked("fast", changed, prev)
 		compute = func() (any, bool, error) {
 			next, stats, ferr := domain.Fast(s.dom, changed, prev, fopts)
 			if ferr != nil {
@@ -572,16 +576,16 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 			return next, stats.AlreadyValid || stats.ILP.Status == ilp.Optimal, nil
 		}
 	case domain.PreservingEC:
-		key = s.taskKey("preserve", changed, prev)
+		key = s.taskKeyLocked("preserve", changed, prev)
 		compute = func() (any, bool, error) {
-			next, res, perr := domain.Preserve(s.dom, changed, prev, s.solverOpts(ctx))
+			next, res, perr := domain.Preserve(s.dom, changed, prev, s.solverOptsLocked(ctx))
 			s.svc.noteSolverResult(res)
 			return next, perr == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, perr)
 		}
 	case domain.Replan:
-		key = s.taskKey("plain", changed, nil)
+		key = s.taskKeyLocked("plain", changed, nil)
 		compute = func() (any, bool, error) {
-			next, res, rerr := s.replanSolve(ctx, changed, batch, prev)
+			next, res, rerr := s.replanSolveLocked(ctx, changed, batch, prev)
 			s.svc.noteSolverResult(res)
 			return next, rerr == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, rerr)
 		}
@@ -597,8 +601,8 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 		return nil, err
 	}
 	s.syncInstanceLocked(changed, batch)
-	s.commit(changed, next, s.problemKey(changed), len(batch), hit)
-	return s.result(&SolveResult{
+	s.commitLocked(changed, next, s.problemKey(changed), len(batch), hit)
+	return s.resultLocked(&SolveResult{
 		Status:     s.strategy.String(),
 		Batched:    len(batch),
 		Cached:     hit,
@@ -608,9 +612,12 @@ func (s *Session) solveBatch(ctx context.Context, batch []any, start time.Time) 
 	}, start), nil
 }
 
-// commit installs the new problem/solution pair, updates stats, and
-// shares the solution through the incumbent store. Caller holds s.mu.
-func (s *Session) commit(p, sol any, pkey string, batched int, hit bool) {
+// commitLocked installs the new problem/solution pair, updates stats, and
+// shares the solution through the incumbent store. Caller holds s.mu and
+// must have journaled the state first (persistSolveLocked).
+//
+//ecvet:walcommit
+func (s *Session) commitLocked(p, sol any, pkey string, batched int, hit bool) {
 	s.problem = p
 	s.solution = sol
 	s.stats.solves++
@@ -629,13 +636,13 @@ func (s *Session) commit(p, sol any, pkey string, batched int, hit bool) {
 
 // ---- cache keys ----------------------------------------------------------
 
-// taskKey keys one solve task: the kind, the domain, the problem, the
+// taskKeyLocked keys one solve task: the kind, the domain, the problem, the
 // previous solution for EC re-solves, and the solver-relevant options.
 // WarmStart never shapes a key: it only guides branching, and the
 // incumbent-store warm start is injected after the lookup misses.
 // Service-wide EC policies (Options.Fast/Preserve) are constant per
 // service and cache, so they are safely omitted.
-func (s *Session) taskKey(kind string, problem, prev any) string {
+func (s *Session) taskKeyLocked(kind string, problem, prev any) string {
 	k := newKeyHasher(kind)
 	k.str(s.dom.Name())
 	s.dom.FingerprintProblem(k.h, problem)
