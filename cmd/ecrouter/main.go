@@ -18,10 +18,16 @@
 //
 // Router-specific endpoints on top of the proxied API:
 //
-//	GET /v1/cluster   membership + ring view (per-node ready bit)
-//	GET /v1/metrics   router counters plus every node's metrics
-//	GET /healthz      router liveness
-//	GET /readyz       503 until at least one ready node is routable
+//	GET /v1/cluster        membership + ring view (per-node ready bit)
+//	GET /v1/metrics        router counters plus every node's metrics
+//	GET /metrics           Prometheus text exposition (?format=json)
+//	GET /v1/debug/traces   recent slow-request span trees
+//	GET /healthz           router liveness
+//	GET /readyz            503 until at least one ready node is routable
+//
+// -debug-addr serves net/http/pprof profiling on a separate (private)
+// listener; ?trace=1 on any proxied request returns the combined
+// router + node span tree.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +57,8 @@ type config struct {
 	probeTimeout time.Duration
 	retries      int
 	drain        time.Duration
+	debugAddr    string
+	slowTrace    time.Duration
 }
 
 func main() {
@@ -79,6 +88,8 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-node /readyz probe timeout")
 	retries := fs.Int("retries", 2, "ring successors tried after the owner for idempotent requests (negative = none)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof profiling on this address (empty = off; keep it private)")
+	slowTrace := fs.Duration("slow-trace", 0, "requests at least this slow are retained at /v1/debug/traces (0 = default 250ms)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -96,6 +107,8 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		probeTimeout: *probeTimeout,
 		retries:      *retries,
 		drain:        *drain,
+		debugAddr:    *debugAddr,
+		slowTrace:    *slowTrace,
 	}, nil
 }
 
@@ -108,12 +121,13 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	}
 	defer st.Close()
 	rt, err := router.New(router.Options{
-		Store:        st,
-		VirtualNodes: cfg.vnodes,
-		Refresh:      cfg.refresh,
-		ProbeTimeout: cfg.probeTimeout,
-		Retries:      cfg.retries,
-		Logger:       logger,
+		Store:              st,
+		VirtualNodes:       cfg.vnodes,
+		Refresh:            cfg.refresh,
+		ProbeTimeout:       cfg.probeTimeout,
+		Retries:            cfg.retries,
+		Logger:             logger,
+		SlowTraceThreshold: cfg.slowTrace,
 	})
 	if err != nil {
 		return err
@@ -122,6 +136,13 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		return err
 	}
 	defer rt.Stop()
+	if cfg.debugAddr != "" {
+		stopDebug, err := serveDebug(cfg.debugAddr, logger)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer stopDebug()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -157,4 +178,24 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	m := rt.Metrics()
 	logger.Printf("proxied %d requests (%d failovers, %d minted ids)", m.Proxied, m.Failovers, m.MintedIDs)
 	return nil
+}
+
+// serveDebug exposes net/http/pprof on its own listener — kept off the
+// routing address so profiling endpoints are never publicly reachable.
+// The returned stop closes the listener.
+func serveDebug(addr string, logger *log.Logger) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed via stop
+	logger.Printf("pprof profiling on http://%s/debug/pprof/", ln.Addr())
+	return func() { srv.Close() }, nil
 }

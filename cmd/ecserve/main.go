@@ -41,9 +41,17 @@
 //	GET    /v1/sessions/{id}/flex    flexibility report
 //	GET    /v1/domains               registered domain names
 //	GET    /v1/metrics               service counters
+//	GET    /metrics                  Prometheus text exposition (?format=json)
+//	GET    /v1/debug/traces          recent slow-request span trees
 //	GET    /healthz                  liveness probe (process is up)
 //	GET    /readyz                   readiness probe (503 while draining,
 //	                                 store-quarantined, or heartbeat lost)
+//
+// Observability (see the README "Observability" section): ?trace=1 on
+// any request returns its span tree, -slow-trace tunes the
+// /v1/debug/traces ring, -request-log emits a structured line per
+// request, and -debug-addr serves net/http/pprof on a separate
+// (private) listener.
 //
 // Clustering (see the README "Clustering" section): -cluster -node-id n1
 // joins a fleet sharing one -data-dir store. Sessions are owned via
@@ -67,8 +75,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -78,6 +88,7 @@ import (
 	"ilpec/internal/core"
 	"ilpec/internal/fault"
 	"ilpec/internal/ilp"
+	"ilpec/internal/obs"
 	"ilpec/internal/service"
 	"ilpec/internal/store"
 )
@@ -115,6 +126,10 @@ type config struct {
 	advertise   string
 	heartbeat   time.Duration
 	leaseTTL    time.Duration
+	// Observability (see the README "Observability" section).
+	debugAddr  string
+	slowTrace  time.Duration
+	requestLog bool
 }
 
 func main() {
@@ -165,6 +180,9 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	advertise := fs.String("advertise", "", "base URL peers and routers reach this node at (default http://<bound addr>)")
 	heartbeat := fs.Duration("heartbeat-interval", 0, "cluster heartbeat cadence (0 = default 1s; TTL is 3x)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "session ownership lease lifetime; a dead node's sessions move after this (0 = default 5s)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof profiling on this address (empty = off; keep it private)")
+	slowTrace := fs.Duration("slow-trace", 0, "requests at least this slow are retained at /v1/debug/traces (0 = default 250ms)")
+	requestLog := fs.Bool("request-log", false, "log one structured line per HTTP request (request id, route, status, duration)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -213,6 +231,9 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		advertise:       *advertise,
 		heartbeat:       *heartbeat,
 		leaseTTL:        *leaseTTL,
+		debugAddr:       *debugAddr,
+		slowTrace:       *slowTrace,
+		requestLog:      *requestLog,
 	}
 	strat, err := service.ParseStrategy(*strategy)
 	if err != nil {
@@ -227,6 +248,26 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		cfg.faultPlan = plan
 	}
 	return cfg, nil
+}
+
+// serveDebug exposes net/http/pprof on its own listener — kept off the
+// serving address so profiling endpoints are never reachable through
+// the public port or the router. The returned stop closes the listener.
+func serveDebug(addr string, logger *log.Logger) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed via stop
+	logger.Printf("pprof profiling on http://%s/debug/pprof/", ln.Addr())
+	return func() { srv.Close() }, nil
 }
 
 // advertiseURL resolves the membership address peers dial: the -advertise
@@ -280,6 +321,10 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 	if err != nil {
 		return err
 	}
+	// One registry for the whole process: the cluster node's lease and
+	// heartbeat instruments land next to the service's request and solve
+	// instruments, all served by GET /metrics.
+	reg := obs.NewRegistry()
 	var node *cluster.Node
 	if cfg.clusterMode {
 		node, err = cluster.NewNode(cluster.Config{
@@ -288,11 +333,16 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 			Store:             st,
 			HeartbeatInterval: cfg.heartbeat,
 			LeaseTTL:          cfg.leaseTTL,
+			Obs:               reg,
 		})
 		if err != nil {
 			ln.Close()
 			return err
 		}
+	}
+	var reqLog *slog.Logger
+	if cfg.requestLog {
+		reqLog = slog.New(slog.NewTextHandler(logger.Writer(), nil))
 	}
 	svc := service.New(service.Options{
 		Solve: ilp.Options{
@@ -307,20 +357,31 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ready func(addr 
 		MaxSessions: cfg.maxSessions,
 		// The service owns the store: Close flushes final snapshots and
 		// closes it, which is what makes the drain below durable.
-		Store:           st,
-		SnapshotEvery:   cfg.snapshotEvery,
-		MaxLiveSessions: cfg.maxLive,
-		SessionTTL:      cfg.sessionTTL,
-		StoreRetry:      service.RetryPolicy{Attempts: cfg.storeRetries},
-		QuarantineAfter: cfg.quarantineAfter,
-		ReprobeInterval: cfg.reprobeInterval,
-		MaxPending:      cfg.maxPending,
-		MaxBacklog:      cfg.maxBacklog,
-		RequestTimeout:  cfg.requestTimeout,
-		DisableInstance: !cfg.instance,
-		Cluster:         node,
+		Store:              st,
+		SnapshotEvery:      cfg.snapshotEvery,
+		MaxLiveSessions:    cfg.maxLive,
+		SessionTTL:         cfg.sessionTTL,
+		StoreRetry:         service.RetryPolicy{Attempts: cfg.storeRetries},
+		QuarantineAfter:    cfg.quarantineAfter,
+		ReprobeInterval:    cfg.reprobeInterval,
+		MaxPending:         cfg.maxPending,
+		MaxBacklog:         cfg.maxBacklog,
+		RequestTimeout:     cfg.requestTimeout,
+		DisableInstance:    !cfg.instance,
+		Cluster:            node,
+		Obs:                reg,
+		RequestLog:         reqLog,
+		SlowTraceThreshold: cfg.slowTrace,
 	})
 	defer svc.Close()
+	if cfg.debugAddr != "" {
+		stopDebug, err := serveDebug(cfg.debugAddr, logger)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer stopDebug()
+	}
 	if st != nil {
 		if m := svc.Metrics(); m.Recoveries > 0 {
 			logger.Printf("recovered %d persisted sessions", m.Recoveries)

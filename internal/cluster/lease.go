@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ilpec/internal/obs"
 	"ilpec/internal/store"
 )
 
@@ -74,6 +75,11 @@ type leaseMeta struct {
 type Leases struct {
 	st store.Store
 
+	// Latency histograms; nil (uninstrumented) drops observations.
+	acquireH *obs.Histogram
+	renewH   *obs.Histogram
+	fenceH   *obs.Histogram
+
 	mu   sync.Mutex
 	tail map[string]int // appends since last compaction, per meta id
 }
@@ -81,6 +87,16 @@ type Leases struct {
 // NewLeases wraps the shared store for lease transitions.
 func NewLeases(st store.Store) *Leases {
 	return &Leases{st: st, tail: make(map[string]int)}
+}
+
+// instrument registers the lease latency histograms on r: acquire and
+// renew time the full caller-visible operation (reads + CAS), fence
+// times just the CAS transition append that enforces ownership.
+func (l *Leases) instrument(r *obs.Registry) {
+	help := "Lease %s latency (seconds)."
+	l.acquireH = r.Histogram("ec_cluster_lease_latency_seconds", fmt.Sprintf(help, "operation"), obs.Label{Key: "op", Value: "acquire"})
+	l.renewH = r.Histogram("ec_cluster_lease_latency_seconds", fmt.Sprintf(help, "operation"), obs.Label{Key: "op", Value: "renew"})
+	l.fenceH = r.Histogram("ec_cluster_lease_latency_seconds", fmt.Sprintf(help, "operation"), obs.Label{Key: "op", Value: "fence"})
 }
 
 // read loads the authoritative lease state of sid. found is false when
@@ -112,6 +128,7 @@ func (l *Leases) read(sid string) (state leaseMeta, seq uint64, found bool, err 
 // a *HeldError (errors.Is ErrLeaseHeld). Store trouble propagates with
 // its transience intact so callers can retry or degrade.
 func (l *Leases) Acquire(sid, node string, ttl time.Duration, now time.Time) (Lease, error) {
+	defer l.acquireH.Since(time.Now())
 	if err := store.ValidateID(leaseMetaID(sid)); err != nil {
 		return Lease{}, err
 	}
@@ -174,6 +191,7 @@ func (l *Leases) AcquireForCreate(sid, node string, ttl time.Duration, now time.
 //
 //ecvet:fenced
 func (l *Leases) transition(sid, node string, seq uint64, ttl time.Duration, now time.Time) (Lease, error) {
+	defer l.fenceH.Since(time.Now())
 	exp := now.Add(ttl)
 	meta, err := json.Marshal(leaseMeta{Holder: node, ExpiryMS: exp.UnixMilli()})
 	if err != nil {
@@ -202,6 +220,7 @@ func (l *Leases) transition(sid, node string, seq uint64, ttl time.Duration, now
 //
 //ecvet:fenced
 func (l *Leases) Renew(ls Lease, ttl time.Duration, now time.Time) (Lease, error) {
+	defer l.renewH.Since(time.Now())
 	exp := now.Add(ttl)
 	meta, err := json.Marshal(leaseMeta{Holder: ls.Holder, ExpiryMS: exp.UnixMilli()})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ilpec/internal/obs"
 	"ilpec/internal/store"
 )
 
@@ -34,6 +35,10 @@ type Config struct {
 	LeaseTTL time.Duration
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
+	// Obs, when set, receives the node's cluster metrics: lease
+	// acquire/renew/fence latency histograms, heartbeat counters, and a
+	// heartbeat staleness gauge. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (c *Config) withDefaults() error {
@@ -73,6 +78,12 @@ type Node struct {
 	// ready is true while the latest heartbeat landed: the node is
 	// registered and the shared store is reachable. /readyz keys off it.
 	ready atomic.Bool
+	// lastBeat is the clock reading (unix nanos) of the last successful
+	// heartbeat; zero until one lands. Backs the staleness gauge.
+	lastBeat atomic.Int64
+
+	beats     *obs.Counter
+	beatFails *obs.Counter
 
 	mu      sync.Mutex
 	started bool
@@ -86,12 +97,27 @@ func NewNode(cfg Config) (*Node, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
-	return &Node{
+	n := &Node{
 		cfg:     cfg,
 		members: NewMembership(cfg.Store),
 		leases:  NewLeases(cfg.Store),
 		cache:   NewFleetCache(cfg.Store),
-	}, nil
+	}
+	if r := cfg.Obs; r != nil {
+		n.leases.instrument(r)
+		n.beats = r.Counter("ec_cluster_heartbeats_total", "Heartbeat attempts by this node.")
+		n.beatFails = r.Counter("ec_cluster_heartbeat_failures_total", "Heartbeats that failed to land in the shared store.")
+		r.GaugeFunc("ec_cluster_heartbeat_staleness_ms",
+			"Milliseconds since the last successful heartbeat (-1 before the first).",
+			func() int64 {
+				last := n.lastBeat.Load()
+				if last == 0 {
+					return -1
+				}
+				return (n.Now().UnixNano() - last) / int64(time.Millisecond)
+			})
+	}
+	return n, nil
 }
 
 // ID returns the node id.
@@ -156,6 +182,12 @@ func (n *Node) loop() {
 func (n *Node) beat() error {
 	err := n.members.Heartbeat(n.cfg.ID, n.cfg.Addr, n.cfg.HeartbeatTTL, n.Now())
 	n.ready.Store(err == nil)
+	n.beats.Inc()
+	if err != nil {
+		n.beatFails.Inc()
+	} else {
+		n.lastBeat.Store(n.Now().UnixNano())
+	}
 	return err
 }
 

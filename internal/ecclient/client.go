@@ -57,9 +57,16 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RequestID is the server's X-Request-ID for the failed attempt —
+	// quote it when filing a report; it keys the server's request log
+	// and /v1/debug/traces entries.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("ecclient: server status %d: %s: %s (request %s)", e.Status, e.Code, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("ecclient: server status %d: %s: %s", e.Status, e.Code, e.Message)
 }
 
@@ -177,6 +184,7 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) e
 			return nil
 		}
 		apiErr := decodeAPIError(resp.StatusCode, data)
+		apiErr.RequestID = resp.Header.Get("X-Request-ID")
 		if !retryableStatus(resp.StatusCode) {
 			return apiErr
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -88,6 +89,28 @@ func TestDoJSONNonRetryable(t *testing.T) {
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+}
+
+// The server's X-Request-ID rides along on APIError (and its Error()
+// string) so failures can be correlated with the server's request log
+// and slow-trace ring.
+func TestDoJSONSurfacesRequestID(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "req-abc123")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":{"code":"unknown_session","message":"no such session"}}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL}
+	err := c.DoJSON(context.Background(), http.MethodGet, "/x", nil, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.RequestID != "req-abc123" {
+		t.Fatalf("err = %v, want APIError carrying RequestID req-abc123", err)
+	}
+	if !strings.Contains(apiErr.Error(), "req-abc123") {
+		t.Fatalf("Error() = %q, want it to quote the request id", apiErr.Error())
 	}
 }
 

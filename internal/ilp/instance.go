@@ -471,7 +471,9 @@ func (in *Instance) runRetained(s *solver) Result {
 	if s.lpSolver != nil {
 		warmBase = s.lpSolver.WarmHits
 	}
+	start := time.Now()
 	res := s.run()
 	res.LPWarmHits -= warmBase
+	res.SearchTime = time.Since(start)
 	return res
 }

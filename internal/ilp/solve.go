@@ -189,6 +189,12 @@ type Result struct {
 	// Workers is the number of parallel searchers used (1 = serial).
 	Workers int
 	Runtime time.Duration
+	// Phase wall-clock breakdown of Runtime, for the observability
+	// layer: time spent in the presolve pass (zero when cached or off),
+	// in cut separation, and in the branch-and-bound kernel itself.
+	PresolveTime time.Duration
+	CutSepTime   time.Duration
+	SearchTime   time.Duration
 }
 
 // Solve runs exact branch and bound on the model, after the optional
@@ -203,10 +209,15 @@ func Solve(m *Model, opts Options) Result {
 // solveCore dispatches the prepared model to the serial or parallel
 // kernel.
 func solveCore(m *Model, opts Options) Result {
+	start := time.Now()
+	var res Result
 	if opts.Workers > 1 {
-		return solveParallel(m, opts)
+		res = solveParallel(m, opts)
+	} else {
+		res = newSolver(m, opts).run()
 	}
-	return newSolver(m, opts).run()
+	res.SearchTime = time.Since(start)
+	return res
 }
 
 // solvePrepared runs presolve and cut separation, solves the reduced
@@ -217,11 +228,14 @@ func solvePrepared(m *Model, opts Options) Result {
 	}
 
 	var pre *presolved
+	var preTime time.Duration
 	if opts.Presolve {
 		if opts.preCache != nil && opts.preCache.pre != nil {
 			pre = opts.preCache.pre
 		} else {
+			preStart := time.Now()
 			pre = presolveModel(m)
+			preTime = time.Since(preStart)
 			if opts.preCache != nil {
 				opts.preCache.pre = pre
 			}
@@ -232,6 +246,7 @@ func solvePrepared(m *Model, opts Options) Result {
 				PresolveFixed: int64(pre.nFixed),
 				PresolveRows:  int64(pre.nRowsDropped),
 				Workers:       1,
+				PresolveTime:  preTime,
 			}
 		}
 	}
@@ -241,12 +256,15 @@ func solvePrepared(m *Model, opts Options) Result {
 	// through the presolve fixings.
 	var cuts []Cut
 	var added, reused, freshRows int
+	var cutTime time.Duration
 	if opts.Cuts {
 		pool := opts.CutPool
 		if pool == nil {
 			pool = NewCutPool()
 		}
+		cutStart := time.Now()
 		cuts, added, reused, freshRows = pool.separate(m)
+		cutTime = time.Since(cutStart)
 	}
 
 	work := m
@@ -275,13 +293,17 @@ func solvePrepared(m *Model, opts Options) Result {
 					PresolveFixed: int64(pre.nFixed),
 					PresolveRows:  int64(pre.nRowsDropped),
 					Workers:       1,
+					PresolveTime:  preTime,
+					CutSepTime:    cutTime,
 				}
 			}
 			// Should be unreachable; solve the raw model rather than risk
 			// a wrong answer.
 			raw := opts
 			raw.Presolve, raw.Cuts = false, false
-			return solveCore(m, raw)
+			res := solveCore(m, raw)
+			res.PresolveTime, res.CutSepTime = preTime, cutTime
+			return res
 		}
 	}
 	if len(cuts) > 0 {
@@ -292,6 +314,7 @@ func solvePrepared(m *Model, opts Options) Result {
 	res := solveCore(work, opts)
 	res.CutsAdded, res.CutsReused = int64(added), int64(reused)
 	res.ReseparatedRows = int64(freshRows)
+	res.PresolveTime, res.CutSepTime = preTime, cutTime
 	if pre != nil {
 		res.PresolveFixed = int64(pre.nFixed)
 		res.PresolveRows = int64(pre.nRowsDropped)

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram layout is fixed so that snapshots taken on different
+// nodes (or at different times) merge by plain element-wise addition:
+// bucket i covers durations in (bound[i-1], bound[i]] with
+// bound[i] = 1µs << i. 28 finite buckets span 1µs .. ~134s, which
+// brackets everything from a cache hit to a pathological solve; the
+// final slot is the +Inf overflow bucket.
+const histBuckets = 28
+
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	for i := range b {
+		b[i] = time.Microsecond << i
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket log2 latency histogram. All fields are
+// atomics: Observe is wait-free and safe for concurrent use, and
+// Snapshot never blocks recorders. Snapshot is not atomic across
+// buckets — under concurrent recording the copy may be mid-update by a
+// handful of observations, which is fine for monitoring.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // last slot is +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= 1µs<<i, or the overflow slot.
+func bucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	// bits.Len of the µs count, i.e. ceil(log2(d/1µs)) via the
+	// round-up on non-powers of two.
+	us := uint64(d-1) / uint64(time.Microsecond)
+	i := bits.Len64(us)
+	if i > histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// Observe records one duration. Nil-safe and clamps negatives to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Since is shorthand for Observe(time.Since(start)).
+func (h *Histogram) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts has
+// one entry per bucket, overflow last. Snapshots with the same bucket
+// layout merge by addition (Merge), which is what makes fleet-wide
+// aggregation a fold over per-node scrapes.
+type HistogramSnapshot struct {
+	Counts   []int64 `json:"counts"`
+	Count    int64   `json:"count"`
+	SumNanos int64   `json:"sum_ns"`
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]int64, histBuckets+1)}
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// Merge adds other into s element-wise. Snapshots from any Histogram
+// share the fixed bucket layout, so no realignment is needed.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	if len(s.Counts) < histBuckets+1 {
+		grown := make([]int64, histBuckets+1)
+		copy(grown, s.Counts)
+		s.Counts = grown
+	}
+	for i, n := range other.Counts {
+		if i < len(s.Counts) {
+			s.Counts[i] += n
+		}
+	}
+	s.Count += other.Count
+	s.SumNanos += other.SumNanos
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by locating the
+// target rank's bucket and interpolating linearly inside it. With log2
+// buckets the estimate is within 2x of the true value by construction —
+// plenty for p50/p90/p99 monitoring. Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= rank {
+			lo := time.Duration(0)
+			if i > 0 && i-1 < len(histBounds) {
+				lo = histBounds[i-1]
+			}
+			hi := lo * 2
+			if i == 0 {
+				hi = histBounds[0]
+			}
+			if i >= len(histBounds) {
+				// Overflow bucket has no upper bound; report its floor.
+				return histBounds[len(histBounds)-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return histBounds[len(histBounds)-1]
+}

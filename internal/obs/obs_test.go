@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},                   // boundary: d <= 1µs is bucket 0
+		{time.Microsecond + time.Nanosecond, 1}, // just past the boundary
+		{2 * time.Microsecond, 1},               // upper edge of bucket 1
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},                    // 1024µs > 512µs, <= 1024µs
+		{time.Second, 20},                         // 1e6µs is between 2^19 and 2^20 µs
+		{time.Microsecond << 27, histBuckets - 1}, // top finite bucket
+		{time.Microsecond<<27 + 1, histBuckets},   // overflow
+		{time.Hour, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every finite bucket's upper bound must land in its own bucket and
+	// one nanosecond past it in the next.
+	for i, bound := range histBounds {
+		if got := bucketIndex(bound); got != i {
+			t.Errorf("bound %v landed in bucket %d, want %d", bound, got, i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations at ~1ms, 10 at ~100ms: p50 must sit in the 1ms
+	// bucket, p99 in the 100ms one.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 > 2*time.Millisecond || p50 < 100*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 50*time.Millisecond || p99 > 200*time.Millisecond {
+		t.Errorf("p99 = %v, want ~100ms", p99)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty snapshot quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 5; i++ {
+		a.Observe(time.Millisecond)
+	}
+	for i := 0; i < 7; i++ {
+		b.Observe(time.Second)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 12 {
+		t.Fatalf("merged count = %d, want 12", sa.Count)
+	}
+	wantSum := int64(5*time.Millisecond + 7*time.Second)
+	if sa.SumNanos != wantSum {
+		t.Fatalf("merged sum = %d, want %d", sa.SumNanos, wantSum)
+	}
+	total := int64(0)
+	for _, n := range sa.Counts {
+		total += n
+	}
+	if total != 12 {
+		t.Fatalf("merged bucket total = %d, want 12", total)
+	}
+	// Merging into a zero-value snapshot must grow the bucket slice.
+	var zero HistogramSnapshot
+	zero.Merge(sb)
+	if zero.Count != 7 || len(zero.Counts) != histBuckets+1 {
+		t.Fatalf("merge into zero snapshot: count=%d len=%d", zero.Count, len(zero.Counts))
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("obs_test_ops_total", "ops")
+			h := r.Histogram("obs_test_latency_seconds", "latency")
+			g := r.Gauge("obs_test_depth", "depth")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				g.Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("obs_test_ops_total", "ops").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("obs_test_latency_seconds", "latency").Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if err := ValidatePrometheus(b.String()); err != nil {
+		t.Fatalf("exposition after concurrent recording invalid: %v", err)
+	}
+}
+
+func TestSpanTreeAssembly(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "request")
+	ctx2, solve := StartSpan(ctx, "solve")
+	solve.SetAttr("session", "s1")
+	_, inner := StartSpan(ctx2, "search")
+	inner.End()
+	solve.Child("presolve", time.Now().Add(-time.Millisecond), time.Millisecond)
+	solve.End()
+	solve.Graft(&SpanOut{Name: "upstream"})
+	root.End()
+
+	out := root.Render()
+	if out.Name != "request" || len(out.Children) != 1 {
+		t.Fatalf("root = %+v", out)
+	}
+	s := out.Children[0]
+	if s.Name != "solve" || s.Attrs["session"] != "s1" {
+		t.Fatalf("solve span = %+v", s)
+	}
+	names := make([]string, len(s.Children))
+	for i, c := range s.Children {
+		names[i] = c.Name
+	}
+	// Live children first (in creation order), grafted subtrees last.
+	want := []string{"search", "presolve", "upstream"}
+	for i := range want {
+		if i >= len(names) || names[i] != want[i] {
+			t.Fatalf("solve children = %v, want %v", names, want)
+		}
+	}
+	// Untraced context: StartSpan must be a no-op returning nil.
+	if _, sp := StartSpan(context.Background(), "x"); sp != nil {
+		t.Fatal("StartSpan on untraced context returned a span")
+	}
+	// Nil span methods must not panic.
+	var nilSpan *Span
+	nilSpan.End()
+	nilSpan.SetAttr("a", "b")
+	nilSpan.Child("c", time.Now(), 0)
+	if nilSpan.Render() != nil {
+		t.Fatal("nil span rendered non-nil")
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTraceRing(3, 10*time.Millisecond)
+	tr.Offer(&SpanOut{Name: "fast"}, time.Millisecond) // below threshold: dropped
+	for i, name := range []string{"a", "b", "c", "d", "e"} {
+		tr.Offer(&SpanOut{Name: name}, time.Duration(20+i)*time.Millisecond)
+	}
+	got := tr.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(got))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if got[i].Trace.Name != want {
+			t.Fatalf("ring[%d] = %q, want %q (oldest evicted first)", i, got[i].Trace.Name, want)
+		}
+	}
+}
+
+func TestWritePrometheusAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ec_test_requests_total", "requests", Label{"route", "solve"}).Add(3)
+	r.Counter("ec_test_requests_total", "requests", Label{"route", "create"}).Add(1)
+	r.Gauge("ec_test_sessions", "live sessions").Set(2)
+	r.GaugeFunc("ec_test_uptime_seconds", "uptime", func() int64 { return 42 })
+	r.Histogram("ec_test_latency_seconds", "latency", Label{"route", "solve"}).Observe(1500 * time.Microsecond)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	if err := ValidatePrometheus(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`ec_test_requests_total{route="solve"} 3`,
+		`ec_test_requests_total{route="create"} 1`,
+		"ec_test_sessions 2",
+		"ec_test_uptime_seconds 42",
+		`ec_test_latency_seconds_bucket{route="solve",le="+Inf"} 1`,
+		`ec_test_latency_seconds_count{route="solve"} 1`,
+		"# TYPE ec_test_latency_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One family header even with two series.
+	if n := strings.Count(text, "# TYPE ec_test_requests_total"); n != 1 {
+		t.Errorf("family header appears %d times, want 1", n)
+	}
+
+	// JSON snapshot covers every series.
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d series, want 5", len(snap))
+	}
+}
+
+func TestValidatePrometheusRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_type_header 1",
+		"# TYPE x counter\nx{unclosed=\"v 1",
+		"# TYPE x counter\nx notanumber",
+		"# TYPE x frobnicator\nx 1",
+		"# TYPE 9bad counter",
+		"# TYPE x counter\nx{__name__=\"y\"} 1",
+	}
+	for _, text := range bad {
+		if err := ValidatePrometheus(text); err == nil {
+			t.Errorf("ValidatePrometheus accepted malformed input %q", text)
+		}
+	}
+	good := "# HELP a help text\n# TYPE a counter\na 1\na{l=\"v\"} 2 1700000000\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n"
+	if err := ValidatePrometheus(good); err != nil {
+		t.Errorf("ValidatePrometheus rejected valid input: %v", err)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "req-1")
+	if got := RequestIDFromContext(ctx); got != "req-1" {
+		t.Fatalf("request id = %q", got)
+	}
+	if got := RequestIDFromContext(context.Background()); got != "" {
+		t.Fatalf("empty context request id = %q", got)
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheus checks a Prometheus text-exposition payload for
+// structural validity: every line is a well-formed comment or sample,
+// metric and label names are legal, label values are properly quoted,
+// sample values parse as numbers, and every sample's family was
+// declared with a # TYPE line first. It is the gate the chaos e2e runs
+// against each node's /metrics after a kill-node run, so it errs on the
+// strict side rather than accepting whatever a scraper might tolerate.
+func ValidatePrometheus(text string) error {
+	typed := map[string]string{} // family -> kind
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, typed); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return nil
+}
+
+func validateComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return fmt.Errorf("bare comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		typed[fields[2]] = fields[3]
+	default:
+		return fmt.Errorf("unknown comment directive %q", fields[1])
+	}
+	return nil
+}
+
+func validateSample(line string, typed map[string]string) error {
+	name := line
+	rest := ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	family := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typed[base] == "histogram" {
+			family = base
+			break
+		}
+	}
+	if _, ok := typed[family]; !ok {
+		return fmt.Errorf("sample %q has no preceding # TYPE", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unclosed label set in %q", line)
+		}
+		if err := validateLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	value := strings.TrimSpace(rest)
+	// A trailing timestamp is legal; value is the first field.
+	if i := strings.IndexByte(value, ' '); i >= 0 {
+		ts := value[i+1:]
+		value = value[:i]
+		if _, err := strconv.ParseInt(strings.TrimSpace(ts), 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp in %q", line)
+		}
+	}
+	switch value {
+	case "+Inf", "-Inf", "NaN":
+		return nil
+	}
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		return fmt.Errorf("bad sample value %q in %q", value, line)
+	}
+	return nil
+}
+
+func validateLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || !validLabelName(s[:eq]) {
+			return fmt.Errorf("invalid label name")
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		for {
+			if i >= len(s) {
+				return fmt.Errorf("unterminated label value")
+			}
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("missing comma between labels")
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,322 @@
+// Package obs is the stdlib-only observability layer for the serving
+// tier: a metrics registry of counters, gauges, and log2 latency
+// histograms with Prometheus-text and JSON exposition, plus lightweight
+// request-scoped trace spans (trace.go) carried through context.Context.
+//
+// The registry is deliberately small. Instruments are registered lazily
+// by (name, labels) and are safe for concurrent use; histogram buckets
+// are fixed powers-of-two of a microsecond so snapshots from different
+// processes merge without bucket realignment. Exposition order is
+// registration order, grouped into Prometheus families by name, which
+// keeps scrapes diffable across runs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one exposition label pair. Labels on an instrument are part
+// of its registry identity: Counter("x", help, Label{"a","1"}) and
+// Counter("x", help, Label{"a","2"}) are two series of one family.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 (queue depths, staleness, config knobs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// instrument is one registered series: exactly one of the value fields
+// is active, per kind.
+type instrument struct {
+	name   string
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	gfunc   func() int64 // gauge computed at scrape time
+	hist    *Histogram
+}
+
+// Registry holds every registered instrument and renders them. The zero
+// value is not usable; call NewRegistry. A nil *Registry is a valid
+// no-op sink: instrument getters return nil, and nil instruments drop
+// observations, so callers never need nil checks at record sites.
+type Registry struct {
+	mu   sync.Mutex
+	by   map[string]*instrument // guarded by mu; key = name + rendered labels
+	list []*instrument          // guarded by mu; registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]*instrument)}
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// get returns the instrument for (name, labels), creating it with mk on
+// first use. Re-registering with a different kind panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) get(name, help, kind string, labels []Label, mk func(*instrument)) *instrument {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.by[key]; ok {
+		if in.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind, in.kind))
+		}
+		return in
+	}
+	in := &instrument{name: name, help: help, kind: kind, labels: append([]Label(nil), labels...)}
+	mk(in)
+	r.by[key] = in
+	r.list = append(r.list, in)
+	return in
+}
+
+// Counter returns the counter series for (name, labels), registering it
+// on first use. Nil-safe: a nil registry returns nil, which drops Adds.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, help, "counter", labels, func(in *instrument) {
+		in.counter = &Counter{}
+	}).counter
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, help, "gauge", labels, func(in *instrument) {
+		in.gauge = &Gauge{}
+	}).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time (heartbeat staleness, cache sizes). Later registrations of the
+// same series replace fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	in := r.get(name, help, "gauge", labels, func(in *instrument) {})
+	r.mu.Lock()
+	in.gfunc = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the latency histogram series for (name, labels).
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, help, "histogram", labels, func(in *instrument) {
+		in.hist = &Histogram{}
+	}).hist
+}
+
+// snapshotLocked copies the instrument list under the lock so rendering
+// can run lock-free against the atomics.
+func (r *Registry) snapshot() []*instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*instrument(nil), r.list...)
+}
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(l.Value)
+		parts[i] = fmt.Sprintf(`%s=%q`, l.Key, v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format, grouped into families (one # HELP/# TYPE header per
+// metric name) in first-registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	list := r.snapshot()
+	done := map[string]bool{}
+	for _, in := range list {
+		if done[in.name] {
+			continue
+		}
+		done[in.name] = true
+		if in.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", in.name, strings.ReplaceAll(in.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind)
+		for _, series := range list {
+			if series.name != in.name {
+				continue
+			}
+			series.writeProm(w)
+		}
+	}
+}
+
+func (in *instrument) writeProm(w io.Writer) {
+	switch in.kind {
+	case "counter":
+		fmt.Fprintf(w, "%s%s %d\n", in.name, promLabels(in.labels), in.counter.Value())
+	case "gauge":
+		v := in.gauge.Value()
+		if in.gfunc != nil {
+			v = in.gfunc()
+		}
+		fmt.Fprintf(w, "%s%s %d\n", in.name, promLabels(in.labels), v)
+	case "histogram":
+		snap := in.hist.Snapshot()
+		cum := int64(0)
+		for i, n := range snap.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(histBounds) {
+				le = formatSeconds(histBounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, promLabels(in.labels, Label{"le", le}), cum)
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", in.name, promLabels(in.labels), formatSeconds(time.Duration(snap.SumNanos)))
+		fmt.Fprintf(w, "%s_count%s %d\n", in.name, promLabels(in.labels), snap.Count)
+	}
+}
+
+// formatSeconds renders a duration as decimal seconds without float
+// noise (1.5ms -> "0.0015").
+func formatSeconds(d time.Duration) string {
+	s := d.Seconds()
+	if s == math.Trunc(s) && math.Abs(s) < 1e15 {
+		return fmt.Sprintf("%d", int64(s))
+	}
+	return strings.TrimRight(fmt.Sprintf("%.9f", s), "0")
+}
+
+// SeriesSnapshot is the JSON form of one series, used by the /metrics
+// JSON exposition.
+type SeriesSnapshot struct {
+	Name   string             `json:"name"`
+	Kind   string             `json:"kind"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	Value  *int64             `json:"value,omitempty"`
+	Hist   *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot returns the JSON-ready view of every series, sorted by name
+// then label for stable output.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	list := r.snapshot()
+	out := make([]SeriesSnapshot, 0, len(list))
+	for _, in := range list {
+		s := SeriesSnapshot{Name: in.name, Kind: in.kind}
+		if len(in.labels) > 0 {
+			s.Labels = make(map[string]string, len(in.labels))
+			for _, l := range in.labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		switch in.kind {
+		case "counter":
+			v := in.counter.Value()
+			s.Value = &v
+		case "gauge":
+			v := in.gauge.Value()
+			if in.gfunc != nil {
+				v = in.gfunc()
+			}
+			s.Value = &v
+		case "histogram":
+			h := in.hist.Snapshot()
+			s.Hist = &h
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

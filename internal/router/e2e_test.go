@@ -4,15 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"ilpec/internal/cluster"
 	"ilpec/internal/domain"
 	"ilpec/internal/ecclient"
+	"ilpec/internal/obs"
 	"ilpec/internal/service"
 	"ilpec/internal/store"
 )
@@ -281,6 +284,41 @@ func TestKillNodeChaosDifferential(t *testing.T) {
 	for _, name := range e2eDomains {
 		if !gotIDs["chaos-"+name] {
 			t.Fatalf("merged session list lost chaos-%s: %v", name, list["sessions"])
+		}
+	}
+
+	// Even after the chaos, every surviving node and the router front must
+	// serve a well-formed Prometheus exposition — the fleet stays
+	// scrapeable through failover.
+	scrape := func(label, base string) string {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("%s: scrape /metrics: %v", label, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("%s: read /metrics: %v", label, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: /metrics status %d: %s", label, resp.StatusCode, raw)
+		}
+		text := string(raw)
+		if err := obs.ValidatePrometheus(text); err != nil {
+			t.Fatalf("%s: invalid exposition: %v\n%s", label, err, text)
+		}
+		return text
+	}
+	for id, n := range alive {
+		text := scrape(id, n.srv.URL)
+		if !strings.Contains(text, "ec_service_solves") || !strings.Contains(text, "ec_http_request_seconds_bucket") {
+			t.Fatalf("%s: exposition missing service counters or route histograms:\n%s", id, text)
+		}
+	}
+	frontText := scrape("router", front.URL)
+	for _, want := range []string{"ec_router_proxied", "ec_router_failovers", `ec_router_request_seconds_bucket{route="session_solve"`} {
+		if !strings.Contains(frontText, want) {
+			t.Fatalf("router exposition missing %q:\n%s", want, frontText)
 		}
 	}
 

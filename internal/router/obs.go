@@ -1,0 +1,244 @@
+package router
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"ilpec/internal/obs"
+)
+
+// This file is the router's observability seam, mirroring the service's
+// (internal/service/obs.go): per-route latency metrics, request ids,
+// per-request trace trees with upstream grafting (the router's spans
+// wrap the node's, so one ?trace=1 request shows router → handler →
+// solve phases → journal append), and Prometheus exposition at
+// /metrics.
+
+const (
+	defaultSlowTrace     = 250 * time.Millisecond
+	defaultTraceRingSize = 64
+)
+
+// routerRoute classifies a request for metric labels (bounded
+// cardinality; arbitrary paths collapse to "other").
+func routerRoute(method, path string) string {
+	switch {
+	case path == "/v1/sessions":
+		if method == http.MethodGet {
+			return "sessions_list"
+		}
+		return "session_create"
+	case strings.HasPrefix(path, "/v1/sessions/"):
+		switch {
+		case strings.HasSuffix(path, "/changes"):
+			return "session_changes"
+		case strings.HasSuffix(path, "/solve"):
+			return "session_solve"
+		case strings.HasSuffix(path, "/flex"):
+			return "session_flex"
+		case method == http.MethodDelete:
+			return "session_delete"
+		default:
+			return "session_get"
+		}
+	case path == "/v1/domains":
+		return "domains"
+	case path == "/v1/cluster":
+		return "cluster"
+	case path == "/v1/metrics":
+		return "metrics"
+	case path == "/metrics":
+		return "prom_metrics"
+	case path == "/v1/debug/traces":
+		return "debug_traces"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/readyz":
+		return "readyz"
+	default:
+		return "other"
+	}
+}
+
+func statusClass(status int) string {
+	switch {
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+func wantsTrace(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1" || r.Header.Get("X-EC-Trace") == "1"
+}
+
+// mintRequestID returns a random request id (random, like session ids,
+// so concurrent routers cannot collide).
+func mintRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("router: crypto/rand failed: %v", err))
+	}
+	return "req-" + hex.EncodeToString(buf[:])
+}
+
+// obsResponseWriter captures the status and, for traced requests,
+// buffers the body so the router's span tree (with the upstream tree
+// grafted in) replaces the node's in the response.
+type obsResponseWriter struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+	buffer      *bytes.Buffer
+}
+
+func (w *obsResponseWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status = code
+	if w.buffer == nil {
+		w.ResponseWriter.WriteHeader(code)
+	}
+}
+
+func (w *obsResponseWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.buffer != nil {
+		return w.buffer.Write(b)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *obsResponseWriter) statusOr200() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// instrument wraps the router mux: request ids, the per-request trace
+// root, per-route latency/status metrics, the slow-trace ring, and
+// trace injection. When the upstream response already carries a "trace"
+// field (the node's tree, requested via the forwarded ?trace=1 /
+// X-EC-Trace), it is grafted under the router's root so the combined
+// tree spans both tiers.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routerRoute(r.Method, r.URL.Path)
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = mintRequestID()
+			r.Header.Set("X-Request-ID", reqID) // try() forwards it upstream
+		}
+		w.Header().Set("X-Request-ID", reqID)
+
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx, root := obs.NewTrace(ctx, "router "+route)
+		root.SetAttr("method", r.Method)
+		root.SetAttr("path", r.URL.Path)
+		root.SetAttr("request_id", reqID)
+		rw := &obsResponseWriter{ResponseWriter: w}
+		if wantsTrace(r) {
+			rw.buffer = &bytes.Buffer{}
+		}
+
+		next.ServeHTTP(rw, r.WithContext(ctx))
+
+		root.End()
+		status := rw.statusOr200()
+		root.SetAttr("status", strconv.Itoa(status))
+		d := root.Duration()
+		if rw.buffer != nil {
+			rt.flushTraced(rw, root)
+		} else {
+			rt.traces.Offer(root.Render(), d)
+		}
+		rt.reg.Histogram("ec_router_request_seconds", "Router request latency by route (seconds).",
+			obs.Label{Key: "route", Value: route}).Observe(d)
+		rt.reg.Counter("ec_router_requests_total", "Router requests by route and status class.",
+			obs.Label{Key: "route", Value: route}, obs.Label{Key: "status", Value: statusClass(status)}).Inc()
+	})
+}
+
+// flushTraced grafts the upstream node's span tree (if the buffered
+// body carries one) under the router root, then releases the response
+// with the combined tree in its "trace" field.
+func (rt *Router) flushTraced(w *obsResponseWriter, root *obs.Span) {
+	body := w.buffer.Bytes()
+	var m map[string]any
+	if json.Unmarshal(body, &m) == nil && m != nil {
+		if raw, ok := m["trace"]; ok {
+			if b, err := json.Marshal(raw); err == nil {
+				var up obs.SpanOut
+				if json.Unmarshal(b, &up) == nil && up.Name != "" {
+					root.Graft(&up)
+				}
+			}
+		}
+		rendered := root.Render()
+		rt.traces.Offer(rendered, root.Duration())
+		m["trace"] = rendered
+		if out, err := json.MarshalIndent(m, "", "  "); err == nil {
+			body = out
+		}
+	} else {
+		rt.traces.Offer(root.Render(), root.Duration())
+	}
+	w.ResponseWriter.WriteHeader(w.statusOr200())
+	w.ResponseWriter.Write(body) //nolint:errcheck // client went away; nothing to do
+}
+
+// writeRouterProm renders every Metrics field as an ec_router_<json_tag>
+// counter series; reflection keeps the exposition in lockstep with the
+// /v1/metrics JSON.
+func writeRouterProm(w *bytes.Buffer, m Metrics) {
+	v := reflect.ValueOf(m)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		tag, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		name := "ec_router_" + tag
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v.Field(i).Int())
+	}
+}
+
+// handleProm serves the router's GET /metrics: Prometheus text by
+// default, the JSON form with ?format=json.
+func (rt *Router) handleProm(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"router": rt.Metrics(),
+			"series": rt.reg.Snapshot(),
+		})
+		return
+	}
+	var buf bytes.Buffer
+	writeRouterProm(&buf, rt.Metrics())
+	rt.reg.WritePrometheus(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes()) //nolint:errcheck // client went away; nothing to do
+}
+
+// handleDebugTraces serves the router's GET /v1/debug/traces.
+func (rt *Router) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": rt.traces.Snapshot()})
+}

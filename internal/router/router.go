@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"ilpec/internal/cluster"
+	"ilpec/internal/obs"
 	"ilpec/internal/store"
 )
 
@@ -75,6 +76,13 @@ type Options struct {
 	Logger *log.Logger
 	// Now is the clock used against heartbeat TTLs (nil = time.Now).
 	Now func() time.Time
+	// Obs receives the router's instruments: per-route request latency,
+	// per-node proxy attempt latency, and request counters, exposed at
+	// GET /metrics. nil gets a private registry.
+	Obs *obs.Registry
+	// SlowTraceThreshold is the minimum request duration retained in the
+	// /v1/debug/traces ring (default 250ms).
+	SlowTraceThreshold time.Duration
 }
 
 // Metrics are the router's own counters (snapshot via Router.Metrics).
@@ -114,6 +122,11 @@ type Router struct {
 	partialLists atomic.Int64
 	conflictRecs atomic.Int64
 
+	// reg and traces back the /metrics exposition and the slow-trace
+	// ring (see obs.go). Never nil after New.
+	reg    *obs.Registry
+	traces *obs.TraceRing
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -145,12 +158,21 @@ func New(opts Options) (*Router, error) {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
+	slow := opts.SlowTraceThreshold
+	if slow <= 0 {
+		slow = defaultSlowTrace
+	}
 	return &Router{
 		opts:     opts,
 		members:  cluster.NewMembership(opts.Store),
 		ring:     cluster.BuildRing(nil, opts.VirtualNodes),
 		addrs:    map[string]string{},
 		suspects: map[string]bool{},
+		reg:      opts.Obs,
+		traces:   obs.NewTraceRing(defaultTraceRingSize, slow),
 	}, nil
 }
 
@@ -338,12 +360,14 @@ func (rt *Router) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
 	mux.HandleFunc("GET /v1/metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /metrics", rt.handleProm)
+	mux.HandleFunc("GET /v1/debug/traces", rt.handleDebugTraces)
 	mux.HandleFunc("GET /v1/domains", rt.handleAny)
 	mux.HandleFunc("GET /v1/sessions", rt.handleList)
 	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
 	mux.HandleFunc("/v1/sessions/{id}", rt.handleSession)
 	mux.HandleFunc("/v1/sessions/{id}/{op}", rt.handleSession)
-	return mux
+	return rt.instrument(mux)
 }
 
 // handleCluster reports the operator view: every live heartbeat plus
@@ -728,19 +752,30 @@ func (rt *Router) try(r *http.Request, node, addr string, body []byte) *http.Res
 	// Idempotency-Key must survive the proxy hop: the server dedupes
 	// replayed change batches by it, which is what makes the CLIENT's
 	// retries through 502s safe even though the router itself never
-	// replays non-idempotent requests.
-	for _, h := range []string{"Content-Type", "Idempotency-Key"} {
+	// replays non-idempotent requests. X-Request-ID ties the two tiers'
+	// logs together, and X-EC-Trace asks the node for its span tree (the
+	// router grafts it under its own; see obs.go).
+	for _, h := range []string{"Content-Type", "Idempotency-Key", "X-Request-ID", "X-EC-Trace"} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
 	}
+	_, sp := obs.StartSpan(r.Context(), "proxy "+node)
+	sp.SetAttr("node", node)
+	start := time.Now()
 	resp, err := rt.opts.HTTP.Do(req)
+	rt.reg.Histogram("ec_router_proxy_seconds", "Upstream proxy attempt latency by node (seconds).",
+		obs.Label{Key: "node", Value: node}).Observe(time.Since(start))
 	if err != nil {
+		sp.SetAttr("error", "transport")
+		sp.End()
 		if r.Context().Err() == nil {
 			rt.markSuspect(node)
 		}
 		return nil
 	}
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
+	sp.End()
 	return resp
 }
 

@@ -33,6 +33,8 @@ const maxIdempotencyKey = 200
 //	GET    /v1/sessions/{id}/flex?k= flexibility report (§5 audit)
 //	GET    /v1/domains               registered domain names
 //	GET    /v1/metrics               service counters
+//	GET    /metrics                  Prometheus text exposition (?format=json)
+//	GET    /v1/debug/traces          recent slow-request span trees
 //	GET    /healthz                  liveness probe (the process answers)
 //	GET    /readyz                   readiness probe (503 while draining,
 //	                                 store-quarantined, or cluster-partitioned)
@@ -42,7 +44,11 @@ const maxIdempotencyKey = 200
 // coloring, scheduling, partitioning, or a custom adapter. Errors carry a
 // structured body: {"error": {"code": "...", "message": "..."}}.
 //
-// See the README's "EC session service" section for a curl walkthrough.
+// Every response carries an X-Request-ID header (the inbound one is
+// propagated, or a fresh id is minted); ?trace=1 or an X-EC-Trace: 1
+// header additionally returns the request's span tree in a top-level
+// "trace" field. See the README's "EC session service" and
+// "Observability" sections for walkthroughs.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +73,12 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Metrics())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleProm(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		handleDebugTraces(svc, w, r)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -82,7 +94,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
-	return mux
+	return instrumentHandler(svc, mux)
 }
 
 // handleSessionList serves GET /v1/sessions with optional keyset paging:

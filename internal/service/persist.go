@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -162,8 +163,9 @@ func (s *Session) persistSnapshotLocked() error {
 // has moved past the stale journal, so the heal snapshot supersedes
 // every stale record — and the request succeeds memory-only. Below the
 // quarantine threshold the (transient) error is returned, mapping to a
-// retryable 503. Caller holds s.mu.
-func (s *Session) appendLocked(rec store.Record) error {
+// retryable 503. Caller holds s.mu. ctx only feeds the trace/metrics
+// layer (the journal_append phase); it does not cancel the append.
+func (s *Session) appendLocked(ctx context.Context, rec store.Record) error {
 	if !s.svc.hasStore() {
 		return nil
 	}
@@ -182,7 +184,9 @@ func (s *Session) appendLocked(rec store.Record) error {
 		return nil
 	}
 	rec.Seq = s.seq + 1
+	appendStart := time.Now()
 	err := s.svc.retryStore(func() error { return s.svc.opts.Store.Append(s.id, rec) })
+	s.svc.sobs.phase(ctx, "journal_append", time.Since(appendStart))
 	if err != nil && rec.Seq == s.ackLostSeq && errors.Is(err, store.ErrSeqConflict) {
 		// A previously failed append for this very seq actually landed — its
 		// acknowledgement was lost (failed fsync, or an injected fault after
@@ -249,7 +253,7 @@ func (s *Session) maybeCompactLocked() {
 // failover successor — rebuild the dedup window from the tail.
 //
 //ecvet:walhelper
-func (s *Session) persistQueueLocked(key string, changes []any) error {
+func (s *Session) persistQueueLocked(ctx context.Context, key string, changes []any) error {
 	if !s.svc.hasStore() {
 		return nil
 	}
@@ -257,7 +261,7 @@ func (s *Session) persistQueueLocked(key string, changes []any) error {
 	if err != nil {
 		return err
 	}
-	return s.appendLocked(store.Record{Kind: store.KindChanges, Changes: wire, BatchID: key})
+	return s.appendLocked(ctx, store.Record{Kind: store.KindChanges, Changes: wire, BatchID: key})
 }
 
 // persistSolveLocked journals a committed solve (problem = previous
@@ -265,7 +269,7 @@ func (s *Session) persistQueueLocked(key string, changes []any) error {
 // commit.
 //
 //ecvet:walhelper
-func (s *Session) persistSolveLocked(problem, sol any, batched int) error {
+func (s *Session) persistSolveLocked(ctx context.Context, problem, sol any, batched int) error {
 	if !s.svc.hasStore() {
 		return nil
 	}
@@ -273,7 +277,7 @@ func (s *Session) persistSolveLocked(problem, sol any, batched int) error {
 	if err != nil {
 		return fmt.Errorf("service: encode solution: %w", err)
 	}
-	return s.appendLocked(store.Record{Kind: store.KindSolve, Solution: raw, Batched: batched})
+	return s.appendLocked(ctx, store.Record{Kind: store.KindSolve, Solution: raw, Batched: batched})
 }
 
 // persistDiscardLocked journals a dropped batch (best effort — the same
@@ -282,13 +286,13 @@ func (s *Session) persistSolveLocked(problem, sol any, batched int) error {
 // solve or discard record supersedes).
 //
 //ecvet:walhelper
-func (s *Session) persistDiscardLocked() {
+func (s *Session) persistDiscardLocked(ctx context.Context) {
 	if !s.svc.hasStore() {
 		return
 	}
 	// Memory already reflects the discard (the batch was drained at solve
 	// entry and not restored), so compaction is safe right away.
-	if s.appendLocked(store.Record{Kind: store.KindDiscard}) == nil {
+	if s.appendLocked(ctx, store.Record{Kind: store.KindDiscard}) == nil {
 		s.maybeCompactLocked()
 	}
 }

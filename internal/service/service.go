@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"ilpec/internal/core"
 	"ilpec/internal/domain"
 	"ilpec/internal/ilp"
+	"ilpec/internal/obs"
 	"ilpec/internal/store"
 
 	// The built-in domains register themselves on import so every service
@@ -147,6 +149,18 @@ type Options struct {
 	// must be cross-process safe (store.NewSharedFile). The service does
 	// not start or stop the node; cmd/ecserve owns its lifecycle.
 	Cluster *cluster.Node
+	// Obs receives the service's fine-grained instruments: per-route
+	// request latency histograms, per-phase solve timings, and durable-
+	// store operation latencies (see the README's Observability section).
+	// nil gets a private registry, so /metrics always serves; share one
+	// registry with cluster.Config.Obs to expose both on one endpoint.
+	Obs *obs.Registry
+	// RequestLog, when set, receives one structured line per HTTP request
+	// (request id, route, status, duration). nil logs nothing.
+	RequestLog *slog.Logger
+	// SlowTraceThreshold is the minimum request duration retained in the
+	// /v1/debug/traces ring (default 250ms).
+	SlowTraceThreshold time.Duration
 }
 
 // SessionConfig carries per-session overrides at creation time.
@@ -360,6 +374,9 @@ type Service struct {
 	draining atomic.Bool
 
 	metrics Metrics
+	// sobs carries the fine-grained instruments (histograms, traces,
+	// request logging); see obs.go. Never nil after New.
+	sobs *serviceObs
 }
 
 // incumbent pairs a stored solution with the domain that can clone it.
@@ -398,8 +415,18 @@ func New(opts Options) *Service {
 	if opts.MaxBacklog == 0 {
 		opts.MaxBacklog = defaultBacklogFactor * opts.Workers
 	}
+	if opts.Obs == nil {
+		// A private registry rather than a nil sink: /metrics then serves
+		// real data on every node even when the operator wired nothing up.
+		opts.Obs = obs.NewRegistry()
+	}
+	sobs := newServiceObs(opts)
+	if opts.Store != nil {
+		opts.Store = store.NewInstrumented(opts.Store, sobs.storeRecorder(store.BackendName(opts.Store)))
+	}
 	s := &Service{
 		opts:  opts,
+		sobs:  sobs,
 		cache: newSolveCache(opts.CacheSize),
 		exec:  newPool(opts.Workers, opts.MaxBacklog),
 		cnf: core.CNFWith(core.CNFOptions{
@@ -1013,11 +1040,22 @@ func (s *Service) Close() {
 // aborts both the wait for a worker slot and — through the solver
 // options — the search itself.
 func (s *Service) cachedSolve(ctx context.Context, key string, clone func(any) any, compute func() (any, bool, error)) (any, bool, error) {
+	// Phase accounting: the owner's closure runs synchronously in this
+	// goroutine (cache.do) and pool.run blocks until the worker finishes,
+	// so the closure-local `missed` and the phase records are race-free.
+	entry := time.Now()
+	missed := false
 	val, hit, err := s.cache.do(ctx, key, clone, func() (any, bool, error) {
+		missed = true
+		s.sobs.phase(ctx, "cache_lookup", time.Since(entry))
 		var v any
 		var ok bool
 		var cerr error
-		if perr := s.exec.run(ctx, func() { v, ok, cerr = compute() }); perr != nil {
+		enq := time.Now()
+		if perr := s.exec.run(ctx, func() {
+			s.sobs.phase(ctx, "queue_wait", time.Since(enq))
+			v, ok, cerr = compute()
+		}); perr != nil {
 			if errors.Is(perr, ErrOverloaded) {
 				s.metrics.BacklogRejections.Add(1)
 			}
@@ -1025,6 +1063,10 @@ func (s *Service) cachedSolve(ctx context.Context, key string, clone func(any) a
 		}
 		return v, ok, cerr
 	})
+	if !missed {
+		// A hit or an in-flight join: the whole wait was cache time.
+		s.sobs.phase(ctx, "cache_lookup", time.Since(entry))
+	}
 	if hit {
 		s.metrics.CacheHits.Add(1)
 	} else {
@@ -1036,10 +1078,12 @@ func (s *Service) cachedSolve(ctx context.Context, key string, clone func(any) a
 	return val, hit, err
 }
 
-// noteSolverResult folds one kernel result into the service counters. A
-// Feasible/Unknown status means a node/time limit or a cancelled request
-// truncated the search.
-func (s *Service) noteSolverResult(res ilp.Result) {
+// noteSolverResult folds one kernel result into the service counters
+// and lays its phase timings onto the request trace. A Feasible/Unknown
+// status means a node/time limit or a cancelled request truncated the
+// search.
+func (s *Service) noteSolverResult(ctx context.Context, res ilp.Result) {
+	s.sobs.solverPhases(ctx, res.PresolveTime, res.CutSepTime, res.SearchTime)
 	if res.Status == ilp.Feasible || res.Status == ilp.Unknown {
 		s.metrics.TruncatedSolves.Add(1)
 	}

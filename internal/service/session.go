@@ -12,6 +12,7 @@ import (
 	"ilpec/internal/core"
 	"ilpec/internal/domain"
 	"ilpec/internal/ilp"
+	"ilpec/internal/obs"
 )
 
 // Session is one long-lived engineering-change session: a live problem of
@@ -216,7 +217,7 @@ func (s *Session) QueueChangesKeyed(key string, changes ...any) (pending int, du
 		s.svc.metrics.QueueRejections.Add(1)
 		return len(s.pending), false, fmt.Errorf("%w (%d pending, limit %d)", ErrQueueFull, len(s.pending), max)
 	}
-	if err := s.persistQueueLocked(key, changes); err != nil {
+	if err := s.persistQueueLocked(context.Background(), key, changes); err != nil {
 		return len(s.pending), false, err
 	}
 	s.pending = append(s.pending, changes...)
@@ -354,6 +355,9 @@ func (s *Session) SolveContext(ctx context.Context) (*SolveResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, sp := obs.StartSpan(ctx, "solve")
+	sp.SetAttr("session", s.id)
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -383,7 +387,7 @@ func (s *Session) SolveContext(ctx context.Context) (*SolveResult, error) {
 			// The batch was discarded; journal that so replay agrees with
 			// the in-memory outcome (the queued "changes" records would
 			// otherwise resurrect it as pending on rehydration).
-			s.persistDiscardLocked()
+			s.persistDiscardLocked(ctx)
 		}
 	}
 	return res, err
@@ -505,13 +509,13 @@ func (s *Session) solveInitialLocked(ctx context.Context, batch []any, start tim
 			s.svc.metrics.IncumbentHits.Add(1)
 		}
 		a, res, err := s.replanSolveLocked(ctx, p, batch, warm)
-		s.svc.noteSolverResult(res)
+		s.svc.noteSolverResult(ctx, res)
 		return a, err == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, err)
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := s.persistSolveLocked(p, sol, len(batch)); err != nil {
+	if err := s.persistSolveLocked(ctx, p, sol, len(batch)); err != nil {
 		return nil, err
 	}
 	s.syncInstanceLocked(p, batch)
@@ -538,7 +542,7 @@ func (s *Session) solveBatchLocked(ctx context.Context, batch []any, start time.
 		if err != nil {
 			return nil, fmt.Errorf("service: batch discarded: %w", err)
 		}
-		if err := s.persistSolveLocked(changed, next, len(batch)); err != nil {
+		if err := s.persistSolveLocked(ctx, changed, next, len(batch)); err != nil {
 			return nil, err
 		}
 		s.syncInstanceLocked(changed, batch)
@@ -567,7 +571,7 @@ func (s *Session) solveBatchLocked(ctx context.Context, batch []any, start time.
 				return nil, false, wrapCtxErr(ctx, ferr)
 			}
 			if !stats.AlreadyValid {
-				s.svc.noteSolverResult(stats.ILP)
+				s.svc.noteSolverResult(ctx, stats.ILP)
 			}
 			subVars, subRows = stats.SubSize, stats.SubRows
 			// A fast pass is cache-eligible when no solver ran (the
@@ -579,14 +583,14 @@ func (s *Session) solveBatchLocked(ctx context.Context, batch []any, start time.
 		key = s.taskKeyLocked("preserve", changed, prev)
 		compute = func() (any, bool, error) {
 			next, res, perr := domain.Preserve(s.dom, changed, prev, s.solverOptsLocked(ctx))
-			s.svc.noteSolverResult(res)
+			s.svc.noteSolverResult(ctx, res)
 			return next, perr == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, perr)
 		}
 	case domain.Replan:
 		key = s.taskKeyLocked("plain", changed, nil)
 		compute = func() (any, bool, error) {
 			next, res, rerr := s.replanSolveLocked(ctx, changed, batch, prev)
-			s.svc.noteSolverResult(res)
+			s.svc.noteSolverResult(ctx, res)
 			return next, rerr == nil && res.Status == ilp.Optimal, wrapCtxErr(ctx, rerr)
 		}
 	default:
@@ -597,7 +601,7 @@ func (s *Session) solveBatchLocked(ctx context.Context, batch []any, start time.
 	if err != nil {
 		return nil, err
 	}
-	if err := s.persistSolveLocked(changed, next, len(batch)); err != nil {
+	if err := s.persistSolveLocked(ctx, changed, next, len(batch)); err != nil {
 		return nil, err
 	}
 	s.syncInstanceLocked(changed, batch)

@@ -1,0 +1,91 @@
+package store
+
+import "time"
+
+// Instrumented wraps a Store and reports each operation's wall-clock
+// latency and error to a caller-supplied callback. The callback keeps
+// this package free of a dependency on the metrics layer: internal/obs
+// owns the histograms, internal/service wires them in via the callback
+// when building its store stack.
+//
+// Every error passes through unchanged, so errors.Is classification
+// (ErrSeqConflict, ErrNotFound, IsTransient) behaves exactly as on the
+// wrapped store.
+type Instrumented struct {
+	inner Store
+	rec   func(op string, d time.Duration, err error)
+}
+
+// NewInstrumented wraps s. A nil rec returns s unwrapped.
+func NewInstrumented(s Store, rec func(op string, d time.Duration, err error)) Store {
+	if rec == nil {
+		return s
+	}
+	return &Instrumented{inner: s, rec: rec}
+}
+
+// Underlying returns the wrapped store.
+func (in *Instrumented) Underlying() Store { return in.inner }
+
+func (in *Instrumented) observe(op string, start time.Time, err error) {
+	in.rec(op, time.Since(start), err)
+}
+
+func (in *Instrumented) Append(id string, rec Record) error {
+	start := time.Now()
+	err := in.inner.Append(id, rec)
+	in.observe("append", start, err)
+	return err
+}
+
+func (in *Instrumented) WriteSnapshot(snap Snapshot) error {
+	start := time.Now()
+	err := in.inner.WriteSnapshot(snap)
+	in.observe("snapshot", start, err)
+	return err
+}
+
+func (in *Instrumented) Load(id string) (Snapshot, []Record, error) {
+	start := time.Now()
+	snap, tail, err := in.inner.Load(id)
+	in.observe("load", start, err)
+	return snap, tail, err
+}
+
+func (in *Instrumented) List() ([]string, error) {
+	start := time.Now()
+	ids, err := in.inner.List()
+	in.observe("list", start, err)
+	return ids, err
+}
+
+func (in *Instrumented) Delete(id string) error {
+	start := time.Now()
+	err := in.inner.Delete(id)
+	in.observe("delete", start, err)
+	return err
+}
+
+func (in *Instrumented) Close() error { return in.inner.Close() }
+
+// BackendName names a store's concrete backend for metric labels,
+// unwrapping the fault-injection and instrumentation layers.
+func BackendName(s Store) string {
+	switch t := s.(type) {
+	case *Memory:
+		return "memory"
+	case *File:
+		if t.shared {
+			return "shared_file"
+		}
+		return "file"
+	case *Faulty:
+		return BackendName(t.inner)
+	case *Instrumented:
+		return BackendName(t.inner)
+	case nil:
+		return "none"
+	default:
+		return "custom"
+	}
+}
